@@ -1,0 +1,93 @@
+// Ablation — which design choices of Section III actually pay?
+//
+// On the WEBG dataset, compares the addition counts and runtime of:
+//   * psum-SR (no sharing at all — the Lizorkin baseline);
+//   * OIP with DmstPolicy::kAlwaysRoot (set deduplication only: every
+//     distinct in-neighbour set recomputed from scratch);
+//   * OIP with DmstPolicy::kPreviousInOrder (naive chaining in size order,
+//     no MST optimisation);
+//   * OIP with DmstPolicy::kMinCost (the paper's DMST-Reduce).
+//
+// Also prints each plan's static cost model (Σ additions per target
+// column) so the measured counts can be checked against the prediction.
+#include <cstdio>
+
+#include "simrank/benchlib/datasets.h"
+#include "simrank/common/string_util.h"
+#include "simrank/common/table_printer.h"
+#include "simrank/common/timer.h"
+#include "simrank/core/dmst.h"
+#include "simrank/core/oip.h"
+#include "simrank/core/psum.h"
+
+namespace simrank::bench {
+namespace {
+
+const char* PolicyName(DmstPolicy policy) {
+  switch (policy) {
+    case DmstPolicy::kMinCost:
+      return "OIP (DMST, paper)";
+    case DmstPolicy::kPreviousInOrder:
+      return "OIP (chain order)";
+    case DmstPolicy::kAlwaysRoot:
+      return "OIP (dedupe only)";
+  }
+  return "?";
+}
+
+void Run() {
+  Dataset dataset = MakeWebGraph();
+  const uint32_t iterations = 8;
+  PrintSection(StrFormat(
+      "Ablation: sharing plans on %s (n = %u, K = %u, C = 0.6)",
+      dataset.name.c_str(), dataset.graph.n(), iterations));
+
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = iterations;
+
+  TablePrinter table({"plan", "schedule cost", "share ratio", "time",
+                      "partial adds", "outer adds", "adds vs psum"});
+
+  KernelStats psum_stats;
+  OIPSIM_CHECK(PsumSimRank(dataset.graph, options, &psum_stats).ok());
+  const double psum_adds =
+      static_cast<double>(psum_stats.ops.total_adds());
+  table.AddRow({"psum-SR (no sharing)", "-", "-",
+                FormatDuration(psum_stats.seconds_total()),
+                FormatCount(psum_stats.ops.partial_sum_adds),
+                FormatCount(psum_stats.ops.outer_sum_adds), "1.00x"});
+
+  for (DmstPolicy policy : {DmstPolicy::kAlwaysRoot,
+                            DmstPolicy::kPreviousInOrder,
+                            DmstPolicy::kMinCost}) {
+    DmstOptions dmst_options;
+    dmst_options.policy = policy;
+    auto mst = DmstReduce(dataset.graph, dmst_options);
+    OIPSIM_CHECK(mst.ok());
+    KernelStats stats;
+    OIPSIM_CHECK(
+        OipSimRankWithMst(dataset.graph, *mst, options, &stats).ok());
+    table.AddRow(
+        {PolicyName(policy), FormatCount(mst->schedule_cost),
+         StrFormat("%.2f", mst->share_ratio()),
+         FormatDuration(stats.seconds_total()),
+         FormatCount(stats.ops.partial_sum_adds),
+         FormatCount(stats.ops.outer_sum_adds),
+         StrFormat("%.2fx",
+                   static_cast<double>(stats.ops.total_adds()) / psum_adds)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: dedupe-only already helps when duplicate in-neighbour "
+      "sets exist;\nthe MST plan must dominate the naive chain; the paper's "
+      "claim is the MST row.\n");
+}
+
+}  // namespace
+}  // namespace simrank::bench
+
+int main() {
+  simrank::bench::Run();
+  return 0;
+}

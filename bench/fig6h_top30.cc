@@ -1,0 +1,88 @@
+// Fig. 6h — "Top-30 Co-authors" qualitative comparison.
+//
+// The paper lists the top-30 co-authors of one prolific author under
+// OIP-DSR and notes the list differs from OIP-SR's "in one inversion at
+// two adjacent positions". We query the highest-degree author of the
+// largest snapshot, print both top-30 lists side by side, and count the
+// inversions and position disagreements. Expected shape: overlap ≈ 1.0,
+// inversions in the low single digits, disagreements near the tail.
+#include <cstdio>
+
+#include "simrank/benchlib/datasets.h"
+#include "simrank/common/string_util.h"
+#include "simrank/common/table_printer.h"
+#include "simrank/core/engine.h"
+#include "simrank/eval/topk_metrics.h"
+#include "simrank/extra/topk.h"
+
+namespace simrank::bench {
+namespace {
+
+void Run() {
+  Dataset dataset = MakeCoauthorSnapshot(3);  // COAUTH-d11
+  // Highest-degree author stands in for "Jeffrey Xu Yu".
+  VertexId query = 0;
+  for (VertexId v = 1; v < dataset.graph.n(); ++v) {
+    if (dataset.graph.InDegree(v) > dataset.graph.InDegree(query)) query = v;
+  }
+  PrintSection(StrFormat(
+      "Fig 6h: top-30 most similar authors to author %u on %s "
+      "(C = 0.6, eps = 1e-3)",
+      query, dataset.name.c_str()));
+
+  EngineOptions sr_options;
+  sr_options.algorithm = Algorithm::kOip;
+  sr_options.simrank.damping = 0.6;
+  sr_options.simrank.epsilon = 1e-3;
+  auto sr = ComputeSimRank(dataset.graph, sr_options);
+  EngineOptions dsr_options = sr_options;
+  dsr_options.algorithm = Algorithm::kOipDsr;
+  auto dsr = ComputeSimRank(dataset.graph, dsr_options);
+  OIPSIM_CHECK(sr.ok() && dsr.ok());
+
+  auto sr_top = TopKSimilar(sr->scores, query, 30);
+  auto dsr_top = TopKSimilar(dsr->scores, query, 30);
+  TablePrinter table({"#", "OIP-SR author", "s(q,.)", "OIP-DSR author",
+                      "s^(q,.)", "agree"});
+  for (size_t i = 0; i < sr_top.size() && i < dsr_top.size(); ++i) {
+    table.AddRow({StrFormat("%zu", i + 1),
+                  StrFormat("%u", sr_top[i].vertex),
+                  StrFormat("%.4f", sr_top[i].score),
+                  StrFormat("%u", dsr_top[i].vertex),
+                  StrFormat("%.4f", dsr_top[i].score),
+                  sr_top[i].vertex == dsr_top[i].vertex ? "yes" : "NO"});
+  }
+  table.Print();
+
+  std::vector<VertexId> sr_ids, dsr_ids;
+  for (const auto& sv : sr_top) sr_ids.push_back(sv.vertex);
+  for (const auto& sv : dsr_top) dsr_ids.push_back(sv.vertex);
+  std::vector<VertexId> sr_top10(sr_ids.begin(),
+                                 sr_ids.begin() + std::min<size_t>(
+                                                      10, sr_ids.size()));
+  std::vector<VertexId> dsr_top10(dsr_ids.begin(),
+                                  dsr_ids.begin() + std::min<size_t>(
+                                                        10, dsr_ids.size()));
+  std::printf("\noverlap@10 = %.2f (inversions %llu), overlap@30 = %.2f "
+              "(inversions %llu), disagreeing positions = %zu\n",
+              TopKOverlap(sr_top10, dsr_top10),
+              static_cast<unsigned long long>(
+                  RankingInversions(sr_top10, dsr_top10)),
+              TopKOverlap(sr_ids, dsr_ids),
+              static_cast<unsigned long long>(
+                  RankingInversions(sr_ids, dsr_ids)),
+              DisagreeingPositions(sr_ids, dsr_ids).size());
+  std::printf(
+      "Paper: identical lists except one inversion at two adjacent "
+      "positions (#23/#24).\nNote: disagreements concentrate in the tail "
+      "where scores fall below eps = 1e-3,\ni.e. below the working "
+      "accuracy of both methods.\n");
+}
+
+}  // namespace
+}  // namespace simrank::bench
+
+int main() {
+  simrank::bench::Run();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark) for the library's hot kernels:
+// one propagation step of each SimRank backend, DMST construction, the
+// sparse sandwich product, symmetric-difference merges and the SVD.
+#include <benchmark/benchmark.h>
+
+#include "simrank/benchlib/datasets.h"
+#include "simrank/core/dmst.h"
+#include "simrank/core/oip.h"
+#include "simrank/core/psum.h"
+#include "simrank/gen/generators.h"
+#include "simrank/graph/set_ops.h"
+#include "simrank/linalg/sparse_matrix.h"
+#include "simrank/linalg/svd.h"
+
+namespace simrank {
+namespace {
+
+DiGraph BenchGraph() {
+  gen::WebGraphParams params;
+  params.n = 512;
+  params.out_degree = 6;
+  params.copy_prob = 0.75;
+  params.in_copy_prob = 0.6;
+  params.seed = 123;
+  auto graph = gen::WebGraph(params);
+  OIPSIM_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+void BM_PsumPropagate(benchmark::State& state) {
+  DiGraph graph = BenchGraph();
+  DenseMatrix current = DenseMatrix::Identity(graph.n());
+  DenseMatrix next(graph.n(), graph.n());
+  for (auto _ : state) {
+    internal::PsumPropagate(graph, current, &next, 0.6, true, 0.0, nullptr);
+    benchmark::DoNotOptimize(next.Row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.n() * graph.n());
+}
+BENCHMARK(BM_PsumPropagate);
+
+void BM_OipPropagate(benchmark::State& state) {
+  DiGraph graph = BenchGraph();
+  auto mst = DmstReduce(graph);
+  OIPSIM_CHECK(mst.ok());
+  internal::OipScratch scratch;
+  internal::PrepareScratch(*mst, graph.n(), &scratch);
+  DenseMatrix current = DenseMatrix::Identity(graph.n());
+  DenseMatrix next(graph.n(), graph.n());
+  for (auto _ : state) {
+    internal::OipPropagate(*mst, current, &next, 0.6, true, nullptr,
+                           &scratch);
+    benchmark::DoNotOptimize(next.Row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.n() * graph.n());
+}
+BENCHMARK(BM_OipPropagate);
+
+void BM_DmstReduce(benchmark::State& state) {
+  DiGraph graph = BenchGraph();
+  for (auto _ : state) {
+    auto mst = DmstReduce(graph);
+    benchmark::DoNotOptimize(mst->total_cost);
+  }
+}
+BENCHMARK(BM_DmstReduce);
+
+void BM_SparseSandwich(benchmark::State& state) {
+  DiGraph graph = BenchGraph();
+  SparseMatrix q = SparseMatrix::BackwardTransition(graph);
+  DenseMatrix s = DenseMatrix::Identity(graph.n());
+  for (auto _ : state) {
+    DenseMatrix out = q.SandwichDense(s);
+    benchmark::DoNotOptimize(out.Row(0));
+  }
+}
+BENCHMARK(BM_SparseSandwich);
+
+void BM_SymmetricDifference(benchmark::State& state) {
+  DiGraph graph = BenchGraph();
+  // All pairs among the first 64 non-empty in-neighbour sets.
+  std::vector<VertexId> sample;
+  for (VertexId v = 0; v < graph.n() && sample.size() < 64; ++v) {
+    if (graph.InDegree(v) > 0) sample.push_back(v);
+  }
+  for (auto _ : state) {
+    uint64_t total = 0;
+    for (VertexId a : sample) {
+      for (VertexId b : sample) {
+        total += SymmetricDifferenceSize(graph.InNeighbors(a),
+                                         graph.InNeighbors(b));
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_SymmetricDifference);
+
+void BM_RandomizedSvd(benchmark::State& state) {
+  DiGraph graph = BenchGraph();
+  SparseMatrix q = SparseMatrix::BackwardTransition(graph);
+  SvdOptions options;
+  options.rank = 32;
+  for (auto _ : state) {
+    auto svd = RandomizedSvd(q, options);
+    benchmark::DoNotOptimize(svd->sigma);
+  }
+}
+BENCHMARK(BM_RandomizedSvd);
+
+}  // namespace
+}  // namespace simrank
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Collaborator recommendation on a co-authorship network — the scenario
+// behind the paper's Fig. 6g/6h experiments.
+//
+// Generates a DBLP-style co-authorship graph, computes SimRank with the
+// fast differential model (OIP-DSR), and recommends potential
+// collaborators for the most prolific author: highly similar authors the
+// author has *not* yet published with. Also cross-checks the top-10
+// against conventional SimRank to show the differential model preserves
+// the ranking.
+#include <cstdio>
+
+#include "simrank/core/engine.h"
+#include "simrank/eval/topk_metrics.h"
+#include "simrank/extra/topk.h"
+#include "simrank/gen/generators.h"
+
+int main() {
+  simrank::gen::CoauthorGraphParams params;
+  params.num_authors = 1200;
+  params.num_papers = 540;
+  params.num_communities = 30;
+  params.seed = 7;
+  auto graph = simrank::gen::CoauthorGraph(params);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("co-authorship network: %u authors, %llu edges\n",
+              graph->n(), static_cast<unsigned long long>(graph->m()));
+
+  // The most prolific author = highest degree.
+  simrank::VertexId star = 0;
+  for (simrank::VertexId v = 1; v < graph->n(); ++v) {
+    if (graph->InDegree(v) > graph->InDegree(star)) star = v;
+  }
+  std::printf("query: author %u (%u collaborators)\n\n", star,
+              graph->InDegree(star));
+
+  simrank::EngineOptions options;
+  options.algorithm = simrank::Algorithm::kOipDsr;
+  options.simrank.damping = 0.6;
+  options.simrank.epsilon = 1e-3;
+  auto dsr = simrank::ComputeSimRank(*graph, options);
+  options.algorithm = simrank::Algorithm::kOip;
+  auto sr = simrank::ComputeSimRank(*graph, options);
+  if (!dsr.ok() || !sr.ok()) {
+    std::fprintf(stderr, "computation failed\n");
+    return 1;
+  }
+  std::printf("OIP-DSR: %u iterations, %.0f ms   |   OIP-SR: %u "
+              "iterations, %.0f ms\n\n",
+              dsr->stats.iterations, dsr->stats.seconds_total() * 1e3,
+              sr->stats.iterations, sr->stats.seconds_total() * 1e3);
+
+  // Recommendations: similar authors who are not yet collaborators.
+  std::printf("top collaborator recommendations for author %u:\n", star);
+  int shown = 0;
+  for (const auto& sv : simrank::TopKSimilar(dsr->scores, star, 50)) {
+    if (graph->HasEdge(star, sv.vertex)) continue;  // already collaborate
+    std::printf("  author %-5u  similarity %.4f\n", sv.vertex, sv.score);
+    if (++shown == 5) break;
+  }
+
+  // Ranking agreement between the two models (the Fig. 6g question).
+  auto dsr_top = simrank::TopKIds(dsr->scores, star, 10);
+  auto sr_top = simrank::TopKIds(sr->scores, star, 10);
+  std::printf("\ntop-10 agreement with conventional SimRank: overlap %.2f, "
+              "inversions %llu\n",
+              simrank::TopKOverlap(dsr_top, sr_top),
+              static_cast<unsigned long long>(
+                  simrank::RankingInversions(dsr_top, sr_top)));
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "simrank/benchlib/convergence.h"
+
+#include <cmath>
+#include <utility>
+
+#include "simrank/core/psum.h"
+#include "simrank/linalg/dense_matrix.h"
+
+namespace simrank::bench {
+
+ConvergenceResult MeasureConventionalConvergence(const DiGraph& graph,
+                                                 double damping, double eps,
+                                                 uint32_t max_iterations) {
+  const uint32_t n = graph.n();
+  DenseMatrix current = DenseMatrix::Identity(n);
+  DenseMatrix next(n, n);
+  ConvergenceResult result;
+  for (uint32_t k = 1; k <= max_iterations; ++k) {
+    internal::PsumPropagate(graph, current, &next, damping,
+                            /*pin_diagonal=*/true, /*sieve_threshold=*/0.0,
+                            /*ops=*/nullptr);
+    const double delta = DenseMatrix::MaxAbsDiff(current, next);
+    std::swap(current, next);
+    result.iterations = k;
+    result.final_delta = delta;
+    if (delta <= eps) return result;
+  }
+  result.truncated = true;
+  return result;
+}
+
+ConvergenceResult MeasureDifferentialConvergence(const DiGraph& graph,
+                                                 double damping, double eps,
+                                                 uint32_t max_iterations) {
+  const uint32_t n = graph.n();
+  DenseMatrix t_current = DenseMatrix::Identity(n);
+  DenseMatrix t_next(n, n);
+  double coeff = std::exp(-damping);
+  ConvergenceResult result;
+  for (uint32_t k = 1; k <= max_iterations; ++k) {
+    internal::PsumPropagate(graph, t_current, &t_next, /*scale=*/1.0,
+                            /*pin_diagonal=*/false, /*sieve_threshold=*/0.0,
+                            /*ops=*/nullptr);
+    coeff *= damping / static_cast<double>(k);
+    const double delta = coeff * t_next.MaxNorm();
+    std::swap(t_current, t_next);
+    result.iterations = k;
+    result.final_delta = delta;
+    if (delta <= eps) return result;
+  }
+  result.truncated = true;
+  return result;
+}
+
+}  // namespace simrank::bench

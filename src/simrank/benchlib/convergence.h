@@ -1,0 +1,36 @@
+// Empirical convergence measurement (Exp-3, Fig. 6e/6f): how many
+// iterations each model actually needs before its scores stop moving by
+// more than eps, as opposed to the a-priori bounds of Section IV.
+#ifndef OIPSIM_SIMRANK_BENCHLIB_CONVERGENCE_H_
+#define OIPSIM_SIMRANK_BENCHLIB_CONVERGENCE_H_
+
+#include <cstdint>
+
+#include "simrank/graph/digraph.h"
+
+namespace simrank::bench {
+
+struct ConvergenceResult {
+  /// First iteration k at which the update delta dropped to <= eps.
+  uint32_t iterations = 0;
+  /// The max-norm delta at that iteration.
+  double final_delta = 0.0;
+  /// True if max_iterations was hit before reaching eps.
+  bool truncated = false;
+};
+
+/// Iterates conventional SimRank (psum kernel) until
+/// ||S_{k+1} - S_k||_max <= eps.
+ConvergenceResult MeasureConventionalConvergence(const DiGraph& graph,
+                                                 double damping, double eps,
+                                                 uint32_t max_iterations);
+
+/// Iterates the differential model until the Eq. 15 increment
+/// ||e^{-C}·C^{k+1}/(k+1)!·T_{k+1}||_max <= eps.
+ConvergenceResult MeasureDifferentialConvergence(const DiGraph& graph,
+                                                 double damping, double eps,
+                                                 uint32_t max_iterations);
+
+}  // namespace simrank::bench
+
+#endif  // OIPSIM_SIMRANK_BENCHLIB_CONVERGENCE_H_

@@ -1,0 +1,43 @@
+// Benchmark dataset registry — laptop-scale analogues of the paper's
+// Fig. 5 datasets (see DESIGN.md §1 for the substitution rationale).
+//
+// Every dataset is generated deterministically at startup; the realised
+// vertex/edge counts are printed by bench/fig5_datasets so EXPERIMENTS.md
+// can report them next to the paper's.
+#ifndef OIPSIM_SIMRANK_BENCHLIB_DATASETS_H_
+#define OIPSIM_SIMRANK_BENCHLIB_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "simrank/graph/digraph.h"
+
+namespace simrank::bench {
+
+/// A named benchmark graph.
+struct Dataset {
+  std::string name;
+  std::string paper_counterpart;
+  DiGraph graph;
+};
+
+/// WEBG — the BERKSTAN analogue (copying-model web graph, d̄ ≈ 11).
+Dataset MakeWebGraph();
+
+/// CITN — the PATENT analogue (time-ordered citation DAG, d̄ ≈ 4.4).
+Dataset MakeCitationGraph();
+
+/// COAUTH-D02..D11 — the four DBLP co-authorship snapshots, scaled ~1:10.
+/// `snapshot` in [0, 4).
+Dataset MakeCoauthorSnapshot(int snapshot);
+
+/// All four snapshots in growth order.
+std::vector<Dataset> AllCoauthorSnapshots();
+
+/// SYN — R-MAT graph with n = 2^10 and the requested average degree
+/// (Fig. 6c's density sweep).
+Dataset MakeSynGraph(uint32_t avg_degree, uint64_t seed = 99);
+
+}  // namespace simrank::bench
+
+#endif  // OIPSIM_SIMRANK_BENCHLIB_DATASETS_H_

@@ -1,0 +1,59 @@
+#include "simrank/common/csv_writer.h"
+
+#include <cstdio>
+
+#include "simrank/common/macros.h"
+
+namespace simrank {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  OIPSIM_CHECK(!header_.empty());
+}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  OIPSIM_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  bool needs_quoting = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string CsvWriter::Render() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += EscapeField(row[i]);
+    }
+    out.push_back('\n');
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  std::string rendered = Render();
+  size_t written = std::fwrite(rendered.data(), 1, rendered.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != rendered.size() || close_rc != 0) {
+    return Status::IoError("short write to: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace simrank

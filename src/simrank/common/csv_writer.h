@@ -1,0 +1,39 @@
+// CSV emission for benchmark series so results can be re-plotted offline.
+#ifndef OIPSIM_SIMRANK_COMMON_CSV_WRITER_H_
+#define OIPSIM_SIMRANK_COMMON_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "simrank/common/status.h"
+
+namespace simrank {
+
+/// Buffers CSV rows and writes them to a file on demand. Fields containing
+/// commas, quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Creates a writer with the given header row.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Serialises header plus all rows.
+  std::string Render() const;
+
+  /// Writes the rendered CSV to `path`, overwriting any existing file.
+  Status WriteToFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static std::string EscapeField(const std::string& field);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_COMMON_CSV_WRITER_H_

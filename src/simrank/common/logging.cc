@@ -1,0 +1,57 @@
+#include "simrank/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace simrank {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GetLogLevel() && level != LogLevel::kOff),
+      level_(level) {
+  if (enabled_) {
+    // Keep only the basename to avoid long absolute paths in logs.
+    const char* base = std::strrchr(file, '/');
+    stream_ << "[" << LogLevelName(level_) << " " << (base ? base + 1 : file)
+            << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+}
+
+}  // namespace internal
+}  // namespace simrank

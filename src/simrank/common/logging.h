@@ -1,0 +1,62 @@
+// Minimal leveled logger for library diagnostics.
+//
+// Logging is stderr-only and globally gated by a severity threshold so that
+// benchmark output on stdout stays machine-parseable.
+#ifndef OIPSIM_SIMRANK_COMMON_LOGGING_H_
+#define OIPSIM_SIMRANK_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace simrank {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Returns the current global logging threshold (default: kWarning).
+LogLevel GetLogLevel();
+
+/// Sets the global logging threshold. Messages below `level` are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Returns a short name for `level` ("DEBUG", "INFO", ...).
+const char* LogLevelName(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Not for direct use — use the
+/// OIPSIM_LOG macro below.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace simrank
+
+/// Usage: OIPSIM_LOG(kInfo) << "built MST with " << edges << " edges";
+#define OIPSIM_LOG(severity)                                          \
+  ::simrank::internal::LogMessage(::simrank::LogLevel::severity,      \
+                                  __FILE__, __LINE__)
+
+#endif  // OIPSIM_SIMRANK_COMMON_LOGGING_H_

@@ -1,0 +1,65 @@
+// Core assertion and utility macros used across the oipsim codebase.
+//
+// The library is built without exceptions (Google C++ style); programming
+// errors abort via OIPSIM_CHECK, while recoverable errors flow through
+// simrank::Status / simrank::Result<T> (see status.h).
+#ifndef OIPSIM_SIMRANK_COMMON_MACROS_H_
+#define OIPSIM_SIMRANK_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts the process with a diagnostic when `condition` is false.
+/// Use for invariants and programming errors, never for user input.
+#define OIPSIM_CHECK(condition)                                              \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "OIPSIM_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// OIPSIM_CHECK with a printf-style message appended to the diagnostic.
+#define OIPSIM_CHECK_MSG(condition, ...)                                     \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "OIPSIM_CHECK failed at %s:%d: %s: ", __FILE__,   \
+                   __LINE__, #condition);                                    \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define OIPSIM_CHECK_EQ(a, b) OIPSIM_CHECK((a) == (b))
+#define OIPSIM_CHECK_NE(a, b) OIPSIM_CHECK((a) != (b))
+#define OIPSIM_CHECK_LT(a, b) OIPSIM_CHECK((a) < (b))
+#define OIPSIM_CHECK_LE(a, b) OIPSIM_CHECK((a) <= (b))
+#define OIPSIM_CHECK_GT(a, b) OIPSIM_CHECK((a) > (b))
+#define OIPSIM_CHECK_GE(a, b) OIPSIM_CHECK((a) >= (b))
+
+/// Debug-only check; compiled out in release builds.
+#ifndef NDEBUG
+#define OIPSIM_DCHECK(condition) OIPSIM_CHECK(condition)
+#else
+#define OIPSIM_DCHECK(condition) \
+  do {                           \
+  } while (0)
+#endif
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define OIPSIM_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::simrank::Status _oipsim_status = (expr);   \
+    if (!_oipsim_status.ok()) {                  \
+      return _oipsim_status;                     \
+    }                                            \
+  } while (0)
+
+/// Marks a class as neither copyable nor movable.
+#define OIPSIM_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;             \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // OIPSIM_SIMRANK_COMMON_MACROS_H_

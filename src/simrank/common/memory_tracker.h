@@ -1,0 +1,75 @@
+// Auxiliary-memory accounting for SimRank kernels.
+//
+// Fig. 6d of the paper reports the *intermediate* memory of each algorithm
+// (partial-sum caches, MST, outer caches, the auxiliary Tk of OIP-DSR) —
+// not the O(n²) similarity output. MemoryTracker implements explicit,
+// deterministic accounting: kernels register allocations/releases of their
+// scratch structures and the tracker records the running and peak totals.
+#ifndef OIPSIM_SIMRANK_COMMON_MEMORY_TRACKER_H_
+#define OIPSIM_SIMRANK_COMMON_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simrank/common/macros.h"
+
+namespace simrank {
+
+/// Tracks current and peak auxiliary bytes. Null-safe free functions below
+/// mirror the OpCounter pattern.
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+
+  /// Registers an allocation of `bytes` scratch memory.
+  void Allocate(uint64_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  /// Registers a release; must not release more than currently registered.
+  void Release(uint64_t bytes) {
+    OIPSIM_CHECK_LE(bytes, current_);
+    current_ -= bytes;
+  }
+
+  uint64_t current_bytes() const { return current_; }
+  uint64_t peak_bytes() const { return peak_; }
+
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  uint64_t current_ = 0;
+  uint64_t peak_ = 0;
+};
+
+inline void TrackAlloc(MemoryTracker* mem, uint64_t bytes) {
+  if (mem != nullptr) mem->Allocate(bytes);
+}
+inline void TrackRelease(MemoryTracker* mem, uint64_t bytes) {
+  if (mem != nullptr) mem->Release(bytes);
+}
+
+/// RAII registration of a scratch buffer's size.
+class ScopedTrackedBytes {
+ public:
+  ScopedTrackedBytes(MemoryTracker* mem, uint64_t bytes)
+      : mem_(mem), bytes_(bytes) {
+    TrackAlloc(mem_, bytes_);
+  }
+  ~ScopedTrackedBytes() { TrackRelease(mem_, bytes_); }
+
+  ScopedTrackedBytes(const ScopedTrackedBytes&) = delete;
+  ScopedTrackedBytes& operator=(const ScopedTrackedBytes&) = delete;
+
+ private:
+  MemoryTracker* mem_;
+  uint64_t bytes_;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_COMMON_MEMORY_TRACKER_H_

@@ -1,0 +1,76 @@
+// Machine-independent cost instrumentation.
+//
+// The ICDE'13 paper's central claim is about the *number of additions*
+// performed while accumulating partial sums (O(K·d·n²) for psum-SR versus
+// O(K·d'·n²) for OIP-SR). Wall-clock time depends on the machine; addition
+// counts do not. Every SimRank kernel in this library reports its work
+// through OpCounter so benchmarks can print both measures side by side.
+#ifndef OIPSIM_SIMRANK_COMMON_OP_COUNTER_H_
+#define OIPSIM_SIMRANK_COMMON_OP_COUNTER_H_
+
+#include <cstdint>
+
+namespace simrank {
+
+/// Tallies of the arithmetic work performed by a SimRank kernel.
+struct OpCounts {
+  /// Floating-point additions/subtractions spent accumulating partial sums
+  /// (inner sums over I(a)).
+  uint64_t partial_sum_adds = 0;
+  /// Additions/subtractions spent on outer partial sums (sums over I(b)).
+  uint64_t outer_sum_adds = 0;
+  /// Multiplications (damping factors, normalisations).
+  uint64_t multiplies = 0;
+  /// Set operations (symmetric-difference element visits) during MST build.
+  uint64_t set_ops = 0;
+
+  uint64_t total_adds() const { return partial_sum_adds + outer_sum_adds; }
+  uint64_t total() const {
+    return partial_sum_adds + outer_sum_adds + multiplies + set_ops;
+  }
+
+  OpCounts& operator+=(const OpCounts& other) {
+    partial_sum_adds += other.partial_sum_adds;
+    outer_sum_adds += other.outer_sum_adds;
+    multiplies += other.multiplies;
+    set_ops += other.set_ops;
+    return *this;
+  }
+};
+
+/// Accumulator passed by pointer into kernels. A null OpCounter is allowed
+/// everywhere and makes the instrumentation free.
+class OpCounter {
+ public:
+  OpCounter() = default;
+
+  void AddPartialSumAdds(uint64_t n) { counts_.partial_sum_adds += n; }
+  void AddOuterSumAdds(uint64_t n) { counts_.outer_sum_adds += n; }
+  void AddMultiplies(uint64_t n) { counts_.multiplies += n; }
+  void AddSetOps(uint64_t n) { counts_.set_ops += n; }
+
+  const OpCounts& counts() const { return counts_; }
+  void Reset() { counts_ = OpCounts{}; }
+
+ private:
+  OpCounts counts_;
+};
+
+/// Null-safe helpers so kernels can write CountPartialAdds(ops, n) without
+/// branching at each call site.
+inline void CountPartialAdds(OpCounter* ops, uint64_t n) {
+  if (ops != nullptr) ops->AddPartialSumAdds(n);
+}
+inline void CountOuterAdds(OpCounter* ops, uint64_t n) {
+  if (ops != nullptr) ops->AddOuterSumAdds(n);
+}
+inline void CountMultiplies(OpCounter* ops, uint64_t n) {
+  if (ops != nullptr) ops->AddMultiplies(n);
+}
+inline void CountSetOps(OpCounter* ops, uint64_t n) {
+  if (ops != nullptr) ops->AddSetOps(n);
+}
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_COMMON_OP_COUNTER_H_

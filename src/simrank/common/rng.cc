@@ -1,0 +1,125 @@
+#include "simrank/common/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+namespace simrank {
+
+namespace {
+
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(&sm);
+  // A defensively non-zero state: xoshiro must not start all-zero.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::operator()() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  OIPSIM_CHECK_GT(bound, 0u);
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  OIPSIM_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+uint64_t Rng::NextPowerLaw(double alpha, uint64_t max_value) {
+  OIPSIM_CHECK_GT(alpha, 1.0);
+  OIPSIM_CHECK_GE(max_value, 1u);
+  // Inverse CDF of a continuous Pareto truncated to [1, max_value + 1).
+  const double one_minus_alpha = 1.0 - alpha;
+  const double hi = std::pow(static_cast<double>(max_value) + 1.0,
+                             one_minus_alpha);
+  const double u = NextDouble();
+  const double x = std::pow(1.0 + u * (hi - 1.0), 1.0 / one_minus_alpha);
+  uint64_t v = static_cast<uint64_t>(x);
+  if (v < 1) v = 1;
+  if (v > max_value) v = max_value;
+  return v;
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  OIPSIM_CHECK_LE(k, n);
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3ULL >= n) {
+    std::vector<uint32_t> all(n);
+    for (uint32_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(&all);
+    all.resize(k);
+    return all;
+  }
+  // Floyd's algorithm: k draws, each accepted exactly once.
+  std::unordered_set<uint32_t> seen;
+  seen.reserve(k * 2);
+  for (uint32_t j = n - k; j < n; ++j) {
+    uint32_t t = static_cast<uint32_t>(NextUint64(j + 1));
+    if (!seen.insert(t).second) {
+      seen.insert(j);
+      out.push_back(j);
+    } else {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace simrank

@@ -1,0 +1,44 @@
+// Small string helpers shared by IO, logging and the benchmark reporters.
+#ifndef OIPSIM_SIMRANK_COMMON_STRING_UTIL_H_
+#define OIPSIM_SIMRANK_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simrank {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `text` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a non-negative integer; returns false on any malformed input
+/// (empty, overflow, trailing garbage).
+bool ParseUint64(std::string_view text, uint64_t* out);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Formats a byte count as a compact human string ("1.5 MB", "312 KB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats a count with thousands separators ("12,345,678").
+std::string FormatCount(uint64_t count);
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("0.83", "1.5").
+std::string FormatDouble(double value, int digits);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_COMMON_STRING_UTIL_H_

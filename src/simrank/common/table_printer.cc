@@ -1,0 +1,89 @@
+#include "simrank/common/table_printer.h"
+
+#include "simrank/common/macros.h"
+
+namespace simrank {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  OIPSIM_CHECK(!headers_.empty());
+  alignment_.assign(headers_.size(), Align::kRight);
+  alignment_[0] = Align::kLeft;
+}
+
+void TablePrinter::SetAlignment(std::vector<Align> alignment) {
+  OIPSIM_CHECK_EQ(alignment.size(), headers_.size());
+  alignment_ = std::move(alignment);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  OIPSIM_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+size_t TablePrinter::num_rows() const {
+  size_t n = 0;
+  for (const auto& row : rows_) {
+    if (!row.separator) ++n;
+  }
+  return n;
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) line += "  ";
+      const std::string& cell = cells[c];
+      size_t pad = widths[c] - cell.size();
+      if (alignment_[c] == Align::kRight) {
+        line += std::string(pad, ' ') + cell;
+      } else {
+        line += cell + std::string(pad, ' ');
+      }
+    }
+    // Trim trailing spaces from left-aligned last columns.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  auto separator_line = [&]() {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += std::string(widths[c], '-');
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_line(headers_);
+  out += separator_line();
+  for (const auto& row : rows_) {
+    out += row.separator ? separator_line() : render_line(row.cells);
+  }
+  return out;
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::string rendered = Render();
+  std::fwrite(rendered.data(), 1, rendered.size(), out);
+  std::fflush(out);
+}
+
+void PrintSection(const std::string& title, std::FILE* out) {
+  std::fprintf(out, "\n=== %s ===\n", title.c_str());
+  std::fflush(out);
+}
+
+}  // namespace simrank

@@ -1,0 +1,58 @@
+// Aligned console tables for the benchmark harness.
+//
+// Every bench binary prints the same rows/series the paper's figures report;
+// TablePrinter renders them with aligned columns so the output is readable
+// both by humans and by simple column-oriented tooling.
+#ifndef OIPSIM_SIMRANK_COMMON_TABLE_PRINTER_H_
+#define OIPSIM_SIMRANK_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace simrank {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Sets per-column alignment (default: first column left, rest right).
+  void SetAlignment(std::vector<Align> alignment);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator line before the next row.
+  void AddSeparator();
+
+  /// Renders the full table (headers, separator, rows) as a string.
+  std::string Render() const;
+
+  /// Renders and writes to `out` (defaults to stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  size_t num_rows() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+};
+
+/// Prints a section banner used between experiments in bench output, e.g.
+/// "=== Fig 6a: DBLP panel ===".
+void PrintSection(const std::string& title, std::FILE* out = stdout);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_COMMON_TABLE_PRINTER_H_

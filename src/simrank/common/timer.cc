@@ -1,0 +1,52 @@
+#include "simrank/common/timer.h"
+
+#include <cstdio>
+
+namespace simrank {
+
+void WallTimer::Start() {
+  if (!running_) {
+    start_ = Clock::now();
+    running_ = true;
+  }
+}
+
+void WallTimer::Stop() {
+  if (running_) {
+    accumulated_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           Clock::now() - start_)
+                           .count();
+    running_ = false;
+  }
+}
+
+void WallTimer::Reset() {
+  running_ = false;
+  accumulated_ns_ = 0;
+}
+
+int64_t WallTimer::ElapsedNanos() const {
+  int64_t total = accumulated_ns_;
+  if (running_) {
+    total += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 Clock::now() - start_)
+                 .count();
+  }
+  return total;
+}
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace simrank

@@ -1,0 +1,69 @@
+// Wall-clock timing utilities used by the benchmark harness and the
+// per-phase metrics of the SimRank engines.
+#ifndef OIPSIM_SIMRANK_COMMON_TIMER_H_
+#define OIPSIM_SIMRANK_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace simrank {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  /// Constructs a stopped timer with zero accumulated time.
+  WallTimer() = default;
+
+  /// Starts (or restarts after Stop) accumulating time.
+  void Start();
+
+  /// Stops accumulating; Elapsed* keeps the accumulated total.
+  void Stop();
+
+  /// Resets the accumulated time to zero and stops the timer.
+  void Reset();
+
+  /// True while the timer is running.
+  bool running() const { return running_; }
+
+  /// Accumulated time in nanoseconds (includes the live segment if running).
+  int64_t ElapsedNanos() const;
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool running_ = false;
+  Clock::time_point start_{};
+  int64_t accumulated_ns_ = 0;
+};
+
+/// Adds the scope's wall time into `*sink_seconds` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink_seconds) : sink_(sink_seconds) {
+    timer_.Start();
+  }
+  ~ScopedTimer() {
+    timer_.Stop();
+    if (sink_ != nullptr) *sink_ += timer_.ElapsedSeconds();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+/// Formats a duration in seconds as a compact human string, e.g. "1.24 s",
+/// "83.1 ms", "12.5 us".
+std::string FormatDuration(double seconds);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_COMMON_TIMER_H_

@@ -1,0 +1,101 @@
+#include "simrank/core/bounds.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "simrank/common/macros.h"
+
+namespace simrank {
+
+double LambertW0(double x) {
+  OIPSIM_CHECK_GE(x, 0.0);
+  if (x == 0.0) return 0.0;
+  // Initial guess: log-based for large x, series for small x.
+  double w = x < std::numbers::e ? x / std::numbers::e
+                                 : std::log(x) - std::log(std::log(x) + 1e-12);
+  if (w < 0.1) w = x * (1.0 - x);  // W(x) ~ x - x^2 near 0
+  // Halley iteration.
+  for (int iter = 0; iter < 64; ++iter) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    const double denom = ew * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0);
+    const double step = f / denom;
+    w -= step;
+    if (std::abs(step) < 1e-14 * (1.0 + std::abs(w))) break;
+  }
+  return w;
+}
+
+uint32_t ConventionalIterationsForAccuracy(double damping, double epsilon) {
+  OIPSIM_CHECK(damping > 0.0 && damping < 1.0);
+  OIPSIM_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  // Smallest K with C^{K+1} <= eps (the Lizorkin guarantee
+  // |s_K - s| <= C^{K+1}); the paper's Section IV example C = 0.8,
+  // eps = 1e-4 gives 41.
+  const double k = std::log(epsilon) / std::log(damping) - 1.0;
+  return static_cast<uint32_t>(
+      std::max(1.0, std::ceil(k - 1e-12)));
+}
+
+double ConventionalErrorBound(double damping, uint32_t k) {
+  return std::pow(damping, static_cast<double>(k) + 1.0);
+}
+
+double DifferentialErrorBound(double damping, uint32_t k) {
+  // C^{k+1}/(k+1)! computed multiplicatively to avoid overflow of the
+  // factorial for large k.
+  double bound = 1.0;
+  for (uint32_t i = 1; i <= k + 1; ++i) {
+    bound *= damping / static_cast<double>(i);
+  }
+  return bound;
+}
+
+uint32_t DifferentialIterationsExact(double damping, double epsilon) {
+  OIPSIM_CHECK(damping > 0.0 && damping < 1.0);
+  OIPSIM_CHECK_GT(epsilon, 0.0);
+  double bound = damping;  // k = 0: C^1/1!
+  uint32_t k = 0;
+  while (bound > epsilon && k < 10000) {
+    ++k;
+    bound *= damping / static_cast<double>(k + 1);
+  }
+  return k;
+}
+
+uint32_t DifferentialIterationsLambertW(double damping, double epsilon) {
+  OIPSIM_CHECK(damping > 0.0 && damping < 1.0);
+  OIPSIM_CHECK_GT(epsilon, 0.0);
+  const double sqrt_2pi = std::sqrt(2.0 * std::numbers::pi);
+  if (epsilon >= 1.0 / sqrt_2pi) return 1;
+  // eps0 = (sqrt(2*pi) * eps)^{-1}; from Stirling,
+  // (K'+1) >= e*C*exp(W(t)) with t = ln(eps0)/(e*C), and exp(W(t)) = t/W(t),
+  // hence K' >= ln(eps0)/W(t) - 1.
+  const double ln_eps0 = -std::log(sqrt_2pi * epsilon);
+  const double t = ln_eps0 / (std::numbers::e * damping);
+  const double w = LambertW0(t);
+  const double k = ln_eps0 / w - 1.0;
+  return static_cast<uint32_t>(std::ceil(std::max(1.0, k) - 1e-9));
+}
+
+uint32_t DifferentialIterationsLogEstimate(double damping, double epsilon) {
+  OIPSIM_CHECK(damping > 0.0 && damping < 1.0);
+  OIPSIM_CHECK_GT(epsilon, 0.0);
+  const double sqrt_2pi = std::sqrt(2.0 * std::numbers::pi);
+  if (epsilon >= 1.0 / sqrt_2pi) {
+    return DifferentialIterationsLambertW(damping, epsilon);
+  }
+  const double ln_eps0 = -std::log(sqrt_2pi * epsilon);
+  const double phi = std::log(ln_eps0 / (std::numbers::e * damping));
+  if (phi <= 1.0) {
+    // Outside Corollary 2's validity range (ln(x) - ln(ln(x)) <= W(x)
+    // requires x > e); fall back to the Lambert-W estimate.
+    return DifferentialIterationsLambertW(damping, epsilon);
+  }
+  // W(t) >= ln(t) - ln(ln(t)) = phi' where t = ln(eps0)/(eC); substituting
+  // the lower bound on W gives the paper's Corollary 2 form.
+  const double k = ln_eps0 / (phi - std::log(phi)) - 1.0;
+  return static_cast<uint32_t>(std::ceil(std::max(1.0, k) - 1e-9));
+}
+
+}  // namespace simrank

@@ -1,0 +1,52 @@
+// Accuracy bounds and iteration-count estimates (Section IV of the paper).
+//
+// Conventional SimRank converges geometrically: |s_k - s| <= C^{k+1}, so a
+// desired accuracy eps needs K = ceil(log_C eps) iterations (Lizorkin et
+// al.). The differential model converges like an exponential series:
+// |ŝ_k - ŝ| <= C^{k+1}/(k+1)! (Proposition 7), giving the far smaller K'
+// of Corollary 1 (via the Lambert W function) and Corollary 2 (via a
+// log-log closed form that avoids W).
+#ifndef OIPSIM_SIMRANK_CORE_BOUNDS_H_
+#define OIPSIM_SIMRANK_CORE_BOUNDS_H_
+
+#include <cstdint>
+
+namespace simrank {
+
+/// Principal branch W0 of the Lambert W function (w·e^w = x) for x >= 0.
+/// Accurate to ~1e-12 via Halley iteration.
+double LambertW0(double x);
+
+/// Conventional-model iteration count: the smallest K with C^{K+1} <= eps,
+/// i.e. ceil(log_C(eps) - 1) — the paper's K = ⌈log_C eps⌉ guarantee
+/// stated in terms of the |s_K - s| <= C^{K+1} error bound (Section IV's
+/// worked example: C = 0.8, eps = 1e-4 -> K = 41).
+uint32_t ConventionalIterationsForAccuracy(double damping, double epsilon);
+
+/// Error bound of conventional SimRank after k iterations: C^{k+1}.
+double ConventionalErrorBound(double damping, uint32_t k);
+
+/// Error bound of differential SimRank after k iterations (Prop. 7):
+/// C^{k+1} / (k+1)!.
+double DifferentialErrorBound(double damping, uint32_t k);
+
+/// Smallest K' with C^{K'+1}/(K'+1)! <= eps, by direct search. This is the
+/// ground truth the two closed-form estimates below approximate.
+uint32_t DifferentialIterationsExact(double damping, double epsilon);
+
+/// Corollary 1 estimate of K' using the Lambert W function:
+///   with eps0 = 1/(sqrt(2*pi)*eps) and t = ln(eps0)/(e*C),
+///   K' = ceil(ln(eps0)/W(t) - 1).
+/// Requires eps < 1/sqrt(2*pi) (otherwise returns 1).
+uint32_t DifferentialIterationsLambertW(double damping, double epsilon);
+
+/// Corollary 2 estimate of K' avoiding the W function:
+///   with phi = ln(ln(eps0)/(e*C)),
+///   K' = ceil(ln(eps0)/(phi - ln(phi)) - 1).
+/// Valid when phi > 1, i.e. eps below the corollary's threshold
+/// (1/sqrt(2*pi)) * exp(-C*e^2); returns the Lambert-W estimate otherwise.
+uint32_t DifferentialIterationsLogEstimate(double damping, double epsilon);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CORE_BOUNDS_H_

@@ -1,0 +1,156 @@
+#include "simrank/core/dmst.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "simrank/graph/set_ops.h"
+
+namespace simrank {
+
+uint64_t TransitionMst::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& list : add) bytes += list.size() * sizeof(VertexId);
+  for (const auto& list : sub) bytes += list.size() * sizeof(VertexId);
+  for (const auto& step : schedule) {
+    bytes += sizeof(ScheduleStep) +
+             (step.add.size() + step.sub.size()) * sizeof(VertexId);
+  }
+  bytes += (tree.size()) * sizeof(uint32_t);  // parent array
+  bytes += sets.set_of_vertex.size() * sizeof(int32_t);
+  bytes += sets.representative.size() * sizeof(VertexId);
+  bytes += sets.set_size.size() * sizeof(uint32_t);
+  for (const auto& m : sets.members) bytes += m.size() * sizeof(VertexId);
+  return bytes;
+}
+
+Result<TransitionMst> DmstReduce(const DiGraph& graph,
+                                 const DmstOptions& options, OpCounter* ops) {
+  TransitionMst mst;
+  mst.sets = BuildInSetIndex(graph);
+  const uint32_t p = mst.sets.num_sets;
+
+  // Process sets in non-decreasing size order (Procedure DMST-Reduce line
+  // 2), ids as tie-break for determinism.
+  std::vector<uint32_t> order(p);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+    return mst.sets.set_size[x] != mst.sets.set_size[y]
+               ? mst.sets.set_size[x] < mst.sets.set_size[y]
+               : x < y;
+  });
+
+  // parent_set[s] = parent set id, or -1 for the root ∅.
+  std::vector<int32_t> parent_set(p, -1);
+
+  if (options.policy == DmstPolicy::kPreviousInOrder) {
+    for (uint32_t idx = 1; idx < p; ++idx) {
+      parent_set[order[idx]] = static_cast<int32_t>(order[idx - 1]);
+    }
+  } else if (options.policy == DmstPolicy::kMinCost) {
+    // Inverted index over set contents, filled incrementally so it only
+    // ever contains sets earlier in the order (legal parents).
+    std::vector<std::vector<uint32_t>> sets_containing(graph.n());
+    std::vector<uint32_t> stamp(p, UINT32_MAX);
+    for (uint32_t idx = 0; idx < p; ++idx) {
+      const uint32_t v = order[idx];
+      auto contents_v = mst.sets.Contents(graph, v);
+      uint64_t best_cost = mst.sets.set_size[v] - 1;  // from-scratch cost
+      int32_t best_parent = -1;
+      for (VertexId x : contents_v) {
+        for (uint32_t u : sets_containing[x]) {
+          if (stamp[u] == idx) continue;  // already compared
+          stamp[u] = idx;
+          if (best_cost == 0) break;
+          auto contents_u = mst.sets.Contents(graph, u);
+          CountSetOps(ops, contents_u.size() + contents_v.size());
+          uint64_t cost = SymmetricDifferenceSizeCapped(
+              contents_u, contents_v, best_cost);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_parent = static_cast<int32_t>(u);
+          }
+        }
+      }
+      parent_set[v] = best_parent;
+      for (VertexId x : contents_v) sets_containing[x].push_back(v);
+    }
+  }
+  // DmstPolicy::kAlwaysRoot keeps every parent_set[s] == -1.
+
+  // Assemble the rooted tree: node 0 = ∅, node s+1 = set s.
+  std::vector<uint32_t> parent(p + 1);
+  parent[0] = 0;
+  for (uint32_t s = 0; s < p; ++s) {
+    parent[s + 1] = parent_set[s] < 0
+                        ? 0u
+                        : static_cast<uint32_t>(parent_set[s]) + 1;
+  }
+  mst.tree = Tree(0, std::move(parent));
+
+  // Diff lists (Eq. 9) and cost statistics.
+  mst.add.assign(p + 1, {});
+  mst.sub.assign(p + 1, {});
+  uint64_t symdiff_total = 0;
+  for (uint32_t s = 0; s < p; ++s) {
+    const uint32_t node = s + 1;
+    auto contents = mst.sets.Contents(graph, s);
+    mst.cost_without_sharing += mst.sets.set_size[s] - 1;
+    if (parent_set[s] < 0) {
+      mst.add[node].assign(contents.begin(), contents.end());
+      mst.total_cost += mst.sets.set_size[s] - 1;
+    } else {
+      auto parent_contents =
+          mst.sets.Contents(graph, static_cast<uint32_t>(parent_set[s]));
+      SetDifferences(contents, parent_contents, &mst.add[node],
+                     &mst.sub[node]);
+      const uint64_t symdiff = mst.add[node].size() + mst.sub[node].size();
+      mst.total_cost += symdiff;
+      symdiff_total += symdiff;
+      ++mst.shared_edges;
+    }
+  }
+  mst.avg_symmetric_difference =
+      mst.shared_edges == 0
+          ? 0.0
+          : static_cast<double>(symdiff_total) / mst.shared_edges;
+
+  // Linearise the tree preorder into the replay schedule: consecutive
+  // preorder sets diff directly against each other, capped by the
+  // from-scratch cost of Eq. (7).
+  std::vector<uint32_t> preorder;
+  preorder.reserve(p);
+  mst.tree.DepthFirstWalk(
+      [&preorder](uint32_t node) {
+        if (node != 0) preorder.push_back(node - 1);
+      },
+      [](uint32_t) {});
+  mst.schedule.reserve(p);
+  int64_t prev_set = -1;
+  for (uint32_t s : preorder) {
+    ScheduleStep step;
+    step.set = s;
+    auto contents = mst.sets.Contents(graph, s);
+    const uint64_t scratch_cost = mst.sets.set_size[s] - 1;
+    bool use_diff = false;
+    if (prev_set >= 0) {
+      auto prev_contents =
+          mst.sets.Contents(graph, static_cast<uint32_t>(prev_set));
+      if (SymmetricDifferenceSizeCapped(prev_contents, contents,
+                                        scratch_cost) < scratch_cost) {
+        SetDifferences(contents, prev_contents, &step.add, &step.sub);
+        use_diff = true;
+      }
+    }
+    if (!use_diff) {
+      step.from_scratch = true;
+      step.add.assign(contents.begin(), contents.end());
+    }
+    mst.schedule_cost +=
+        use_diff ? step.add.size() + step.sub.size() : scratch_cost;
+    prev_set = static_cast<int64_t>(s);
+    mst.schedule.push_back(std::move(step));
+  }
+  return mst;
+}
+
+}  // namespace simrank

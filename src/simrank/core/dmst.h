@@ -1,0 +1,111 @@
+// DMST-Reduce: the transition minimum spanning tree over in-neighbour sets
+// (paper, Section III and Procedure DMST-Reduce).
+//
+// Vertices of the weighted digraph G* are the distinct non-empty
+// in-neighbour sets plus a root ∅. An edge (A -> B) exists when |A| <= |B|
+// and costs TC(A -> B) = min{|A ⊖ B|, |B| - 1} (Eq. 7) — the number of
+// additions needed to derive Partial_B from Partial_A. The directed MST of
+// G* rooted at ∅ is the cheapest plan for computing every partial sum; its
+// tree edges also fix the partition P(I(b)) = {I(b)∩I(a), I(b)\I(a)} of
+// Eq. (8) used for both inner and outer sharing.
+//
+// Because every edge of G* goes from an earlier set to a later set in the
+// (size, id) order, G* is a DAG and the MST is found by the min-in-edge
+// rule (see mst/arborescence.h). An inverted index over set contents
+// restricts candidate parents to sets that share at least one vertex —
+// exact, since a disjoint parent costs |A| + |B| > |B| - 1 and can never
+// beat the root edge.
+#ifndef OIPSIM_SIMRANK_CORE_DMST_H_
+#define OIPSIM_SIMRANK_CORE_DMST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simrank/common/op_counter.h"
+#include "simrank/common/status.h"
+#include "simrank/core/set_index.h"
+#include "simrank/graph/digraph.h"
+#include "simrank/mst/tree.h"
+
+namespace simrank {
+
+/// Parent-selection policy, exposed for the ablation benchmark.
+enum class DmstPolicy {
+  /// Cheapest parent per Eq. (7) — the paper's DMST-Reduce.
+  kMinCost,
+  /// Previous set in the (size, id) order — a chain without optimisation.
+  kPreviousInOrder,
+  /// Every set computed from scratch — degenerates OIP to psum-SR.
+  kAlwaysRoot,
+};
+
+struct DmstOptions {
+  DmstPolicy policy = DmstPolicy::kMinCost;
+};
+
+/// One step of the partial-sum replay schedule: derive the partial sums of
+/// `set` either from scratch (zero-fill + sum its contents) or by diffing
+/// against the set handled by the previous step.
+struct ScheduleStep {
+  uint32_t set = 0;
+  bool from_scratch = false;
+  /// Vertices whose s_k rows are added / subtracted. For a from-scratch
+  /// step, `add` is the whole set and `sub` is empty.
+  std::vector<VertexId> add;
+  std::vector<VertexId> sub;
+};
+
+/// The transition MST plus the per-edge diff lists the kernels replay.
+struct TransitionMst {
+  /// Distinct in-neighbour sets; tree node s+1 corresponds to set s and
+  /// node 0 is the root ∅.
+  InSetIndex sets;
+  /// Spanning arborescence of G* rooted at node 0.
+  Tree tree;
+
+  /// Per tree node v (set s = v-1): add[v] = I(s) \ I(parent) and
+  /// sub[v] = I(parent) \ I(s); for children of the root add[v] = I(s).
+  /// Replaying sub/add against a cached partial sum is Eq. (9).
+  std::vector<std::vector<VertexId>> add;
+  std::vector<std::vector<VertexId>> sub;
+
+  /// Execution schedule: the tree's preorder linearised into consecutive
+  /// diffs. Step i derives set_i's partial sums from step i-1's set by a
+  /// direct Eq. (9) diff when that beats recomputing (the Eq. 7 cap), so a
+  /// single O(n) vector suffices with no undo pass; an Euler-tour argument
+  /// bounds the total schedule cost by twice the MST cost, and the per-step
+  /// cap bounds it by psum-SR's cost.
+  std::vector<ScheduleStep> schedule;
+  /// Σ over steps of the additions per target column.
+  uint64_t schedule_cost = 0;
+
+  /// Σ over tree edges of TC (Eq. 7) — additions per target column.
+  uint64_t total_cost = 0;
+  /// Σ_s (|I(s)| - 1): the cost psum-SR pays without sharing.
+  uint64_t cost_without_sharing = 0;
+  /// Mean |add| + |sub| over *shared* (non-root) edges: the paper's d⊖.
+  double avg_symmetric_difference = 0.0;
+  /// Number of tree edges that reuse a cached parent (tagged # in Fig. 2b).
+  uint32_t shared_edges = 0;
+
+  /// Fraction of additions saved versus computing every set from scratch.
+  double share_ratio() const {
+    return cost_without_sharing == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(total_cost) /
+                           static_cast<double>(cost_without_sharing);
+  }
+
+  /// Bytes of the tree + diff lists (the setup part of Fig. 6d's
+  /// intermediate memory).
+  uint64_t MemoryBytes() const;
+};
+
+/// Builds the transition MST. O(d·n²) worst-case time, O(n + Σ|⊖|) space.
+Result<TransitionMst> DmstReduce(const DiGraph& graph,
+                                 const DmstOptions& options = {},
+                                 OpCounter* ops = nullptr);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CORE_DMST_H_

@@ -1,0 +1,130 @@
+#include "simrank/core/dsr.h"
+
+#include <cmath>
+#include <utility>
+
+#include "simrank/common/memory_tracker.h"
+#include "simrank/common/timer.h"
+#include "simrank/core/bounds.h"
+#include "simrank/core/oip.h"
+#include "simrank/core/psum.h"
+
+namespace simrank {
+
+namespace {
+
+/// Runs the Eq. 15 accumulation given a T-step propagator.
+template <typename PropagateFn>
+DenseMatrix RunDifferentialIteration(uint32_t n, uint32_t iterations,
+                                     double damping,
+                                     PropagateFn&& propagate) {
+  const double exp_neg_c = std::exp(-damping);
+  DenseMatrix t_current = DenseMatrix::Identity(n);
+  DenseMatrix t_next(n, n);
+  DenseMatrix s_hat = DenseMatrix::Identity(n);
+  s_hat.Scale(exp_neg_c);  // Ŝ_0 = e^{-C}·I
+
+  double coeff = exp_neg_c;  // e^{-C}·C^k/k! at k = 0
+  for (uint32_t k = 0; k < iterations; ++k) {
+    propagate(t_current, &t_next);
+    coeff *= damping / static_cast<double>(k + 1);
+    s_hat.AddScaled(t_next, coeff);
+    std::swap(t_current, t_next);
+  }
+  return s_hat;
+}
+
+uint32_t ResolveIterations(const SimRankOptions& options) {
+  return options.iterations > 0
+             ? options.iterations
+             : DifferentialIterationsExact(options.damping, options.epsilon);
+}
+
+}  // namespace
+
+Result<DenseMatrix> DifferentialSimRankWithMst(const DiGraph& graph,
+                                               const TransitionMst& mst,
+                                               const SimRankOptions& options,
+                                               KernelStats* stats) {
+  if (!options.Valid()) {
+    return Status::InvalidArgument("invalid SimRank options");
+  }
+  const uint32_t n = graph.n();
+  const uint32_t iterations = ResolveIterations(options);
+
+  OpCounter ops;
+  MemoryTracker mem;
+  WallTimer timer;
+  timer.Start();
+
+  internal::OipScratch scratch;
+  internal::PrepareScratch(mst, n, &scratch);
+  TrackAlloc(&mem, internal::ScratchBytes(scratch));
+  TrackAlloc(&mem, mst.MemoryBytes());
+
+  DenseMatrix result = RunDifferentialIteration(
+      n, iterations, options.damping,
+      [&](const DenseMatrix& current, DenseMatrix* next) {
+        internal::OipPropagate(mst, current, next, /*scale=*/1.0,
+                               /*pin_diagonal=*/false, &ops, &scratch);
+      });
+  timer.Stop();
+
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->seconds_iterate = timer.ElapsedSeconds();
+    stats->ops += ops.counts();
+    stats->aux_peak_bytes = std::max(stats->aux_peak_bytes, mem.peak_bytes());
+    stats->score_buffers = 3;  // T_k, T_{k+1}, Ŝ accumulator
+  }
+  return result;
+}
+
+Result<DenseMatrix> DifferentialSimRank(const DiGraph& graph,
+                                        const SimRankOptions& options,
+                                        DsrBackend backend,
+                                        KernelStats* stats) {
+  if (!options.Valid()) {
+    return Status::InvalidArgument("invalid SimRank options");
+  }
+  if (backend == DsrBackend::kOip) {
+    WallTimer setup_timer;
+    setup_timer.Start();
+    OpCounter setup_ops;
+    Result<TransitionMst> mst = DmstReduce(graph, {}, &setup_ops);
+    setup_timer.Stop();
+    if (!mst.ok()) return mst.status();
+    if (stats != nullptr) {
+      stats->seconds_setup = setup_timer.ElapsedSeconds();
+      stats->ops += setup_ops.counts();
+    }
+    return DifferentialSimRankWithMst(graph, *mst, options, stats);
+  }
+
+  // psum backend.
+  const uint32_t n = graph.n();
+  const uint32_t iterations = ResolveIterations(options);
+  OpCounter ops;
+  MemoryTracker mem;
+  WallTimer timer;
+  timer.Start();
+  ScopedTrackedBytes partial_buf(&mem, static_cast<uint64_t>(n) * 8);
+  DenseMatrix result = RunDifferentialIteration(
+      n, iterations, options.damping,
+      [&](const DenseMatrix& current, DenseMatrix* next) {
+        internal::PsumPropagate(graph, current, next, /*scale=*/1.0,
+                                /*pin_diagonal=*/false,
+                                /*sieve_threshold=*/0.0, &ops);
+      });
+  timer.Stop();
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->seconds_iterate = timer.ElapsedSeconds();
+    stats->ops += ops.counts();
+    stats->aux_peak_bytes = std::max(stats->aux_peak_bytes, mem.peak_bytes());
+    stats->score_buffers = 3;
+  }
+  return result;
+}
+
+}  // namespace simrank

@@ -1,0 +1,49 @@
+// Differential SimRank (Section IV of the paper).
+//
+// The revised model replaces the geometric series of conventional SimRank
+// by the exponential series
+//   Ŝ = e^{-C} · Σ_{i>=0} (C^i / i!) · Qⁱ (Qᵀ)ⁱ            (Eq. 13)
+// which is the unique solution of the matrix differential equation
+// dŜ(t)/dt = Q·Ŝ(t)·Qᵀ with Ŝ(0) = e^{-C}·I at t = C (Definition 2,
+// Proposition 6). Iterating
+//   T_{k+1} = Q·T_k·Qᵀ,  Ŝ_{k+1} = Ŝ_k + e^{-C}·C^{k+1}/(k+1)!·T_{k+1}
+// (Eq. 15) converges with error C^{k+1}/(k+1)! (Proposition 7), i.e.
+// exponentially faster than the conventional C^{k+1}. The component form
+// of T's recursion matches conventional SimRank without the damping factor
+// and without the pinned diagonal, so the same psum / OIP sharing
+// machinery applies.
+#ifndef OIPSIM_SIMRANK_CORE_DSR_H_
+#define OIPSIM_SIMRANK_CORE_DSR_H_
+
+#include "simrank/common/status.h"
+#include "simrank/core/dmst.h"
+#include "simrank/core/kernel_stats.h"
+#include "simrank/core/options.h"
+#include "simrank/graph/digraph.h"
+#include "simrank/linalg/dense_matrix.h"
+
+namespace simrank {
+
+/// Which sharing backend evaluates the T_{k+1} = Q·T_k·Qᵀ step.
+enum class DsrBackend {
+  kOip,   ///< OIP-DSR: MST-shared partial sums (the paper's combination).
+  kPsum,  ///< psum-backed: partial sums without MST sharing.
+};
+
+/// Computes the differential SimRank scores Ŝ_K. When
+/// `options.iterations` == 0, K is the exact minimal K' with
+/// C^{K'+1}/(K'+1)! <= options.epsilon (Proposition 7 / Corollary 1).
+Result<DenseMatrix> DifferentialSimRank(const DiGraph& graph,
+                                        const SimRankOptions& options,
+                                        DsrBackend backend = DsrBackend::kOip,
+                                        KernelStats* stats = nullptr);
+
+/// Same, reusing a prebuilt transition MST (kOip backend only).
+Result<DenseMatrix> DifferentialSimRankWithMst(const DiGraph& graph,
+                                               const TransitionMst& mst,
+                                               const SimRankOptions& options,
+                                               KernelStats* stats = nullptr);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CORE_DSR_H_

@@ -1,0 +1,61 @@
+#include "simrank/core/engine.h"
+
+#include "simrank/core/dsr.h"
+#include "simrank/core/matrix_simrank.h"
+#include "simrank/core/naive.h"
+#include "simrank/core/oip.h"
+#include "simrank/core/psum.h"
+
+namespace simrank {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kNaive:
+      return "naive-SR";
+    case Algorithm::kPsum:
+      return "psum-SR";
+    case Algorithm::kOip:
+      return "OIP-SR";
+    case Algorithm::kOipDsr:
+      return "OIP-DSR";
+    case Algorithm::kPsumDsr:
+      return "psum-DSR";
+    case Algorithm::kMatrix:
+      return "mtx-oracle";
+    case Algorithm::kMtx:
+      return "mtx-SR";
+  }
+  return "?";
+}
+
+Result<SimRankRun> ComputeSimRank(const DiGraph& graph,
+                                  const EngineOptions& options) {
+  SimRankRun run;
+  Result<DenseMatrix> scores = [&]() -> Result<DenseMatrix> {
+    switch (options.algorithm) {
+      case Algorithm::kNaive:
+        return NaiveSimRank(graph, options.simrank, &run.stats);
+      case Algorithm::kPsum:
+        return PsumSimRank(graph, options.simrank, &run.stats);
+      case Algorithm::kOip:
+        return OipSimRank(graph, options.simrank, &run.stats);
+      case Algorithm::kOipDsr:
+        return DifferentialSimRank(graph, options.simrank, DsrBackend::kOip,
+                                   &run.stats);
+      case Algorithm::kPsumDsr:
+        return DifferentialSimRank(graph, options.simrank, DsrBackend::kPsum,
+                                   &run.stats);
+      case Algorithm::kMatrix:
+        return MatrixSimRank(graph, options.simrank,
+                             MatrixForm::kPinnedDiagonal, &run.stats);
+      case Algorithm::kMtx:
+        return MtxSimRank(graph, options.simrank, options.mtx, &run.stats);
+    }
+    return Status::InvalidArgument("unknown algorithm");
+  }();
+  if (!scores.ok()) return scores.status();
+  run.scores = std::move(scores).value();
+  return run;
+}
+
+}  // namespace simrank

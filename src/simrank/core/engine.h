@@ -1,0 +1,59 @@
+// Unified entry point over every SimRank algorithm in the library.
+//
+// This is the API most callers want:
+//
+//   simrank::EngineOptions opts;
+//   opts.algorithm = simrank::Algorithm::kOip;
+//   opts.simrank.damping = 0.6;
+//   opts.simrank.epsilon = 1e-3;
+//   auto run = simrank::ComputeSimRank(graph, opts);
+//   double s_ab = run->scores(a, b);
+#ifndef OIPSIM_SIMRANK_CORE_ENGINE_H_
+#define OIPSIM_SIMRANK_CORE_ENGINE_H_
+
+#include <string>
+
+#include "simrank/common/status.h"
+#include "simrank/core/kernel_stats.h"
+#include "simrank/core/mtx_sr.h"
+#include "simrank/core/options.h"
+#include "simrank/graph/digraph.h"
+#include "simrank/linalg/dense_matrix.h"
+
+namespace simrank {
+
+/// All-pairs SimRank algorithms provided by the library.
+enum class Algorithm {
+  kNaive,    ///< Jeh & Widom direct iteration, O(K·d²·n²).
+  kPsum,     ///< psum-SR: partial sums memoisation (Lizorkin et al.).
+  kOip,      ///< OIP-SR: MST-shared partial sums (this paper).
+  kOipDsr,   ///< OIP-DSR: differential model + MST sharing (this paper).
+  kPsumDsr,  ///< differential model + psum backend (ablation).
+  kMatrix,   ///< sparse matrix-form oracle.
+  kMtx,      ///< mtx-SR: SVD low-rank baseline (Li et al.).
+};
+
+/// Short display name ("OIP-SR", "psum-SR", ...).
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Full configuration of a SimRank computation.
+struct EngineOptions {
+  Algorithm algorithm = Algorithm::kOip;
+  SimRankOptions simrank;
+  /// Only consulted for Algorithm::kMtx.
+  MtxSrOptions mtx;
+};
+
+/// Scores plus per-run metrics.
+struct SimRankRun {
+  DenseMatrix scores;
+  KernelStats stats;
+};
+
+/// Runs the selected algorithm on `graph`.
+Result<SimRankRun> ComputeSimRank(const DiGraph& graph,
+                                  const EngineOptions& options);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CORE_ENGINE_H_

@@ -1,0 +1,42 @@
+// Per-run metrics reported by every SimRank kernel.
+#ifndef OIPSIM_SIMRANK_CORE_KERNEL_STATS_H_
+#define OIPSIM_SIMRANK_CORE_KERNEL_STATS_H_
+
+#include <cstdint>
+
+#include "simrank/common/op_counter.h"
+
+namespace simrank {
+
+/// Timing, operation counts and memory accounting for one SimRank run.
+///
+/// `aux_peak_bytes` counts *intermediate* structures only (partial-sum
+/// vectors, the MST and its diff lists, outer caches) — the same accounting
+/// Fig. 6d of the paper uses. O(n²) score matrices are tallied separately
+/// in `score_buffers` because every dense all-pairs method needs them and
+/// their size is fully determined by n.
+struct KernelStats {
+  /// Iterations actually performed.
+  uint32_t iterations = 0;
+
+  /// Wall time of the setup phase ("Build MST" in Fig. 6b; SVD for mtx-SR).
+  double seconds_setup = 0.0;
+  /// Wall time of the iterative phase ("Share Sums" in Fig. 6b).
+  double seconds_iterate = 0.0;
+  double seconds_total() const { return seconds_setup + seconds_iterate; }
+
+  /// Arithmetic work (machine-independent cost measure).
+  OpCounts ops;
+
+  /// Peak bytes of O(n)-scale intermediate memory.
+  uint64_t aux_peak_bytes = 0;
+
+  /// Number of n x n double buffers the method keeps live (2 for the
+  /// iterative methods' current/next pair, 3 for OIP-DSR which also keeps
+  /// the accumulator Ŝ).
+  uint32_t score_buffers = 2;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CORE_KERNEL_STATS_H_

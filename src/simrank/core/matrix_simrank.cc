@@ -1,0 +1,88 @@
+#include "simrank/core/matrix_simrank.h"
+
+#include <cmath>
+#include <utility>
+
+#include "simrank/common/timer.h"
+#include "simrank/core/bounds.h"
+#include "simrank/linalg/sparse_matrix.h"
+
+namespace simrank {
+
+Result<DenseMatrix> MatrixSimRank(const DiGraph& graph,
+                                  const SimRankOptions& options,
+                                  MatrixForm form, KernelStats* stats) {
+  if (!options.Valid()) {
+    return Status::InvalidArgument("invalid SimRank options");
+  }
+  const uint32_t n = graph.n();
+  const uint32_t iterations =
+      options.iterations > 0
+          ? options.iterations
+          : ConventionalIterationsForAccuracy(options.damping,
+                                              options.epsilon);
+  WallTimer setup_timer;
+  setup_timer.Start();
+  SparseMatrix q = SparseMatrix::BackwardTransition(graph);
+  setup_timer.Stop();
+
+  WallTimer timer;
+  timer.Start();
+  DenseMatrix s = DenseMatrix::Identity(n);
+  for (uint32_t k = 0; k < iterations; ++k) {
+    DenseMatrix next = q.SandwichDense(s);
+    next.Scale(options.damping);
+    if (form == MatrixForm::kPinnedDiagonal) {
+      for (uint32_t i = 0; i < n; ++i) next(i, i) = 1.0;
+    } else {
+      for (uint32_t i = 0; i < n; ++i) next(i, i) += 1.0 - options.damping;
+    }
+    s = std::move(next);
+  }
+  timer.Stop();
+
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->seconds_setup = setup_timer.ElapsedSeconds();
+    stats->seconds_iterate = timer.ElapsedSeconds();
+    stats->score_buffers = 3;  // S, Q·S, Q·S·Qᵀ
+  }
+  return s;
+}
+
+Result<DenseMatrix> MatrixDifferentialSimRank(const DiGraph& graph,
+                                              const SimRankOptions& options,
+                                              KernelStats* stats) {
+  if (!options.Valid()) {
+    return Status::InvalidArgument("invalid SimRank options");
+  }
+  const uint32_t n = graph.n();
+  const uint32_t iterations =
+      options.iterations > 0
+          ? options.iterations
+          : DifferentialIterationsExact(options.damping, options.epsilon);
+  SparseMatrix q = SparseMatrix::BackwardTransition(graph);
+
+  WallTimer timer;
+  timer.Start();
+  const double exp_neg_c = std::exp(-options.damping);
+  DenseMatrix t = DenseMatrix::Identity(n);
+  DenseMatrix s_hat = DenseMatrix::Identity(n);
+  s_hat.Scale(exp_neg_c);
+  double coeff = exp_neg_c;
+  for (uint32_t k = 0; k < iterations; ++k) {
+    t = q.SandwichDense(t);
+    coeff *= options.damping / static_cast<double>(k + 1);
+    s_hat.AddScaled(t, coeff);
+  }
+  timer.Stop();
+
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->seconds_iterate = timer.ElapsedSeconds();
+    stats->score_buffers = 3;
+  }
+  return s_hat;
+}
+
+}  // namespace simrank

@@ -1,0 +1,42 @@
+// Matrix-form SimRank via sparse linear algebra — the correctness oracle.
+//
+// Eq. (3) of the paper: S = C·Q·S·Qᵀ + (1-C)·Iₙ with Q the backward
+// transition matrix. Two iteration variants are provided:
+//  * pinned-diagonal (default): S_{k+1} = C·Q·S_k·Qᵀ off-diagonal, diag 1 —
+//    exactly the component recursion of Eq. (2), so naive/psum/OIP must
+//    match it to machine precision;
+//  * pure matrix form: S_{k+1} = C·Q·S_k·Qᵀ + (1-C)·Iₙ — the Li et al.
+//    matrix model, whose diagonal is ≤ 1 rather than exactly 1.
+#ifndef OIPSIM_SIMRANK_CORE_MATRIX_SIMRANK_H_
+#define OIPSIM_SIMRANK_CORE_MATRIX_SIMRANK_H_
+
+#include "simrank/common/status.h"
+#include "simrank/core/kernel_stats.h"
+#include "simrank/core/options.h"
+#include "simrank/graph/digraph.h"
+#include "simrank/linalg/dense_matrix.h"
+
+namespace simrank {
+
+/// Which matrix recursion to iterate.
+enum class MatrixForm {
+  kPinnedDiagonal,  ///< component form of Eq. (2) — matches the iterative
+                    ///< algorithms exactly.
+  kPure,            ///< Eq. (3) with the (1-C)·I term.
+};
+
+/// Computes SimRank by dense-sandwich iteration with the sparse Q.
+Result<DenseMatrix> MatrixSimRank(const DiGraph& graph,
+                                  const SimRankOptions& options,
+                                  MatrixForm form = MatrixForm::kPinnedDiagonal,
+                                  KernelStats* stats = nullptr);
+
+/// Computes the differential SimRank Ŝ_K via the same sparse sandwich —
+/// the oracle for core/dsr.h.
+Result<DenseMatrix> MatrixDifferentialSimRank(const DiGraph& graph,
+                                              const SimRankOptions& options,
+                                              KernelStats* stats = nullptr);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CORE_MATRIX_SIMRANK_H_

@@ -1,0 +1,89 @@
+#include "simrank/core/mtx_sr.h"
+
+#include <algorithm>
+
+#include "simrank/common/memory_tracker.h"
+#include "simrank/common/timer.h"
+#include "simrank/core/bounds.h"
+#include "simrank/linalg/sparse_matrix.h"
+#include "simrank/linalg/svd.h"
+
+namespace simrank {
+
+Result<DenseMatrix> MtxSimRank(const DiGraph& graph,
+                               const SimRankOptions& options,
+                               const MtxSrOptions& mtx_options,
+                               KernelStats* stats) {
+  if (!options.Valid()) {
+    return Status::InvalidArgument("invalid SimRank options");
+  }
+  const uint32_t n = graph.n();
+  const uint32_t iterations =
+      options.iterations > 0
+          ? options.iterations
+          : ConventionalIterationsForAccuracy(options.damping,
+                                              options.epsilon);
+
+  WallTimer setup_timer;
+  setup_timer.Start();
+  SparseMatrix q = SparseMatrix::BackwardTransition(graph);
+  SvdOptions svd_options;
+  svd_options.rank = std::min(mtx_options.rank, n);
+  svd_options.oversample =
+      std::min(mtx_options.oversample,
+               n - std::min(mtx_options.rank, n));
+  svd_options.power_iterations = mtx_options.power_iterations;
+  svd_options.seed = mtx_options.svd_seed;
+  Result<SvdResult> svd = RandomizedSvd(q, svd_options);
+  setup_timer.Stop();
+  if (!svd.ok()) return svd.status();
+
+  WallTimer timer;
+  timer.Start();
+  const uint32_t r = static_cast<uint32_t>(svd->sigma.size());
+
+  // A = Σ·Vᵀ·U (r x r): row i of Vᵀ·U scaled by σ_i.
+  DenseMatrix vt_u = svd->v.Transposed().Multiply(svd->u);
+  DenseMatrix a(r, r);
+  for (uint32_t i = 0; i < r; ++i) {
+    for (uint32_t j = 0; j < r; ++j) {
+      a(i, j) = svd->sigma[i] * vt_u(i, j);
+    }
+  }
+  // M_1 = Σ² (diagonal since V is orthonormal).
+  DenseMatrix m(r, r);
+  for (uint32_t i = 0; i < r; ++i) m(i, i) = svd->sigma[i] * svd->sigma[i];
+
+  // W = Σ_{i=1..K} C^i · A^{i-1} · M_1 · (A^{i-1})ᵀ by r x r recurrence.
+  DenseMatrix w(r, r);
+  double coeff = options.damping;
+  for (uint32_t i = 1; i <= iterations; ++i) {
+    w.AddScaled(m, coeff);
+    coeff *= options.damping;
+    if (i < iterations) {
+      m = a.Multiply(m).MultiplyTransposed(a);
+    }
+  }
+
+  // S = (1-C)·(Iₙ + U·W·Uᵀ).
+  DenseMatrix uw = svd->u.Multiply(w);
+  DenseMatrix s = uw.MultiplyTransposed(svd->u);
+  for (uint32_t i = 0; i < n; ++i) s(i, i) += 1.0;
+  s.Scale(1.0 - options.damping);
+  timer.Stop();
+
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->seconds_setup = setup_timer.ElapsedSeconds();
+    stats->seconds_iterate = timer.ElapsedSeconds();
+    // The factor matrices are the method's intermediate memory: U, V
+    // (n x r each), plus the r x r work matrices. This is what explodes
+    // relative to psum-SR's O(n) scratch in Fig. 6d.
+    stats->aux_peak_bytes =
+        2ull * n * r * sizeof(double) + 3ull * r * r * sizeof(double);
+    stats->score_buffers = 2;  // U·W buffer + final S
+  }
+  return s;
+}
+
+}  // namespace simrank

@@ -1,0 +1,42 @@
+// mtx-SR: SVD-based matrix SimRank (Li et al., EDBT'10) — the paper's
+// low-rank baseline.
+//
+// From the power-series form S = (1-C)·Σ C^i·Qⁱ(Qᵀ)ⁱ (Eq. 12) and a
+// truncated SVD Q ≈ U·Σ·Vᵀ of rank r:
+//   Qⁱ = U·Aʳ^{i-1}·Σ·Vᵀ    with A = Σ·Vᵀ·U (r x r),
+//   Qⁱ(Qᵀ)ⁱ = U·A^{i-1}·Σ²·(A^{i-1})ᵀ·Uᵀ   (V has orthonormal columns),
+// so S ≈ (1-C)·(Iₙ + U·W·Uᵀ) with W = Σ_{i>=1} C^i·A^{i-1}·Σ²·(A^{i-1})ᵀ
+// accumulated by r x r iterations. Exact on graphs whose transition matrix
+// has rank <= r; an approximation elsewhere — which is why the paper only
+// runs it on the low-rank DBLP graphs, and why its dense U·W·Uᵀ final
+// product destroys sparsity (the memory blow-up of Fig. 6d).
+#ifndef OIPSIM_SIMRANK_CORE_MTX_SR_H_
+#define OIPSIM_SIMRANK_CORE_MTX_SR_H_
+
+#include "simrank/common/status.h"
+#include "simrank/core/kernel_stats.h"
+#include "simrank/core/options.h"
+#include "simrank/graph/digraph.h"
+#include "simrank/linalg/dense_matrix.h"
+
+namespace simrank {
+
+/// Options specific to the low-rank baseline.
+struct MtxSrOptions {
+  /// Truncation rank r of the SVD of Q.
+  uint32_t rank = 64;
+  /// Oversampling and power iterations of the randomized range finder.
+  uint32_t oversample = 8;
+  uint32_t power_iterations = 2;
+  uint64_t svd_seed = 42;
+};
+
+/// Computes the rank-r approximation of SimRank.
+Result<DenseMatrix> MtxSimRank(const DiGraph& graph,
+                               const SimRankOptions& options,
+                               const MtxSrOptions& mtx_options = {},
+                               KernelStats* stats = nullptr);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CORE_MTX_SR_H_

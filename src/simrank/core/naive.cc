@@ -1,0 +1,62 @@
+#include "simrank/core/naive.h"
+
+#include "simrank/common/timer.h"
+#include "simrank/core/bounds.h"
+
+namespace simrank {
+
+Result<DenseMatrix> NaiveSimRank(const DiGraph& graph,
+                                 const SimRankOptions& options,
+                                 KernelStats* stats) {
+  if (!options.Valid()) {
+    return Status::InvalidArgument("invalid SimRank options");
+  }
+  const uint32_t n = graph.n();
+  const uint32_t iterations =
+      options.iterations > 0
+          ? options.iterations
+          : ConventionalIterationsForAccuracy(options.damping,
+                                              options.epsilon);
+  OpCounter ops;
+  WallTimer timer;
+  timer.Start();
+
+  DenseMatrix current = DenseMatrix::Identity(n);
+  DenseMatrix next(n, n);
+  for (uint32_t k = 0; k < iterations; ++k) {
+    next.Fill(0.0);
+    for (VertexId a = 0; a < n; ++a) {
+      auto in_a = graph.InNeighbors(a);
+      if (in_a.empty()) continue;
+      for (VertexId b = 0; b < n; ++b) {
+        auto in_b = graph.InNeighbors(b);
+        if (in_b.empty()) continue;
+        double sum = 0.0;
+        for (VertexId i : in_a) {
+          const double* row = current.Row(i);
+          for (VertexId j : in_b) sum += row[j];
+        }
+        CountPartialAdds(&ops, in_a.size() * in_b.size());
+        next(a, b) = options.damping * sum /
+                     (static_cast<double>(in_a.size()) *
+                      static_cast<double>(in_b.size()));
+        CountMultiplies(&ops, 2);
+      }
+    }
+    for (VertexId a = 0; a < n; ++a) next(a, a) = 1.0;
+    std::swap(current, next);
+  }
+  timer.Stop();
+
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->seconds_setup = 0.0;
+    stats->seconds_iterate = timer.ElapsedSeconds();
+    stats->ops = ops.counts();
+    stats->aux_peak_bytes = 0;  // no intermediate structures at all
+    stats->score_buffers = 2;
+  }
+  return current;
+}
+
+}  // namespace simrank

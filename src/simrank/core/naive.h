@@ -1,0 +1,24 @@
+// Naive iterative SimRank (Jeh & Widom, KDD'02) — Eq. (2) evaluated
+// directly, O(K·d²·n²) time. Kept as the ground-truth baseline the paper
+// compares against and as the simplest possible reference implementation.
+#ifndef OIPSIM_SIMRANK_CORE_NAIVE_H_
+#define OIPSIM_SIMRANK_CORE_NAIVE_H_
+
+#include "simrank/common/memory_tracker.h"
+#include "simrank/common/status.h"
+#include "simrank/core/kernel_stats.h"
+#include "simrank/core/options.h"
+#include "simrank/graph/digraph.h"
+#include "simrank/linalg/dense_matrix.h"
+
+namespace simrank {
+
+/// Computes all-pairs SimRank scores with the naive double-summation
+/// iteration. `stats` may be null.
+Result<DenseMatrix> NaiveSimRank(const DiGraph& graph,
+                                 const SimRankOptions& options,
+                                 KernelStats* stats = nullptr);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CORE_NAIVE_H_

@@ -1,0 +1,183 @@
+#include "simrank/core/oip.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "simrank/common/memory_tracker.h"
+#include "simrank/common/timer.h"
+#include "simrank/core/bounds.h"
+
+namespace simrank {
+namespace internal {
+
+void PrepareScratch(const TransitionMst& mst, uint32_t n,
+                    OipScratch* scratch) {
+  OIPSIM_CHECK(scratch != nullptr);
+  scratch->partial.assign(n, 0.0);
+  scratch->row.assign(n, 0.0);
+  scratch->empty_in_vertices.clear();
+  for (uint32_t v = 0; v < n; ++v) {
+    if (v < mst.sets.set_of_vertex.size() &&
+        mst.sets.set_of_vertex[v] < 0) {
+      scratch->empty_in_vertices.push_back(v);
+    }
+  }
+  scratch->inv_set_size.resize(mst.sets.num_sets);
+  for (uint32_t s = 0; s < mst.sets.num_sets; ++s) {
+    scratch->inv_set_size[s] = 1.0 / static_cast<double>(mst.sets.set_size[s]);
+  }
+}
+
+uint64_t ScratchBytes(const OipScratch& scratch) {
+  return scratch.partial.size() * sizeof(double) +
+         scratch.row.size() * sizeof(double);
+}
+
+namespace {
+
+/// Replays the schedule with a scalar accumulator to produce the full
+/// similarity row of one source set (outer sharing, Prop. 4), then copies
+/// it into every member vertex of the source set.
+inline void ComputeRowsForSource(const TransitionMst& mst, uint32_t source_set,
+                                 double scale, DenseMatrix* next,
+                                 OpCounter* ops, OipScratch* scratch) {
+  const auto& sets = mst.sets;
+  const double inv_a =
+      scale / static_cast<double>(sets.set_size[source_set]);
+  const std::vector<double>& partial = scratch->partial;
+  // Positions for empty in-neighbour sets are 0 since PrepareScratch and
+  // are never written; all other positions are overwritten below, so no
+  // per-source zero-fill is needed.
+  std::vector<double>& row = scratch->row;
+
+  double outer = 0.0;
+  uint64_t outer_adds = 0;
+  for (const ScheduleStep& step : mst.schedule) {
+    if (step.from_scratch) {
+      // OuterPartial_{I(w)} recomputed (first edge of a path in Proc. OP).
+      outer = 0.0;
+      for (VertexId y : step.add) outer += partial[y];
+      outer_adds += step.add.size() - 1;
+    } else {
+      // Derived from the previous set's cached value (Prop. 4).
+      for (VertexId y : step.add) outer += partial[y];
+      for (VertexId y : step.sub) outer -= partial[y];
+      outer_adds += step.add.size() + step.sub.size();
+    }
+    const double value = inv_a * outer * scratch->inv_set_size[step.set];
+    for (VertexId b : sets.members[step.set]) row[b] = value;
+  }
+  CountOuterAdds(ops, outer_adds);
+  CountMultiplies(ops, mst.schedule.size() * 2);
+
+  for (VertexId a : sets.members[source_set]) {
+    double* dst = next->Row(a);
+    std::copy(row.begin(), row.end(), dst);
+  }
+}
+
+}  // namespace
+
+void OipPropagate(const TransitionMst& mst, const DenseMatrix& current,
+                  DenseMatrix* next, double scale, bool pin_diagonal,
+                  OpCounter* ops, OipScratch* scratch) {
+  OIPSIM_CHECK(next != nullptr && scratch != nullptr);
+  const uint32_t n = current.rows();
+  // Rows of vertices with non-empty in-sets are fully overwritten by the
+  // per-source copy below; only the empty-in-set rows must be cleared
+  // (they may hold stale values from two propagations ago).
+  for (VertexId v : scratch->empty_in_vertices) {
+    double* dst = next->Row(v);
+    std::fill(dst, dst + n, 0.0);
+  }
+  std::vector<double>& partial = scratch->partial;
+  std::fill(partial.begin(), partial.end(), 0.0);
+
+  for (const ScheduleStep& step : mst.schedule) {
+    // Partial_{I(v)} via Eq. (9): diff against the previous set's vector,
+    // or rebuild from scratch when the diff would not pay off (Eq. 7 cap).
+    if (step.from_scratch) {
+      std::fill(partial.begin(), partial.end(), 0.0);
+      CountPartialAdds(ops, (step.add.size() - 1) * static_cast<uint64_t>(n));
+    } else {
+      CountPartialAdds(
+          ops,
+          (step.add.size() + step.sub.size()) * static_cast<uint64_t>(n));
+    }
+    for (VertexId x : step.add) {
+      const double* src = current.Row(x);
+      for (uint32_t y = 0; y < n; ++y) partial[y] += src[y];
+    }
+    for (VertexId x : step.sub) {
+      const double* src = current.Row(x);
+      for (uint32_t y = 0; y < n; ++y) partial[y] -= src[y];
+    }
+    ComputeRowsForSource(mst, step.set, scale, next, ops, scratch);
+  }
+
+  if (pin_diagonal) {
+    for (uint32_t a = 0; a < n; ++a) (*next)(a, a) = 1.0;
+  }
+}
+
+}  // namespace internal
+
+Result<DenseMatrix> OipSimRankWithMst(const DiGraph& graph,
+                                      const TransitionMst& mst,
+                                      const SimRankOptions& options,
+                                      KernelStats* stats) {
+  if (!options.Valid()) {
+    return Status::InvalidArgument("invalid SimRank options");
+  }
+  const uint32_t n = graph.n();
+  const uint32_t iterations =
+      options.iterations > 0
+          ? options.iterations
+          : ConventionalIterationsForAccuracy(options.damping,
+                                              options.epsilon);
+  OpCounter ops;
+  MemoryTracker mem;
+  WallTimer timer;
+  timer.Start();
+
+  internal::OipScratch scratch;
+  internal::PrepareScratch(mst, n, &scratch);
+  TrackAlloc(&mem, internal::ScratchBytes(scratch));
+  TrackAlloc(&mem, mst.MemoryBytes());
+
+  DenseMatrix current = DenseMatrix::Identity(n);
+  DenseMatrix next(n, n);
+  for (uint32_t k = 0; k < iterations; ++k) {
+    internal::OipPropagate(mst, current, &next, options.damping,
+                           /*pin_diagonal=*/true, &ops, &scratch);
+    std::swap(current, next);
+  }
+  timer.Stop();
+
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->seconds_iterate = timer.ElapsedSeconds();
+    stats->ops += ops.counts();
+    stats->aux_peak_bytes = std::max(stats->aux_peak_bytes, mem.peak_bytes());
+    stats->score_buffers = 2;
+  }
+  return current;
+}
+
+Result<DenseMatrix> OipSimRank(const DiGraph& graph,
+                               const SimRankOptions& options,
+                               KernelStats* stats) {
+  WallTimer setup_timer;
+  setup_timer.Start();
+  OpCounter setup_ops;
+  Result<TransitionMst> mst = DmstReduce(graph, {}, &setup_ops);
+  setup_timer.Stop();
+  if (!mst.ok()) return mst.status();
+  if (stats != nullptr) {
+    stats->seconds_setup = setup_timer.ElapsedSeconds();
+    stats->ops += setup_ops.counts();
+  }
+  return OipSimRankWithMst(graph, *mst, options, stats);
+}
+
+}  // namespace simrank

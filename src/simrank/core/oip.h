@@ -1,0 +1,73 @@
+// OIP-SR: SimRank with optimised in-neighbour partitioning — the paper's
+// primary contribution (Algorithm 1 + Procedure OP).
+//
+// Per iteration, partial sums are computed along the transition MST's
+// replay schedule: each set's partial-sum vector is derived from the
+// previous set's by the Eq. (9) diff lists (inner sharing, Section III-A),
+// and for every source set the outer sums over target sets replay the same
+// schedule with scalar diffs (outer sharing, Section III-B). A single O(n)
+// partial-sum vector stays alive — the O(n) intermediate memory of
+// Proposition 5 — and each step costs min{|⊖|, |I|-1} additions per
+// column, never more than psum-SR's from-scratch cost.
+#ifndef OIPSIM_SIMRANK_CORE_OIP_H_
+#define OIPSIM_SIMRANK_CORE_OIP_H_
+
+#include "simrank/common/status.h"
+#include "simrank/core/dmst.h"
+#include "simrank/core/kernel_stats.h"
+#include "simrank/core/options.h"
+#include "simrank/graph/digraph.h"
+#include "simrank/linalg/dense_matrix.h"
+
+namespace simrank {
+
+/// Computes all-pairs SimRank with inner + outer partial-sums sharing.
+/// Builds the transition MST internally (stats->seconds_setup).
+Result<DenseMatrix> OipSimRank(const DiGraph& graph,
+                               const SimRankOptions& options,
+                               KernelStats* stats = nullptr);
+
+/// Same, but reuses a prebuilt transition MST (e.g. to share the setup
+/// across parameter sweeps, or to ablate DmstPolicy choices).
+Result<DenseMatrix> OipSimRankWithMst(const DiGraph& graph,
+                                      const TransitionMst& mst,
+                                      const SimRankOptions& options,
+                                      KernelStats* stats = nullptr);
+
+namespace internal {
+
+/// Reusable scratch buffers for OipPropagate (one partial-sum vector and
+/// one output-row buffer — the O(n) intermediate memory).
+struct OipScratch {
+  std::vector<double> partial;
+  /// Row buffer: positions of vertices with empty in-neighbour sets stay 0
+  /// forever; every other position is overwritten on each schedule replay,
+  /// so the buffer is zeroed once here rather than per source set.
+  std::vector<double> row;
+  /// Vertices with I(v) = ∅ — their output rows must be zeroed explicitly
+  /// (everything else is fully overwritten each propagation).
+  std::vector<VertexId> empty_in_vertices;
+  /// 1 / |I(s)| per set, precomputed to keep divisions out of the p² outer
+  /// loop.
+  std::vector<double> inv_set_size;
+};
+
+/// Prepares scratch for the given MST/graph (idempotent).
+void PrepareScratch(const TransitionMst& mst, uint32_t n,
+                    OipScratch* scratch);
+
+/// Bytes of scratch accounted as intermediate memory.
+uint64_t ScratchBytes(const OipScratch& scratch);
+
+/// One propagation step with full sharing:
+///   next(a,b) = scale / (|I(a)||I(b)|) · Σ_{j∈I(b)} Σ_{i∈I(a)} current(i,j),
+/// diagonal pinned to 1 when `pin_diagonal` (conventional model) or left as
+/// propagated (differential model's Tk).
+void OipPropagate(const TransitionMst& mst, const DenseMatrix& current,
+                  DenseMatrix* next, double scale, bool pin_diagonal,
+                  OpCounter* ops, OipScratch* scratch);
+
+}  // namespace internal
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CORE_OIP_H_

@@ -1,0 +1,37 @@
+// Shared configuration for all SimRank algorithms.
+#ifndef OIPSIM_SIMRANK_CORE_OPTIONS_H_
+#define OIPSIM_SIMRANK_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+namespace simrank {
+
+/// Parameters of the SimRank model and its iterative solvers. The paper's
+/// defaults are C = 0.6 and eps = 0.001 (Section V-A).
+struct SimRankOptions {
+  /// Damping factor C in (0, 1).
+  double damping = 0.6;
+
+  /// Number of iterations K. When 0, K is derived from `epsilon` using the
+  /// model-specific accuracy bound (⌈log_C eps⌉ for the conventional
+  /// model, Corollary 1 for the differential model).
+  uint32_t iterations = 0;
+
+  /// Desired accuracy eps; used when `iterations` == 0.
+  double epsilon = 1e-3;
+
+  /// Threshold-sieving cutoff delta of psum-SR (Lizorkin et al.,
+  /// optimisation 3). Scores below delta are clipped to zero during
+  /// iteration. 0 disables sieving (exact computation).
+  double sieve_threshold = 0.0;
+
+  /// True if the options describe a valid configuration.
+  bool Valid() const {
+    return damping > 0.0 && damping < 1.0 &&
+           (iterations > 0 || epsilon > 0.0) && sieve_threshold >= 0.0;
+  }
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CORE_OPTIONS_H_

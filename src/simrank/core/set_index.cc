@@ -1,0 +1,47 @@
+#include "simrank/core/set_index.h"
+
+#include <unordered_map>
+
+#include "simrank/graph/set_ops.h"
+
+namespace simrank {
+
+InSetIndex BuildInSetIndex(const DiGraph& graph) {
+  InSetIndex index;
+  const uint32_t n = graph.n();
+  index.set_of_vertex.assign(n, -1);
+
+  // Bucket vertices by a hash of their sorted in-neighbour list, resolving
+  // collisions by exact comparison against each bucket member.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;  // hash -> set ids
+  buckets.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    auto in = graph.InNeighbors(v);
+    if (in.empty()) continue;
+    uint64_t h = 1469598103934665603ULL;
+    for (VertexId u : in) {
+      h ^= u;
+      h *= 1099511628211ULL;
+    }
+    int32_t found = -1;
+    auto& bucket = buckets[h];
+    for (uint32_t set_id : bucket) {
+      if (SetsEqual(graph.InNeighbors(index.representative[set_id]), in)) {
+        found = static_cast<int32_t>(set_id);
+        break;
+      }
+    }
+    if (found < 0) {
+      found = static_cast<int32_t>(index.num_sets++);
+      index.representative.push_back(v);
+      index.set_size.push_back(static_cast<uint32_t>(in.size()));
+      index.members.emplace_back();
+      bucket.push_back(static_cast<uint32_t>(found));
+    }
+    index.set_of_vertex[v] = found;
+    index.members[static_cast<size_t>(found)].push_back(v);
+  }
+  return index;
+}
+
+}  // namespace simrank

@@ -1,0 +1,42 @@
+// Index of distinct non-empty in-neighbour sets.
+//
+// The transition graph G* of DMST-Reduce (paper, Fig. 2) has one vertex per
+// *distinct* non-empty in-neighbour set — vertices of G that share the same
+// I(·) reuse each other's partial sums for free. This index maps vertices
+// to set ids and back.
+#ifndef OIPSIM_SIMRANK_CORE_SET_INDEX_H_
+#define OIPSIM_SIMRANK_CORE_SET_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simrank/graph/digraph.h"
+
+namespace simrank {
+
+/// Deduplicated in-neighbour sets of a graph.
+struct InSetIndex {
+  /// Number of distinct non-empty sets, p.
+  uint32_t num_sets = 0;
+  /// set_of_vertex[v] = set id of I(v), or -1 when I(v) = ∅.
+  std::vector<int32_t> set_of_vertex;
+  /// Vertices that share set s (ascending).
+  std::vector<std::vector<VertexId>> members;
+  /// One vertex per set whose InNeighbors() *is* the set's contents.
+  std::vector<VertexId> representative;
+  /// |I| per set.
+  std::vector<uint32_t> set_size;
+
+  /// The sorted contents of set `s` (borrowed from the graph's CSR).
+  std::span<const VertexId> Contents(const DiGraph& graph, uint32_t s) const {
+    return graph.InNeighbors(representative[s]);
+  }
+};
+
+/// Builds the index in O(m) expected time (hashing of sorted lists).
+InSetIndex BuildInSetIndex(const DiGraph& graph);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CORE_SET_INDEX_H_

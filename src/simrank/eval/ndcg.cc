@@ -1,0 +1,62 @@
+#include "simrank/eval/ndcg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simrank/common/macros.h"
+
+namespace simrank {
+
+namespace {
+
+double DcgAtP(const std::vector<double>& relevance, uint32_t p) {
+  double dcg = 0.0;
+  const uint32_t limit =
+      std::min<uint32_t>(p, static_cast<uint32_t>(relevance.size()));
+  for (uint32_t i = 0; i < limit; ++i) {
+    dcg += (std::exp2(relevance[i]) - 1.0) /
+           std::log2(static_cast<double>(i) + 2.0);
+  }
+  return dcg;
+}
+
+}  // namespace
+
+double NdcgAtP(const std::vector<double>& relevance, uint32_t p) {
+  const double dcg = DcgAtP(relevance, p);
+  std::vector<double> ideal = relevance;
+  std::sort(ideal.begin(), ideal.end(), std::greater<double>());
+  const double idcg = DcgAtP(ideal, p);
+  return idcg <= 0.0 ? 0.0 : dcg / idcg;
+}
+
+double NdcgForRanking(const std::vector<VertexId>& ranking,
+                      const std::vector<double>& ground_truth_scores,
+                      uint32_t p, uint32_t levels) {
+  OIPSIM_CHECK_GT(levels, 0u);
+  // Grade the pool: min-max scale the ground-truth scores of the ranked
+  // items onto 0..levels integer relevance, like the evaluator judgments
+  // the paper aggregates.
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (VertexId v : ranking) {
+    OIPSIM_CHECK_LT(v, ground_truth_scores.size());
+    const double s = ground_truth_scores[v];
+    if (first || s < lo) lo = first ? s : std::min(lo, s);
+    if (first || s > hi) hi = first ? s : std::max(hi, s);
+    first = false;
+  }
+  std::vector<double> relevance;
+  relevance.reserve(ranking.size());
+  const double span = hi - lo;
+  for (VertexId v : ranking) {
+    const double scaled =
+        span <= 0.0 ? 0.0
+                    : (ground_truth_scores[v] - lo) / span *
+                          static_cast<double>(levels);
+    relevance.push_back(std::round(scaled));
+  }
+  return NdcgAtP(relevance, p);
+}
+
+}  // namespace simrank

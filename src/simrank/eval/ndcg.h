@@ -1,0 +1,33 @@
+// Normalized Discounted Cumulative Gain — the ranking-quality metric of
+// the paper's Exp-4 (Fig. 6g):
+//   NDCG_p = (1/IDCG_p) · Σ_{i=1..p} (2^{rel_i} - 1) / log2(1 + i),
+// where rel_i is the graded relevance of the item at rank i and IDCG_p
+// normalises by the ideal ordering.
+#ifndef OIPSIM_SIMRANK_EVAL_NDCG_H_
+#define OIPSIM_SIMRANK_EVAL_NDCG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simrank/graph/digraph.h"
+
+namespace simrank {
+
+/// NDCG at position p for a ranked list whose i-th element carries graded
+/// relevance `relevance[i]`. Returns 1.0 for an ideal ranking, 0.0 when
+/// every relevance is zero.
+double NdcgAtP(const std::vector<double>& relevance, uint32_t p);
+
+/// Convenience for SimRank experiments: `ranking` is a candidate's ranked
+/// vertex list; `ground_truth_scores[v]` is the reference relevance of
+/// vertex v (e.g. converged conventional SimRank similarity to the query).
+/// Relevances are min-max scaled to [0, levels] and rounded to integer
+/// grades, mirroring the paper's human 0..levels judgments, then NDCG@p is
+/// computed against the ideal ordering of the *same* graded pool.
+double NdcgForRanking(const std::vector<VertexId>& ranking,
+                      const std::vector<double>& ground_truth_scores,
+                      uint32_t p, uint32_t levels = 4);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_EVAL_NDCG_H_

@@ -1,0 +1,83 @@
+#include "simrank/eval/rank_corr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "simrank/common/macros.h"
+
+namespace simrank {
+
+double KendallTau(const std::vector<double>& x,
+                  const std::vector<double>& y) {
+  OIPSIM_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  int64_t concordant = 0, discordant = 0;
+  int64_t ties_x = 0, ties_y = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) continue;
+      if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if ((dx > 0) == (dy > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(n) * (n - 1) / 2.0;
+  const double denom = std::sqrt((n0 - ties_x) * (n0 - ties_y));
+  if (denom <= 0.0) return 0.0;
+  return (concordant - discordant) / denom;
+}
+
+namespace {
+
+/// Average ranks with tie handling (1-based midranks).
+std::vector<double> MidRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&values](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double mid = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = mid;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanRho(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  OIPSIM_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  std::vector<double> rx = MidRanks(x);
+  std::vector<double> ry = MidRanks(y);
+  double mean = (static_cast<double>(n) + 1.0) / 2.0;
+  double cov = 0.0, var_x = 0.0, var_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = rx[i] - mean;
+    const double dy = ry[i] - mean;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  const double denom = std::sqrt(var_x * var_y);
+  return denom <= 0.0 ? 0.0 : cov / denom;
+}
+
+}  // namespace simrank

@@ -1,0 +1,21 @@
+// Rank-correlation measures between two score vectors: Kendall's tau-b and
+// Spearman's rho. Used to quantify how well the differential model
+// preserves the relative order of conventional SimRank (Exp-4).
+#ifndef OIPSIM_SIMRANK_EVAL_RANK_CORR_H_
+#define OIPSIM_SIMRANK_EVAL_RANK_CORR_H_
+
+#include <vector>
+
+namespace simrank {
+
+/// Kendall's tau-b (tie-corrected) between paired samples. O(n²); intended
+/// for rankings up to a few thousand items. Returns 0 when degenerate
+/// (all-tied input).
+double KendallTau(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Spearman's rho: Pearson correlation of the (average-tie) ranks.
+double SpearmanRho(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_EVAL_RANK_CORR_H_

@@ -1,0 +1,54 @@
+#include "simrank/eval/topk_metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace simrank {
+
+double TopKOverlap(const std::vector<VertexId>& a,
+                   const std::vector<VertexId>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::unordered_map<VertexId, bool> in_a;
+  in_a.reserve(a.size());
+  for (VertexId v : a) in_a[v] = true;
+  size_t common = 0;
+  for (VertexId v : b) {
+    if (in_a.count(v) > 0) ++common;
+  }
+  return static_cast<double>(common) /
+         static_cast<double>(std::max(a.size(), b.size()));
+}
+
+uint64_t RankingInversions(const std::vector<VertexId>& a,
+                           const std::vector<VertexId>& b) {
+  // Restrict to common items, then count pairs ordered differently —
+  // equivalently the number of adjacent swaps bubble sort would need.
+  std::unordered_map<VertexId, uint32_t> pos_b;
+  pos_b.reserve(b.size());
+  for (uint32_t i = 0; i < b.size(); ++i) pos_b[b[i]] = i;
+  std::vector<uint32_t> mapped;
+  mapped.reserve(a.size());
+  for (VertexId v : a) {
+    auto it = pos_b.find(v);
+    if (it != pos_b.end()) mapped.push_back(it->second);
+  }
+  uint64_t inversions = 0;
+  for (size_t i = 0; i < mapped.size(); ++i) {
+    for (size_t j = i + 1; j < mapped.size(); ++j) {
+      if (mapped[i] > mapped[j]) ++inversions;
+    }
+  }
+  return inversions;
+}
+
+std::vector<uint32_t> DisagreeingPositions(const std::vector<VertexId>& a,
+                                           const std::vector<VertexId>& b) {
+  std::vector<uint32_t> positions;
+  const size_t limit = std::min(a.size(), b.size());
+  for (uint32_t i = 0; i < limit; ++i) {
+    if (a[i] != b[i]) positions.push_back(i);
+  }
+  return positions;
+}
+
+}  // namespace simrank

@@ -1,0 +1,31 @@
+// Metrics comparing two top-k rankings (Exp-4, Fig. 6h: "the results of
+// OIP-DSR merely differ in one inversion at two adjacent positions").
+#ifndef OIPSIM_SIMRANK_EVAL_TOPK_METRICS_H_
+#define OIPSIM_SIMRANK_EVAL_TOPK_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simrank/graph/digraph.h"
+
+namespace simrank {
+
+/// |A ∩ B| / k overlap of two top-k id lists.
+double TopKOverlap(const std::vector<VertexId>& a,
+                   const std::vector<VertexId>& b);
+
+/// Number of *adjacent transpositions* needed to turn ranking `a` into
+/// ranking `b`, counted over their common items (Kendall distance
+/// restricted to the intersection). 0 means identical relative order.
+uint64_t RankingInversions(const std::vector<VertexId>& a,
+                           const std::vector<VertexId>& b);
+
+/// Positions at which the two rankings disagree (for reporting "#23/#24
+/// swapped"-style findings). Compares position by position over the
+/// shorter length.
+std::vector<uint32_t> DisagreeingPositions(const std::vector<VertexId>& a,
+                                           const std::vector<VertexId>& b);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_EVAL_TOPK_METRICS_H_

@@ -1,0 +1,56 @@
+// Monte-Carlo SimRank estimation (Fogaras & Rácz, TKDE'07 — the paper's
+// Related Work). Estimates s(a, b) = E[C^τ] where τ is the first meeting
+// time of two coupled reverse random walks started at a and b.
+//
+// Walks are coupled through a shared hash: at fingerprint r and step t,
+// every walk at vertex v steps to the same pseudo-random in-neighbour of v.
+// Coupling guarantees that once two walks meet they stay together, which is
+// exactly the first-meeting semantics the estimator needs.
+#ifndef OIPSIM_SIMRANK_EXTRA_MONTECARLO_H_
+#define OIPSIM_SIMRANK_EXTRA_MONTECARLO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simrank/common/status.h"
+#include "simrank/graph/digraph.h"
+
+namespace simrank {
+
+struct MonteCarloOptions {
+  /// Fingerprints (independent walk pairs) per estimate.
+  uint32_t num_fingerprints = 256;
+  /// Maximum walk length; meetings beyond it contribute 0.
+  uint32_t walk_length = 12;
+  double damping = 0.6;
+  uint64_t seed = 7;
+};
+
+/// Shared-fingerprint Monte-Carlo estimator. Precomputes all walks once
+/// (O(num_fingerprints · walk_length · n) memory), then answers pair
+/// queries in O(num_fingerprints · walk_length).
+class MonteCarloSimRank {
+ public:
+  /// Builds the fingerprint walks for every vertex.
+  MonteCarloSimRank(const DiGraph& graph, const MonteCarloOptions& options);
+
+  /// Estimate of s(a, b). Exact value 1 for a == b.
+  double EstimatePair(VertexId a, VertexId b) const;
+
+  /// Estimates a full row s(a, ·).
+  std::vector<double> EstimateRow(VertexId a) const;
+
+  const MonteCarloOptions& options() const { return options_; }
+
+ private:
+  /// walks_[r][t * n + v] = position after t steps of fingerprint r's walk
+  /// started at v (UINT32_MAX once the walk left a vertex with no
+  /// in-neighbours).
+  std::vector<std::vector<uint32_t>> walks_;
+  MonteCarloOptions options_;
+  uint32_t n_;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_EXTRA_MONTECARLO_H_

@@ -1,0 +1,64 @@
+#include "simrank/extra/prank.h"
+
+#include <utility>
+
+#include "simrank/common/timer.h"
+#include "simrank/core/bounds.h"
+#include "simrank/core/psum.h"
+#include "simrank/graph/graph_ops.h"
+
+namespace simrank {
+
+Result<DenseMatrix> PRank(const DiGraph& graph, const PRankOptions& options,
+                          KernelStats* stats) {
+  if (!options.simrank.Valid()) {
+    return Status::InvalidArgument("invalid SimRank options");
+  }
+  if (options.lambda < 0.0 || options.lambda > 1.0) {
+    return Status::InvalidArgument("P-Rank lambda must be in [0, 1]");
+  }
+  const uint32_t n = graph.n();
+  const uint32_t iterations =
+      options.simrank.iterations > 0
+          ? options.simrank.iterations
+          : ConventionalIterationsForAccuracy(options.simrank.damping,
+                                              options.simrank.epsilon);
+  WallTimer setup_timer;
+  setup_timer.Start();
+  // The out-link term is the in-link term on the reverse graph.
+  DiGraph reversed = Transpose(graph);
+  setup_timer.Stop();
+
+  OpCounter ops;
+  WallTimer timer;
+  timer.Start();
+  DenseMatrix current = DenseMatrix::Identity(n);
+  DenseMatrix in_term(n, n);
+  DenseMatrix out_term(n, n);
+  const double c = options.simrank.damping;
+  for (uint32_t k = 0; k < iterations; ++k) {
+    internal::PsumPropagate(graph, current, &in_term,
+                            options.lambda * c,
+                            /*pin_diagonal=*/false,
+                            /*sieve_threshold=*/0.0, &ops);
+    internal::PsumPropagate(reversed, current, &out_term,
+                            (1.0 - options.lambda) * c,
+                            /*pin_diagonal=*/false,
+                            /*sieve_threshold=*/0.0, &ops);
+    in_term.Add(out_term);
+    for (uint32_t a = 0; a < n; ++a) in_term(a, a) = 1.0;
+    std::swap(current, in_term);
+  }
+  timer.Stop();
+
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->seconds_setup = setup_timer.ElapsedSeconds();
+    stats->seconds_iterate = timer.ElapsedSeconds();
+    stats->ops = ops.counts();
+    stats->score_buffers = 3;
+  }
+  return current;
+}
+
+}  // namespace simrank

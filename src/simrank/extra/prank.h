@@ -1,0 +1,34 @@
+// P-Rank (Zhao, Han & Sun, CIKM'09): structural similarity from both
+// in-links and out-links. The paper's Related Work notes that "since the
+// iterative paradigms of SimRank and P-Rank are almost similar, our
+// techniques for SimRank can be easily extended to P-Rank" — this module
+// is that extension, built on the same partial-sums propagation kernel.
+//
+//   s_{k+1}(a,b) = λ·C/(|I(a)||I(b)|)·ΣΣ s_k(in-pairs)
+//                + (1-λ)·C/(|O(a)||O(b)|)·ΣΣ s_k(out-pairs),
+// with s(a,a) = 1. λ = 1 recovers SimRank exactly.
+#ifndef OIPSIM_SIMRANK_EXTRA_PRANK_H_
+#define OIPSIM_SIMRANK_EXTRA_PRANK_H_
+
+#include "simrank/common/status.h"
+#include "simrank/core/kernel_stats.h"
+#include "simrank/core/options.h"
+#include "simrank/graph/digraph.h"
+#include "simrank/linalg/dense_matrix.h"
+
+namespace simrank {
+
+struct PRankOptions {
+  SimRankOptions simrank;
+  /// Weight of the in-link term; 1.0 degenerates to SimRank.
+  double lambda = 0.5;
+};
+
+/// Computes all-pairs P-Rank scores with partial-sums memoisation on both
+/// link directions.
+Result<DenseMatrix> PRank(const DiGraph& graph, const PRankOptions& options,
+                          KernelStats* stats = nullptr);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_EXTRA_PRANK_H_

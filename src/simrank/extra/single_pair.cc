@@ -1,0 +1,69 @@
+#include "simrank/extra/single_pair.h"
+
+#include <unordered_map>
+
+#include "simrank/core/bounds.h"
+
+namespace simrank {
+
+namespace {
+
+struct Evaluator {
+  const DiGraph& graph;
+  double damping;
+  SinglePairStats* stats;
+  // Key: (min(a,b) << 32 | max(a,b)) at a given depth. Symmetry of s_k
+  // lets both orientations share one entry.
+  std::vector<std::unordered_map<uint64_t, double>> memo;
+
+  double Eval(VertexId a, VertexId b, uint32_t k) {
+    if (a == b) return 1.0;
+    if (k == 0) return 0.0;
+    auto in_a = graph.InNeighbors(a);
+    auto in_b = graph.InNeighbors(b);
+    if (in_a.empty() || in_b.empty()) return 0.0;
+
+    const uint64_t key = a < b
+                             ? (static_cast<uint64_t>(a) << 32) | b
+                             : (static_cast<uint64_t>(b) << 32) | a;
+    auto [it, inserted] = memo[k].try_emplace(key, 0.0);
+    if (!inserted) return it->second;
+    if (stats != nullptr) ++stats->subproblems;
+
+    double sum = 0.0;
+    for (VertexId i : in_a) {
+      for (VertexId j : in_b) {
+        sum += Eval(i, j, k - 1);
+      }
+    }
+    const double value =
+        damping * sum /
+        (static_cast<double>(in_a.size()) * static_cast<double>(in_b.size()));
+    // NOTE: re-find instead of caching `it` — recursion may rehash the map.
+    memo[k][key] = value;
+    return value;
+  }
+};
+
+}  // namespace
+
+Result<double> SinglePairSimRank(const DiGraph& graph, VertexId a, VertexId b,
+                                 const SimRankOptions& options,
+                                 SinglePairStats* stats) {
+  if (!options.Valid()) {
+    return Status::InvalidArgument("invalid SimRank options");
+  }
+  if (a >= graph.n() || b >= graph.n()) {
+    return Status::OutOfRange("vertex id out of range");
+  }
+  const uint32_t iterations =
+      options.iterations > 0
+          ? options.iterations
+          : ConventionalIterationsForAccuracy(options.damping,
+                                              options.epsilon);
+  Evaluator evaluator{graph, options.damping, stats, {}};
+  evaluator.memo.resize(iterations + 1);
+  return evaluator.Eval(a, b, iterations);
+}
+
+}  // namespace simrank

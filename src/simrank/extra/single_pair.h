@@ -1,0 +1,37 @@
+// On-demand single-pair SimRank (in the spirit of Li et al., SDM'10, from
+// the paper's Related Work): computes s_K(a, b) for one pair without the
+// O(n²) all-pairs iteration, by memoised recursion over the SimRank
+// recurrence
+//   s_k(a, b) = C / (|I(a)||I(b)|) · Σ_{i,j} s_{k-1}(i, j).
+//
+// The memo is keyed by (pair, depth), so the cost is bounded by the number
+// of distinct pairs reachable within K backward steps of (a, b) — far
+// below n² on sparse graphs when the query pair is local, though it can
+// approach all-pairs cost on dense or highly-mixing graphs.
+#ifndef OIPSIM_SIMRANK_EXTRA_SINGLE_PAIR_H_
+#define OIPSIM_SIMRANK_EXTRA_SINGLE_PAIR_H_
+
+#include <cstdint>
+
+#include "simrank/common/status.h"
+#include "simrank/core/options.h"
+#include "simrank/graph/digraph.h"
+
+namespace simrank {
+
+/// Statistics of a single-pair evaluation.
+struct SinglePairStats {
+  /// Distinct (pair, depth) subproblems evaluated.
+  uint64_t subproblems = 0;
+};
+
+/// Computes s_K(a, b) exactly (equal to row (a,b) of the all-pairs
+/// iteration with the same K). K is options.iterations, or derived from
+/// options.epsilon as usual.
+Result<double> SinglePairSimRank(const DiGraph& graph, VertexId a, VertexId b,
+                                 const SimRankOptions& options,
+                                 SinglePairStats* stats = nullptr);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_EXTRA_SINGLE_PAIR_H_

@@ -1,0 +1,40 @@
+#include "simrank/extra/topk.h"
+
+#include <algorithm>
+
+#include "simrank/common/macros.h"
+
+namespace simrank {
+
+std::vector<ScoredVertex> TopKSimilar(const DenseMatrix& scores,
+                                      VertexId query, uint32_t k,
+                                      bool exclude_query) {
+  OIPSIM_CHECK_LT(query, scores.rows());
+  const uint32_t n = scores.cols();
+  std::vector<ScoredVertex> all;
+  all.reserve(n);
+  const double* row = scores.Row(query);
+  for (VertexId v = 0; v < n; ++v) {
+    if (exclude_query && v == query) continue;
+    all.push_back(ScoredVertex{v, row[v]});
+  }
+  const size_t keep = std::min<size_t>(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<int64_t>(keep),
+                    all.end(), [](const ScoredVertex& a, const ScoredVertex& b) {
+                      return a.score != b.score ? a.score > b.score
+                                                : a.vertex < b.vertex;
+                    });
+  all.resize(keep);
+  return all;
+}
+
+std::vector<VertexId> TopKIds(const DenseMatrix& scores, VertexId query,
+                              uint32_t k, bool exclude_query) {
+  std::vector<VertexId> ids;
+  for (const ScoredVertex& sv : TopKSimilar(scores, query, k, exclude_query)) {
+    ids.push_back(sv.vertex);
+  }
+  return ids;
+}
+
+}  // namespace simrank

@@ -1,0 +1,33 @@
+// Top-k similarity queries over a computed score matrix.
+#ifndef OIPSIM_SIMRANK_EXTRA_TOPK_H_
+#define OIPSIM_SIMRANK_EXTRA_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simrank/graph/digraph.h"
+#include "simrank/linalg/dense_matrix.h"
+
+namespace simrank {
+
+/// One ranked answer of a top-k query.
+struct ScoredVertex {
+  VertexId vertex = 0;
+  double score = 0.0;
+};
+
+/// Returns the k vertices most similar to `query` (descending score, ties
+/// broken by ascending id for determinism). The query vertex itself is
+/// excluded when `exclude_query` is true (the common "find my neighbours"
+/// use, e.g. the paper's top-30 co-author list of Fig. 6h).
+std::vector<ScoredVertex> TopKSimilar(const DenseMatrix& scores,
+                                      VertexId query, uint32_t k,
+                                      bool exclude_query = true);
+
+/// Extracts the ranking (vertex ids only) from TopKSimilar.
+std::vector<VertexId> TopKIds(const DenseMatrix& scores, VertexId query,
+                              uint32_t k, bool exclude_query = true);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_EXTRA_TOPK_H_

@@ -1,0 +1,366 @@
+#include "simrank/gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "simrank/common/rng.h"
+#include "simrank/graph/graph_ops.h"
+
+namespace simrank::gen {
+
+namespace {
+
+/// Packs a directed edge into a single 64-bit key for dedup sets.
+inline uint64_t EdgeKey(VertexId src, VertexId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
+}  // namespace
+
+Result<DiGraph> ErdosRenyi(const ErdosRenyiParams& params) {
+  if (params.n < 2) {
+    return Status::InvalidArgument("ErdosRenyi requires n >= 2");
+  }
+  const uint64_t max_edges =
+      static_cast<uint64_t>(params.n) * (params.n - 1);
+  if (params.m > max_edges) {
+    return Status::InvalidArgument(
+        "ErdosRenyi: m exceeds n*(n-1) possible edges");
+  }
+  Rng rng(params.seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(params.m * 2);
+  DiGraph::Builder builder(params.n);
+  while (seen.size() < params.m) {
+    VertexId src = static_cast<VertexId>(rng.NextUint64(params.n));
+    VertexId dst = static_cast<VertexId>(rng.NextUint64(params.n));
+    if (src == dst) continue;
+    if (seen.insert(EdgeKey(src, dst)).second) {
+      builder.AddEdge(src, dst);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<DiGraph> Rmat(const RmatParams& params) {
+  if (params.scale == 0 || params.scale > 28) {
+    return Status::InvalidArgument("Rmat: scale must be in [1, 28]");
+  }
+  const double sum = params.a + params.b + params.c + params.d;
+  if (params.a <= 0 || params.b <= 0 || params.c <= 0 || params.d <= 0 ||
+      std::abs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument(
+        "Rmat: probabilities must be positive and sum to 1");
+  }
+  const uint32_t n = 1u << params.scale;
+  Rng rng(params.seed);
+  DiGraph::Builder builder(n);
+  for (uint64_t e = 0; e < params.m_target; ++e) {
+    uint32_t row = 0, col = 0;
+    for (uint32_t bit = 0; bit < params.scale; ++bit) {
+      double r = rng.NextDouble();
+      row <<= 1;
+      col <<= 1;
+      if (r < params.a) {
+        // top-left quadrant: no bits set
+      } else if (r < params.a + params.b) {
+        col |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (row != col) builder.AddEdge(row, col);
+  }
+  DiGraph graph = std::move(builder).Build();
+  if (params.shuffle_ids) {
+    std::vector<VertexId> perm(n);
+    for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+    rng.Shuffle(&perm);
+    Result<DiGraph> relabeled = RelabelVertices(graph, perm);
+    OIPSIM_CHECK(relabeled.ok());
+    return std::move(relabeled).value();
+  }
+  return graph;
+}
+
+Result<DiGraph> Ssca2(const Ssca2Params& params) {
+  if (params.n < 2 || params.max_clique_size < 2) {
+    return Status::InvalidArgument(
+        "Ssca2 requires n >= 2 and max_clique_size >= 2");
+  }
+  if (params.inter_clique_ratio < 0.0 || params.inter_clique_ratio > 1.0) {
+    return Status::InvalidArgument(
+        "Ssca2: inter_clique_ratio must be in [0, 1]");
+  }
+  Rng rng(params.seed);
+  DiGraph::Builder builder(params.n);
+  // Partition vertices into cliques of uniform random size.
+  VertexId next = 0;
+  std::vector<std::pair<VertexId, VertexId>> cliques;  // [begin, end)
+  while (next < params.n) {
+    uint32_t size = static_cast<uint32_t>(
+        2 + rng.NextUint64(params.max_clique_size - 1));
+    size = std::min<uint32_t>(size, params.n - next);
+    cliques.emplace_back(next, next + size);
+    next += size;
+  }
+  for (auto [begin, end] : cliques) {
+    const uint32_t size = end - begin;
+    for (VertexId u = begin; u < end; ++u) {
+      for (VertexId v = begin; v < end; ++v) {
+        if (u != v) builder.AddEdge(u, v);
+      }
+      // Inter-clique edges: a small fraction of the clique degree.
+      const uint32_t extra = static_cast<uint32_t>(
+          params.inter_clique_ratio * (size - 1) + rng.NextDouble());
+      for (uint32_t e = 0; e < extra; ++e) {
+        VertexId target = static_cast<VertexId>(rng.NextUint64(params.n));
+        if (target != u) builder.AddEdge(u, target);
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<DiGraph> BarabasiAlbert(const BarabasiAlbertParams& params) {
+  if (params.n < 2 || params.out_degree == 0) {
+    return Status::InvalidArgument(
+        "BarabasiAlbert requires n >= 2 and out_degree >= 1");
+  }
+  Rng rng(params.seed);
+  DiGraph::Builder builder(params.n);
+  // `targets` holds one entry per (in-degree + 1) unit, so sampling an
+  // element uniformly realises the preferential-attachment distribution.
+  std::vector<VertexId> targets;
+  targets.reserve(static_cast<size_t>(params.n) *
+                  (1 + params.out_degree));
+  targets.push_back(0);  // vertex 0 starts with weight 1
+  for (VertexId v = 1; v < params.n; ++v) {
+    uint32_t degree = std::min<uint32_t>(params.out_degree, v);
+    std::unordered_set<VertexId> chosen;
+    while (chosen.size() < degree) {
+      VertexId u = targets[rng.NextUint64(targets.size())];
+      if (u != v) chosen.insert(u);
+    }
+    for (VertexId u : chosen) {
+      builder.AddEdge(v, u);
+      targets.push_back(u);  // u gained an in-edge
+    }
+    targets.push_back(v);  // the newcomer's base weight
+  }
+  return std::move(builder).Build();
+}
+
+Result<DiGraph> WebGraph(const WebGraphParams& params) {
+  if (params.n < 3 || params.out_degree == 0) {
+    return Status::InvalidArgument(
+        "WebGraph requires n >= 3 and out_degree >= 1");
+  }
+  if (params.copy_prob < 0.0 || params.copy_prob > 1.0 ||
+      params.in_copy_prob < 0.0 || params.in_copy_prob > 1.0) {
+    return Status::InvalidArgument(
+        "WebGraph: copy_prob and in_copy_prob must be in [0, 1]");
+  }
+  Rng rng(params.seed);
+  DiGraph::Builder builder(params.n);
+  // Seed nucleus: a small cycle so every page has a link to copy.
+  const uint32_t nucleus = std::min<uint32_t>(params.out_degree + 1, params.n);
+  std::vector<std::vector<VertexId>> out_links(params.n);
+  std::vector<std::vector<VertexId>> in_links(params.n);
+  auto add_edge = [&](VertexId src, VertexId dst) {
+    builder.AddEdge(src, dst);
+    out_links[src].push_back(dst);
+    in_links[dst].push_back(src);
+  };
+  for (VertexId v = 0; v < nucleus; ++v) {
+    add_edge(v, (v + 1) % nucleus);
+  }
+  for (VertexId v = nucleus; v < params.n; ++v) {
+    VertexId prototype = static_cast<VertexId>(rng.NextUint64(v));
+    std::unordered_set<VertexId> chosen;
+    // Link to the prototype itself (web pages link to their "hub"), then
+    // copy (or rewire) its links while staying within the degree budget —
+    // without the cap, copied pages with above-average degree compound
+    // across generations and the realised degree creeps past the target.
+    chosen.insert(prototype);
+    for (VertexId u : out_links[prototype]) {
+      if (chosen.size() >= params.out_degree) break;
+      VertexId target;
+      if (rng.NextBool(params.copy_prob)) {
+        target = u;
+      } else {
+        target = static_cast<VertexId>(rng.NextUint64(v));
+      }
+      if (target != v) chosen.insert(target);
+    }
+    // Top up with random links until the page has out_degree links.
+    uint32_t attempts = 0;
+    while (chosen.size() < params.out_degree && attempts < 10 * params.out_degree) {
+      VertexId target = static_cast<VertexId>(rng.NextUint64(v));
+      if (target != v) chosen.insert(target);
+      ++attempts;
+    }
+    for (VertexId u : chosen) add_edge(v, u);
+
+    // Audience inheritance: the pages that link to a sibling also pick up
+    // the newcomer — I(v) becomes a near-copy of I(sibling).
+    if (rng.NextBool(params.in_copy_prob)) {
+      VertexId sibling = static_cast<VertexId>(rng.NextUint64(v));
+      // Snapshot the sibling's current audience (add_edge mutates it).
+      std::vector<VertexId> audience = in_links[sibling];
+      for (VertexId x : audience) {
+        if (x != v && rng.NextBool(params.copy_prob)) add_edge(x, v);
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<DiGraph> CitationGraph(const CitationGraphParams& params) {
+  if (params.n < 2 || params.refs_per_node == 0 ||
+      params.max_family_size == 0) {
+    return Status::InvalidArgument(
+        "CitationGraph requires n >= 2, refs_per_node >= 1 and "
+        "max_family_size >= 1");
+  }
+  if (params.pref_prob < 0.0 || params.pref_prob > 1.0 ||
+      params.join_family_prob < 0.0 || params.join_family_prob > 1.0 ||
+      params.cite_family_prob < 0.0 || params.cite_family_prob > 1.0) {
+    return Status::InvalidArgument(
+        "CitationGraph: probabilities must be in [0, 1]");
+  }
+  Rng rng(params.seed);
+  DiGraph::Builder builder(params.n);
+  // Family bookkeeping: family_of[v] indexes into families.
+  std::vector<uint32_t> family_of(params.n, 0);
+  std::vector<std::vector<VertexId>> families;
+  families.push_back({0});
+  std::vector<VertexId> pref_pool;  // one entry per citation received + 1
+  pref_pool.reserve(static_cast<size_t>(params.n) *
+                    (1 + params.refs_per_node));
+  pref_pool.push_back(0);
+  for (VertexId v = 1; v < params.n; ++v) {
+    // Join the newest still-open family or found a new one.
+    if (rng.NextBool(params.join_family_prob) &&
+        families.back().size() < params.max_family_size) {
+      families.back().push_back(v);
+    } else {
+      families.push_back({v});
+    }
+    family_of[v] = static_cast<uint32_t>(families.size() - 1);
+
+    uint32_t refs = std::min<uint32_t>(params.refs_per_node, v);
+    std::unordered_set<VertexId> cited;
+    uint32_t attempts = 0;
+    while (cited.size() < refs && attempts < 20 * refs) {
+      ++attempts;
+      VertexId target;
+      if (rng.NextBool(params.pref_prob)) {
+        target = pref_pool[rng.NextUint64(pref_pool.size())];
+      } else {
+        // Recency window: patents cite recent work.
+        uint32_t lo = v > params.window ? v - params.window : 0;
+        target = static_cast<VertexId>(lo + rng.NextUint64(v - lo));
+      }
+      if (target >= v) continue;  // DAG: only cite older patents
+      cited.insert(target);
+      // Cite the target's family siblings too (prior art comes in
+      // families, which is what makes citer sets near-duplicates).
+      for (VertexId sibling : families[family_of[target]]) {
+        if (sibling < v && rng.NextBool(params.cite_family_prob)) {
+          cited.insert(sibling);
+        }
+      }
+    }
+    for (VertexId u : cited) {
+      builder.AddEdge(v, u);
+      pref_pool.push_back(u);
+    }
+    pref_pool.push_back(v);
+  }
+  return std::move(builder).Build();
+}
+
+Result<DiGraph> CoauthorGraph(const CoauthorGraphParams& params) {
+  if (params.num_authors < 2 || params.num_communities == 0 ||
+      params.max_authors_per_paper < 2) {
+    return Status::InvalidArgument(
+        "CoauthorGraph requires >=2 authors, >=1 community, "
+        ">=2 authors per paper");
+  }
+  if (params.cross_community_prob < 0.0 ||
+      params.cross_community_prob > 1.0 || params.repeat_team_prob < 0.0 ||
+      params.repeat_team_prob > 1.0) {
+    return Status::InvalidArgument(
+        "CoauthorGraph: probabilities must be in [0, 1]");
+  }
+  Rng rng(params.seed);
+  const uint32_t n = params.num_authors;
+  // Assign authors round-robin to communities, then collect members.
+  std::vector<std::vector<VertexId>> members(params.num_communities);
+  for (VertexId a = 0; a < n; ++a) {
+    members[a % params.num_communities].push_back(a);
+  }
+  // Per-author "productivity" weight pool for preferential lead selection:
+  // prolific authors publish more, matching DBLP's skew.
+  std::vector<VertexId> lead_pool;
+  lead_pool.reserve(n + params.num_papers * params.max_authors_per_paper);
+  for (VertexId a = 0; a < n; ++a) lead_pool.push_back(a);
+
+  // The last team each author published with (index into `teams`).
+  std::vector<int32_t> last_team(n, -1);
+  std::vector<std::vector<VertexId>> teams;
+
+  DiGraph::Builder builder(n);
+  for (uint32_t p = 0; p < params.num_papers; ++p) {
+    VertexId lead = lead_pool[rng.NextUint64(lead_pool.size())];
+    const auto& home = members[lead % params.num_communities];
+    std::unordered_set<VertexId> team{lead};
+    if (last_team[lead] >= 0 && rng.NextBool(params.repeat_team_prob)) {
+      // Stable collaboration: the previous team publishes again, possibly
+      // picking up one newcomer.
+      for (VertexId member : teams[static_cast<size_t>(last_team[lead])]) {
+        team.insert(member);
+      }
+      if (team.size() < params.max_authors_per_paper &&
+          rng.NextBool(0.5)) {
+        team.insert(home[rng.NextUint64(home.size())]);
+      }
+    } else {
+      uint32_t team_size = static_cast<uint32_t>(
+          2 + rng.NextUint64(params.max_authors_per_paper - 1));
+      uint32_t attempts = 0;
+      while (team.size() < team_size && attempts < 20 * team_size) {
+        ++attempts;
+        VertexId coauthor;
+        if (rng.NextBool(params.cross_community_prob)) {
+          coauthor = static_cast<VertexId>(rng.NextUint64(n));
+        } else {
+          coauthor = home[rng.NextUint64(home.size())];
+        }
+        team.insert(coauthor);
+      }
+    }
+    std::vector<VertexId> team_list(team.begin(), team.end());
+    std::sort(team_list.begin(), team_list.end());
+    teams.push_back(team_list);
+    for (VertexId member : team_list) {
+      last_team[member] = static_cast<int32_t>(teams.size() - 1);
+    }
+    for (size_t i = 0; i < team_list.size(); ++i) {
+      for (size_t j = i + 1; j < team_list.size(); ++j) {
+        builder.AddEdge(team_list[i], team_list[j]);
+        builder.AddEdge(team_list[j], team_list[i]);
+      }
+      lead_pool.push_back(team_list[i]);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace simrank::gen

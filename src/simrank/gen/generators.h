@@ -1,0 +1,136 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on BERKSTAN (web graph), PATENT (citation network),
+// DBLP (co-authorship snapshots) and GTGraph synthetic graphs. Those inputs
+// are reproduced here by generators that match the structural properties
+// SimRank's cost model depends on: average in-degree, in-degree skew, and —
+// crucial for OIP — the overlap between in-neighbour sets (see DESIGN.md
+// section 1 for the substitution rationale). All generators are
+// deterministic given their seed.
+#ifndef OIPSIM_SIMRANK_GEN_GENERATORS_H_
+#define OIPSIM_SIMRANK_GEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "simrank/common/status.h"
+#include "simrank/graph/digraph.h"
+
+namespace simrank::gen {
+
+/// Uniform random digraph G(n, m): m distinct directed edges (no
+/// self-loops) sampled uniformly.
+struct ErdosRenyiParams {
+  uint32_t n = 1000;
+  uint64_t m = 5000;
+  uint64_t seed = 1;
+};
+Result<DiGraph> ErdosRenyi(const ErdosRenyiParams& params);
+
+/// R-MAT recursive-matrix generator (the model behind GTGraph's default
+/// mode, used for the paper's SYN datasets). Probabilities must be positive
+/// and sum to 1. Duplicate edges are collapsed, so the realised m is
+/// slightly below `m_target` on dense corners.
+struct RmatParams {
+  uint32_t scale = 10;        ///< n = 2^scale vertices.
+  uint64_t m_target = 8000;   ///< edges drawn before deduplication.
+  double a = 0.45, b = 0.15, c = 0.15, d = 0.25;
+  uint64_t seed = 1;
+  /// Randomly permute vertex ids afterwards so locality artefacts of the
+  /// recursive construction do not leak into algorithms.
+  bool shuffle_ids = true;
+};
+Result<DiGraph> Rmat(const RmatParams& params);
+
+/// SSCA#2-style clustered graph (the GTGraph generator behind the paper's
+/// SYN density sweep). Vertices are partitioned into cliques of uniform
+/// random size in [2, max_clique_size]; every ordered pair inside a clique
+/// gets an edge, and each vertex adds a few random inter-clique edges
+/// (`inter_clique_ratio` of its clique degree). Clique members have
+/// in-neighbour sets that differ in exactly two elements plus noise, so
+/// the DMST share ratio *grows with density* — the regime of Fig. 6c.
+struct Ssca2Params {
+  uint32_t n = 1024;
+  uint32_t max_clique_size = 16;
+  double inter_clique_ratio = 0.15;
+  uint64_t seed = 1;
+};
+Result<DiGraph> Ssca2(const Ssca2Params& params);
+
+/// Directed preferential attachment (Barabási–Albert flavour): each new
+/// vertex adds `out_degree` edges to earlier vertices chosen proportional
+/// to (in-degree + 1).
+struct BarabasiAlbertParams {
+  uint32_t n = 1000;
+  uint32_t out_degree = 4;
+  uint64_t seed = 1;
+};
+Result<DiGraph> BarabasiAlbert(const BarabasiAlbertParams& params);
+
+/// Copying-model web graph — the BERKSTAN analogue. Each new page picks a
+/// prototype page and copies each of the prototype's out-links with
+/// probability `copy_prob` (otherwise rewiring to a random page), then adds
+/// a link to the prototype itself. Additionally, with probability
+/// `in_copy_prob` the new page joins an existing page's audience: each
+/// page linking to a chosen sibling also links to the newcomer (with
+/// probability `copy_prob`). The second mechanism models template/index
+/// pages that link to every page of a site section and is what gives real
+/// web graphs their heavily-overlapping (often near-duplicate)
+/// in-neighbour sets — the property the paper's partial-sums sharing
+/// exploits.
+struct WebGraphParams {
+  uint32_t n = 3000;
+  uint32_t out_degree = 8;  ///< direct links per new page.
+  double copy_prob = 0.7;
+  /// Probability that a new page inherits a sibling's audience.
+  double in_copy_prob = 0.6;
+  uint64_t seed = 1;
+};
+Result<DiGraph> WebGraph(const WebGraphParams& params);
+
+/// Time-ordered citation DAG — the PATENT analogue. Vertices arrive in
+/// order and are grouped into *families* (continuations/divisionals of one
+/// invention). Vertex v picks `refs_per_node` earlier targets, drawn from
+/// a mixture of preferential attachment (probability `pref_prob`) and a
+/// recency window of the last `window` vertices; with probability
+/// `cite_family_prob` each sibling of a cited patent is cited too. Citing
+/// whole families is what gives patent data its near-duplicate in-neighbour
+/// (citer) sets. All edges point from newer to older, so the graph is
+/// acyclic like a real citation network.
+struct CitationGraphParams {
+  uint32_t n = 4000;
+  uint32_t refs_per_node = 3;  ///< cited families per patent.
+  double pref_prob = 0.5;
+  uint32_t window = 200;
+  /// Probability a new patent extends the most recent family rather than
+  /// founding its own.
+  double join_family_prob = 0.4;
+  uint32_t max_family_size = 4;
+  /// Probability each family sibling of a cited patent is cited as well.
+  double cite_family_prob = 0.8;
+  uint64_t seed = 1;
+};
+Result<DiGraph> CitationGraph(const CitationGraphParams& params);
+
+/// Community-based co-authorship network — the DBLP analogue. Authors live
+/// in overlapping communities; papers pick 2..max_authors authors, mostly
+/// from one community with occasional cross-community collaborators, and
+/// all pairs of co-authors get symmetric edges. With probability
+/// `repeat_team_prob` a paper reuses its lead author's previous team
+/// (possibly adding one newcomer) — stable collaborations are what give
+/// co-authorship data its near-duplicate neighbour sets. Growing
+/// `num_papers` produces the paper's D02..D11-style snapshots.
+struct CoauthorGraphParams {
+  uint32_t num_authors = 2000;
+  uint32_t num_papers = 3000;
+  uint32_t num_communities = 40;
+  uint32_t max_authors_per_paper = 5;
+  double cross_community_prob = 0.15;
+  /// Probability that the lead's previous team publishes together again.
+  double repeat_team_prob = 0.4;
+  uint64_t seed = 1;
+};
+Result<DiGraph> CoauthorGraph(const CoauthorGraphParams& params);
+
+}  // namespace simrank::gen
+
+#endif  // OIPSIM_SIMRANK_GEN_GENERATORS_H_

@@ -1,0 +1,75 @@
+#include "simrank/graph/digraph.h"
+
+#include <algorithm>
+
+namespace simrank {
+
+bool DiGraph::HasEdge(VertexId src, VertexId dst) const {
+  auto out = OutNeighbors(src);
+  return std::binary_search(out.begin(), out.end(), dst);
+}
+
+std::vector<Edge> DiGraph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(m());
+  for (VertexId v = 0; v < n_; ++v) {
+    for (VertexId u : OutNeighbors(v)) {
+      edges.push_back(Edge{v, u});
+    }
+  }
+  return edges;
+}
+
+DiGraph DiGraph::Builder::Build() && {
+  if (dedupe_) {
+    std::sort(edges_.begin(), edges_.end(),
+              [](const Edge& a, const Edge& b) {
+                return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  }
+
+  DiGraph g;
+  g.n_ = n_;
+  const uint64_t m = edges_.size();
+
+  // Counting-sort CSR construction for both directions.
+  g.out_offsets_.assign(n_ + 1, 0);
+  g.in_offsets_.assign(n_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++g.out_offsets_[e.src + 1];
+    ++g.in_offsets_[e.dst + 1];
+  }
+  for (uint32_t v = 0; v < n_; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+
+  g.out_targets_.resize(m);
+  g.in_sources_.resize(m);
+  std::vector<uint64_t> out_cursor(g.out_offsets_.begin(),
+                                   g.out_offsets_.end() - 1);
+  std::vector<uint64_t> in_cursor(g.in_offsets_.begin(),
+                                  g.in_offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    g.out_targets_[out_cursor[e.src]++] = e.dst;
+    g.in_sources_[in_cursor[e.dst]++] = e.src;
+  }
+
+  // Neighbour lists must be sorted ascending: the out lists already are
+  // when the input was sorted for deduplication; the in lists need a sort
+  // per vertex either way (stable insertion order is by src only when the
+  // edges were sorted, which happens to be ascending — but we do not rely
+  // on that when dedupe_ is off).
+  for (uint32_t v = 0; v < n_; ++v) {
+    std::sort(g.out_targets_.begin() + static_cast<int64_t>(g.out_offsets_[v]),
+              g.out_targets_.begin() +
+                  static_cast<int64_t>(g.out_offsets_[v + 1]));
+    std::sort(g.in_sources_.begin() + static_cast<int64_t>(g.in_offsets_[v]),
+              g.in_sources_.begin() +
+                  static_cast<int64_t>(g.in_offsets_[v + 1]));
+  }
+  return g;
+}
+
+}  // namespace simrank

@@ -1,0 +1,137 @@
+// Immutable directed graph in compressed sparse row (CSR) form.
+//
+// SimRank is defined over *in*-neighbour sets, so DiGraph stores both the
+// forward (out) and reverse (in) adjacency in CSR. In-neighbour lists are
+// sorted ascending, which the OIP machinery relies on for linear-time
+// symmetric differences between in-neighbour sets.
+#ifndef OIPSIM_SIMRANK_GRAPH_DIGRAPH_H_
+#define OIPSIM_SIMRANK_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "simrank/common/macros.h"
+
+namespace simrank {
+
+/// Vertex identifier. Vertices are dense integers [0, n).
+using VertexId = uint32_t;
+
+/// A directed edge (source -> target).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Immutable CSR digraph with both adjacency directions.
+///
+/// Construction goes through DiGraph::Builder:
+///
+///   DiGraph::Builder b(4);
+///   b.AddEdge(0, 1);
+///   b.AddEdge(2, 1);
+///   DiGraph g = std::move(b).Build();
+///
+/// All neighbour lists are sorted ascending and free of duplicates
+/// (parallel edges are collapsed unless the builder is told otherwise).
+class DiGraph {
+ public:
+  class Builder;
+
+  /// Constructs an empty graph (0 vertices, 0 edges).
+  DiGraph() = default;
+
+  /// Number of vertices.
+  uint32_t n() const { return n_; }
+  /// Number of (deduplicated) directed edges.
+  uint64_t m() const { return static_cast<uint64_t>(out_targets_.size()); }
+
+  /// Sorted out-neighbours of `v`: all u with edge (v -> u).
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    OIPSIM_DCHECK(v < n_);
+    return {out_targets_.data() + out_offsets_[v],
+            out_targets_.data() + out_offsets_[v + 1]};
+  }
+
+  /// Sorted in-neighbours of `v`: all u with edge (u -> v). This is the set
+  /// I(v) of the SimRank recurrence.
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    OIPSIM_DCHECK(v < n_);
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+
+  uint32_t OutDegree(VertexId v) const {
+    OIPSIM_DCHECK(v < n_);
+    return static_cast<uint32_t>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+  uint32_t InDegree(VertexId v) const {
+    OIPSIM_DCHECK(v < n_);
+    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// Mean in-degree m/n (the paper's d). Zero for the empty graph.
+  double AverageInDegree() const {
+    return n_ == 0 ? 0.0 : static_cast<double>(m()) / n_;
+  }
+
+  /// True if the edge (src -> dst) exists (binary search, O(log deg)).
+  bool HasEdge(VertexId src, VertexId dst) const;
+
+  /// Materialises the edge list in (src, dst) lexicographic order.
+  std::vector<Edge> Edges() const;
+
+  friend bool operator==(const DiGraph& a, const DiGraph& b) = default;
+
+ private:
+  uint32_t n_ = 0;
+  // CSR out-adjacency: out_targets_[out_offsets_[v] .. out_offsets_[v+1])
+  std::vector<uint64_t> out_offsets_{0};
+  std::vector<VertexId> out_targets_;
+  // CSR in-adjacency (the reverse graph).
+  std::vector<uint64_t> in_offsets_{0};
+  std::vector<VertexId> in_sources_;
+};
+
+/// Accumulates edges and produces an immutable DiGraph.
+class DiGraph::Builder {
+ public:
+  /// Creates a builder for a graph with `num_vertices` vertices.
+  explicit Builder(uint32_t num_vertices) : n_(num_vertices) {}
+
+  /// Adds a directed edge; both endpoints must be < num_vertices.
+  /// Self-loops are permitted (SimRank treats them as ordinary edges).
+  void AddEdge(VertexId src, VertexId dst) {
+    OIPSIM_CHECK_LT(src, n_);
+    OIPSIM_CHECK_LT(dst, n_);
+    edges_.push_back(Edge{src, dst});
+  }
+
+  /// Bulk-adds edges.
+  void AddEdges(const std::vector<Edge>& edges) {
+    for (const Edge& e : edges) AddEdge(e.src, e.dst);
+  }
+
+  /// If set (default), parallel edges collapse to one. SimRank's |I(a)|
+  /// counts distinct in-neighbours, so deduplication is the faithful model.
+  void set_dedupe_parallel_edges(bool dedupe) { dedupe_ = dedupe; }
+
+  /// Number of edges added so far (pre-deduplication).
+  uint64_t num_pending_edges() const { return edges_.size(); }
+
+  /// Finalises into an immutable DiGraph. The builder is consumed.
+  DiGraph Build() &&;
+
+ private:
+  uint32_t n_;
+  bool dedupe_ = true;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_GRAPH_DIGRAPH_H_

@@ -1,0 +1,39 @@
+// Graph serialisation: SNAP-style edge-list text files and a compact
+// binary format for generated benchmark datasets.
+#ifndef OIPSIM_SIMRANK_GRAPH_GRAPH_IO_H_
+#define OIPSIM_SIMRANK_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "simrank/common/status.h"
+#include "simrank/graph/digraph.h"
+
+namespace simrank {
+
+/// Reads a whitespace-separated edge list ("src dst" per line). Lines that
+/// are empty or start with '#' or '%' are skipped (SNAP/Matrix-Market
+/// comment conventions). Vertex ids may be arbitrary non-negative integers;
+/// when `compact_ids` is true they are relabelled densely in first-seen
+/// order, otherwise the max id defines n and ids are used as-is.
+Result<DiGraph> ReadEdgeList(const std::string& path,
+                             bool compact_ids = true);
+
+/// Parses an edge list from an in-memory string (same format as
+/// ReadEdgeList). Useful for tests and fixtures.
+Result<DiGraph> ParseEdgeList(const std::string& text,
+                              bool compact_ids = true);
+
+/// Writes "src dst" lines, one directed edge per line, with a header
+/// comment carrying n and m.
+Status WriteEdgeList(const DiGraph& graph, const std::string& path);
+
+/// Writes the compact binary format: magic, n, m, then m (src,dst) pairs of
+/// uint32. Reading validates magic and bounds.
+Status WriteBinary(const DiGraph& graph, const std::string& path);
+
+/// Reads the compact binary format written by WriteBinary.
+Result<DiGraph> ReadBinary(const std::string& path);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_GRAPH_GRAPH_IO_H_

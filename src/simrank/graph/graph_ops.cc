@@ -1,0 +1,76 @@
+#include "simrank/graph/graph_ops.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace simrank {
+
+DiGraph Transpose(const DiGraph& graph) {
+  DiGraph::Builder builder(graph.n());
+  for (VertexId v = 0; v < graph.n(); ++v) {
+    for (VertexId u : graph.OutNeighbors(v)) builder.AddEdge(u, v);
+  }
+  return std::move(builder).Build();
+}
+
+DiGraph InducedSubgraph(const DiGraph& graph,
+                        const std::vector<VertexId>& vertices) {
+  std::unordered_map<VertexId, VertexId> relabel;
+  relabel.reserve(vertices.size());
+  for (VertexId v : vertices) {
+    OIPSIM_CHECK_LT(v, graph.n());
+    relabel.emplace(v, static_cast<VertexId>(relabel.size()));
+  }
+  DiGraph::Builder builder(static_cast<uint32_t>(relabel.size()));
+  for (const auto& [old_id, new_id] : relabel) {
+    for (VertexId u : graph.OutNeighbors(old_id)) {
+      auto it = relabel.find(u);
+      if (it != relabel.end()) builder.AddEdge(new_id, it->second);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<DiGraph> RelabelVertices(const DiGraph& graph,
+                                const std::vector<VertexId>& perm) {
+  if (perm.size() != graph.n()) {
+    return Status::InvalidArgument("perm size does not match vertex count");
+  }
+  std::vector<bool> seen(graph.n(), false);
+  for (VertexId p : perm) {
+    if (p >= graph.n() || seen[p]) {
+      return Status::InvalidArgument("perm is not a permutation of [0, n)");
+    }
+    seen[p] = true;
+  }
+  DiGraph::Builder builder(graph.n());
+  for (VertexId v = 0; v < graph.n(); ++v) {
+    for (VertexId u : graph.OutNeighbors(v)) {
+      builder.AddEdge(perm[v], perm[u]);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+DiGraph RemoveSelfLoops(const DiGraph& graph) {
+  DiGraph::Builder builder(graph.n());
+  for (VertexId v = 0; v < graph.n(); ++v) {
+    for (VertexId u : graph.OutNeighbors(v)) {
+      if (u != v) builder.AddEdge(v, u);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+DiGraph Symmetrize(const DiGraph& graph) {
+  DiGraph::Builder builder(graph.n());
+  for (VertexId v = 0; v < graph.n(); ++v) {
+    for (VertexId u : graph.OutNeighbors(v)) {
+      builder.AddEdge(v, u);
+      builder.AddEdge(u, v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace simrank

@@ -1,0 +1,34 @@
+// Structural transformations on digraphs.
+#ifndef OIPSIM_SIMRANK_GRAPH_GRAPH_OPS_H_
+#define OIPSIM_SIMRANK_GRAPH_GRAPH_OPS_H_
+
+#include <vector>
+
+#include "simrank/common/status.h"
+#include "simrank/graph/digraph.h"
+
+namespace simrank {
+
+/// Returns the reverse graph (every edge flipped).
+DiGraph Transpose(const DiGraph& graph);
+
+/// Returns the subgraph induced by `vertices` (deduplicated); vertices are
+/// relabelled densely in the order given.
+DiGraph InducedSubgraph(const DiGraph& graph,
+                        const std::vector<VertexId>& vertices);
+
+/// Relabels vertices: new id of v is perm[v]. `perm` must be a permutation
+/// of [0, n).
+Result<DiGraph> RelabelVertices(const DiGraph& graph,
+                                const std::vector<VertexId>& perm);
+
+/// Returns a copy with self-loops removed.
+DiGraph RemoveSelfLoops(const DiGraph& graph);
+
+/// Returns a copy with every edge also present in the reverse direction
+/// (the "symmetrised" graph; co-authorship graphs are built this way).
+DiGraph Symmetrize(const DiGraph& graph);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_GRAPH_GRAPH_OPS_H_

@@ -1,0 +1,97 @@
+#include "simrank/graph/graph_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "simrank/common/string_util.h"
+#include "simrank/graph/set_ops.h"
+
+namespace simrank {
+
+std::string DegreeStats::ToString() const {
+  return StrFormat(
+      "n=%u m=%llu avg_in_deg=%.2f max_in=%u max_out=%u sources=%u sinks=%u",
+      n, static_cast<unsigned long long>(m), avg_in_degree, max_in_degree,
+      max_out_degree, num_sources, num_sinks);
+}
+
+DegreeStats ComputeDegreeStats(const DiGraph& graph) {
+  DegreeStats stats;
+  stats.n = graph.n();
+  stats.m = graph.m();
+  stats.avg_in_degree = graph.AverageInDegree();
+  for (VertexId v = 0; v < graph.n(); ++v) {
+    uint32_t in = graph.InDegree(v);
+    uint32_t out = graph.OutDegree(v);
+    stats.max_in_degree = std::max(stats.max_in_degree, in);
+    stats.max_out_degree = std::max(stats.max_out_degree, out);
+    if (in == 0) ++stats.num_sources;
+    if (out == 0) ++stats.num_sinks;
+  }
+  return stats;
+}
+
+OverlapStats EstimateOverlap(const DiGraph& graph, uint32_t num_samples,
+                             uint64_t seed) {
+  OverlapStats stats;
+  std::vector<VertexId> candidates;
+  candidates.reserve(graph.n());
+  for (VertexId v = 0; v < graph.n(); ++v) {
+    if (graph.InDegree(v) > 0) candidates.push_back(v);
+  }
+  if (candidates.size() < 2) return stats;
+
+  Rng rng(seed);
+  double sum_inter = 0, sum_symdiff = 0, sum_jaccard = 0;
+  for (uint32_t s = 0; s < num_samples; ++s) {
+    VertexId a = candidates[rng.NextUint64(candidates.size())];
+    VertexId b = candidates[rng.NextUint64(candidates.size())];
+    if (a == b) continue;
+    auto ia = graph.InNeighbors(a);
+    auto ib = graph.InNeighbors(b);
+    uint64_t inter = IntersectionSize(ia, ib);
+    uint64_t uni = ia.size() + ib.size() - inter;
+    sum_inter += static_cast<double>(inter);
+    sum_symdiff += static_cast<double>(ia.size() + ib.size() - 2 * inter);
+    sum_jaccard += uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+    ++stats.pairs_sampled;
+  }
+  if (stats.pairs_sampled > 0) {
+    stats.avg_intersection = sum_inter / stats.pairs_sampled;
+    stats.avg_symmetric_difference = sum_symdiff / stats.pairs_sampled;
+    stats.avg_jaccard = sum_jaccard / stats.pairs_sampled;
+  }
+  return stats;
+}
+
+uint32_t CountDistinctInNeighborSets(const DiGraph& graph) {
+  // Hash each sorted in-neighbour list (FNV-1a over the elements) and use
+  // full comparison within buckets to resolve collisions exactly.
+  struct SetRef {
+    const DiGraph* graph;
+    VertexId v;
+  };
+  struct Hash {
+    size_t operator()(const SetRef& ref) const {
+      uint64_t h = 1469598103934665603ULL;
+      for (VertexId u : ref.graph->InNeighbors(ref.v)) {
+        h ^= u;
+        h *= 1099511628211ULL;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Eq {
+    bool operator()(const SetRef& a, const SetRef& b) const {
+      return SetsEqual(a.graph->InNeighbors(a.v), b.graph->InNeighbors(b.v));
+    }
+  };
+  std::unordered_set<SetRef, Hash, Eq> distinct;
+  for (VertexId v = 0; v < graph.n(); ++v) {
+    if (graph.InDegree(v) > 0) distinct.insert(SetRef{&graph, v});
+  }
+  return static_cast<uint32_t>(distinct.size());
+}
+
+}  // namespace simrank

@@ -1,0 +1,56 @@
+// Summary statistics over graphs: degree distributions and in-neighbour
+// overlap measures. The overlap measures quantify how much partial-sums
+// sharing a graph offers (the d' / d⊖ of the paper's complexity results).
+#ifndef OIPSIM_SIMRANK_GRAPH_GRAPH_STATS_H_
+#define OIPSIM_SIMRANK_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "simrank/common/rng.h"
+#include "simrank/graph/digraph.h"
+
+namespace simrank {
+
+/// Degree summary of a digraph.
+struct DegreeStats {
+  uint32_t n = 0;
+  uint64_t m = 0;
+  double avg_in_degree = 0.0;
+  uint32_t max_in_degree = 0;
+  uint32_t max_out_degree = 0;
+  /// Vertices with no in-neighbours (their SimRank rows are zero except
+  /// the diagonal).
+  uint32_t num_sources = 0;
+  /// Vertices with no out-neighbours.
+  uint32_t num_sinks = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes degree statistics in one pass.
+DegreeStats ComputeDegreeStats(const DiGraph& graph);
+
+/// Overlap statistics between in-neighbour sets, estimated on
+/// `num_samples` random vertex pairs with non-empty in-neighbour sets.
+struct OverlapStats {
+  /// Mean |I(a) ∩ I(b)| over sampled pairs.
+  double avg_intersection = 0.0;
+  /// Mean |I(a) ⊖ I(b)| over sampled pairs.
+  double avg_symmetric_difference = 0.0;
+  /// Mean Jaccard similarity |∩| / |∪| over sampled pairs.
+  double avg_jaccard = 0.0;
+  uint32_t pairs_sampled = 0;
+};
+
+/// Estimates OverlapStats on random pairs (deterministic given `seed`).
+OverlapStats EstimateOverlap(const DiGraph& graph, uint32_t num_samples,
+                             uint64_t seed);
+
+/// Number of *distinct* non-empty in-neighbour sets. The vertices of the
+/// transition graph G* in Section III-A are exactly these sets.
+uint32_t CountDistinctInNeighborSets(const DiGraph& graph);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_GRAPH_GRAPH_STATS_H_

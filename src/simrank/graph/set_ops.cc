@@ -1,0 +1,90 @@
+#include "simrank/graph/set_ops.h"
+
+namespace simrank {
+
+uint64_t IntersectionSize(std::span<const VertexId> a,
+                          std::span<const VertexId> b) {
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint64_t SymmetricDifferenceSize(std::span<const VertexId> a,
+                                 std::span<const VertexId> b) {
+  // |A| + |B| - 2|A ∩ B|
+  return a.size() + b.size() - 2 * IntersectionSize(a, b);
+}
+
+uint64_t SymmetricDifferenceSizeCapped(std::span<const VertexId> a,
+                                       std::span<const VertexId> b,
+                                       uint64_t cap) {
+  uint64_t diff = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+      ++diff;
+    } else if (a[i] > b[j]) {
+      ++j;
+      ++diff;
+    } else {
+      ++i;
+      ++j;
+    }
+    if (diff >= cap) return diff;
+  }
+  diff += (a.size() - i) + (b.size() - j);
+  return diff;
+}
+
+void SetDifferences(std::span<const VertexId> a, std::span<const VertexId> b,
+                    std::vector<VertexId>* a_minus_b,
+                    std::vector<VertexId>* b_minus_a) {
+  OIPSIM_CHECK(a_minus_b != nullptr && b_minus_a != nullptr);
+  a_minus_b->clear();
+  b_minus_a->clear();
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      a_minus_b->push_back(a[i++]);
+    } else if (a[i] > b[j]) {
+      b_minus_a->push_back(b[j++]);
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.size(); ++i) a_minus_b->push_back(a[i]);
+  for (; j < b.size(); ++j) b_minus_a->push_back(b[j]);
+}
+
+std::vector<VertexId> Intersection(std::span<const VertexId> a,
+                                   std::span<const VertexId> b) {
+  std::vector<VertexId> out;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace simrank

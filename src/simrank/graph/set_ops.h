@@ -1,0 +1,50 @@
+// Linear-time operations on sorted vertex sets (in-neighbour lists).
+//
+// These are the primitives behind Eq. (7) of the paper — the transition
+// cost TC(I(a) -> I(b)) = min{|I(a) ⊖ I(b)|, |I(b)| - 1} — and behind the
+// Eq. (9) diff updates that turn one partial sum into another.
+#ifndef OIPSIM_SIMRANK_GRAPH_SET_OPS_H_
+#define OIPSIM_SIMRANK_GRAPH_SET_OPS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simrank/graph/digraph.h"
+
+namespace simrank {
+
+/// |A ∩ B| for ascending-sorted ranges (linear merge).
+uint64_t IntersectionSize(std::span<const VertexId> a,
+                          std::span<const VertexId> b);
+
+/// |A ⊖ B| = |A\B| + |B\A| for ascending-sorted ranges (linear merge).
+uint64_t SymmetricDifferenceSize(std::span<const VertexId> a,
+                                 std::span<const VertexId> b);
+
+/// Early-exit variant: returns |A ⊖ B| if it is < `cap`, otherwise any
+/// value >= cap. Used during MST construction where costs above |I(b)|-1
+/// never matter (Eq. 7 caps them).
+uint64_t SymmetricDifferenceSizeCapped(std::span<const VertexId> a,
+                                       std::span<const VertexId> b,
+                                       uint64_t cap);
+
+/// Computes A\B and B\A in one merge pass. Outputs are ascending.
+void SetDifferences(std::span<const VertexId> a, std::span<const VertexId> b,
+                    std::vector<VertexId>* a_minus_b,
+                    std::vector<VertexId>* b_minus_a);
+
+/// A ∩ B, ascending.
+std::vector<VertexId> Intersection(std::span<const VertexId> a,
+                                   std::span<const VertexId> b);
+
+/// True if sorted ranges are equal element-wise.
+inline bool SetsEqual(std::span<const VertexId> a,
+                      std::span<const VertexId> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_GRAPH_SET_OPS_H_

@@ -1,0 +1,106 @@
+#include "simrank/linalg/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simrank {
+
+DenseMatrix DenseMatrix::Identity(uint32_t n) {
+  DenseMatrix m(n, n);
+  for (uint32_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::Constant(uint32_t rows, uint32_t cols,
+                                  double value) {
+  DenseMatrix m(rows, cols);
+  std::fill(m.data_.begin(), m.data_.end(), value);
+  return m;
+}
+
+void DenseMatrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void DenseMatrix::Add(const DenseMatrix& other) {
+  OIPSIM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void DenseMatrix::AddScaled(const DenseMatrix& other, double scale) {
+  OIPSIM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+void DenseMatrix::Scale(double scale) {
+  for (double& v : data_) v *= scale;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (uint32_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    for (uint32_t j = 0; j < cols_; ++j) t(j, i) = row[j];
+  }
+  return t;
+}
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  OIPSIM_CHECK_EQ(cols_, other.rows_);
+  DenseMatrix out(rows_, other.cols_);
+  // i-k-j loop order for row-major cache friendliness.
+  for (uint32_t i = 0; i < rows_; ++i) {
+    const double* a_row = Row(i);
+    double* out_row = out.Row(i);
+    for (uint32_t k = 0; k < cols_; ++k) {
+      double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.Row(k);
+      for (uint32_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::MultiplyTransposed(const DenseMatrix& other) const {
+  OIPSIM_CHECK_EQ(cols_, other.cols_);
+  DenseMatrix out(rows_, other.rows_);
+  for (uint32_t i = 0; i < rows_; ++i) {
+    const double* a_row = Row(i);
+    double* out_row = out.Row(i);
+    for (uint32_t j = 0; j < other.rows_; ++j) {
+      const double* b_row = other.Row(j);
+      double sum = 0.0;
+      for (uint32_t k = 0; k < cols_; ++k) sum += a_row[k] * b_row[k];
+      out_row[j] = sum;
+    }
+  }
+  return out;
+}
+
+double DenseMatrix::MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  OIPSIM_CHECK(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a.data_[i] - b.data_[i]));
+  }
+  return max_diff;
+}
+
+double DenseMatrix::MaxNorm() const {
+  double max_abs = 0.0;
+  for (double v : data_) max_abs = std::max(max_abs, std::abs(v));
+  return max_abs;
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+}  // namespace simrank

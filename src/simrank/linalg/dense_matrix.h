@@ -1,0 +1,91 @@
+// Row-major dense double matrix with the operations needed by the
+// matrix-form SimRank oracle and the SVD-based mtx-SR baseline.
+#ifndef OIPSIM_SIMRANK_LINALG_DENSE_MATRIX_H_
+#define OIPSIM_SIMRANK_LINALG_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simrank/common/macros.h"
+
+namespace simrank {
+
+/// Dense row-major matrix of doubles.
+class DenseMatrix {
+ public:
+  /// Constructs an empty 0x0 matrix.
+  DenseMatrix() = default;
+
+  /// Constructs a rows x cols matrix, zero-initialised.
+  DenseMatrix(uint32_t rows, uint32_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0.0) {}
+
+  /// Identity matrix of size n.
+  static DenseMatrix Identity(uint32_t n);
+
+  /// Matrix filled with a constant.
+  static DenseMatrix Constant(uint32_t rows, uint32_t cols, double value);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+
+  double& operator()(uint32_t i, uint32_t j) {
+    OIPSIM_DCHECK(i < rows_ && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+  double operator()(uint32_t i, uint32_t j) const {
+    OIPSIM_DCHECK(i < rows_ && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+
+  /// Raw row pointer (row-major layout).
+  double* Row(uint32_t i) { return data_.data() + static_cast<size_t>(i) * cols_; }
+  const double* Row(uint32_t i) const {
+    return data_.data() + static_cast<size_t>(i) * cols_;
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Sets every entry to `value`.
+  void Fill(double value);
+
+  /// this += other (same shape required).
+  void Add(const DenseMatrix& other);
+
+  /// this += scale * other (same shape required).
+  void AddScaled(const DenseMatrix& other, double scale);
+
+  /// this *= scale.
+  void Scale(double scale);
+
+  /// Returns the transpose.
+  DenseMatrix Transposed() const;
+
+  /// Returns this * other.
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  /// Returns this * otherᵀ.
+  DenseMatrix MultiplyTransposed(const DenseMatrix& other) const;
+
+  /// max_{i,j} |a_ij - b_ij|; shapes must match.
+  static double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b);
+
+  /// max_{i,j} |a_ij| (the paper's ||·||_max norm).
+  double MaxNorm() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  friend bool operator==(const DenseMatrix&, const DenseMatrix&) = default;
+
+ private:
+  uint32_t rows_ = 0;
+  uint32_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_LINALG_DENSE_MATRIX_H_

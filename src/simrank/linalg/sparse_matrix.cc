@@ -1,0 +1,144 @@
+#include "simrank/linalg/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simrank {
+
+SparseMatrix SparseMatrix::FromTriplets(uint32_t rows, uint32_t cols,
+                                        std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    OIPSIM_CHECK_LT(t.row, rows);
+    OIPSIM_CHECK_LT(t.col, cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_offsets_.assign(rows + 1, 0);
+  for (size_t i = 0; i < triplets.size();) {
+    size_t j = i;
+    double sum = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    m.col_indices_.push_back(triplets[i].col);
+    m.values_.push_back(sum);
+    ++m.row_offsets_[triplets[i].row + 1];
+    i = j;
+  }
+  for (uint32_t r = 0; r < rows; ++r) {
+    m.row_offsets_[r + 1] += m.row_offsets_[r];
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::BackwardTransition(const DiGraph& graph) {
+  SparseMatrix m;
+  const uint32_t n = graph.n();
+  m.rows_ = n;
+  m.cols_ = n;
+  m.row_offsets_.assign(n + 1, 0);
+  m.col_indices_.reserve(graph.m());
+  m.values_.reserve(graph.m());
+  for (VertexId v = 0; v < n; ++v) {
+    auto in = graph.InNeighbors(v);
+    const double weight = in.empty() ? 0.0 : 1.0 / static_cast<double>(in.size());
+    for (VertexId u : in) {
+      m.col_indices_.push_back(u);
+      m.values_.push_back(weight);
+    }
+    m.row_offsets_[v + 1] = m.row_offsets_[v] + in.size();
+  }
+  return m;
+}
+
+void SparseMatrix::MultiplyVector(const std::vector<double>& x,
+                                  std::vector<double>* y) const {
+  OIPSIM_CHECK_EQ(x.size(), static_cast<size_t>(cols_));
+  OIPSIM_CHECK(y != nullptr);
+  y->assign(rows_, 0.0);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (uint64_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      sum += values_[k] * x[col_indices_[k]];
+    }
+    (*y)[r] = sum;
+  }
+}
+
+DenseMatrix SparseMatrix::MultiplyDense(const DenseMatrix& dense) const {
+  OIPSIM_CHECK_EQ(cols_, dense.rows());
+  DenseMatrix out(rows_, dense.cols());
+  for (uint32_t r = 0; r < rows_; ++r) {
+    double* out_row = out.Row(r);
+    for (uint64_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const double a = values_[k];
+      const double* dense_row = dense.Row(col_indices_[k]);
+      for (uint32_t j = 0; j < dense.cols(); ++j) {
+        out_row[j] += a * dense_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix SparseMatrix::SandwichDense(const DenseMatrix& dense) const {
+  OIPSIM_CHECK_EQ(cols_, dense.rows());
+  OIPSIM_CHECK_EQ(dense.rows(), dense.cols());
+  // T = Q * S, then out = T * Qᵀ computed as out(i, j) = <T row i, Q row j>.
+  DenseMatrix t = MultiplyDense(dense);
+  DenseMatrix out(rows_, rows_);
+  for (uint32_t i = 0; i < rows_; ++i) {
+    const double* t_row = t.Row(i);
+    double* out_row = out.Row(i);
+    for (uint32_t j = 0; j < rows_; ++j) {
+      double sum = 0.0;
+      for (uint64_t k = row_offsets_[j]; k < row_offsets_[j + 1]; ++k) {
+        sum += values_[k] * t_row[col_indices_[k]];
+      }
+      out_row[j] = sum;
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(values_.size());
+  for (uint32_t r = 0; r < rows_; ++r) {
+    for (uint64_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      triplets.push_back(Triplet{col_indices_[k], r, values_[k]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+DenseMatrix SparseMatrix::ToDense() const {
+  DenseMatrix out(rows_, cols_);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    for (uint64_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      out(r, col_indices_[k]) += values_[k];
+    }
+  }
+  return out;
+}
+
+double SparseMatrix::InfinityNorm() const {
+  double max_sum = 0.0;
+  for (uint32_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (uint64_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      sum += std::abs(values_[k]);
+    }
+    max_sum = std::max(max_sum, sum);
+  }
+  return max_sum;
+}
+
+}  // namespace simrank

@@ -1,0 +1,78 @@
+// CSR sparse double matrix.
+//
+// The matrix-form SimRank oracle (S = C·Q·S·Qᵀ + (1-C)·I, Eq. 3) and the
+// differential model's Tk iteration both need sparse-times-dense products
+// with the backward transition matrix Q, where [Q]_{i,j} = 1/|I(i)| iff
+// edge (j -> i) exists.
+#ifndef OIPSIM_SIMRANK_LINALG_SPARSE_MATRIX_H_
+#define OIPSIM_SIMRANK_LINALG_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simrank/graph/digraph.h"
+#include "simrank/linalg/dense_matrix.h"
+
+namespace simrank {
+
+/// One non-zero entry for triplet construction.
+struct Triplet {
+  uint32_t row = 0;
+  uint32_t col = 0;
+  double value = 0.0;
+};
+
+/// Immutable CSR sparse matrix.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds from triplets. Duplicate (row, col) entries are summed.
+  static SparseMatrix FromTriplets(uint32_t rows, uint32_t cols,
+                                   std::vector<Triplet> triplets);
+
+  /// Builds the backward transition matrix Q of `graph`:
+  /// [Q]_{i,j} = 1/|I(i)| if edge (j -> i), else 0. Rows of vertices with
+  /// no in-neighbours are all-zero (sub-stochastic, as the paper notes).
+  static SparseMatrix BackwardTransition(const DiGraph& graph);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  uint64_t nnz() const { return static_cast<uint64_t>(values_.size()); }
+
+  /// y = this * x (sizes must match).
+  void MultiplyVector(const std::vector<double>& x,
+                      std::vector<double>* y) const;
+
+  /// Returns this * dense.
+  DenseMatrix MultiplyDense(const DenseMatrix& dense) const;
+
+  /// Returns this * dense * thisᵀ — the Q·S·Qᵀ kernel of Eq. (3) —
+  /// without materialising the transpose.
+  DenseMatrix SandwichDense(const DenseMatrix& dense) const;
+
+  /// Returns the transpose as a new CSR matrix.
+  SparseMatrix Transposed() const;
+
+  /// Densifies (for tests on small matrices).
+  DenseMatrix ToDense() const;
+
+  /// Max row sum of absolute values (the infinity norm).
+  double InfinityNorm() const;
+
+  /// CSR internals (exposed for kernels and tests).
+  const std::vector<uint64_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<uint32_t>& col_indices() const { return col_indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  uint32_t rows_ = 0;
+  uint32_t cols_ = 0;
+  std::vector<uint64_t> row_offsets_{0};
+  std::vector<uint32_t> col_indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_LINALG_SPARSE_MATRIX_H_

@@ -1,0 +1,185 @@
+#include "simrank/linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "simrank/common/rng.h"
+
+namespace simrank {
+
+uint32_t OrthonormalizeColumns(DenseMatrix* m) {
+  OIPSIM_CHECK(m != nullptr);
+  const uint32_t rows = m->rows();
+  const uint32_t cols = m->cols();
+  uint32_t kept = 0;
+  for (uint32_t j = 0; j < cols; ++j) {
+    // Project out previously-kept columns (modified Gram-Schmidt, two
+    // passes for numerical robustness).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (uint32_t p = 0; p < kept; ++p) {
+        double dot = 0.0;
+        for (uint32_t i = 0; i < rows; ++i) dot += (*m)(i, p) * (*m)(i, j);
+        for (uint32_t i = 0; i < rows; ++i) (*m)(i, j) -= dot * (*m)(i, p);
+      }
+    }
+    double norm = 0.0;
+    for (uint32_t i = 0; i < rows; ++i) norm += (*m)(i, j) * (*m)(i, j);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) continue;  // dependent column, drop it
+    for (uint32_t i = 0; i < rows; ++i) {
+      (*m)(i, kept) = (*m)(i, j) / norm;
+    }
+    ++kept;
+  }
+  // Shrink to the kept columns.
+  if (kept < cols) {
+    DenseMatrix shrunk(rows, kept);
+    for (uint32_t i = 0; i < rows; ++i) {
+      for (uint32_t j = 0; j < kept; ++j) shrunk(i, j) = (*m)(i, j);
+    }
+    *m = std::move(shrunk);
+  }
+  return kept;
+}
+
+void SymmetricEigen(const DenseMatrix& sym, std::vector<double>* eigvals,
+                    DenseMatrix* eigvecs) {
+  OIPSIM_CHECK(eigvals != nullptr && eigvecs != nullptr);
+  OIPSIM_CHECK_EQ(sym.rows(), sym.cols());
+  const uint32_t n = sym.rows();
+  DenseMatrix a = sym;
+  DenseMatrix v = DenseMatrix::Identity(n);
+
+  // Cyclic Jacobi sweeps until off-diagonal mass is negligible.
+  const int kMaxSweeps = 64;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (uint32_t p = 0; p < n; ++p) {
+      for (uint32_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-24) break;
+    for (uint32_t p = 0; p < n; ++p) {
+      for (uint32_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-18) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to A from both sides and accumulate in V.
+        for (uint32_t i = 0; i < n; ++i) {
+          const double aip = a(i, p);
+          const double aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+          const double api = a(p, i);
+          const double aqi = a(q, i);
+          a(p, i) = c * api - s * aqi;
+          a(q, i) = s * api + c * aqi;
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&a](uint32_t x, uint32_t y) { return a(x, x) > a(y, y); });
+  eigvals->resize(n);
+  *eigvecs = DenseMatrix(n, n);
+  for (uint32_t j = 0; j < n; ++j) {
+    (*eigvals)[j] = a(order[j], order[j]);
+    for (uint32_t i = 0; i < n; ++i) (*eigvecs)(i, j) = v(i, order[j]);
+  }
+}
+
+Result<SvdResult> RandomizedSvd(const SparseMatrix& a,
+                                const SvdOptions& options) {
+  if (options.rank == 0) {
+    return Status::InvalidArgument("SVD rank must be positive");
+  }
+  const uint32_t n_rows = a.rows();
+  const uint32_t n_cols = a.cols();
+  const uint32_t l = options.rank + options.oversample;
+  if (l > std::min(n_rows, n_cols)) {
+    return Status::InvalidArgument(
+        "rank + oversample exceeds matrix dimension");
+  }
+
+  Rng rng(options.seed);
+  SparseMatrix at = a.Transposed();
+
+  // Range finder: Y = A * Omega with power iterations.
+  DenseMatrix omega(n_cols, l);
+  for (uint32_t i = 0; i < n_cols; ++i) {
+    for (uint32_t j = 0; j < l; ++j) omega(i, j) = rng.NextGaussian();
+  }
+  DenseMatrix y = a.MultiplyDense(omega);
+  for (uint32_t q = 0; q < options.power_iterations; ++q) {
+    OrthonormalizeColumns(&y);  // re-orthonormalise to avoid blow-up
+    DenseMatrix z = at.MultiplyDense(y);
+    OrthonormalizeColumns(&z);
+    y = a.MultiplyDense(z);
+  }
+  uint32_t kept = OrthonormalizeColumns(&y);
+  if (kept == 0) {
+    return Status::Internal("matrix has numerically zero range");
+  }
+
+  // B = Qbᵀ A computed as (Aᵀ Qb)ᵀ: small l x n matrix.
+  DenseMatrix bt = at.MultiplyDense(y);  // n_cols x kept
+  // BBᵀ (kept x kept) = Btᵀ Bt.
+  DenseMatrix bbt(kept, kept);
+  for (uint32_t i = 0; i < kept; ++i) {
+    for (uint32_t j = i; j < kept; ++j) {
+      double sum = 0.0;
+      for (uint32_t r = 0; r < n_cols; ++r) sum += bt(r, i) * bt(r, j);
+      bbt(i, j) = sum;
+      bbt(j, i) = sum;
+    }
+  }
+
+  std::vector<double> eigvals;
+  DenseMatrix w;
+  SymmetricEigen(bbt, &eigvals, &w);
+
+  const uint32_t r = std::min(options.rank, kept);
+  SvdResult result;
+  result.sigma.resize(r);
+  result.u = DenseMatrix(n_rows, r);
+  result.v = DenseMatrix(n_cols, r);
+  for (uint32_t j = 0; j < r; ++j) {
+    const double sigma = std::sqrt(std::max(0.0, eigvals[j]));
+    result.sigma[j] = sigma;
+    // U column j = Qb * w_j.
+    for (uint32_t i = 0; i < n_rows; ++i) {
+      double sum = 0.0;
+      for (uint32_t k = 0; k < kept; ++k) sum += y(i, k) * w(k, j);
+      result.u(i, j) = sum;
+    }
+    // V column j = Bᵀ w_j / sigma.
+    if (sigma > 1e-12) {
+      for (uint32_t i = 0; i < n_cols; ++i) {
+        double sum = 0.0;
+        for (uint32_t k = 0; k < kept; ++k) sum += bt(i, k) * w(k, j);
+        result.v(i, j) = sum / sigma;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace simrank

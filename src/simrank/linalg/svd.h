@@ -1,0 +1,53 @@
+// Truncated singular value decomposition.
+//
+// mtx-SR (Li et al., EDBT'10 — the paper's matrix baseline) approximates
+// SimRank on a low-rank factorisation of the transition matrix. We provide
+// a randomized range-finder SVD (Halko, Martinsson & Tropp, 2011):
+//   Y = (A·Aᵀ)^q · A · Ω,  Qb = orth(Y),  B = Qbᵀ·A,
+//   eigendecompose B·Bᵀ (small, via cyclic Jacobi) to recover U, σ, V.
+#ifndef OIPSIM_SIMRANK_LINALG_SVD_H_
+#define OIPSIM_SIMRANK_LINALG_SVD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simrank/common/status.h"
+#include "simrank/linalg/dense_matrix.h"
+#include "simrank/linalg/sparse_matrix.h"
+
+namespace simrank {
+
+/// Rank-r factorisation A ≈ U · diag(sigma) · Vᵀ.
+struct SvdResult {
+  DenseMatrix u;              ///< n x r, orthonormal columns.
+  std::vector<double> sigma;  ///< r singular values, descending.
+  DenseMatrix v;              ///< n x r, orthonormal columns.
+};
+
+/// Options for the randomized SVD.
+struct SvdOptions {
+  uint32_t rank = 32;
+  uint32_t oversample = 8;      ///< extra columns for the range finder.
+  uint32_t power_iterations = 2;
+  uint64_t seed = 42;
+};
+
+/// Computes a randomized truncated SVD of a sparse matrix.
+/// Fails if rank + oversample exceeds the matrix dimension.
+Result<SvdResult> RandomizedSvd(const SparseMatrix& a,
+                                const SvdOptions& options);
+
+/// Orthonormalises the columns of `m` in place via modified Gram-Schmidt.
+/// Columns that become (numerically) zero are dropped; returns the number
+/// of columns kept.
+uint32_t OrthonormalizeColumns(DenseMatrix* m);
+
+/// Cyclic Jacobi eigendecomposition of a small symmetric matrix.
+/// Returns eigenvalues (descending) and the matching eigenvectors as
+/// columns of `eigvecs`.
+void SymmetricEigen(const DenseMatrix& sym, std::vector<double>* eigvals,
+                    DenseMatrix* eigvecs);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_LINALG_SVD_H_

@@ -1,0 +1,140 @@
+#include "simrank/mst/arborescence.h"
+
+#include <limits>
+
+namespace simrank {
+
+Result<Arborescence> MinInEdgeArborescence(
+    uint32_t num_nodes, uint32_t root,
+    const std::vector<WeightedEdge>& edges) {
+  if (root >= num_nodes) {
+    return Status::InvalidArgument("root out of range");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best_weight(num_nodes, kInf);
+  std::vector<uint32_t> parent(num_nodes);
+  for (uint32_t v = 0; v < num_nodes; ++v) parent[v] = v;
+
+  for (const WeightedEdge& e : edges) {
+    if (e.src >= num_nodes || e.dst >= num_nodes) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (e.dst == root || e.src == e.dst) continue;
+    if (e.weight < best_weight[e.dst] ||
+        (e.weight == best_weight[e.dst] && e.src < parent[e.dst])) {
+      best_weight[e.dst] = e.weight;
+      parent[e.dst] = e.src;
+    }
+  }
+
+  Arborescence result;
+  result.root = root;
+  result.parent = parent;
+  for (uint32_t v = 0; v < num_nodes; ++v) {
+    if (v == root) continue;
+    if (best_weight[v] == kInf) {
+      return Status::InvalidArgument("node has no incoming edge");
+    }
+    result.total_weight += best_weight[v];
+  }
+
+  // Cycle check: walk parents from each node; on a DAG input this never
+  // revisits a node before reaching the root.
+  std::vector<uint8_t> state(num_nodes, 0);  // 0=unseen 1=in-progress 2=done
+  for (uint32_t start = 0; start < num_nodes; ++start) {
+    if (state[start] == 2) continue;
+    // Follow the parent chain, marking the path in-progress.
+    std::vector<uint32_t> path;
+    uint32_t v = start;
+    while (state[v] == 0 && v != root) {
+      state[v] = 1;
+      path.push_back(v);
+      v = parent[v];
+    }
+    if (state[v] == 1) {
+      return Status::InvalidArgument(
+          "greedy min-in-edge selection formed a cycle (input not a DAG)");
+    }
+    for (uint32_t node : path) state[node] = 2;
+    state[root] = 2;
+  }
+  return result;
+}
+
+Result<double> ChuLiuEdmondsCost(uint32_t num_nodes, uint32_t root,
+                                 std::vector<WeightedEdge> edges) {
+  if (root >= num_nodes) {
+    return Status::InvalidArgument("root out of range");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  uint32_t n = num_nodes;
+  uint32_t r = root;
+
+  while (true) {
+    // 1. Cheapest incoming edge per node.
+    std::vector<double> in_weight(n, kInf);
+    std::vector<uint32_t> pre(n, UINT32_MAX);
+    for (const WeightedEdge& e : edges) {
+      if (e.src == e.dst || e.dst == r) continue;
+      if (e.weight < in_weight[e.dst]) {
+        in_weight[e.dst] = e.weight;
+        pre[e.dst] = e.src;
+      }
+    }
+    for (uint32_t v = 0; v < n; ++v) {
+      if (v != r && in_weight[v] == kInf) {
+        return Status::InvalidArgument("no arborescence: unreachable node");
+      }
+    }
+
+    // 2. Accumulate and detect cycles among chosen edges.
+    std::vector<int32_t> id(n, -1);
+    std::vector<int32_t> visited(n, -1);
+    uint32_t num_cycles = 0;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (v == r) continue;
+      total += in_weight[v];
+    }
+    for (uint32_t v = 0; v < n; ++v) {
+      if (v == r) continue;
+      uint32_t u = v;
+      while (u != r && visited[u] == -1 && id[u] == -1) {
+        visited[u] = static_cast<int32_t>(v);
+        u = pre[u];
+      }
+      if (u != r && id[u] == -1 && visited[u] == static_cast<int32_t>(v)) {
+        // Found a new cycle through u; label its members.
+        uint32_t w = u;
+        do {
+          id[w] = static_cast<int32_t>(num_cycles);
+          w = pre[w];
+        } while (w != u);
+        ++num_cycles;
+      }
+    }
+    if (num_cycles == 0) break;
+
+    // 3. Contract cycles into super-nodes and re-weight.
+    uint32_t next_id = num_cycles;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (id[v] == -1) id[v] = static_cast<int32_t>(next_id++);
+    }
+    std::vector<WeightedEdge> contracted;
+    contracted.reserve(edges.size());
+    for (const WeightedEdge& e : edges) {
+      uint32_t u = static_cast<uint32_t>(id[e.src]);
+      uint32_t v = static_cast<uint32_t>(id[e.dst]);
+      if (u == v) continue;
+      // `total` already paid in_weight[e.dst] this round, so a later
+      // choice of this edge only costs the difference.
+      contracted.push_back(WeightedEdge{u, v, e.weight - in_weight[e.dst]});
+    }
+    edges = std::move(contracted);
+    r = static_cast<uint32_t>(id[r]);
+    n = next_id;
+  }
+  return total;
+}
+
+}  // namespace simrank

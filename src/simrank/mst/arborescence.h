@@ -1,0 +1,54 @@
+// Minimum spanning arborescence (directed MST).
+//
+// DMST-Reduce (paper, Section III-C) builds a weighted digraph G* whose
+// vertices are the distinct in-neighbour sets plus a root ∅, with an edge
+// (A -> B) whenever |A| <= |B|, weighted by the transition cost of Eq. (7).
+// Because edges only go from smaller to larger sets (ties broken by a fixed
+// vertex order), G* is a DAG rooted at ∅, and the optimum branching is
+// simply each node's cheapest incoming edge — no cycle can arise. We
+// implement that fast path and, as a correctness oracle, the general
+// Chu-Liu/Edmonds algorithm (Gabow et al.'s problem, reference [7] of the
+// paper) which works on arbitrary digraphs.
+#ifndef OIPSIM_SIMRANK_MST_ARBORESCENCE_H_
+#define OIPSIM_SIMRANK_MST_ARBORESCENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simrank/common/status.h"
+
+namespace simrank {
+
+/// Weighted directed edge for arborescence computation.
+struct WeightedEdge {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  double weight = 0.0;
+};
+
+/// A rooted spanning arborescence: parent[v] for every node (parent of the
+/// root is the root itself), plus the total edge weight.
+struct Arborescence {
+  uint32_t root = 0;
+  std::vector<uint32_t> parent;
+  double total_weight = 0.0;
+};
+
+/// Greedy min-in-edge branching: every non-root node picks its cheapest
+/// incoming edge (ties broken by smaller source id for determinism).
+/// Returns an error if some node has no incoming edge or if the greedy
+/// choice forms a cycle — neither can happen when the edge set is a DAG
+/// reachable from `root`, which DMST-Reduce guarantees.
+Result<Arborescence> MinInEdgeArborescence(
+    uint32_t num_nodes, uint32_t root,
+    const std::vector<WeightedEdge>& edges);
+
+/// Chu-Liu/Edmonds: minimum total weight of a spanning arborescence rooted
+/// at `root` on an arbitrary digraph (cycles allowed). Returns an error if
+/// no arborescence exists. Used as the optimality oracle in tests.
+Result<double> ChuLiuEdmondsCost(uint32_t num_nodes, uint32_t root,
+                                 std::vector<WeightedEdge> edges);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_MST_ARBORESCENCE_H_

@@ -1,0 +1,95 @@
+#include "simrank/mst/tree.h"
+
+#include <algorithm>
+
+namespace simrank {
+
+Tree::Tree(const Arborescence& arb) : Tree(arb.root, arb.parent) {}
+
+Tree::Tree(uint32_t root, std::vector<uint32_t> parent)
+    : root_(root), parent_(std::move(parent)) {
+  OIPSIM_CHECK_LT(root_, parent_.size());
+  OIPSIM_CHECK_EQ(parent_[root_], root_);
+  BuildDerived();
+}
+
+void Tree::BuildDerived() {
+  const uint32_t n = size();
+  children_.assign(n, {});
+  for (uint32_t v = 0; v < n; ++v) {
+    if (v != root_) {
+      OIPSIM_CHECK_LT(parent_[v], n);
+      children_[parent_[v]].push_back(v);
+    }
+  }
+  for (auto& kids : children_) std::sort(kids.begin(), kids.end());
+
+  depth_.assign(n, 0);
+  max_depth_ = 0;
+  // BFS from the root; also validates connectivity/acyclicity.
+  std::vector<uint32_t> queue{root_};
+  std::vector<bool> seen(n, false);
+  seen[root_] = true;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    uint32_t v = queue[head];
+    for (uint32_t c : children_[v]) {
+      OIPSIM_CHECK(!seen[c]);
+      seen[c] = true;
+      depth_[c] = depth_[v] + 1;
+      max_depth_ = std::max(max_depth_, depth_[c]);
+      queue.push_back(c);
+    }
+  }
+  OIPSIM_CHECK_EQ(queue.size(), static_cast<size_t>(n));
+}
+
+void Tree::DepthFirstWalk(const std::function<void(uint32_t)>& enter,
+                          const std::function<void(uint32_t)>& leave) const {
+  struct Frame {
+    uint32_t node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{root_, 0});
+  enter(root_);
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const auto& kids = children_[top.node];
+    if (top.next_child < kids.size()) {
+      uint32_t child = kids[top.next_child++];
+      enter(child);
+      stack.push_back(Frame{child, 0});
+    } else {
+      leave(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+std::vector<std::vector<uint32_t>> Tree::PathDecomposition() const {
+  std::vector<std::vector<uint32_t>> chains;
+  // Each chain starts at the root or at a branch node's 2nd+ child.
+  struct Start {
+    uint32_t head;   // first node of the chain
+    uint32_t anchor; // node the chain hangs off (parent of head), or head
+  };
+  std::vector<Start> starts{{root_, root_}};
+  for (size_t i = 0; i < starts.size(); ++i) {
+    std::vector<uint32_t> chain;
+    uint32_t v = starts[i].head;
+    if (starts[i].anchor != v) chain.push_back(starts[i].anchor);
+    while (true) {
+      chain.push_back(v);
+      const auto& kids = children_[v];
+      if (kids.empty()) break;
+      for (size_t c = 1; c < kids.size(); ++c) {
+        starts.push_back(Start{kids[c], v});
+      }
+      v = kids[0];
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+}  // namespace simrank

@@ -1,0 +1,72 @@
+// Rooted tree built from a parent array, with the traversals the OIP
+// kernels need: children lists, a depth-first order with enter/leave
+// events (used for the O(n)-memory diff/undo walk over partial sums), and
+// the root-to-leaf path decomposition shown in Fig. 2d of the paper.
+#ifndef OIPSIM_SIMRANK_MST_TREE_H_
+#define OIPSIM_SIMRANK_MST_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simrank/common/macros.h"
+#include "simrank/mst/arborescence.h"
+
+namespace simrank {
+
+/// Immutable rooted tree over nodes [0, n).
+class Tree {
+ public:
+  /// Constructs the trivial tree with a single root node 0.
+  Tree() : Tree(0, {0}) {}
+
+  /// Builds from an Arborescence (parent of root == root).
+  explicit Tree(const Arborescence& arb);
+
+  /// Builds from a raw parent array with explicit root.
+  Tree(uint32_t root, std::vector<uint32_t> parent);
+
+  uint32_t size() const { return static_cast<uint32_t>(parent_.size()); }
+  uint32_t root() const { return root_; }
+  uint32_t parent(uint32_t v) const {
+    OIPSIM_DCHECK(v < size());
+    return parent_[v];
+  }
+  const std::vector<uint32_t>& children(uint32_t v) const {
+    OIPSIM_DCHECK(v < size());
+    return children_[v];
+  }
+
+  /// Depth of node (root has depth 0).
+  uint32_t depth(uint32_t v) const {
+    OIPSIM_DCHECK(v < size());
+    return depth_[v];
+  }
+  uint32_t max_depth() const { return max_depth_; }
+
+  /// Iterative DFS from the root. `enter(v)` fires when v is first
+  /// reached, `leave(v)` after all of v's subtree finished. The root gets
+  /// both events. Children are visited in ascending id order.
+  void DepthFirstWalk(const std::function<void(uint32_t)>& enter,
+                      const std::function<void(uint32_t)>& leave) const;
+
+  /// Decomposes the tree edges into root-to-leaf chains the way Fig. 2d
+  /// does: each internal node continues its chain with its first child;
+  /// every further child starts a new chain beginning at that node.
+  /// Returns the chains, each a node sequence starting at the root or at a
+  /// branch node.
+  std::vector<std::vector<uint32_t>> PathDecomposition() const;
+
+ private:
+  void BuildDerived();
+
+  uint32_t root_ = 0;
+  std::vector<uint32_t> parent_;
+  std::vector<std::vector<uint32_t>> children_;
+  std::vector<uint32_t> depth_;
+  uint32_t max_depth_ = 0;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_MST_TREE_H_

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "simrank/common/csv_writer.h"
+#include "simrank/common/logging.h"
+#include "simrank/common/memory_tracker.h"
+#include "simrank/common/op_counter.h"
+#include "simrank/common/table_printer.h"
+#include "simrank/common/timer.h"
+
+namespace simrank {
+namespace {
+
+TEST(WallTimerTest, AccumulatesAcrossStartStop) {
+  WallTimer timer;
+  EXPECT_EQ(timer.ElapsedNanos(), 0);
+  timer.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  timer.Stop();
+  const int64_t first = timer.ElapsedNanos();
+  EXPECT_GT(first, 1000000);  // > 1 ms
+  timer.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  timer.Stop();
+  EXPECT_GT(timer.ElapsedNanos(), first);
+  timer.Reset();
+  EXPECT_EQ(timer.ElapsedNanos(), 0);
+}
+
+TEST(ScopedTimerTest, AddsIntoSink) {
+  double sink = 0.0;
+  {
+    ScopedTimer timer(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(sink, 0.0005);
+}
+
+TEST(FormatDurationTest, UnitsSelection) {
+  EXPECT_EQ(FormatDuration(2.5), "2.50 s");
+  EXPECT_EQ(FormatDuration(0.0831), "83.1 ms");
+  EXPECT_EQ(FormatDuration(12.5e-6), "12.5 us");
+}
+
+TEST(OpCounterTest, AccumulatesByCategory) {
+  OpCounter ops;
+  CountPartialAdds(&ops, 10);
+  CountOuterAdds(&ops, 5);
+  CountMultiplies(&ops, 3);
+  CountSetOps(&ops, 2);
+  EXPECT_EQ(ops.counts().partial_sum_adds, 10u);
+  EXPECT_EQ(ops.counts().outer_sum_adds, 5u);
+  EXPECT_EQ(ops.counts().total_adds(), 15u);
+  EXPECT_EQ(ops.counts().total(), 20u);
+  ops.Reset();
+  EXPECT_EQ(ops.counts().total(), 0u);
+}
+
+TEST(OpCounterTest, NullSafeHelpers) {
+  CountPartialAdds(nullptr, 10);  // must not crash
+  CountOuterAdds(nullptr, 10);
+  CountMultiplies(nullptr, 10);
+  CountSetOps(nullptr, 10);
+}
+
+TEST(OpCountsTest, PlusEquals) {
+  OpCounts a;
+  a.partial_sum_adds = 1;
+  OpCounts b;
+  b.partial_sum_adds = 2;
+  b.set_ops = 7;
+  a += b;
+  EXPECT_EQ(a.partial_sum_adds, 3u);
+  EXPECT_EQ(a.set_ops, 7u);
+}
+
+TEST(MemoryTrackerTest, TracksPeak) {
+  MemoryTracker mem;
+  mem.Allocate(100);
+  mem.Allocate(50);
+  EXPECT_EQ(mem.current_bytes(), 150u);
+  EXPECT_EQ(mem.peak_bytes(), 150u);
+  mem.Release(120);
+  mem.Allocate(10);
+  EXPECT_EQ(mem.current_bytes(), 40u);
+  EXPECT_EQ(mem.peak_bytes(), 150u);
+}
+
+TEST(MemoryTrackerTest, ScopedTrackedBytes) {
+  MemoryTracker mem;
+  {
+    ScopedTrackedBytes scope(&mem, 64);
+    EXPECT_EQ(mem.current_bytes(), 64u);
+  }
+  EXPECT_EQ(mem.current_bytes(), 0u);
+  EXPECT_EQ(mem.peak_bytes(), 64u);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Right-aligned second column: "22" ends each data line at same offset.
+  EXPECT_NE(out.find("     1"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorAndRowCount) {
+  TablePrinter table({"a"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+  // Header separator + explicit separator.
+  std::string out = table.Render();
+  size_t dashes = 0;
+  for (size_t pos = out.find("-"); pos != std::string::npos;
+       pos = out.find("-", pos + 1)) {
+    ++dashes;
+  }
+  EXPECT_GE(dashes, 2u);
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  CsvWriter csv({"k", "v"});
+  csv.AddRow({"plain", "with,comma"});
+  csv.AddRow({"quote\"inside", "line\nbreak"});
+  std::string out = csv.Render();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(CsvWriterTest, RoundTripsToFile) {
+  CsvWriter csv({"x"});
+  csv.AddRow({"1"});
+  const std::string path = ::testing::TempDir() + "/oipsim_csv_test.csv";
+  ASSERT_TRUE(csv.WriteToFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  size_t read = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, read), "x\n1\n");
+}
+
+TEST(CsvWriterTest, FailsOnUnwritablePath) {
+  CsvWriter csv({"x"});
+  EXPECT_FALSE(csv.WriteToFile("/nonexistent-dir/file.csv").ok());
+}
+
+TEST(LoggingTest, LevelGateWorks) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  OIPSIM_LOG(kError) << "suppressed";
+  SetLogLevel(LogLevel::kDebug);
+  OIPSIM_LOG(kDebug) << "emitted to stderr";
+  SetLogLevel(original);
+  EXPECT_EQ(GetLogLevel(), original);
+}
+
+}  // namespace
+}  // namespace simrank

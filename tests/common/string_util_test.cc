@@ -1,0 +1,85 @@
+#include "simrank/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace simrank {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrSplitTest, SplitsAndKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("no-delim", ','),
+            (std::vector<std::string>{"no-delim"}));
+}
+
+TEST(StrTrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(StrTrim("  x  "), "x");
+  EXPECT_EQ(StrTrim("\t a b \n"), "a b");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+}
+
+TEST(ParseUint64Test, ValidInputs) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(ParseUint64Test, RejectsMalformed) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // overflow
+  EXPECT_FALSE(ParseUint64("1.5", &v));
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("2.5e-3", &v));
+  EXPECT_DOUBLE_EQ(v, 2.5e-3);
+  EXPECT_TRUE(ParseDouble("-1", &v));
+  EXPECT_DOUBLE_EQ(v, -1.0);
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("1.5abc", &v));
+}
+
+TEST(FormatBytesTest, PicksUnits) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+TEST(FormatCountTest, ThousandsSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(0.5, 3), "0.5");
+  EXPECT_EQ(FormatDouble(2.0, 3), "2");
+  // printf rounds half-to-even: 0.125 -> "0.12".
+  EXPECT_EQ(FormatDouble(0.125, 2), "0.12");
+  EXPECT_EQ(FormatDouble(0.375, 2), "0.38");
+}
+
+}  // namespace
+}  // namespace simrank

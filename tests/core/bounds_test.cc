@@ -1,0 +1,109 @@
+#include "simrank/core/bounds.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace simrank {
+namespace {
+
+TEST(LambertWTest, KnownValues) {
+  EXPECT_NEAR(LambertW0(0.0), 0.0, 1e-12);
+  // W(e) = 1.
+  EXPECT_NEAR(LambertW0(std::exp(1.0)), 1.0, 1e-10);
+  // W(1) = Omega constant.
+  EXPECT_NEAR(LambertW0(1.0), 0.5671432904097838, 1e-10);
+  // W(x·e^x) = x round-trips.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(LambertW0(x * std::exp(x)), x, 1e-9) << "x=" << x;
+  }
+}
+
+TEST(LambertWTest, DefiningEquationHolds) {
+  for (double x : {0.01, 0.3, 1.7, 4.0, 20.0, 1000.0}) {
+    const double w = LambertW0(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-8 * (1.0 + x)) << "x=" << x;
+  }
+}
+
+TEST(BoundsTest, ConventionalIterationCountMatchesPaperExamples) {
+  // Section IV worked example: C = 0.8, eps = 1e-4 -> 41 iterations.
+  EXPECT_EQ(ConventionalIterationsForAccuracy(0.8, 1e-4), 41u);
+  // Section V default: C = 0.6, eps = 1e-3 -> ceil(13.52 - 1) = 13.
+  EXPECT_EQ(ConventionalIterationsForAccuracy(0.6, 1e-3), 13u);
+  // And the bound is actually met at that K.
+  EXPECT_LE(ConventionalErrorBound(0.6, 13), 1e-3);
+  EXPECT_GT(ConventionalErrorBound(0.6, 12), 1e-3);
+}
+
+TEST(BoundsTest, DifferentialExactMatchesFig6fColumn) {
+  // Fig. 6f, OIP-DSR column at C = 0.8.
+  EXPECT_EQ(DifferentialIterationsExact(0.8, 1e-2), 4u);
+  EXPECT_EQ(DifferentialIterationsExact(0.8, 1e-3), 5u);
+  EXPECT_EQ(DifferentialIterationsExact(0.8, 1e-4), 6u);
+  EXPECT_EQ(DifferentialIterationsExact(0.8, 1e-5), 7u);
+  EXPECT_EQ(DifferentialIterationsExact(0.8, 1e-6), 8u);
+}
+
+TEST(BoundsTest, LambertWEstimateMatchesFig6fColumn) {
+  // Fig. 6f, "LamW Est." column at C = 0.8.
+  EXPECT_EQ(DifferentialIterationsLambertW(0.8, 1e-2), 4u);
+  EXPECT_EQ(DifferentialIterationsLambertW(0.8, 1e-3), 5u);
+  EXPECT_EQ(DifferentialIterationsLambertW(0.8, 1e-4), 7u);
+  EXPECT_EQ(DifferentialIterationsLambertW(0.8, 1e-5), 8u);
+  EXPECT_EQ(DifferentialIterationsLambertW(0.8, 1e-6), 9u);
+}
+
+TEST(BoundsTest, LogEstimateMatchesFig6fColumn) {
+  // Fig. 6f, "Log Est." column at C = 0.8 (1e-2 is outside Corollary 2's
+  // validity range; the paper leaves it blank, we fall back to Lambert-W).
+  EXPECT_EQ(DifferentialIterationsLogEstimate(0.8, 1e-3), 5u);
+  EXPECT_EQ(DifferentialIterationsLogEstimate(0.8, 1e-4), 7u);
+  EXPECT_EQ(DifferentialIterationsLogEstimate(0.8, 1e-5), 9u);
+  EXPECT_EQ(DifferentialIterationsLogEstimate(0.8, 1e-6), 10u);
+}
+
+TEST(BoundsTest, EstimatesAreUpperBoundsOnExact) {
+  for (double damping : {0.4, 0.6, 0.8, 0.95}) {
+    for (double eps : {1e-2, 1e-3, 1e-4, 1e-6, 1e-8}) {
+      const uint32_t exact = DifferentialIterationsExact(damping, eps);
+      EXPECT_GE(DifferentialIterationsLambertW(damping, eps), exact)
+          << "C=" << damping << " eps=" << eps;
+      EXPECT_GE(DifferentialIterationsLogEstimate(damping, eps) + 1, exact)
+          << "C=" << damping << " eps=" << eps;
+      // And they are tight: within a couple of iterations.
+      EXPECT_LE(DifferentialIterationsLambertW(damping, eps), exact + 2)
+          << "C=" << damping << " eps=" << eps;
+    }
+  }
+}
+
+TEST(BoundsTest, ErrorBoundsDecreaseMonotonically) {
+  double previous_conventional = 1.0;
+  double previous_differential = 1.0;
+  for (uint32_t k = 0; k < 30; ++k) {
+    const double conventional = ConventionalErrorBound(0.8, k);
+    const double differential = DifferentialErrorBound(0.8, k);
+    EXPECT_LT(conventional, previous_conventional);
+    EXPECT_LT(differential, previous_differential);
+    // The exponential-sum bound is never worse.
+    EXPECT_LE(differential, conventional);
+    previous_conventional = conventional;
+    previous_differential = differential;
+  }
+}
+
+TEST(BoundsTest, DifferentialBoundHasFactorialDecay) {
+  // C^{k+1}/(k+1)! — check against a direct small-k computation.
+  EXPECT_NEAR(DifferentialErrorBound(0.8, 0), 0.8, 1e-15);
+  EXPECT_NEAR(DifferentialErrorBound(0.8, 1), 0.8 * 0.8 / 2.0, 1e-15);
+  EXPECT_NEAR(DifferentialErrorBound(0.8, 2), 0.8 * 0.8 * 0.8 / 6.0, 1e-15);
+  // Large k decays below any useful accuracy without overflowing
+  // (k = 100 is ~1e-170; far larger k may underflow to exactly 0, which
+  // is still a correct "bound met" signal).
+  EXPECT_GT(DifferentialErrorBound(0.8, 100), 0.0);
+  EXPECT_LT(DifferentialErrorBound(0.8, 100), 1e-150);
+  EXPECT_LT(DifferentialErrorBound(0.8, 400), 1e-300);
+}
+
+}  // namespace
+}  // namespace simrank

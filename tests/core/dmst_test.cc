@@ -1,0 +1,196 @@
+#include "simrank/core/dmst.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "simrank/graph/set_ops.h"
+#include "simrank/mst/arborescence.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+using ::simrank::testing::PaperExampleGraph;
+
+// Finds the set id whose contents equal `expected`.
+int32_t FindSet(const DiGraph& graph, const InSetIndex& sets,
+                std::vector<VertexId> expected) {
+  std::sort(expected.begin(), expected.end());
+  for (uint32_t s = 0; s < sets.num_sets; ++s) {
+    auto contents = sets.Contents(graph, s);
+    if (contents.size() == expected.size() &&
+        std::equal(contents.begin(), contents.end(), expected.begin())) {
+      return static_cast<int32_t>(s);
+    }
+  }
+  return -1;
+}
+
+TEST(DmstReduceTest, PaperExampleSetsAndCosts) {
+  DiGraph graph = PaperExampleGraph();
+  auto mst = DmstReduce(graph);
+  ASSERT_TRUE(mst.ok());
+  // Fig. 2a: six distinct non-empty in-neighbour sets.
+  EXPECT_EQ(mst->sets.num_sets, 6u);
+  // Fig. 2c/2d: total MST cost is 1+1+1+1+2+2 = 8 and psum-SR's
+  // no-sharing cost is 1+1+1+2+3+3 = 11.
+  EXPECT_EQ(mst->total_cost, 8u);
+  EXPECT_EQ(mst->cost_without_sharing, 11u);
+  EXPECT_EQ(mst->shared_edges, 3u);  // the # edges of Fig. 2d
+  EXPECT_NEAR(mst->share_ratio(), 1.0 - 8.0 / 11.0, 1e-12);
+}
+
+TEST(DmstReduceTest, PaperExamplePartitions) {
+  using testing::kA, testing::kD, testing::kE, testing::kG, testing::kI,
+      testing::kB;
+  DiGraph graph = PaperExampleGraph();
+  auto mst = DmstReduce(graph);
+  ASSERT_TRUE(mst.ok());
+  const auto& sets = mst->sets;
+
+  int32_t set_ia = FindSet(graph, sets, {testing::kB, kG});        // I(a)
+  int32_t set_ic = FindSet(graph, sets, {testing::kB, kD, kG});    // I(c)
+  int32_t set_ie = FindSet(graph, sets, {testing::kF, kG});        // I(e)
+  int32_t set_ib = FindSet(graph, sets, {kE, testing::kF, kG, kI});  // I(b)
+  int32_t set_id = FindSet(graph, sets, {kA, kE, testing::kF, kI});  // I(d)
+  ASSERT_GE(set_ia, 0);
+  ASSERT_GE(set_ic, 0);
+  ASSERT_GE(set_ie, 0);
+  ASSERT_GE(set_ib, 0);
+  ASSERT_GE(set_id, 0);
+
+  // Fig. 3a: P(I(c)) = {I(a), {d}} — tree parent of I(c) is I(a) with
+  // add = {d}, sub = {}.
+  const uint32_t node_ic = static_cast<uint32_t>(set_ic) + 1;
+  EXPECT_EQ(mst->tree.parent(node_ic), static_cast<uint32_t>(set_ia) + 1);
+  EXPECT_EQ(mst->add[node_ic], std::vector<VertexId>{kD});
+  EXPECT_TRUE(mst->sub[node_ic].empty());
+
+  // Fig. 3a: P(I(b)) = {I(e), {e, i}}.
+  const uint32_t node_ib = static_cast<uint32_t>(set_ib) + 1;
+  EXPECT_EQ(mst->tree.parent(node_ib), static_cast<uint32_t>(set_ie) + 1);
+  EXPECT_EQ(mst->add[node_ib], (std::vector<VertexId>{kE, kI}));
+  EXPECT_TRUE(mst->sub[node_ib].empty());
+
+  // Fig. 3a: P(I(d)) = {I(b) \ {g}, {a}}.
+  const uint32_t node_id = static_cast<uint32_t>(set_id) + 1;
+  EXPECT_EQ(mst->tree.parent(node_id), static_cast<uint32_t>(set_ib) + 1);
+  EXPECT_EQ(mst->add[node_id], std::vector<VertexId>{kA});
+  EXPECT_EQ(mst->sub[node_id], std::vector<VertexId>{kG});
+}
+
+TEST(DmstReduceTest, MinCostMatchesChuLiuEdmondsOracle) {
+  // The greedy min-in-edge choice on the (size, id)-ordered DAG G* must be
+  // optimal; verify against Chu-Liu/Edmonds on the materialised G*.
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    DiGraph graph = testing::OverlappyGraph(60, 5, seed);
+    auto mst = DmstReduce(graph);
+    ASSERT_TRUE(mst.ok());
+    const auto& sets = mst->sets;
+    const uint32_t p = sets.num_sets;
+    // Materialise G*: node 0 = root, node s+1 = set s.
+    std::vector<WeightedEdge> edges;
+    std::vector<uint32_t> order(p);
+    for (uint32_t s = 0; s < p; ++s) order[s] = s;
+    std::sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+      return sets.set_size[x] != sets.set_size[y]
+                 ? sets.set_size[x] < sets.set_size[y]
+                 : x < y;
+    });
+    for (uint32_t i = 0; i < p; ++i) {
+      const uint32_t v = order[i];
+      edges.push_back(WeightedEdge{
+          0, v + 1, static_cast<double>(sets.set_size[v] - 1)});
+      for (uint32_t j = 0; j < i; ++j) {
+        const uint32_t u = order[j];
+        const uint64_t symdiff = SymmetricDifferenceSize(
+            sets.Contents(graph, u), sets.Contents(graph, v));
+        const double cost = std::min<double>(
+            static_cast<double>(symdiff),
+            static_cast<double>(sets.set_size[v] - 1));
+        edges.push_back(WeightedEdge{u + 1, v + 1, cost});
+      }
+    }
+    auto oracle = ChuLiuEdmondsCost(p + 1, 0, edges);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_DOUBLE_EQ(static_cast<double>(mst->total_cost), *oracle)
+        << "seed " << seed;
+  }
+}
+
+TEST(DmstReduceTest, AlwaysRootPolicyDisablesSharing) {
+  DiGraph graph = PaperExampleGraph();
+  DmstOptions options;
+  options.policy = DmstPolicy::kAlwaysRoot;
+  auto mst = DmstReduce(graph, options);
+  ASSERT_TRUE(mst.ok());
+  EXPECT_EQ(mst->shared_edges, 0u);
+  EXPECT_EQ(mst->total_cost, mst->cost_without_sharing);
+  EXPECT_DOUBLE_EQ(mst->share_ratio(), 0.0);
+}
+
+TEST(DmstReduceTest, MinCostNeverWorseThanChainOrRoot) {
+  for (uint64_t seed : {3u, 9u}) {
+    DiGraph graph = testing::OverlappyGraph(80, 6, seed);
+    auto best = DmstReduce(graph, {DmstPolicy::kMinCost});
+    auto chain = DmstReduce(graph, {DmstPolicy::kPreviousInOrder});
+    auto root = DmstReduce(graph, {DmstPolicy::kAlwaysRoot});
+    ASSERT_TRUE(best.ok() && chain.ok() && root.ok());
+    EXPECT_LE(best->total_cost, chain->total_cost);
+    EXPECT_LE(best->total_cost, root->total_cost);
+  }
+}
+
+TEST(DmstReduceTest, DiffListsReconstructSets) {
+  // Replaying parent contents + add - sub must yield each set exactly.
+  DiGraph graph = testing::OverlappyGraph(70, 6, 4);
+  auto mst = DmstReduce(graph);
+  ASSERT_TRUE(mst.ok());
+  const auto& sets = mst->sets;
+  for (uint32_t s = 0; s < sets.num_sets; ++s) {
+    const uint32_t node = s + 1;
+    std::vector<VertexId> reconstructed;
+    if (mst->tree.parent(node) != 0) {
+      auto parent_contents =
+          sets.Contents(graph, mst->tree.parent(node) - 1);
+      reconstructed.assign(parent_contents.begin(), parent_contents.end());
+    }
+    for (VertexId x : mst->add[node]) reconstructed.push_back(x);
+    std::sort(reconstructed.begin(), reconstructed.end());
+    for (VertexId x : mst->sub[node]) {
+      auto it = std::find(reconstructed.begin(), reconstructed.end(), x);
+      ASSERT_NE(it, reconstructed.end());
+      reconstructed.erase(it);
+    }
+    auto contents = sets.Contents(graph, s);
+    EXPECT_TRUE(std::equal(contents.begin(), contents.end(),
+                           reconstructed.begin(), reconstructed.end()))
+        << "set " << s;
+  }
+}
+
+TEST(DmstReduceTest, EmptyGraph) {
+  DiGraph graph;
+  auto mst = DmstReduce(graph);
+  ASSERT_TRUE(mst.ok());
+  EXPECT_EQ(mst->sets.num_sets, 0u);
+  EXPECT_EQ(mst->tree.size(), 1u);
+  EXPECT_EQ(mst->total_cost, 0u);
+}
+
+TEST(DmstReduceTest, DuplicateInNeighbourSetsCollapse) {
+  // Two vertices with identical in-neighbour sets map to one G* node.
+  DiGraph::Builder builder(4);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(1, 3);
+  DiGraph graph = std::move(builder).Build();
+  auto mst = DmstReduce(graph);
+  ASSERT_TRUE(mst.ok());
+  EXPECT_EQ(mst->sets.num_sets, 1u);
+  EXPECT_EQ(mst->sets.members[0], (std::vector<VertexId>{2, 3}));
+}
+
+}  // namespace
+}  // namespace simrank

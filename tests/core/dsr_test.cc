@@ -1,0 +1,125 @@
+#include "simrank/core/dsr.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "simrank/core/bounds.h"
+#include "simrank/core/matrix_simrank.h"
+#include "simrank/core/psum.h"
+#include "simrank/linalg/dense_matrix.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(DifferentialSimRankTest, MatchesMatrixOracle) {
+  DiGraph graph = testing::PaperExampleGraph();
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 8;
+  auto oracle = MatrixDifferentialSimRank(graph, options);
+  for (DsrBackend backend : {DsrBackend::kOip, DsrBackend::kPsum}) {
+    auto dsr = DifferentialSimRank(graph, options, backend);
+    ASSERT_TRUE(oracle.ok() && dsr.ok());
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(*oracle, *dsr), 1e-12);
+  }
+}
+
+TEST(DifferentialSimRankTest, BackendsAgreeOnRandomGraphs) {
+  for (uint64_t seed : {4u, 6u}) {
+    DiGraph graph = testing::RandomGraph(50, 250, seed);
+    SimRankOptions options;
+    options.damping = 0.8;
+    options.iterations = 6;
+    auto oip = DifferentialSimRank(graph, options, DsrBackend::kOip);
+    auto psum = DifferentialSimRank(graph, options, DsrBackend::kPsum);
+    ASSERT_TRUE(oip.ok() && psum.ok());
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(*oip, *psum), 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(DifferentialSimRankTest, ClosedFormOnSharedParentGadget) {
+  // x -> a, x -> b. T_1(a,b) = T_0(x,x) = 1, but T_2(a,b) = T_1(x,x) = 0
+  // because x has no in-neighbours (its T row is zero from iteration 1
+  // on). Hence ŝ(a,b) = e^{-C}·C^1/1!·1 = C·e^{-C} exactly.
+  DiGraph::Builder builder(3);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(2, 1);
+  DiGraph graph = std::move(builder).Build();
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 30;  // effectively converged
+  auto dsr = DifferentialSimRank(graph, options, DsrBackend::kOip);
+  ASSERT_TRUE(dsr.ok());
+  EXPECT_NEAR((*dsr)(0, 1), 0.6 * std::exp(-0.6), 1e-12);
+}
+
+TEST(DifferentialSimRankTest, ErrorBoundOfProposition7Holds) {
+  DiGraph graph = testing::OverlappyGraph(60, 5, 12);
+  SimRankOptions converged_options;
+  converged_options.damping = 0.8;
+  converged_options.iterations = 40;  // reference ≈ exact
+  auto reference =
+      DifferentialSimRank(graph, converged_options, DsrBackend::kPsum);
+  ASSERT_TRUE(reference.ok());
+  for (uint32_t k : {2u, 4u, 6u, 8u}) {
+    SimRankOptions options = converged_options;
+    options.iterations = k;
+    auto truncated = DifferentialSimRank(graph, options, DsrBackend::kPsum);
+    ASSERT_TRUE(truncated.ok());
+    const double diff = DenseMatrix::MaxAbsDiff(*reference, *truncated);
+    EXPECT_LE(diff, DifferentialErrorBound(0.8, k) + 1e-12) << "k=" << k;
+  }
+}
+
+TEST(DifferentialSimRankTest, DiagonalIsNotPinned) {
+  // Unlike conventional SimRank, ŝ(a,a) < 1 in general (it equals
+  // e^{-C}·Σ C^i/i!·[Qⁱ(Qᵀ)ⁱ]_{aa} and the paper's ranking experiments
+  // only rely on relative order).
+  DiGraph graph = testing::PaperExampleGraph();
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 10;
+  auto dsr = DifferentialSimRank(graph, options);
+  ASSERT_TRUE(dsr.ok());
+  // A vertex with no in-neighbours keeps only the e^{-C} self term.
+  EXPECT_NEAR((*dsr)(testing::kF, testing::kF), std::exp(-0.6), 1e-12);
+}
+
+TEST(DifferentialSimRankTest, DerivesIterationsFromEpsilon) {
+  DiGraph graph = testing::PaperExampleGraph();
+  SimRankOptions options;
+  options.damping = 0.8;
+  options.epsilon = 1e-4;
+  KernelStats stats;
+  auto dsr = DifferentialSimRank(graph, options, DsrBackend::kOip, &stats);
+  ASSERT_TRUE(dsr.ok());
+  // Exact minimal K' for C=0.8, eps=1e-4 is 6 (Fig. 6f's OIP-DSR column).
+  EXPECT_EQ(stats.iterations, 6u);
+}
+
+TEST(DifferentialSimRankTest, NeedsFarFewerIterationsThanConventional) {
+  SimRankOptions options;
+  options.damping = 0.8;
+  options.epsilon = 1e-4;
+  const uint32_t conventional =
+      ConventionalIterationsForAccuracy(options.damping, options.epsilon);
+  const uint32_t differential =
+      DifferentialIterationsExact(options.damping, options.epsilon);
+  EXPECT_EQ(conventional, 41u);  // the paper's worked example (Section IV)
+  EXPECT_EQ(differential, 6u);
+  EXPECT_LT(differential * 5, conventional);
+}
+
+TEST(DifferentialSimRankTest, UsesThreeScoreBuffers) {
+  DiGraph graph = testing::PaperExampleGraph();
+  SimRankOptions options;
+  options.iterations = 3;
+  KernelStats stats;
+  ASSERT_TRUE(DifferentialSimRank(graph, options, DsrBackend::kOip, &stats)
+                  .ok());
+  EXPECT_EQ(stats.score_buffers, 3u);
+}
+
+}  // namespace
+}  // namespace simrank

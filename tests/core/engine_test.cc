@@ -1,0 +1,69 @@
+#include "simrank/core/engine.h"
+
+#include <gtest/gtest.h>
+#include <string>
+
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(EngineTest, AllExactAlgorithmsAgree) {
+  DiGraph graph = testing::RandomGraph(40, 200, 42);
+  EngineOptions options;
+  options.simrank.damping = 0.6;
+  options.simrank.iterations = 8;
+
+  options.algorithm = Algorithm::kNaive;
+  auto naive = ComputeSimRank(graph, options);
+  ASSERT_TRUE(naive.ok());
+  for (Algorithm algorithm :
+       {Algorithm::kPsum, Algorithm::kOip, Algorithm::kMatrix}) {
+    options.algorithm = algorithm;
+    auto run = ComputeSimRank(graph, options);
+    ASSERT_TRUE(run.ok()) << AlgorithmName(algorithm);
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(naive->scores, run->scores), 1e-11)
+        << AlgorithmName(algorithm);
+  }
+}
+
+TEST(EngineTest, DifferentialVariantsAgree) {
+  DiGraph graph = testing::RandomGraph(35, 150, 9);
+  EngineOptions options;
+  options.simrank.iterations = 6;
+  options.algorithm = Algorithm::kOipDsr;
+  auto oip = ComputeSimRank(graph, options);
+  options.algorithm = Algorithm::kPsumDsr;
+  auto psum = ComputeSimRank(graph, options);
+  ASSERT_TRUE(oip.ok() && psum.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(oip->scores, psum->scores), 1e-12);
+}
+
+TEST(EngineTest, NamesAreStable) {
+  EXPECT_EQ(std::string(AlgorithmName(Algorithm::kOip)), "OIP-SR");
+  EXPECT_EQ(std::string(AlgorithmName(Algorithm::kOipDsr)), "OIP-DSR");
+  EXPECT_EQ(std::string(AlgorithmName(Algorithm::kPsum)), "psum-SR");
+  EXPECT_EQ(std::string(AlgorithmName(Algorithm::kMtx)), "mtx-SR");
+}
+
+TEST(EngineTest, PropagatesInvalidOptions) {
+  DiGraph graph = testing::PaperExampleGraph();
+  EngineOptions options;
+  options.simrank.damping = -0.1;
+  EXPECT_FALSE(ComputeSimRank(graph, options).ok());
+}
+
+TEST(EngineTest, StatsPopulated) {
+  DiGraph graph = testing::OverlappyGraph(100, 6, 77);
+  EngineOptions options;
+  options.algorithm = Algorithm::kOip;
+  options.simrank.iterations = 5;
+  auto run = ComputeSimRank(graph, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->stats.iterations, 5u);
+  EXPECT_GT(run->stats.seconds_total(), 0.0);
+  EXPECT_GT(run->stats.ops.total_adds(), 0u);
+}
+
+}  // namespace
+}  // namespace simrank

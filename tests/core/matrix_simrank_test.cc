@@ -1,0 +1,59 @@
+#include "simrank/core/matrix_simrank.h"
+
+#include <gtest/gtest.h>
+
+#include "simrank/core/naive.h"
+#include "simrank/linalg/dense_matrix.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(MatrixSimRankTest, PinnedFormMatchesNaiveExactly) {
+  for (uint64_t seed : {1u, 9u}) {
+    DiGraph graph = testing::RandomGraph(40, 160, seed);
+    SimRankOptions options;
+    options.damping = 0.6;
+    options.iterations = 7;
+    auto naive = NaiveSimRank(graph, options);
+    auto matrix = MatrixSimRank(graph, options, MatrixForm::kPinnedDiagonal);
+    ASSERT_TRUE(naive.ok() && matrix.ok());
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(*naive, *matrix), 1e-12);
+  }
+}
+
+TEST(MatrixSimRankTest, PureFormDiagonalBelowOne) {
+  DiGraph graph = testing::PaperExampleGraph();
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 12;
+  auto pure = MatrixSimRank(graph, options, MatrixForm::kPure);
+  ASSERT_TRUE(pure.ok());
+  for (uint32_t i = 0; i < graph.n(); ++i) {
+    EXPECT_LE((*pure)(i, i), 1.0 + 1e-12);
+    EXPECT_GE((*pure)(i, i), 1.0 - options.damping - 1e-12);
+  }
+}
+
+TEST(MatrixSimRankTest, PureAndPinnedFormsCloseOffDiagonal) {
+  // The (1-C)·I variant and the pinned variant agree on relative structure;
+  // their absolute difference is bounded by C (diagonal deficiency
+  // propagates one step with factor C).
+  DiGraph graph = testing::PaperExampleGraph();
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 12;
+  auto pure = MatrixSimRank(graph, options, MatrixForm::kPure);
+  auto pinned = MatrixSimRank(graph, options, MatrixForm::kPinnedDiagonal);
+  ASSERT_TRUE(pure.ok() && pinned.ok());
+  for (uint32_t i = 0; i < graph.n(); ++i) {
+    for (uint32_t j = 0; j < graph.n(); ++j) {
+      if (i == j) continue;
+      EXPECT_LE((*pure)(i, j), (*pinned)(i, j) + 1e-12);
+      EXPECT_GE((*pure)(i, j), (*pinned)(i, j) - options.damping);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simrank

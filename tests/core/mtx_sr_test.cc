@@ -1,0 +1,73 @@
+#include "simrank/core/mtx_sr.h"
+
+#include <gtest/gtest.h>
+
+#include "simrank/core/matrix_simrank.h"
+#include "simrank/linalg/dense_matrix.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(MtxSimRankTest, FullRankMatchesPureMatrixForm) {
+  // With rank = n the SVD is exact, so mtx-SR reproduces the Eq. (3) model
+  // (whose power series it truncates at the same K).
+  DiGraph graph = testing::PaperExampleGraph();
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 20;
+  MtxSrOptions mtx_options;
+  mtx_options.rank = graph.n();
+  mtx_options.oversample = 0;
+  mtx_options.power_iterations = 4;
+  auto mtx = MtxSimRank(graph, options, mtx_options);
+  auto oracle = MatrixSimRank(graph, options, MatrixForm::kPure);
+  ASSERT_TRUE(mtx.ok() && oracle.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(*mtx, *oracle), 1e-6);
+}
+
+TEST(MtxSimRankTest, LowRankIsReasonableOnLowRankGraph) {
+  // A union of disjoint 'shared parent' stars has a very low-rank Q; a
+  // modest rank captures it well.
+  DiGraph::Builder builder(30);
+  for (uint32_t star = 0; star < 10; ++star) {
+    const uint32_t hub = star * 3;
+    builder.AddEdge(hub, hub + 1);
+    builder.AddEdge(hub, hub + 2);
+  }
+  DiGraph graph = std::move(builder).Build();
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 10;
+  MtxSrOptions mtx_options;
+  mtx_options.rank = 12;
+  auto mtx = MtxSimRank(graph, options, mtx_options);
+  auto oracle = MatrixSimRank(graph, options, MatrixForm::kPure);
+  ASSERT_TRUE(mtx.ok() && oracle.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(*mtx, *oracle), 0.05);
+}
+
+TEST(MtxSimRankTest, ReportsQuadraticAuxMemory) {
+  DiGraph graph = testing::RandomGraph(60, 240, 3);
+  SimRankOptions options;
+  options.iterations = 5;
+  MtxSrOptions mtx_options;
+  mtx_options.rank = 16;
+  KernelStats stats;
+  ASSERT_TRUE(MtxSimRank(graph, options, mtx_options, &stats).ok());
+  // U and V are n x r — far more than psum-SR's O(n) scratch.
+  EXPECT_GE(stats.aux_peak_bytes,
+            2ull * graph.n() * 16 * sizeof(double));
+}
+
+TEST(MtxSimRankTest, RejectsZeroRank) {
+  DiGraph graph = testing::PaperExampleGraph();
+  SimRankOptions options;
+  options.iterations = 3;
+  MtxSrOptions mtx_options;
+  mtx_options.rank = 0;
+  EXPECT_FALSE(MtxSimRank(graph, options, mtx_options).ok());
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,116 @@
+#include "simrank/core/naive.h"
+
+#include <gtest/gtest.h>
+
+#include "simrank/graph/digraph.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+using ::simrank::testing::PaperExampleGraph;
+
+TEST(NaiveSimRankTest, IdentityOnIterationZero) {
+  DiGraph graph = PaperExampleGraph();
+  SimRankOptions options;
+  options.iterations = 1;
+  auto result = NaiveSimRank(graph, options);
+  ASSERT_TRUE(result.ok());
+  for (uint32_t i = 0; i < graph.n(); ++i) {
+    EXPECT_DOUBLE_EQ((*result)(i, i), 1.0);
+  }
+}
+
+TEST(NaiveSimRankTest, RejectsInvalidOptions) {
+  DiGraph graph = PaperExampleGraph();
+  SimRankOptions options;
+  options.damping = 1.5;
+  EXPECT_FALSE(NaiveSimRank(graph, options).ok());
+}
+
+TEST(NaiveSimRankTest, TwoNodeSharedParent) {
+  // x -> a, x -> b: after one iteration s(a,b) = C (single shared
+  // in-neighbour, |I(a)| = |I(b)| = 1, s_0(x,x) = 1).
+  DiGraph::Builder builder(3);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(2, 1);
+  DiGraph graph = std::move(builder).Build();
+  SimRankOptions options;
+  options.damping = 0.8;
+  options.iterations = 1;
+  auto result = NaiveSimRank(graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ((*result)(0, 1), 0.8);
+  EXPECT_DOUBLE_EQ((*result)(1, 0), 0.8);
+  EXPECT_DOUBLE_EQ((*result)(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ((*result)(0, 2), 0.0);  // I(x) is empty
+}
+
+TEST(NaiveSimRankTest, ConvergedValuesStayInUnitInterval) {
+  DiGraph graph = testing::RandomGraph(30, 120, 17);
+  SimRankOptions options;
+  options.damping = 0.9;
+  options.iterations = 25;
+  auto result = NaiveSimRank(graph, options);
+  ASSERT_TRUE(result.ok());
+  for (uint32_t i = 0; i < graph.n(); ++i) {
+    for (uint32_t j = 0; j < graph.n(); ++j) {
+      EXPECT_GE((*result)(i, j), 0.0);
+      EXPECT_LE((*result)(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(NaiveSimRankTest, SymmetricScores) {
+  DiGraph graph = testing::RandomGraph(25, 100, 3);
+  SimRankOptions options;
+  options.iterations = 6;
+  auto result = NaiveSimRank(graph, options);
+  ASSERT_TRUE(result.ok());
+  for (uint32_t i = 0; i < graph.n(); ++i) {
+    for (uint32_t j = 0; j < graph.n(); ++j) {
+      EXPECT_NEAR((*result)(i, j), (*result)(j, i), 1e-12);
+    }
+  }
+}
+
+TEST(NaiveSimRankTest, EmptyInNeighboursGiveZeroRows) {
+  DiGraph graph = PaperExampleGraph();
+  SimRankOptions options;
+  options.iterations = 5;
+  auto result = NaiveSimRank(graph, options);
+  ASSERT_TRUE(result.ok());
+  // f, g, i have no in-neighbours: their similarity to anything else is 0.
+  for (VertexId v : {testing::kF, testing::kG, testing::kI}) {
+    for (uint32_t j = 0; j < graph.n(); ++j) {
+      if (j == v) continue;
+      EXPECT_DOUBLE_EQ((*result)(v, j), 0.0);
+    }
+  }
+}
+
+TEST(NaiveSimRankTest, ReportsStats) {
+  DiGraph graph = PaperExampleGraph();
+  SimRankOptions options;
+  options.iterations = 3;
+  KernelStats stats;
+  auto result = NaiveSimRank(graph, options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.iterations, 3u);
+  EXPECT_GT(stats.ops.partial_sum_adds, 0u);
+}
+
+TEST(NaiveSimRankTest, DerivesIterationsFromEpsilon) {
+  DiGraph graph = PaperExampleGraph();
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.epsilon = 1e-3;
+  KernelStats stats;
+  auto result = NaiveSimRank(graph, options, &stats);
+  ASSERT_TRUE(result.ok());
+  // Smallest K with 0.6^{K+1} <= 1e-3: ceil(13.52 - 1) = 13.
+  EXPECT_EQ(stats.iterations, 13u);
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,179 @@
+#include "simrank/core/oip.h"
+
+#include <gtest/gtest.h>
+
+#include "simrank/core/naive.h"
+#include "simrank/core/psum.h"
+#include "simrank/linalg/dense_matrix.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+using ::simrank::testing::PaperExampleGraph;
+
+TEST(OipSimRankTest, MatchesNaiveOnPaperExample) {
+  DiGraph graph = PaperExampleGraph();
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 10;
+  auto naive = NaiveSimRank(graph, options);
+  auto oip = OipSimRank(graph, options);
+  ASSERT_TRUE(naive.ok() && oip.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(*naive, *oip), 1e-12);
+}
+
+TEST(OipSimRankTest, ReproducesPaperFig4OuterSumTable) {
+  // Fig. 4 lists s_{k+1}(x, a) and s_{k+1}(x, c) for k = 2, C = 0.6,
+  // rounded to two decimals. Run three iterations and compare.
+  DiGraph graph = PaperExampleGraph();
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 3;
+  auto scores = OipSimRank(graph, options);
+  ASSERT_TRUE(scores.ok());
+  using testing::kA, testing::kB, testing::kC, testing::kD, testing::kE,
+      testing::kH;
+  // Column s_{k+1}(x, a) of Fig. 4.
+  EXPECT_NEAR((*scores)(kA, kA), 1.0, 1e-12);
+  EXPECT_NEAR((*scores)(kE, kA), 0.15, 0.005);
+  EXPECT_NEAR((*scores)(kH, kA), 0.17, 0.005);
+  EXPECT_NEAR((*scores)(kC, kA), 0.21, 0.005);
+  EXPECT_NEAR((*scores)(kB, kA), 0.09, 0.005);
+  EXPECT_NEAR((*scores)(kD, kA), 0.02, 0.005);
+  // Column s_{k+1}(x, c) of Fig. 4.
+  EXPECT_NEAR((*scores)(kA, kC), 0.21, 0.005);
+  EXPECT_NEAR((*scores)(kE, kC), 0.1, 0.005);
+  EXPECT_NEAR((*scores)(kH, kC), 0.22, 0.005);
+  EXPECT_NEAR((*scores)(kC, kC), 1.0, 1e-12);
+  EXPECT_NEAR((*scores)(kB, kC), 0.06, 0.005);
+  EXPECT_NEAR((*scores)(kD, kC), 0.02, 0.005);
+}
+
+TEST(OipSimRankTest, MatchesPsumOnRandomGraphs) {
+  for (uint64_t seed : {2u, 5u, 8u, 13u}) {
+    DiGraph graph = testing::RandomGraph(60, 300, seed);
+    SimRankOptions options;
+    options.damping = 0.8;
+    options.iterations = 7;
+    auto psum = PsumSimRank(graph, options);
+    auto oip = OipSimRank(graph, options);
+    ASSERT_TRUE(psum.ok() && oip.ok());
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(*psum, *oip), 1e-11) << "seed " << seed;
+  }
+}
+
+TEST(OipSimRankTest, MatchesPsumOnOverlappyGraphs) {
+  DiGraph graph = testing::OverlappyGraph(150, 8, 21);
+  SimRankOptions options;
+  options.iterations = 5;
+  auto psum = PsumSimRank(graph, options);
+  auto oip = OipSimRank(graph, options);
+  ASSERT_TRUE(psum.ok() && oip.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(*psum, *oip), 1e-11);
+}
+
+TEST(OipSimRankTest, AllDmstPoliciesGiveIdenticalScores) {
+  // Sharing is an optimisation; any spanning tree must produce the same
+  // similarities.
+  DiGraph graph = testing::OverlappyGraph(80, 6, 31);
+  SimRankOptions options;
+  options.iterations = 5;
+  DenseMatrix reference;
+  bool first = true;
+  for (DmstPolicy policy : {DmstPolicy::kMinCost, DmstPolicy::kPreviousInOrder,
+                            DmstPolicy::kAlwaysRoot}) {
+    auto mst = DmstReduce(graph, {policy});
+    ASSERT_TRUE(mst.ok());
+    auto scores = OipSimRankWithMst(graph, *mst, options);
+    ASSERT_TRUE(scores.ok());
+    if (first) {
+      reference = *scores;
+      first = false;
+    } else {
+      EXPECT_LT(DenseMatrix::MaxAbsDiff(reference, *scores), 1e-11);
+    }
+  }
+}
+
+TEST(OipSimRankTest, SharingReducesAdditionsOnOverlappyGraphs) {
+  DiGraph graph = testing::OverlappyGraph(250, 10, 5);
+  SimRankOptions options;
+  options.iterations = 6;
+  KernelStats psum_stats, oip_stats;
+  ASSERT_TRUE(PsumSimRank(graph, options, &psum_stats).ok());
+  ASSERT_TRUE(OipSimRank(graph, options, &oip_stats).ok());
+  // The headline claim: fewer partial-sum additions than psum-SR.
+  EXPECT_LT(oip_stats.ops.partial_sum_adds, psum_stats.ops.partial_sum_adds);
+  EXPECT_LT(oip_stats.ops.outer_sum_adds, psum_stats.ops.outer_sum_adds);
+}
+
+TEST(OipSimRankTest, AuxMemoryScalesLinearly) {
+  // O(n) intermediate memory (Proposition 5): doubling n must not blow the
+  // aux bytes up quadratically.
+  SimRankOptions options;
+  options.iterations = 2;
+  KernelStats small_stats, large_stats;
+  DiGraph small = testing::OverlappyGraph(100, 6, 9);
+  DiGraph large = testing::OverlappyGraph(400, 6, 9);
+  ASSERT_TRUE(OipSimRank(small, options, &small_stats).ok());
+  ASSERT_TRUE(OipSimRank(large, options, &large_stats).ok());
+  EXPECT_LT(large_stats.aux_peak_bytes,
+            16.0 * static_cast<double>(small_stats.aux_peak_bytes));
+}
+
+TEST(OipSimRankTest, EmptyAndTinyGraphs) {
+  SimRankOptions options;
+  options.iterations = 3;
+  {
+    DiGraph graph;
+    auto scores = OipSimRank(graph, options);
+    ASSERT_TRUE(scores.ok());
+    EXPECT_EQ(scores->rows(), 0u);
+  }
+  {
+    DiGraph::Builder builder(2);
+    builder.AddEdge(0, 1);
+    DiGraph graph = std::move(builder).Build();
+    auto scores = OipSimRank(graph, options);
+    ASSERT_TRUE(scores.ok());
+    EXPECT_DOUBLE_EQ((*scores)(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ((*scores)(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ((*scores)(0, 1), 0.0);
+  }
+}
+
+TEST(OipSimRankTest, DisconnectedComponentsStayIndependent) {
+  // Two disjoint 'shared parent' gadgets: cross-component similarity 0.
+  DiGraph::Builder builder(6);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(2, 1);
+  builder.AddEdge(5, 3);
+  builder.AddEdge(5, 4);
+  DiGraph graph = std::move(builder).Build();
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 5;
+  auto scores = OipSimRank(graph, options);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ((*scores)(0, 1), 0.6);
+  EXPECT_DOUBLE_EQ((*scores)(3, 4), 0.6);
+  EXPECT_DOUBLE_EQ((*scores)(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ((*scores)(1, 4), 0.0);
+}
+
+TEST(OipSimRankTest, StatsSplitSetupAndIteratePhases) {
+  DiGraph graph = testing::OverlappyGraph(120, 8, 3);
+  SimRankOptions options;
+  options.iterations = 4;
+  KernelStats stats;
+  ASSERT_TRUE(OipSimRank(graph, options, &stats).ok());
+  EXPECT_EQ(stats.iterations, 4u);
+  EXPECT_GE(stats.seconds_setup, 0.0);
+  EXPECT_GT(stats.seconds_iterate, 0.0);
+  EXPECT_GT(stats.ops.set_ops, 0u);  // MST construction work
+  EXPECT_GT(stats.aux_peak_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,134 @@
+#include "simrank/core/psum.h"
+
+#include <gtest/gtest.h>
+
+#include "simrank/core/naive.h"
+#include "simrank/linalg/dense_matrix.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(PsumSimRankTest, MatchesNaiveExactly) {
+  DiGraph graph = testing::PaperExampleGraph();
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 8;
+  auto naive = NaiveSimRank(graph, options);
+  auto psum = PsumSimRank(graph, options);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(psum.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(*naive, *psum), 1e-12);
+}
+
+TEST(PsumSimRankTest, MatchesNaiveOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    DiGraph graph = testing::RandomGraph(40, 200, seed);
+    SimRankOptions options;
+    options.damping = 0.7;
+    options.iterations = 6;
+    auto naive = NaiveSimRank(graph, options);
+    auto psum = PsumSimRank(graph, options);
+    ASSERT_TRUE(naive.ok() && psum.ok());
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(*naive, *psum), 1e-12)
+        << "seed " << seed;
+  }
+}
+
+TEST(PsumSimRankTest, FewerAdditionsThanNaive) {
+  DiGraph graph = testing::OverlappyGraph(120, 8, 5);
+  SimRankOptions options;
+  options.iterations = 5;
+  KernelStats naive_stats, psum_stats;
+  ASSERT_TRUE(NaiveSimRank(graph, options, &naive_stats).ok());
+  ASSERT_TRUE(PsumSimRank(graph, options, &psum_stats).ok());
+  // Partial sums memoisation: O(K d n²) vs O(K d² n²).
+  EXPECT_LT(psum_stats.ops.total_adds(), naive_stats.ops.total_adds());
+}
+
+TEST(PsumSimRankTest, SievingClipsSmallScores) {
+  DiGraph graph = testing::RandomGraph(30, 90, 11);
+  SimRankOptions exact_options;
+  exact_options.iterations = 8;
+  SimRankOptions sieved_options = exact_options;
+  sieved_options.sieve_threshold = 0.05;
+  auto exact = PsumSimRank(graph, exact_options);
+  auto sieved = PsumSimRank(graph, sieved_options);
+  ASSERT_TRUE(exact.ok() && sieved.ok());
+  uint32_t zeros_exact = 0, zeros_sieved = 0;
+  for (uint32_t i = 0; i < graph.n(); ++i) {
+    for (uint32_t j = 0; j < graph.n(); ++j) {
+      if ((*exact)(i, j) == 0.0) ++zeros_exact;
+      if ((*sieved)(i, j) == 0.0) ++zeros_sieved;
+      // Sieving only ever under-approximates.
+      EXPECT_LE((*sieved)(i, j), (*exact)(i, j) + 1e-12);
+    }
+  }
+  EXPECT_GE(zeros_sieved, zeros_exact);
+}
+
+TEST(PsumSimRankTest, SievedScoresCloseToExactWithinThresholdBound) {
+  DiGraph graph = testing::RandomGraph(30, 120, 13);
+  SimRankOptions exact_options;
+  exact_options.damping = 0.6;
+  exact_options.iterations = 10;
+  SimRankOptions sieved_options = exact_options;
+  sieved_options.sieve_threshold = 0.01;
+  auto exact = PsumSimRank(graph, exact_options);
+  auto sieved = PsumSimRank(graph, sieved_options);
+  ASSERT_TRUE(exact.ok() && sieved.ok());
+  // Lizorkin et al. Thm 4: the sieved scores differ from the exact ones by
+  // at most delta/(1-C) ... we assert a conservative multiple.
+  const double bound =
+      sieved_options.sieve_threshold / (1.0 - exact_options.damping);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(*exact, *sieved), bound + 1e-12);
+}
+
+TEST(PsumSimRankTest, AuxMemoryIsLinear) {
+  DiGraph graph = testing::RandomGraph(100, 500, 7);
+  SimRankOptions options;
+  options.iterations = 2;
+  KernelStats stats;
+  ASSERT_TRUE(PsumSimRank(graph, options, &stats).ok());
+  // One n-length partial-sum vector.
+  EXPECT_EQ(stats.aux_peak_bytes, graph.n() * sizeof(double));
+}
+
+TEST(PsumSimRankTest, HandlesEmptyGraph) {
+  DiGraph graph;
+  SimRankOptions options;
+  options.iterations = 2;
+  auto result = PsumSimRank(graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows(), 0u);
+}
+
+TEST(PsumSimRankTest, HandlesSingleVertex) {
+  DiGraph::Builder builder(1);
+  DiGraph graph = std::move(builder).Build();
+  SimRankOptions options;
+  options.iterations = 3;
+  auto result = PsumSimRank(graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ((*result)(0, 0), 1.0);
+}
+
+TEST(PsumSimRankTest, SelfLoopGraph) {
+  // A vertex with a self-loop is its own in-neighbour; s(a,a) stays pinned
+  // to 1 and the off-diagonal propagation uses the loop edge.
+  DiGraph::Builder builder(2);
+  builder.AddEdge(0, 0);
+  builder.AddEdge(0, 1);
+  DiGraph graph = std::move(builder).Build();
+  SimRankOptions options;
+  options.damping = 0.5;
+  options.iterations = 4;
+  auto naive = NaiveSimRank(graph, options);
+  auto psum = PsumSimRank(graph, options);
+  ASSERT_TRUE(naive.ok() && psum.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(*naive, *psum), 1e-12);
+  EXPECT_GT((*psum)(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,190 @@
+// Property suite for the DMST replay schedule — the data structure at the
+// heart of OIP-SR. For every graph family we assert the invariants the
+// kernels rely on:
+//  * the first step (and every step after a from-scratch reset) rebuilds
+//    its set exactly; diff steps transform the previous set exactly;
+//  * every step's cost respects the Eq. (7) cap (never worse than
+//    recomputing from scratch), hence schedule_cost <= psum's cost;
+//  * every distinct set appears exactly once;
+//  * the measured addition counts of OipPropagate match the schedule's
+//    static cost model;
+//  * OIP never performs more partial-sum additions than psum-SR.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "simrank/core/dmst.h"
+#include "simrank/core/oip.h"
+#include "simrank/core/psum.h"
+#include "simrank/gen/generators.h"
+#include "simrank/graph/set_ops.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+enum class Family { kErdosRenyi, kWeb, kCitation, kCoauthor, kSsca2 };
+
+std::string FamilyName(Family family) {
+  switch (family) {
+    case Family::kErdosRenyi:
+      return "ErdosRenyi";
+    case Family::kWeb:
+      return "Web";
+    case Family::kCitation:
+      return "Citation";
+    case Family::kCoauthor:
+      return "Coauthor";
+    case Family::kSsca2:
+      return "Ssca2";
+  }
+  return "?";
+}
+
+DiGraph MakeGraph(Family family, uint64_t seed) {
+  switch (family) {
+    case Family::kErdosRenyi:
+      return testing::RandomGraph(120, 600, seed);
+    case Family::kWeb:
+      return testing::OverlappyGraph(120, 6, seed);
+    case Family::kCitation: {
+      gen::CitationGraphParams params;
+      params.n = 120;
+      params.seed = seed;
+      return std::move(gen::CitationGraph(params)).value();
+    }
+    case Family::kCoauthor: {
+      gen::CoauthorGraphParams params;
+      params.num_authors = 120;
+      params.num_papers = 80;
+      params.repeat_team_prob = 0.6;
+      params.seed = seed;
+      return std::move(gen::CoauthorGraph(params)).value();
+    }
+    case Family::kSsca2: {
+      gen::Ssca2Params params;
+      params.n = 120;
+      params.max_clique_size = 10;
+      params.seed = seed;
+      return std::move(gen::Ssca2(params)).value();
+    }
+  }
+  OIPSIM_CHECK(false);
+  return DiGraph();
+}
+
+using ScheduleParam = std::tuple<Family, uint64_t>;
+
+class SchedulePropertyTest : public ::testing::TestWithParam<ScheduleParam> {
+ protected:
+  DiGraph graph_ = MakeGraph(std::get<0>(GetParam()),
+                             std::get<1>(GetParam()));
+};
+
+TEST_P(SchedulePropertyTest, StepsReplayToExactSets) {
+  auto mst = DmstReduce(graph_);
+  ASSERT_TRUE(mst.ok());
+  std::multiset<VertexId> state;  // symbolic content of the partial vector
+  bool first = true;
+  for (const ScheduleStep& step : mst->schedule) {
+    if (step.from_scratch) {
+      state.clear();
+    } else {
+      ASSERT_FALSE(first) << "first step must be from scratch";
+    }
+    for (VertexId x : step.add) {
+      EXPECT_EQ(state.count(x), 0u) << "double-add of " << x;
+      state.insert(x);
+    }
+    for (VertexId x : step.sub) {
+      ASSERT_EQ(state.count(x), 1u) << "subtracting absent " << x;
+      state.erase(x);
+    }
+    auto contents = mst->sets.Contents(graph_, step.set);
+    ASSERT_EQ(state.size(), contents.size());
+    auto it = state.begin();
+    for (VertexId expected : contents) {
+      EXPECT_EQ(*it, expected);
+      ++it;
+    }
+    first = false;
+  }
+}
+
+TEST_P(SchedulePropertyTest, EveryStepRespectsTheScratchCap) {
+  auto mst = DmstReduce(graph_);
+  ASSERT_TRUE(mst.ok());
+  uint64_t recomputed_cost = 0;
+  for (const ScheduleStep& step : mst->schedule) {
+    const uint64_t scratch_cost = mst->sets.set_size[step.set] - 1;
+    if (step.from_scratch) {
+      EXPECT_EQ(step.add.size(), mst->sets.set_size[step.set]);
+      EXPECT_TRUE(step.sub.empty());
+      recomputed_cost += scratch_cost;
+    } else {
+      const uint64_t diff_cost = step.add.size() + step.sub.size();
+      EXPECT_LT(diff_cost, scratch_cost)
+          << "diff step must beat from-scratch (set " << step.set << ")";
+      recomputed_cost += diff_cost;
+    }
+  }
+  EXPECT_EQ(recomputed_cost, mst->schedule_cost);
+  // Hence the whole plan never costs more than psum-SR's per-set work.
+  EXPECT_LE(mst->schedule_cost, mst->cost_without_sharing);
+}
+
+TEST_P(SchedulePropertyTest, EveryDistinctSetScheduledExactlyOnce) {
+  auto mst = DmstReduce(graph_);
+  ASSERT_TRUE(mst.ok());
+  std::set<uint32_t> scheduled;
+  for (const ScheduleStep& step : mst->schedule) {
+    EXPECT_TRUE(scheduled.insert(step.set).second)
+        << "set " << step.set << " scheduled twice";
+  }
+  EXPECT_EQ(scheduled.size(), mst->sets.num_sets);
+}
+
+TEST_P(SchedulePropertyTest, MeasuredAddsMatchStaticCostModel) {
+  auto mst = DmstReduce(graph_);
+  ASSERT_TRUE(mst.ok());
+  const uint32_t n = graph_.n();
+  internal::OipScratch scratch;
+  internal::PrepareScratch(*mst, n, &scratch);
+  DenseMatrix current = DenseMatrix::Identity(n);
+  DenseMatrix next(n, n);
+  OpCounter ops;
+  internal::OipPropagate(*mst, current, &next, 0.6, true, &ops, &scratch);
+  // Inner: schedule_cost additions per target column.
+  EXPECT_EQ(ops.counts().partial_sum_adds,
+            mst->schedule_cost * static_cast<uint64_t>(n));
+  // Outer: schedule_cost scalar additions per source set.
+  EXPECT_EQ(ops.counts().outer_sum_adds,
+            mst->schedule_cost * static_cast<uint64_t>(mst->sets.num_sets));
+}
+
+TEST_P(SchedulePropertyTest, OipNeverAddsMoreThanPsum) {
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 4;
+  KernelStats psum_stats, oip_stats;
+  ASSERT_TRUE(PsumSimRank(graph_, options, &psum_stats).ok());
+  ASSERT_TRUE(OipSimRank(graph_, options, &oip_stats).ok());
+  EXPECT_LE(oip_stats.ops.partial_sum_adds,
+            psum_stats.ops.partial_sum_adds);
+  EXPECT_LE(oip_stats.ops.outer_sum_adds, psum_stats.ops.outer_sum_adds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SchedulePropertyTest,
+    ::testing::Combine(::testing::Values(Family::kErdosRenyi, Family::kWeb,
+                                         Family::kCitation,
+                                         Family::kCoauthor, Family::kSsca2),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<ScheduleParam>& info) {
+      return FamilyName(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace simrank

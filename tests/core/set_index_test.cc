@@ -1,0 +1,67 @@
+#include "simrank/core/set_index.h"
+
+#include <gtest/gtest.h>
+
+#include "simrank/graph/graph_stats.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(InSetIndexTest, PaperExampleHasSixSets) {
+  DiGraph graph = testing::PaperExampleGraph();
+  InSetIndex index = BuildInSetIndex(graph);
+  EXPECT_EQ(index.num_sets, 6u);
+  // f, g, i have empty in-neighbour sets.
+  EXPECT_EQ(index.set_of_vertex[testing::kF], -1);
+  EXPECT_EQ(index.set_of_vertex[testing::kG], -1);
+  EXPECT_EQ(index.set_of_vertex[testing::kI], -1);
+  // The others each have their own set.
+  for (VertexId v : {testing::kA, testing::kB, testing::kC, testing::kD,
+                     testing::kE, testing::kH}) {
+    EXPECT_GE(index.set_of_vertex[v], 0);
+  }
+}
+
+TEST(InSetIndexTest, MembersAndRepresentativesConsistent) {
+  DiGraph graph = testing::OverlappyGraph(120, 7, 2);
+  InSetIndex index = BuildInSetIndex(graph);
+  uint32_t member_total = 0;
+  for (uint32_t s = 0; s < index.num_sets; ++s) {
+    ASSERT_FALSE(index.members[s].empty());
+    member_total += static_cast<uint32_t>(index.members[s].size());
+    for (VertexId v : index.members[s]) {
+      EXPECT_EQ(index.set_of_vertex[v], static_cast<int32_t>(s));
+      // Every member's in-list equals the representative's.
+      auto rep = graph.InNeighbors(index.representative[s]);
+      auto own = graph.InNeighbors(v);
+      ASSERT_EQ(rep.size(), own.size());
+      EXPECT_TRUE(std::equal(rep.begin(), rep.end(), own.begin()));
+    }
+    EXPECT_EQ(index.set_size[s],
+              graph.InDegree(index.representative[s]));
+  }
+  uint32_t nonempty = 0;
+  for (VertexId v = 0; v < graph.n(); ++v) {
+    if (graph.InDegree(v) > 0) ++nonempty;
+  }
+  EXPECT_EQ(member_total, nonempty);
+}
+
+TEST(InSetIndexTest, AgreesWithGraphStatsDistinctCount) {
+  for (uint64_t seed : {5u, 6u, 7u}) {
+    DiGraph graph = testing::RandomGraph(80, 240, seed);
+    InSetIndex index = BuildInSetIndex(graph);
+    EXPECT_EQ(index.num_sets, CountDistinctInNeighborSets(graph));
+  }
+}
+
+TEST(InSetIndexTest, EmptyGraph) {
+  DiGraph graph;
+  InSetIndex index = BuildInSetIndex(graph);
+  EXPECT_EQ(index.num_sets, 0u);
+  EXPECT_TRUE(index.set_of_vertex.empty());
+}
+
+}  // namespace
+}  // namespace simrank

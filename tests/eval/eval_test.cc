@@ -1,0 +1,114 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "simrank/eval/ndcg.h"
+#include "simrank/eval/rank_corr.h"
+#include "simrank/eval/topk_metrics.h"
+
+namespace simrank {
+namespace {
+
+TEST(NdcgTest, IdealRankingScoresOne) {
+  std::vector<double> relevance{3, 2, 2, 1, 0};
+  EXPECT_DOUBLE_EQ(NdcgAtP(relevance, 5), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtP(relevance, 3), 1.0);
+}
+
+TEST(NdcgTest, WorstRankingScoresBelowOne) {
+  std::vector<double> relevance{0, 0, 1, 2, 3};
+  const double ndcg = NdcgAtP(relevance, 5);
+  EXPECT_GT(ndcg, 0.0);
+  EXPECT_LT(ndcg, 0.8);
+}
+
+TEST(NdcgTest, AllZeroRelevanceIsZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtP({0, 0, 0}, 3), 0.0);
+}
+
+TEST(NdcgTest, SwapNearTopCostsMoreThanSwapNearBottom) {
+  std::vector<double> top_swap{2, 3, 1, 0.5, 0};   // positions 1,2 swapped
+  std::vector<double> bottom_swap{3, 2, 1, 0, 0.5};  // positions 4,5 swapped
+  EXPECT_LT(NdcgAtP(top_swap, 5), NdcgAtP(bottom_swap, 5));
+}
+
+TEST(NdcgTest, KnownHandComputedValue) {
+  // relevance (3, 0), p=2: DCG = 7/1 + 0 = 7; IDCG = 7 -> 1.
+  EXPECT_DOUBLE_EQ(NdcgAtP({3, 0}, 2), 1.0);
+  // relevance (0, 3): DCG = 0 + 7/log2(3); IDCG = 7.
+  EXPECT_NEAR(NdcgAtP({0, 3}, 2), 1.0 / std::log2(3.0), 1e-12);
+}
+
+TEST(NdcgForRankingTest, PerfectAgreementIsOne) {
+  std::vector<double> truth{0.9, 0.8, 0.7, 0.6, 0.1};
+  std::vector<VertexId> ranking{0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(NdcgForRanking(ranking, truth, 5), 1.0);
+}
+
+TEST(NdcgForRankingTest, ReversedOrderScoresLower) {
+  std::vector<double> truth{0.9, 0.8, 0.7, 0.2, 0.1};
+  std::vector<VertexId> reversed{4, 3, 2, 1, 0};
+  EXPECT_LT(NdcgForRanking(reversed, truth, 5), 0.9);
+}
+
+TEST(KendallTauTest, PerfectAndInverse) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(KendallTau(x, y), 1.0, 1e-12);
+  std::vector<double> z{5, 4, 3, 2, 1};
+  EXPECT_NEAR(KendallTau(x, z), -1.0, 1e-12);
+}
+
+TEST(KendallTauTest, SingleAdjacentSwap) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{2, 1, 3, 4};
+  // 1 discordant of 6 pairs: (5 - 1)/6.
+  EXPECT_NEAR(KendallTau(x, y), 4.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTauTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(KendallTau({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1, 1, 1}, {2, 2, 2}), 0.0);
+}
+
+TEST(SpearmanRhoTest, MonotoneTransformsScoreOne) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{1, 4, 9, 16, 25};
+  EXPECT_NEAR(SpearmanRho(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanRhoTest, HandlesTies) {
+  std::vector<double> x{1, 2, 2, 3};
+  std::vector<double> y{1, 2, 2, 3};
+  EXPECT_NEAR(SpearmanRho(x, y), 1.0, 1e-12);
+}
+
+TEST(TopKOverlapTest, Basics) {
+  EXPECT_DOUBLE_EQ(TopKOverlap({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap({1, 2, 3}, {4, 5, 6}), 0.0);
+  EXPECT_NEAR(TopKOverlap({1, 2, 3}, {3, 4, 5}), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(TopKOverlap({}, {1}), 0.0);
+}
+
+TEST(RankingInversionsTest, PaperStyleAdjacentSwap) {
+  // Fig. 6h: identical top-30 except one adjacent transposition -> 1.
+  std::vector<VertexId> a{10, 20, 30, 40};
+  std::vector<VertexId> b{10, 20, 40, 30};
+  EXPECT_EQ(RankingInversions(a, b), 1u);
+  EXPECT_EQ(RankingInversions(a, a), 0u);
+}
+
+TEST(RankingInversionsTest, IgnoresNonCommonItems) {
+  std::vector<VertexId> a{1, 2, 99};
+  std::vector<VertexId> b{2, 1, 77};
+  EXPECT_EQ(RankingInversions(a, b), 1u);
+}
+
+TEST(DisagreeingPositionsTest, ReportsIndices) {
+  std::vector<VertexId> a{1, 2, 3, 4};
+  std::vector<VertexId> b{1, 3, 2, 4};
+  EXPECT_EQ(DisagreeingPositions(a, b), (std::vector<uint32_t>{1, 2}));
+  EXPECT_TRUE(DisagreeingPositions(a, a).empty());
+}
+
+}  // namespace
+}  // namespace simrank

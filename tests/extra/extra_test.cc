@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "simrank/core/psum.h"
+#include "simrank/extra/montecarlo.h"
+#include "simrank/extra/prank.h"
+#include "simrank/extra/single_pair.h"
+#include "simrank/extra/topk.h"
+#include "simrank/linalg/dense_matrix.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(TopKTest, ReturnsDescendingScores) {
+  DenseMatrix scores(4, 4);
+  scores(0, 1) = 0.3;
+  scores(0, 2) = 0.9;
+  scores(0, 3) = 0.5;
+  scores(0, 0) = 1.0;
+  auto top = TopKSimilar(scores, 0, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].vertex, 2u);
+  EXPECT_DOUBLE_EQ(top[0].score, 0.9);
+  EXPECT_EQ(top[1].vertex, 3u);
+}
+
+TEST(TopKTest, ExcludesQueryByDefaultIncludesOnRequest) {
+  DenseMatrix scores(3, 3);
+  scores(1, 1) = 1.0;
+  scores(1, 0) = 0.2;
+  scores(1, 2) = 0.1;
+  auto without = TopKIds(scores, 1, 3);
+  EXPECT_EQ(without, (std::vector<VertexId>{0, 2}));
+  auto with = TopKIds(scores, 1, 3, /*exclude_query=*/false);
+  EXPECT_EQ(with, (std::vector<VertexId>{1, 0, 2}));
+}
+
+TEST(TopKTest, TiesBrokenByAscendingId) {
+  DenseMatrix scores(4, 4);
+  scores(0, 1) = 0.5;
+  scores(0, 2) = 0.5;
+  scores(0, 3) = 0.5;
+  auto ids = TopKIds(scores, 0, 3);
+  EXPECT_EQ(ids, (std::vector<VertexId>{1, 2, 3}));
+}
+
+TEST(SinglePairTest, MatchesAllPairsIteration) {
+  DiGraph graph = testing::PaperExampleGraph();
+  SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 6;
+  auto all_pairs = PsumSimRank(graph, options);
+  ASSERT_TRUE(all_pairs.ok());
+  for (VertexId a = 0; a < graph.n(); ++a) {
+    for (VertexId b = 0; b < graph.n(); ++b) {
+      auto single = SinglePairSimRank(graph, a, b, options);
+      ASSERT_TRUE(single.ok());
+      EXPECT_NEAR(*single, (*all_pairs)(a, b), 1e-12)
+          << "pair (" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(SinglePairTest, MemoisationKeepsSubproblemsBounded) {
+  DiGraph graph = testing::RandomGraph(40, 160, 19);
+  SimRankOptions options;
+  options.iterations = 5;
+  SinglePairStats stats;
+  auto value = SinglePairSimRank(graph, 0, 1, options, &stats);
+  ASSERT_TRUE(value.ok());
+  // Memoised subproblems can never exceed pairs x depth.
+  EXPECT_LE(stats.subproblems,
+            static_cast<uint64_t>(graph.n()) * graph.n() * 5);
+  EXPECT_GT(stats.subproblems, 0u);
+}
+
+TEST(SinglePairTest, OutOfRangeVertices) {
+  DiGraph graph = testing::PaperExampleGraph();
+  SimRankOptions options;
+  options.iterations = 2;
+  EXPECT_FALSE(SinglePairSimRank(graph, 0, 99, options).ok());
+}
+
+TEST(MonteCarloTest, DiagonalAndRangeInvariants) {
+  DiGraph graph = testing::PaperExampleGraph();
+  MonteCarloOptions options;
+  options.num_fingerprints = 64;
+  MonteCarloSimRank mc(graph, options);
+  EXPECT_DOUBLE_EQ(mc.EstimatePair(0, 0), 1.0);
+  for (VertexId a = 0; a < graph.n(); ++a) {
+    for (VertexId b = 0; b < graph.n(); ++b) {
+      const double estimate = mc.EstimatePair(a, b);
+      EXPECT_GE(estimate, 0.0);
+      EXPECT_LE(estimate, 1.0);
+    }
+  }
+}
+
+TEST(MonteCarloTest, ApproximatesExactScores) {
+  DiGraph graph = testing::PaperExampleGraph();
+  SimRankOptions exact_options;
+  exact_options.damping = 0.6;
+  exact_options.iterations = 12;
+  auto exact = PsumSimRank(graph, exact_options);
+  ASSERT_TRUE(exact.ok());
+  MonteCarloOptions mc_options;
+  mc_options.num_fingerprints = 4096;
+  mc_options.walk_length = 12;
+  mc_options.damping = 0.6;
+  MonteCarloSimRank mc(graph, mc_options);
+  // Spot-check a few informative pairs with a generous sampling tolerance.
+  for (auto [a, b] : std::vector<std::pair<VertexId, VertexId>>{
+           {testing::kA, testing::kC},
+           {testing::kB, testing::kD},
+           {testing::kA, testing::kE}}) {
+    EXPECT_NEAR(mc.EstimatePair(a, b), (*exact)(a, b), 0.08)
+        << "pair (" << a << "," << b << ")";
+  }
+}
+
+TEST(MonteCarloTest, RowMatchesPairQueries) {
+  DiGraph graph = testing::RandomGraph(20, 80, 23);
+  MonteCarloOptions options;
+  options.num_fingerprints = 32;
+  MonteCarloSimRank mc(graph, options);
+  auto row = mc.EstimateRow(3);
+  ASSERT_EQ(row.size(), graph.n());
+  for (VertexId b = 0; b < graph.n(); ++b) {
+    EXPECT_DOUBLE_EQ(row[b], mc.EstimatePair(3, b));
+  }
+}
+
+TEST(PRankTest, LambdaOneReducesToSimRank) {
+  DiGraph graph = testing::RandomGraph(30, 120, 29);
+  PRankOptions options;
+  options.lambda = 1.0;
+  options.simrank.damping = 0.7;
+  options.simrank.iterations = 6;
+  auto prank = PRank(graph, options);
+  auto simrank = PsumSimRank(graph, options.simrank);
+  ASSERT_TRUE(prank.ok() && simrank.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(*prank, *simrank), 1e-12);
+}
+
+TEST(PRankTest, UsesOutLinksWhenLambdaZero) {
+  // Two vertices pointing at the same target are "out-similar" even with
+  // no in-links.
+  DiGraph::Builder builder(3);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  DiGraph graph = std::move(builder).Build();
+  PRankOptions options;
+  options.lambda = 0.0;
+  options.simrank.damping = 0.6;
+  options.simrank.iterations = 3;
+  auto prank = PRank(graph, options);
+  ASSERT_TRUE(prank.ok());
+  EXPECT_DOUBLE_EQ((*prank)(0, 1), 0.6);
+  // Pure in-link SimRank sees nothing here.
+  auto simrank = PsumSimRank(graph, options.simrank);
+  ASSERT_TRUE(simrank.ok());
+  EXPECT_DOUBLE_EQ((*simrank)(0, 1), 0.0);
+}
+
+TEST(PRankTest, RejectsBadLambda) {
+  DiGraph graph = testing::PaperExampleGraph();
+  PRankOptions options;
+  options.lambda = 1.5;
+  EXPECT_FALSE(PRank(graph, options).ok());
+}
+
+TEST(PRankTest, ScoresSymmetricAndBounded) {
+  DiGraph graph = testing::RandomGraph(25, 100, 31);
+  PRankOptions options;
+  options.lambda = 0.4;
+  options.simrank.iterations = 8;
+  auto prank = PRank(graph, options);
+  ASSERT_TRUE(prank.ok());
+  for (uint32_t i = 0; i < graph.n(); ++i) {
+    EXPECT_DOUBLE_EQ((*prank)(i, i), 1.0);
+    for (uint32_t j = 0; j < graph.n(); ++j) {
+      EXPECT_NEAR((*prank)(i, j), (*prank)(j, i), 1e-12);
+      EXPECT_GE((*prank)(i, j), 0.0);
+      EXPECT_LE((*prank)(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simrank

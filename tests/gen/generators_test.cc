@@ -1,0 +1,241 @@
+#include "simrank/gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "simrank/core/dmst.h"
+#include "simrank/graph/graph_stats.h"
+
+namespace simrank::gen {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  ErdosRenyiParams params;
+  params.n = 100;
+  params.m = 450;
+  params.seed = 3;
+  auto graph = ErdosRenyi(params);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->n(), 100u);
+  EXPECT_EQ(graph->m(), 450u);
+  // No self-loops.
+  for (VertexId v = 0; v < graph->n(); ++v) {
+    EXPECT_FALSE(graph->HasEdge(v, v));
+  }
+}
+
+TEST(ErdosRenyiTest, DeterministicAndSeedSensitive) {
+  ErdosRenyiParams params;
+  params.n = 50;
+  params.m = 200;
+  params.seed = 7;
+  auto a = ErdosRenyi(params);
+  auto b = ErdosRenyi(params);
+  params.seed = 8;
+  auto c = ErdosRenyi(params);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_FALSE(*a == *c);
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleDensity) {
+  ErdosRenyiParams params;
+  params.n = 3;
+  params.m = 100;
+  EXPECT_FALSE(ErdosRenyi(params).ok());
+  params.n = 1;
+  params.m = 0;
+  EXPECT_FALSE(ErdosRenyi(params).ok());
+}
+
+TEST(RmatTest, PowerOfTwoVertices) {
+  RmatParams params;
+  params.scale = 8;
+  params.m_target = 2000;
+  auto graph = Rmat(params);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->n(), 256u);
+  EXPECT_GT(graph->m(), 1000u);   // some dedupe expected
+  EXPECT_LE(graph->m(), 2000u);
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  RmatParams params;
+  params.scale = 10;
+  params.m_target = 10000;
+  params.seed = 5;
+  auto graph = Rmat(params);
+  ASSERT_TRUE(graph.ok());
+  DegreeStats stats = ComputeDegreeStats(*graph);
+  // R-MAT with a=0.45 concentrates edges: the max in-degree far exceeds
+  // the mean.
+  EXPECT_GT(stats.max_in_degree, 4 * stats.avg_in_degree);
+}
+
+TEST(RmatTest, RejectsBadProbabilities) {
+  RmatParams params;
+  params.a = 0.9;
+  params.b = 0.9;
+  params.c = 0.1;
+  params.d = 0.1;
+  EXPECT_FALSE(Rmat(params).ok());
+  RmatParams zero_scale;
+  zero_scale.scale = 0;
+  EXPECT_FALSE(Rmat(zero_scale).ok());
+}
+
+TEST(Ssca2Test, CliqueStructureAndSharing) {
+  Ssca2Params params;
+  params.n = 600;
+  params.max_clique_size = 15;
+  params.seed = 8;
+  auto graph = Ssca2(params);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->n(), 600u);
+  // Clique members' in-sets are near-duplicates: high DMST share ratio.
+  auto mst = DmstReduce(*graph);
+  ASSERT_TRUE(mst.ok());
+  EXPECT_GT(mst->share_ratio(), 0.4);
+}
+
+TEST(Ssca2Test, ShareRatioGrowsWithCliqueSize) {
+  Ssca2Params params;
+  params.n = 600;
+  params.seed = 8;
+  params.max_clique_size = 6;
+  auto small = Ssca2(params);
+  params.max_clique_size = 30;
+  auto large = Ssca2(params);
+  ASSERT_TRUE(small.ok() && large.ok());
+  auto mst_small = DmstReduce(*small);
+  auto mst_large = DmstReduce(*large);
+  EXPECT_GT(mst_large->share_ratio(), mst_small->share_ratio());
+  EXPECT_GT(large->AverageInDegree(), small->AverageInDegree());
+}
+
+TEST(Ssca2Test, RejectsBadParams) {
+  Ssca2Params params;
+  params.max_clique_size = 1;
+  EXPECT_FALSE(Ssca2(params).ok());
+  params.max_clique_size = 5;
+  params.inter_clique_ratio = 2.0;
+  EXPECT_FALSE(Ssca2(params).ok());
+}
+
+TEST(BarabasiAlbertTest, DegreesAndDeterminism) {
+  BarabasiAlbertParams params;
+  params.n = 300;
+  params.out_degree = 3;
+  params.seed = 4;
+  auto a = BarabasiAlbert(params);
+  auto b = BarabasiAlbert(params);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  // Every non-seed vertex has out-degree exactly 3.
+  for (VertexId v = 3; v < a->n(); ++v) {
+    EXPECT_EQ(a->OutDegree(v), 3u);
+  }
+  // Preferential attachment produces hubs.
+  DegreeStats stats = ComputeDegreeStats(*a);
+  EXPECT_GT(stats.max_in_degree, 15u);
+}
+
+TEST(WebGraphTest, DegreeTracksTargetWithoutAudienceCopying) {
+  WebGraphParams params;
+  params.n = 800;
+  params.out_degree = 10;
+  params.in_copy_prob = 0.0;
+  params.seed = 6;
+  auto graph = WebGraph(params);
+  ASSERT_TRUE(graph.ok());
+  DegreeStats stats = ComputeDegreeStats(*graph);
+  EXPECT_NEAR(stats.avg_in_degree, 10.0, 1.5);
+}
+
+TEST(WebGraphTest, AudienceCopyingCreatesShareableInSets) {
+  // The in-copy mechanism is what produces the near-duplicate in-neighbour
+  // sets OIP exploits: the DMST share ratio must rise markedly with it.
+  WebGraphParams params;
+  params.n = 800;
+  params.out_degree = 8;
+  params.copy_prob = 0.7;
+  params.seed = 6;
+  params.in_copy_prob = 0.0;
+  auto without = WebGraph(params);
+  params.in_copy_prob = 0.6;
+  auto with = WebGraph(params);
+  ASSERT_TRUE(without.ok() && with.ok());
+  auto mst_without = DmstReduce(*without);
+  auto mst_with = DmstReduce(*with);
+  ASSERT_TRUE(mst_without.ok() && mst_with.ok());
+  EXPECT_GT(mst_with->share_ratio(), mst_without->share_ratio() + 0.05);
+  EXPECT_GT(mst_with->share_ratio(), 0.1);
+}
+
+TEST(WebGraphTest, RejectsBadCopyProb) {
+  WebGraphParams params;
+  params.copy_prob = 1.5;
+  EXPECT_FALSE(WebGraph(params).ok());
+}
+
+TEST(CitationGraphTest, IsAcyclic) {
+  CitationGraphParams params;
+  params.n = 500;
+  params.refs_per_node = 4;
+  params.seed = 9;
+  auto graph = CitationGraph(params);
+  ASSERT_TRUE(graph.ok());
+  // All edges point from newer (higher id) to older (lower id).
+  for (VertexId v = 0; v < graph->n(); ++v) {
+    for (VertexId u : graph->OutNeighbors(v)) {
+      EXPECT_LT(u, v);
+    }
+  }
+}
+
+TEST(CitationGraphTest, AverageDegreeNearTarget) {
+  CitationGraphParams params;
+  params.n = 2000;
+  params.refs_per_node = 5;
+  params.seed = 2;
+  auto graph = CitationGraph(params);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_NEAR(graph->AverageInDegree(), 5.0, 1.0);
+}
+
+TEST(CoauthorGraphTest, SymmetricEdges) {
+  CoauthorGraphParams params;
+  params.num_authors = 200;
+  params.num_papers = 150;
+  params.seed = 12;
+  auto graph = CoauthorGraph(params);
+  ASSERT_TRUE(graph.ok());
+  for (VertexId v = 0; v < graph->n(); ++v) {
+    for (VertexId u : graph->OutNeighbors(v)) {
+      EXPECT_TRUE(graph->HasEdge(u, v)) << u << "<->" << v;
+    }
+  }
+}
+
+TEST(CoauthorGraphTest, GrowsWithPapers) {
+  CoauthorGraphParams params;
+  params.num_authors = 300;
+  params.seed = 1;
+  params.num_papers = 100;
+  auto small = CoauthorGraph(params);
+  params.num_papers = 400;
+  auto large = CoauthorGraph(params);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(large->m(), small->m());
+}
+
+TEST(CoauthorGraphTest, RejectsDegenerateParams) {
+  CoauthorGraphParams params;
+  params.num_authors = 1;
+  EXPECT_FALSE(CoauthorGraph(params).ok());
+  params.num_authors = 100;
+  params.max_authors_per_paper = 1;
+  EXPECT_FALSE(CoauthorGraph(params).ok());
+}
+
+}  // namespace
+}  // namespace simrank::gen

@@ -1,0 +1,98 @@
+#include "simrank/graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(DiGraphTest, EmptyGraph) {
+  DiGraph graph;
+  EXPECT_EQ(graph.n(), 0u);
+  EXPECT_EQ(graph.m(), 0u);
+  EXPECT_DOUBLE_EQ(graph.AverageInDegree(), 0.0);
+}
+
+TEST(DiGraphTest, BuilderProducesSortedAdjacency) {
+  DiGraph::Builder builder(5);
+  builder.AddEdge(3, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(4, 1);
+  builder.AddEdge(1, 0);
+  DiGraph graph = std::move(builder).Build();
+  auto in = graph.InNeighbors(1);
+  ASSERT_EQ(in.size(), 3u);
+  EXPECT_EQ(in[0], 0u);
+  EXPECT_EQ(in[1], 3u);
+  EXPECT_EQ(in[2], 4u);
+  EXPECT_EQ(graph.InDegree(1), 3u);
+  EXPECT_EQ(graph.OutDegree(1), 1u);
+}
+
+TEST(DiGraphTest, ParallelEdgesCollapseByDefault) {
+  DiGraph::Builder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  DiGraph graph = std::move(builder).Build();
+  EXPECT_EQ(graph.m(), 1u);
+  EXPECT_EQ(graph.InDegree(1), 1u);
+}
+
+TEST(DiGraphTest, ParallelEdgesKeptWhenRequested) {
+  DiGraph::Builder builder(3);
+  builder.set_dedupe_parallel_edges(false);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  DiGraph graph = std::move(builder).Build();
+  EXPECT_EQ(graph.m(), 2u);
+}
+
+TEST(DiGraphTest, SelfLoopsAllowed) {
+  DiGraph::Builder builder(2);
+  builder.AddEdge(0, 0);
+  DiGraph graph = std::move(builder).Build();
+  EXPECT_TRUE(graph.HasEdge(0, 0));
+  EXPECT_EQ(graph.InDegree(0), 1u);
+  EXPECT_EQ(graph.OutDegree(0), 1u);
+}
+
+TEST(DiGraphTest, HasEdge) {
+  DiGraph graph = testing::PaperExampleGraph();
+  EXPECT_TRUE(graph.HasEdge(testing::kB, testing::kA));
+  EXPECT_FALSE(graph.HasEdge(testing::kA, testing::kB));
+}
+
+TEST(DiGraphTest, EdgesRoundTrip) {
+  DiGraph graph = testing::PaperExampleGraph();
+  std::vector<Edge> edges = graph.Edges();
+  EXPECT_EQ(edges.size(), graph.m());
+  DiGraph::Builder builder(graph.n());
+  builder.AddEdges(edges);
+  DiGraph rebuilt = std::move(builder).Build();
+  EXPECT_EQ(graph, rebuilt);
+}
+
+TEST(DiGraphTest, InOutConsistency) {
+  DiGraph graph = testing::RandomGraph(50, 300, 5);
+  uint64_t in_total = 0, out_total = 0;
+  for (VertexId v = 0; v < graph.n(); ++v) {
+    in_total += graph.InDegree(v);
+    out_total += graph.OutDegree(v);
+    for (VertexId u : graph.OutNeighbors(v)) {
+      auto in = graph.InNeighbors(u);
+      EXPECT_TRUE(std::binary_search(in.begin(), in.end(), v));
+    }
+  }
+  EXPECT_EQ(in_total, graph.m());
+  EXPECT_EQ(out_total, graph.m());
+}
+
+TEST(DiGraphTest, AverageInDegree) {
+  DiGraph graph = testing::RandomGraph(100, 400, 8);
+  EXPECT_DOUBLE_EQ(graph.AverageInDegree(), 4.0);
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,92 @@
+#include "simrank/graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(GraphIoTest, ParseEdgeListBasic) {
+  auto graph = ParseEdgeList("0 1\n1 2\n2 0\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->n(), 3u);
+  EXPECT_EQ(graph->m(), 3u);
+  EXPECT_TRUE(graph->HasEdge(2, 0));
+}
+
+TEST(GraphIoTest, SkipsCommentsAndBlankLines) {
+  auto graph = ParseEdgeList("# snap header\n\n% matrix market\n0 1\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->m(), 1u);
+}
+
+TEST(GraphIoTest, CompactIdsRelabelDensely) {
+  auto graph = ParseEdgeList("1000 2000\n2000 5\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->n(), 3u);  // 1000 -> 0, 2000 -> 1, 5 -> 2
+  EXPECT_TRUE(graph->HasEdge(0, 1));
+  EXPECT_TRUE(graph->HasEdge(1, 2));
+}
+
+TEST(GraphIoTest, RawIdsPreserved) {
+  auto graph = ParseEdgeList("0 4\n", /*compact_ids=*/false);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->n(), 5u);
+  EXPECT_TRUE(graph->HasEdge(0, 4));
+}
+
+TEST(GraphIoTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseEdgeList("0\n").ok());
+  EXPECT_FALSE(ParseEdgeList("0 1 2\n").ok());
+  EXPECT_FALSE(ParseEdgeList("a b\n").ok());
+  EXPECT_FALSE(ParseEdgeList("0 -1\n").ok());
+}
+
+TEST(GraphIoTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadEdgeList("/no/such/file.txt").ok());
+  EXPECT_FALSE(ReadBinary("/no/such/file.bin").ok());
+}
+
+TEST(GraphIoTest, EdgeListFileRoundTrip) {
+  DiGraph graph = testing::PaperExampleGraph();
+  const std::string path = ::testing::TempDir() + "/oipsim_graph.txt";
+  ASSERT_TRUE(WriteEdgeList(graph, path).ok());
+  auto loaded = ReadEdgeList(path, /*compact_ids=*/false);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, graph);
+}
+
+TEST(GraphIoTest, BinaryRoundTrip) {
+  DiGraph graph = testing::RandomGraph(60, 240, 14);
+  const std::string path = ::testing::TempDir() + "/oipsim_graph.bin";
+  ASSERT_TRUE(WriteBinary(graph, path).ok());
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, graph);
+}
+
+TEST(GraphIoTest, BinaryRejectsCorruptHeader) {
+  const std::string path = ::testing::TempDir() + "/oipsim_bad.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char garbage[] = "not a graph";
+  std::fwrite(garbage, 1, sizeof(garbage), f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadBinary(path).ok());
+}
+
+TEST(GraphIoTest, BinaryRejectsTruncatedBody) {
+  DiGraph graph = testing::RandomGraph(20, 60, 2);
+  const std::string path = ::testing::TempDir() + "/oipsim_trunc.bin";
+  ASSERT_TRUE(WriteBinary(graph, path).ok());
+  // Truncate the file in the middle of the edge array.
+  std::FILE* f = std::fopen(path.c_str(), "r+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(ftruncate(fileno(f), 24), 0);
+  std::fclose(f);
+  EXPECT_FALSE(ReadBinary(path).ok());
+}
+
+}  // namespace
+}  // namespace simrank

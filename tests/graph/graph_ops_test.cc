@@ -1,0 +1,81 @@
+#include "simrank/graph/graph_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(GraphOpsTest, TransposeFlipsEveryEdge) {
+  DiGraph graph = testing::RandomGraph(40, 160, 4);
+  DiGraph reversed = Transpose(graph);
+  EXPECT_EQ(reversed.m(), graph.m());
+  for (VertexId v = 0; v < graph.n(); ++v) {
+    for (VertexId u : graph.OutNeighbors(v)) {
+      EXPECT_TRUE(reversed.HasEdge(u, v));
+    }
+  }
+  // Double transpose round-trips.
+  EXPECT_EQ(Transpose(reversed), graph);
+}
+
+TEST(GraphOpsTest, InducedSubgraphKeepsInternalEdges) {
+  DiGraph graph = testing::PaperExampleGraph();
+  // Keep {a, b, g}: edges g->a, b->a, g->b survive (relabelled).
+  DiGraph sub = InducedSubgraph(
+      graph, {testing::kA, testing::kB, testing::kG});
+  EXPECT_EQ(sub.n(), 3u);
+  EXPECT_EQ(sub.m(), 3u);
+  EXPECT_TRUE(sub.HasEdge(1, 0));  // b->a
+  EXPECT_TRUE(sub.HasEdge(2, 0));  // g->a
+  EXPECT_TRUE(sub.HasEdge(2, 1));  // g->b
+}
+
+TEST(GraphOpsTest, RelabelIsStructurePreserving) {
+  DiGraph graph = testing::RandomGraph(20, 60, 6);
+  std::vector<VertexId> perm(graph.n());
+  for (VertexId v = 0; v < graph.n(); ++v) {
+    perm[v] = (v + 7) % graph.n();
+  }
+  auto relabeled = RelabelVertices(graph, perm);
+  ASSERT_TRUE(relabeled.ok());
+  EXPECT_EQ(relabeled->m(), graph.m());
+  for (VertexId v = 0; v < graph.n(); ++v) {
+    EXPECT_EQ(relabeled->InDegree(perm[v]), graph.InDegree(v));
+    EXPECT_EQ(relabeled->OutDegree(perm[v]), graph.OutDegree(v));
+  }
+}
+
+TEST(GraphOpsTest, RelabelRejectsNonPermutations) {
+  DiGraph graph = testing::RandomGraph(10, 20, 1);
+  EXPECT_FALSE(RelabelVertices(graph, {0, 1}).ok());  // wrong size
+  std::vector<VertexId> dup(graph.n(), 0);
+  EXPECT_FALSE(RelabelVertices(graph, dup).ok());  // duplicates
+}
+
+TEST(GraphOpsTest, RemoveSelfLoops) {
+  DiGraph::Builder builder(3);
+  builder.AddEdge(0, 0);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 2);
+  DiGraph graph = std::move(builder).Build();
+  DiGraph cleaned = RemoveSelfLoops(graph);
+  EXPECT_EQ(cleaned.m(), 1u);
+  EXPECT_FALSE(cleaned.HasEdge(0, 0));
+  EXPECT_TRUE(cleaned.HasEdge(0, 1));
+}
+
+TEST(GraphOpsTest, SymmetrizeAddsReverseEdges) {
+  DiGraph::Builder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  DiGraph graph = std::move(builder).Build();
+  DiGraph sym = Symmetrize(graph);
+  EXPECT_EQ(sym.m(), 4u);
+  EXPECT_TRUE(sym.HasEdge(1, 0));
+  EXPECT_TRUE(sym.HasEdge(2, 1));
+}
+
+}  // namespace
+}  // namespace simrank

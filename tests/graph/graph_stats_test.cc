@@ -1,0 +1,65 @@
+#include "simrank/graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(GraphStatsTest, DegreeStatsOnPaperExample) {
+  DiGraph graph = testing::PaperExampleGraph();
+  DegreeStats stats = ComputeDegreeStats(graph);
+  EXPECT_EQ(stats.n, 9u);
+  EXPECT_EQ(stats.m, 17u);
+  EXPECT_EQ(stats.max_in_degree, 4u);  // I(b) and I(d)
+  EXPECT_EQ(stats.num_sources, 3u);    // f, g, i
+  EXPECT_NEAR(stats.avg_in_degree, 17.0 / 9.0, 1e-12);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(GraphStatsTest, OverlapStatsInternallyConsistent) {
+  DiGraph graph = testing::OverlappyGraph(400, 6, 3);
+  OverlapStats stats = EstimateOverlap(graph, 4000, 1);
+  ASSERT_GT(stats.pairs_sampled, 0u);
+  // E[|A ⊖ B|] = E[|A| + |B|] - 2 E[|A ∩ B|] >= 0, and Jaccard in [0,1].
+  EXPECT_GE(stats.avg_symmetric_difference, 0.0);
+  EXPECT_GE(stats.avg_intersection, 0.0);
+  EXPECT_GE(stats.avg_jaccard, 0.0);
+  EXPECT_LE(stats.avg_jaccard, 1.0);
+  // Copying graphs have some overlapping pairs.
+  EXPECT_GT(stats.avg_intersection, 0.0);
+}
+
+TEST(GraphStatsTest, OverlapDeterministicGivenSeed) {
+  DiGraph graph = testing::RandomGraph(100, 500, 9);
+  OverlapStats a = EstimateOverlap(graph, 500, 77);
+  OverlapStats b = EstimateOverlap(graph, 500, 77);
+  EXPECT_EQ(a.pairs_sampled, b.pairs_sampled);
+  EXPECT_DOUBLE_EQ(a.avg_jaccard, b.avg_jaccard);
+}
+
+TEST(GraphStatsTest, DistinctInNeighborSets) {
+  DiGraph graph = testing::PaperExampleGraph();
+  EXPECT_EQ(CountDistinctInNeighborSets(graph), 6u);
+
+  // Duplicate sets collapse.
+  DiGraph::Builder builder(4);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(1, 3);
+  EXPECT_EQ(CountDistinctInNeighborSets(std::move(builder).Build()), 1u);
+}
+
+TEST(GraphStatsTest, EmptyGraphEdgeCases) {
+  DiGraph graph;
+  DegreeStats stats = ComputeDegreeStats(graph);
+  EXPECT_EQ(stats.n, 0u);
+  OverlapStats overlap = EstimateOverlap(graph, 100, 1);
+  EXPECT_EQ(overlap.pairs_sampled, 0u);
+  EXPECT_EQ(CountDistinctInNeighborSets(graph), 0u);
+}
+
+}  // namespace
+}  // namespace simrank

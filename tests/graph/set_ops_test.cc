@@ -1,0 +1,86 @@
+#include "simrank/graph/set_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "simrank/common/rng.h"
+
+namespace simrank {
+namespace {
+
+std::vector<VertexId> SortedRandomSet(Rng* rng, uint32_t universe,
+                                      uint32_t k) {
+  auto sample = rng->SampleWithoutReplacement(universe, k);
+  std::sort(sample.begin(), sample.end());
+  return sample;
+}
+
+TEST(SetOpsTest, IntersectionSizeBasics) {
+  std::vector<VertexId> a{1, 3, 5, 7};
+  std::vector<VertexId> b{3, 4, 5, 9};
+  EXPECT_EQ(IntersectionSize(a, b), 2u);
+  EXPECT_EQ(IntersectionSize(a, a), 4u);
+  EXPECT_EQ(IntersectionSize(a, {}), 0u);
+}
+
+TEST(SetOpsTest, SymmetricDifferencePaperExample) {
+  // Footnote 4: I(b) = {g,e,f,i}, I(d) = {e,f,i,a} -> |⊖| = |{g,a}| = 2.
+  std::vector<VertexId> ib{4, 5, 6, 8};  // e,f,g,i as ids
+  std::vector<VertexId> id{0, 4, 5, 8};  // a,e,f,i
+  EXPECT_EQ(SymmetricDifferenceSize(ib, id), 2u);
+}
+
+TEST(SetOpsTest, CappedVariantAgreesBelowCap) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto a = SortedRandomSet(&rng, 60, 10);
+    auto b = SortedRandomSet(&rng, 60, 12);
+    const uint64_t exact = SymmetricDifferenceSize(a, b);
+    const uint64_t capped = SymmetricDifferenceSizeCapped(a, b, 1000);
+    EXPECT_EQ(exact, capped);
+  }
+}
+
+TEST(SetOpsTest, CappedVariantStopsEarly) {
+  std::vector<VertexId> a{1, 2, 3, 4, 5};
+  std::vector<VertexId> b{6, 7, 8, 9, 10};
+  EXPECT_GE(SymmetricDifferenceSizeCapped(a, b, 3), 3u);
+}
+
+TEST(SetOpsTest, SetDifferencesPartitionTheSymmetricDifference) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto a = SortedRandomSet(&rng, 80, 15);
+    auto b = SortedRandomSet(&rng, 80, 9);
+    std::vector<VertexId> a_minus_b, b_minus_a;
+    SetDifferences(a, b, &a_minus_b, &b_minus_a);
+    EXPECT_EQ(a_minus_b.size() + b_minus_a.size(),
+              SymmetricDifferenceSize(a, b));
+    // A\B and B\A are disjoint from the intersection and from each other.
+    for (VertexId x : a_minus_b) {
+      EXPECT_TRUE(std::binary_search(a.begin(), a.end(), x));
+      EXPECT_FALSE(std::binary_search(b.begin(), b.end(), x));
+    }
+    for (VertexId x : b_minus_a) {
+      EXPECT_TRUE(std::binary_search(b.begin(), b.end(), x));
+      EXPECT_FALSE(std::binary_search(a.begin(), a.end(), x));
+    }
+  }
+}
+
+TEST(SetOpsTest, IntersectionMatchesDefinition) {
+  std::vector<VertexId> a{2, 4, 6};
+  std::vector<VertexId> b{4, 6, 8};
+  EXPECT_EQ(Intersection(a, b), (std::vector<VertexId>{4, 6}));
+}
+
+TEST(SetOpsTest, SetsEqualBasics) {
+  std::vector<VertexId> a{1, 2};
+  std::vector<VertexId> b{1, 2};
+  std::vector<VertexId> c{1, 3};
+  EXPECT_TRUE(SetsEqual(a, b));
+  EXPECT_FALSE(SetsEqual(a, c));
+  EXPECT_FALSE(SetsEqual(a, {}));
+}
+
+}  // namespace
+}  // namespace simrank

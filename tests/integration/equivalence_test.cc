@@ -1,0 +1,114 @@
+// Cross-algorithm equivalence sweeps: every exact algorithm must produce
+// identical scores on every graph family, damping factor and size we throw
+// at it. Parameterised so each configuration shows up as its own test.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "simrank/core/engine.h"
+#include "simrank/gen/generators.h"
+#include "simrank/linalg/dense_matrix.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+enum class Family { kErdosRenyi, kWebCopying, kCitation, kCoauthor };
+
+std::string FamilyName(Family family) {
+  switch (family) {
+    case Family::kErdosRenyi:
+      return "ErdosRenyi";
+    case Family::kWebCopying:
+      return "WebCopying";
+    case Family::kCitation:
+      return "Citation";
+    case Family::kCoauthor:
+      return "Coauthor";
+  }
+  return "?";
+}
+
+DiGraph MakeGraph(Family family, uint32_t n, uint64_t seed) {
+  switch (family) {
+    case Family::kErdosRenyi:
+      return testing::RandomGraph(n, 5ull * n, seed);
+    case Family::kWebCopying:
+      return testing::OverlappyGraph(n, 6, seed);
+    case Family::kCitation: {
+      gen::CitationGraphParams params;
+      params.n = n;
+      params.refs_per_node = 4;
+      params.seed = seed;
+      auto graph = gen::CitationGraph(params);
+      OIPSIM_CHECK(graph.ok());
+      return std::move(graph).value();
+    }
+    case Family::kCoauthor: {
+      gen::CoauthorGraphParams params;
+      params.num_authors = n;
+      params.num_papers = n;
+      params.seed = seed;
+      auto graph = gen::CoauthorGraph(params);
+      OIPSIM_CHECK(graph.ok());
+      return std::move(graph).value();
+    }
+  }
+  OIPSIM_CHECK(false);
+  return DiGraph();
+}
+
+using EquivalenceParam = std::tuple<Family, uint32_t /*n*/, double /*C*/>;
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivalenceParam> {};
+
+TEST_P(EquivalenceTest, ExactAlgorithmsAgree) {
+  const auto [family, n, damping] = GetParam();
+  DiGraph graph = MakeGraph(family, n, /*seed=*/n + 17);
+  EngineOptions options;
+  options.simrank.damping = damping;
+  options.simrank.iterations = 6;
+
+  options.algorithm = Algorithm::kPsum;
+  auto reference = ComputeSimRank(graph, options);
+  ASSERT_TRUE(reference.ok());
+  for (Algorithm algorithm :
+       {Algorithm::kNaive, Algorithm::kOip, Algorithm::kMatrix}) {
+    options.algorithm = algorithm;
+    auto run = ComputeSimRank(graph, options);
+    ASSERT_TRUE(run.ok()) << AlgorithmName(algorithm);
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(reference->scores, run->scores), 1e-10)
+        << AlgorithmName(algorithm);
+  }
+}
+
+TEST_P(EquivalenceTest, DifferentialBackendsAgree) {
+  const auto [family, n, damping] = GetParam();
+  DiGraph graph = MakeGraph(family, n, /*seed=*/n + 4);
+  EngineOptions options;
+  options.simrank.damping = damping;
+  options.simrank.iterations = 5;
+  options.algorithm = Algorithm::kOipDsr;
+  auto oip = ComputeSimRank(graph, options);
+  options.algorithm = Algorithm::kPsumDsr;
+  auto psum = ComputeSimRank(graph, options);
+  ASSERT_TRUE(oip.ok() && psum.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(oip->scores, psum->scores), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(Family::kErdosRenyi, Family::kWebCopying,
+                          Family::kCitation, Family::kCoauthor),
+        ::testing::Values(20u, 60u),
+        ::testing::Values(0.4, 0.6, 0.8)),
+    [](const ::testing::TestParamInfo<EquivalenceParam>& info) {
+      return FamilyName(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_C" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
+    });
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,180 @@
+// Property-based invariants of SimRank, checked across graph families and
+// algorithms:
+//  * symmetry s(a,b) = s(b,a);
+//  * diagonal pinned to 1 (conventional model);
+//  * scores in [0, 1];
+//  * iterates are monotone non-decreasing in k (s_0 = I and the recursion
+//    is monotone);
+//  * geometric error bound |s_k - s| <= C^{k+1} (Lizorkin et al.);
+//  * vertices with empty in-neighbour sets have zero off-diagonal rows.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "simrank/core/bounds.h"
+#include "simrank/core/engine.h"
+#include "simrank/linalg/dense_matrix.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+using PropertyParam = std::tuple<Algorithm, uint64_t /*seed*/>;
+
+class SimRankPropertyTest : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  DiGraph MakeGraph() const {
+    return testing::OverlappyGraph(50, 5, std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(SimRankPropertyTest, SymmetryDiagonalAndRange) {
+  DiGraph graph = MakeGraph();
+  EngineOptions options;
+  options.algorithm = std::get<0>(GetParam());
+  options.simrank.damping = 0.7;
+  options.simrank.iterations = 7;
+  auto run = ComputeSimRank(graph, options);
+  ASSERT_TRUE(run.ok());
+  const DenseMatrix& s = run->scores;
+  for (uint32_t i = 0; i < graph.n(); ++i) {
+    EXPECT_DOUBLE_EQ(s(i, i), 1.0);
+    for (uint32_t j = 0; j < graph.n(); ++j) {
+      EXPECT_NEAR(s(i, j), s(j, i), 1e-10);
+      EXPECT_GE(s(i, j), -1e-12);
+      EXPECT_LE(s(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST_P(SimRankPropertyTest, IteratesMonotoneNonDecreasing) {
+  DiGraph graph = MakeGraph();
+  EngineOptions options;
+  options.algorithm = std::get<0>(GetParam());
+  options.simrank.damping = 0.7;
+  DenseMatrix previous;
+  for (uint32_t k = 1; k <= 5; ++k) {
+    options.simrank.iterations = k;
+    auto run = ComputeSimRank(graph, options);
+    ASSERT_TRUE(run.ok());
+    if (k > 1) {
+      for (uint32_t i = 0; i < graph.n(); ++i) {
+        for (uint32_t j = 0; j < graph.n(); ++j) {
+          EXPECT_GE(run->scores(i, j), previous(i, j) - 1e-12)
+              << "k=" << k << " (" << i << "," << j << ")";
+        }
+      }
+    }
+    previous = run->scores;
+  }
+}
+
+TEST_P(SimRankPropertyTest, GeometricErrorBoundHolds) {
+  DiGraph graph = MakeGraph();
+  EngineOptions options;
+  options.algorithm = std::get<0>(GetParam());
+  options.simrank.damping = 0.8;
+  options.simrank.iterations = 40;  // converged reference
+  auto reference = ComputeSimRank(graph, options);
+  ASSERT_TRUE(reference.ok());
+  for (uint32_t k : {1u, 3u, 6u, 10u}) {
+    options.simrank.iterations = k;
+    auto truncated = ComputeSimRank(graph, options);
+    ASSERT_TRUE(truncated.ok());
+    EXPECT_LE(
+        DenseMatrix::MaxAbsDiff(reference->scores, truncated->scores),
+        ConventionalErrorBound(0.8, k) + 1e-10)
+        << "k=" << k;
+  }
+}
+
+TEST_P(SimRankPropertyTest, EmptyInNeighbourRowsAreZero) {
+  DiGraph graph = MakeGraph();
+  EngineOptions options;
+  options.algorithm = std::get<0>(GetParam());
+  options.simrank.iterations = 6;
+  auto run = ComputeSimRank(graph, options);
+  ASSERT_TRUE(run.ok());
+  for (VertexId v = 0; v < graph.n(); ++v) {
+    if (graph.InDegree(v) > 0) continue;
+    for (uint32_t j = 0; j < graph.n(); ++j) {
+      if (j == v) continue;
+      EXPECT_DOUBLE_EQ(run->scores(v, j), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, SimRankPropertyTest,
+    ::testing::Combine(::testing::Values(Algorithm::kNaive, Algorithm::kPsum,
+                                         Algorithm::kOip, Algorithm::kMatrix),
+                       ::testing::Values(11u, 29u)),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      std::string name = AlgorithmName(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// Differential-model properties: symmetry and boundedness hold, but the
+// diagonal is NOT pinned, so it gets its own suite.
+class DsrPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DsrPropertyTest, SymmetricBoundedAndDiagonalBelowOne) {
+  DiGraph graph = testing::OverlappyGraph(50, 5, GetParam());
+  EngineOptions options;
+  options.algorithm = Algorithm::kOipDsr;
+  options.simrank.damping = 0.7;
+  options.simrank.iterations = 8;
+  auto run = ComputeSimRank(graph, options);
+  ASSERT_TRUE(run.ok());
+  for (uint32_t i = 0; i < graph.n(); ++i) {
+    EXPECT_LE(run->scores(i, i), 1.0 + 1e-12);
+    EXPECT_GT(run->scores(i, i), 0.0);
+    for (uint32_t j = 0; j < graph.n(); ++j) {
+      EXPECT_NEAR(run->scores(i, j), run->scores(j, i), 1e-10);
+      EXPECT_GE(run->scores(i, j), -1e-12);
+      EXPECT_LE(run->scores(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST_P(DsrPropertyTest, PreservesRelativeOrderOfConventionalSimRank) {
+  // The paper's Exp-4 claim, as a property: Spearman correlation between
+  // differential and conventional scores against a query stays high.
+  DiGraph graph = testing::OverlappyGraph(60, 6, GetParam());
+  EngineOptions options;
+  options.simrank.damping = 0.6;
+  options.simrank.iterations = 12;
+  options.algorithm = Algorithm::kOip;
+  auto conventional = ComputeSimRank(graph, options);
+  options.algorithm = Algorithm::kOipDsr;
+  options.simrank.iterations = 8;
+  auto differential = ComputeSimRank(graph, options);
+  ASSERT_TRUE(conventional.ok() && differential.ok());
+  // Count order agreements over sampled triples of one query row.
+  const uint32_t query = 1;
+  uint64_t agree = 0, total = 0;
+  for (uint32_t i = 0; i < graph.n(); ++i) {
+    for (uint32_t j = i + 1; j < graph.n(); ++j) {
+      if (i == query || j == query) continue;
+      const double dc = conventional->scores(query, i) -
+                        conventional->scores(query, j);
+      const double dd = differential->scores(query, i) -
+                        differential->scores(query, j);
+      if (dc == 0.0 && dd == 0.0) continue;
+      ++total;
+      if ((dc > 0) == (dd > 0)) ++agree;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsrPropertyTest,
+                         ::testing::Values(3u, 17u, 23u));
+
+}  // namespace
+}  // namespace simrank

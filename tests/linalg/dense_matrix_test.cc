@@ -1,0 +1,89 @@
+#include "simrank/linalg/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace simrank {
+namespace {
+
+TEST(DenseMatrixTest, ZeroInitialised) {
+  DenseMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (uint32_t i = 0; i < 2; ++i) {
+    for (uint32_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(DenseMatrixTest, IdentityAndConstant) {
+  DenseMatrix id = DenseMatrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  DenseMatrix c = DenseMatrix::Constant(2, 2, 0.5);
+  EXPECT_DOUBLE_EQ(c(1, 1), 0.5);
+}
+
+TEST(DenseMatrixTest, AddScaleFill) {
+  DenseMatrix a = DenseMatrix::Constant(2, 2, 1.0);
+  DenseMatrix b = DenseMatrix::Constant(2, 2, 2.0);
+  a.Add(b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  a.AddScaled(b, 0.5);
+  EXPECT_DOUBLE_EQ(a(1, 1), 4.0);
+  a.Scale(0.25);
+  EXPECT_DOUBLE_EQ(a(0, 1), 1.0);
+  a.Fill(-1.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), -1.0);
+}
+
+TEST(DenseMatrixTest, MultiplyKnownProduct) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  DenseMatrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  DenseMatrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(DenseMatrixTest, MultiplyTransposedEqualsMultiplyOfTranspose) {
+  DenseMatrix a(2, 3);
+  DenseMatrix b(4, 3);
+  for (uint32_t i = 0; i < 2; ++i) {
+    for (uint32_t j = 0; j < 3; ++j) a(i, j) = i * 3.0 + j;
+  }
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = 0; j < 3; ++j) b(i, j) = i - 2.0 * j;
+  }
+  DenseMatrix direct = a.MultiplyTransposed(b);
+  DenseMatrix via_transpose = a.Multiply(b.Transposed());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(direct, via_transpose), 1e-12);
+}
+
+TEST(DenseMatrixTest, TransposeInvolution) {
+  DenseMatrix a(3, 2);
+  a(2, 1) = 5.0;
+  a(0, 1) = -1.0;
+  EXPECT_EQ(a.Transposed().Transposed(), a);
+  EXPECT_DOUBLE_EQ(a.Transposed()(1, 2), 5.0);
+}
+
+TEST(DenseMatrixTest, Norms) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(a.MaxNorm(), 4.0);
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+  DenseMatrix b(2, 2);
+  EXPECT_DOUBLE_EQ(DenseMatrix::MaxAbsDiff(a, b), 4.0);
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,102 @@
+#include "simrank/linalg/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(SparseMatrixTest, FromTripletsSumsDuplicates) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 0, 2.0}, {1, 0, 5.0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  DenseMatrix dense = m.ToDense();
+  EXPECT_DOUBLE_EQ(dense(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(dense(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(dense(1, 1), 0.0);
+}
+
+TEST(SparseMatrixTest, BackwardTransitionRowsSumToOneOrZero) {
+  DiGraph graph = testing::PaperExampleGraph();
+  SparseMatrix q = SparseMatrix::BackwardTransition(graph);
+  DenseMatrix dense = q.ToDense();
+  for (uint32_t i = 0; i < graph.n(); ++i) {
+    double row_sum = 0.0;
+    for (uint32_t j = 0; j < graph.n(); ++j) row_sum += dense(i, j);
+    if (graph.InDegree(i) == 0) {
+      EXPECT_DOUBLE_EQ(row_sum, 0.0);
+    } else {
+      EXPECT_NEAR(row_sum, 1.0, 1e-12);
+    }
+  }
+  EXPECT_LE(q.InfinityNorm(), 1.0 + 1e-12);
+}
+
+TEST(SparseMatrixTest, BackwardTransitionEntries) {
+  DiGraph graph = testing::PaperExampleGraph();
+  SparseMatrix q = SparseMatrix::BackwardTransition(graph);
+  DenseMatrix dense = q.ToDense();
+  // [Q]_{a,b} = 1/|I(a)| iff edge (b -> a): I(a) = {b, g}, so 1/2.
+  EXPECT_DOUBLE_EQ(dense(testing::kA, testing::kB), 0.5);
+  EXPECT_DOUBLE_EQ(dense(testing::kA, testing::kG), 0.5);
+  EXPECT_DOUBLE_EQ(dense(testing::kA, testing::kC), 0.0);
+  // I(b) has four members -> 1/4 each.
+  EXPECT_DOUBLE_EQ(dense(testing::kB, testing::kE), 0.25);
+}
+
+TEST(SparseMatrixTest, MultiplyVectorMatchesDense) {
+  DiGraph graph = testing::RandomGraph(30, 120, 5);
+  SparseMatrix q = SparseMatrix::BackwardTransition(graph);
+  DenseMatrix dense = q.ToDense();
+  std::vector<double> x(graph.n());
+  for (uint32_t i = 0; i < graph.n(); ++i) x[i] = 0.1 * i - 1.0;
+  std::vector<double> y;
+  q.MultiplyVector(x, &y);
+  for (uint32_t i = 0; i < graph.n(); ++i) {
+    double expected = 0.0;
+    for (uint32_t j = 0; j < graph.n(); ++j) expected += dense(i, j) * x[j];
+    EXPECT_NEAR(y[i], expected, 1e-12);
+  }
+}
+
+TEST(SparseMatrixTest, MultiplyDenseMatchesDenseProduct) {
+  DiGraph graph = testing::RandomGraph(25, 100, 6);
+  SparseMatrix q = SparseMatrix::BackwardTransition(graph);
+  DenseMatrix dense_q = q.ToDense();
+  DenseMatrix s(graph.n(), graph.n());
+  for (uint32_t i = 0; i < graph.n(); ++i) {
+    for (uint32_t j = 0; j < graph.n(); ++j) {
+      s(i, j) = (i == j) ? 1.0 : 0.01 * (i + j);
+    }
+  }
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(q.MultiplyDense(s),
+                                    dense_q.Multiply(s)),
+            1e-12);
+}
+
+TEST(SparseMatrixTest, SandwichMatchesExplicitProduct) {
+  DiGraph graph = testing::RandomGraph(25, 100, 7);
+  SparseMatrix q = SparseMatrix::BackwardTransition(graph);
+  DenseMatrix dense_q = q.ToDense();
+  DenseMatrix s = DenseMatrix::Identity(graph.n());
+  DenseMatrix expected =
+      dense_q.Multiply(s).MultiplyTransposed(dense_q);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(q.SandwichDense(s), expected), 1e-12);
+}
+
+TEST(SparseMatrixTest, TransposeRoundTrip) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      3, 2, {{0, 1, 2.0}, {2, 0, -1.0}});
+  SparseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  DenseMatrix td = t.ToDense();
+  EXPECT_DOUBLE_EQ(td(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(td(0, 2), -1.0);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(t.Transposed().ToDense(), m.ToDense()),
+            1e-15);
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,133 @@
+#include "simrank/linalg/svd.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "simrank/common/rng.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(OrthonormalizeTest, ProducesOrthonormalColumns) {
+  Rng rng(5);
+  DenseMatrix m(20, 6);
+  for (uint32_t i = 0; i < 20; ++i) {
+    for (uint32_t j = 0; j < 6; ++j) m(i, j) = rng.NextGaussian();
+  }
+  uint32_t kept = OrthonormalizeColumns(&m);
+  EXPECT_EQ(kept, 6u);
+  for (uint32_t a = 0; a < kept; ++a) {
+    for (uint32_t b = 0; b < kept; ++b) {
+      double dot = 0.0;
+      for (uint32_t i = 0; i < 20; ++i) dot += m(i, a) * m(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(OrthonormalizeTest, DropsDependentColumns) {
+  DenseMatrix m(4, 3);
+  for (uint32_t i = 0; i < 4; ++i) {
+    m(i, 0) = i + 1.0;
+    m(i, 1) = 2.0 * (i + 1.0);  // dependent on column 0
+    m(i, 2) = (i == 0) ? 1.0 : 0.0;
+  }
+  uint32_t kept = OrthonormalizeColumns(&m);
+  EXPECT_EQ(kept, 2u);
+  EXPECT_EQ(m.cols(), 2u);
+}
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  DenseMatrix d(3, 3);
+  d(0, 0) = 1.0;
+  d(1, 1) = 5.0;
+  d(2, 2) = 3.0;
+  std::vector<double> eigvals;
+  DenseMatrix eigvecs;
+  SymmetricEigen(d, &eigvals, &eigvecs);
+  ASSERT_EQ(eigvals.size(), 3u);
+  EXPECT_NEAR(eigvals[0], 5.0, 1e-10);
+  EXPECT_NEAR(eigvals[1], 3.0, 1e-10);
+  EXPECT_NEAR(eigvals[2], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigenTest, ReconstructsMatrix) {
+  Rng rng(11);
+  const uint32_t n = 8;
+  DenseMatrix sym(n, n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i; j < n; ++j) {
+      sym(i, j) = rng.NextGaussian();
+      sym(j, i) = sym(i, j);
+    }
+  }
+  std::vector<double> eigvals;
+  DenseMatrix v;
+  SymmetricEigen(sym, &eigvals, &v);
+  // Rebuild V·Λ·Vᵀ.
+  DenseMatrix vl(n, n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) vl(i, j) = v(i, j) * eigvals[j];
+  }
+  DenseMatrix rebuilt = vl.MultiplyTransposed(v);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(rebuilt, sym), 1e-9);
+}
+
+TEST(RandomizedSvdTest, ReconstructsLowRankMatrix) {
+  // Build an exactly rank-3 sparse matrix and recover it.
+  Rng rng(3);
+  const uint32_t n = 40;
+  std::vector<Triplet> triplets;
+  // Sum of 3 sparse outer products.
+  for (int r = 0; r < 3; ++r) {
+    std::vector<uint32_t> rows = rng.SampleWithoutReplacement(n, 12);
+    std::vector<uint32_t> cols = rng.SampleWithoutReplacement(n, 12);
+    for (uint32_t i : rows) {
+      for (uint32_t j : cols) {
+        triplets.push_back(Triplet{i, j, 1.0 / (r + 1)});
+      }
+    }
+  }
+  SparseMatrix a = SparseMatrix::FromTriplets(n, n, triplets);
+  SvdOptions options;
+  options.rank = 6;
+  options.power_iterations = 3;
+  auto svd = RandomizedSvd(a, options);
+  ASSERT_TRUE(svd.ok());
+  // Rebuild U·Σ·Vᵀ and compare.
+  DenseMatrix us = svd->u;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < svd->sigma.size(); ++j) {
+      us(i, j) *= svd->sigma[j];
+    }
+  }
+  DenseMatrix rebuilt = us.MultiplyTransposed(svd->v);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(rebuilt, a.ToDense()), 1e-6);
+}
+
+TEST(RandomizedSvdTest, SingularValuesDescending) {
+  DiGraph graph = testing::RandomGraph(50, 250, 8);
+  SparseMatrix q = SparseMatrix::BackwardTransition(graph);
+  SvdOptions options;
+  options.rank = 10;
+  auto svd = RandomizedSvd(q, options);
+  ASSERT_TRUE(svd.ok());
+  for (size_t i = 1; i < svd->sigma.size(); ++i) {
+    EXPECT_GE(svd->sigma[i - 1], svd->sigma[i] - 1e-12);
+  }
+  EXPECT_GE(svd->sigma.back(), 0.0);
+}
+
+TEST(RandomizedSvdTest, RejectsBadRank) {
+  DiGraph graph = testing::RandomGraph(10, 30, 2);
+  SparseMatrix q = SparseMatrix::BackwardTransition(graph);
+  SvdOptions options;
+  options.rank = 0;
+  EXPECT_FALSE(RandomizedSvd(q, options).ok());
+  options.rank = 50;  // rank + oversample > n
+  EXPECT_FALSE(RandomizedSvd(q, options).ok());
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,96 @@
+#include "simrank/mst/arborescence.h"
+
+#include <gtest/gtest.h>
+
+#include "simrank/common/rng.h"
+
+namespace simrank {
+namespace {
+
+TEST(MinInEdgeTest, SimpleDag) {
+  //      0 (root)
+  //  1<--/ \-->2     edges 0->1 (w1), 0->2 (w5), 1->2 (w2)
+  std::vector<WeightedEdge> edges{{0, 1, 1.0}, {0, 2, 5.0}, {1, 2, 2.0}};
+  auto arb = MinInEdgeArborescence(3, 0, edges);
+  ASSERT_TRUE(arb.ok());
+  EXPECT_EQ(arb->parent[1], 0u);
+  EXPECT_EQ(arb->parent[2], 1u);
+  EXPECT_DOUBLE_EQ(arb->total_weight, 3.0);
+}
+
+TEST(MinInEdgeTest, TieBreaksTowardSmallerSource) {
+  std::vector<WeightedEdge> edges{{0, 2, 1.0}, {1, 2, 1.0}, {0, 1, 1.0}};
+  auto arb = MinInEdgeArborescence(3, 0, edges);
+  ASSERT_TRUE(arb.ok());
+  EXPECT_EQ(arb->parent[2], 0u);
+}
+
+TEST(MinInEdgeTest, FailsWhenUnreachable) {
+  std::vector<WeightedEdge> edges{{0, 1, 1.0}};
+  EXPECT_FALSE(MinInEdgeArborescence(3, 0, edges).ok());
+}
+
+TEST(MinInEdgeTest, DetectsCycleOnNonDagInput) {
+  // 1 and 2 prefer each other over the root.
+  std::vector<WeightedEdge> edges{
+      {0, 1, 10.0}, {0, 2, 10.0}, {1, 2, 1.0}, {2, 1, 1.0}};
+  EXPECT_FALSE(MinInEdgeArborescence(3, 0, edges).ok());
+}
+
+TEST(MinInEdgeTest, RejectsBadInput) {
+  EXPECT_FALSE(MinInEdgeArborescence(3, 7, {}).ok());  // root out of range
+  std::vector<WeightedEdge> edges{{0, 9, 1.0}};
+  EXPECT_FALSE(MinInEdgeArborescence(3, 0, edges).ok());
+}
+
+TEST(ChuLiuEdmondsTest, HandlesCycles) {
+  // Classic example: the greedy choice 1<->2 forms a cycle; the optimum
+  // must enter the cycle once.
+  std::vector<WeightedEdge> edges{
+      {0, 1, 10.0}, {0, 2, 10.0}, {1, 2, 1.0}, {2, 1, 1.0}};
+  auto cost = ChuLiuEdmondsCost(3, 0, edges);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, 11.0);  // enter at 1 (10) + cycle edge (1)
+}
+
+TEST(ChuLiuEdmondsTest, MatchesMinInEdgeOnDags) {
+  // Random DAGs (edges only from lower to higher id): greedy is optimal.
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint32_t n = 2 + static_cast<uint32_t>(rng.NextUint64(15));
+    std::vector<WeightedEdge> edges;
+    for (uint32_t v = 1; v < n; ++v) {
+      // Guarantee reachability with one root edge, then add extras.
+      edges.push_back(
+          WeightedEdge{0, v, static_cast<double>(rng.NextUint64(20))});
+      const uint32_t extra = static_cast<uint32_t>(rng.NextUint64(3));
+      for (uint32_t e = 0; e < extra; ++e) {
+        uint32_t u = static_cast<uint32_t>(rng.NextUint64(v));
+        edges.push_back(
+            WeightedEdge{u, v, static_cast<double>(rng.NextUint64(20))});
+      }
+    }
+    auto greedy = MinInEdgeArborescence(n, 0, edges);
+    auto oracle = ChuLiuEdmondsCost(n, 0, edges);
+    ASSERT_TRUE(greedy.ok() && oracle.ok()) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(greedy->total_weight, *oracle) << "trial " << trial;
+  }
+}
+
+TEST(ChuLiuEdmondsTest, FailsOnUnreachableNode) {
+  std::vector<WeightedEdge> edges{{1, 2, 1.0}};
+  EXPECT_FALSE(ChuLiuEdmondsCost(3, 0, edges).ok());
+}
+
+TEST(ChuLiuEdmondsTest, NestedCycles) {
+  // Two levels of contraction: 1->2->3->1 cycle reachable from root.
+  std::vector<WeightedEdge> edges{
+      {0, 1, 100.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 1, 1.0}, {0, 3, 50.0}};
+  auto cost = ChuLiuEdmondsCost(4, 0, edges);
+  ASSERT_TRUE(cost.ok());
+  // Enter at 3 (50), then 3->1 (1), 1->2 (1).
+  EXPECT_DOUBLE_EQ(*cost, 52.0);
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,66 @@
+#include "simrank/mst/tree.h"
+
+#include <gtest/gtest.h>
+
+namespace simrank {
+namespace {
+
+// Tree used throughout:        0
+//                            / | \
+//                           1  2  3
+//                          / \     \
+//                         4   5     6
+Tree MakeSampleTree() { return Tree(0, {0, 0, 0, 0, 1, 1, 3}); }
+
+TEST(TreeTest, DefaultIsSingleRoot) {
+  Tree tree;
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.root(), 0u);
+  EXPECT_TRUE(tree.children(0).empty());
+  EXPECT_EQ(tree.max_depth(), 0u);
+}
+
+TEST(TreeTest, StructureAccessors) {
+  Tree tree = MakeSampleTree();
+  EXPECT_EQ(tree.size(), 7u);
+  EXPECT_EQ(tree.children(0), (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(tree.children(1), (std::vector<uint32_t>{4, 5}));
+  EXPECT_EQ(tree.parent(6), 3u);
+  EXPECT_EQ(tree.depth(0), 0u);
+  EXPECT_EQ(tree.depth(5), 2u);
+  EXPECT_EQ(tree.max_depth(), 2u);
+}
+
+TEST(TreeTest, DepthFirstWalkOrder) {
+  Tree tree = MakeSampleTree();
+  std::vector<uint32_t> entered, left;
+  tree.DepthFirstWalk([&](uint32_t v) { entered.push_back(v); },
+                      [&](uint32_t v) { left.push_back(v); });
+  EXPECT_EQ(entered, (std::vector<uint32_t>{0, 1, 4, 5, 2, 3, 6}));
+  EXPECT_EQ(left, (std::vector<uint32_t>{4, 5, 1, 2, 6, 3, 0}));
+}
+
+TEST(TreeTest, PathDecompositionCoversAllEdges) {
+  Tree tree = MakeSampleTree();
+  auto chains = tree.PathDecomposition();
+  // Count each tree edge exactly once across chains.
+  uint32_t edges_seen = 0;
+  for (const auto& chain : chains) {
+    ASSERT_GE(chain.size(), 2u);
+    for (size_t i = 1; i < chain.size(); ++i) {
+      EXPECT_EQ(tree.parent(chain[i]), chain[i - 1]);
+      ++edges_seen;
+    }
+  }
+  EXPECT_EQ(edges_seen, tree.size() - 1);
+}
+
+TEST(TreeTest, PathDecompositionOfChain) {
+  Tree chain(0, {0, 0, 1, 2});
+  auto chains = chain.PathDecomposition();
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0], (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace simrank

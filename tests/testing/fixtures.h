@@ -1,0 +1,89 @@
+// Shared test fixtures.
+//
+// PaperExampleGraph() is the citation network of Fig. 1a of the paper,
+// whose in-neighbour table (Fig. 2a), transition costs (Fig. 2b), MST
+// (Fig. 2c/2d), partitions (Fig. 3a) and outer-sum table (Fig. 4) are all
+// worked out in the text — making it the highest-value correctness fixture
+// available.
+#ifndef OIPSIM_TESTS_TESTING_FIXTURES_H_
+#define OIPSIM_TESTS_TESTING_FIXTURES_H_
+
+#include <vector>
+
+#include "simrank/common/rng.h"
+#include "simrank/gen/generators.h"
+#include "simrank/graph/digraph.h"
+
+namespace simrank::testing {
+
+/// Vertex labels of the paper example, in id order.
+enum PaperVertex : VertexId {
+  kA = 0,
+  kB = 1,
+  kC = 2,
+  kD = 3,
+  kE = 4,
+  kF = 5,
+  kG = 6,
+  kH = 7,
+  kI = 8,
+};
+
+/// The Fig. 1a graph. In-neighbour sets (Fig. 2a):
+///   I(a)={b,g} I(e)={f,g} I(h)={b,d} I(c)={b,d,g}
+///   I(b)={e,f,g,i} I(d)={a,e,f,i}; f, g, i have no in-neighbours.
+inline DiGraph PaperExampleGraph() {
+  DiGraph::Builder builder(9);
+  // I(a) = {b, g}
+  builder.AddEdge(kB, kA);
+  builder.AddEdge(kG, kA);
+  // I(e) = {f, g}
+  builder.AddEdge(kF, kE);
+  builder.AddEdge(kG, kE);
+  // I(h) = {b, d}
+  builder.AddEdge(kB, kH);
+  builder.AddEdge(kD, kH);
+  // I(c) = {b, d, g}
+  builder.AddEdge(kB, kC);
+  builder.AddEdge(kD, kC);
+  builder.AddEdge(kG, kC);
+  // I(b) = {e, f, g, i}
+  builder.AddEdge(kE, kB);
+  builder.AddEdge(kF, kB);
+  builder.AddEdge(kG, kB);
+  builder.AddEdge(kI, kB);
+  // I(d) = {a, e, f, i}
+  builder.AddEdge(kA, kD);
+  builder.AddEdge(kE, kD);
+  builder.AddEdge(kF, kD);
+  builder.AddEdge(kI, kD);
+  return std::move(builder).Build();
+}
+
+/// Small deterministic random digraph for property sweeps.
+inline DiGraph RandomGraph(uint32_t n, uint64_t m, uint64_t seed) {
+  gen::ErdosRenyiParams params;
+  params.n = n;
+  params.m = m;
+  params.seed = seed;
+  Result<DiGraph> graph = gen::ErdosRenyi(params);
+  OIPSIM_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+/// A graph with heavy in-neighbour overlap (copying model) — the regime
+/// where OIP's sharing dominates.
+inline DiGraph OverlappyGraph(uint32_t n, uint32_t degree, uint64_t seed) {
+  gen::WebGraphParams params;
+  params.n = n;
+  params.out_degree = degree;
+  params.copy_prob = 0.8;
+  params.seed = seed;
+  Result<DiGraph> graph = gen::WebGraph(params);
+  OIPSIM_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+}  // namespace simrank::testing
+
+#endif  // OIPSIM_TESTS_TESTING_FIXTURES_H_
