@@ -1,0 +1,46 @@
+// Deterministic hash shared by the coupled random-walk estimators.
+//
+// Both the on-the-fly Monte-Carlo estimator (extra/montecarlo) and the
+// persistent walk index (index/walk_index) couple their reverse walks
+// through this function: at fingerprint r and step t, every walk sitting at
+// vertex v takes the same pseudo-random step. Keeping the definition in one
+// place guarantees the two estimators sample identical walk distributions
+// for equal seeds, and that indexes built by different builds/thread counts
+// are bit-identical.
+#ifndef OIPSIM_SIMRANK_COMMON_COUPLED_HASH_H_
+#define OIPSIM_SIMRANK_COMMON_COUPLED_HASH_H_
+
+#include <cstdint>
+
+namespace simrank {
+
+namespace internal {
+
+/// murmur3 64-bit finaliser.
+inline uint64_t MixBits(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace internal
+
+/// Mixes (seed, fingerprint, step, vertex) into a well-distributed 64-bit
+/// value. Two finaliser rounds over disjoint field packings — (fingerprint,
+/// step) fill one 64-bit word, the vertex the next — so no two distinct
+/// inputs alias for any graph size (a single shifted-XOR packing would
+/// collide once vertex ids overflow into the step/fingerprint bit ranges,
+/// i.e. beyond 2^20 vertices).
+inline uint64_t CoupledWalkHash(uint64_t seed, uint32_t fingerprint,
+                                uint32_t step, uint32_t vertex) {
+  const uint64_t h = internal::MixBits(
+      seed ^ ((static_cast<uint64_t>(fingerprint) << 32) | step));
+  return internal::MixBits(h ^ vertex);
+}
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_COMMON_COUPLED_HASH_H_

@@ -1,0 +1,46 @@
+// Incremental 64-bit stream hash (splitmix64-style mixing).
+//
+// One definition shared by every persisted artefact: the structural graph
+// fingerprint (graph/graph_io) and the walk-index file checksum
+// (index/walk_index) both absorb through this class. The two must never
+// diverge independently — saved indexes embed both digests, so changing
+// the mix invalidates every index on disk (bump the index format version
+// if that is ever intended).
+#ifndef OIPSIM_SIMRANK_COMMON_STREAM_HASH_H_
+#define OIPSIM_SIMRANK_COMMON_STREAM_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace simrank {
+
+/// Accumulates 64-bit words into a digest; not cryptographic.
+class StreamHasher {
+ public:
+  /// `salt` separates hash domains (graph fingerprint vs file checksum).
+  explicit StreamHasher(uint64_t salt = 0x9e3779b97f4a7c15ULL) : h_(salt) {}
+
+  void Absorb(uint64_t x) {
+    h_ ^= x + 0x9e3779b97f4a7c15ULL + (h_ << 6) + (h_ >> 2);
+    uint64_t z = h_;
+    z ^= z >> 30;
+    z *= 0xbf58476d1ce4e5b9ULL;
+    z ^= z >> 27;
+    z *= 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    h_ = z;
+  }
+
+  void AbsorbWords(const uint32_t* words, size_t count) {
+    for (size_t i = 0; i < count; ++i) Absorb(words[i]);
+  }
+
+  uint64_t digest() const { return h_; }
+
+ private:
+  uint64_t h_;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_COMMON_STREAM_HASH_H_

@@ -25,6 +25,11 @@ struct SimRankOptions {
   /// iteration. 0 disables sieving (exact computation).
   double sieve_threshold = 0.0;
 
+  /// Root seed for stochastic estimators configured from these options
+  /// (see WalkIndexOptions::FromSimRank). The deterministic iterative
+  /// solvers ignore it; mtx-SR's randomized SVD has its own svd_seed.
+  uint64_t seed = 7;
+
   /// True if the options describe a valid configuration.
   bool Valid() const {
     return damping > 0.0 && damping < 1.0 &&

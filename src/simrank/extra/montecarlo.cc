@@ -1,80 +1,28 @@
 #include "simrank/extra/montecarlo.h"
 
-#include <cmath>
-
 #include "simrank/common/macros.h"
 
 namespace simrank {
 
 namespace {
 
-/// Deterministic per-(fingerprint, step, vertex) hash for coupled walks.
-inline uint64_t CoupledHash(uint64_t seed, uint32_t r, uint32_t t,
-                            uint32_t v) {
-  uint64_t h = seed ^ (static_cast<uint64_t>(r) << 40) ^
-               (static_cast<uint64_t>(t) << 20) ^ v;
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  h *= 0xc4ceb9fe1a85ec53ULL;
-  h ^= h >> 33;
-  return h;
+WalkIndex BuildWalks(const DiGraph& graph, const MonteCarloOptions& options) {
+  WalkIndexOptions index_options;
+  index_options.num_fingerprints = options.num_fingerprints;
+  index_options.walk_length = options.walk_length;
+  index_options.damping = options.damping;
+  index_options.seed = options.seed;
+  index_options.num_threads = 1;  // serial, like the original estimator
+  Result<WalkIndex> index = WalkIndex::Build(graph, index_options);
+  OIPSIM_CHECK_MSG(index.ok(), "invalid MonteCarloOptions: %s",
+                   index.status().ToString().c_str());
+  return std::move(index).value();
 }
 
 }  // namespace
 
 MonteCarloSimRank::MonteCarloSimRank(const DiGraph& graph,
                                      const MonteCarloOptions& options)
-    : options_(options), n_(graph.n()) {
-  OIPSIM_CHECK_GT(options.num_fingerprints, 0u);
-  OIPSIM_CHECK_GT(options.walk_length, 0u);
-  walks_.resize(options.num_fingerprints);
-  for (uint32_t r = 0; r < options.num_fingerprints; ++r) {
-    auto& walk = walks_[r];
-    walk.assign(static_cast<size_t>(options.walk_length + 1) * n_,
-                UINT32_MAX);
-    // Step 0: every walk sits at its start vertex.
-    for (uint32_t v = 0; v < n_; ++v) walk[v] = v;
-    for (uint32_t t = 1; t <= options.walk_length; ++t) {
-      const size_t prev = static_cast<size_t>(t - 1) * n_;
-      const size_t cur = static_cast<size_t>(t) * n_;
-      for (uint32_t v = 0; v < n_; ++v) {
-        const uint32_t at = walk[prev + v];
-        if (at == UINT32_MAX) continue;
-        auto in = graph.InNeighbors(at);
-        if (in.empty()) continue;  // walk dies at a source vertex
-        // The *coupling*: the choice depends on (r, t, at) only, so two
-        // walks at the same vertex take the same step.
-        walk[cur + v] =
-            in[CoupledHash(options.seed, r, t, at) % in.size()];
-      }
-    }
-  }
-}
-
-double MonteCarloSimRank::EstimatePair(VertexId a, VertexId b) const {
-  OIPSIM_CHECK(a < n_ && b < n_);
-  if (a == b) return 1.0;
-  double sum = 0.0;
-  for (const auto& walk : walks_) {
-    for (uint32_t t = 1; t <= options_.walk_length; ++t) {
-      const size_t offset = static_cast<size_t>(t) * n_;
-      const uint32_t pa = walk[offset + a];
-      const uint32_t pb = walk[offset + b];
-      if (pa == UINT32_MAX || pb == UINT32_MAX) break;  // a walk died
-      if (pa == pb) {
-        sum += std::pow(options_.damping, static_cast<double>(t));
-        break;  // first meeting only
-      }
-    }
-  }
-  return sum / static_cast<double>(walks_.size());
-}
-
-std::vector<double> MonteCarloSimRank::EstimateRow(VertexId a) const {
-  std::vector<double> row(n_, 0.0);
-  for (VertexId b = 0; b < n_; ++b) row[b] = EstimatePair(a, b);
-  return row;
-}
+    : index_(BuildWalks(graph, options)), options_(options) {}
 
 }  // namespace simrank

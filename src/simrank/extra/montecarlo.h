@@ -2,10 +2,11 @@
 // Related Work). Estimates s(a, b) = E[C^τ] where τ is the first meeting
 // time of two coupled reverse random walks started at a and b.
 //
-// Walks are coupled through a shared hash: at fingerprint r and step t,
-// every walk at vertex v steps to the same pseudo-random in-neighbour of v.
-// Coupling guarantees that once two walks meet they stay together, which is
-// exactly the first-meeting semantics the estimator needs.
+// This is a thin in-memory wrapper around the walk-index estimator
+// (index/walk_index.h): one shared kernel builds the coupled walk tables,
+// so the on-the-fly estimator and the persistent index sample identical
+// walk distributions for equal seeds by construction. Use WalkIndex
+// directly when the walks should be built in parallel or persisted.
 #ifndef OIPSIM_SIMRANK_EXTRA_MONTECARLO_H_
 #define OIPSIM_SIMRANK_EXTRA_MONTECARLO_H_
 
@@ -14,6 +15,7 @@
 
 #include "simrank/common/status.h"
 #include "simrank/graph/digraph.h"
+#include "simrank/index/walk_index.h"
 
 namespace simrank {
 
@@ -31,24 +33,26 @@ struct MonteCarloOptions {
 /// queries in O(num_fingerprints · walk_length).
 class MonteCarloSimRank {
  public:
-  /// Builds the fingerprint walks for every vertex.
+  /// Builds the fingerprint walks for every vertex. Options must be valid
+  /// (positive counts, damping in (0, 1)); violations are programming
+  /// errors and abort.
   MonteCarloSimRank(const DiGraph& graph, const MonteCarloOptions& options);
 
   /// Estimate of s(a, b). Exact value 1 for a == b.
-  double EstimatePair(VertexId a, VertexId b) const;
+  double EstimatePair(VertexId a, VertexId b) const {
+    return index_.EstimatePair(a, b);
+  }
 
   /// Estimates a full row s(a, ·).
-  std::vector<double> EstimateRow(VertexId a) const;
+  std::vector<double> EstimateRow(VertexId a) const {
+    return index_.EstimateSingleSource(a);
+  }
 
   const MonteCarloOptions& options() const { return options_; }
 
  private:
-  /// walks_[r][t * n + v] = position after t steps of fingerprint r's walk
-  /// started at v (UINT32_MAX once the walk left a vertex with no
-  /// in-neighbours).
-  std::vector<std::vector<uint32_t>> walks_;
+  WalkIndex index_;
   MonteCarloOptions options_;
-  uint32_t n_;
 };
 
 }  // namespace simrank

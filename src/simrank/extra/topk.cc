@@ -6,14 +6,12 @@
 
 namespace simrank {
 
-std::vector<ScoredVertex> TopKSimilar(const DenseMatrix& scores,
+std::vector<ScoredVertex> TopKFromRow(std::span<const double> row,
                                       VertexId query, uint32_t k,
                                       bool exclude_query) {
-  OIPSIM_CHECK_LT(query, scores.rows());
-  const uint32_t n = scores.cols();
+  const auto n = static_cast<uint32_t>(row.size());
   std::vector<ScoredVertex> all;
   all.reserve(n);
-  const double* row = scores.Row(query);
   for (VertexId v = 0; v < n; ++v) {
     if (exclude_query && v == query) continue;
     all.push_back(ScoredVertex{v, row[v]});
@@ -26,6 +24,14 @@ std::vector<ScoredVertex> TopKSimilar(const DenseMatrix& scores,
                     });
   all.resize(keep);
   return all;
+}
+
+std::vector<ScoredVertex> TopKSimilar(const DenseMatrix& scores,
+                                      VertexId query, uint32_t k,
+                                      bool exclude_query) {
+  OIPSIM_CHECK_LT(query, scores.rows());
+  return TopKFromRow({scores.Row(query), scores.cols()}, query, k,
+                     exclude_query);
 }
 
 std::vector<VertexId> TopKIds(const DenseMatrix& scores, VertexId query,

@@ -1,8 +1,10 @@
-// Top-k similarity queries over a computed score matrix.
+// Top-k similarity queries over a computed score matrix or a single score
+// row (e.g. a single-source estimate from the walk index).
 #ifndef OIPSIM_SIMRANK_EXTRA_TOPK_H_
 #define OIPSIM_SIMRANK_EXTRA_TOPK_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "simrank/graph/digraph.h"
@@ -14,7 +16,17 @@ namespace simrank {
 struct ScoredVertex {
   VertexId vertex = 0;
   double score = 0.0;
+
+  friend bool operator==(const ScoredVertex&, const ScoredVertex&) = default;
 };
+
+/// Top-k over an explicit score row s(query, ·) of length n. Descending
+/// score, ties broken by ascending id; the query vertex is excluded when
+/// `exclude_query` is true. This is the primitive behind TopKSimilar and
+/// the walk-index QueryEngine.
+std::vector<ScoredVertex> TopKFromRow(std::span<const double> row,
+                                      VertexId query, uint32_t k,
+                                      bool exclude_query = true);
 
 /// Returns the k vertices most similar to `query` (descending score, ties
 /// broken by ascending id for determinism). The query vertex itself is

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "simrank/common/stream_hash.h"
 #include "simrank/common/string_util.h"
 
 namespace simrank {
@@ -129,6 +130,18 @@ Status WriteBinary(const DiGraph& graph, const std::string& path) {
   int close_rc = std::fclose(f);
   if (!ok || close_rc != 0) return Status::IoError("short write: " + path);
   return Status::OK();
+}
+
+uint64_t GraphFingerprint(const DiGraph& graph) {
+  StreamHasher hasher;
+  hasher.Absorb(graph.n());
+  hasher.Absorb(graph.m());
+  for (VertexId v = 0; v < graph.n(); ++v) {
+    for (VertexId u : graph.OutNeighbors(v)) {
+      hasher.Absorb((static_cast<uint64_t>(v) << 32) | u);
+    }
+  }
+  return hasher.digest();
 }
 
 Result<DiGraph> ReadBinary(const std::string& path) {

@@ -34,6 +34,13 @@ Status WriteBinary(const DiGraph& graph, const std::string& path);
 /// Reads the compact binary format written by WriteBinary.
 Result<DiGraph> ReadBinary(const std::string& path);
 
+/// Deterministic 64-bit structural hash over n and the full (sorted) CSR
+/// adjacency. Equal graphs hash equal across runs and platforms of equal
+/// endianness. Used by derived on-disk artefacts (e.g. the walk index of
+/// index/walk_index.h) to verify they were built from the graph they are
+/// being served against.
+uint64_t GraphFingerprint(const DiGraph& graph);
+
 }  // namespace simrank
 
 #endif  // OIPSIM_SIMRANK_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,72 @@
+#include "simrank/index/query_engine.h"
+
+#include "simrank/common/string_util.h"
+
+namespace simrank {
+
+QueryEngine::QueryEngine(const WalkIndex& index,
+                         const QueryEngineOptions& options)
+    : index_(index),
+      options_(options),
+      cache_(options.Valid() ? options.cache_shards : 1,
+             options.Valid() ? options.cache_capacity_per_shard : 1),
+      pool_(options.num_threads) {
+  OIPSIM_CHECK_MSG(options.Valid(),
+                   "QueryEngineOptions: shards and capacity must be > 0");
+}
+
+Status QueryEngine::CheckVertex(VertexId v) const {
+  if (v >= index_.n()) {
+    return Status::OutOfRange(
+        StrFormat("vertex %u out of range (index has %u vertices)", v,
+                  index_.n()));
+  }
+  return Status::OK();
+}
+
+Result<double> QueryEngine::Pair(VertexId a, VertexId b) {
+  OIPSIM_RETURN_IF_ERROR(CheckVertex(a));
+  OIPSIM_RETURN_IF_ERROR(CheckVertex(b));
+  // A resident row of either endpoint already holds the answer.
+  if (auto row = cache_.Get(a)) return (**row)[b];
+  if (auto row = cache_.Get(b)) return (**row)[a];
+  return index_.EstimatePair(a, b);
+}
+
+Result<QueryEngine::Row> QueryEngine::SingleSource(VertexId v) {
+  OIPSIM_RETURN_IF_ERROR(CheckVertex(v));
+  if (auto row = cache_.Get(v)) return *row;
+  Row row = std::make_shared<const std::vector<double>>(
+      index_.EstimateSingleSource(v));
+  cache_.Put(v, row);
+  return row;
+}
+
+Result<std::vector<ScoredVertex>> QueryEngine::TopK(VertexId v, uint32_t k) {
+  Result<Row> row = SingleSource(v);
+  if (!row.ok()) return row.status();
+  return TopKFromRow(**row, v, k, /*exclude_query=*/true);
+}
+
+std::vector<Result<double>> QueryEngine::BatchPair(
+    const std::vector<std::pair<VertexId, VertexId>>& queries) {
+  std::vector<Result<double>> answers(queries.size(),
+                                      Result<double>(0.0));
+  pool_.ParallelFor(0, queries.size(), [&](uint64_t i) {
+    answers[i] = Pair(queries[i].first, queries[i].second);
+  });
+  return answers;
+}
+
+std::vector<Result<std::vector<ScoredVertex>>> QueryEngine::BatchTopK(
+    const std::vector<VertexId>& queries, uint32_t k) {
+  std::vector<Result<std::vector<ScoredVertex>>> answers(
+      queries.size(),
+      Result<std::vector<ScoredVertex>>(std::vector<ScoredVertex>{}));
+  pool_.ParallelFor(0, queries.size(), [&](uint64_t i) {
+    answers[i] = TopK(queries[i], k);
+  });
+  return answers;
+}
+
+}  // namespace simrank

@@ -1,0 +1,88 @@
+// Query serving layer over a WalkIndex.
+//
+// QueryEngine answers the three point-query shapes a SimRank service needs
+// — Pair(a, b), SingleSource(v) and TopK(v, k) — from a prebuilt walk
+// index, with a sharded LRU cache of single-source rows in front of the
+// estimator. A cached query is an O(1) row lookup; top-k and pair queries
+// are served from the cached row when one is resident. Batch variants fan
+// the work across a thread pool (the cache is thread-safe), which is how a
+// server drains a request queue.
+#ifndef OIPSIM_SIMRANK_INDEX_QUERY_ENGINE_H_
+#define OIPSIM_SIMRANK_INDEX_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "simrank/common/status.h"
+#include "simrank/common/thread_pool.h"
+#include "simrank/extra/topk.h"
+#include "simrank/graph/digraph.h"
+#include "simrank/index/lru_cache.h"
+#include "simrank/index/walk_index.h"
+
+namespace simrank {
+
+/// Serving-time knobs. Defaults suit a few thousand distinct hot vertices.
+struct QueryEngineOptions {
+  /// Independently-locked cache shards.
+  uint32_t cache_shards = 8;
+  /// Cached single-source rows per shard (total rows = shards × this).
+  uint32_t cache_capacity_per_shard = 128;
+  /// Threads for the batch APIs; 0 means hardware concurrency.
+  uint32_t num_threads = 0;
+
+  bool Valid() const {
+    return cache_shards > 0 && cache_capacity_per_shard > 0;
+  }
+};
+
+/// Thread-safe query frontend. The WalkIndex must outlive the engine.
+class QueryEngine {
+ public:
+  /// A cached, immutable single-source score row s(v, ·).
+  using Row = std::shared_ptr<const std::vector<double>>;
+
+  explicit QueryEngine(const WalkIndex& index,
+                       const QueryEngineOptions& options = {});
+
+  OIPSIM_DISALLOW_COPY_AND_ASSIGN(QueryEngine);
+
+  /// Estimate of s(a, b). Served from a cached row when one of the
+  /// endpoints' rows is resident, otherwise O(R·L) from the index.
+  Result<double> Pair(VertexId a, VertexId b);
+
+  /// The full estimated row s(v, ·), computed on miss and cached.
+  Result<Row> SingleSource(VertexId v);
+
+  /// The k vertices most similar to `v` (self excluded), from the — cached
+  /// — single-source row. Ties break by ascending id.
+  Result<std::vector<ScoredVertex>> TopK(VertexId v, uint32_t k);
+
+  /// Batch variants: answer[i] corresponds to queries[i]. Work is spread
+  /// across the engine's thread pool; results are deterministic (identical
+  /// to issuing the queries sequentially).
+  std::vector<Result<double>> BatchPair(
+      const std::vector<std::pair<VertexId, VertexId>>& queries);
+  std::vector<Result<std::vector<ScoredVertex>>> BatchTopK(
+      const std::vector<VertexId>& queries, uint32_t k);
+
+  /// Aggregated cache counters (hits/misses/evictions) since construction.
+  using CacheStats = ShardedLruCache<VertexId, Row>::Stats;
+  CacheStats cache_stats() const { return cache_.stats(); }
+
+  const WalkIndex& index() const { return index_; }
+
+ private:
+  Status CheckVertex(VertexId v) const;
+
+  const WalkIndex& index_;
+  QueryEngineOptions options_;
+  ShardedLruCache<VertexId, Row> cache_;
+  ThreadPool pool_;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_INDEX_QUERY_ENGINE_H_

@@ -1,0 +1,311 @@
+#include "simrank/index/walk_index.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "simrank/common/coupled_hash.h"
+#include "simrank/common/stream_hash.h"
+#include "simrank/common/string_util.h"
+#include "simrank/common/thread_pool.h"
+#include "simrank/graph/graph_io.h"
+
+namespace simrank {
+
+namespace {
+
+// On-disk layout (native-endian words, like graph_io's binary format —
+// index files are portable between hosts of equal endianness; version 1):
+//   uint32 magic 'WIDX'   uint32 version
+//   uint32 n              uint32 num_fingerprints
+//   uint32 walk_length    uint32 reserved (0)
+//   uint64 seed           uint64 damping (IEEE-754 bits)
+//   uint64 graph_fingerprint
+//   uint64 payload_words
+//   uint32 payload[payload_words]
+//   uint64 checksum (header fields + payload)
+constexpr uint32_t kIndexMagic = 0x58444957;  // "WIDX"
+constexpr uint32_t kIndexVersion = 1;
+/// Domain salt of the file checksum (distinct from the graph-fingerprint
+/// domain). Part of the on-disk format.
+constexpr uint64_t kChecksumSalt = 0x5349574b31584449ULL;
+
+uint64_t DampingBits(double damping) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(damping));
+  std::memcpy(&bits, &damping, sizeof(bits));
+  return bits;
+}
+
+double DampingFromBits(uint64_t bits) {
+  double damping = 0;
+  std::memcpy(&damping, &bits, sizeof(damping));
+  return damping;
+}
+
+uint64_t FileChecksum(uint32_t n, const WalkIndexOptions& options,
+                      uint64_t graph_fingerprint,
+                      const std::vector<uint32_t>& walks) {
+  StreamHasher hasher(kChecksumSalt);
+  hasher.Absorb(n);
+  hasher.Absorb(options.num_fingerprints);
+  hasher.Absorb(options.walk_length);
+  hasher.Absorb(options.seed);
+  hasher.Absorb(DampingBits(options.damping));
+  hasher.Absorb(graph_fingerprint);
+  hasher.AbsorbWords(walks.data(), walks.size());
+  return hasher.digest();
+}
+
+/// RAII FILE handle so every early return closes the stream.
+struct FileCloser {
+  explicit FileCloser(std::FILE* f) : file(f) {}
+  ~FileCloser() {
+    if (file != nullptr) std::fclose(file);
+  }
+  std::FILE* file;
+};
+
+}  // namespace
+
+Result<WalkIndex> WalkIndex::Build(const DiGraph& graph,
+                                   const WalkIndexOptions& options) {
+  if (!options.Valid()) {
+    return Status::InvalidArgument(
+        "walk index options invalid: need num_fingerprints > 0, "
+        "walk_length > 0, damping in (0, 1)");
+  }
+  WalkIndex index;
+  index.options_ = options;
+  index.n_ = graph.n();
+  index.graph_fingerprint_ = GraphFingerprint(graph);
+
+  const uint32_t n = graph.n();
+  const uint32_t L = options.walk_length;
+  index.walks_.assign(
+      static_cast<size_t>(options.num_fingerprints) * (L + 1) * n, kDeadWalk);
+
+  // One task per fingerprint: every step depends only on (seed, r, t,
+  // vertex), so the filled slices are identical for any thread count.
+  ThreadPool pool(options.num_threads);
+  uint32_t* walks = index.walks_.data();
+  pool.ParallelFor(0, options.num_fingerprints, [&](uint64_t r) {
+    const size_t base =
+        static_cast<size_t>(r) * (static_cast<size_t>(L) + 1) * n;
+    uint32_t* walk = walks + base;
+    for (uint32_t v = 0; v < n; ++v) walk[v] = v;
+    for (uint32_t t = 1; t <= L; ++t) {
+      const size_t prev = static_cast<size_t>(t - 1) * n;
+      const size_t cur = static_cast<size_t>(t) * n;
+      for (uint32_t v = 0; v < n; ++v) {
+        const uint32_t at = walk[prev + v];
+        if (at == kDeadWalk) continue;
+        auto in = graph.InNeighbors(at);
+        if (in.empty()) continue;  // walk dies at a source vertex
+        walk[cur + v] =
+            in[CoupledWalkHash(options.seed, static_cast<uint32_t>(r), t, at) %
+               in.size()];
+      }
+    }
+  });
+  index.PrecomputeDampingPowers();
+  return index;
+}
+
+void WalkIndex::PrecomputeDampingPowers() {
+  damping_powers_.resize(options_.walk_length + 1);
+  for (uint32_t t = 0; t <= options_.walk_length; ++t) {
+    damping_powers_[t] = std::pow(options_.damping, static_cast<double>(t));
+  }
+}
+
+double WalkIndex::EstimatePair(VertexId a, VertexId b) const {
+  OIPSIM_CHECK(a < n_ && b < n_);
+  if (a == b) return 1.0;
+  double sum = 0.0;
+  for (uint32_t r = 0; r < options_.num_fingerprints; ++r) {
+    for (uint32_t t = 1; t <= options_.walk_length; ++t) {
+      const size_t slot = Slot(r, t);
+      const uint32_t pa = walks_[slot + a];
+      const uint32_t pb = walks_[slot + b];
+      if (pa == kDeadWalk || pb == kDeadWalk) break;  // a walk died
+      if (pa == pb) {
+        sum += damping_powers_[t];
+        break;  // first meeting only
+      }
+    }
+  }
+  return sum / static_cast<double>(options_.num_fingerprints);
+}
+
+std::vector<double> WalkIndex::EstimateSingleSource(VertexId v) const {
+  OIPSIM_CHECK(v < n_);
+  std::vector<double> row(n_, 0.0);
+  // met_round[b] == r+1 marks that b's walk already met v's walk within
+  // fingerprint r (first-meeting semantics) — an epoch stamp, so the array
+  // is never re-cleared.
+  std::vector<uint32_t> met_round(n_, 0);
+  for (uint32_t r = 0; r < options_.num_fingerprints; ++r) {
+    const uint32_t round = r + 1;
+    met_round[v] = round;
+    for (uint32_t t = 1; t <= options_.walk_length; ++t) {
+      const size_t slot = Slot(r, t);
+      const uint32_t pv = walks_[slot + v];
+      if (pv == kDeadWalk) break;  // v's walk died: no further meetings
+      const double weight = damping_powers_[t];
+      for (uint32_t b = 0; b < n_; ++b) {
+        if (met_round[b] == round || walks_[slot + b] != pv) continue;
+        row[b] += weight;
+        met_round[b] = round;
+      }
+    }
+  }
+  // Divide (not multiply by a reciprocal) so every entry is bit-identical
+  // to the corresponding EstimatePair result for any fingerprint count.
+  const double fingerprints =
+      static_cast<double>(options_.num_fingerprints);
+  for (double& score : row) score /= fingerprints;
+  row[v] = 1.0;
+  return row;
+}
+
+Status WalkIndex::ValidateGraph(const DiGraph& graph) const {
+  if (graph.n() != n_) {
+    return Status::InvalidArgument(
+        StrFormat("index built for %u vertices, graph has %u", n_,
+                  graph.n()));
+  }
+  if (GraphFingerprint(graph) != graph_fingerprint_) {
+    return Status::InvalidArgument(
+        "graph fingerprint mismatch: index was built from a different "
+        "graph");
+  }
+  return Status::OK();
+}
+
+Status WalkIndex::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for writing: " + path);
+  FileCloser closer(f);
+
+  const uint32_t header32[6] = {kIndexMagic,
+                                kIndexVersion,
+                                n_,
+                                options_.num_fingerprints,
+                                options_.walk_length,
+                                0};
+  const uint64_t header64[4] = {options_.seed, DampingBits(options_.damping),
+                                graph_fingerprint_,
+                                static_cast<uint64_t>(walks_.size())};
+  const uint64_t checksum =
+      FileChecksum(n_, options_, graph_fingerprint_, walks_);
+  bool ok = std::fwrite(header32, sizeof(header32), 1, f) == 1 &&
+            std::fwrite(header64, sizeof(header64), 1, f) == 1;
+  if (ok && !walks_.empty()) {
+    ok = std::fwrite(walks_.data(), sizeof(uint32_t), walks_.size(), f) ==
+         walks_.size();
+  }
+  ok = ok && std::fwrite(&checksum, sizeof(checksum), 1, f) == 1;
+  ok = ok && std::fflush(f) == 0;
+  if (!ok) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Result<WalkIndex> WalkIndex::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open: " + path);
+  FileCloser closer(f);
+
+  // Actual file size, checked against the declared payload before any
+  // allocation: a corrupt or crafted header must not trigger a multi-GiB
+  // resize (std::bad_alloc has nowhere to go in this exception-free
+  // library) when the bytes plainly are not there.
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError("cannot seek: " + path);
+  }
+  const int64_t file_size = std::ftell(f);
+  if (file_size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    return Status::IoError("cannot seek: " + path);
+  }
+
+  uint32_t header32[6] = {};
+  uint64_t header64[4] = {};
+  if (std::fread(header32, sizeof(header32), 1, f) != 1 ||
+      std::fread(header64, sizeof(header64), 1, f) != 1) {
+    return Status::ParseError("truncated walk index header: " + path);
+  }
+  if (header32[0] != kIndexMagic) {
+    return Status::ParseError("bad magic in walk index: " + path);
+  }
+  if (header32[1] != kIndexVersion) {
+    return Status::ParseError(
+        StrFormat("unsupported walk index version %u in %s", header32[1],
+                  path.c_str()));
+  }
+
+  WalkIndex index;
+  index.n_ = header32[2];
+  index.options_.num_fingerprints = header32[3];
+  index.options_.walk_length = header32[4];
+  index.options_.seed = header64[0];
+  index.options_.damping = DampingFromBits(header64[1]);
+  index.graph_fingerprint_ = header64[2];
+  const uint64_t payload_words = header64[3];
+  if (!index.options_.Valid()) {
+    return Status::ParseError("invalid options in walk index: " + path);
+  }
+  // Overflow-checked num_fingerprints · (walk_length + 1) · n, compared
+  // against the real file size while still in 128-bit: a crafted header
+  // must neither wrap to a small (or zero) payload size nor slip past the
+  // size check into a huge allocation.
+  const auto wide_words =
+      static_cast<unsigned __int128>(index.options_.num_fingerprints) *
+      (static_cast<uint64_t>(index.options_.walk_length) + 1) * index.n_;
+  if (wide_words > static_cast<uint64_t>(file_size) / sizeof(uint32_t)) {
+    return Status::ParseError(
+        StrFormat("walk index dimensions exceed the file in %s: %lld "
+                  "bytes on disk",
+                  path.c_str(), static_cast<long long>(file_size)));
+  }
+  const auto expected_words = static_cast<uint64_t>(wide_words);
+  // No overflow: expected_words <= file_size/4 < 2^61.
+  const uint64_t expected_file_size = sizeof(header32) + sizeof(header64) +
+                                      expected_words * sizeof(uint32_t) +
+                                      sizeof(uint64_t) /* checksum */;
+  if (static_cast<uint64_t>(file_size) != expected_file_size) {
+    return Status::ParseError(
+        StrFormat("walk index file size mismatch in %s: %lld bytes on "
+                  "disk, header implies %llu",
+                  path.c_str(), static_cast<long long>(file_size),
+                  static_cast<unsigned long long>(expected_file_size)));
+  }
+  if (payload_words != expected_words) {
+    return Status::ParseError(
+        StrFormat("walk index payload size mismatch in %s: header says "
+                  "%llu words, dimensions imply %llu",
+                  path.c_str(),
+                  static_cast<unsigned long long>(payload_words),
+                  static_cast<unsigned long long>(expected_words)));
+  }
+
+  index.walks_.resize(payload_words);
+  if (payload_words > 0 &&
+      std::fread(index.walks_.data(), sizeof(uint32_t), payload_words, f) !=
+          payload_words) {
+    return Status::ParseError("truncated walk index payload: " + path);
+  }
+  uint64_t stored_checksum = 0;
+  if (std::fread(&stored_checksum, sizeof(stored_checksum), 1, f) != 1) {
+    return Status::ParseError("missing walk index checksum: " + path);
+  }
+  const uint64_t computed = FileChecksum(index.n_, index.options_,
+                                         index.graph_fingerprint_,
+                                         index.walks_);
+  if (stored_checksum != computed) {
+    return Status::ParseError("walk index checksum mismatch: " + path);
+  }
+  index.PrecomputeDampingPowers();
+  return index;
+}
+
+}  // namespace simrank

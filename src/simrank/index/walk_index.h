@@ -1,0 +1,126 @@
+// Persistent fingerprint index for single-source / top-k SimRank serving.
+//
+// All-pairs engines (core/) cannot serve point queries on large graphs:
+// their O(n²) score matrix does not fit, and recomputation per query is far
+// too slow. Following the fingerprint-index line of work (Fogaras & Rácz,
+// and more recently SLING / ProbeSim), WalkIndex precomputes, for every
+// vertex, `num_fingerprints` coupled reverse random walks of length
+// `walk_length`. A pair estimate is then E[C^τ] over the stored walks,
+// where τ is the first time the two walks meet — O(R·L) per pair and
+// O(R·L·n) per single-source row, independent of the graph's edge count.
+//
+// The index is built once (in parallel across a thread pool; each
+// fingerprint is seeded deterministically, so the result is bit-identical
+// for any thread count), serialized to disk in a versioned binary format,
+// and memory-mapped-style loaded for serving. The walks are coupled through
+// simrank::CoupledWalkHash — the same function the on-the-fly Monte-Carlo
+// estimator uses — so both sample identical walk distributions.
+#ifndef OIPSIM_SIMRANK_INDEX_WALK_INDEX_H_
+#define OIPSIM_SIMRANK_INDEX_WALK_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simrank/common/status.h"
+#include "simrank/core/options.h"
+#include "simrank/graph/digraph.h"
+
+namespace simrank {
+
+/// Build- and estimate-time parameters of the walk index.
+struct WalkIndexOptions {
+  /// Independent walk sets per vertex. Estimator standard error shrinks as
+  /// 1/sqrt(num_fingerprints) (Hoeffding).
+  uint32_t num_fingerprints = 256;
+  /// Walk truncation length; meetings beyond it contribute 0, biasing each
+  /// estimate down by at most C^(walk_length+1)/(1-C).
+  uint32_t walk_length = 12;
+  /// SimRank damping factor C.
+  double damping = 0.6;
+  /// Root seed; fingerprint r derives all its steps from (seed, r), so the
+  /// index content is independent of build parallelism.
+  uint64_t seed = 7;
+  /// Build-time worker threads; 0 means hardware concurrency. Not part of
+  /// the serialized index.
+  uint32_t num_threads = 0;
+
+  bool Valid() const {
+    return num_fingerprints > 0 && walk_length > 0 && damping > 0.0 &&
+           damping < 1.0;
+  }
+
+  /// Derives index options from the shared SimRank model options: damping
+  /// and the stochastic-path seed carry over, everything else keeps its
+  /// default. This is how callers configured for the all-pairs engines
+  /// (e.g. the CLI) hand their model parameters to the index.
+  static WalkIndexOptions FromSimRank(const SimRankOptions& simrank) {
+    WalkIndexOptions options;
+    options.damping = simrank.damping;
+    options.seed = simrank.seed;
+    return options;
+  }
+};
+
+/// Immutable fingerprint index over one graph. Thread-safe for concurrent
+/// reads after construction.
+class WalkIndex {
+ public:
+  /// Sentinel position of a walk that left a vertex with no in-neighbours.
+  static constexpr uint32_t kDeadWalk = UINT32_MAX;
+
+  /// Builds the index for `graph`. Deterministic in `options.seed`
+  /// regardless of `options.num_threads`.
+  static Result<WalkIndex> Build(const DiGraph& graph,
+                                 const WalkIndexOptions& options);
+
+  /// Reads an index previously written by Save. Validates magic, version,
+  /// declared sizes and the payload checksum.
+  static Result<WalkIndex> Load(const std::string& path);
+
+  /// Writes the versioned binary format. Saving the same index twice
+  /// produces byte-identical files.
+  Status Save(const std::string& path) const;
+
+  /// Verifies the index was built from `graph` (vertex count and structural
+  /// fingerprint, see GraphFingerprint).
+  Status ValidateGraph(const DiGraph& graph) const;
+
+  /// Estimate of s(a, b); exactly 1 for a == b. Both ids must be < n().
+  double EstimatePair(VertexId a, VertexId b) const;
+
+  /// Estimates the full row s(v, ·) in one pass over the stored walks
+  /// (O(num_fingerprints · walk_length · n), ~R·L times cheaper than n
+  /// pair calls would be on meeting-dense graphs).
+  std::vector<double> EstimateSingleSource(VertexId v) const;
+
+  uint32_t n() const { return n_; }
+  const WalkIndexOptions& options() const { return options_; }
+  uint64_t graph_fingerprint() const { return graph_fingerprint_; }
+  /// In-memory payload size of the stored walks.
+  uint64_t SizeBytes() const { return walks_.size() * sizeof(uint32_t); }
+
+ private:
+  WalkIndex() = default;
+
+  /// Flat walk table: position after `t` steps of fingerprint `r`'s walk
+  /// started at `v` lives at walks_[(r·(L+1) + t)·n + v].
+  size_t Slot(uint32_t r, uint32_t t) const {
+    return (static_cast<size_t>(r) * (options_.walk_length + 1) + t) * n_;
+  }
+
+  /// Fills damping_powers_ from options_. Called after Build and Load.
+  void PrecomputeDampingPowers();
+
+  std::vector<uint32_t> walks_;
+  /// damping_powers_[t] = pow(damping, t); derived, not serialized. Both
+  /// estimators read this one table so their results agree bit-for-bit.
+  std::vector<double> damping_powers_;
+  WalkIndexOptions options_;
+  uint32_t n_ = 0;
+  uint64_t graph_fingerprint_ = 0;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_INDEX_WALK_INDEX_H_

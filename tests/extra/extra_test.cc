@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "simrank/core/naive.h"
 #include "simrank/core/psum.h"
 #include "simrank/extra/montecarlo.h"
 #include "simrank/extra/prank.h"
@@ -115,6 +118,40 @@ TEST(MonteCarloTest, ApproximatesExactScores) {
            {testing::kA, testing::kE}}) {
     EXPECT_NEAR(mc.EstimatePair(a, b), (*exact)(a, b), 0.08)
         << "pair (" << a << "," << b << ")";
+  }
+}
+
+TEST(MonteCarloTest, WithinHoeffdingToleranceOfNaive) {
+  // Each pair estimate averages num_fingerprints i.i.d. samples in [0, 1],
+  // so Hoeffding bounds the deviation from the (truncated-walk) mean; the
+  // truncation itself biases down by at most C^(L+1)/(1-C). Check every
+  // pair of the paper fixture against the naive ground truth under the
+  // union bound at confidence 1 - 1e-3.
+  DiGraph graph = testing::PaperExampleGraph();
+  SimRankOptions exact_options;
+  exact_options.damping = 0.6;
+  exact_options.iterations = 16;
+  auto exact = NaiveSimRank(graph, exact_options);
+  ASSERT_TRUE(exact.ok());
+
+  MonteCarloOptions options;
+  options.num_fingerprints = 4096;
+  options.walk_length = 12;
+  options.damping = 0.6;
+  MonteCarloSimRank mc(graph, options);
+
+  const double pairs = static_cast<double>(graph.n()) * graph.n();
+  const double hoeffding = std::sqrt(
+      std::log(2.0 * pairs / 1e-3) / (2.0 * options.num_fingerprints));
+  const double truncation =
+      std::pow(options.damping, options.walk_length + 1.0) /
+      (1.0 - options.damping);
+  const double tolerance = hoeffding + truncation;
+  for (VertexId a = 0; a < graph.n(); ++a) {
+    for (VertexId b = 0; b < graph.n(); ++b) {
+      EXPECT_NEAR(mc.EstimatePair(a, b), (*exact)(a, b), tolerance)
+          << "pair (" << a << "," << b << ")";
+    }
   }
 }
 

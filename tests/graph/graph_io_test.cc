@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "testing/fixtures.h"
 
 namespace simrank {
@@ -64,6 +68,75 @@ TEST(GraphIoTest, BinaryRoundTrip) {
   auto loaded = ReadBinary(path);
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(*loaded, graph);
+}
+
+TEST(GraphIoTest, BinaryRoundTripGeneratedGraphs) {
+  // WriteBinary -> ReadBinary must be the identity across structurally
+  // different generator families, not just uniform random graphs.
+  std::vector<std::pair<std::string, DiGraph>> graphs;
+  graphs.emplace_back("webgraph", testing::OverlappyGraph(300, 5, 41));
+  graphs.emplace_back("erdos_renyi", testing::RandomGraph(500, 2500, 42));
+  {
+    gen::RmatParams rmat;
+    rmat.scale = 8;
+    rmat.m_target = 2000;
+    rmat.seed = 43;
+    auto graph = gen::Rmat(rmat);
+    ASSERT_TRUE(graph.ok());
+    graphs.emplace_back("rmat", std::move(graph).value());
+  }
+  {
+    gen::CitationGraphParams citation;
+    citation.n = 400;
+    citation.seed = 44;
+    auto graph = gen::CitationGraph(citation);
+    ASSERT_TRUE(graph.ok());
+    graphs.emplace_back("citation", std::move(graph).value());
+  }
+  for (const auto& [name, graph] : graphs) {
+    const std::string path =
+        ::testing::TempDir() + "/oipsim_" + name + ".bin";
+    ASSERT_TRUE(WriteBinary(graph, path).ok()) << name;
+    auto loaded = ReadBinary(path);
+    ASSERT_TRUE(loaded.ok()) << name;
+    EXPECT_EQ(*loaded, graph) << name;
+  }
+}
+
+TEST(GraphIoTest, BinaryRoundTripDegenerateGraphs) {
+  const std::string path = ::testing::TempDir() + "/oipsim_degenerate.bin";
+  // Empty graph.
+  DiGraph empty;
+  ASSERT_TRUE(WriteBinary(empty, path).ok());
+  auto loaded_empty = ReadBinary(path);
+  ASSERT_TRUE(loaded_empty.ok());
+  EXPECT_EQ(*loaded_empty, empty);
+  // Isolated vertices, zero edges.
+  DiGraph isolated = std::move(DiGraph::Builder(7)).Build();
+  ASSERT_TRUE(WriteBinary(isolated, path).ok());
+  auto loaded_isolated = ReadBinary(path);
+  ASSERT_TRUE(loaded_isolated.ok());
+  EXPECT_EQ(*loaded_isolated, isolated);
+}
+
+TEST(GraphIoTest, GraphFingerprintIsStructural) {
+  DiGraph graph = testing::PaperExampleGraph();
+  // Deterministic and equal for equal graphs.
+  EXPECT_EQ(GraphFingerprint(graph),
+            GraphFingerprint(testing::PaperExampleGraph()));
+  // Sensitive to edges (same n) and to vertex count (same edges).
+  DiGraph::Builder builder(graph.n());
+  builder.AddEdge(0, 1);
+  EXPECT_NE(GraphFingerprint(graph),
+            GraphFingerprint(std::move(builder).Build()));
+  EXPECT_NE(GraphFingerprint(std::move(DiGraph::Builder(3)).Build()),
+            GraphFingerprint(std::move(DiGraph::Builder(4)).Build()));
+  // Survives a serialization round trip.
+  const std::string path = ::testing::TempDir() + "/oipsim_fp.bin";
+  ASSERT_TRUE(WriteBinary(graph, path).ok());
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(GraphFingerprint(*loaded), GraphFingerprint(graph));
 }
 
 TEST(GraphIoTest, BinaryRejectsCorruptHeader) {

@@ -1,0 +1,276 @@
+#include "simrank/index/walk_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "simrank/common/stream_hash.h"
+#include "simrank/core/naive.h"
+#include "simrank/extra/montecarlo.h"
+#include "simrank/graph/graph_io.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(WalkIndexTest, BuildRejectsInvalidOptions) {
+  DiGraph graph = testing::PaperExampleGraph();
+  WalkIndexOptions options;
+  options.num_fingerprints = 0;
+  EXPECT_FALSE(WalkIndex::Build(graph, options).ok());
+  options = WalkIndexOptions{};
+  options.damping = 1.0;
+  EXPECT_FALSE(WalkIndex::Build(graph, options).ok());
+}
+
+TEST(WalkIndexTest, DiagonalAndRangeInvariants) {
+  DiGraph graph = testing::PaperExampleGraph();
+  WalkIndexOptions options;
+  options.num_fingerprints = 64;
+  auto index = WalkIndex::Build(graph, options);
+  ASSERT_TRUE(index.ok());
+  for (VertexId a = 0; a < graph.n(); ++a) {
+    EXPECT_DOUBLE_EQ(index->EstimatePair(a, a), 1.0);
+    for (VertexId b = 0; b < graph.n(); ++b) {
+      const double estimate = index->EstimatePair(a, b);
+      EXPECT_GE(estimate, 0.0);
+      EXPECT_LE(estimate, 1.0);
+      EXPECT_DOUBLE_EQ(estimate, index->EstimatePair(b, a));
+    }
+  }
+}
+
+TEST(WalkIndexTest, DeterministicAcrossThreadCounts) {
+  DiGraph graph = testing::RandomGraph(50, 200, 11);
+  WalkIndexOptions options;
+  options.num_fingerprints = 32;
+  options.num_threads = 1;
+  auto serial = WalkIndex::Build(graph, options);
+  options.num_threads = 4;
+  auto parallel = WalkIndex::Build(graph, options);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  // Same estimates everywhere...
+  for (VertexId a = 0; a < graph.n(); ++a) {
+    for (VertexId b = 0; b < graph.n(); ++b) {
+      EXPECT_DOUBLE_EQ(serial->EstimatePair(a, b),
+                       parallel->EstimatePair(a, b));
+    }
+  }
+  // ...and bit-identical serialized artefacts.
+  const std::string p1 = TempPath("widx_serial.widx");
+  const std::string p2 = TempPath("widx_parallel.widx");
+  ASSERT_TRUE(serial->Save(p1).ok());
+  ASSERT_TRUE(parallel->Save(p2).ok());
+  EXPECT_EQ(ReadFileBytes(p1), ReadFileBytes(p2));
+}
+
+TEST(WalkIndexTest, SaveLoadRoundTripsBitIdentically) {
+  DiGraph graph = testing::OverlappyGraph(60, 4, 13);
+  WalkIndexOptions options;
+  options.num_fingerprints = 48;
+  options.walk_length = 9;
+  options.damping = 0.7;
+  options.seed = 99;
+  auto built = WalkIndex::Build(graph, options);
+  ASSERT_TRUE(built.ok());
+  const std::string p1 = TempPath("widx_roundtrip1.widx");
+  ASSERT_TRUE(built->Save(p1).ok());
+
+  auto loaded = WalkIndex::Load(p1);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->n(), graph.n());
+  EXPECT_EQ(loaded->options().num_fingerprints, options.num_fingerprints);
+  EXPECT_EQ(loaded->options().walk_length, options.walk_length);
+  EXPECT_DOUBLE_EQ(loaded->options().damping, options.damping);
+  EXPECT_EQ(loaded->options().seed, options.seed);
+  EXPECT_EQ(loaded->graph_fingerprint(), built->graph_fingerprint());
+
+  // Re-saving the loaded index reproduces the file byte-for-byte.
+  const std::string p2 = TempPath("widx_roundtrip2.widx");
+  ASSERT_TRUE(loaded->Save(p2).ok());
+  EXPECT_EQ(ReadFileBytes(p1), ReadFileBytes(p2));
+
+  for (VertexId a = 0; a < graph.n(); ++a) {
+    for (VertexId b = 0; b < graph.n(); ++b) {
+      EXPECT_DOUBLE_EQ(loaded->EstimatePair(a, b),
+                       built->EstimatePair(a, b));
+    }
+  }
+}
+
+TEST(WalkIndexTest, ValidateGraphDetectsMismatch) {
+  DiGraph graph = testing::PaperExampleGraph();
+  WalkIndexOptions options;
+  options.num_fingerprints = 8;
+  auto index = WalkIndex::Build(graph, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(index->ValidateGraph(graph).ok());
+  // Different vertex count.
+  EXPECT_FALSE(index->ValidateGraph(testing::RandomGraph(12, 30, 1)).ok());
+  // Same n, different edges.
+  DiGraph::Builder builder(graph.n());
+  builder.AddEdge(0, 1);
+  EXPECT_FALSE(
+      index->ValidateGraph(std::move(builder).Build()).ok());
+}
+
+TEST(WalkIndexTest, LoadRejectsMissingCorruptAndTamperedFiles) {
+  EXPECT_FALSE(WalkIndex::Load("/no/such/index.widx").ok());
+
+  const std::string garbage_path = TempPath("widx_garbage.widx");
+  {
+    std::ofstream out(garbage_path, std::ios::binary);
+    out << "definitely not an index";
+  }
+  EXPECT_FALSE(WalkIndex::Load(garbage_path).ok());
+
+  DiGraph graph = testing::PaperExampleGraph();
+  WalkIndexOptions options;
+  options.num_fingerprints = 8;
+  auto index = WalkIndex::Build(graph, options);
+  ASSERT_TRUE(index.ok());
+  const std::string path = TempPath("widx_tampered.widx");
+  ASSERT_TRUE(index->Save(path).ok());
+
+  // Truncation inside the payload.
+  std::string bytes = ReadFileBytes(path);
+  const std::string truncated_path = TempPath("widx_truncated.widx");
+  {
+    std::ofstream out(truncated_path, std::ios::binary);
+    out.write(bytes.data(), static_cast<int64_t>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(WalkIndex::Load(truncated_path).ok());
+
+  // A single flipped payload byte must fail the checksum.
+  bytes[bytes.size() / 2] ^= 0x40;
+  const std::string flipped_path = TempPath("widx_flipped.widx");
+  {
+    std::ofstream out(flipped_path, std::ios::binary);
+    out.write(bytes.data(), static_cast<int64_t>(bytes.size()));
+  }
+  EXPECT_FALSE(WalkIndex::Load(flipped_path).ok());
+}
+
+TEST(WalkIndexTest, LoadRejectsOverflowingDimensions) {
+  // A header whose num_fingerprints · (walk_length+1) · n wraps to 0 in
+  // uint64 must not load as an index with a huge n over an empty payload
+  // (every later query would read out of bounds). 2^31 · 4 · 2^31 = 2^64.
+  const std::string path = TempPath("widx_overflow.widx");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint32_t header32[6] = {0x58444957u, 1u, 0x80000000u, 0x80000000u,
+                                3u, 0u};
+  const double damping = 0.6;
+  uint64_t damping_bits = 0;
+  std::memcpy(&damping_bits, &damping, sizeof(damping_bits));
+  const uint64_t header64[4] = {7u, damping_bits, 0u, /*payload_words=*/0u};
+  // Checksum matching walk_index.cc's scheme (salt + field order), so the
+  // load is rejected by the dimension check, not the checksum.
+  StreamHasher hasher(0x5349574b31584449ULL);
+  hasher.Absorb(header32[2]);
+  hasher.Absorb(header32[3]);
+  hasher.Absorb(header32[4]);
+  hasher.Absorb(header64[0]);
+  hasher.Absorb(header64[1]);
+  hasher.Absorb(header64[2]);
+  const uint64_t checksum = hasher.digest();
+  ASSERT_EQ(std::fwrite(header32, sizeof(header32), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(header64, sizeof(header64), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&checksum, sizeof(checksum), 1, f), 1u);
+  std::fclose(f);
+  auto loaded = WalkIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(WalkIndexTest, SingleSourceMatchesPairQueries) {
+  DiGraph graph = testing::RandomGraph(40, 180, 17);
+  WalkIndexOptions options;
+  // Deliberately not a power of two: row scaling must divide like
+  // EstimatePair does, not multiply by a rounded reciprocal.
+  options.num_fingerprints = 100;
+  auto index = WalkIndex::Build(graph, options);
+  ASSERT_TRUE(index.ok());
+  for (VertexId v : {VertexId{0}, VertexId{7}, VertexId{39}}) {
+    auto row = index->EstimateSingleSource(v);
+    ASSERT_EQ(row.size(), graph.n());
+    for (VertexId b = 0; b < graph.n(); ++b) {
+      EXPECT_DOUBLE_EQ(row[b], index->EstimatePair(v, b))
+          << "source " << v << " target " << b;
+    }
+  }
+}
+
+TEST(WalkIndexTest, AgreesExactlyWithMonteCarloEstimator) {
+  // Same seed, same coupled hash -> the persistent index and the in-memory
+  // Monte-Carlo estimator sample identical walks.
+  DiGraph graph = testing::PaperExampleGraph();
+  WalkIndexOptions index_options;
+  index_options.num_fingerprints = 128;
+  index_options.walk_length = 10;
+  index_options.damping = 0.6;
+  index_options.seed = 21;
+  auto index = WalkIndex::Build(graph, index_options);
+  ASSERT_TRUE(index.ok());
+  MonteCarloOptions mc_options;
+  mc_options.num_fingerprints = 128;
+  mc_options.walk_length = 10;
+  mc_options.damping = 0.6;
+  mc_options.seed = 21;
+  MonteCarloSimRank mc(graph, mc_options);
+  for (VertexId a = 0; a < graph.n(); ++a) {
+    for (VertexId b = 0; b < graph.n(); ++b) {
+      EXPECT_DOUBLE_EQ(index->EstimatePair(a, b), mc.EstimatePair(a, b));
+    }
+  }
+}
+
+TEST(WalkIndexTest, ConvergesToNaiveScoresOnPaperFixture) {
+  DiGraph graph = testing::PaperExampleGraph();
+  SimRankOptions exact_options;
+  exact_options.damping = 0.6;
+  exact_options.iterations = 16;
+  auto exact = NaiveSimRank(graph, exact_options);
+  ASSERT_TRUE(exact.ok());
+
+  WalkIndexOptions options;
+  options.num_fingerprints = 4096;
+  options.walk_length = 12;
+  options.damping = 0.6;
+  auto index = WalkIndex::Build(graph, options);
+  ASSERT_TRUE(index.ok());
+
+  // Hoeffding bound over all n² pairs at confidence 1 - 1e-3, plus the
+  // walk-truncation bias C^(L+1)/(1-C).
+  const double pairs = static_cast<double>(graph.n()) * graph.n();
+  const double hoeffding = std::sqrt(
+      std::log(2.0 * pairs / 1e-3) / (2.0 * options.num_fingerprints));
+  const double truncation =
+      std::pow(options.damping, options.walk_length + 1.0) /
+      (1.0 - options.damping);
+  const double tolerance = hoeffding + truncation;
+  for (VertexId a = 0; a < graph.n(); ++a) {
+    for (VertexId b = 0; b < graph.n(); ++b) {
+      EXPECT_NEAR(index->EstimatePair(a, b), (*exact)(a, b), tolerance)
+          << "pair (" << a << "," << b << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,34 +1,68 @@
 // simrank_cli — command-line SimRank over an edge-list file.
 //
-// Usage:
+// All-pairs mode (the paper's engines):
 //   simrank_cli GRAPH.txt [--algo=oip|oip-dsr|psum|naive|matrix|mtx]
 //                         [--damping=0.6] [--epsilon=1e-3] [--iters=K]
-//                         [--query=VERTEX --topk=K] [--csv=OUT.csv]
+//                         [--seed=S] [--query=VERTEX --topk=K]
+//                         [--csv=OUT.csv]
+//
+// Index serving mode (the walk-index subsystem):
+//   simrank_cli build-index GRAPH.txt --index=PATH
+//               [--fingerprints=256] [--walk-length=12] [--damping=0.6]
+//               [--seed=S] [--threads=T]
+//   simrank_cli query GRAPH.txt --index=PATH
+//               (--query=V [--topk=K] | --pair=A,B)
 //
 // GRAPH.txt is a whitespace edge list ("src dst" per line, '#'/'%'
-// comments allowed, SNAP-style). Without --query, prints run statistics
-// only; with --query, prints the top-k most similar vertices. With --csv,
-// writes the query row (or, if no query, the full score matrix for graphs
-// up to 2000 vertices) as CSV.
+// comments allowed, SNAP-style). Without --query, the all-pairs mode
+// prints run statistics only; with --query, the top-k most similar
+// vertices. With --csv, it writes the query row (or, if no query, the full
+// score matrix for graphs up to 2000 vertices) as CSV.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "simrank/common/csv_writer.h"
 #include "simrank/common/string_util.h"
+#include "simrank/common/timer.h"
 #include "simrank/core/engine.h"
 #include "simrank/extra/topk.h"
 #include "simrank/graph/graph_io.h"
+#include "simrank/index/query_engine.h"
+#include "simrank/index/walk_index.h"
 
 namespace {
 
 struct CliOptions {
+  /// "" (all-pairs), "build-index" or "query".
+  std::string subcommand;
   std::string graph_path;
   simrank::EngineOptions engine;
   int64_t query = -1;
   uint32_t topk = 10;
+  bool topk_set = false;
   std::string csv_path;
+  // Index-mode flags.
+  std::string index_path;
+  uint32_t fingerprints = 256;
+  uint32_t walk_length = 12;
+  uint32_t threads = 0;
+  int64_t pair_a = -1;
+  int64_t pair_b = -1;
+  // First flag seen from each mode-specific group, for validation: flags
+  // the selected mode would silently ignore are errors, not no-ops.
+  std::string index_only_flag;   // --index/--fingerprints/... (index modes)
+  std::string engine_only_flag;  // --algo/--epsilon/--iters/--csv
+  std::string build_only_flag;   // --fingerprints/--walk-length
+  bool damping_set = false;
+  bool seed_set = false;
+  bool threads_set = false;
 };
+
+void RecordFlag(std::string* slot, const char* flag) {
+  if (slot->empty()) *slot = flag;
+}
 
 bool ParseAlgorithm(const std::string& name, simrank::Algorithm* out) {
   if (name == "oip") *out = simrank::Algorithm::kOip;
@@ -42,9 +76,16 @@ bool ParseAlgorithm(const std::string& name, simrank::Algorithm* out) {
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  int i = 1;
   if (argc < 2) return false;
-  options->graph_path = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  if (std::strcmp(argv[1], "build-index") == 0 ||
+      std::strcmp(argv[1], "query") == 0) {
+    options->subcommand = argv[1];
+    ++i;
+  }
+  if (i >= argc) return false;
+  options->graph_path = argv[i++];
+  for (; i < argc; ++i) {
     std::string_view arg = argv[i];
     auto value_of = [&arg](std::string_view prefix) {
       return std::string(arg.substr(prefix.size()));
@@ -56,23 +97,64 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
                           &options->engine.algorithm)) {
         return false;
       }
+      RecordFlag(&options->engine_only_flag, "--algo");
     } else if (simrank::StartsWith(arg, "--damping=")) {
       if (!simrank::ParseDouble(value_of("--damping="), &d)) return false;
       options->engine.simrank.damping = d;
+      options->damping_set = true;
     } else if (simrank::StartsWith(arg, "--epsilon=")) {
       if (!simrank::ParseDouble(value_of("--epsilon="), &d)) return false;
       options->engine.simrank.epsilon = d;
+      RecordFlag(&options->engine_only_flag, "--epsilon");
     } else if (simrank::StartsWith(arg, "--iters=")) {
       if (!simrank::ParseUint64(value_of("--iters="), &u)) return false;
       options->engine.simrank.iterations = static_cast<uint32_t>(u);
+      RecordFlag(&options->engine_only_flag, "--iters");
+    } else if (simrank::StartsWith(arg, "--seed=")) {
+      if (!simrank::ParseUint64(value_of("--seed="), &u)) return false;
+      options->engine.simrank.seed = u;
+      options->engine.mtx.svd_seed = u;
+      options->seed_set = true;
     } else if (simrank::StartsWith(arg, "--query=")) {
       if (!simrank::ParseUint64(value_of("--query="), &u)) return false;
       options->query = static_cast<int64_t>(u);
     } else if (simrank::StartsWith(arg, "--topk=")) {
       if (!simrank::ParseUint64(value_of("--topk="), &u)) return false;
       options->topk = static_cast<uint32_t>(u);
+      options->topk_set = true;
     } else if (simrank::StartsWith(arg, "--csv=")) {
       options->csv_path = value_of("--csv=");
+      RecordFlag(&options->engine_only_flag, "--csv");
+    } else if (simrank::StartsWith(arg, "--index=")) {
+      options->index_path = value_of("--index=");
+      RecordFlag(&options->index_only_flag, "--index");
+    } else if (simrank::StartsWith(arg, "--fingerprints=")) {
+      if (!simrank::ParseUint64(value_of("--fingerprints="), &u)) return false;
+      options->fingerprints = static_cast<uint32_t>(u);
+      RecordFlag(&options->index_only_flag, "--fingerprints");
+      RecordFlag(&options->build_only_flag, "--fingerprints");
+    } else if (simrank::StartsWith(arg, "--walk-length=")) {
+      if (!simrank::ParseUint64(value_of("--walk-length="), &u)) return false;
+      options->walk_length = static_cast<uint32_t>(u);
+      RecordFlag(&options->index_only_flag, "--walk-length");
+      RecordFlag(&options->build_only_flag, "--walk-length");
+    } else if (simrank::StartsWith(arg, "--threads=")) {
+      if (!simrank::ParseUint64(value_of("--threads="), &u)) return false;
+      options->threads = static_cast<uint32_t>(u);
+      options->threads_set = true;
+      RecordFlag(&options->index_only_flag, "--threads");
+    } else if (simrank::StartsWith(arg, "--pair=")) {
+      const std::string value = value_of("--pair=");
+      const size_t comma = value.find(',');
+      uint64_t a = 0, b = 0;
+      if (comma == std::string::npos ||
+          !simrank::ParseUint64(value.substr(0, comma), &a) ||
+          !simrank::ParseUint64(value.substr(comma + 1), &b)) {
+        return false;
+      }
+      options->pair_a = static_cast<int64_t>(a);
+      options->pair_b = static_cast<int64_t>(b);
+      RecordFlag(&options->index_only_flag, "--pair");
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -81,27 +163,190 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   return true;
 }
 
-int RealMain(int argc, char** argv) {
-  CliOptions options;
-  if (!ParseArgs(argc, argv, &options)) {
-    std::fprintf(stderr,
-                 "usage: %s GRAPH.txt [--algo=oip|oip-dsr|psum|naive|matrix|"
-                 "mtx]\n"
-                 "       [--damping=C] [--epsilon=EPS] [--iters=K]\n"
-                 "       [--query=V --topk=K] [--csv=OUT.csv]\n",
-                 argv[0]);
-    return 2;
-  }
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s GRAPH.txt [--algo=oip|oip-dsr|psum|naive|matrix|mtx]\n"
+      "       [--damping=C] [--epsilon=EPS] [--iters=K] [--seed=S]\n"
+      "       [--query=V --topk=K] [--csv=OUT.csv]\n"
+      "   or: %s build-index GRAPH.txt --index=PATH\n"
+      "       [--fingerprints=N] [--walk-length=L] [--damping=C]\n"
+      "       [--seed=S] [--threads=T]\n"
+      "   or: %s query GRAPH.txt --index=PATH\n"
+      "       (--query=V [--topk=K] | --pair=A,B)\n",
+      argv0, argv0, argv0);
+}
 
-  auto graph = simrank::ReadEdgeList(options.graph_path);
-  if (!graph.ok()) {
+/// Validates flag combinations that ParseArgs alone cannot check.
+simrank::Status ValidateOptions(const CliOptions& options) {
+  using simrank::Status;
+  if (options.subcommand.empty()) {
+    if (options.topk_set && options.query < 0) {
+      return Status::InvalidArgument(
+          "--topk requires --query: without a query vertex there is no "
+          "ranking to truncate");
+    }
+    // Build-time knobs first, so their message names the one subcommand
+    // that actually accepts them.
+    if (options.threads_set || !options.build_only_flag.empty()) {
+      const std::string flag =
+          options.threads_set ? "--threads" : options.build_only_flag;
+      return Status::InvalidArgument(
+          flag + " is only meaningful with the build-index subcommand");
+    }
+    if (!options.index_only_flag.empty()) {
+      return Status::InvalidArgument(
+          options.index_only_flag +
+          " is only meaningful with the build-index/query subcommands");
+    }
+    return Status::OK();
+  }
+  if (options.index_path.empty()) {
+    return Status::InvalidArgument("the " + options.subcommand +
+                                   " subcommand requires --index=PATH");
+  }
+  if (!options.engine_only_flag.empty()) {
+    return Status::InvalidArgument(
+        options.engine_only_flag + " configures the all-pairs engines and "
+        "is ignored by the " + options.subcommand + " subcommand");
+  }
+  if (options.subcommand == "build-index") {
+    if (options.query >= 0 || options.topk_set || options.pair_a >= 0) {
+      return Status::InvalidArgument(
+          "--query/--topk/--pair belong to the query subcommand, not "
+          "build-index");
+    }
+  }
+  if (options.subcommand == "query") {
+    if (!options.build_only_flag.empty()) {
+      return Status::InvalidArgument(
+          options.build_only_flag +
+          " is a build-index flag; the served values are baked into the "
+          "index file");
+    }
+    if (options.damping_set || options.seed_set) {
+      return Status::InvalidArgument(
+          "--damping/--seed are baked into the index at build time and "
+          "cannot be changed at query time");
+    }
+    if (options.threads_set) {
+      return Status::InvalidArgument(
+          "--threads only affects index construction; a single query is "
+          "served on the calling thread");
+    }
+    const bool has_query = options.query >= 0;
+    const bool has_pair = options.pair_a >= 0;
+    if (has_query == has_pair) {
+      return Status::InvalidArgument(
+          "query needs exactly one of --query=V or --pair=A,B");
+    }
+    if (options.topk_set && !has_query) {
+      return Status::InvalidArgument("--topk requires --query");
+    }
+  }
+  return Status::OK();
+}
+
+simrank::Result<simrank::DiGraph> LoadGraph(const std::string& path) {
+  auto graph = simrank::ReadEdgeList(path);
+  if (graph.ok()) {
+    std::fprintf(stderr,
+                 "graph: %u vertices, %llu edges, avg in-degree %.2f\n",
+                 graph->n(), static_cast<unsigned long long>(graph->m()),
+                 graph->AverageInDegree());
+  } else {
     std::fprintf(stderr, "cannot load graph: %s\n",
                  graph.status().ToString().c_str());
+  }
+  return graph;
+}
+
+int RunBuildIndex(const CliOptions& options) {
+  auto graph = LoadGraph(options.graph_path);
+  if (!graph.ok()) return 1;
+  // Damping and seed flow through the shared SimRank model options.
+  simrank::WalkIndexOptions index_options =
+      simrank::WalkIndexOptions::FromSimRank(options.engine.simrank);
+  index_options.num_fingerprints = options.fingerprints;
+  index_options.walk_length = options.walk_length;
+  index_options.num_threads = options.threads;
+  simrank::WallTimer timer;
+  timer.Start();
+  auto index = simrank::WalkIndex::Build(*graph, index_options);
+  timer.Stop();
+  if (!index.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 index.status().ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "graph: %u vertices, %llu edges, avg in-degree %.2f\n",
-               graph->n(), static_cast<unsigned long long>(graph->m()),
-               graph->AverageInDegree());
+  auto status = index->Save(options.index_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "index save failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "built index: %u fingerprints x %u steps, %.1f MiB, "
+               "%s build, wrote %s\n",
+               index_options.num_fingerprints, index_options.walk_length,
+               static_cast<double>(index->SizeBytes()) / (1024.0 * 1024.0),
+               simrank::FormatDuration(timer.ElapsedSeconds()).c_str(),
+               options.index_path.c_str());
+  return 0;
+}
+
+int RunQuery(const CliOptions& options) {
+  auto graph = LoadGraph(options.graph_path);
+  if (!graph.ok()) return 1;
+  auto index = simrank::WalkIndex::Load(options.index_path);
+  if (!index.ok()) {
+    std::fprintf(stderr, "cannot load index: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  auto valid = index->ValidateGraph(*graph);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "index does not match graph: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  // One query per invocation: no batch fan-out, so a single-worker pool.
+  simrank::QueryEngineOptions engine_options;
+  engine_options.num_threads = 1;
+  simrank::QueryEngine engine(*index, engine_options);
+
+  if (options.pair_a >= 0) {
+    auto score = engine.Pair(static_cast<simrank::VertexId>(options.pair_a),
+                             static_cast<simrank::VertexId>(options.pair_b));
+    if (!score.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   score.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("s(%lld, %lld) = %.6f\n",
+                static_cast<long long>(options.pair_a),
+                static_cast<long long>(options.pair_b), *score);
+    return 0;
+  }
+
+  auto top = engine.TopK(static_cast<simrank::VertexId>(options.query),
+                         options.topk);
+  if (!top.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 top.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# top-%u similar to %lld (walk index estimate)\n",
+              options.topk, static_cast<long long>(options.query));
+  for (const auto& sv : *top) {
+    std::printf("%u\t%.6f\n", sv.vertex, sv.score);
+  }
+  return 0;
+}
+
+int RunAllPairs(const CliOptions& options) {
+  auto graph = LoadGraph(options.graph_path);
+  if (!graph.ok()) return 1;
 
   auto run = simrank::ComputeSimRank(*graph, options.engine);
   if (!run.ok()) {
@@ -167,6 +412,22 @@ int RealMain(int argc, char** argv) {
                  csv.num_rows());
   }
   return 0;
+}
+
+int RealMain(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+  auto status = ValidateOptions(options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  if (options.subcommand == "build-index") return RunBuildIndex(options);
+  if (options.subcommand == "query") return RunQuery(options);
+  return RunAllPairs(options);
 }
 
 }  // namespace
