@@ -6,6 +6,7 @@
 #include "simrank/benchlib/datasets.h"
 #include "simrank/core/dmst.h"
 #include "simrank/core/oip.h"
+#include "simrank/core/parallel.h"
 #include "simrank/core/psum.h"
 #include "simrank/gen/generators.h"
 #include "simrank/graph/set_ops.h"
@@ -55,6 +56,23 @@ void BM_OipPropagate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * graph.n() * graph.n());
 }
 BENCHMARK(BM_OipPropagate);
+
+void BM_OipPropagateBlocked(benchmark::State& state) {
+  DiGraph graph = BenchGraph();
+  auto mst = DmstReduce(graph);
+  OIPSIM_CHECK(mst.ok());
+  PropagationExecutor executor(static_cast<uint32_t>(state.range(0)));
+  internal::OipPropagationKernel kernel(graph, *mst, executor);
+  DenseMatrix current = DenseMatrix::Identity(graph.n());
+  DenseMatrix next(graph.n(), graph.n());
+  for (auto _ : state) {
+    RunPropagation(kernel, executor, current, &next, 0.6,
+                   /*pin_diagonal=*/true, nullptr);
+    benchmark::DoNotOptimize(next.Row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.n() * graph.n());
+}
+BENCHMARK(BM_OipPropagateBlocked)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_DmstReduce(benchmark::State& state) {
   DiGraph graph = BenchGraph();

@@ -1,0 +1,104 @@
+// Parallel scaling of the block-parallel all-pairs engines.
+//
+// Runs OIP-SR and OIP-DSR on a generated web graph (n >= 2000, the
+// heavy-overlap regime of the paper's WEBG dataset) with 1/2/4/8 workers
+// and prints the speedup curve. Two invariants are asserted on every run:
+// the scores are bitwise identical to the single-threaded result (the
+// block decomposition is thread-count independent, core/parallel.h), and
+// so are the machine-independent addition counts — so the measured curve
+// is pure scheduling, not a change of algorithm.
+#include <cstdio>
+
+#include "simrank/common/string_util.h"
+#include "simrank/common/table_printer.h"
+#include "simrank/common/timer.h"
+#include "simrank/core/dmst.h"
+#include "simrank/core/engine.h"
+#include "simrank/core/parallel.h"
+#include "simrank/gen/generators.h"
+
+namespace simrank::bench {
+namespace {
+
+constexpr uint32_t kIterations = 8;
+constexpr uint32_t kThreadCounts[] = {1, 2, 4, 8};
+
+DiGraph MakeGraph() {
+  gen::WebGraphParams params;
+  params.n = 2048;
+  params.out_degree = 8;
+  params.copy_prob = 0.8;
+  params.seed = 77;
+  auto graph = gen::WebGraph(params);
+  OIPSIM_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+void Run() {
+  DiGraph graph = MakeGraph();
+  auto mst = DmstReduce(graph);
+  OIPSIM_CHECK(mst.ok());
+  const uint64_t schedule_steps = mst->schedule.size();
+  PrintSection(StrFormat(
+      "Parallel scaling: web graph n = %u, m = %llu, K = %u, "
+      "%llu schedule steps in %u blocks",
+      graph.n(), static_cast<unsigned long long>(graph.m()), kIterations,
+      static_cast<unsigned long long>(schedule_steps),
+      DefaultBlockCount(schedule_steps)));
+
+  for (Algorithm algorithm : {Algorithm::kOip, Algorithm::kOipDsr}) {
+    const AlgorithmInfo* info = FindAlgorithm(algorithm);
+    OIPSIM_CHECK(info != nullptr && info->parallel);
+    std::printf("\n%s (%s)\n", info->name, info->summary);
+    TablePrinter table(
+        {"threads", "setup", "iterate", "total", "speedup", "efficiency",
+         "adds", "bitwise"});
+
+    EngineOptions options;
+    options.algorithm = algorithm;
+    options.simrank.damping = 0.6;
+    options.simrank.iterations = kIterations;
+
+    DenseMatrix baseline;
+    double baseline_seconds = 0.0;
+    uint64_t baseline_adds = 0;
+    for (uint32_t threads : kThreadCounts) {
+      options.simrank.threads = threads;
+      auto run = ComputeSimRank(graph, options);
+      OIPSIM_CHECK(run.ok());
+      const double seconds = run->stats.seconds_total();
+      const uint64_t adds = run->stats.ops.total_adds();
+      bool bitwise = true;
+      if (threads == 1) {
+        baseline = run->scores;
+        baseline_seconds = seconds;
+        baseline_adds = adds;
+      } else {
+        bitwise = run->scores == baseline;
+        OIPSIM_CHECK(bitwise);  // the determinism contract of the refactor
+        OIPSIM_CHECK(adds == baseline_adds);
+      }
+      const double speedup = baseline_seconds / seconds;
+      table.AddRow({StrFormat("%u", threads),
+                    FormatDuration(run->stats.seconds_setup),
+                    FormatDuration(run->stats.seconds_iterate),
+                    FormatDuration(seconds), StrFormat("%.2fx", speedup),
+                    StrFormat("%.0f%%", 100.0 * speedup / threads),
+                    FormatCount(adds), bitwise ? "yes" : "NO"});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nReading: adds are constant by construction (the decomposition "
+      "never depends\non the worker count); the speedup column is the "
+      "paper-track claim. Expect ~3x+\nat 8 workers on an 8-core machine; "
+      "single-core machines show ~1x throughout.\n");
+}
+
+}  // namespace
+}  // namespace simrank::bench
+
+int main() {
+  simrank::bench::Run();
+  return 0;
+}

@@ -49,6 +49,11 @@ class OpCounter {
   void AddMultiplies(uint64_t n) { counts_.multiplies += n; }
   void AddSetOps(uint64_t n) { counts_.set_ops += n; }
 
+  /// Folds another counter's tallies into this one. Used to aggregate
+  /// per-block counters after a parallel propagation; merging in block
+  /// order keeps the totals identical for every thread count.
+  void Merge(const OpCounts& other) { counts_ += other; }
+
   const OpCounts& counts() const { return counts_; }
   void Reset() { counts_ = OpCounts{}; }
 

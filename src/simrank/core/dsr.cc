@@ -7,17 +7,22 @@
 #include "simrank/common/timer.h"
 #include "simrank/core/bounds.h"
 #include "simrank/core/oip.h"
+#include "simrank/core/parallel.h"
 #include "simrank/core/psum.h"
 
 namespace simrank {
 
 namespace {
 
-/// Runs the Eq. 15 accumulation given a T-step propagator.
-template <typename PropagateFn>
+/// Runs the Eq. 15 accumulation over the given T-step kernel. The Ŝ +=
+/// coeff·T update is row-blocked across the same executor (row-wise, so
+/// the result is independent of the split); without this the O(n²)
+/// accumulation would Amdahl-cap the parallel speedup of the propagation.
 DenseMatrix RunDifferentialIteration(uint32_t n, uint32_t iterations,
                                      double damping,
-                                     PropagateFn&& propagate) {
+                                     PropagationKernel& kernel,
+                                     PropagationExecutor& executor,
+                                     OpCounter* ops) {
   const double exp_neg_c = std::exp(-damping);
   DenseMatrix t_current = DenseMatrix::Identity(n);
   DenseMatrix t_next(n, n);
@@ -26,9 +31,14 @@ DenseMatrix RunDifferentialIteration(uint32_t n, uint32_t iterations,
 
   double coeff = exp_neg_c;  // e^{-C}·C^k/k! at k = 0
   for (uint32_t k = 0; k < iterations; ++k) {
-    propagate(t_current, &t_next);
+    RunPropagation(kernel, executor, t_current, &t_next, /*scale=*/1.0,
+                   /*pin_diagonal=*/false, ops);
     coeff *= damping / static_cast<double>(k + 1);
-    s_hat.AddScaled(t_next, coeff);
+    executor.ParallelFor(0, n, [&](uint64_t row) {
+      double* dst = s_hat.Row(static_cast<uint32_t>(row));
+      const double* src = t_next.Row(static_cast<uint32_t>(row));
+      for (uint32_t j = 0; j < n; ++j) dst[j] += coeff * src[j];
+    });
     std::swap(t_current, t_next);
   }
   return s_hat;
@@ -57,17 +67,14 @@ Result<DenseMatrix> DifferentialSimRankWithMst(const DiGraph& graph,
   WallTimer timer;
   timer.Start();
 
-  internal::OipScratch scratch;
-  internal::PrepareScratch(mst, n, &scratch);
-  TrackAlloc(&mem, internal::ScratchBytes(scratch));
+  PropagationExecutor executor(options.threads);
+  internal::OipPropagationKernel kernel(graph, mst, executor);
+  TrackAlloc(&mem, kernel.TotalScratchBytes());
   TrackAlloc(&mem, mst.MemoryBytes());
 
-  DenseMatrix result = RunDifferentialIteration(
-      n, iterations, options.damping,
-      [&](const DenseMatrix& current, DenseMatrix* next) {
-        internal::OipPropagate(mst, current, next, /*scale=*/1.0,
-                               /*pin_diagonal=*/false, &ops, &scratch);
-      });
+  DenseMatrix result = RunDifferentialIteration(n, iterations,
+                                                options.damping, kernel,
+                                                executor, &ops);
   timer.Stop();
 
   if (stats != nullptr) {
@@ -108,14 +115,13 @@ Result<DenseMatrix> DifferentialSimRank(const DiGraph& graph,
   MemoryTracker mem;
   WallTimer timer;
   timer.Start();
-  ScopedTrackedBytes partial_buf(&mem, static_cast<uint64_t>(n) * 8);
-  DenseMatrix result = RunDifferentialIteration(
-      n, iterations, options.damping,
-      [&](const DenseMatrix& current, DenseMatrix* next) {
-        internal::PsumPropagate(graph, current, next, /*scale=*/1.0,
-                                /*pin_diagonal=*/false,
-                                /*sieve_threshold=*/0.0, &ops);
-      });
+  PropagationExecutor executor(options.threads);
+  internal::PsumPropagationKernel kernel(graph, /*sieve_threshold=*/0.0,
+                                         executor);
+  ScopedTrackedBytes partial_buf(&mem, kernel.TotalScratchBytes());
+  DenseMatrix result = RunDifferentialIteration(n, iterations,
+                                                options.damping, kernel,
+                                                executor, &ops);
   timer.Stop();
   if (stats != nullptr) {
     stats->iterations = iterations;

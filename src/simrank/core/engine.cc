@@ -1,5 +1,8 @@
 #include "simrank/core/engine.h"
 
+#include <array>
+#include <utility>
+
 #include "simrank/core/dsr.h"
 #include "simrank/core/matrix_simrank.h"
 #include "simrank/core/naive.h"
@@ -8,51 +11,117 @@
 
 namespace simrank {
 
-const char* AlgorithmName(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kNaive:
-      return "naive-SR";
-    case Algorithm::kPsum:
-      return "psum-SR";
-    case Algorithm::kOip:
-      return "OIP-SR";
-    case Algorithm::kOipDsr:
-      return "OIP-DSR";
-    case Algorithm::kPsumDsr:
-      return "psum-DSR";
-    case Algorithm::kMatrix:
-      return "mtx-oracle";
-    case Algorithm::kMtx:
-      return "mtx-SR";
+namespace {
+
+Result<DenseMatrix> ComputeNaive(const DiGraph& graph,
+                                 const EngineOptions& options,
+                                 KernelStats* stats) {
+  return NaiveSimRank(graph, options.simrank, stats);
+}
+
+Result<DenseMatrix> ComputePsum(const DiGraph& graph,
+                                const EngineOptions& options,
+                                KernelStats* stats) {
+  return PsumSimRank(graph, options.simrank, stats);
+}
+
+Result<DenseMatrix> ComputeOip(const DiGraph& graph,
+                               const EngineOptions& options,
+                               KernelStats* stats) {
+  return OipSimRank(graph, options.simrank, stats);
+}
+
+Result<DenseMatrix> ComputeOipDsr(const DiGraph& graph,
+                                  const EngineOptions& options,
+                                  KernelStats* stats) {
+  return DifferentialSimRank(graph, options.simrank, DsrBackend::kOip, stats);
+}
+
+Result<DenseMatrix> ComputePsumDsr(const DiGraph& graph,
+                                   const EngineOptions& options,
+                                   KernelStats* stats) {
+  return DifferentialSimRank(graph, options.simrank, DsrBackend::kPsum,
+                             stats);
+}
+
+Result<DenseMatrix> ComputeMatrix(const DiGraph& graph,
+                                  const EngineOptions& options,
+                                  KernelStats* stats) {
+  return MatrixSimRank(graph, options.simrank, MatrixForm::kPinnedDiagonal,
+                       stats);
+}
+
+Result<DenseMatrix> ComputeMtx(const DiGraph& graph,
+                               const EngineOptions& options,
+                               KernelStats* stats) {
+  return MtxSimRank(graph, options.simrank, options.mtx, stats);
+}
+
+// In Algorithm enum order (checked by the registry tests).
+constexpr std::array<AlgorithmInfo, 7> kRegistry{{
+    {Algorithm::kNaive, "naive-SR", "naive",
+     "Jeh & Widom direct iteration, O(K*d^2*n^2)", ScoreModel::kConventional,
+     /*parallel=*/true, &ComputeNaive},
+    {Algorithm::kPsum, "psum-SR", "psum",
+     "partial sums memoisation (Lizorkin et al.)",
+     ScoreModel::kConventional, /*parallel=*/true, &ComputePsum},
+    {Algorithm::kOip, "OIP-SR", "oip",
+     "MST-shared partial sums (this paper)", ScoreModel::kConventional,
+     /*parallel=*/true, &ComputeOip},
+    {Algorithm::kOipDsr, "OIP-DSR", "oip-dsr",
+     "differential model + MST sharing (this paper)",
+     ScoreModel::kDifferential, /*parallel=*/true, &ComputeOipDsr},
+    {Algorithm::kPsumDsr, "psum-DSR", "psum-dsr",
+     "differential model + psum backend (ablation)",
+     ScoreModel::kDifferential, /*parallel=*/true, &ComputePsumDsr},
+    {Algorithm::kMatrix, "mtx-oracle", "matrix",
+     "sparse matrix-form oracle", ScoreModel::kConventional,
+     /*parallel=*/true, &ComputeMatrix},
+    {Algorithm::kMtx, "mtx-SR", "mtx",
+     "SVD low-rank baseline (Li et al.)", ScoreModel::kLowRank,
+     /*parallel=*/false, &ComputeMtx},
+}};
+
+}  // namespace
+
+std::span<const AlgorithmInfo> AlgorithmRegistry() { return kRegistry; }
+
+const AlgorithmInfo* FindAlgorithm(Algorithm algorithm) {
+  for (const AlgorithmInfo& info : kRegistry) {
+    if (info.algorithm == algorithm) return &info;
   }
-  return "?";
+  return nullptr;
+}
+
+const AlgorithmInfo* FindAlgorithmByFlag(std::string_view flag) {
+  for (const AlgorithmInfo& info : kRegistry) {
+    if (flag == info.flag) return &info;
+  }
+  return nullptr;
+}
+
+std::string AlgorithmFlagList() {
+  std::string flags;
+  for (const AlgorithmInfo& info : kRegistry) {
+    if (!flags.empty()) flags += '|';
+    flags += info.flag;
+  }
+  return flags;
+}
+
+const char* AlgorithmName(Algorithm algorithm) {
+  const AlgorithmInfo* info = FindAlgorithm(algorithm);
+  return info != nullptr ? info->name : "?";
 }
 
 Result<SimRankRun> ComputeSimRank(const DiGraph& graph,
                                   const EngineOptions& options) {
-  SimRankRun run;
-  Result<DenseMatrix> scores = [&]() -> Result<DenseMatrix> {
-    switch (options.algorithm) {
-      case Algorithm::kNaive:
-        return NaiveSimRank(graph, options.simrank, &run.stats);
-      case Algorithm::kPsum:
-        return PsumSimRank(graph, options.simrank, &run.stats);
-      case Algorithm::kOip:
-        return OipSimRank(graph, options.simrank, &run.stats);
-      case Algorithm::kOipDsr:
-        return DifferentialSimRank(graph, options.simrank, DsrBackend::kOip,
-                                   &run.stats);
-      case Algorithm::kPsumDsr:
-        return DifferentialSimRank(graph, options.simrank, DsrBackend::kPsum,
-                                   &run.stats);
-      case Algorithm::kMatrix:
-        return MatrixSimRank(graph, options.simrank,
-                             MatrixForm::kPinnedDiagonal, &run.stats);
-      case Algorithm::kMtx:
-        return MtxSimRank(graph, options.simrank, options.mtx, &run.stats);
-    }
+  const AlgorithmInfo* info = FindAlgorithm(options.algorithm);
+  if (info == nullptr) {
     return Status::InvalidArgument("unknown algorithm");
-  }();
+  }
+  SimRankRun run;
+  Result<DenseMatrix> scores = info->compute(graph, options, &run.stats);
   if (!scores.ok()) return scores.status();
   run.scores = std::move(scores).value();
   return run;

@@ -11,7 +11,9 @@
 #ifndef OIPSIM_SIMRANK_CORE_ENGINE_H_
 #define OIPSIM_SIMRANK_CORE_ENGINE_H_
 
+#include <span>
 #include <string>
+#include <string_view>
 
 #include "simrank/common/status.h"
 #include "simrank/core/kernel_stats.h"
@@ -43,6 +45,49 @@ struct EngineOptions {
   /// Only consulted for Algorithm::kMtx.
   MtxSrOptions mtx;
 };
+
+/// Which fixed point an algorithm converges to — algorithms of the same
+/// family are mutually comparable (the cross-engine consistency suite
+/// checks each against its family's oracle).
+enum class ScoreModel {
+  kConventional,  ///< Eq. (2): pinned diagonal, geometric convergence.
+  kDifferential,  ///< Eq. (13): exponential series Ŝ.
+  kLowRank,       ///< Eq. (12) power series via truncated SVD (mtx-SR).
+};
+
+/// One registry entry per Algorithm value. The registry is the single
+/// source of truth for dispatch (ComputeSimRank), display names
+/// (AlgorithmName), CLI flag parsing and bench/CLI listings.
+struct AlgorithmInfo {
+  Algorithm algorithm;
+  /// Display name ("OIP-SR").
+  const char* name;
+  /// CLI flag value ("oip", as in --algo=oip).
+  const char* flag;
+  /// One-line description for listings.
+  const char* summary;
+  ScoreModel model;
+  /// True when the engine honours SimRankOptions::threads via the
+  /// block-parallel propagation path (core/parallel.h).
+  bool parallel;
+  /// Runs the algorithm. Never null.
+  Result<DenseMatrix> (*compute)(const DiGraph& graph,
+                                 const EngineOptions& options,
+                                 KernelStats* stats);
+};
+
+/// All registered algorithms, in Algorithm enum order.
+std::span<const AlgorithmInfo> AlgorithmRegistry();
+
+/// Registry entry for `algorithm`; never null for a valid enum value.
+const AlgorithmInfo* FindAlgorithm(Algorithm algorithm);
+
+/// Registry entry whose CLI flag equals `flag`, or null.
+const AlgorithmInfo* FindAlgorithmByFlag(std::string_view flag);
+
+/// "oip|oip-dsr|psum|..." — every CLI flag in registry order, for usage
+/// strings and bench listings.
+std::string AlgorithmFlagList();
 
 /// Scores plus per-run metrics.
 struct SimRankRun {

@@ -1,13 +1,90 @@
 #include "simrank/core/matrix_simrank.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
+#include <vector>
 
 #include "simrank/common/timer.h"
 #include "simrank/core/bounds.h"
+#include "simrank/core/parallel.h"
 #include "simrank/linalg/sparse_matrix.h"
 
 namespace simrank {
+
+namespace {
+
+/// Block-parallel sparse sandwich S ↦ scale·Q·S·Qᵀ (core/parallel.h).
+/// Output rows are partitioned into contiguous ranges; row i needs only
+/// Q's row i, all of S and one n-vector of scratch for t_i = (Q·S)_i, so
+/// blocks are independent and the result is bitwise identical to the
+/// sequential two-phase product for any decomposition — each out(i,j)
+/// accumulates the same terms in the same CSR order.
+class MatrixPropagationKernel final : public PropagationKernel {
+ public:
+  MatrixPropagationKernel(const SparseMatrix& q, MatrixForm form,
+                          const PropagationExecutor& executor)
+      : q_(q), form_(form) {
+    blocks_ = PartitionBlocks(q.rows(), DefaultBlockCount(q.rows()));
+    t_rows_.resize(executor.SlotsFor(num_blocks()));
+    for (auto& t_row : t_rows_) t_row.assign(q.rows(), 0.0);
+  }
+
+  uint32_t num_blocks() const override {
+    return static_cast<uint32_t>(blocks_.size());
+  }
+
+  void PropagateBlock(uint32_t block, uint32_t slot,
+                      const DenseMatrix& current, DenseMatrix* next,
+                      double scale, bool pin_diagonal,
+                      OpCounter* /*ops*/) override {
+    const uint32_t n = q_.rows();
+    const BlockRange range = blocks_[block];
+    const auto& offsets = q_.row_offsets();
+    const auto& cols = q_.col_indices();
+    const auto& values = q_.values();
+    std::vector<double>& t_row = t_rows_[slot];
+
+    for (uint32_t i = range.begin; i < range.end; ++i) {
+      // t_i = (Q · S) row i.
+      for (uint32_t j = 0; j < n; ++j) t_row[j] = 0.0;
+      for (uint64_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+        const double a = values[k];
+        const double* s_row = current.Row(cols[k]);
+        for (uint32_t j = 0; j < n; ++j) t_row[j] += a * s_row[j];
+      }
+      // out(i, j) = scale · <t_i, Q row j>.
+      double* out_row = next->Row(i);
+      for (uint32_t j = 0; j < n; ++j) {
+        double sum = 0.0;
+        for (uint64_t k = offsets[j]; k < offsets[j + 1]; ++k) {
+          sum += values[k] * t_row[cols[k]];
+        }
+        out_row[j] = sum;
+      }
+      for (uint32_t j = 0; j < n; ++j) out_row[j] *= scale;
+      if (form_ == MatrixForm::kPinnedDiagonal) {
+        if (pin_diagonal) out_row[i] = 1.0;
+      } else {
+        out_row[i] += 1.0 - scale;
+      }
+    }
+  }
+
+  uint64_t TotalScratchBytes() const {
+    uint64_t total = 0;
+    for (const auto& t_row : t_rows_) total += t_row.size() * sizeof(double);
+    return total;
+  }
+
+ private:
+  const SparseMatrix& q_;
+  MatrixForm form_;
+  std::vector<BlockRange> blocks_;
+  std::vector<std::vector<double>> t_rows_;  // one (Q·S) row per slot
+};
+
+}  // namespace
 
 Result<DenseMatrix> MatrixSimRank(const DiGraph& graph,
                                   const SimRankOptions& options,
@@ -28,16 +105,15 @@ Result<DenseMatrix> MatrixSimRank(const DiGraph& graph,
 
   WallTimer timer;
   timer.Start();
-  DenseMatrix s = DenseMatrix::Identity(n);
+  PropagationExecutor executor(options.threads);
+  MatrixPropagationKernel kernel(q, form, executor);
+  DenseMatrix current = DenseMatrix::Identity(n);
+  DenseMatrix next(n, n);
   for (uint32_t k = 0; k < iterations; ++k) {
-    DenseMatrix next = q.SandwichDense(s);
-    next.Scale(options.damping);
-    if (form == MatrixForm::kPinnedDiagonal) {
-      for (uint32_t i = 0; i < n; ++i) next(i, i) = 1.0;
-    } else {
-      for (uint32_t i = 0; i < n; ++i) next(i, i) += 1.0 - options.damping;
-    }
-    s = std::move(next);
+    RunPropagation(kernel, executor, current, &next, options.damping,
+                   /*pin_diagonal=*/form == MatrixForm::kPinnedDiagonal,
+                   /*ops=*/nullptr);
+    std::swap(current, next);
   }
   timer.Stop();
 
@@ -45,9 +121,13 @@ Result<DenseMatrix> MatrixSimRank(const DiGraph& graph,
     stats->iterations = iterations;
     stats->seconds_setup = setup_timer.ElapsedSeconds();
     stats->seconds_iterate = timer.ElapsedSeconds();
-    stats->score_buffers = 3;  // S, Q·S, Q·S·Qᵀ
+    stats->aux_peak_bytes =
+        std::max(stats->aux_peak_bytes, kernel.TotalScratchBytes());
+    // current/next pair; the old dense Q·S intermediate is now one row of
+    // per-worker scratch.
+    stats->score_buffers = 2;
   }
-  return s;
+  return current;
 }
 
 Result<DenseMatrix> MatrixDifferentialSimRank(const DiGraph& graph,

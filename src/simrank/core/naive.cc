@@ -1,9 +1,65 @@
 #include "simrank/core/naive.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "simrank/common/timer.h"
 #include "simrank/core/bounds.h"
+#include "simrank/core/parallel.h"
 
 namespace simrank {
+
+namespace {
+
+/// Block-parallel direct iteration (Eq. 2): source vertices partitioned
+/// into contiguous ranges, no shared state at all, so any decomposition is
+/// bitwise identical to the sequential sweep.
+class NaivePropagationKernel final : public PropagationKernel {
+ public:
+  explicit NaivePropagationKernel(const DiGraph& graph) : graph_(graph) {
+    blocks_ = PartitionBlocks(graph.n(), DefaultBlockCount(graph.n()));
+  }
+
+  uint32_t num_blocks() const override {
+    return static_cast<uint32_t>(blocks_.size());
+  }
+
+  void PropagateBlock(uint32_t block, uint32_t /*slot*/,
+                      const DenseMatrix& current, DenseMatrix* next,
+                      double scale, bool pin_diagonal,
+                      OpCounter* ops) override {
+    const uint32_t n = graph_.n();
+    const BlockRange range = blocks_[block];
+    for (VertexId a = range.begin; a < range.end; ++a) {
+      double* next_row = next->Row(a);
+      std::fill(next_row, next_row + n, 0.0);
+      auto in_a = graph_.InNeighbors(a);
+      if (!in_a.empty()) {
+        for (VertexId b = 0; b < n; ++b) {
+          auto in_b = graph_.InNeighbors(b);
+          if (in_b.empty()) continue;
+          double sum = 0.0;
+          for (VertexId i : in_a) {
+            const double* row = current.Row(i);
+            for (VertexId j : in_b) sum += row[j];
+          }
+          CountPartialAdds(ops, in_a.size() * in_b.size());
+          next_row[b] = scale * sum /
+                        (static_cast<double>(in_a.size()) *
+                         static_cast<double>(in_b.size()));
+          CountMultiplies(ops, 2);
+        }
+      }
+      if (pin_diagonal) next_row[a] = 1.0;
+    }
+  }
+
+ private:
+  const DiGraph& graph_;
+  std::vector<BlockRange> blocks_;
+};
+
+}  // namespace
 
 Result<DenseMatrix> NaiveSimRank(const DiGraph& graph,
                                  const SimRankOptions& options,
@@ -21,29 +77,13 @@ Result<DenseMatrix> NaiveSimRank(const DiGraph& graph,
   WallTimer timer;
   timer.Start();
 
+  PropagationExecutor executor(options.threads);
+  NaivePropagationKernel kernel(graph);
   DenseMatrix current = DenseMatrix::Identity(n);
   DenseMatrix next(n, n);
   for (uint32_t k = 0; k < iterations; ++k) {
-    next.Fill(0.0);
-    for (VertexId a = 0; a < n; ++a) {
-      auto in_a = graph.InNeighbors(a);
-      if (in_a.empty()) continue;
-      for (VertexId b = 0; b < n; ++b) {
-        auto in_b = graph.InNeighbors(b);
-        if (in_b.empty()) continue;
-        double sum = 0.0;
-        for (VertexId i : in_a) {
-          const double* row = current.Row(i);
-          for (VertexId j : in_b) sum += row[j];
-        }
-        CountPartialAdds(&ops, in_a.size() * in_b.size());
-        next(a, b) = options.damping * sum /
-                     (static_cast<double>(in_a.size()) *
-                      static_cast<double>(in_b.size()));
-        CountMultiplies(&ops, 2);
-      }
-    }
-    for (VertexId a = 0; a < n; ++a) next(a, a) = 1.0;
+    RunPropagation(kernel, executor, current, &next, options.damping,
+                   /*pin_diagonal=*/true, &ops);
     std::swap(current, next);
   }
   timer.Stop();

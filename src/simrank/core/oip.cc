@@ -1,6 +1,7 @@
 #include "simrank/core/oip.h"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "simrank/common/memory_tracker.h"
@@ -120,6 +121,87 @@ void OipPropagate(const TransitionMst& mst, const DenseMatrix& current,
   }
 }
 
+OipPropagationKernel::OipPropagationKernel(const DiGraph& graph,
+                                           const TransitionMst& mst,
+                                           const PropagationExecutor& executor)
+    : graph_(graph), mst_(mst), n_(graph.n()) {
+  blocks_ = PartitionBlocks(mst_.schedule.size(),
+                            DefaultBlockCount(mst_.schedule.size()));
+  scratches_.resize(executor.SlotsFor(num_blocks()));
+  for (OipScratch& scratch : scratches_) {
+    PrepareScratch(mst_, n_, &scratch);
+  }
+}
+
+uint64_t OipPropagationKernel::TotalScratchBytes() const {
+  uint64_t total = 0;
+  for (const OipScratch& scratch : scratches_) total += ScratchBytes(scratch);
+  return total;
+}
+
+void OipPropagationKernel::PropagateBlock(uint32_t block, uint32_t slot,
+                                          const DenseMatrix& current,
+                                          DenseMatrix* next, double scale,
+                                          bool pin_diagonal, OpCounter* ops) {
+  OIPSIM_CHECK(next != nullptr);
+  OipScratch& scratch = scratches_[slot];
+  const uint32_t n = n_;
+  if (block == 0) {
+    // Rows of vertices with I(v) = ∅ belong to no schedule step; block 0
+    // owns their (all-zero, diagonal-pinned) housekeeping.
+    for (VertexId v : scratch.empty_in_vertices) {
+      double* dst = next->Row(v);
+      std::fill(dst, dst + n, 0.0);
+      if (pin_diagonal) (*next)(v, v) = 1.0;
+    }
+  }
+
+  const BlockRange range = blocks_[block];
+  std::vector<double>& partial = scratch.partial;
+  for (uint32_t i = range.begin; i < range.end; ++i) {
+    const ScheduleStep& step = mst_.schedule[i];
+    // A slice's first step cannot diff against the previous slice's last
+    // set (that set lives in another worker's scratch), so it is forced
+    // from scratch: the Eq. (7) cap makes the rebuild cost |I| - 1 per
+    // column — exactly psum-SR's price for the set, never more.
+    const bool from_scratch = step.from_scratch || i == range.begin;
+    if (from_scratch) {
+      std::fill(partial.begin(), partial.end(), 0.0);
+      // For a scheduled from-scratch step, `add` is already the whole set;
+      // for a forced one it is only the diff, so rebuild from the set's
+      // contents instead.
+      const auto contents = step.from_scratch
+                                ? std::span<const VertexId>(step.add)
+                                : mst_.sets.Contents(graph_, step.set);
+      for (VertexId x : contents) {
+        const double* src = current.Row(x);
+        for (uint32_t y = 0; y < n; ++y) partial[y] += src[y];
+      }
+      CountPartialAdds(ops,
+                       (contents.size() - 1) * static_cast<uint64_t>(n));
+    } else {
+      for (VertexId x : step.add) {
+        const double* src = current.Row(x);
+        for (uint32_t y = 0; y < n; ++y) partial[y] += src[y];
+      }
+      for (VertexId x : step.sub) {
+        const double* src = current.Row(x);
+        for (uint32_t y = 0; y < n; ++y) partial[y] -= src[y];
+      }
+      CountPartialAdds(
+          ops,
+          (step.add.size() + step.sub.size()) * static_cast<uint64_t>(n));
+    }
+    ComputeRowsForSource(mst_, step.set, scale, next, ops, &scratch);
+    if (pin_diagonal) {
+      // Each source set appears exactly once in the schedule, so its
+      // members' rows are final after this step; pin their diagonal here
+      // rather than in a global pass that would race across blocks.
+      for (VertexId a : mst_.sets.members[step.set]) (*next)(a, a) = 1.0;
+    }
+  }
+}
+
 }  // namespace internal
 
 Result<DenseMatrix> OipSimRankWithMst(const DiGraph& graph,
@@ -140,16 +222,16 @@ Result<DenseMatrix> OipSimRankWithMst(const DiGraph& graph,
   WallTimer timer;
   timer.Start();
 
-  internal::OipScratch scratch;
-  internal::PrepareScratch(mst, n, &scratch);
-  TrackAlloc(&mem, internal::ScratchBytes(scratch));
+  PropagationExecutor executor(options.threads);
+  internal::OipPropagationKernel kernel(graph, mst, executor);
+  TrackAlloc(&mem, kernel.TotalScratchBytes());
   TrackAlloc(&mem, mst.MemoryBytes());
 
   DenseMatrix current = DenseMatrix::Identity(n);
   DenseMatrix next(n, n);
   for (uint32_t k = 0; k < iterations; ++k) {
-    internal::OipPropagate(mst, current, &next, options.damping,
-                           /*pin_diagonal=*/true, &ops, &scratch);
+    RunPropagation(kernel, executor, current, &next, options.damping,
+                   /*pin_diagonal=*/true, &ops);
     std::swap(current, next);
   }
   timer.Stop();

@@ -16,6 +16,7 @@
 #include "simrank/core/dmst.h"
 #include "simrank/core/kernel_stats.h"
 #include "simrank/core/options.h"
+#include "simrank/core/parallel.h"
 #include "simrank/graph/digraph.h"
 #include "simrank/linalg/dense_matrix.h"
 
@@ -62,10 +63,48 @@ uint64_t ScratchBytes(const OipScratch& scratch);
 /// One propagation step with full sharing:
 ///   next(a,b) = scale / (|I(a)||I(b)|) · Σ_{j∈I(b)} Σ_{i∈I(a)} current(i,j),
 /// diagonal pinned to 1 when `pin_diagonal` (conventional model) or left as
-/// propagated (differential model's Tk).
+/// propagated (differential model's Tk). This is the single-block reference
+/// replay: its addition counts match the schedule's static cost model
+/// exactly (see tests/core/schedule_properties_test.cc).
 void OipPropagate(const TransitionMst& mst, const DenseMatrix& current,
                   DenseMatrix* next, double scale, bool pin_diagonal,
                   OpCounter* ops, OipScratch* scratch);
+
+/// Block-parallel OIP propagation (core/parallel.h). The replay schedule is
+/// partitioned into contiguous slices; each slice replays independently
+/// with its own OipScratch, its first step forced from scratch (rebuilding
+/// the slice's first partial-sum vector from the set's contents instead of
+/// diffing against the previous slice's last set). Because every source
+/// set appears exactly once in the schedule, slices write disjoint rows of
+/// `next`; block 0 additionally owns the rows of vertices with I(v) = ∅.
+/// The decomposition depends only on the schedule length, so results are
+/// bitwise identical for any worker count, and the Eq. (7) cap still
+/// bounds every forced rebuild by psum-SR's from-scratch cost.
+class OipPropagationKernel final : public PropagationKernel {
+ public:
+  /// Provisions one OipScratch per worker slot of `executor`
+  /// (executor.SlotsFor(num_blocks()), bounded by the block count).
+  OipPropagationKernel(const DiGraph& graph, const TransitionMst& mst,
+                       const PropagationExecutor& executor);
+
+  uint32_t num_blocks() const override {
+    return static_cast<uint32_t>(blocks_.size());
+  }
+  void PropagateBlock(uint32_t block, uint32_t slot,
+                      const DenseMatrix& current, DenseMatrix* next,
+                      double scale, bool pin_diagonal,
+                      OpCounter* ops) override;
+
+  /// Bytes of all per-slot scratch, for aux-memory accounting.
+  uint64_t TotalScratchBytes() const;
+
+ private:
+  const DiGraph& graph_;
+  const TransitionMst& mst_;
+  uint32_t n_;
+  std::vector<BlockRange> blocks_;
+  std::vector<OipScratch> scratches_;
+};
 
 }  // namespace internal
 }  // namespace simrank

@@ -30,6 +30,14 @@ struct SimRankOptions {
   /// solvers ignore it; mtx-SR's randomized SVD has its own svd_seed.
   uint64_t seed = 7;
 
+  /// Worker threads for the block-parallel propagation kernels (naive,
+  /// psum, OIP, the DSR backends and the matrix oracle). 0 means hardware
+  /// concurrency; the default of 1 keeps runs single-threaded. The block
+  /// decomposition never depends on this value, so scores and operation
+  /// counts are bitwise identical for every setting (see core/parallel.h);
+  /// mtx-SR's SVD pipeline ignores it.
+  uint32_t threads = 1;
+
   /// True if the options describe a valid configuration.
   bool Valid() const {
     return damping > 0.0 && damping < 1.0 &&

@@ -1,0 +1,126 @@
+#include "simrank/core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace simrank {
+
+namespace {
+
+/// Below 2x this many items per block, blocking buys nothing and the
+/// decomposition collapses to one block (bit-identical to the fully
+/// sequential kernels on small graphs).
+constexpr uint32_t kMinItemsPerBlock = 32;
+/// Cap so per-block bookkeeping (one forced from-scratch rebuild per OIP
+/// block, one OpCounter per block) stays negligible.
+constexpr uint32_t kMaxBlocks = 64;
+
+}  // namespace
+
+uint32_t DefaultBlockCount(uint64_t items) {
+  if (items < 2 * static_cast<uint64_t>(kMinItemsPerBlock)) return 1;
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(kMaxBlocks, items / kMinItemsPerBlock));
+}
+
+std::vector<BlockRange> PartitionBlocks(uint64_t items, uint32_t num_blocks) {
+  std::vector<BlockRange> blocks;
+  if (items == 0) {
+    blocks.push_back(BlockRange{0, 0});
+    return blocks;
+  }
+  const uint64_t n = std::max<uint32_t>(num_blocks, 1);
+  const uint64_t count = std::min<uint64_t>(n, items);
+  const uint64_t base = items / count;
+  const uint64_t extra = items % count;
+  blocks.reserve(count);
+  uint64_t begin = 0;
+  for (uint64_t b = 0; b < count; ++b) {
+    const uint64_t size = base + (b < extra ? 1 : 0);
+    blocks.push_back(BlockRange{static_cast<uint32_t>(begin),
+                                static_cast<uint32_t>(begin + size)});
+    begin += size;
+  }
+  return blocks;
+}
+
+PropagationExecutor::PropagationExecutor(uint32_t num_threads)
+    : num_threads_(ThreadPool::ResolveThreadCount(
+          num_threads == 0 ? 0 : num_threads)) {
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
+}
+
+PropagationExecutor::~PropagationExecutor() = default;
+
+uint32_t PropagationExecutor::SlotsFor(uint32_t num_blocks) const {
+  return std::max<uint32_t>(1, std::min(num_threads_, num_blocks));
+}
+
+void PropagationExecutor::Run(uint32_t num_blocks, const BlockFn& fn,
+                              OpCounter* ops) {
+  if (num_blocks == 0) return;
+  const uint32_t slots = SlotsFor(num_blocks);
+  if (pool_ == nullptr || slots <= 1) {
+    // Inline execution visits blocks in index order, so counting directly
+    // into `ops` matches the parallel path's ordered merge below.
+    for (uint32_t block = 0; block < num_blocks; ++block) {
+      fn(block, 0, ops);
+    }
+    return;
+  }
+
+  std::vector<OpCounter> block_ops(ops != nullptr ? num_blocks : 0);
+  std::atomic<uint32_t> next_block{0};
+  // Per-invocation latch rather than the pool-wide Wait(), mirroring
+  // ThreadPool::ParallelFor; blocks are claimed dynamically because their
+  // costs differ (set sizes and diff lists vary), which is safe since no
+  // shared state depends on the assignment.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  uint32_t remaining = slots;
+  for (uint32_t slot = 0; slot < slots; ++slot) {
+    pool_->Submit([&, slot] {
+      for (;;) {
+        const uint32_t block =
+            next_block.fetch_add(1, std::memory_order_relaxed);
+        if (block >= num_blocks) break;
+        fn(block, slot, block_ops.empty() ? nullptr : &block_ops[block]);
+      }
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+
+  if (ops != nullptr) {
+    for (const OpCounter& counter : block_ops) ops->Merge(counter.counts());
+  }
+}
+
+void PropagationExecutor::ParallelFor(
+    uint64_t begin, uint64_t end, const std::function<void(uint64_t)>& fn) {
+  if (pool_ == nullptr) {
+    for (uint64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  pool_->ParallelFor(begin, end, fn);
+}
+
+void RunPropagation(PropagationKernel& kernel, PropagationExecutor& executor,
+                    const DenseMatrix& current, DenseMatrix* next,
+                    double scale, bool pin_diagonal, OpCounter* ops) {
+  executor.Run(
+      kernel.num_blocks(),
+      [&](uint32_t block, uint32_t slot, OpCounter* block_ops) {
+        kernel.PropagateBlock(block, slot, current, next, scale, pin_diagonal,
+                              block_ops);
+      },
+      ops);
+}
+
+}  // namespace simrank

@@ -1,0 +1,116 @@
+// Block-parallel propagation architecture for the all-pairs engines.
+//
+// Every all-pairs engine advances an n x n score matrix one propagation
+// step at a time. Each step decomposes into independent *blocks* that
+// write disjoint output rows: a contiguous slice of the DMST replay
+// schedule for OIP (every source set's rows belong to exactly one slice),
+// or a contiguous vertex range for the psum/naive/matrix kernels. The
+// block decomposition is fixed by a thread-count-INDEPENDENT policy
+// (DefaultBlockCount), and per-block OpCounters are merged in block order,
+// so both the scores and the reported operation counts are bitwise
+// identical for any number of workers — parallelism is only the assignment
+// of blocks to pool threads.
+#ifndef OIPSIM_SIMRANK_CORE_PARALLEL_H_
+#define OIPSIM_SIMRANK_CORE_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "simrank/common/op_counter.h"
+#include "simrank/common/thread_pool.h"
+#include "simrank/linalg/dense_matrix.h"
+
+namespace simrank {
+
+/// Half-open range [begin, end) of schedule steps or vertices.
+struct BlockRange {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  uint32_t size() const { return end - begin; }
+};
+
+/// Block-count policy shared by every kernel. Depends only on the number of
+/// work items — never on the thread count — so the decomposition (and hence
+/// the floating-point result) is the same whether one worker or eight
+/// execute it. Small inputs stay in a single block, matching the fully
+/// sequential kernels bit for bit.
+uint32_t DefaultBlockCount(uint64_t items);
+
+/// Splits [0, items) into `num_blocks` contiguous near-equal ranges (the
+/// first `items % num_blocks` ranges are one larger). `items` == 0 yields a
+/// single empty range so per-step housekeeping tied to block 0 still runs.
+std::vector<BlockRange> PartitionBlocks(uint64_t items, uint32_t num_blocks);
+
+/// One propagation step of an all-pairs engine, split into blocks that
+/// write disjoint rows of `next`. Implementations own any per-worker
+/// scratch, indexed by `slot` (the executor guarantees no two concurrent
+/// blocks share a slot, and that slot < the executor's SlotsFor()).
+class PropagationKernel {
+ public:
+  virtual ~PropagationKernel() = default;
+
+  /// Number of blocks in the fixed decomposition (>= 1).
+  virtual uint32_t num_blocks() const = 0;
+
+  /// Computes output block `block` of one step:
+  ///   next(a,b) = scale / (|I(a)||I(b)|) · Σ_{j∈I(b)} Σ_{i∈I(a)} current(i,j)
+  /// for the rows `a` the block owns, pinning their diagonal entries to 1
+  /// when `pin_diagonal` (conventional model) or leaving them propagated
+  /// (the differential model's T_k). Must not read or write rows owned by
+  /// other blocks.
+  virtual void PropagateBlock(uint32_t block, uint32_t slot,
+                              const DenseMatrix& current, DenseMatrix* next,
+                              double scale, bool pin_diagonal,
+                              OpCounter* ops) = 0;
+};
+
+/// Runs blocks across a private worker pool. One executor is created per
+/// SimRank run and reused by every iteration, so pool start-up is paid
+/// once. `num_threads` == 0 means hardware concurrency; 1 runs inline with
+/// no pool at all.
+class PropagationExecutor {
+ public:
+  explicit PropagationExecutor(uint32_t num_threads = 1);
+  ~PropagationExecutor();
+
+  PropagationExecutor(const PropagationExecutor&) = delete;
+  PropagationExecutor& operator=(const PropagationExecutor&) = delete;
+
+  /// Resolved worker count (>= 1).
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Worker slots a kernel must provision scratch for: min(threads, blocks),
+  /// at least 1.
+  uint32_t SlotsFor(uint32_t num_blocks) const;
+
+  using BlockFn =
+      std::function<void(uint32_t block, uint32_t slot, OpCounter* ops)>;
+
+  /// Runs fn(block, slot, block_ops) for every block in [0, num_blocks).
+  /// Blocks are claimed dynamically (their costs differ), but each block's
+  /// OpCounter is private and the counters are merged into `ops` in block
+  /// order, so the aggregate is identical for every thread count. `ops` may
+  /// be null to disable counting.
+  void Run(uint32_t num_blocks, const BlockFn& fn, OpCounter* ops);
+
+  /// Runs fn(i) for i in [begin, end) across the pool (inline when
+  /// single-threaded). For element-wise work whose result is independent of
+  /// the split, e.g. row-blocked DenseMatrix updates.
+  void ParallelFor(uint64_t begin, uint64_t end,
+                   const std::function<void(uint64_t)>& fn);
+
+ private:
+  uint32_t num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ == 1
+};
+
+/// One full propagation step: every kernel block through the executor.
+void RunPropagation(PropagationKernel& kernel, PropagationExecutor& executor,
+                    const DenseMatrix& current, DenseMatrix* next,
+                    double scale, bool pin_diagonal, OpCounter* ops);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CORE_PARALLEL_H_

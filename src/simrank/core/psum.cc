@@ -64,6 +64,76 @@ void PsumPropagate(const DiGraph& graph, const DenseMatrix& current,
   }
 }
 
+PsumPropagationKernel::PsumPropagationKernel(
+    const DiGraph& graph, double sieve_threshold,
+    const PropagationExecutor& executor)
+    : graph_(graph), sieve_threshold_(sieve_threshold) {
+  blocks_ = PartitionBlocks(graph.n(), DefaultBlockCount(graph.n()));
+  partials_.resize(executor.SlotsFor(num_blocks()));
+  for (auto& partial : partials_) partial.assign(graph.n(), 0.0);
+}
+
+uint64_t PsumPropagationKernel::TotalScratchBytes() const {
+  uint64_t total = 0;
+  for (const auto& partial : partials_) {
+    total += partial.size() * sizeof(double);
+  }
+  return total;
+}
+
+void PsumPropagationKernel::PropagateBlock(uint32_t block, uint32_t slot,
+                                           const DenseMatrix& current,
+                                           DenseMatrix* next, double scale,
+                                           bool pin_diagonal,
+                                           OpCounter* ops) {
+  OIPSIM_CHECK(next != nullptr);
+  const uint32_t n = graph_.n();
+  const BlockRange range = blocks_[block];
+  std::vector<double>& partial = partials_[slot];
+
+  for (VertexId a = range.begin; a < range.end; ++a) {
+    auto in_a = graph_.InNeighbors(a);
+    if (in_a.empty()) {
+      // Essential-pair selection: the whole row is a-priori zero (but the
+      // diagonal may still be pinned below).
+      double* dst = next->Row(a);
+      std::fill(dst, dst + n, 0.0);
+      if (pin_diagonal) (*next)(a, a) = 1.0;
+      continue;
+    }
+    // Partial_{I(a)}(y) for all y — memoised once per source a (Eq. 4).
+    for (VertexId y = 0; y < n; ++y) partial[y] = 0.0;
+    for (VertexId i : in_a) {
+      const double* row = current.Row(i);
+      for (VertexId y = 0; y < n; ++y) partial[y] += row[y];
+    }
+    CountPartialAdds(ops, static_cast<uint64_t>(in_a.size() - 1) * n);
+
+    const double inv_deg_a = 1.0 / static_cast<double>(in_a.size());
+    double* next_row = next->Row(a);
+    for (VertexId b = 0; b < n; ++b) {
+      auto in_b = graph_.InNeighbors(b);
+      if (in_b.empty()) {
+        next_row[b] = 0.0;
+        continue;
+      }
+      // Outer sum over I(b), one partial-sum lookup per in-neighbour
+      // (Eq. 5).
+      double sum = 0.0;
+      for (VertexId j : in_b) sum += partial[j];
+      CountOuterAdds(ops, in_b.size() - 1);
+      double value =
+          scale * inv_deg_a * sum / static_cast<double>(in_b.size());
+      CountMultiplies(ops, 2);
+      if (sieve_threshold_ > 0.0 && value < sieve_threshold_ && a != b) {
+        value = 0.0;
+      }
+      next_row[b] = value;
+    }
+    if (pin_diagonal) next_row[a] = 1.0;
+  }
+}
+
 }  // namespace internal
 
 Result<DenseMatrix> PsumSimRank(const DiGraph& graph,
@@ -83,13 +153,15 @@ Result<DenseMatrix> PsumSimRank(const DiGraph& graph,
   WallTimer timer;
   timer.Start();
 
+  PropagationExecutor executor(options.threads);
+  internal::PsumPropagationKernel kernel(graph, options.sieve_threshold,
+                                         executor);
   DenseMatrix current = DenseMatrix::Identity(n);
   DenseMatrix next(n, n);
-  ScopedTrackedBytes partial_buf(&mem, static_cast<uint64_t>(n) * 8);
+  ScopedTrackedBytes partial_buf(&mem, kernel.TotalScratchBytes());
   for (uint32_t k = 0; k < iterations; ++k) {
-    internal::PsumPropagate(graph, current, &next, options.damping,
-                            /*pin_diagonal=*/true, options.sieve_threshold,
-                            &ops);
+    RunPropagation(kernel, executor, current, &next, options.damping,
+                   /*pin_diagonal=*/true, &ops);
     std::swap(current, next);
   }
   timer.Stop();

@@ -14,6 +14,7 @@
 #include "simrank/common/status.h"
 #include "simrank/core/kernel_stats.h"
 #include "simrank/core/options.h"
+#include "simrank/core/parallel.h"
 #include "simrank/graph/digraph.h"
 #include "simrank/linalg/dense_matrix.h"
 
@@ -36,6 +37,35 @@ namespace internal {
 void PsumPropagate(const DiGraph& graph, const DenseMatrix& current,
                    DenseMatrix* next, double scale, bool pin_diagonal,
                    double sieve_threshold, OpCounter* ops);
+
+/// Block-parallel psum propagation (core/parallel.h): source vertices are
+/// partitioned into contiguous ranges, each with a private partial-sum
+/// vector per worker slot. Every source's partial sums are rebuilt from
+/// scratch anyway, so any partition produces bitwise identical scores; the
+/// fixed DefaultBlockCount decomposition additionally keeps the reported
+/// operation counts invariant across thread counts.
+class PsumPropagationKernel final : public PropagationKernel {
+ public:
+  PsumPropagationKernel(const DiGraph& graph, double sieve_threshold,
+                        const PropagationExecutor& executor);
+
+  uint32_t num_blocks() const override {
+    return static_cast<uint32_t>(blocks_.size());
+  }
+  void PropagateBlock(uint32_t block, uint32_t slot,
+                      const DenseMatrix& current, DenseMatrix* next,
+                      double scale, bool pin_diagonal,
+                      OpCounter* ops) override;
+
+  /// Bytes of all per-slot partial-sum vectors.
+  uint64_t TotalScratchBytes() const;
+
+ private:
+  const DiGraph& graph_;
+  double sieve_threshold_;
+  std::vector<BlockRange> blocks_;
+  std::vector<std::vector<double>> partials_;  // one per worker slot
+};
 
 }  // namespace internal
 }  // namespace simrank

@@ -1,6 +1,7 @@
 #include "simrank/index/walk_index.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 
@@ -11,6 +12,44 @@
 #include "simrank/graph/graph_io.h"
 
 namespace simrank {
+
+WalkIndexOptions WalkIndexOptions::FromAccuracy(double eps, double delta,
+                                                const SimRankOptions& simrank) {
+  WalkIndexOptions options = FromSimRank(simrank);
+  if (!(eps > 0.0 && eps < 1.0) || !(delta > 0.0 && delta < 1.0)) {
+    // Poison the result so Build() rejects it with a clear status instead
+    // of silently serving a meaningless accuracy target.
+    options.num_fingerprints = 0;
+    return options;
+  }
+  // Inverse Hoeffding with half the error budget: R >= 2·ln(2/delta)/eps².
+  // Derived in double first: for extreme targets R can exceed uint32, and
+  // a narrowing cast would silently under-provision the index.
+  const double fingerprints =
+      std::ceil(2.0 * std::log(2.0 / delta) / (eps * eps));
+  if (fingerprints > static_cast<double>(UINT32_MAX)) {
+    options.num_fingerprints = 0;
+    return options;
+  }
+  options.num_fingerprints = static_cast<uint32_t>(fingerprints);
+  // Smallest L with truncation bias C^(L+1)/(1-C) <= eps/2; the geometric
+  // tail shrinks by C per step, so a direct scan is cheap and exact. The
+  // cap only exists for damping -> 1 pathologies; if it is hit the budget
+  // cannot be met, so the target is rejected rather than silently missed.
+  const double c = options.damping;
+  uint32_t length = 1;
+  double bias = c * c / (1.0 - c);  // L = 1
+  while (bias > eps / 2.0 && length < 10000) {
+    bias *= c;
+    ++length;
+  }
+  if (bias > eps / 2.0) {
+    options.num_fingerprints = 0;
+    return options;
+  }
+  options.walk_length = length;
+  return options;
+}
 
 namespace {
 

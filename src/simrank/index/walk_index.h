@@ -60,6 +60,23 @@ struct WalkIndexOptions {
     options.seed = simrank.seed;
     return options;
   }
+
+  /// Derives index options from a target accuracy instead of raw knobs:
+  /// with probability at least 1 - delta, each pair estimate deviates from
+  /// the exact score by at most `eps`. The error budget is split evenly —
+  /// `num_fingerprints` comes from inverting the Hoeffding bound
+  ///   P(|est - E est| >= eps/2) <= 2·exp(-2·R·(eps/2)²) <= delta
+  ///     =>  R = ⌈2·ln(2/delta)/eps²⌉,
+  /// and `walk_length` is the smallest L whose truncation bias
+  /// C^(L+1)/(1-C) is at most eps/2. Damping and seed carry over from
+  /// `simrank` exactly as in FromSimRank. Requires eps in (0, 1) and
+  /// delta in (0, 1); invalid inputs — and targets that cannot be
+  /// provisioned (R beyond uint32, or damping so close to 1 that no
+  /// reasonable L meets the bias budget) — yield options with
+  /// Valid() == false rather than an index that silently misses the
+  /// guarantee.
+  static WalkIndexOptions FromAccuracy(double eps, double delta = 0.01,
+                                       const SimRankOptions& simrank = {});
 };
 
 /// Immutable fingerprint index over one graph. Thread-safe for concurrent

@@ -1,0 +1,173 @@
+// Tests for the block-parallel propagation architecture (core/parallel.h):
+// the partitioner, the executor's deterministic OpCounter merge, and the
+// central contract — every engine's scores and operation counts are
+// bitwise identical for any thread count.
+#include "simrank/core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "simrank/core/engine.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(PartitionBlocksTest, CoversRangeContiguously) {
+  for (uint64_t items : {1ull, 5ull, 31ull, 64ull, 65ull, 1000ull}) {
+    for (uint32_t num_blocks : {1u, 2u, 3u, 7u, 64u}) {
+      auto blocks = PartitionBlocks(items, num_blocks);
+      ASSERT_FALSE(blocks.empty());
+      EXPECT_LE(blocks.size(), std::max<uint64_t>(1, num_blocks));
+      uint64_t expect_begin = 0;
+      for (const BlockRange& block : blocks) {
+        EXPECT_EQ(block.begin, expect_begin);
+        EXPECT_GT(block.end, block.begin) << "empty block";
+        expect_begin = block.end;
+      }
+      EXPECT_EQ(expect_begin, items);
+      // Near-equal: sizes differ by at most one.
+      uint32_t min_size = UINT32_MAX, max_size = 0;
+      for (const BlockRange& block : blocks) {
+        min_size = std::min(min_size, block.size());
+        max_size = std::max(max_size, block.size());
+      }
+      EXPECT_LE(max_size - min_size, 1u);
+    }
+  }
+}
+
+TEST(PartitionBlocksTest, ZeroItemsYieldsOneEmptyBlock) {
+  auto blocks = PartitionBlocks(0, 8);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].begin, 0u);
+  EXPECT_EQ(blocks[0].end, 0u);
+}
+
+TEST(DefaultBlockCountTest, PolicyIsThreadIndependentAndBounded) {
+  EXPECT_EQ(DefaultBlockCount(0), 1u);
+  EXPECT_EQ(DefaultBlockCount(63), 1u);  // small inputs stay sequential
+  EXPECT_GE(DefaultBlockCount(64), 2u);
+  EXPECT_GE(DefaultBlockCount(512), 8u);  // enough blocks to feed 8 workers
+  EXPECT_LE(DefaultBlockCount(1u << 30), 64u);  // bookkeeping cap
+}
+
+TEST(PropagationExecutorTest, RunsEveryBlockExactlyOnce) {
+  for (uint32_t threads : {1u, 2u, 5u}) {
+    PropagationExecutor executor(threads);
+    constexpr uint32_t kBlocks = 23;
+    std::vector<std::atomic<uint32_t>> visits(kBlocks);
+    executor.Run(
+        kBlocks,
+        [&](uint32_t block, uint32_t slot, OpCounter*) {
+          ASSERT_LT(slot, executor.SlotsFor(kBlocks));
+          visits[block].fetch_add(1);
+        },
+        nullptr);
+    for (uint32_t b = 0; b < kBlocks; ++b) {
+      EXPECT_EQ(visits[b].load(), 1u) << "block " << b;
+    }
+  }
+}
+
+TEST(PropagationExecutorTest, MergesOpCountersInBlockOrder) {
+  // Totals must be independent of scheduling; compare 1 vs 4 workers.
+  OpCounts reference;
+  for (uint32_t threads : {1u, 4u}) {
+    PropagationExecutor executor(threads);
+    OpCounter ops;
+    executor.Run(
+        17,
+        [](uint32_t block, uint32_t, OpCounter* block_ops) {
+          CountPartialAdds(block_ops, block + 1);
+          CountOuterAdds(block_ops, 2 * block);
+          CountMultiplies(block_ops, 3);
+        },
+        &ops);
+    if (threads == 1) {
+      reference = ops.counts();
+      EXPECT_EQ(reference.partial_sum_adds, 17u * 18u / 2u);
+    } else {
+      EXPECT_EQ(ops.counts().partial_sum_adds, reference.partial_sum_adds);
+      EXPECT_EQ(ops.counts().outer_sum_adds, reference.outer_sum_adds);
+      EXPECT_EQ(ops.counts().multiplies, reference.multiplies);
+    }
+  }
+}
+
+TEST(PropagationExecutorTest, ResolvesThreadCounts) {
+  EXPECT_EQ(PropagationExecutor(1).num_threads(), 1u);
+  EXPECT_EQ(PropagationExecutor(3).num_threads(), 3u);
+  EXPECT_GE(PropagationExecutor(0).num_threads(), 1u);  // hardware
+  EXPECT_EQ(PropagationExecutor(5).SlotsFor(2), 2u);
+  EXPECT_EQ(PropagationExecutor(2).SlotsFor(9), 2u);
+  EXPECT_EQ(PropagationExecutor(2).SlotsFor(0), 1u);
+}
+
+// The headline contract: for every parallel engine, any thread count
+// produces bit-for-bit the scores and operation counts of the
+// single-threaded run. The graph is large enough (n = 300, heavy
+// in-neighbour overlap) that the schedule splits into many blocks.
+class BitwiseDeterminismTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(BitwiseDeterminismTest, AnyThreadCountMatchesSingleThreaded) {
+  DiGraph graph = testing::OverlappyGraph(300, 6, 1234);
+  EngineOptions options;
+  options.algorithm = GetParam();
+  options.simrank.damping = 0.6;
+  options.simrank.iterations = 5;
+
+  options.simrank.threads = 1;
+  auto reference = ComputeSimRank(graph, options);
+  ASSERT_TRUE(reference.ok());
+
+  for (uint32_t threads : {2u, 3u, 8u}) {
+    options.simrank.threads = threads;
+    auto run = ComputeSimRank(graph, options);
+    ASSERT_TRUE(run.ok()) << threads << " threads";
+    EXPECT_TRUE(run->scores == reference->scores)
+        << AlgorithmName(GetParam()) << " diverged at " << threads
+        << " threads";
+    EXPECT_EQ(run->stats.ops.partial_sum_adds,
+              reference->stats.ops.partial_sum_adds);
+    EXPECT_EQ(run->stats.ops.outer_sum_adds,
+              reference->stats.ops.outer_sum_adds);
+    EXPECT_EQ(run->stats.ops.multiplies, reference->stats.ops.multiplies);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParallelEngines, BitwiseDeterminismTest,
+    ::testing::Values(Algorithm::kNaive, Algorithm::kPsum, Algorithm::kOip,
+                      Algorithm::kOipDsr, Algorithm::kPsumDsr,
+                      Algorithm::kMatrix),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      std::string name = AlgorithmName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(AlgorithmRegistryTest, CoversEveryAlgorithmInEnumOrder) {
+  auto registry = AlgorithmRegistry();
+  ASSERT_EQ(registry.size(), 7u);
+  for (size_t i = 0; i < registry.size(); ++i) {
+    EXPECT_EQ(static_cast<size_t>(registry[i].algorithm), i)
+        << "registry out of enum order at " << i;
+    EXPECT_NE(registry[i].compute, nullptr);
+    EXPECT_EQ(FindAlgorithm(registry[i].algorithm), &registry[i]);
+    EXPECT_EQ(FindAlgorithmByFlag(registry[i].flag), &registry[i]);
+  }
+}
+
+TEST(AlgorithmRegistryTest, FlagsAreUniqueAndListed) {
+  const std::string flags = AlgorithmFlagList();
+  EXPECT_EQ(flags, "naive|psum|oip|oip-dsr|psum-dsr|matrix|mtx");
+  EXPECT_EQ(FindAlgorithmByFlag("no-such-algorithm"), nullptr);
+}
+
+}  // namespace
+}  // namespace simrank

@@ -28,6 +28,72 @@ std::string ReadFileBytes(const std::string& path) {
                      std::istreambuf_iterator<char>());
 }
 
+TEST(WalkIndexOptionsTest, FromAccuracyMeetsTheInverseHoeffdingBound) {
+  for (double eps : {0.2, 0.1, 0.05}) {
+    for (double delta : {0.1, 0.01, 1e-3}) {
+      WalkIndexOptions options = WalkIndexOptions::FromAccuracy(eps, delta);
+      ASSERT_TRUE(options.Valid()) << "eps=" << eps << " delta=" << delta;
+      // The derived R must make the Hoeffding failure probability for a
+      // deviation of eps/2 at most delta...
+      const double failure_prob =
+          2.0 * std::exp(-2.0 * options.num_fingerprints *
+                         (eps / 2.0) * (eps / 2.0));
+      EXPECT_LE(failure_prob, delta);
+      // ...and be minimal up to the ceiling: one fingerprint fewer breaks
+      // the bound.
+      const double failure_prob_minus_one =
+          2.0 * std::exp(-2.0 * (options.num_fingerprints - 1.0) *
+                         (eps / 2.0) * (eps / 2.0));
+      EXPECT_GT(failure_prob_minus_one, delta);
+      // The walk length must keep the truncation bias inside the other
+      // half of the budget, again minimally.
+      const double c = options.damping;
+      const double bias =
+          std::pow(c, options.walk_length + 1.0) / (1.0 - c);
+      EXPECT_LE(bias, eps / 2.0);
+      if (options.walk_length > 1) {
+        EXPECT_GT(std::pow(c, static_cast<double>(options.walk_length)) /
+                      (1.0 - c),
+                  eps / 2.0);
+      }
+    }
+  }
+}
+
+TEST(WalkIndexOptionsTest, FromAccuracyCarriesModelOptionsAndTightens) {
+  SimRankOptions simrank;
+  simrank.damping = 0.8;
+  simrank.seed = 99;
+  WalkIndexOptions options = WalkIndexOptions::FromAccuracy(0.1, 0.01,
+                                                            simrank);
+  EXPECT_DOUBLE_EQ(options.damping, 0.8);
+  EXPECT_EQ(options.seed, 99u);
+  // Smaller eps and slower-decaying damping both demand more work.
+  WalkIndexOptions tighter = WalkIndexOptions::FromAccuracy(0.05, 0.01,
+                                                            simrank);
+  EXPECT_GT(tighter.num_fingerprints, options.num_fingerprints);
+  EXPECT_GE(tighter.walk_length, options.walk_length);
+  WalkIndexOptions default_damping = WalkIndexOptions::FromAccuracy(0.1);
+  EXPECT_LT(default_damping.walk_length, options.walk_length);
+}
+
+TEST(WalkIndexOptionsTest, FromAccuracyRejectsUnusableTargets) {
+  EXPECT_FALSE(WalkIndexOptions::FromAccuracy(0.0, 0.01).Valid());
+  EXPECT_FALSE(WalkIndexOptions::FromAccuracy(1.5, 0.01).Valid());
+  EXPECT_FALSE(WalkIndexOptions::FromAccuracy(0.1, 0.0).Valid());
+  EXPECT_FALSE(WalkIndexOptions::FromAccuracy(0.1, 1.0).Valid());
+}
+
+TEST(WalkIndexOptionsTest, FromAccuracyRejectsUnprovisionableTargets) {
+  // eps small enough that R > UINT32_MAX: rejected, not silently wrapped.
+  EXPECT_FALSE(WalkIndexOptions::FromAccuracy(2e-5, 0.01).Valid());
+  // Damping so close to 1 that no capped walk length meets the eps/2
+  // truncation budget: rejected, not silently biased.
+  SimRankOptions near_one;
+  near_one.damping = 0.9999;
+  EXPECT_FALSE(WalkIndexOptions::FromAccuracy(0.05, 0.01, near_one).Valid());
+}
+
 TEST(WalkIndexTest, BuildRejectsInvalidOptions) {
   DiGraph graph = testing::PaperExampleGraph();
   WalkIndexOptions options;

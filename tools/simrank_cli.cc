@@ -1,15 +1,16 @@
 // simrank_cli — command-line SimRank over an edge-list file.
 //
-// All-pairs mode (the paper's engines):
+// All-pairs mode (the paper's engines; --algo values come from the
+// algorithm registry in core/engine.h):
 //   simrank_cli GRAPH.txt [--algo=oip|oip-dsr|psum|naive|matrix|mtx]
 //                         [--damping=0.6] [--epsilon=1e-3] [--iters=K]
-//                         [--seed=S] [--query=VERTEX --topk=K]
-//                         [--csv=OUT.csv]
+//                         [--seed=S] [--threads=T]
+//                         [--query=VERTEX --topk=K] [--csv=OUT.csv]
 //
 // Index serving mode (the walk-index subsystem):
 //   simrank_cli build-index GRAPH.txt --index=PATH
-//               [--fingerprints=256] [--walk-length=12] [--damping=0.6]
-//               [--seed=S] [--threads=T]
+//               [--fingerprints=256] [--walk-length=12] [--eps=E]
+//               [--damping=0.6] [--seed=S] [--threads=T]
 //   simrank_cli query GRAPH.txt --index=PATH
 //               (--query=V [--topk=K] | --pair=A,B)
 //
@@ -25,6 +26,7 @@
 
 #include "simrank/common/csv_writer.h"
 #include "simrank/common/string_util.h"
+#include "simrank/common/thread_pool.h"
 #include "simrank/common/timer.h"
 #include "simrank/core/engine.h"
 #include "simrank/extra/topk.h"
@@ -48,6 +50,7 @@ struct CliOptions {
   uint32_t fingerprints = 256;
   uint32_t walk_length = 12;
   uint32_t threads = 0;
+  double eps = 0.0;
   int64_t pair_a = -1;
   int64_t pair_b = -1;
   // First flag seen from each mode-specific group, for validation: flags
@@ -58,6 +61,9 @@ struct CliOptions {
   bool damping_set = false;
   bool seed_set = false;
   bool threads_set = false;
+  bool eps_set = false;
+  bool fingerprints_set = false;
+  bool walk_length_set = false;
 };
 
 void RecordFlag(std::string* slot, const char* flag) {
@@ -65,13 +71,13 @@ void RecordFlag(std::string* slot, const char* flag) {
 }
 
 bool ParseAlgorithm(const std::string& name, simrank::Algorithm* out) {
-  if (name == "oip") *out = simrank::Algorithm::kOip;
-  else if (name == "oip-dsr") *out = simrank::Algorithm::kOipDsr;
-  else if (name == "psum") *out = simrank::Algorithm::kPsum;
-  else if (name == "naive") *out = simrank::Algorithm::kNaive;
-  else if (name == "matrix") *out = simrank::Algorithm::kMatrix;
-  else if (name == "mtx") *out = simrank::Algorithm::kMtx;
-  else return false;
+  const simrank::AlgorithmInfo* info = simrank::FindAlgorithmByFlag(name);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown algorithm '%s'; available: %s\n",
+                 name.c_str(), simrank::AlgorithmFlagList().c_str());
+    return false;
+  }
+  *out = info->algorithm;
   return true;
 }
 
@@ -131,18 +137,28 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (simrank::StartsWith(arg, "--fingerprints=")) {
       if (!simrank::ParseUint64(value_of("--fingerprints="), &u)) return false;
       options->fingerprints = static_cast<uint32_t>(u);
+      options->fingerprints_set = true;
       RecordFlag(&options->index_only_flag, "--fingerprints");
       RecordFlag(&options->build_only_flag, "--fingerprints");
     } else if (simrank::StartsWith(arg, "--walk-length=")) {
       if (!simrank::ParseUint64(value_of("--walk-length="), &u)) return false;
       options->walk_length = static_cast<uint32_t>(u);
+      options->walk_length_set = true;
       RecordFlag(&options->index_only_flag, "--walk-length");
       RecordFlag(&options->build_only_flag, "--walk-length");
+    } else if (simrank::StartsWith(arg, "--eps=")) {
+      if (!simrank::ParseDouble(value_of("--eps="), &d)) return false;
+      options->eps = d;
+      options->eps_set = true;
+      RecordFlag(&options->index_only_flag, "--eps");
+      RecordFlag(&options->build_only_flag, "--eps");
     } else if (simrank::StartsWith(arg, "--threads=")) {
+      // Shared between the all-pairs engines (block-parallel propagation)
+      // and index construction; only the query subcommand rejects it.
       if (!simrank::ParseUint64(value_of("--threads="), &u)) return false;
       options->threads = static_cast<uint32_t>(u);
+      options->engine.simrank.threads = static_cast<uint32_t>(u);
       options->threads_set = true;
-      RecordFlag(&options->index_only_flag, "--threads");
     } else if (simrank::StartsWith(arg, "--pair=")) {
       const std::string value = value_of("--pair=");
       const size_t comma = value.find(',');
@@ -166,15 +182,21 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
 void PrintUsage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s GRAPH.txt [--algo=oip|oip-dsr|psum|naive|matrix|mtx]\n"
+      "usage: %s GRAPH.txt [--algo=%s]\n"
       "       [--damping=C] [--epsilon=EPS] [--iters=K] [--seed=S]\n"
-      "       [--query=V --topk=K] [--csv=OUT.csv]\n"
+      "       [--threads=T] [--query=V --topk=K] [--csv=OUT.csv]\n"
       "   or: %s build-index GRAPH.txt --index=PATH\n"
-      "       [--fingerprints=N] [--walk-length=L] [--damping=C]\n"
-      "       [--seed=S] [--threads=T]\n"
+      "       [--fingerprints=N] [--walk-length=L] [--eps=E]\n"
+      "       [--damping=C] [--seed=S] [--threads=T]\n"
       "   or: %s query GRAPH.txt --index=PATH\n"
-      "       (--query=V [--topk=K] | --pair=A,B)\n",
-      argv0, argv0, argv0);
+      "       (--query=V [--topk=K] | --pair=A,B)\n"
+      "\nalgorithms:\n",
+      argv0, simrank::AlgorithmFlagList().c_str(), argv0, argv0);
+  for (const simrank::AlgorithmInfo& info : simrank::AlgorithmRegistry()) {
+    std::fprintf(stderr, "  %-8s %-10s %s%s\n", info.flag, info.name,
+                 info.summary,
+                 info.parallel ? "" : " (single-threaded)");
+  }
 }
 
 /// Validates flag combinations that ParseArgs alone cannot check.
@@ -187,12 +209,12 @@ simrank::Status ValidateOptions(const CliOptions& options) {
           "ranking to truncate");
     }
     // Build-time knobs first, so their message names the one subcommand
-    // that actually accepts them.
-    if (options.threads_set || !options.build_only_flag.empty()) {
-      const std::string flag =
-          options.threads_set ? "--threads" : options.build_only_flag;
+    // that actually accepts them (--threads is shared with the all-pairs
+    // engines and validated no further).
+    if (!options.build_only_flag.empty()) {
       return Status::InvalidArgument(
-          flag + " is only meaningful with the build-index subcommand");
+          options.build_only_flag +
+          " is only meaningful with the build-index subcommand");
     }
     if (!options.index_only_flag.empty()) {
       return Status::InvalidArgument(
@@ -216,6 +238,12 @@ simrank::Status ValidateOptions(const CliOptions& options) {
           "--query/--topk/--pair belong to the query subcommand, not "
           "build-index");
     }
+    if (options.eps_set &&
+        (options.fingerprints_set || options.walk_length_set)) {
+      return Status::InvalidArgument(
+          "--eps derives --fingerprints and --walk-length from the accuracy "
+          "target; give either --eps or the raw knobs, not both");
+    }
   }
   if (options.subcommand == "query") {
     if (!options.build_only_flag.empty()) {
@@ -231,8 +259,8 @@ simrank::Status ValidateOptions(const CliOptions& options) {
     }
     if (options.threads_set) {
       return Status::InvalidArgument(
-          "--threads only affects index construction; a single query is "
-          "served on the calling thread");
+          "--threads configures the all-pairs engines and index "
+          "construction; a single query is served on the calling thread");
     }
     const bool has_query = options.query >= 0;
     const bool has_pair = options.pair_a >= 0;
@@ -264,11 +292,31 @@ simrank::Result<simrank::DiGraph> LoadGraph(const std::string& path) {
 int RunBuildIndex(const CliOptions& options) {
   auto graph = LoadGraph(options.graph_path);
   if (!graph.ok()) return 1;
-  // Damping and seed flow through the shared SimRank model options.
-  simrank::WalkIndexOptions index_options =
-      simrank::WalkIndexOptions::FromSimRank(options.engine.simrank);
-  index_options.num_fingerprints = options.fingerprints;
-  index_options.walk_length = options.walk_length;
+  // Damping and seed flow through the shared SimRank model options; with
+  // --eps the fingerprint count and walk length are derived from the
+  // accuracy target instead of taken as raw knobs.
+  simrank::WalkIndexOptions index_options;
+  if (options.eps_set) {
+    index_options = simrank::WalkIndexOptions::FromAccuracy(
+        options.eps, /*delta=*/0.01, options.engine.simrank);
+    if (!index_options.Valid()) {
+      std::fprintf(stderr, "--eps=%g is not a provisionable accuracy "
+                   "target (need 0 < eps < 1, and the derived fingerprint "
+                   "count and walk length must be representable)\n",
+                   options.eps);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "accuracy target eps=%g (delta=0.01): %u fingerprints, "
+                 "walk length %u\n",
+                 options.eps, index_options.num_fingerprints,
+                 index_options.walk_length);
+  } else {
+    index_options =
+        simrank::WalkIndexOptions::FromSimRank(options.engine.simrank);
+    index_options.num_fingerprints = options.fingerprints;
+    index_options.walk_length = options.walk_length;
+  }
   index_options.num_threads = options.threads;
   simrank::WallTimer timer;
   timer.Start();
@@ -356,12 +404,14 @@ int RunAllPairs(const CliOptions& options) {
   }
   std::fprintf(stderr,
                "%s: %u iterations, %.3f s (setup %.3f s), %llu additions, "
-               "%llu B intermediate\n",
+               "%llu B intermediate, %u thread(s)\n",
                simrank::AlgorithmName(options.engine.algorithm),
                run->stats.iterations, run->stats.seconds_total(),
                run->stats.seconds_setup,
                static_cast<unsigned long long>(run->stats.ops.total_adds()),
-               static_cast<unsigned long long>(run->stats.aux_peak_bytes));
+               static_cast<unsigned long long>(run->stats.aux_peak_bytes),
+               simrank::ThreadPool::ResolveThreadCount(
+                   options.engine.simrank.threads));
 
   if (options.query >= 0) {
     if (options.query >= graph->n()) {
