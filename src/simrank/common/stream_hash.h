@@ -35,6 +35,29 @@ class StreamHasher {
     for (size_t i = 0; i < count; ++i) Absorb(words[i]);
   }
 
+  /// Absorbs an arbitrary byte range: full little-endian 8-byte words, then
+  /// a zero-padded tail word, then the length (so "ab" + "c" and "abc"
+  /// digest differently). Used for byte-granular regions such as the
+  /// varint-compressed walk segments of the v2 index format.
+  void AbsorbBytes(const uint8_t* bytes, size_t count) {
+    size_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+      uint64_t word = 0;
+      for (size_t j = 0; j < 8; ++j) {
+        word |= static_cast<uint64_t>(bytes[i + j]) << (8 * j);
+      }
+      Absorb(word);
+    }
+    if (i < count) {
+      uint64_t word = 0;
+      for (size_t j = 0; i + j < count; ++j) {
+        word |= static_cast<uint64_t>(bytes[i + j]) << (8 * j);
+      }
+      Absorb(word);
+    }
+    Absorb(count);
+  }
+
   uint64_t digest() const { return h_; }
 
  private:

@@ -1,0 +1,106 @@
+// LEB128 varint and zigzag codecs for the compressed on-disk formats.
+//
+// The walk-index v2 segment encoding (index/walk_store) stores per-vertex
+// walk positions as zigzag deltas between consecutive steps, varint-packed;
+// graph_io's binary format is expected to adopt the same codec. Encoders
+// append to a byte buffer; decoders consume from a bounded [cursor, end)
+// range and reject truncation, encodings longer than the maximum byte
+// count, and values that overflow the target width, so a corrupted or
+// crafted file surfaces as a decode error instead of garbage positions.
+// Non-canonical zero-padded encodings within those limits (e.g.
+// {0x80, 0x00} for 0) do decode; consumers needing byte-canonical input
+// (walk_store's re-save determinism) get it from the encoder side, which
+// only ever emits minimal encodings.
+#ifndef OIPSIM_SIMRANK_COMMON_VARINT_H_
+#define OIPSIM_SIMRANK_COMMON_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace simrank {
+
+/// Longest LEB128 encodings of the two supported widths.
+inline constexpr size_t kMaxVarint32Bytes = 5;
+inline constexpr size_t kMaxVarint64Bytes = 10;
+
+/// Appends the LEB128 encoding of `value` (1..10 bytes) to `out`.
+inline void AppendVarint64(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+/// Appends the LEB128 encoding of `value` (1..5 bytes) to `out`.
+inline void AppendVarint32(std::vector<uint8_t>* out, uint32_t value) {
+  AppendVarint64(out, value);
+}
+
+/// Decodes one varint from [*cursor, end). On success advances *cursor past
+/// the encoding and returns true. Returns false — leaving *cursor
+/// unspecified — when the buffer ends mid-value, the encoding runs past 10
+/// bytes, or the final byte carries bits beyond the 64-bit range.
+inline bool DecodeVarint64(const uint8_t** cursor, const uint8_t* end,
+                           uint64_t* value) {
+  const uint8_t* p = *cursor;
+  uint64_t result = 0;
+  for (size_t i = 0; i < kMaxVarint64Bytes; ++i) {
+    if (p == end) return false;  // truncated mid-value
+    const uint8_t byte = *p++;
+    // Byte 10 may only contribute the single remaining bit (64 = 9·7 + 1).
+    if (i == kMaxVarint64Bytes - 1 && (byte & 0xFE) != 0) return false;
+    result |= static_cast<uint64_t>(byte & 0x7F) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      *cursor = p;
+      *value = result;
+      return true;
+    }
+  }
+  return false;  // continuation bit still set after the maximum length
+}
+
+/// 32-bit DecodeVarint64 with the tighter 5-byte / 32-bit overflow checks.
+inline bool DecodeVarint32(const uint8_t** cursor, const uint8_t* end,
+                           uint32_t* value) {
+  const uint8_t* p = *cursor;
+  uint32_t result = 0;
+  for (size_t i = 0; i < kMaxVarint32Bytes; ++i) {
+    if (p == end) return false;  // truncated mid-value
+    const uint8_t byte = *p++;
+    // Byte 5 may only contribute the low 4 bits (32 = 4·7 + 4).
+    if (i == kMaxVarint32Bytes - 1 && (byte & 0xF0) != 0) return false;
+    result |= static_cast<uint32_t>(byte & 0x7F) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      *cursor = p;
+      *value = result;
+      return true;
+    }
+  }
+  return false;  // continuation bit still set after the maximum length
+}
+
+/// Zigzag maps signed values to unsigned so small-magnitude deltas of
+/// either sign get short varints: 0,-1,1,-2,... -> 0,1,2,3,...
+inline uint64_t ZigZagEncode64(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+inline int64_t ZigZagDecode64(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+inline uint32_t ZigZagEncode32(int32_t value) {
+  return (static_cast<uint32_t>(value) << 1) ^
+         static_cast<uint32_t>(value >> 31);
+}
+
+inline int32_t ZigZagDecode32(uint32_t value) {
+  return static_cast<int32_t>(value >> 1) ^ -static_cast<int32_t>(value & 1);
+}
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_COMMON_VARINT_H_

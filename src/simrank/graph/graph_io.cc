@@ -173,4 +173,9 @@ Result<DiGraph> ReadBinary(const std::string& path) {
   return std::move(builder).Build();
 }
 
+std::string FormatFingerprint(uint64_t fingerprint) {
+  return StrFormat("%016llx",
+                   static_cast<unsigned long long>(fingerprint));
+}
+
 }  // namespace simrank

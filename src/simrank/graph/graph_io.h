@@ -41,6 +41,11 @@ Result<DiGraph> ReadBinary(const std::string& path);
 /// being served against.
 uint64_t GraphFingerprint(const DiGraph& graph);
 
+/// Canonical rendering of a structural fingerprint — 16 zero-padded hex
+/// digits — shared by mismatch diagnostics and `simrank_cli index-info` so
+/// a fingerprint printed by one tool can be grepped in another's output.
+std::string FormatFingerprint(uint64_t fingerprint);
+
 }  // namespace simrank
 
 #endif  // OIPSIM_SIMRANK_GRAPH_GRAPH_IO_H_

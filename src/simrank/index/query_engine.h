@@ -4,9 +4,12 @@
 // — Pair(a, b), SingleSource(v) and TopK(v, k) — from a prebuilt walk
 // index, with a sharded LRU cache of single-source rows in front of the
 // estimator. A cached query is an O(1) row lookup; top-k and pair queries
-// are served from the cached row when one is resident. Batch variants fan
-// the work across a thread pool (the cache is thread-safe), which is how a
-// server drains a request queue.
+// are served from the cached row when one is resident. Row misses go
+// through the index's inverted-position path (output-sensitive, bitwise
+// identical to the legacy full scan — see WalkIndex::EstimateSingleSource),
+// so the engine serves identically whether the index is fully resident or
+// mmap-backed. Batch variants fan the work across a thread pool (the cache
+// is thread-safe), which is how a server drains a request queue.
 #ifndef OIPSIM_SIMRANK_INDEX_QUERY_ENGINE_H_
 #define OIPSIM_SIMRANK_INDEX_QUERY_ENGINE_H_
 
@@ -53,7 +56,9 @@ class QueryEngine {
   /// endpoints' rows is resident, otherwise O(R·L) from the index.
   Result<double> Pair(VertexId a, VertexId b);
 
-  /// The full estimated row s(v, ·), computed on miss and cached.
+  /// The full estimated row s(v, ·), computed on miss — via the inverted
+  /// position index, touching only vertices that share a walk slot with
+  /// `v` — and cached.
   Result<Row> SingleSource(VertexId v);
 
   /// The k vertices most similar to `v` (self excluded), from the — cached

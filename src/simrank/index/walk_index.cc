@@ -2,11 +2,9 @@
 
 #include <cmath>
 #include <cstdint>
-#include <cstdio>
-#include <cstring>
+#include <utility>
 
 #include "simrank/common/coupled_hash.h"
-#include "simrank/common/stream_hash.h"
 #include "simrank/common/string_util.h"
 #include "simrank/common/thread_pool.h"
 #include "simrank/graph/graph_io.h"
@@ -39,7 +37,7 @@ WalkIndexOptions WalkIndexOptions::FromAccuracy(double eps, double delta,
   const double c = options.damping;
   uint32_t length = 1;
   double bias = c * c / (1.0 - c);  // L = 1
-  while (bias > eps / 2.0 && length < 10000) {
+  while (bias > eps / 2.0 && length < kMaxWalkLength) {
     bias *= c;
     ++length;
   }
@@ -51,87 +49,39 @@ WalkIndexOptions WalkIndexOptions::FromAccuracy(double eps, double delta,
   return options;
 }
 
-namespace {
-
-// On-disk layout (native-endian words, like graph_io's binary format —
-// index files are portable between hosts of equal endianness; version 1):
-//   uint32 magic 'WIDX'   uint32 version
-//   uint32 n              uint32 num_fingerprints
-//   uint32 walk_length    uint32 reserved (0)
-//   uint64 seed           uint64 damping (IEEE-754 bits)
-//   uint64 graph_fingerprint
-//   uint64 payload_words
-//   uint32 payload[payload_words]
-//   uint64 checksum (header fields + payload)
-constexpr uint32_t kIndexMagic = 0x58444957;  // "WIDX"
-constexpr uint32_t kIndexVersion = 1;
-/// Domain salt of the file checksum (distinct from the graph-fingerprint
-/// domain). Part of the on-disk format.
-constexpr uint64_t kChecksumSalt = 0x5349574b31584449ULL;
-
-uint64_t DampingBits(double damping) {
-  uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(damping));
-  std::memcpy(&bits, &damping, sizeof(bits));
-  return bits;
+WalkIndex WalkIndex::FromStore(std::unique_ptr<const WalkStore> store) {
+  WalkIndex index;
+  const WalkStoreMeta& meta = store->meta();
+  index.options_.num_fingerprints = meta.num_fingerprints;
+  index.options_.walk_length = meta.walk_length;
+  index.options_.damping = meta.damping;
+  index.options_.seed = meta.seed;
+  index.store_ = std::move(store);
+  index.PrecomputeDampingPowers();
+  return index;
 }
-
-double DampingFromBits(uint64_t bits) {
-  double damping = 0;
-  std::memcpy(&damping, &bits, sizeof(damping));
-  return damping;
-}
-
-uint64_t FileChecksum(uint32_t n, const WalkIndexOptions& options,
-                      uint64_t graph_fingerprint,
-                      const std::vector<uint32_t>& walks) {
-  StreamHasher hasher(kChecksumSalt);
-  hasher.Absorb(n);
-  hasher.Absorb(options.num_fingerprints);
-  hasher.Absorb(options.walk_length);
-  hasher.Absorb(options.seed);
-  hasher.Absorb(DampingBits(options.damping));
-  hasher.Absorb(graph_fingerprint);
-  hasher.AbsorbWords(walks.data(), walks.size());
-  return hasher.digest();
-}
-
-/// RAII FILE handle so every early return closes the stream.
-struct FileCloser {
-  explicit FileCloser(std::FILE* f) : file(f) {}
-  ~FileCloser() {
-    if (file != nullptr) std::fclose(file);
-  }
-  std::FILE* file;
-};
-
-}  // namespace
 
 Result<WalkIndex> WalkIndex::Build(const DiGraph& graph,
                                    const WalkIndexOptions& options) {
   if (!options.Valid()) {
-    return Status::InvalidArgument(
+    return Status::InvalidArgument(StrFormat(
         "walk index options invalid: need num_fingerprints > 0, "
-        "walk_length > 0, damping in (0, 1)");
+        "walk_length in [1, %u], damping in (0, 1)", kMaxWalkLength));
   }
-  WalkIndex index;
-  index.options_ = options;
-  index.n_ = graph.n();
-  index.graph_fingerprint_ = GraphFingerprint(graph);
-
   const uint32_t n = graph.n();
   const uint32_t L = options.walk_length;
-  index.walks_.assign(
-      static_cast<size_t>(options.num_fingerprints) * (L + 1) * n, kDeadWalk);
+  std::vector<uint32_t> walks(
+      static_cast<size_t>(options.num_fingerprints) * (L + 1) * n,
+      kDeadWalk);
 
   // One task per fingerprint: every step depends only on (seed, r, t,
   // vertex), so the filled slices are identical for any thread count.
   ThreadPool pool(options.num_threads);
-  uint32_t* walks = index.walks_.data();
+  uint32_t* data = walks.data();
   pool.ParallelFor(0, options.num_fingerprints, [&](uint64_t r) {
     const size_t base =
         static_cast<size_t>(r) * (static_cast<size_t>(L) + 1) * n;
-    uint32_t* walk = walks + base;
+    uint32_t* walk = data + base;
     for (uint32_t v = 0; v < n; ++v) walk[v] = v;
     for (uint32_t t = 1; t <= L; ++t) {
       const size_t prev = static_cast<size_t>(t - 1) * n;
@@ -147,8 +97,37 @@ Result<WalkIndex> WalkIndex::Build(const DiGraph& graph,
       }
     }
   });
-  index.PrecomputeDampingPowers();
+
+  WalkStoreMeta meta;
+  meta.n = n;
+  meta.num_fingerprints = options.num_fingerprints;
+  meta.walk_length = L;
+  meta.damping = options.damping;
+  meta.seed = options.seed;
+  meta.graph_fingerprint = GraphFingerprint(graph);
+  WalkIndex index = FromStore(std::make_unique<InMemoryWalkStore>(
+      meta, std::move(walks), options.num_threads));
+  index.options_.num_threads = options.num_threads;
   return index;
+}
+
+Result<WalkIndex> WalkIndex::Load(const std::string& path,
+                                  const LoadOptions& load) {
+  if (load.use_mmap) {
+    auto store = MmapWalkStore::Open(path);
+    if (!store.ok()) return store.status();
+    return FromStore(std::move(*store));
+  }
+  auto store = InMemoryWalkStore::Open(path);
+  if (!store.ok()) return store.status();
+  return FromStore(std::move(*store));
+}
+
+Status WalkIndex::Save(const std::string& path,
+                       const SaveOptions& save) const {
+  WalkStoreSaveOptions store_options;
+  store_options.compress = save.compress;
+  return SaveWalkStore(*store_, path, store_options);
 }
 
 void WalkIndex::PrecomputeDampingPowers() {
@@ -159,18 +138,45 @@ void WalkIndex::PrecomputeDampingPowers() {
 }
 
 double WalkIndex::EstimatePair(VertexId a, VertexId b) const {
-  OIPSIM_CHECK(a < n_ && b < n_);
+  const uint32_t n = store_->meta().n;
+  OIPSIM_CHECK(a < n && b < n);
   if (a == b) return 1.0;
+  const uint32_t R = options_.num_fingerprints;
+  const uint32_t L = options_.walk_length;
   double sum = 0.0;
-  for (uint32_t r = 0; r < options_.num_fingerprints; ++r) {
-    for (uint32_t t = 1; t <= options_.walk_length; ++t) {
-      const size_t slot = Slot(r, t);
-      const uint32_t pa = walks_[slot + a];
-      const uint32_t pb = walks_[slot + b];
-      if (pa == kDeadWalk || pb == kDeadWalk) break;  // a walk died
-      if (pa == pb) {
-        sum += damping_powers_[t];
-        break;  // first meeting only
+  if (const uint32_t* walks = store_->FlatWalks()) {
+    // Resident flat table: direct (r,t)-major indexing, v1's hot path.
+    for (uint32_t r = 0; r < R; ++r) {
+      for (uint32_t t = 1; t <= L; ++t) {
+        const size_t slot = store_->FlatSlot(r, t);
+        const uint32_t pa = walks[slot + a];
+        const uint32_t pb = walks[slot + b];
+        if (pa == kDeadWalk || pb == kDeadWalk) break;  // a walk died
+        if (pa == pb) {
+          sum += damping_powers_[t];
+          break;  // first meeting only
+        }
+      }
+    }
+  } else {
+    // Paged backend: two contiguous segment decodes, then the identical
+    // comparison over identical positions — bitwise-equal results.
+    const size_t row = static_cast<size_t>(L) + 1;
+    std::vector<uint32_t> wa(store_->WalkWords());
+    std::vector<uint32_t> wb(store_->WalkWords());
+    Status status = store_->DecodeVertex(a, wa.data());
+    if (status.ok()) status = store_->DecodeVertex(b, wb.data());
+    OIPSIM_CHECK_MSG(status.ok(), "corrupt walk segment while serving: %s",
+                     status.ToString().c_str());
+    for (uint32_t r = 0; r < R; ++r) {
+      for (uint32_t t = 1; t <= L; ++t) {
+        const uint32_t pa = wa[r * row + t];
+        const uint32_t pb = wb[r * row + t];
+        if (pa == kDeadWalk || pb == kDeadWalk) break;
+        if (pa == pb) {
+          sum += damping_powers_[t];
+          break;
+        }
       }
     }
   }
@@ -178,23 +184,53 @@ double WalkIndex::EstimatePair(VertexId a, VertexId b) const {
 }
 
 std::vector<double> WalkIndex::EstimateSingleSource(VertexId v) const {
-  OIPSIM_CHECK(v < n_);
-  std::vector<double> row(n_, 0.0);
+  const uint32_t n = store_->meta().n;
+  OIPSIM_CHECK(v < n);
+  const uint32_t R = options_.num_fingerprints;
+  const uint32_t L = options_.walk_length;
+  const size_t row = static_cast<size_t>(L) + 1;
+
+  // The query vertex's own walks: direct reads from a resident table,
+  // otherwise one contiguous segment decode.
+  const uint32_t* flat = store_->FlatWalks();
+  std::vector<uint32_t> decoded;
+  if (flat == nullptr) {
+    decoded.resize(store_->WalkWords());
+    const Status status = store_->DecodeVertex(v, decoded.data());
+    OIPSIM_CHECK_MSG(status.ok(), "corrupt walk segment while serving: %s",
+                     status.ToString().c_str());
+  }
+
+  std::vector<double> result(n, 0.0);
   // met_round[b] == r+1 marks that b's walk already met v's walk within
   // fingerprint r (first-meeting semantics) — an epoch stamp, so the array
   // is never re-cleared.
-  std::vector<uint32_t> met_round(n_, 0);
-  for (uint32_t r = 0; r < options_.num_fingerprints; ++r) {
+  std::vector<uint32_t> met_round(n, 0);
+  for (uint32_t r = 0; r < R; ++r) {
     const uint32_t round = r + 1;
     met_round[v] = round;
-    for (uint32_t t = 1; t <= options_.walk_length; ++t) {
-      const size_t slot = Slot(r, t);
-      const uint32_t pv = walks_[slot + v];
+    for (uint32_t t = 1; t <= L; ++t) {
+      const uint32_t pv = flat != nullptr
+                              ? flat[store_->FlatSlot(r, t) + v]
+                              : decoded[r * row + t];
       if (pv == kDeadWalk) break;  // v's walk died: no further meetings
       const double weight = damping_powers_[t];
-      for (uint32_t b = 0; b < n_; ++b) {
-        if (met_round[b] == round || walks_[slot + b] != pv) continue;
-        row[b] += weight;
+      // Only the vertices actually parked at pv in this slot — the
+      // output-sensitive core. Buckets are ascending by vertex id, the
+      // same per-b accumulation order as the scan, so each result entry
+      // is the identical left-to-right sum. Every id is bounds-checked
+      // before use (corruption can break the ascending invariant too, so
+      // checking only the last element would not do): an out-of-range id
+      // is payload corruption the (deliberately payload-blind) mmap open
+      // could not have seen, and it must not become an out-of-bounds
+      // write below.
+      for (const uint32_t b : store_->Bucket(r, t, pv)) {
+        OIPSIM_CHECK_MSG(b < n,
+                         "corrupt inverted index while serving: vertex id "
+                         "%u >= n=%u (run VerifyPayload on this file)",
+                         b, n);
+        if (met_round[b] == round) continue;
+        result[b] += weight;
         met_round[b] = round;
       }
     }
@@ -203,148 +239,59 @@ std::vector<double> WalkIndex::EstimateSingleSource(VertexId v) const {
   // to the corresponding EstimatePair result for any fingerprint count.
   const double fingerprints =
       static_cast<double>(options_.num_fingerprints);
-  for (double& score : row) score /= fingerprints;
-  row[v] = 1.0;
-  return row;
+  for (double& score : result) score /= fingerprints;
+  result[v] = 1.0;
+  return result;
+}
+
+std::vector<double> WalkIndex::EstimateSingleSourceScan(VertexId v) const {
+  const uint32_t n = store_->meta().n;
+  OIPSIM_CHECK(v < n);
+  const uint32_t* walks = store_->FlatWalks();
+  OIPSIM_CHECK_MSG(walks != nullptr,
+                   "EstimateSingleSourceScan needs resident walks; the %s "
+                   "backend serves single-source via the inverted index",
+                   store_->backend_name());
+  const uint32_t L = options_.walk_length;
+  std::vector<double> result(n, 0.0);
+  std::vector<uint32_t> met_round(n, 0);
+  for (uint32_t r = 0; r < options_.num_fingerprints; ++r) {
+    const uint32_t round = r + 1;
+    met_round[v] = round;
+    for (uint32_t t = 1; t <= L; ++t) {
+      const size_t slot = store_->FlatSlot(r, t);
+      const uint32_t pv = walks[slot + v];
+      if (pv == kDeadWalk) break;
+      const double weight = damping_powers_[t];
+      for (uint32_t b = 0; b < n; ++b) {
+        if (met_round[b] == round || walks[slot + b] != pv) continue;
+        result[b] += weight;
+        met_round[b] = round;
+      }
+    }
+  }
+  const double fingerprints =
+      static_cast<double>(options_.num_fingerprints);
+  for (double& score : result) score /= fingerprints;
+  result[v] = 1.0;
+  return result;
 }
 
 Status WalkIndex::ValidateGraph(const DiGraph& graph) const {
-  if (graph.n() != n_) {
+  if (graph.n() != n()) {
     return Status::InvalidArgument(
-        StrFormat("index built for %u vertices, graph has %u", n_,
+        StrFormat("index built for %u vertices, graph has %u", n(),
                   graph.n()));
   }
-  if (GraphFingerprint(graph) != graph_fingerprint_) {
-    return Status::InvalidArgument(
+  const uint64_t graph_print = GraphFingerprint(graph);
+  if (graph_print != graph_fingerprint()) {
+    return Status::InvalidArgument(StrFormat(
         "graph fingerprint mismatch: index was built from a different "
-        "graph");
+        "graph (index %s, graph %s)",
+        FormatFingerprint(graph_fingerprint()).c_str(),
+        FormatFingerprint(graph_print).c_str()));
   }
   return Status::OK();
-}
-
-Status WalkIndex::Save(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IoError("cannot open for writing: " + path);
-  FileCloser closer(f);
-
-  const uint32_t header32[6] = {kIndexMagic,
-                                kIndexVersion,
-                                n_,
-                                options_.num_fingerprints,
-                                options_.walk_length,
-                                0};
-  const uint64_t header64[4] = {options_.seed, DampingBits(options_.damping),
-                                graph_fingerprint_,
-                                static_cast<uint64_t>(walks_.size())};
-  const uint64_t checksum =
-      FileChecksum(n_, options_, graph_fingerprint_, walks_);
-  bool ok = std::fwrite(header32, sizeof(header32), 1, f) == 1 &&
-            std::fwrite(header64, sizeof(header64), 1, f) == 1;
-  if (ok && !walks_.empty()) {
-    ok = std::fwrite(walks_.data(), sizeof(uint32_t), walks_.size(), f) ==
-         walks_.size();
-  }
-  ok = ok && std::fwrite(&checksum, sizeof(checksum), 1, f) == 1;
-  ok = ok && std::fflush(f) == 0;
-  if (!ok) return Status::IoError("short write: " + path);
-  return Status::OK();
-}
-
-Result<WalkIndex> WalkIndex::Load(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IoError("cannot open: " + path);
-  FileCloser closer(f);
-
-  // Actual file size, checked against the declared payload before any
-  // allocation: a corrupt or crafted header must not trigger a multi-GiB
-  // resize (std::bad_alloc has nowhere to go in this exception-free
-  // library) when the bytes plainly are not there.
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    return Status::IoError("cannot seek: " + path);
-  }
-  const int64_t file_size = std::ftell(f);
-  if (file_size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
-    return Status::IoError("cannot seek: " + path);
-  }
-
-  uint32_t header32[6] = {};
-  uint64_t header64[4] = {};
-  if (std::fread(header32, sizeof(header32), 1, f) != 1 ||
-      std::fread(header64, sizeof(header64), 1, f) != 1) {
-    return Status::ParseError("truncated walk index header: " + path);
-  }
-  if (header32[0] != kIndexMagic) {
-    return Status::ParseError("bad magic in walk index: " + path);
-  }
-  if (header32[1] != kIndexVersion) {
-    return Status::ParseError(
-        StrFormat("unsupported walk index version %u in %s", header32[1],
-                  path.c_str()));
-  }
-
-  WalkIndex index;
-  index.n_ = header32[2];
-  index.options_.num_fingerprints = header32[3];
-  index.options_.walk_length = header32[4];
-  index.options_.seed = header64[0];
-  index.options_.damping = DampingFromBits(header64[1]);
-  index.graph_fingerprint_ = header64[2];
-  const uint64_t payload_words = header64[3];
-  if (!index.options_.Valid()) {
-    return Status::ParseError("invalid options in walk index: " + path);
-  }
-  // Overflow-checked num_fingerprints · (walk_length + 1) · n, compared
-  // against the real file size while still in 128-bit: a crafted header
-  // must neither wrap to a small (or zero) payload size nor slip past the
-  // size check into a huge allocation.
-  const auto wide_words =
-      static_cast<unsigned __int128>(index.options_.num_fingerprints) *
-      (static_cast<uint64_t>(index.options_.walk_length) + 1) * index.n_;
-  if (wide_words > static_cast<uint64_t>(file_size) / sizeof(uint32_t)) {
-    return Status::ParseError(
-        StrFormat("walk index dimensions exceed the file in %s: %lld "
-                  "bytes on disk",
-                  path.c_str(), static_cast<long long>(file_size)));
-  }
-  const auto expected_words = static_cast<uint64_t>(wide_words);
-  // No overflow: expected_words <= file_size/4 < 2^61.
-  const uint64_t expected_file_size = sizeof(header32) + sizeof(header64) +
-                                      expected_words * sizeof(uint32_t) +
-                                      sizeof(uint64_t) /* checksum */;
-  if (static_cast<uint64_t>(file_size) != expected_file_size) {
-    return Status::ParseError(
-        StrFormat("walk index file size mismatch in %s: %lld bytes on "
-                  "disk, header implies %llu",
-                  path.c_str(), static_cast<long long>(file_size),
-                  static_cast<unsigned long long>(expected_file_size)));
-  }
-  if (payload_words != expected_words) {
-    return Status::ParseError(
-        StrFormat("walk index payload size mismatch in %s: header says "
-                  "%llu words, dimensions imply %llu",
-                  path.c_str(),
-                  static_cast<unsigned long long>(payload_words),
-                  static_cast<unsigned long long>(expected_words)));
-  }
-
-  index.walks_.resize(payload_words);
-  if (payload_words > 0 &&
-      std::fread(index.walks_.data(), sizeof(uint32_t), payload_words, f) !=
-          payload_words) {
-    return Status::ParseError("truncated walk index payload: " + path);
-  }
-  uint64_t stored_checksum = 0;
-  if (std::fread(&stored_checksum, sizeof(stored_checksum), 1, f) != 1) {
-    return Status::ParseError("missing walk index checksum: " + path);
-  }
-  const uint64_t computed = FileChecksum(index.n_, index.options_,
-                                         index.graph_fingerprint_,
-                                         index.walks_);
-  if (stored_checksum != computed) {
-    return Status::ParseError("walk index checksum mismatch: " + path);
-  }
-  index.PrecomputeDampingPowers();
-  return index;
 }
 
 }  // namespace simrank

@@ -6,25 +6,35 @@
 // and more recently SLING / ProbeSim), WalkIndex precomputes, for every
 // vertex, `num_fingerprints` coupled reverse random walks of length
 // `walk_length`. A pair estimate is then E[C^τ] over the stored walks,
-// where τ is the first time the two walks meet — O(R·L) per pair and
-// O(R·L·n) per single-source row, independent of the graph's edge count.
+// where τ is the first time the two walks meet — O(R·L) per pair,
+// independent of the graph's edge count. Single-source rows are served
+// through the per-(fingerprint, step) inverted position index of the
+// storage layer: accumulation touches only the vertices whose walk
+// actually coincides with the query's at some slot (output-sensitive,
+// ProbeSim-style), yet produces bitwise-identical scores to the full
+// O(R·L·n) row scan, which remains available for verification.
 //
 // The index is built once (in parallel across a thread pool; each
 // fingerprint is seeded deterministically, so the result is bit-identical
-// for any thread count), serialized to disk in a versioned binary format,
-// and memory-mapped-style loaded for serving. The walks are coupled through
+// for any thread count) and serialized in the versioned v2 segmented
+// format of index/walk_store.h. Serving picks a storage backend per
+// deployment: fully resident (InMemoryWalkStore, fastest) or mmap-backed
+// (MmapWalkStore — open cost and resident set are O(header + directory),
+// payload pages fault in on demand). The walks are coupled through
 // simrank::CoupledWalkHash — the same function the on-the-fly Monte-Carlo
 // estimator uses — so both sample identical walk distributions.
 #ifndef OIPSIM_SIMRANK_INDEX_WALK_INDEX_H_
 #define OIPSIM_SIMRANK_INDEX_WALK_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "simrank/common/status.h"
 #include "simrank/core/options.h"
 #include "simrank/graph/digraph.h"
+#include "simrank/index/walk_store.h"
 
 namespace simrank {
 
@@ -34,7 +44,8 @@ struct WalkIndexOptions {
   /// 1/sqrt(num_fingerprints) (Hoeffding).
   uint32_t num_fingerprints = 256;
   /// Walk truncation length; meetings beyond it contribute 0, biasing each
-  /// estimate down by at most C^(walk_length+1)/(1-C).
+  /// estimate down by at most C^(walk_length+1)/(1-C). Capped at
+  /// kMaxWalkLength (a format limit; see walk_store.h).
   uint32_t walk_length = 12;
   /// SimRank damping factor C.
   double damping = 0.6;
@@ -46,8 +57,8 @@ struct WalkIndexOptions {
   uint32_t num_threads = 0;
 
   bool Valid() const {
-    return num_fingerprints > 0 && walk_length > 0 && damping > 0.0 &&
-           damping < 1.0;
+    return num_fingerprints > 0 && walk_length > 0 &&
+           walk_length <= kMaxWalkLength && damping > 0.0 && damping < 1.0;
   }
 
   /// Derives index options from the shared SimRank model options: damping
@@ -80,24 +91,55 @@ struct WalkIndexOptions {
 };
 
 /// Immutable fingerprint index over one graph. Thread-safe for concurrent
-/// reads after construction.
+/// reads after construction. Move-only (it owns its storage backend).
 class WalkIndex {
  public:
   /// Sentinel position of a walk that left a vertex with no in-neighbours.
-  static constexpr uint32_t kDeadWalk = UINT32_MAX;
+  static constexpr uint32_t kDeadWalk = WalkStore::kDeadWalk;
+
+  /// Storage backend selection for Load.
+  struct LoadOptions {
+    /// Serve straight from the file via MmapWalkStore: open reads only the
+    /// header and segment directory, the payload pages in on demand.
+    /// Payload integrity is then enforced per decode (bounds checks)
+    /// instead of a whole-file checksum at open; corruption detected
+    /// mid-serve is a fatal checked error, so pre-validate files from
+    /// untrusted storage with store().VerifyPayload() before serving.
+    /// The full-row scan path (EstimateSingleSourceScan) is unavailable.
+    /// false loads and fully verifies everything into RAM — v1's serving
+    /// behavior.
+    bool use_mmap = false;
+  };
+
+  /// v2 serialization knobs; see WalkStoreSaveOptions.
+  struct SaveOptions {
+    /// Delta+varint-compress the per-vertex walk segments.
+    bool compress = false;
+  };
 
   /// Builds the index for `graph`. Deterministic in `options.seed`
   /// regardless of `options.num_threads`.
   static Result<WalkIndex> Build(const DiGraph& graph,
                                  const WalkIndexOptions& options);
 
-  /// Reads an index previously written by Save. Validates magic, version,
-  /// declared sizes and the payload checksum.
-  static Result<WalkIndex> Load(const std::string& path);
+  /// Opens an index previously written by Save through the backend `load`
+  /// selects. Validation errors are descriptive: a v1 or unknown-version
+  /// file names the version found and the one supported, truncation names
+  /// the offset the data stops at. The overload without options uses the
+  /// fully-verifying in-memory backend.
+  static Result<WalkIndex> Load(const std::string& path,
+                                const LoadOptions& load);
+  static Result<WalkIndex> Load(const std::string& path) {
+    return Load(path, LoadOptions());
+  }
 
-  /// Writes the versioned binary format. Saving the same index twice
-  /// produces byte-identical files.
-  Status Save(const std::string& path) const;
+  /// Writes the versioned v2 binary format. Saving the same index twice
+  /// produces byte-identical files, whatever the backend. The overload
+  /// without options writes uncompressed segments.
+  Status Save(const std::string& path, const SaveOptions& save) const;
+  Status Save(const std::string& path) const {
+    return Save(path, SaveOptions());
+  }
 
   /// Verifies the index was built from `graph` (vertex count and structural
   /// fingerprint, see GraphFingerprint).
@@ -106,36 +148,54 @@ class WalkIndex {
   /// Estimate of s(a, b); exactly 1 for a == b. Both ids must be < n().
   double EstimatePair(VertexId a, VertexId b) const;
 
-  /// Estimates the full row s(v, ·) in one pass over the stored walks
-  /// (O(num_fingerprints · walk_length · n), ~R·L times cheaper than n
-  /// pair calls would be on meeting-dense graphs).
+  /// Estimates the full row s(v, ·) through the inverted position index:
+  /// per (fingerprint, step) slot, only the vertices whose walk sits at
+  /// the query walk's position are touched — O(R·L·log n + output) versus
+  /// the scan's O(R·L·n) — and the result is bitwise identical to
+  /// EstimateSingleSourceScan and to n EstimatePair calls.
   std::vector<double> EstimateSingleSource(VertexId v) const;
 
-  uint32_t n() const { return n_; }
+  /// The pre-v2 full-row scan over the flat walk table, kept as the
+  /// reference implementation the inverted path is validated against.
+  /// Requires a backend with resident walks (has_resident_walks()).
+  std::vector<double> EstimateSingleSourceScan(VertexId v) const;
+
+  /// True when the backend keeps the flat walk table in RAM (in-memory
+  /// backend; false for mmap), enabling EstimateSingleSourceScan.
+  bool has_resident_walks() const {
+    return store_->FlatWalks() != nullptr;
+  }
+
+  uint32_t n() const { return store_->meta().n; }
   const WalkIndexOptions& options() const { return options_; }
-  uint64_t graph_fingerprint() const { return graph_fingerprint_; }
-  /// In-memory payload size of the stored walks.
-  uint64_t SizeBytes() const { return walks_.size() * sizeof(uint32_t); }
+  uint64_t graph_fingerprint() const {
+    return store_->meta().graph_fingerprint;
+  }
+  /// Bytes the backing store keeps resident in RAM (flat table plus
+  /// inverted index for the in-memory backend; header/directory pages for
+  /// mmap).
+  uint64_t SizeBytes() const { return store_->ResidentBytes(); }
+
+  /// The storage backend serving this index.
+  const WalkStore& store() const { return *store_; }
 
  private:
   WalkIndex() = default;
 
-  /// Flat walk table: position after `t` steps of fingerprint `r`'s walk
-  /// started at `v` lives at walks_[(r·(L+1) + t)·n + v].
-  size_t Slot(uint32_t r, uint32_t t) const {
-    return (static_cast<size_t>(r) * (options_.walk_length + 1) + t) * n_;
-  }
+  /// Wires an opened store into a servable index (damping powers, options
+  /// mirror).
+  static WalkIndex FromStore(std::unique_ptr<const WalkStore> store);
 
   /// Fills damping_powers_ from options_. Called after Build and Load.
   void PrecomputeDampingPowers();
 
-  std::vector<uint32_t> walks_;
-  /// damping_powers_[t] = pow(damping, t); derived, not serialized. Both
+  std::unique_ptr<const WalkStore> store_;
+  /// damping_powers_[t] = pow(damping, t); derived, not serialized. All
   /// estimators read this one table so their results agree bit-for-bit.
   std::vector<double> damping_powers_;
+  /// Mirror of the store's persisted meta (num_threads keeps its default;
+  /// it is a build-time knob and not serialized).
   WalkIndexOptions options_;
-  uint32_t n_ = 0;
-  uint64_t graph_fingerprint_ = 0;
 };
 
 }  // namespace simrank

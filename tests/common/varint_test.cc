@@ -1,0 +1,165 @@
+#include "simrank/common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace simrank {
+namespace {
+
+TEST(VarintTest, RoundTrips32BitBoundaryValues) {
+  const uint32_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             2097151,
+                             2097152,
+                             268435455,
+                             268435456,
+                             std::numeric_limits<uint32_t>::max() - 1,
+                             std::numeric_limits<uint32_t>::max()};
+  for (uint32_t value : values) {
+    std::vector<uint8_t> buffer;
+    AppendVarint32(&buffer, value);
+    ASSERT_LE(buffer.size(), kMaxVarint32Bytes) << value;
+    const uint8_t* cursor = buffer.data();
+    uint32_t decoded = 0;
+    ASSERT_TRUE(DecodeVarint32(&cursor, buffer.data() + buffer.size(),
+                               &decoded))
+        << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_EQ(cursor, buffer.data() + buffer.size()) << value;
+  }
+}
+
+TEST(VarintTest, RoundTrips64BitBoundaryValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             (1ULL << 35) - 1,
+                             1ULL << 35,
+                             (1ULL << 56) - 1,
+                             1ULL << 56,
+                             (1ULL << 63),
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t value : values) {
+    std::vector<uint8_t> buffer;
+    AppendVarint64(&buffer, value);
+    ASSERT_LE(buffer.size(), kMaxVarint64Bytes) << value;
+    const uint8_t* cursor = buffer.data();
+    uint64_t decoded = 0;
+    ASSERT_TRUE(DecodeVarint64(&cursor, buffer.data() + buffer.size(),
+                               &decoded))
+        << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_EQ(cursor, buffer.data() + buffer.size()) << value;
+  }
+}
+
+TEST(VarintTest, EncodingLengthGrowsEverySevenBits) {
+  for (uint32_t bytes = 1; bytes <= 4; ++bytes) {
+    // Largest value of `bytes` bytes and smallest of `bytes + 1`.
+    const uint32_t largest = (1u << (7 * bytes)) - 1;
+    std::vector<uint8_t> buffer;
+    AppendVarint32(&buffer, largest);
+    EXPECT_EQ(buffer.size(), bytes);
+    buffer.clear();
+    AppendVarint32(&buffer, largest + 1);
+    EXPECT_EQ(buffer.size(), bytes + 1);
+  }
+}
+
+TEST(VarintTest, DecodeRejectsTruncatedBuffers) {
+  std::vector<uint8_t> buffer;
+  AppendVarint32(&buffer, 300000);  // multi-byte encoding
+  ASSERT_GT(buffer.size(), 1u);
+  for (size_t keep = 0; keep + 1 < buffer.size(); ++keep) {
+    const uint8_t* cursor = buffer.data();
+    uint32_t decoded = 0;
+    EXPECT_FALSE(DecodeVarint32(&cursor, buffer.data() + keep, &decoded))
+        << "kept " << keep << " bytes";
+  }
+  // Empty range outright.
+  const uint8_t* cursor = buffer.data();
+  uint64_t decoded64 = 0;
+  EXPECT_FALSE(DecodeVarint64(&cursor, buffer.data(), &decoded64));
+}
+
+TEST(VarintTest, DecodeRejectsOverlongAndOverflowingEncodings) {
+  // Six continuation bytes: runs past the 5-byte 32-bit maximum.
+  const std::vector<uint8_t> overlong32 = {0x80, 0x80, 0x80, 0x80,
+                                           0x80, 0x01};
+  const uint8_t* cursor = overlong32.data();
+  uint32_t decoded32 = 0;
+  EXPECT_FALSE(DecodeVarint32(
+      &cursor, overlong32.data() + overlong32.size(), &decoded32));
+
+  // Five bytes whose final byte carries bits above 2^32.
+  const std::vector<uint8_t> overflow32 = {0xFF, 0xFF, 0xFF, 0xFF, 0x1F};
+  cursor = overflow32.data();
+  EXPECT_FALSE(DecodeVarint32(
+      &cursor, overflow32.data() + overflow32.size(), &decoded32));
+
+  // Eleven-byte 64-bit encoding with the continuation bit never dropped.
+  const std::vector<uint8_t> overlong64(11, 0x80);
+  cursor = overlong64.data();
+  uint64_t decoded64 = 0;
+  EXPECT_FALSE(DecodeVarint64(
+      &cursor, overlong64.data() + overlong64.size(), &decoded64));
+
+  // Tenth byte may only carry the single remaining bit.
+  std::vector<uint8_t> overflow64(9, 0xFF);
+  overflow64.push_back(0x02);
+  cursor = overflow64.data();
+  EXPECT_FALSE(DecodeVarint64(
+      &cursor, overflow64.data() + overflow64.size(), &decoded64));
+}
+
+TEST(VarintTest, ZigZagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(ZigZagEncode32(0), 0u);
+  EXPECT_EQ(ZigZagEncode32(-1), 1u);
+  EXPECT_EQ(ZigZagEncode32(1), 2u);
+  EXPECT_EQ(ZigZagEncode32(-2), 3u);
+  EXPECT_EQ(ZigZagEncode64(0), 0u);
+  EXPECT_EQ(ZigZagEncode64(-1), 1u);
+  EXPECT_EQ(ZigZagEncode64(1), 2u);
+  const int64_t extremes64[] = {std::numeric_limits<int64_t>::min(),
+                                std::numeric_limits<int64_t>::min() + 1,
+                                -1,
+                                0,
+                                1,
+                                std::numeric_limits<int64_t>::max()};
+  for (int64_t value : extremes64) {
+    EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(value)), value);
+  }
+  const int32_t extremes32[] = {std::numeric_limits<int32_t>::min(), -1, 0,
+                                1, std::numeric_limits<int32_t>::max()};
+  for (int32_t value : extremes32) {
+    EXPECT_EQ(ZigZagDecode32(ZigZagEncode32(value)), value);
+  }
+}
+
+TEST(VarintTest, SequentialDecodeConsumesExactly) {
+  // The segment decoder reads many varints back to back; the cursor must
+  // land exactly on each boundary.
+  std::vector<uint8_t> buffer;
+  const std::vector<uint64_t> values = {5, 0, 1u << 20, 127, 128,
+                                        ZigZagEncode64(-42)};
+  for (uint64_t value : values) AppendVarint64(&buffer, value);
+  const uint8_t* cursor = buffer.data();
+  const uint8_t* end = buffer.data() + buffer.size();
+  for (uint64_t expected : values) {
+    uint64_t decoded = 0;
+    ASSERT_TRUE(DecodeVarint64(&cursor, end, &decoded));
+    EXPECT_EQ(decoded, expected);
+  }
+  EXPECT_EQ(cursor, end);
+}
+
+}  // namespace
+}  // namespace simrank

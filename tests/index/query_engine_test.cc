@@ -173,6 +173,41 @@ TEST(QueryEngineTest, OutOfRangeQueriesReturnErrors) {
   EXPECT_FALSE(batch[1].ok());
 }
 
+TEST(QueryEngineTest, MmapBackedEngineAnswersIdentically) {
+  // The engine must serve bit-identical answers whether the index is fully
+  // resident or mmap-backed (the inverted single-source path is shared;
+  // pair queries decode segments instead of reading the flat table).
+  DiGraph graph = testing::RandomGraph(30, 120, 5);
+  WalkIndex index = BuildIndex(graph, 64);
+  const std::string path = ::testing::TempDir() + "/qe_mmap.widx";
+  WalkIndex::SaveOptions save;
+  save.compress = true;
+  ASSERT_TRUE(index.Save(path, save).ok());
+  WalkIndex::LoadOptions load;
+  load.use_mmap = true;
+  auto mapped = WalkIndex::Load(path, load);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_FALSE(mapped->has_resident_walks());
+
+  QueryEngine resident_engine(index);
+  QueryEngine mapped_engine(*mapped);
+  for (VertexId v = 0; v < graph.n(); v += 3) {
+    auto expected = resident_engine.TopK(v, 5);
+    auto actual = mapped_engine.TopK(v, 5);
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    EXPECT_EQ(*actual, *expected) << "source " << v;
+  }
+  for (VertexId a = 0; a < graph.n(); a += 4) {
+    for (VertexId b = 0; b < graph.n(); b += 5) {
+      auto expected = resident_engine.Pair(a, b);
+      auto actual = mapped_engine.Pair(a, b);
+      ASSERT_TRUE(expected.ok() && actual.ok());
+      EXPECT_DOUBLE_EQ(*actual, *expected)
+          << "pair (" << a << "," << b << ")";
+    }
+  }
+}
+
 TEST(QueryEngineTest, CacheEvictsUnderPressure) {
   DiGraph graph = testing::RandomGraph(40, 160, 3);
   WalkIndex index = BuildIndex(graph, 16);

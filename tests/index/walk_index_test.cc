@@ -8,7 +8,6 @@
 #include <fstream>
 #include <string>
 
-#include "simrank/common/stream_hash.h"
 #include "simrank/core/naive.h"
 #include "simrank/extra/montecarlo.h"
 #include "simrank/graph/graph_io.h"
@@ -232,29 +231,21 @@ TEST(WalkIndexTest, LoadRejectsMissingCorruptAndTamperedFiles) {
   EXPECT_FALSE(WalkIndex::Load(flipped_path).ok());
 }
 
-TEST(WalkIndexTest, LoadRejectsOverflowingDimensions) {
-  // A header whose num_fingerprints · (walk_length+1) · n wraps to 0 in
-  // uint64 must not load as an index with a huge n over an empty payload
-  // (every later query would read out of bounds). 2^31 · 4 · 2^31 = 2^64.
-  const std::string path = TempPath("widx_overflow.widx");
+TEST(WalkIndexTest, LoadRejectsV1FilesByVersionNotChecksum) {
+  // A well-formed v1 header (the retired flat format: magic, version 1,
+  // dimensions, payload, trailing checksum). v2 readers must reject it on
+  // the version word — with a message naming both versions — before ever
+  // interpreting the v1 payload geometry. Crafted oversized dimensions on
+  // a *v2* header are covered in walk_store_test.cc.
+  const std::string path = TempPath("widx_v1.widx");
   std::FILE* f = std::fopen(path.c_str(), "wb");
   ASSERT_NE(f, nullptr);
-  const uint32_t header32[6] = {0x58444957u, 1u, 0x80000000u, 0x80000000u,
-                                3u, 0u};
+  const uint32_t header32[6] = {0x58444957u, 1u, 4u, 8u, 3u, 0u};
   const double damping = 0.6;
   uint64_t damping_bits = 0;
   std::memcpy(&damping_bits, &damping, sizeof(damping_bits));
   const uint64_t header64[4] = {7u, damping_bits, 0u, /*payload_words=*/0u};
-  // Checksum matching walk_index.cc's scheme (salt + field order), so the
-  // load is rejected by the dimension check, not the checksum.
-  StreamHasher hasher(0x5349574b31584449ULL);
-  hasher.Absorb(header32[2]);
-  hasher.Absorb(header32[3]);
-  hasher.Absorb(header32[4]);
-  hasher.Absorb(header64[0]);
-  hasher.Absorb(header64[1]);
-  hasher.Absorb(header64[2]);
-  const uint64_t checksum = hasher.digest();
+  const uint64_t checksum = 0;
   ASSERT_EQ(std::fwrite(header32, sizeof(header32), 1, f), 1u);
   ASSERT_EQ(std::fwrite(header64, sizeof(header64), 1, f), 1u);
   ASSERT_EQ(std::fwrite(&checksum, sizeof(checksum), 1, f), 1u);
@@ -262,6 +253,10 @@ TEST(WalkIndexTest, LoadRejectsOverflowingDimensions) {
   auto loaded = WalkIndex::Load(path);
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("version 1"), std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("version 2"), std::string::npos)
+      << loaded.status().ToString();
 }
 
 TEST(WalkIndexTest, SingleSourceMatchesPairQueries) {

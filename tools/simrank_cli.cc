@@ -11,8 +11,10 @@
 //   simrank_cli build-index GRAPH.txt --index=PATH
 //               [--fingerprints=256] [--walk-length=12] [--eps=E]
 //               [--damping=0.6] [--seed=S] [--threads=T]
-//   simrank_cli query GRAPH.txt --index=PATH
+//               [--format=v2] [--compress]
+//   simrank_cli query GRAPH.txt --index=PATH [--mmap]
 //               (--query=V [--topk=K] | --pair=A,B)
+//   simrank_cli index-info INDEX
 //
 // GRAPH.txt is a whitespace edge list ("src dst" per line, '#'/'%'
 // comments allowed, SNAP-style). Without --query, the all-pairs mode
@@ -26,6 +28,7 @@
 
 #include "simrank/common/csv_writer.h"
 #include "simrank/common/string_util.h"
+#include "simrank/common/table_printer.h"
 #include "simrank/common/thread_pool.h"
 #include "simrank/common/timer.h"
 #include "simrank/core/engine.h"
@@ -33,11 +36,12 @@
 #include "simrank/graph/graph_io.h"
 #include "simrank/index/query_engine.h"
 #include "simrank/index/walk_index.h"
+#include "simrank/index/walk_store.h"
 
 namespace {
 
 struct CliOptions {
-  /// "" (all-pairs), "build-index" or "query".
+  /// "" (all-pairs), "build-index", "query" or "index-info".
   std::string subcommand;
   std::string graph_path;
   simrank::EngineOptions engine;
@@ -53,17 +57,21 @@ struct CliOptions {
   double eps = 0.0;
   int64_t pair_a = -1;
   int64_t pair_b = -1;
+  bool compress = false;
+  bool use_mmap = false;
   // First flag seen from each mode-specific group, for validation: flags
   // the selected mode would silently ignore are errors, not no-ops.
   std::string index_only_flag;   // --index/--fingerprints/... (index modes)
   std::string engine_only_flag;  // --algo/--epsilon/--iters/--csv
-  std::string build_only_flag;   // --fingerprints/--walk-length
+  std::string build_only_flag;   // --fingerprints/--walk-length/--compress
+  std::string query_only_flag;   // --mmap
   bool damping_set = false;
   bool seed_set = false;
   bool threads_set = false;
   bool eps_set = false;
   bool fingerprints_set = false;
   bool walk_length_set = false;
+  bool any_flag_set = false;
 };
 
 void RecordFlag(std::string* slot, const char* flag) {
@@ -85,14 +93,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   int i = 1;
   if (argc < 2) return false;
   if (std::strcmp(argv[1], "build-index") == 0 ||
-      std::strcmp(argv[1], "query") == 0) {
+      std::strcmp(argv[1], "query") == 0 ||
+      std::strcmp(argv[1], "index-info") == 0) {
     options->subcommand = argv[1];
     ++i;
   }
   if (i >= argc) return false;
-  options->graph_path = argv[i++];
+  // index-info's positional argument is the index file itself; every
+  // other mode starts from a graph.
+  if (options->subcommand == "index-info") {
+    options->index_path = argv[i++];
+  } else {
+    options->graph_path = argv[i++];
+  }
   for (; i < argc; ++i) {
     std::string_view arg = argv[i];
+    options->any_flag_set = true;
     auto value_of = [&arg](std::string_view prefix) {
       return std::string(arg.substr(prefix.size()));
     };
@@ -152,6 +168,27 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->eps_set = true;
       RecordFlag(&options->index_only_flag, "--eps");
       RecordFlag(&options->build_only_flag, "--eps");
+    } else if (simrank::StartsWith(arg, "--format=")) {
+      // v2 is the only writable format; the flag exists so scripts can pin
+      // it and get a clear error if they ever ask for the retired v1.
+      const std::string format = value_of("--format=");
+      if (format != "v2") {
+        std::fprintf(stderr,
+                     "unknown index format '%s'; supported: v2 (v1 flat "
+                     "indexes are write-obsolete, see README)\n",
+                     format.c_str());
+        return false;
+      }
+      RecordFlag(&options->index_only_flag, "--format");
+      RecordFlag(&options->build_only_flag, "--format");
+    } else if (arg == "--compress") {
+      options->compress = true;
+      RecordFlag(&options->index_only_flag, "--compress");
+      RecordFlag(&options->build_only_flag, "--compress");
+    } else if (arg == "--mmap") {
+      options->use_mmap = true;
+      RecordFlag(&options->index_only_flag, "--mmap");
+      RecordFlag(&options->query_only_flag, "--mmap");
     } else if (simrank::StartsWith(arg, "--threads=")) {
       // Shared between the all-pairs engines (block-parallel propagation)
       // and index construction; only the query subcommand rejects it.
@@ -188,10 +225,12 @@ void PrintUsage(const char* argv0) {
       "   or: %s build-index GRAPH.txt --index=PATH\n"
       "       [--fingerprints=N] [--walk-length=L] [--eps=E]\n"
       "       [--damping=C] [--seed=S] [--threads=T]\n"
-      "   or: %s query GRAPH.txt --index=PATH\n"
+      "       [--format=v2] [--compress]\n"
+      "   or: %s query GRAPH.txt --index=PATH [--mmap]\n"
       "       (--query=V [--topk=K] | --pair=A,B)\n"
+      "   or: %s index-info INDEX\n"
       "\nalgorithms:\n",
-      argv0, simrank::AlgorithmFlagList().c_str(), argv0, argv0);
+      argv0, simrank::AlgorithmFlagList().c_str(), argv0, argv0, argv0);
   for (const simrank::AlgorithmInfo& info : simrank::AlgorithmRegistry()) {
     std::fprintf(stderr, "  %-8s %-10s %s%s\n", info.flag, info.name,
                  info.summary,
@@ -223,6 +262,16 @@ simrank::Status ValidateOptions(const CliOptions& options) {
     }
     return Status::OK();
   }
+  if (options.subcommand == "index-info") {
+    // The index file is the positional argument; every flag belongs to
+    // another mode.
+    if (options.any_flag_set) {
+      return Status::InvalidArgument(
+          "index-info takes no flags; it prints the header of the given "
+          "index file");
+    }
+    return Status::OK();
+  }
   if (options.index_path.empty()) {
     return Status::InvalidArgument("the " + options.subcommand +
                                    " subcommand requires --index=PATH");
@@ -237,6 +286,12 @@ simrank::Status ValidateOptions(const CliOptions& options) {
       return Status::InvalidArgument(
           "--query/--topk/--pair belong to the query subcommand, not "
           "build-index");
+    }
+    if (!options.query_only_flag.empty()) {
+      return Status::InvalidArgument(
+          options.query_only_flag +
+          " selects the serving backend and belongs to the query "
+          "subcommand");
     }
     if (options.eps_set &&
         (options.fingerprints_set || options.walk_length_set)) {
@@ -327,26 +382,76 @@ int RunBuildIndex(const CliOptions& options) {
                  index.status().ToString().c_str());
     return 1;
   }
-  auto status = index->Save(options.index_path);
+  simrank::WalkIndex::SaveOptions save_options;
+  save_options.compress = options.compress;
+  auto status = index->Save(options.index_path, save_options);
   if (!status.ok()) {
     std::fprintf(stderr, "index save failed: %s\n",
                  status.ToString().c_str());
     return 1;
   }
   std::fprintf(stderr,
-               "built index: %u fingerprints x %u steps, %.1f MiB, "
-               "%s build, wrote %s\n",
+               "built index: %u fingerprints x %u steps, %.1f MiB "
+               "resident, %s build, wrote %s (v2%s)\n",
                index_options.num_fingerprints, index_options.walk_length,
                static_cast<double>(index->SizeBytes()) / (1024.0 * 1024.0),
                simrank::FormatDuration(timer.ElapsedSeconds()).c_str(),
-               options.index_path.c_str());
+               options.index_path.c_str(),
+               options.compress ? ", compressed segments" : "");
+  return 0;
+}
+
+int RunIndexInfo(const CliOptions& options) {
+  auto info = simrank::ReadWalkIndexInfo(options.index_path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "cannot read index header: %s\n",
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  simrank::TablePrinter table({"field", "value"});
+  table.AddRow({"path", options.index_path});
+  table.AddRow({"format version", simrank::StrFormat("%u", info->version)});
+  table.AddRow({"segments",
+                info->compressed ? "delta+varint compressed" : "raw"});
+  table.AddRow({"vertices (= segment count)",
+                simrank::FormatCount(info->meta.n)});
+  table.AddRow({"fingerprints (R)",
+                simrank::FormatCount(info->meta.num_fingerprints)});
+  table.AddRow({"walk length (L)",
+                simrank::FormatCount(info->meta.walk_length)});
+  table.AddRow({"damping", simrank::StrFormat("%g", info->meta.damping)});
+  table.AddRow({"seed", simrank::StrFormat(
+                            "%llu", static_cast<unsigned long long>(
+                                        info->meta.seed))});
+  table.AddRow({"graph fingerprint",
+                simrank::FormatFingerprint(info->meta.graph_fingerprint)});
+  table.AddSeparator();
+  table.AddRow({"file size", simrank::FormatBytes(info->file_bytes)});
+  table.AddRow({"segment directory",
+                simrank::FormatBytes(info->directory_bytes)});
+  table.AddRow({"walk segments (on disk)",
+                simrank::FormatBytes(info->segment_bytes)});
+  table.AddRow({"inverted index (on disk)",
+                simrank::FormatBytes(info->inverted_bytes)});
+  table.AddRow({"raw walk table (decoded)",
+                simrank::FormatBytes(info->raw_walk_bytes)});
+  if (info->segment_bytes > 0) {
+    table.AddRow({"segment compression",
+                  simrank::StrFormat("%.2fx",
+                                     static_cast<double>(
+                                         info->raw_walk_bytes) /
+                                         info->segment_bytes)});
+  }
+  table.Print();
   return 0;
 }
 
 int RunQuery(const CliOptions& options) {
   auto graph = LoadGraph(options.graph_path);
   if (!graph.ok()) return 1;
-  auto index = simrank::WalkIndex::Load(options.index_path);
+  simrank::WalkIndex::LoadOptions load_options;
+  load_options.use_mmap = options.use_mmap;
+  auto index = simrank::WalkIndex::Load(options.index_path, load_options);
   if (!index.ok()) {
     std::fprintf(stderr, "cannot load index: %s\n",
                  index.status().ToString().c_str());
@@ -477,6 +582,7 @@ int RealMain(int argc, char** argv) {
   }
   if (options.subcommand == "build-index") return RunBuildIndex(options);
   if (options.subcommand == "query") return RunQuery(options);
+  if (options.subcommand == "index-info") return RunIndexInfo(options);
   return RunAllPairs(options);
 }
 
