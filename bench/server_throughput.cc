@@ -1,0 +1,250 @@
+// Serving-frontend benchmark: closed-loop loopback clients against
+// simrank_server's event loop, per-endpoint QPS and latency percentiles.
+//
+// The scenario continues bench/index_throughput's: the same 10k-vertex
+// web-style graph and walk index, but now queried over real sockets
+// through the epoll frontend instead of direct QueryEngine calls, so the
+// numbers include HTTP parsing, JSON encoding, admission control and the
+// worker handoff. Before any number prints, a correctness gate fetches a
+// sample of every endpoint over HTTP and asserts the served scores are
+// *bitwise* equal to direct QueryEngine results (the JSON layer emits
+// shortest-round-trip doubles precisely so this comparison is exact).
+// Each client thread then runs a closed loop — send, block for the
+// response, repeat — over a keep-alive connection; per-request latencies
+// aggregate into p50/p99.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "simrank/common/rng.h"
+#include "simrank/common/string_util.h"
+#include "simrank/common/table_printer.h"
+#include "simrank/common/timer.h"
+#include "simrank/gen/generators.h"
+#include "simrank/index/query_engine.h"
+#include "simrank/index/walk_index.h"
+#include "simrank/server/http_client.h"
+#include "simrank/server/server.h"
+
+namespace simrank::bench {
+namespace {
+
+constexpr uint32_t kVertices = 10000;
+constexpr uint32_t kHotVertices = 64;
+constexpr uint32_t kClients = 4;
+constexpr uint32_t kGateQueries = 24;
+constexpr uint32_t kTopK = 10;
+
+DiGraph MakeGraph() {
+  gen::WebGraphParams params;
+  params.n = kVertices;
+  params.out_degree = 3;
+  params.copy_prob = 0.5;
+  params.in_copy_prob = 0.3;
+  params.seed = 7;
+  auto graph = gen::WebGraph(params);
+  OIPSIM_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+
+void CheckBitwise(double served, double expected, const char* what) {
+  OIPSIM_CHECK_MSG(
+      std::memcmp(&served, &expected, sizeof(double)) == 0,
+      "%s: served %.17g differs from direct QueryEngine %.17g", what,
+      served, expected);
+}
+
+/// Asserts HTTP responses are bitwise-identical to direct engine calls on
+/// a sample of every endpoint. `reference` is a second engine over the
+/// same index, so cache state on the served engine cannot mask a
+/// discrepancy (the estimates are deterministic either way).
+void CorrectnessGate(uint16_t port, QueryEngine& reference,
+                     const std::vector<VertexId>& hot) {
+  auto client = LoopbackHttpClient::Connect(port);
+  OIPSIM_CHECK(client.ok());
+  Rng rng(1234);
+  for (uint32_t i = 0; i < kGateQueries; ++i) {
+    const VertexId a = hot[rng.NextUint64(hot.size())];
+    const VertexId b =
+        static_cast<VertexId>(rng.NextUint64(reference.index().n()));
+    auto response = client->Get(StrFormat("/v1/pair?a=%u&b=%u", a, b));
+    OIPSIM_CHECK_MSG(response.ok() && response->status == 200,
+                     "pair query failed: %s",
+                     response.ok() ? response->body.c_str()
+                                   : response.status().ToString().c_str());
+    CheckBitwise(FindJsonNumber(response->body, "score"),
+                 *reference.Pair(a, b), "/v1/pair");
+  }
+  for (uint32_t i = 0; i < kGateQueries; ++i) {
+    const VertexId v = hot[i % hot.size()];
+    auto response = client->Get(StrFormat("/v1/single_source?v=%u", v));
+    OIPSIM_CHECK(response.ok() && response->status == 200);
+    const QueryEngine::Row row = *reference.SingleSource(v);
+    const std::vector<double>& expected = *row;
+    const std::vector<double> served =
+        FindJsonNumberArray(response->body, "scores");
+    OIPSIM_CHECK_MSG(served.size() == expected.size(),
+                     "single_source row of %u has %zu entries, expected n",
+                     v, served.size());
+    for (size_t j = 0; j < expected.size(); ++j) {
+      CheckBitwise(served[j], expected[j], "/v1/single_source");
+    }
+  }
+  for (uint32_t i = 0; i < kGateQueries; ++i) {
+    const VertexId v = hot[(i * 7) % hot.size()];
+    auto response = client->Get(StrFormat("/v1/topk?v=%u&k=%u", v, kTopK));
+    OIPSIM_CHECK(response.ok() && response->status == 200);
+    const auto expected = *reference.TopK(v, kTopK);
+    size_t cursor = 0;
+    for (const ScoredVertex& scored : expected) {
+      const double vertex =
+          FindJsonNumber(response->body, "vertex", &cursor);
+      OIPSIM_CHECK_MSG(static_cast<VertexId>(vertex) == scored.vertex,
+                       "topk of %u ranks vertex %u where %u belongs", v,
+                       static_cast<VertexId>(vertex), scored.vertex);
+      CheckBitwise(FindJsonNumber(response->body, "score", &cursor),
+                   scored.score, "/v1/topk");
+    }
+  }
+}
+
+struct EndpointLoad {
+  const char* label;
+  /// Request targets cycled by every client.
+  std::vector<std::string> targets;
+  uint32_t requests_per_client;
+};
+
+struct LoadResult {
+  double seconds = 0;
+  uint64_t requests = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// Closed loop: kClients threads, each its own keep-alive connection,
+/// next request issued only after the previous response fully arrived.
+LoadResult RunClosedLoop(uint16_t port, const EndpointLoad& load) {
+  std::vector<std::vector<double>> latencies(kClients);
+  std::vector<std::thread> clients;
+  WallTimer wall;
+  wall.Start();
+  for (uint32_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = LoopbackHttpClient::Connect(port);
+      OIPSIM_CHECK(client.ok());
+      latencies[c].reserve(load.requests_per_client);
+      for (uint32_t i = 0; i < load.requests_per_client; ++i) {
+        const std::string& target =
+            load.targets[(c + i) % load.targets.size()];
+        WallTimer timer;
+        timer.Start();
+        auto response = client->Get(target);
+        timer.Stop();
+        OIPSIM_CHECK_MSG(response.ok() && response->status == 200,
+                         "%s failed under load", target.c_str());
+        latencies[c].push_back(timer.ElapsedMicros());
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  wall.Stop();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  LoadResult result;
+  result.seconds = wall.ElapsedSeconds();
+  result.requests = all.size();
+  result.p50_us = all[all.size() / 2];
+  result.p99_us = all[all.size() * 99 / 100];
+  return result;
+}
+
+}  // namespace
+
+int Main() {
+  std::printf("# server_throughput: n=%u web graph, %u closed-loop "
+              "clients, loopback HTTP\n",
+              kVertices, kClients);
+  DiGraph graph = MakeGraph();
+
+  WalkIndexOptions options;
+  options.num_fingerprints = 128;
+  options.walk_length = 8;
+  options.damping = 0.6;
+  auto index = WalkIndex::Build(graph, options);
+  OIPSIM_CHECK(index.ok());
+
+  QueryEngine engine(*index);
+  QueryEngine reference(*index);
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.threads = 0;  // hardware concurrency
+  server_options.max_inflight = 256;
+  server_options.max_endpoint_inflight = 128;
+  SimRankServer server(engine, server_options);
+  OIPSIM_CHECK(server.Bind().ok());
+  std::thread serve_thread([&server] {
+    OIPSIM_CHECK(server.Serve().ok());
+  });
+  std::printf("# serving on 127.0.0.1:%u\n", server.port());
+
+  // Hot-set workload, as in index_throughput.
+  Rng rng(99);
+  std::vector<VertexId> hot;
+  for (uint32_t i = 0; i < kHotVertices; ++i) {
+    hot.push_back(static_cast<VertexId>(rng.NextUint64(graph.n())));
+  }
+
+  CorrectnessGate(server.port(), reference, hot);
+  std::printf("# correctness gate: pair/single_source/topk responses "
+              "bitwise-equal to direct QueryEngine on %u samples each\n",
+              kGateQueries);
+
+  EndpointLoad pair_load{"/v1/pair", {}, 2000};
+  EndpointLoad single_source_load{"/v1/single_source", {}, 150};
+  EndpointLoad topk_load{"/v1/topk", {}, 400};
+  for (uint32_t i = 0; i < kHotVertices; ++i) {
+    const VertexId v = hot[i];
+    pair_load.targets.push_back(StrFormat(
+        "/v1/pair?a=%u&b=%u", v,
+        static_cast<VertexId>(rng.NextUint64(graph.n()))));
+    single_source_load.targets.push_back(
+        StrFormat("/v1/single_source?v=%u", v));
+    topk_load.targets.push_back(StrFormat("/v1/topk?v=%u&k=%u", v, kTopK));
+  }
+
+  TablePrinter table(
+      {"endpoint", "requests", "QPS", "p50 latency", "p99 latency"});
+  for (const EndpointLoad& load :
+       {pair_load, single_source_load, topk_load}) {
+    const LoadResult result = RunClosedLoop(server.port(), load);
+    table.AddRow({load.label, FormatCount(result.requests),
+                  StrFormat("%.0f", result.requests / result.seconds),
+                  FormatDuration(result.p50_us / 1e6),
+                  FormatDuration(result.p99_us / 1e6)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  auto stats_response = HttpGet(server.port(), "/v1/stats");
+  OIPSIM_CHECK(stats_response.ok() && stats_response->status == 200);
+  std::printf("# /v1/stats: %s\n", stats_response->body.c_str());
+
+  server.Shutdown();
+  serve_thread.join();
+  std::printf("server drained cleanly; all responses bitwise-equal to "
+              "direct QueryEngine results\n");
+  return 0;
+}
+
+}  // namespace simrank::bench
+
+int main() { return simrank::bench::Main(); }

@@ -1,0 +1,73 @@
+// Minimal streaming JSON writer for the serving layer.
+//
+// The server's responses (scores, stats) are built incrementally into one
+// compact JSON document; no DOM, no allocation beyond the output string.
+// The writer enforces well-formedness structurally — values in objects
+// must follow a Key(), containers must be closed in order, exactly one
+// root value — via OIPSIM_CHECK, so a malformed emission sequence is a
+// programming error caught in tests, never invalid JSON on the wire.
+// Doubles render with the shortest decimal form that round-trips the exact
+// bit pattern, which is what lets clients (and the serving tests) compare
+// served scores bitwise against direct QueryEngine results.
+#ifndef OIPSIM_SIMRANK_COMMON_JSON_WRITER_H_
+#define OIPSIM_SIMRANK_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simrank {
+
+/// Appends one JSON document to an internal buffer. Not thread-safe.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits the key of the next object member. Must be directly inside an
+  /// object, and must be followed by exactly one value or container.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  /// Shortest round-trip form; non-finite values (no JSON spelling) render
+  /// as null.
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The finished document. All containers must be closed.
+  const std::string& str() const;
+
+ private:
+  /// Comma/colon bookkeeping before a value is appended.
+  void BeforeValue();
+
+  enum class Frame : uint8_t { kObject, kArray };
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  /// Members already emitted in each open container (parallel to stack_).
+  std::vector<bool> has_members_;
+  bool pending_key_ = false;
+  bool root_emitted_ = false;
+};
+
+/// Appends `value` to `out` with JSON string escaping (quotes, backslash,
+/// control characters), without the surrounding quotes.
+void JsonEscape(std::string_view value, std::string* out);
+
+/// Formats `value` as the shortest decimal string that parses back to the
+/// same double ("0.6", not "0.59999999999999998"); non-finite values yield
+/// "null".
+std::string JsonDouble(double value);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_COMMON_JSON_WRITER_H_

@@ -118,7 +118,7 @@ Result<WalkIndex> WalkIndex::Load(const std::string& path,
     if (!store.ok()) return store.status();
     return FromStore(std::move(*store));
   }
-  auto store = InMemoryWalkStore::Open(path);
+  auto store = InMemoryWalkStore::Open(path, load.num_threads);
   if (!store.ok()) return store.status();
   return FromStore(std::move(*store));
 }

@@ -109,6 +109,10 @@ class WalkIndex {
     /// false loads and fully verifies everything into RAM — v1's serving
     /// behavior.
     bool use_mmap = false;
+    /// Worker threads for the in-memory backend's segment decode (the
+    /// dominant cold-open cost); 0 means hardware concurrency. The loaded
+    /// store is bitwise identical for any value. Ignored by mmap.
+    uint32_t num_threads = 0;
   };
 
   /// v2 serialization knobs; see WalkStoreSaveOptions.

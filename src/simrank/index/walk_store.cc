@@ -667,7 +667,7 @@ uint64_t InMemoryWalkStore::ResidentBytes() const {
 }
 
 Result<std::unique_ptr<InMemoryWalkStore>> InMemoryWalkStore::Open(
-    const std::string& path) {
+    const std::string& path, uint32_t num_threads) {
   std::vector<uint8_t> bytes;
   OIPSIM_RETURN_IF_ERROR(ReadFileBytes(path, &bytes));
   auto layout_or =
@@ -726,19 +726,48 @@ Result<std::unique_ptr<InMemoryWalkStore>> InMemoryWalkStore::Open(
         static_cast<unsigned long long>(bytes.size() >> 20)));
   }
   store->walks_.resize(store->WalkWords() * n);
-  // Serial per-vertex decode with a transposing scatter into the
-  // (r,t)-major table; this dominates the in-memory cold-open cost
-  // (~100 ms for the 62 MB bench index). Parallelising over disjoint
-  // vertex ranges would be deterministic and is noted as a ROADMAP
-  // follow-on.
-  std::vector<uint32_t> scratch(store->WalkWords());
-  for (VertexId v = 0; v < n; ++v) {
-    OIPSIM_RETURN_IF_ERROR(DecodeSegment(
-        layout.meta, layout.compressed, v, segments_base + seg_rel[v],
-        segments_base + seg_rel[v + 1],
-        layout.segments_offset + seg_rel[v], path, scratch.data()));
-    for (size_t word = 0; word < scratch.size(); ++word) {
-      store->walks_[word * n + v] = scratch[word];
+  // Per-vertex decode with a transposing scatter into the (r,t)-major
+  // table; this dominates the in-memory cold-open cost (~100 ms for the
+  // 62 MB bench index), so it runs in parallel over disjoint contiguous
+  // vertex ranges. Vertex v only writes column v of the flat table, so
+  // the result is bitwise identical for any thread count; blocks are
+  // ordered by vertex range, so reporting the first failed block's error
+  // reproduces the serial pass's first-corrupt-vertex diagnostics exactly.
+  const uint32_t decode_threads = ThreadPool::ResolveThreadCount(num_threads);
+  auto decode_range = [&](VertexId lo, VertexId hi, uint32_t* scratch) {
+    for (VertexId v = lo; v < hi; ++v) {
+      OIPSIM_RETURN_IF_ERROR(DecodeSegment(
+          layout.meta, layout.compressed, v, segments_base + seg_rel[v],
+          segments_base + seg_rel[v + 1],
+          layout.segments_offset + seg_rel[v], path, scratch));
+      for (size_t word = 0; word < store->WalkWords(); ++word) {
+        store->walks_[word * n + v] = scratch[word];
+      }
+    }
+    return Status::OK();
+  };
+  if (decode_threads <= 1 || n < 2 * decode_threads) {
+    std::vector<uint32_t> scratch(store->WalkWords());
+    OIPSIM_RETURN_IF_ERROR(decode_range(0, n, scratch.data()));
+  } else {
+    // A few blocks per worker smooth over skewed segment sizes (hub
+    // vertices compress worse than leaves).
+    const uint64_t num_blocks =
+        std::min<uint64_t>(n, static_cast<uint64_t>(decode_threads) * 4);
+    std::vector<Status> block_status(num_blocks);
+    ThreadPool pool(decode_threads);
+    pool.ParallelFor(0, num_blocks, [&](uint64_t block) {
+      const auto lo =
+          static_cast<VertexId>(static_cast<uint64_t>(n) * block /
+                                num_blocks);
+      const auto hi =
+          static_cast<VertexId>(static_cast<uint64_t>(n) * (block + 1) /
+                                num_blocks);
+      std::vector<uint32_t> scratch(store->WalkWords());
+      block_status[block] = decode_range(lo, hi, scratch.data());
+    });
+    for (const Status& status : block_status) {
+      OIPSIM_RETURN_IF_ERROR(status);
     }
   }
 
@@ -823,6 +852,11 @@ Result<std::unique_ptr<MmapWalkStore>> MmapWalkStore::Open(
   store->segments_bytes_ = layout.inverted_offset - layout.segments_offset;
   store->inverted_bytes_ = layout.file_size - layout.inverted_offset;
   store->directory_bytes_ = layout.directory_bytes;
+  // The header and directory pages were just read and stay hot for the
+  // lifetime of the store (every query walks the directory); telling the
+  // kernel keeps them ahead of cold payload pages under memory pressure.
+  ::madvise(const_cast<uint8_t*>(store->data_), layout.segments_offset,
+            MADV_WILLNEED);
   return store;
 #else
   (void)path;
@@ -858,6 +892,45 @@ uint64_t MmapWalkStore::ResidentBytes() const {
   // Heap footprint is negligible; the header and directory pages are the
   // only part of the mapping open() forces resident.
   return kPageSize + directory_bytes_;
+}
+
+void MmapWalkStore::Prefetch(std::span<const VertexId> vertices) const {
+#if OIPSIM_HAVE_MMAP
+  // Sorting first makes the page ranges monotone, so overlapping and
+  // adjacent segments coalesce into one madvise per contiguous run — a
+  // clustered warm list costs few syscalls regardless of input order.
+  // Out-of-range ids are skipped (a hint API must not turn a stale warm
+  // list into a crash).
+  std::vector<VertexId> sorted(vertices.begin(), vertices.end());
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t run_begin = 0;
+  uint64_t run_end = 0;
+  auto flush = [&] {
+    if (run_end > run_begin) {
+      ::madvise(const_cast<uint8_t*>(data_) + run_begin,
+                run_end - run_begin, MADV_WILLNEED);
+    }
+  };
+  const uint64_t segments_abs =
+      static_cast<uint64_t>(segments_base_ - data_);
+  for (const VertexId v : sorted) {
+    if (v >= meta_.n) continue;
+    const uint64_t begin =
+        (segments_abs + seg_rel_[v]) / kPageSize * kPageSize;
+    const uint64_t end =
+        AlignUp(segments_abs + seg_rel_[v + 1], kPageSize);
+    if (begin <= run_end && run_end > run_begin) {
+      run_end = std::max(run_end, end);
+    } else {
+      flush();
+      run_begin = begin;
+      run_end = end;
+    }
+  }
+  flush();
+#else
+  (void)vertices;
+#endif
 }
 
 Status MmapWalkStore::VerifyPayload() const {

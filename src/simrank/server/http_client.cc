@@ -1,0 +1,226 @@
+#include "simrank/server/http_client.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "simrank/common/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define OIPSIM_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace simrank {
+
+const std::string* HttpClientResponse::FindHeader(
+    std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+double FindJsonNumber(const std::string& body, const std::string& key,
+                      size_t* cursor) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = body.find(needle, cursor == nullptr ? 0 : *cursor);
+  OIPSIM_CHECK_MSG(at != std::string::npos, "no \"%s\" in %s", key.c_str(),
+                   body.c_str());
+  const size_t value_at = at + needle.size();
+  if (cursor != nullptr) *cursor = value_at;
+  return std::strtod(body.c_str() + value_at, nullptr);
+}
+
+std::vector<double> FindJsonNumberArray(const std::string& body,
+                                        const std::string& key) {
+  const std::string needle = "\"" + key + "\":[";
+  const size_t at = body.find(needle);
+  OIPSIM_CHECK_MSG(at != std::string::npos, "no \"%s\" array in %s",
+                   key.c_str(), body.c_str());
+  std::vector<double> values;
+  const char* cursor = body.c_str() + at + needle.size();
+  while (*cursor != ']') {
+    char* next = nullptr;
+    values.push_back(std::strtod(cursor, &next));
+    OIPSIM_CHECK_MSG(next != cursor, "malformed number array in %s",
+                     body.c_str());
+    cursor = *next == ',' ? next + 1 : next;
+  }
+  return values;
+}
+
+#if OIPSIM_HAVE_SOCKETS
+
+Result<LoopbackHttpClient> LoopbackHttpClient::Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError(StrFormat("cannot connect to 127.0.0.1:%u: %s",
+                                     port, std::strerror(errno)));
+  }
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return LoopbackHttpClient(fd);
+}
+
+LoopbackHttpClient::LoopbackHttpClient(LoopbackHttpClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+LoopbackHttpClient& LoopbackHttpClient::operator=(
+    LoopbackHttpClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+LoopbackHttpClient::~LoopbackHttpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status LoopbackHttpClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::IoError("connection is closed");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IoError("send failed: connection reset");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status LoopbackHttpClient::ShutdownWrite() {
+  if (fd_ < 0) return Status::IoError("connection is closed");
+  if (::shutdown(fd_, SHUT_WR) != 0) {
+    return Status::IoError("shutdown(SHUT_WR) failed");
+  }
+  return Status::OK();
+}
+
+Result<HttpClientResponse> LoopbackHttpClient::ReadResponse() {
+  if (fd_ < 0) return Status::IoError("connection is closed");
+  // Accumulate until the header terminator, then until Content-Length
+  // bytes of body are buffered.
+  size_t header_end = std::string::npos;
+  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return Status::IoError("connection closed before response headers");
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+
+  HttpClientResponse response;
+  const std::string head = buffer_.substr(0, header_end);
+  const std::vector<std::string> lines = StrSplit(head, '\n');
+  if (lines.empty()) return Status::ParseError("empty response head");
+  const std::string_view status_line = StrTrim(lines[0]);
+  // "HTTP/1.1 200 OK"
+  const size_t sp = status_line.find(' ');
+  uint64_t status = 0;
+  if (sp == std::string_view::npos ||
+      !ParseUint64(status_line.substr(sp + 1, 3), &status)) {
+    return Status::ParseError("malformed status line: " +
+                              std::string(status_line));
+  }
+  response.status = static_cast<int>(status);
+  uint64_t content_length = 0;
+  bool have_length = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = StrTrim(lines[i]);
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name(line.substr(0, colon));
+    for (char& c : name) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    const std::string value(StrTrim(line.substr(colon + 1)));
+    if (name == "content-length" && ParseUint64(value, &content_length)) {
+      have_length = true;
+    }
+    response.headers.emplace_back(std::move(name), value);
+  }
+  if (!have_length) {
+    return Status::ParseError("response without Content-Length");
+  }
+
+  const size_t body_start = header_end + 4;
+  while (buffer_.size() < body_start + content_length) {
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return Status::IoError("connection closed mid-body");
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+  response.body = buffer_.substr(body_start, content_length);
+  buffer_.erase(0, body_start + content_length);
+  return response;
+}
+
+Result<HttpClientResponse> LoopbackHttpClient::Get(
+    const std::string& target) {
+  OIPSIM_RETURN_IF_ERROR(
+      SendRaw("GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n"));
+  return ReadResponse();
+}
+
+Result<HttpClientResponse> HttpGet(uint16_t port,
+                                   const std::string& target) {
+  auto client = LoopbackHttpClient::Connect(port);
+  if (!client.ok()) return client.status();
+  return client->Get(target);
+}
+
+#else  // !OIPSIM_HAVE_SOCKETS
+
+Result<LoopbackHttpClient> LoopbackHttpClient::Connect(uint16_t) {
+  return Status::Unimplemented("LoopbackHttpClient requires POSIX sockets");
+}
+LoopbackHttpClient::LoopbackHttpClient(LoopbackHttpClient&&) noexcept =
+    default;
+LoopbackHttpClient& LoopbackHttpClient::operator=(
+    LoopbackHttpClient&&) noexcept = default;
+LoopbackHttpClient::~LoopbackHttpClient() = default;
+Status LoopbackHttpClient::SendRaw(std::string_view) {
+  return Status::Unimplemented("LoopbackHttpClient requires POSIX sockets");
+}
+Status LoopbackHttpClient::ShutdownWrite() {
+  return Status::Unimplemented("LoopbackHttpClient requires POSIX sockets");
+}
+Result<HttpClientResponse> LoopbackHttpClient::ReadResponse() {
+  return Status::Unimplemented("LoopbackHttpClient requires POSIX sockets");
+}
+Result<HttpClientResponse> LoopbackHttpClient::Get(const std::string&) {
+  return Status::Unimplemented("LoopbackHttpClient requires POSIX sockets");
+}
+Result<HttpClientResponse> HttpGet(uint16_t, const std::string&) {
+  return Status::Unimplemented("LoopbackHttpClient requires POSIX sockets");
+}
+
+#endif  // OIPSIM_HAVE_SOCKETS
+
+}  // namespace simrank

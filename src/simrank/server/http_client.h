@@ -1,0 +1,89 @@
+// Minimal blocking HTTP/1.1 client for loopback use.
+//
+// This is the measurement and verification side of the serving story: the
+// throughput bench's closed-loop clients and the server tests both need a
+// real socket speaking real HTTP at the server, without pulling in a
+// dependency. One connection object = one keep-alive TCP connection; Get()
+// writes a request and blocks until the full response (status, headers,
+// Content-Length-delimited body) is read. Not a general client: no TLS, no
+// redirects, no chunked responses — exactly the dialect SimRankServer
+// emits.
+#ifndef OIPSIM_SIMRANK_SERVER_HTTP_CLIENT_H_
+#define OIPSIM_SIMRANK_SERVER_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simrank/common/status.h"
+
+namespace simrank {
+
+/// One parsed response.
+struct HttpClientResponse {
+  int status = 0;
+  /// Header fields in response order, names lower-cased.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of `name` (lower-case), or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// A blocking keep-alive connection to 127.0.0.1:port. Movable, not
+/// copyable; the socket closes on destruction.
+class LoopbackHttpClient {
+ public:
+  /// Connects; fails with IoError when nothing is listening.
+  static Result<LoopbackHttpClient> Connect(uint16_t port);
+
+  LoopbackHttpClient(LoopbackHttpClient&& other) noexcept;
+  LoopbackHttpClient& operator=(LoopbackHttpClient&& other) noexcept;
+  LoopbackHttpClient(const LoopbackHttpClient&) = delete;
+  LoopbackHttpClient& operator=(const LoopbackHttpClient&) = delete;
+  ~LoopbackHttpClient();
+
+  /// Issues `GET target HTTP/1.1` and reads the full response. After a
+  /// `Connection: close` response the connection is unusable (IoError on
+  /// the next call).
+  Result<HttpClientResponse> Get(const std::string& target);
+
+  /// Sends raw bytes without awaiting a response (pipelining tests).
+  Status SendRaw(std::string_view bytes);
+
+  /// Half-closes the write side (shutdown(SHUT_WR)): the server sees EOF
+  /// but must still answer everything already sent.
+  Status ShutdownWrite();
+
+  /// Reads one response off the wire (pairs with SendRaw).
+  Result<HttpClientResponse> ReadResponse();
+
+ private:
+  explicit LoopbackHttpClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  /// Bytes read past the previous response (pipelined tail).
+  std::string buffer_;
+};
+
+/// One-shot convenience: connect, GET, close.
+Result<HttpClientResponse> HttpGet(uint16_t port, const std::string& target);
+
+/// The number following `"key":` in `body`, searched from `*cursor` (or
+/// the start when null); `*cursor` advances past the key so repeated
+/// fields can be walked in order. The server emits doubles in shortest-
+/// round-trip form, so the value parses back bit-exact — the serving
+/// tests and bench compare it bitwise against direct QueryEngine results.
+/// Aborts (checked error) when the key is absent: these are verification
+/// helpers, not a JSON parser.
+double FindJsonNumber(const std::string& body, const std::string& key,
+                      size_t* cursor = nullptr);
+
+/// The array of numbers following `"key":[` in `body`, in order.
+std::vector<double> FindJsonNumberArray(const std::string& body,
+                                        const std::string& key);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_SERVER_HTTP_CLIENT_H_

@@ -1,0 +1,857 @@
+#include "simrank/server/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "simrank/common/json_writer.h"
+#include "simrank/common/string_util.h"
+#include "simrank/graph/graph_io.h"
+
+#if defined(__linux__)
+#define OIPSIM_HAVE_EPOLL 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace simrank {
+namespace {
+
+/// Backpressure bounds: when a connection's unsent responses or unparsed
+/// input exceed these, the loop stops *reading* it (TCP pushes back on the
+/// peer) until the backlog drains — no connection can buffer the server
+/// into the ground, which is what lets server.h promise bounded queues.
+constexpr size_t kMaxPendingOutputBytes = 4u << 20;
+constexpr size_t kInputBufferSlackBytes = 64u << 10;
+
+/// Parsed arguments of one dispatchable query; only the fields of the
+/// request's endpoint are meaningful.
+struct QueryArgs {
+  VertexId a = 0;
+  VertexId b = 0;
+  VertexId v = 0;
+  uint32_t k = 10;
+};
+
+std::string ErrorBody(std::string_view code, std::string_view message) {
+  JsonWriter json;
+  json.BeginObject()
+      .Key("error")
+      .BeginObject()
+      .Key("code")
+      .String(code)
+      .Key("message")
+      .String(message)
+      .EndObject()
+      .EndObject();
+  return json.str();
+}
+
+/// HTTP status + body for a query that failed inside the engine.
+std::pair<int, std::string> EngineErrorResponse(const Status& status) {
+  const int http_status =
+      (status.code() == StatusCode::kOutOfRange ||
+       status.code() == StatusCode::kInvalidArgument)
+          ? 400
+          : (status.code() == StatusCode::kNotFound ? 404 : 500);
+  return {http_status,
+          ErrorBody(StatusCodeToString(status.code()), status.message())};
+}
+
+std::pair<int, std::string> ExecutePair(QueryEngine& engine,
+                                        const QueryArgs& args) {
+  auto score = engine.Pair(args.a, args.b);
+  if (!score.ok()) return EngineErrorResponse(score.status());
+  JsonWriter json;
+  json.BeginObject()
+      .Key("a")
+      .Uint(args.a)
+      .Key("b")
+      .Uint(args.b)
+      .Key("score")
+      .Double(*score)
+      .EndObject();
+  return {200, json.str()};
+}
+
+std::pair<int, std::string> ExecuteSingleSource(QueryEngine& engine,
+                                                const QueryArgs& args) {
+  auto row = engine.SingleSource(args.v);
+  if (!row.ok()) return EngineErrorResponse(row.status());
+  JsonWriter json;
+  json.BeginObject().Key("v").Uint(args.v).Key("scores").BeginArray();
+  for (const double score : **row) json.Double(score);
+  json.EndArray().EndObject();
+  return {200, json.str()};
+}
+
+std::pair<int, std::string> ExecuteTopK(QueryEngine& engine,
+                                        const QueryArgs& args) {
+  auto top = engine.TopK(args.v, args.k);
+  if (!top.ok()) return EngineErrorResponse(top.status());
+  JsonWriter json;
+  json.BeginObject()
+      .Key("v")
+      .Uint(args.v)
+      .Key("k")
+      .Uint(args.k)
+      .Key("results")
+      .BeginArray();
+  for (const auto& scored : *top) {
+    json.BeginObject()
+        .Key("vertex")
+        .Uint(scored.vertex)
+        .Key("score")
+        .Double(scored.score)
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+  return {200, json.str()};
+}
+
+}  // namespace
+
+const char* ServerEndpointPath(ServerEndpoint endpoint) {
+  switch (endpoint) {
+    case ServerEndpoint::kPair:
+      return "/v1/pair";
+    case ServerEndpoint::kSingleSource:
+      return "/v1/single_source";
+    case ServerEndpoint::kTopK:
+      return "/v1/topk";
+  }
+  return "?";
+}
+
+Status ServerOptions::Validate() const {
+  if (bind_address.empty()) {
+    return Status::InvalidArgument("server bind address must not be empty");
+  }
+  if (threads > 4096) {
+    return Status::InvalidArgument(
+        StrFormat("--threads=%u is not a sane worker count", threads));
+  }
+  if (max_inflight == 0) {
+    return Status::InvalidArgument(
+        "--max-inflight must be positive: a zero cap rejects every query");
+  }
+  if (max_endpoint_inflight == 0) {
+    return Status::InvalidArgument(
+        "--endpoint-inflight must be positive: a zero cap rejects every "
+        "query");
+  }
+  if (max_connections == 0) {
+    return Status::InvalidArgument("max_connections must be positive");
+  }
+  return Status::OK();
+}
+
+/// Per-connection state owned by the event loop. A connection handles one
+/// dispatched query at a time (`awaiting`); pipelined requests stay
+/// buffered in `in` until the response of the previous one is queued, so
+/// responses always leave in request order.
+struct SimRankServer::Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  std::string in;
+  std::string out;
+  size_t out_sent = 0;
+  /// A query is dispatched and its completion not yet queued.
+  bool awaiting = false;
+  /// Flush `out`, then close (error, Connection: close, drain).
+  bool close_after_flush = false;
+  /// The peer half-closed: no further reads, but every request already
+  /// buffered still gets its answer before the connection closes.
+  bool peer_eof = false;
+  /// Keep-alive decision of the request currently being answered.
+  bool request_keep_alive = true;
+  /// Events currently registered with epoll.
+  uint32_t epoll_events = 0;
+};
+
+/// A worker's finished query, handed back to the loop thread.
+struct SimRankServer::Completion {
+  int fd = -1;
+  uint64_t connection_id = 0;
+  ServerEndpoint endpoint = ServerEndpoint::kPair;
+  int status = 500;
+  std::string body;
+};
+
+SimRankServer::SimRankServer(QueryEngine& engine,
+                             const ServerOptions& options)
+    : engine_(engine), options_(options), pool_(options.threads) {}
+
+SimRankServer::~SimRankServer() {
+  // Workers may still be executing queries if Serve was never run to
+  // completion; let them finish (they only touch the engine, the
+  // completion queue and wake_fd_) before the fds go away.
+  pool_.Wait();
+#if OIPSIM_HAVE_EPOLL
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (reserve_fd_ >= 0) ::close(reserve_fd_);
+#endif
+}
+
+#if OIPSIM_HAVE_EPOLL
+
+Status SimRankServer::Bind() {
+  OIPSIM_RETURN_IF_ERROR(options_.Validate());
+  if (listen_fd_ >= 0) {
+    return Status::InvalidArgument("Bind() called twice");
+  }
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("not an IPv4 bind address: " +
+                                   options_.bind_address);
+  }
+
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError(StrFormat("cannot bind %s:%u: %s",
+                                     options_.bind_address.c_str(),
+                                     options_.port, std::strerror(errno)));
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    return Status::IoError(StrFormat("listen() failed: %s",
+                                     std::strerror(errno)));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) !=
+      0) {
+    ::close(fd);
+    return Status::IoError("getsockname() failed");
+  }
+  bound_port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    ::close(fd);
+    return Status::IoError("epoll_create1/eventfd failed");
+  }
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  listen_fd_ = fd;
+
+  epoll_event event = {};
+  event.events = EPOLLIN;
+  event.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event);
+  event.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event);
+  return Status::OK();
+}
+
+void SimRankServer::Shutdown() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    // Async-signal-safe: a plain write on an eventfd. The return value is
+    // irrelevant — a full counter already wakes the loop.
+    [[maybe_unused]] const auto ignored =
+        ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+Status SimRankServer::Serve() {
+  if (listen_fd_ < 0) {
+    return Status::InvalidArgument("Serve() requires a successful Bind()");
+  }
+  epoll_event events[64];
+  while (true) {
+    if (stop_.load(std::memory_order_acquire) && !draining_) {
+      draining_ = true;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (draining_) {
+      // Idle keep-alive connections have nothing left to say; everything
+      // else drains through its completion + flush.
+      std::vector<Connection*> idle;
+      for (auto& [fd, conn] : connections_) {
+        if (!conn->awaiting && conn->out_sent == conn->out.size()) {
+          idle.push_back(conn.get());
+        }
+      }
+      for (Connection* conn : idle) CloseConnection(conn);
+      if (connections_.empty() && inflight_ == 0) return Status::OK();
+    }
+    const int ready = ::epoll_wait(epoll_fd_, events, 64,
+                                   /*timeout_ms=*/draining_ ? 50 : -1);
+    if (ready < 0 && errno != EINTR) {
+      return Status::IoError(StrFormat("epoll_wait failed: %s",
+                                       std::strerror(errno)));
+    }
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        [[maybe_unused]] const auto ignored =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed earlier this batch
+      Connection* conn = it->second.get();
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        if (conn->awaiting || conn->out_sent < conn->out.size()) {
+          // Let the completion/flush path observe the error itself.
+        } else {
+          CloseConnection(conn);
+          continue;
+        }
+      }
+      if (events[i].events & EPOLLIN) HandleReadable(conn);
+      it = connections_.find(fd);
+      if (it == connections_.end() || it->second.get() != conn) continue;
+      if (events[i].events & EPOLLOUT) HandleWritable(conn);
+    }
+    DrainCompletions();
+  }
+}
+
+void SimRankServer::HandleAccept() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if ((errno == EMFILE || errno == ENFILE) && reserve_fd_ >= 0) {
+        // Out of fds: the pending connection would keep the level-
+        // triggered listener readable forever. Spend the reserve fd to
+        // accept-and-shed it, then re-arm the reserve.
+        ::close(reserve_fd_);
+        reserve_fd_ = -1;
+        const int shed = ::accept4(listen_fd_, nullptr, nullptr,
+                                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (shed >= 0) ::close(shed);
+        reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        continue;
+      }
+      return;  // EAGAIN, or a transient accept failure
+    }
+    stat_connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (connections_.size() >= options_.max_connections) {
+      // Beyond the connection cap there is no buffer to even parse a
+      // request from; shedding at accept keeps existing traffic intact.
+      ::close(fd);
+      continue;
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_connection_id_++;
+    conn->epoll_events = EPOLLIN;
+    epoll_event event = {};
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event);
+    connections_.emplace(fd, std::move(conn));
+    stat_connections_open_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SimRankServer::HandleReadable(Connection* conn) {
+  char buffer[4096];
+  const size_t input_cap =
+      options_.http.max_request_bytes + kInputBufferSlackBytes;
+  while (conn->in.size() < input_cap) {
+    const ssize_t got = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (got > 0) {
+      conn->in.append(buffer, static_cast<size_t>(got));
+      continue;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (got < 0) {
+      CloseConnection(conn);  // hard error; nothing is deliverable
+      return;
+    }
+    conn->peer_eof = true;  // orderly half-close: answer, then close
+    break;
+  }
+  ProcessBufferedRequests(conn);
+}
+
+void SimRankServer::ProcessBufferedRequests(Connection* conn) {
+  // One dispatched query per connection at a time; the rest of the
+  // pipeline waits buffered so responses preserve request order. Parsing
+  // also pauses while the unsent-output backlog is over the cap — a
+  // pipelining client that never reads cannot make `out` grow without
+  // bound, it just stops being read itself.
+  while (!conn->awaiting && !conn->close_after_flush &&
+         conn->out.size() - conn->out_sent < kMaxPendingOutputBytes) {
+    HttpRequest request;
+    const HttpParseStatus parsed =
+        ParseHttpRequest(conn->in, options_.http, &request);
+    if (parsed.outcome == HttpParseStatus::kNeedMore) break;
+    if (parsed.outcome == HttpParseStatus::kError) {
+      conn->request_keep_alive = false;
+      QueueErrorResponse(conn, parsed.error_status, parsed.error_message);
+      break;
+    }
+    conn->in.erase(0, parsed.consumed);
+    conn->request_keep_alive = request.keep_alive;
+    RouteRequest(conn, request);
+  }
+  if (MaybeCloseAfterEof(conn)) return;
+  UpdateEpoll(conn);
+}
+
+/// After a half-close, the connection lives exactly until its buffered
+/// requests are answered and flushed. Returns true when it closed `conn`.
+bool SimRankServer::MaybeCloseAfterEof(Connection* conn) {
+  if (!conn->peer_eof) return false;
+  if (conn->awaiting || conn->out_sent < conn->out.size()) return false;
+  // Nothing in flight, everything flushed; whatever remains buffered is an
+  // incomplete request head that can never complete.
+  CloseConnection(conn);
+  return true;
+}
+
+void SimRankServer::RouteRequest(Connection* conn,
+                                 const HttpRequest& request) {
+  if (request.method != "GET") {
+    QueueResponse(conn, 405,
+                  ErrorBody("MethodNotAllowed",
+                            "only GET is supported on this API"),
+                  {{"Allow", "GET"}});
+    return;
+  }
+  if (request.path == "/healthz") {
+    stat_requests_healthz_.fetch_add(1, std::memory_order_relaxed);
+    const bool keep = conn->request_keep_alive && !draining_;
+    HttpResponseOptions response_options;
+    response_options.keep_alive = keep;
+    response_options.content_type = "text/plain";
+    conn->out += BuildHttpResponse(200, "ok\n", response_options);
+    if (!keep) conn->close_after_flush = true;
+    CountResponse(200);
+    return;
+  }
+  if (request.path == "/v1/stats") {
+    stat_requests_stats_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(conn, 200, BuildStatsBody());
+    return;
+  }
+
+  ServerEndpoint endpoint;
+  if (request.path == ServerEndpointPath(ServerEndpoint::kPair)) {
+    endpoint = ServerEndpoint::kPair;
+  } else if (request.path ==
+             ServerEndpointPath(ServerEndpoint::kSingleSource)) {
+    endpoint = ServerEndpoint::kSingleSource;
+  } else if (request.path == ServerEndpointPath(ServerEndpoint::kTopK)) {
+    endpoint = ServerEndpoint::kTopK;
+  } else {
+    QueueResponse(conn, 404,
+                  ErrorBody("NotFound", "no such endpoint: " + request.path));
+    return;
+  }
+  DispatchQuery(conn, endpoint, request);
+}
+
+namespace {
+
+/// Parses the required uint32 parameter `name`, appending a 400-worthy
+/// message to `error` when missing or malformed.
+bool ParseVertexParam(const HttpRequest& request, const char* name,
+                      uint32_t* out, std::string* error) {
+  const std::string* raw = request.FindParam(name);
+  if (raw == nullptr) {
+    *error = StrFormat("missing required parameter '%s'", name);
+    return false;
+  }
+  uint64_t value = 0;
+  if (!ParseUint64(*raw, &value) || value > UINT32_MAX) {
+    *error = StrFormat("parameter '%s' must be a vertex id, got '%s'", name,
+                       raw->c_str());
+    return false;
+  }
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
+/// Rejects parameters the endpoint does not define (and duplicates), so a
+/// typo like `/v1/pair?a=1&c=2` fails loudly instead of querying b=0.
+bool CheckAllowedParams(const HttpRequest& request,
+                        std::initializer_list<const char*> allowed,
+                        std::string* error) {
+  std::vector<std::string_view> seen;
+  for (const auto& [key, value] : request.params) {
+    bool known = false;
+    for (const char* name : allowed) known = known || key == name;
+    if (!known) {
+      *error = StrFormat("unknown parameter '%s'", key.c_str());
+      return false;
+    }
+    for (const std::string_view earlier : seen) {
+      if (earlier == key) {
+        *error = StrFormat("duplicate parameter '%s'", key.c_str());
+        return false;
+      }
+    }
+    seen.push_back(key);
+  }
+  return true;
+}
+
+}  // namespace
+
+void SimRankServer::DispatchQuery(Connection* conn, ServerEndpoint endpoint,
+                                  const HttpRequest& request) {
+  const auto slot = static_cast<size_t>(endpoint);
+  stat_requests_[slot].fetch_add(1, std::memory_order_relaxed);
+
+  QueryArgs args;
+  std::string error;
+  bool params_ok = false;
+  switch (endpoint) {
+    case ServerEndpoint::kPair:
+      params_ok = CheckAllowedParams(request, {"a", "b"}, &error) &&
+                  ParseVertexParam(request, "a", &args.a, &error) &&
+                  ParseVertexParam(request, "b", &args.b, &error);
+      break;
+    case ServerEndpoint::kSingleSource:
+      params_ok = CheckAllowedParams(request, {"v"}, &error) &&
+                  ParseVertexParam(request, "v", &args.v, &error);
+      break;
+    case ServerEndpoint::kTopK:
+      params_ok = CheckAllowedParams(request, {"v", "k"}, &error) &&
+                  ParseVertexParam(request, "v", &args.v, &error);
+      if (params_ok && request.FindParam("k") != nullptr) {
+        params_ok = ParseVertexParam(request, "k", &args.k, &error);
+      }
+      break;
+  }
+  if (!params_ok) {
+    QueueErrorResponse(conn, 400, error);
+    return;
+  }
+
+  // Admission control: bounded queues, never buffered overload. The global
+  // cap answers 429 (the client is fanning out faster than the pool
+  // drains), the per-endpoint cap 503 (this endpoint specifically is
+  // saturated); both tell the client when to come back.
+  const std::vector<std::pair<std::string, std::string>> retry_after = {
+      {"Retry-After", StrFormat("%u", options_.retry_after_seconds)}};
+  if (inflight_ >= options_.max_inflight) {
+    stat_rejected_inflight_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        conn, 429,
+        ErrorBody("Overloaded",
+                  StrFormat("server is at its in-flight cap (%u); retry",
+                            options_.max_inflight)),
+        retry_after);
+    return;
+  }
+  if (endpoint_inflight_[slot] >= options_.max_endpoint_inflight) {
+    stat_rejected_endpoint_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        conn, 503,
+        ErrorBody("Overloaded",
+                  StrFormat("endpoint %s is at its in-flight cap (%u); retry",
+                            ServerEndpointPath(endpoint),
+                            options_.max_endpoint_inflight)),
+        retry_after);
+    return;
+  }
+
+  ++inflight_;
+  ++endpoint_inflight_[slot];
+  stat_inflight_.store(inflight_, std::memory_order_relaxed);
+  conn->awaiting = true;
+  const int fd = conn->fd;
+  const uint64_t connection_id = conn->id;
+  pool_.Submit([this, fd, connection_id, endpoint, args] {
+    if (options_.handler_delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.handler_delay_ms));
+    }
+    Completion completion;
+    completion.fd = fd;
+    completion.connection_id = connection_id;
+    completion.endpoint = endpoint;
+    std::pair<int, std::string> result;
+    switch (endpoint) {
+      case ServerEndpoint::kPair:
+        result = ExecutePair(engine_, args);
+        break;
+      case ServerEndpoint::kSingleSource:
+        result = ExecuteSingleSource(engine_, args);
+        break;
+      case ServerEndpoint::kTopK:
+        result = ExecuteTopK(engine_, args);
+        break;
+    }
+    completion.status = result.first;
+    completion.body = std::move(result.second);
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex_);
+      completions_.push_back(std::move(completion));
+    }
+    const uint64_t one = 1;
+    [[maybe_unused]] const auto ignored =
+        ::write(wake_fd_, &one, sizeof(one));
+  });
+}
+
+void SimRankServer::DrainCompletions() {
+  std::deque<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    --inflight_;
+    --endpoint_inflight_[static_cast<size_t>(completion.endpoint)];
+    stat_inflight_.store(inflight_, std::memory_order_relaxed);
+    auto it = connections_.find(completion.fd);
+    if (it == connections_.end() ||
+        it->second->id != completion.connection_id) {
+      continue;  // the client hung up mid-query; drop the answer
+    }
+    Connection* conn = it->second.get();
+    conn->awaiting = false;
+    QueueResponse(conn, completion.status, completion.body);
+    // The response is queued; pipelined follow-ups may now proceed (this
+    // also closes half-closed connections once they flush).
+    ProcessBufferedRequests(conn);
+  }
+}
+
+void SimRankServer::QueueResponse(
+    Connection* conn, int status, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  const bool keep =
+      conn->request_keep_alive && !draining_ && !conn->close_after_flush;
+  HttpResponseOptions response_options;
+  response_options.keep_alive = keep;
+  response_options.extra_headers = extra_headers;
+  conn->out += BuildHttpResponse(status, body, response_options);
+  if (!keep) conn->close_after_flush = true;
+  CountResponse(status);
+  UpdateEpoll(conn);
+}
+
+void SimRankServer::QueueErrorResponse(Connection* conn, int status,
+                                       std::string_view message) {
+  const char* code = status == 400 ? "InvalidArgument" : "BadRequest";
+  QueueResponse(conn, status, ErrorBody(code, message));
+}
+
+void SimRankServer::HandleWritable(Connection* conn) {
+  while (conn->out_sent < conn->out.size()) {
+    const ssize_t sent =
+        ::send(conn->fd, conn->out.data() + conn->out_sent,
+               conn->out.size() - conn->out_sent, MSG_NOSIGNAL);
+    if (sent > 0) {
+      conn->out_sent += static_cast<size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    CloseConnection(conn);  // peer is gone; nothing left to deliver
+    return;
+  }
+  conn->out.clear();
+  conn->out_sent = 0;
+  if (conn->close_after_flush && !conn->awaiting) {
+    CloseConnection(conn);
+    return;
+  }
+  // Output drained: resume any requests that were parked on the
+  // output-backlog backpressure cap (no-op when there are none).
+  ProcessBufferedRequests(conn);
+}
+
+void SimRankServer::UpdateEpoll(Connection* conn) {
+  // Backpressure: a connection over its input or unsent-output budget is
+  // not read until the backlog drains (ProcessBufferedRequests and
+  // HandleWritable re-run this as they consume).
+  const bool over_budget =
+      conn->in.size() >=
+          options_.http.max_request_bytes + kInputBufferSlackBytes ||
+      conn->out.size() - conn->out_sent >= kMaxPendingOutputBytes;
+  uint32_t desired = 0;
+  if (!conn->close_after_flush && !conn->peer_eof && !over_budget) {
+    desired |= EPOLLIN;
+  }
+  if (conn->out_sent < conn->out.size()) desired |= EPOLLOUT;
+  if (desired == conn->epoll_events) return;
+  epoll_event event = {};
+  event.events = desired;
+  event.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &event);
+  conn->epoll_events = desired;
+}
+
+void SimRankServer::CloseConnection(Connection* conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  connections_.erase(conn->fd);
+  stat_connections_open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+#else  // !OIPSIM_HAVE_EPOLL
+
+Status SimRankServer::Bind() {
+  return Status::Unimplemented(
+      "SimRankServer requires Linux epoll/eventfd");
+}
+Status SimRankServer::Serve() {
+  return Status::Unimplemented(
+      "SimRankServer requires Linux epoll/eventfd");
+}
+void SimRankServer::Shutdown() { stop_.store(true); }
+void SimRankServer::HandleAccept() {}
+void SimRankServer::HandleReadable(Connection*) {}
+void SimRankServer::HandleWritable(Connection*) {}
+void SimRankServer::ProcessBufferedRequests(Connection*) {}
+bool SimRankServer::MaybeCloseAfterEof(Connection*) { return false; }
+void SimRankServer::RouteRequest(Connection*, const HttpRequest&) {}
+void SimRankServer::DispatchQuery(Connection*, ServerEndpoint,
+                                  const HttpRequest&) {}
+void SimRankServer::DrainCompletions() {}
+void SimRankServer::QueueResponse(
+    Connection*, int, std::string_view,
+    const std::vector<std::pair<std::string, std::string>>&) {}
+void SimRankServer::QueueErrorResponse(Connection*, int, std::string_view) {}
+void SimRankServer::UpdateEpoll(Connection*) {}
+void SimRankServer::CloseConnection(Connection*) {}
+
+#endif  // OIPSIM_HAVE_EPOLL
+
+Status SimRankServer::Warm(std::span<const VertexId> vertices) {
+  const uint32_t n = engine_.index().n();
+  for (const VertexId v : vertices) {
+    if (v >= n) {
+      return Status::OutOfRange(StrFormat(
+          "warm vertex %u out of range (index has %u vertices)", v, n));
+    }
+  }
+  // Page-cache first (one madvise sweep on mmap backends), then the row
+  // cache: the SingleSource misses below fault warm pages, not cold disk.
+  engine_.index().store().Prefetch(vertices);
+  for (const VertexId v : vertices) {
+    auto row = engine_.SingleSource(v);
+    if (!row.ok()) return row.status();
+  }
+  return Status::OK();
+}
+
+ServerStats SimRankServer::stats() const {
+  ServerStats stats;
+  for (uint32_t i = 0; i < kNumServerEndpoints; ++i) {
+    stats.requests[i] = stat_requests_[i].load(std::memory_order_relaxed);
+  }
+  stats.requests_stats =
+      stat_requests_stats_.load(std::memory_order_relaxed);
+  stats.requests_healthz =
+      stat_requests_healthz_.load(std::memory_order_relaxed);
+  stats.responses_2xx = stat_responses_2xx_.load(std::memory_order_relaxed);
+  stats.responses_4xx = stat_responses_4xx_.load(std::memory_order_relaxed);
+  stats.responses_5xx = stat_responses_5xx_.load(std::memory_order_relaxed);
+  stats.rejected_inflight =
+      stat_rejected_inflight_.load(std::memory_order_relaxed);
+  stats.rejected_endpoint =
+      stat_rejected_endpoint_.load(std::memory_order_relaxed);
+  stats.connections_accepted =
+      stat_connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_open =
+      stat_connections_open_.load(std::memory_order_relaxed);
+  stats.inflight = stat_inflight_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void SimRankServer::CountResponse(int status) {
+  if (status < 300) {
+    stat_responses_2xx_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status < 500) {
+    stat_responses_4xx_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stat_responses_5xx_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::string SimRankServer::BuildStatsBody() const {
+  const ServerStats stats = this->stats();
+  const QueryEngine::CacheStats cache = engine_.cache_stats();
+  const WalkIndex& index = engine_.index();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("server").BeginObject();
+  json.Key("inflight").Uint(inflight_);
+  json.Key("max_inflight").Uint(options_.max_inflight);
+  json.Key("max_endpoint_inflight").Uint(options_.max_endpoint_inflight);
+  json.Key("threads").Uint(pool_.num_threads());
+  json.Key("draining").Bool(draining_);
+  json.EndObject();
+  json.Key("requests").BeginObject();
+  json.Key("pair").Uint(
+      stats.requests[static_cast<size_t>(ServerEndpoint::kPair)]);
+  json.Key("single_source")
+      .Uint(stats.requests[static_cast<size_t>(
+          ServerEndpoint::kSingleSource)]);
+  json.Key("topk").Uint(
+      stats.requests[static_cast<size_t>(ServerEndpoint::kTopK)]);
+  json.Key("stats").Uint(stats.requests_stats);
+  json.Key("healthz").Uint(stats.requests_healthz);
+  json.EndObject();
+  json.Key("responses").BeginObject();
+  json.Key("2xx").Uint(stats.responses_2xx);
+  json.Key("4xx").Uint(stats.responses_4xx);
+  json.Key("5xx").Uint(stats.responses_5xx);
+  json.EndObject();
+  json.Key("admission").BeginObject();
+  json.Key("rejected_inflight").Uint(stats.rejected_inflight);
+  json.Key("rejected_endpoint").Uint(stats.rejected_endpoint);
+  json.EndObject();
+  json.Key("connections").BeginObject();
+  json.Key("accepted").Uint(stats.connections_accepted);
+  json.Key("open").Uint(stats.connections_open);
+  json.EndObject();
+  json.Key("cache").BeginObject();
+  json.Key("hits").Uint(cache.hits);
+  json.Key("misses").Uint(cache.misses);
+  json.Key("evictions").Uint(cache.evictions);
+  json.EndObject();
+  json.Key("index").BeginObject();
+  json.Key("vertices").Uint(index.n());
+  json.Key("fingerprints").Uint(index.options().num_fingerprints);
+  json.Key("walk_length").Uint(index.options().walk_length);
+  json.Key("damping").Double(index.options().damping);
+  json.Key("seed").Uint(index.options().seed);
+  json.Key("graph_fingerprint")
+      .String(FormatFingerprint(index.graph_fingerprint()));
+  json.Key("backend").String(index.store().backend_name());
+  json.Key("resident_bytes").Uint(index.SizeBytes());
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace simrank

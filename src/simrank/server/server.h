@@ -1,0 +1,208 @@
+// Epoll HTTP serving frontend over a QueryEngine.
+//
+// One event-loop thread owns every socket: nonblocking accept on the
+// listener, buffered reads, request parsing (server/http.h), response
+// flushing, keep-alive and pipelining. Query work never runs on the loop:
+// a validated request is *dispatched* to a worker pool and the connection
+// keeps reading-writing other traffic until the worker's completion is
+// handed back through an eventfd-signalled queue. Cheap introspection
+// endpoints (/healthz, /v1/stats) are answered inline on the loop, so they
+// respond even when every worker is busy — that is what makes the stats
+// endpoint usable as an overload probe.
+//
+// Admission control protects cold rows: a request beyond the global
+// in-flight cap is rejected with 429, one beyond its endpoint's in-flight
+// limit with 503, both carrying Retry-After — the request queue is
+// bounded by construction and the server never buffers work it cannot
+// serve. Rejections are serialized on the loop thread, so they stay fast
+// and allocation-light under fanout.
+//
+// Endpoints (all GET, JSON):
+//   /v1/pair?a=&b=            s(a, b)
+//   /v1/single_source?v=      the full row s(v, .)
+//   /v1/topk?v=&k=            k most similar vertices (default k=10)
+//   /v1/stats                 request/admission/cache/index counters
+//   /healthz                  liveness probe (text/plain)
+//
+// Lifecycle: Bind() (port 0 picks a free port, see port()), then Serve()
+// blocks until Shutdown() — which is async-signal-safe, so a SIGINT/
+// SIGTERM handler may call it directly. Shutdown drains: the listener
+// closes first, in-flight queries finish and flush, then Serve returns.
+#ifndef OIPSIM_SIMRANK_SERVER_SERVER_H_
+#define OIPSIM_SIMRANK_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simrank/common/status.h"
+#include "simrank/common/thread_pool.h"
+#include "simrank/index/query_engine.h"
+#include "simrank/server/http.h"
+
+namespace simrank {
+
+/// The dispatchable query endpoints (inline endpoints are not admission-
+/// controlled and not enumerated here).
+enum class ServerEndpoint : uint8_t { kPair = 0, kSingleSource, kTopK };
+inline constexpr uint32_t kNumServerEndpoints = 3;
+
+/// Returns the path of `endpoint` ("/v1/pair", ...).
+const char* ServerEndpointPath(ServerEndpoint endpoint);
+
+/// Serving knobs. Defaults suit a loopback deployment; Validate() gates
+/// every field the flags can reach.
+struct ServerOptions {
+  /// Listening address; queries carry no authentication, so binding
+  /// non-loopback addresses is the operator's deliberate choice.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 lets the kernel pick one (read it back via port()).
+  uint16_t port = 8080;
+  /// Worker threads executing queries; 0 means hardware concurrency.
+  uint32_t threads = 0;
+  /// Global cap on dispatched-but-unfinished queries; the 429 boundary.
+  uint32_t max_inflight = 64;
+  /// Per-endpoint cap on dispatched-but-unfinished queries; the 503
+  /// boundary (a single-source fanout cannot starve cheap pair traffic).
+  uint32_t max_endpoint_inflight = 32;
+  /// Connections beyond this are accepted and immediately closed.
+  uint32_t max_connections = 1024;
+  /// Retry-After value on 429/503 responses, in seconds.
+  uint32_t retry_after_seconds = 1;
+  /// Synthetic per-query service time, in milliseconds. Zero in
+  /// production; the admission-control tests and the throughput bench use
+  /// it to hold queries in flight deterministically.
+  uint32_t handler_delay_ms = 0;
+  /// Request-parser hardening limits.
+  HttpLimits http;
+
+  Status Validate() const;
+};
+
+/// Monotonic counters since construction, readable from any thread.
+struct ServerStats {
+  /// Dispatchable requests routed per endpoint (admitted or rejected).
+  uint64_t requests[kNumServerEndpoints] = {};
+  uint64_t requests_stats = 0;
+  uint64_t requests_healthz = 0;
+  /// Responses by status class.
+  uint64_t responses_2xx = 0;
+  uint64_t responses_4xx = 0;
+  uint64_t responses_5xx = 0;
+  /// Admission rejections: global cap (429) and endpoint cap (503).
+  uint64_t rejected_inflight = 0;
+  uint64_t rejected_endpoint = 0;
+  uint64_t connections_accepted = 0;
+  uint64_t connections_open = 0;
+  /// Dispatched queries not yet completed.
+  uint64_t inflight = 0;
+};
+
+/// Single-listener epoll server. The engine (and its index) must outlive
+/// the server. Linux-only (epoll/eventfd); Bind returns Unimplemented
+/// elsewhere.
+class SimRankServer {
+ public:
+  SimRankServer(QueryEngine& engine, const ServerOptions& options);
+  ~SimRankServer();
+
+  OIPSIM_DISALLOW_COPY_AND_ASSIGN(SimRankServer);
+
+  /// Validates options, binds and listens. Must precede Serve().
+  Status Bind();
+
+  /// The bound port (the kernel's choice when options.port was 0).
+  uint16_t port() const { return bound_port_; }
+
+  /// Runs the event loop on the calling thread until Shutdown(). Returns
+  /// OK after a clean drain.
+  Status Serve();
+
+  /// Requests a graceful stop: stop accepting, finish in-flight queries,
+  /// flush, return from Serve. Callable from any thread and from signal
+  /// handlers (it only touches an atomic and an eventfd write).
+  void Shutdown();
+
+  /// Faults in the storage pages of `vertices` (mmap backends) and
+  /// populates the row cache, so first traffic hits warm rows. Call
+  /// between Bind and Serve.
+  Status Warm(std::span<const VertexId> vertices);
+
+  /// Counter snapshot; safe concurrently with Serve.
+  ServerStats stats() const;
+
+ private:
+  struct Connection;
+  struct Completion;
+
+  // Event-loop steps (loop thread only).
+  void HandleAccept();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  void ProcessBufferedRequests(Connection* conn);
+  bool MaybeCloseAfterEof(Connection* conn);
+  void RouteRequest(Connection* conn, const HttpRequest& request);
+  void DispatchQuery(Connection* conn, ServerEndpoint endpoint,
+                     const HttpRequest& request);
+  void DrainCompletions();
+  void QueueResponse(Connection* conn, int status, std::string_view body,
+                     const std::vector<std::pair<std::string, std::string>>&
+                         extra_headers = {});
+  void QueueErrorResponse(Connection* conn, int status,
+                          std::string_view message);
+  void UpdateEpoll(Connection* conn);
+  void CloseConnection(Connection* conn);
+  std::string BuildStatsBody() const;
+  void CountResponse(int status);
+
+  QueryEngine& engine_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  /// Sacrificial fd closed to accept-then-shed under EMFILE/ENFILE (the
+  /// level-triggered listener would otherwise busy-spin the loop).
+  int reserve_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool draining_ = false;
+
+  /// Live connections by fd; ids disambiguate completions across fd reuse.
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  uint64_t next_connection_id_ = 1;
+
+  /// Loop-thread view of admission state.
+  uint32_t inflight_ = 0;
+  uint32_t endpoint_inflight_[kNumServerEndpoints] = {};
+
+  /// Worker -> loop handoff.
+  std::mutex completions_mutex_;
+  std::deque<Completion> completions_;
+
+  /// Counters (relaxed atomics: read by stats() from other threads).
+  mutable std::atomic<uint64_t> stat_requests_[kNumServerEndpoints] = {};
+  mutable std::atomic<uint64_t> stat_requests_stats_{0};
+  mutable std::atomic<uint64_t> stat_requests_healthz_{0};
+  mutable std::atomic<uint64_t> stat_responses_2xx_{0};
+  mutable std::atomic<uint64_t> stat_responses_4xx_{0};
+  mutable std::atomic<uint64_t> stat_responses_5xx_{0};
+  mutable std::atomic<uint64_t> stat_rejected_inflight_{0};
+  mutable std::atomic<uint64_t> stat_rejected_endpoint_{0};
+  mutable std::atomic<uint64_t> stat_connections_accepted_{0};
+  mutable std::atomic<uint64_t> stat_connections_open_{0};
+  mutable std::atomic<uint64_t> stat_inflight_{0};
+
+  /// Declared last so its destructor joins workers before fds close.
+  ThreadPool pool_;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_SERVER_SERVER_H_

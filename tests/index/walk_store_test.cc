@@ -704,5 +704,123 @@ TEST(WalkStoreTest, InfoReflectsTheSavedHeader) {
   EXPECT_FALSE(ReadWalkIndexInfo("/no/such/index.widx").ok());
 }
 
+TEST(WalkStoreTest, ParallelOpenMatchesSerialBitwise) {
+  // Big enough that the parallel path actually splits into blocks.
+  DiGraph graph = testing::RandomGraph(257, 1400, 23);
+  WalkIndex index = BuildSmallIndex(graph);
+  const std::string path = TempPath("store_parallel_open.widx");
+  WalkIndex::SaveOptions save;
+  save.compress = true;
+  ASSERT_TRUE(index.Save(path, save).ok());
+
+  auto serial = InMemoryWalkStore::Open(path, 1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  const WalkStoreMeta& meta = (*serial)->meta();
+  const size_t total_words = (*serial)->WalkWords() * meta.n;
+  for (const uint32_t threads : {2u, 3u, 8u}) {
+    auto parallel = InMemoryWalkStore::Open(path, threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(std::memcmp((*serial)->FlatWalks(), (*parallel)->FlatWalks(),
+                          total_words * sizeof(uint32_t)),
+              0)
+        << "flat walk table differs at " << threads << " threads";
+    EXPECT_EQ((*serial)->ResidentBytes(), (*parallel)->ResidentBytes());
+    for (uint32_t r = 0; r < meta.num_fingerprints; ++r) {
+      for (uint32_t t = 1; t <= meta.walk_length; ++t) {
+        const WalkStore::SlotView lhs = (*serial)->Slot(r, t);
+        const WalkStore::SlotView rhs = (*parallel)->Slot(r, t);
+        ASSERT_EQ(lhs.count, rhs.count);
+        ASSERT_EQ(std::memcmp(lhs.positions, rhs.positions,
+                              lhs.count * sizeof(uint32_t)),
+                  0);
+        ASSERT_EQ(std::memcmp(lhs.vertices, rhs.vertices,
+                              lhs.count * sizeof(uint32_t)),
+                  0);
+      }
+    }
+  }
+}
+
+TEST(WalkStoreTest, ParallelOpenReportsTheSerialFirstCorruptVertex) {
+  // Two corrupt segments with checksums made consistent again, so the
+  // decode (not the checksum sweep) is what fails: every thread count
+  // must report the *first* corrupt vertex, exactly like the serial pass.
+  DiGraph graph = testing::RandomGraph(64, 300, 9);
+  WalkIndex index = BuildSmallIndex(graph);
+  const std::string path = TempPath("store_parallel_corrupt_src.widx");
+  WalkIndex::SaveOptions save;
+  save.compress = true;
+  ASSERT_TRUE(index.Save(path, save).ok());
+  auto info = ReadWalkIndexInfo(path);
+  ASSERT_TRUE(info.ok());
+  std::string bytes = ReadFileBytes(path);
+  const size_t segments_offset =
+      info->file_bytes - info->inverted_bytes - info->segment_bytes;
+  const size_t inverted_offset = info->file_bytes - info->inverted_bytes;
+  const auto* seg_rel =
+      reinterpret_cast<const uint64_t*>(bytes.data() + 4096);
+  // Five 0xFF bytes: an over-long varint32, malformed for any suffix.
+  for (const uint32_t victim : {19u, 47u}) {
+    for (size_t i = 0; i < 5; ++i) {
+      bytes[segments_offset + seg_rel[victim] + i] =
+          static_cast<char>(0xFF);
+    }
+  }
+  // Re-seal payload and header checksums the way the writer computes them.
+  StreamHasher payload_hasher(0x5349574b32504159ULL);
+  payload_hasher.AbsorbBytes(
+      reinterpret_cast<const uint8_t*>(bytes.data()) + segments_offset,
+      info->segment_bytes);
+  payload_hasher.AbsorbBytes(
+      reinterpret_cast<const uint8_t*>(bytes.data()) + inverted_offset,
+      info->inverted_bytes);
+  const uint64_t payload_checksum = payload_hasher.digest();
+  std::memcpy(bytes.data() + 80, &payload_checksum,
+              sizeof(payload_checksum));
+  StreamHasher header_hasher(0x5349574b32484452ULL);
+  header_hasher.AbsorbBytes(reinterpret_cast<const uint8_t*>(bytes.data()),
+                            96);
+  const uint64_t header_checksum = header_hasher.digest();
+  std::memcpy(bytes.data() + 96, &header_checksum,
+              sizeof(header_checksum));
+  const std::string corrupt_path = TempPath("store_parallel_corrupt.widx");
+  WriteFileBytes(corrupt_path, bytes);
+
+  auto serial = InMemoryWalkStore::Open(corrupt_path, 1);
+  ASSERT_FALSE(serial.ok());
+  EXPECT_NE(serial.status().message().find("vertex 19"), std::string::npos)
+      << serial.status().ToString();
+  for (const uint32_t threads : {2u, 8u}) {
+    auto parallel = InMemoryWalkStore::Open(corrupt_path, threads);
+    ASSERT_FALSE(parallel.ok());
+    EXPECT_EQ(parallel.status(), serial.status())
+        << "threads=" << threads << ": "
+        << parallel.status().ToString();
+  }
+}
+
+TEST(WalkStoreTest, PrefetchIsAHintThatChangesNothing) {
+  DiGraph graph = testing::PaperExampleGraph();
+  WalkIndex index = BuildSmallIndex(graph);
+  const std::string path = TempPath("store_prefetch.widx");
+  WalkIndex::SaveOptions save;
+  save.compress = true;
+  ASSERT_TRUE(index.Save(path, save).ok());
+  WalkIndex::LoadOptions mmap_load;
+  mmap_load.use_mmap = true;
+  auto mapped = WalkIndex::Load(path, mmap_load);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  // Duplicates, unsorted input and out-of-range ids are all tolerated: a
+  // stale warm list must never take the server down.
+  const std::vector<VertexId> warm = {8, 0, 3, 3, 1, 1000000};
+  mapped->store().Prefetch(warm);
+  index.store().Prefetch(warm);  // in-memory backend: explicit no-op
+  for (VertexId a = 0; a < graph.n(); ++a) {
+    for (VertexId b = 0; b < graph.n(); ++b) {
+      EXPECT_EQ(mapped->EstimatePair(a, b), index.EstimatePair(a, b));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace simrank

@@ -1,0 +1,279 @@
+#include "simrank/server/http.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace simrank {
+namespace {
+
+HttpParseStatus Parse(std::string_view input, HttpRequest* request,
+                      const HttpLimits& limits = HttpLimits()) {
+  return ParseHttpRequest(input, limits, request);
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpRequest request;
+  const std::string input =
+      "GET /v1/pair?a=1&b=2 HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  const HttpParseStatus parsed = Parse(input, &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kComplete);
+  EXPECT_EQ(parsed.consumed, input.size());
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/v1/pair");
+  ASSERT_EQ(request.params.size(), 2u);
+  EXPECT_EQ(request.params[0].first, "a");
+  EXPECT_EQ(request.params[0].second, "1");
+  EXPECT_EQ(request.params[1].first, "b");
+  EXPECT_EQ(request.params[1].second, "2");
+  EXPECT_TRUE(request.keep_alive);
+  ASSERT_NE(request.FindParam("a"), nullptr);
+  EXPECT_EQ(*request.FindParam("a"), "1");
+  EXPECT_EQ(request.FindParam("zz"), nullptr);
+}
+
+TEST(HttpParserTest, TruncatedRequestNeedsMore) {
+  HttpRequest request;
+  const std::string full =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  // Every proper prefix must come back kNeedMore, never an error.
+  for (size_t length = 0; length < full.size(); ++length) {
+    const HttpParseStatus parsed =
+        Parse(std::string_view(full).substr(0, length), &request);
+    EXPECT_EQ(parsed.outcome, HttpParseStatus::kNeedMore)
+        << "prefix length " << length;
+  }
+  EXPECT_EQ(Parse(full, &request).outcome, HttpParseStatus::kComplete);
+}
+
+TEST(HttpParserTest, PipelinedRequestsConsumeExactly) {
+  HttpRequest request;
+  const std::string first = "GET /v1/pair?a=1&b=2 HTTP/1.1\r\n\r\n";
+  const std::string second = "GET /healthz HTTP/1.1\r\n\r\n";
+  const std::string input = first + second;
+  HttpParseStatus parsed = Parse(input, &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kComplete);
+  EXPECT_EQ(parsed.consumed, first.size());
+  EXPECT_EQ(request.path, "/v1/pair");
+  parsed = Parse(std::string_view(input).substr(parsed.consumed), &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kComplete);
+  EXPECT_EQ(parsed.consumed, second.size());
+  EXPECT_EQ(request.path, "/healthz");
+}
+
+TEST(HttpParserTest, PercentDecodingInPathAndQuery) {
+  HttpRequest request;
+  const HttpParseStatus parsed = Parse(
+      "GET /v1%2Fx?key%20a=va%6Cue+1&flag HTTP/1.1\r\n\r\n", &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kComplete);
+  EXPECT_EQ(request.path, "/v1/x");
+  ASSERT_EQ(request.params.size(), 2u);
+  EXPECT_EQ(request.params[0].first, "key a");
+  EXPECT_EQ(request.params[0].second, "value 1");
+  EXPECT_EQ(request.params[1].first, "flag");
+  EXPECT_EQ(request.params[1].second, "");
+}
+
+TEST(HttpParserTest, PlusStaysLiteralInPath) {
+  HttpRequest request;
+  const HttpParseStatus parsed =
+      Parse("GET /a+b HTTP/1.1\r\n\r\n", &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kComplete);
+  EXPECT_EQ(request.path, "/a+b");
+}
+
+TEST(HttpParserTest, MalformedPercentEscapeIs400) {
+  HttpRequest request;
+  for (const char* target : {"/v1/pair?a=%zz", "/v1/pair?a=%1", "/%"}) {
+    const HttpParseStatus parsed = Parse(
+        std::string("GET ") + target + " HTTP/1.1\r\n\r\n", &request);
+    EXPECT_EQ(parsed.outcome, HttpParseStatus::kError) << target;
+    EXPECT_EQ(parsed.error_status, 400) << target;
+  }
+}
+
+TEST(HttpParserTest, MalformedRequestLineIs400) {
+  HttpRequest request;
+  for (const char* input :
+       {"GET/healthz HTTP/1.1\r\n\r\n", "GET /x HTTP/1.1 extra\r\n\r\n",
+        "GET relative HTTP/1.1\r\n\r\n", " / HTTP/1.1\r\n\r\n"}) {
+    const HttpParseStatus parsed = Parse(input, &request);
+    EXPECT_EQ(parsed.outcome, HttpParseStatus::kError) << input;
+    EXPECT_EQ(parsed.error_status, 400) << input;
+  }
+}
+
+TEST(HttpParserTest, UnsupportedVersionIs505) {
+  HttpRequest request;
+  const HttpParseStatus parsed =
+      Parse("GET / HTTP/2.0\r\n\r\n", &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kError);
+  EXPECT_EQ(parsed.error_status, 505);
+}
+
+TEST(HttpParserTest, OversizedHeadIs431BeforeTermination) {
+  HttpLimits limits;
+  limits.max_request_bytes = 128;
+  HttpRequest request;
+  // No terminator yet, but already over budget: must reject now, not
+  // buffer forever.
+  const std::string drip =
+      "GET / HTTP/1.1\r\nX-Pad: " + std::string(200, 'a');
+  const HttpParseStatus parsed = Parse(drip, &request, limits);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kError);
+  EXPECT_EQ(parsed.error_status, 431);
+}
+
+TEST(HttpParserTest, OversizedTargetIs414) {
+  HttpLimits limits;
+  limits.max_target_bytes = 32;
+  HttpRequest request;
+  const std::string input =
+      "GET /v1/pair?a=" + std::string(64, '1') + " HTTP/1.1\r\n\r\n";
+  const HttpParseStatus parsed = Parse(input, &request, limits);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kError);
+  EXPECT_EQ(parsed.error_status, 414);
+}
+
+TEST(HttpParserTest, TooManyHeadersIs431) {
+  HttpLimits limits;
+  limits.max_headers = 4;
+  std::string input = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 6; ++i) {
+    input += "X-H" + std::to_string(i) + ": v\r\n";
+  }
+  input += "\r\n";
+  HttpRequest request;
+  const HttpParseStatus parsed = Parse(input, &request, limits);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kError);
+  EXPECT_EQ(parsed.error_status, 431);
+}
+
+TEST(HttpParserTest, RequestBodiesAre501) {
+  HttpRequest request;
+  HttpParseStatus parsed = Parse(
+      "POST /v1/pair HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
+      &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kError);
+  EXPECT_EQ(parsed.error_status, 501);
+
+  parsed = Parse(
+      "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kError);
+  EXPECT_EQ(parsed.error_status, 501);
+
+  // An explicit zero-length body is harmless and accepted.
+  parsed = Parse("GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n", &request);
+  EXPECT_EQ(parsed.outcome, HttpParseStatus::kComplete);
+}
+
+TEST(HttpParserTest, EmbeddedNulBytesAreRejected) {
+  HttpRequest request;
+  // strchr-based token checks famously accept '\0' (it matches the
+  // literal's terminator); both the method and header-name paths must
+  // reject it explicitly.
+  const std::string nul_method("GE\0T / HTTP/1.1\r\n\r\n", 19);
+  HttpParseStatus parsed = Parse(nul_method, &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kError);
+  EXPECT_EQ(parsed.error_status, 400);
+
+  const std::string nul_header("GET / HTTP/1.1\r\nX\0Y: v\r\n\r\n", 26);
+  parsed = Parse(nul_header, &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kError);
+  EXPECT_EQ(parsed.error_status, 400);
+}
+
+TEST(HttpParserTest, MalformedHeaderFieldIs400) {
+  HttpRequest request;
+  for (const char* input :
+       {"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+        "GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+        "GET / HTTP/1.1\r\nBad Name: v\r\n\r\n"}) {
+    const HttpParseStatus parsed = Parse(input, &request);
+    EXPECT_EQ(parsed.outcome, HttpParseStatus::kError) << input;
+    EXPECT_EQ(parsed.error_status, 400) << input;
+  }
+}
+
+TEST(HttpParserTest, KeepAliveSemantics) {
+  HttpRequest request;
+  ASSERT_EQ(Parse("GET / HTTP/1.1\r\n\r\n", &request).outcome,
+            HttpParseStatus::kComplete);
+  EXPECT_TRUE(request.keep_alive);
+
+  ASSERT_EQ(
+      Parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n", &request)
+          .outcome,
+      HttpParseStatus::kComplete);
+  EXPECT_FALSE(request.keep_alive);
+
+  ASSERT_EQ(Parse("GET / HTTP/1.0\r\n\r\n", &request).outcome,
+            HttpParseStatus::kComplete);
+  EXPECT_FALSE(request.keep_alive);
+  EXPECT_EQ(request.minor_version, 0);
+
+  ASSERT_EQ(
+      Parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", &request)
+          .outcome,
+      HttpParseStatus::kComplete);
+  EXPECT_TRUE(request.keep_alive);
+
+  // Token list form.
+  ASSERT_EQ(Parse("GET / HTTP/1.1\r\nConnection: foo, Close\r\n\r\n",
+                  &request)
+                .outcome,
+            HttpParseStatus::kComplete);
+  EXPECT_FALSE(request.keep_alive);
+}
+
+TEST(HttpParserTest, EmptyAndDuplicateQueryPieces) {
+  HttpRequest request;
+  const HttpParseStatus parsed =
+      Parse("GET /x?a=1&&a=2&b= HTTP/1.1\r\n\r\n", &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kComplete);
+  ASSERT_EQ(request.params.size(), 3u);
+  EXPECT_EQ(*request.FindParam("a"), "1");  // first wins
+  EXPECT_EQ(*request.FindParam("b"), "");
+}
+
+TEST(HttpResponseTest, SerializesStatusHeadersAndBody) {
+  HttpResponseOptions options;
+  options.keep_alive = true;
+  options.extra_headers = {{"Retry-After", "1"}};
+  const std::string response =
+      BuildHttpResponse(429, "{\"error\":1}", options);
+  EXPECT_EQ(response,
+            "HTTP/1.1 429 Too Many Requests\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: 11\r\n"
+            "Connection: keep-alive\r\n"
+            "Retry-After: 1\r\n"
+            "\r\n"
+            "{\"error\":1}");
+}
+
+TEST(HttpResponseTest, CloseConnectionHeader) {
+  HttpResponseOptions options;
+  options.keep_alive = false;
+  options.content_type = "text/plain";
+  const std::string response = BuildHttpResponse(200, "ok\n", options);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain\r\n"),
+            std::string::npos);
+}
+
+TEST(PercentDecodeTest, Basics) {
+  std::string out;
+  EXPECT_TRUE(PercentDecode("a%2Bb", false, &out));
+  EXPECT_EQ(out, "a+b");
+  EXPECT_TRUE(PercentDecode("a+b", true, &out));
+  EXPECT_EQ(out, "a b");
+  EXPECT_TRUE(PercentDecode("a+b", false, &out));
+  EXPECT_EQ(out, "a+b");
+  EXPECT_FALSE(PercentDecode("%", false, &out));
+  EXPECT_FALSE(PercentDecode("%4", false, &out));
+  EXPECT_FALSE(PercentDecode("%gg", false, &out));
+}
+
+}  // namespace
+}  // namespace simrank

@@ -1,0 +1,429 @@
+// End-to-end tests of the epoll serving frontend: real sockets against a
+// real QueryEngine, concurrent clients, admission control, shutdown.
+#include "simrank/server/server.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simrank/common/string_util.h"
+#include "simrank/index/query_engine.h"
+#include "simrank/index/walk_index.h"
+#include "simrank/server/http_client.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+/// A server over a small deterministic graph, running on its own thread.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerOptions options = {},
+                         uint32_t fingerprints = 64)
+      : graph_(testing::RandomGraph(60, 240, 11)),
+        index_(BuildIndex(graph_, fingerprints)),
+        engine_(index_),
+        reference_engine_(index_) {
+    options.port = 0;  // every fixture gets its own free port
+    server_ = std::make_unique<SimRankServer>(engine_, options);
+    OIPSIM_CHECK(server_->Bind().ok());
+    serve_thread_ = std::thread([this] { serve_status_ = server_->Serve(); });
+  }
+
+  ~ServerFixture() { StopAndJoin(); }
+
+  void StopAndJoin() {
+    if (serve_thread_.joinable()) {
+      server_->Shutdown();
+      serve_thread_.join();
+    }
+  }
+
+  uint16_t port() const { return server_->port(); }
+  SimRankServer& server() { return *server_; }
+  const DiGraph& graph() const { return graph_; }
+  /// A second engine over the same index: direct answers unperturbed by
+  /// the served engine's cache state (they must agree bitwise anyway).
+  QueryEngine& reference() { return reference_engine_; }
+  const Status& serve_status() const { return serve_status_; }
+
+ private:
+  static WalkIndex BuildIndex(const DiGraph& graph, uint32_t fingerprints) {
+    WalkIndexOptions options;
+    options.num_fingerprints = fingerprints;
+    auto index = WalkIndex::Build(graph, options);
+    OIPSIM_CHECK(index.ok());
+    return std::move(index).value();
+  }
+
+  DiGraph graph_;
+  WalkIndex index_;
+  QueryEngine engine_;
+  QueryEngine reference_engine_;
+  std::unique_ptr<SimRankServer> server_;
+  std::thread serve_thread_;
+  Status serve_status_;
+};
+
+TEST(ServerTest, PairMatchesDirectEngineBitwise) {
+  ServerFixture fixture;
+  auto client = LoopbackHttpClient::Connect(fixture.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  for (VertexId a = 0; a < fixture.graph().n(); a += 7) {
+    for (VertexId b = 1; b < fixture.graph().n(); b += 11) {
+      auto response = client->Get(
+          StrFormat("/v1/pair?a=%u&b=%u", a, b));
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_EQ(response->status, 200) << response->body;
+      const double served = FindJsonNumber(response->body, "score");
+      auto direct = fixture.reference().Pair(a, b);
+      ASSERT_TRUE(direct.ok());
+      const double expected = *direct;
+      EXPECT_EQ(std::memcmp(&served, &expected, sizeof(double)), 0)
+          << "pair (" << a << ", " << b << "): served " << served
+          << " direct " << expected;
+    }
+  }
+}
+
+TEST(ServerTest, SingleSourceRowMatchesBitwise) {
+  ServerFixture fixture;
+  auto client = LoopbackHttpClient::Connect(fixture.port());
+  ASSERT_TRUE(client.ok());
+  for (VertexId v : {0u, 17u, 59u}) {
+    auto response = client->Get(StrFormat("/v1/single_source?v=%u", v));
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status, 200) << response->body;
+    auto direct = fixture.reference().SingleSource(v);
+    ASSERT_TRUE(direct.ok());
+    const std::vector<double>& expected = **direct;
+    const std::vector<double> served =
+        FindJsonNumberArray(response->body, "scores");
+    ASSERT_EQ(served.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(std::memcmp(&served[i], &expected[i], sizeof(double)), 0)
+          << "row " << v << " entry " << i;
+    }
+  }
+}
+
+TEST(ServerTest, TopKMatchesDirectEngineBitwise) {
+  ServerFixture fixture;
+  auto client = LoopbackHttpClient::Connect(fixture.port());
+  ASSERT_TRUE(client.ok());
+  for (VertexId v : {3u, 42u}) {
+    auto response = client->Get(StrFormat("/v1/topk?v=%u&k=5", v));
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status, 200) << response->body;
+    auto direct = fixture.reference().TopK(v, 5);
+    ASSERT_TRUE(direct.ok());
+    size_t cursor = 0;
+    for (const ScoredVertex& scored : *direct) {
+      const double vertex =
+          FindJsonNumber(response->body, "vertex", &cursor);
+      const double served =
+          FindJsonNumber(response->body, "score", &cursor);
+      EXPECT_EQ(static_cast<VertexId>(vertex), scored.vertex);
+      EXPECT_EQ(std::memcmp(&served, &scored.score, sizeof(double)), 0)
+          << "topk of " << v << " at vertex " << scored.vertex;
+    }
+  }
+}
+
+TEST(ServerTest, ConcurrentClientsGetConsistentAnswers) {
+  ServerOptions options;
+  options.threads = 4;
+  ServerFixture fixture(options);
+  constexpr uint32_t kClients = 4;
+  constexpr uint32_t kRequests = 40;
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kClients, 0);
+  for (uint32_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&fixture, &failures, c] {
+      auto client = LoopbackHttpClient::Connect(fixture.port());
+      if (!client.ok()) {
+        failures[c] = 1;
+        return;
+      }
+      for (uint32_t i = 0; i < kRequests; ++i) {
+        const VertexId a = (c * 13 + i) % fixture.graph().n();
+        const VertexId b = (c * 7 + i * 3) % fixture.graph().n();
+        auto response =
+            client->Get(StrFormat("/v1/pair?a=%u&b=%u", a, b));
+        if (!response.ok() || response->status != 200) {
+          failures[c] = 2;
+          return;
+        }
+        const double served = FindJsonNumber(response->body, "score");
+        auto direct = fixture.reference().Pair(a, b);
+        const double expected = *direct;
+        if (std::memcmp(&served, &expected, sizeof(double)) != 0) {
+          failures[c] = 3;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  for (uint32_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+  const ServerStats stats = fixture.server().stats();
+  EXPECT_GE(stats.responses_2xx, kClients * kRequests);
+  EXPECT_EQ(stats.responses_5xx, 0u);
+}
+
+TEST(ServerTest, RejectsWith429OverInflightCap) {
+  ServerOptions options;
+  options.threads = 2;
+  options.max_inflight = 1;
+  options.handler_delay_ms = 300;
+  options.retry_after_seconds = 7;
+  ServerFixture fixture(options);
+
+  auto slow = LoopbackHttpClient::Connect(fixture.port());
+  ASSERT_TRUE(slow.ok());
+  // Dispatch the first query; it holds the single in-flight slot for
+  // handler_delay_ms.
+  ASSERT_TRUE(
+      slow->SendRaw("GET /v1/pair?a=0&b=1 HTTP/1.1\r\n\r\n").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  auto rejected = HttpGet(fixture.port(), "/v1/pair?a=2&b=3");
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_EQ(rejected->status, 429) << rejected->body;
+  ASSERT_NE(rejected->FindHeader("retry-after"), nullptr);
+  EXPECT_EQ(*rejected->FindHeader("retry-after"), "7");
+
+  // Inline endpoints still answer while the pool is saturated.
+  auto health = HttpGet(fixture.port(), "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+
+  // The admitted query completes normally.
+  auto first = slow->ReadResponse();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status, 200);
+
+  const ServerStats stats = fixture.server().stats();
+  EXPECT_EQ(stats.rejected_inflight, 1u);
+  EXPECT_EQ(stats.rejected_endpoint, 0u);
+}
+
+TEST(ServerTest, RejectsWith503OverEndpointCap) {
+  ServerOptions options;
+  options.threads = 4;
+  options.max_inflight = 16;
+  options.max_endpoint_inflight = 1;
+  options.handler_delay_ms = 300;
+  ServerFixture fixture(options);
+
+  auto slow = LoopbackHttpClient::Connect(fixture.port());
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(
+      slow->SendRaw("GET /v1/pair?a=0&b=1 HTTP/1.1\r\n\r\n").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Same endpoint: over its cap -> 503.
+  auto rejected = HttpGet(fixture.port(), "/v1/pair?a=2&b=3");
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->status, 503) << rejected->body;
+  EXPECT_NE(rejected->FindHeader("retry-after"), nullptr);
+
+  // A different endpoint still has budget.
+  auto other = HttpGet(fixture.port(), "/v1/topk?v=1&k=3");
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->status, 200) << other->body;
+
+  auto first = slow->ReadResponse();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->status, 200);
+
+  const ServerStats stats = fixture.server().stats();
+  EXPECT_EQ(stats.rejected_endpoint, 1u);
+}
+
+TEST(ServerTest, BadParamsAndRoutes) {
+  ServerFixture fixture;
+  struct Case {
+    const char* target;
+    int expected_status;
+  };
+  const Case cases[] = {
+      {"/v1/pair?a=0", 400},           // missing b
+      {"/v1/pair?a=x&b=1", 400},       // non-numeric
+      {"/v1/pair?a=0&b=1&c=2", 400},   // unknown parameter
+      {"/v1/pair?a=0&a=1&b=2", 400},   // duplicate parameter
+      {"/v1/pair?a=0&b=4294967296", 400},  // beyond uint32
+      {"/v1/pair?a=0&b=999", 400},     // out of range for the index
+      {"/v1/single_source", 400},      // missing v
+      {"/v1/topk?v=1&k=zz", 400},      // malformed k
+      {"/v1/nope?v=1", 404},           // unknown endpoint
+      {"/", 404},
+  };
+  for (const Case& test_case : cases) {
+    auto response = HttpGet(fixture.port(), test_case.target);
+    ASSERT_TRUE(response.ok()) << test_case.target;
+    EXPECT_EQ(response->status, test_case.expected_status)
+        << test_case.target << " -> " << response->body;
+    EXPECT_NE(response->body.find("\"error\""), std::string::npos)
+        << test_case.target;
+  }
+
+  // Non-GET methods are 405 with Allow.
+  auto client = LoopbackHttpClient::Connect(fixture.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendRaw("DELETE /v1/pair HTTP/1.1\r\n\r\n").ok());
+  auto response = client->ReadResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 405);
+  ASSERT_NE(response->FindHeader("allow"), nullptr);
+  EXPECT_EQ(*response->FindHeader("allow"), "GET");
+}
+
+TEST(ServerTest, MalformedRequestGets400AndClose) {
+  ServerFixture fixture;
+  auto client = LoopbackHttpClient::Connect(fixture.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendRaw("NOT-HTTP\r\n\r\n").ok());
+  auto response = client->ReadResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 400);
+  ASSERT_NE(response->FindHeader("connection"), nullptr);
+  EXPECT_EQ(*response->FindHeader("connection"), "close");
+}
+
+TEST(ServerTest, PipelinedRequestsAnswerInOrder) {
+  ServerFixture fixture;
+  auto client = LoopbackHttpClient::Connect(fixture.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client
+                  ->SendRaw("GET /v1/pair?a=1&b=2 HTTP/1.1\r\n\r\n"
+                            "GET /v1/pair?a=3&b=4 HTTP/1.1\r\n\r\n"
+                            "GET /healthz HTTP/1.1\r\n\r\n")
+                  .ok());
+  auto first = client->ReadResponse();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->status, 200);
+  EXPECT_NE(first->body.find("\"a\":1"), std::string::npos);
+  auto second = client->ReadResponse();
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second->body.find("\"a\":3"), std::string::npos);
+  auto third = client->ReadResponse();
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->body, "ok\n");
+}
+
+TEST(ServerTest, HalfCloseStillAnswersEveryBufferedRequest) {
+  // The send-all/shutdown(SHUT_WR)/read-all client pattern: EOF must not
+  // drop requests that were already on the wire.
+  ServerFixture fixture;
+  auto client = LoopbackHttpClient::Connect(fixture.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client
+                  ->SendRaw("GET /v1/pair?a=1&b=2 HTTP/1.1\r\n\r\n"
+                            "GET /v1/pair?a=3&b=4 HTTP/1.1\r\n\r\n")
+                  .ok());
+  ASSERT_TRUE(client->ShutdownWrite().ok());
+  auto first = client->ReadResponse();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status, 200);
+  EXPECT_NE(first->body.find("\"a\":1"), std::string::npos);
+  auto second = client->ReadResponse();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->status, 200);
+  EXPECT_NE(second->body.find("\"a\":3"), std::string::npos);
+  // Then the server closes: no third response.
+  EXPECT_FALSE(client->ReadResponse().ok());
+}
+
+TEST(ServerTest, LongPipelineDrainsCompletely) {
+  // Many inline-answered requests in one burst: exercises the resume
+  // path where parsing pauses on the output-backlog cap and continues as
+  // responses flush.
+  ServerFixture fixture;
+  auto client = LoopbackHttpClient::Connect(fixture.port());
+  ASSERT_TRUE(client.ok());
+  constexpr int kPipelined = 50;
+  std::string burst;
+  for (int i = 0; i < kPipelined; ++i) {
+    burst += "GET /healthz HTTP/1.1\r\n\r\n";
+  }
+  ASSERT_TRUE(client->SendRaw(burst).ok());
+  for (int i = 0; i < kPipelined; ++i) {
+    auto response = client->ReadResponse();
+    ASSERT_TRUE(response.ok()) << "response " << i;
+    EXPECT_EQ(response->status, 200);
+  }
+}
+
+TEST(ServerTest, StatsEndpointReportsCountersAndIndexInfo) {
+  ServerFixture fixture;
+  ASSERT_TRUE(HttpGet(fixture.port(), "/v1/pair?a=0&b=1").ok());
+  ASSERT_TRUE(HttpGet(fixture.port(), "/v1/topk?v=0&k=3").ok());
+  auto response = HttpGet(fixture.port(), "/v1/stats");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  const std::string& body = response->body;
+  EXPECT_EQ(FindJsonNumber(body, "pair"), 1.0);
+  EXPECT_EQ(FindJsonNumber(body, "topk"), 1.0);
+  EXPECT_EQ(FindJsonNumber(body, "vertices"),
+            static_cast<double>(fixture.graph().n()));
+  EXPECT_EQ(FindJsonNumber(body, "fingerprints"), 64.0);
+  EXPECT_NE(body.find("\"backend\":\"in-memory\""), std::string::npos);
+  EXPECT_NE(body.find("\"graph_fingerprint\":\""), std::string::npos);
+  EXPECT_NE(body.find("\"cache\":{"), std::string::npos);
+}
+
+TEST(ServerTest, CleanShutdownDrainsAndServeReturnsOk) {
+  auto fixture = std::make_unique<ServerFixture>();
+  const uint16_t port = fixture->port();
+  ASSERT_EQ(HttpGet(port, "/healthz")->status, 200);
+  fixture->StopAndJoin();
+  EXPECT_TRUE(fixture->serve_status().ok())
+      << fixture->serve_status().ToString();
+  // The listener is gone: new connections are refused.
+  auto after = LoopbackHttpClient::Connect(port);
+  EXPECT_FALSE(after.ok());
+}
+
+TEST(ServerTest, ShutdownWaitsForInflightQueries) {
+  ServerOptions options;
+  options.threads = 2;
+  options.handler_delay_ms = 200;
+  auto fixture = std::make_unique<ServerFixture>(options);
+  auto client = LoopbackHttpClient::Connect(fixture->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(
+      client->SendRaw("GET /v1/pair?a=0&b=1 HTTP/1.1\r\n\r\n").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  fixture->server().Shutdown();
+  // The in-flight query still completes and flushes before Serve returns.
+  auto response = client->ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  fixture->StopAndJoin();
+  EXPECT_TRUE(fixture->serve_status().ok());
+}
+
+TEST(ServerOptionsTest, ValidateRejectsZeroCaps) {
+  ServerOptions options;
+  options.max_inflight = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = ServerOptions();
+  options.max_endpoint_inflight = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = ServerOptions();
+  options.bind_address = "";
+  EXPECT_FALSE(options.Validate().ok());
+  EXPECT_TRUE(ServerOptions().Validate().ok());
+}
+
+}  // namespace
+}  // namespace simrank

@@ -13,6 +13,7 @@
 //               [--damping=0.6] [--seed=S] [--threads=T]
 //               [--format=v2] [--compress]
 //   simrank_cli query GRAPH.txt --index=PATH [--mmap]
+//               [--cache-shards=S] [--cache-capacity=C]
 //               (--query=V [--topk=K] | --pair=A,B)
 //   simrank_cli index-info INDEX
 //
@@ -59,6 +60,10 @@ struct CliOptions {
   int64_t pair_b = -1;
   bool compress = false;
   bool use_mmap = false;
+  uint32_t cache_shards = 0;    // 0 = QueryEngine default
+  uint32_t cache_capacity = 0;  // 0 = QueryEngine default
+  bool cache_shards_set = false;
+  bool cache_capacity_set = false;
   // First flag seen from each mode-specific group, for validation: flags
   // the selected mode would silently ignore are errors, not no-ops.
   std::string index_only_flag;   // --index/--fingerprints/... (index modes)
@@ -189,6 +194,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->use_mmap = true;
       RecordFlag(&options->index_only_flag, "--mmap");
       RecordFlag(&options->query_only_flag, "--mmap");
+    } else if (simrank::StartsWith(arg, "--cache-shards=")) {
+      if (!simrank::ParseUint64(value_of("--cache-shards="), &u)) {
+        return false;
+      }
+      options->cache_shards = static_cast<uint32_t>(u);
+      options->cache_shards_set = true;
+      RecordFlag(&options->index_only_flag, "--cache-shards");
+      RecordFlag(&options->query_only_flag, "--cache-shards");
+    } else if (simrank::StartsWith(arg, "--cache-capacity=")) {
+      if (!simrank::ParseUint64(value_of("--cache-capacity="), &u)) {
+        return false;
+      }
+      options->cache_capacity = static_cast<uint32_t>(u);
+      options->cache_capacity_set = true;
+      RecordFlag(&options->index_only_flag, "--cache-capacity");
+      RecordFlag(&options->query_only_flag, "--cache-capacity");
     } else if (simrank::StartsWith(arg, "--threads=")) {
       // Shared between the all-pairs engines (block-parallel propagation)
       // and index construction; only the query subcommand rejects it.
@@ -227,6 +248,7 @@ void PrintUsage(const char* argv0) {
       "       [--damping=C] [--seed=S] [--threads=T]\n"
       "       [--format=v2] [--compress]\n"
       "   or: %s query GRAPH.txt --index=PATH [--mmap]\n"
+      "       [--cache-shards=S] [--cache-capacity=C]\n"
       "       (--query=V [--topk=K] | --pair=A,B)\n"
       "   or: %s index-info INDEX\n"
       "\nalgorithms:\n",
@@ -325,6 +347,16 @@ simrank::Status ValidateOptions(const CliOptions& options) {
     }
     if (options.topk_set && !has_query) {
       return Status::InvalidArgument("--topk requires --query");
+    }
+    if (options.cache_shards_set && options.cache_shards == 0) {
+      return Status::InvalidArgument(
+          "--cache-shards must be positive: the row cache needs at least "
+          "one shard");
+    }
+    if (options.cache_capacity_set && options.cache_capacity == 0) {
+      return Status::InvalidArgument(
+          "--cache-capacity must be positive: a zero-row cache cannot "
+          "serve");
     }
   }
   return Status::OK();
@@ -466,6 +498,12 @@ int RunQuery(const CliOptions& options) {
   // One query per invocation: no batch fan-out, so a single-worker pool.
   simrank::QueryEngineOptions engine_options;
   engine_options.num_threads = 1;
+  if (options.cache_shards_set) {
+    engine_options.cache_shards = options.cache_shards;
+  }
+  if (options.cache_capacity_set) {
+    engine_options.cache_capacity_per_shard = options.cache_capacity;
+  }
   simrank::QueryEngine engine(*index, engine_options);
 
   if (options.pair_a >= 0) {

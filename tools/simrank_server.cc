@@ -1,0 +1,271 @@
+// simrank_server — HTTP serving frontend over a prebuilt walk index.
+//
+//   simrank_server serve --index=PATH [--mmap] [--port=8080]
+//                        [--bind=127.0.0.1] [--threads=T]
+//                        [--max-inflight=N] [--endpoint-inflight=N]
+//                        [--cache-shards=S] [--cache-capacity=C]
+//                        [--warm=FILE] [--load-threads=T]
+//
+// Serves GET /v1/pair, /v1/single_source, /v1/topk, /v1/stats and
+// /healthz (see src/simrank/server/server.h for the endpoint and
+// admission-control semantics). --port=0 lets the kernel pick a free port;
+// the bound address is printed on stderr once the listener is up. --warm
+// names a file of vertex ids (whitespace separated, '#' comments) whose
+// storage pages are prefetched and whose rows are cached before the first
+// request. SIGINT/SIGTERM shut down gracefully: in-flight queries finish
+// and flush before the process exits 0.
+#include <cctype>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "simrank/common/status.h"
+#include "simrank/common/string_util.h"
+#include "simrank/index/query_engine.h"
+#include "simrank/index/walk_index.h"
+#include "simrank/server/server.h"
+
+namespace {
+
+struct ServerCliOptions {
+  std::string index_path;
+  bool use_mmap = false;
+  uint32_t load_threads = 0;
+  uint32_t cache_shards = 0;    // 0 = engine default
+  uint32_t cache_capacity = 0;  // 0 = engine default
+  std::string warm_path;
+  simrank::ServerOptions server;
+};
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s serve --index=PATH [--mmap] [--port=8080]\n"
+      "       [--bind=127.0.0.1] [--threads=T] [--max-inflight=N]\n"
+      "       [--endpoint-inflight=N] [--cache-shards=S]\n"
+      "       [--cache-capacity=C] [--warm=FILE] [--load-threads=T]\n"
+      "\nServes GET /v1/pair?a=&b=, /v1/single_source?v=, /v1/topk?v=&k=,\n"
+      "/v1/stats and /healthz over the given walk index. --port=0 picks a\n"
+      "free port. Requests beyond --max-inflight get 429, beyond the\n"
+      "per-endpoint cap 503, both with Retry-After.\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
+  if (argc < 2 || std::strcmp(argv[1], "serve") != 0) return false;
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value_of = [&arg](std::string_view prefix) {
+      return std::string(arg.substr(prefix.size()));
+    };
+    uint64_t u = 0;
+    if (simrank::StartsWith(arg, "--index=")) {
+      options->index_path = value_of("--index=");
+    } else if (arg == "--mmap") {
+      options->use_mmap = true;
+    } else if (simrank::StartsWith(arg, "--port=")) {
+      if (!simrank::ParseUint64(value_of("--port="), &u) || u > 65535) {
+        std::fprintf(stderr, "--port must be 0..65535\n");
+        return false;
+      }
+      options->server.port = static_cast<uint16_t>(u);
+    } else if (simrank::StartsWith(arg, "--bind=")) {
+      options->server.bind_address = value_of("--bind=");
+    } else if (simrank::StartsWith(arg, "--threads=")) {
+      if (!simrank::ParseUint64(value_of("--threads="), &u)) return false;
+      options->server.threads = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--max-inflight=")) {
+      if (!simrank::ParseUint64(value_of("--max-inflight="), &u)) {
+        return false;
+      }
+      options->server.max_inflight = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--endpoint-inflight=")) {
+      if (!simrank::ParseUint64(value_of("--endpoint-inflight="), &u)) {
+        return false;
+      }
+      options->server.max_endpoint_inflight = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--cache-shards=")) {
+      if (!simrank::ParseUint64(value_of("--cache-shards="), &u)) {
+        return false;
+      }
+      options->cache_shards = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--cache-capacity=")) {
+      if (!simrank::ParseUint64(value_of("--cache-capacity="), &u)) {
+        return false;
+      }
+      options->cache_capacity = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--warm=")) {
+      options->warm_path = value_of("--warm=");
+    } else if (simrank::StartsWith(arg, "--load-threads=")) {
+      if (!simrank::ParseUint64(value_of("--load-threads="), &u)) {
+        return false;
+      }
+      options->load_threads = static_cast<uint32_t>(u);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  if (options->index_path.empty()) {
+    std::fprintf(stderr, "serve requires --index=PATH\n");
+    return false;
+  }
+  return true;
+}
+
+/// Engine options from the CLI flags, validated through Status like the
+/// query subcommand's.
+simrank::Result<simrank::QueryEngineOptions> MakeEngineOptions(
+    const ServerCliOptions& options) {
+  simrank::QueryEngineOptions engine_options;
+  engine_options.num_threads = 1;  // batch APIs unused; the server pools
+  if (options.cache_shards > 0) {
+    engine_options.cache_shards = options.cache_shards;
+  }
+  if (options.cache_capacity > 0) {
+    engine_options.cache_capacity_per_shard = options.cache_capacity;
+  }
+  if (!engine_options.Valid()) {
+    return simrank::Status::InvalidArgument(
+        "--cache-shards and --cache-capacity must be positive");
+  }
+  return engine_options;
+}
+
+/// Reads a warm list: vertex ids separated by whitespace, '#' starts a
+/// comment running to end of line.
+simrank::Result<std::vector<simrank::VertexId>> ReadWarmList(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return simrank::Status::IoError("cannot open warm list: " + path);
+  }
+  std::string content;
+  char chunk[4096];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    content.append(chunk, got);
+  }
+  std::fclose(f);
+  std::vector<simrank::VertexId> vertices;
+  for (std::string_view line : simrank::StrSplit(content, '\n')) {
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    size_t at = 0;
+    while (at < line.size()) {
+      while (at < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[at]))) {
+        ++at;
+      }
+      size_t end = at;
+      while (end < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[end]))) {
+        ++end;
+      }
+      if (end == at) break;
+      const std::string_view token = line.substr(at, end - at);
+      at = end;
+      uint64_t value = 0;
+      if (!simrank::ParseUint64(token, &value) || value > UINT32_MAX) {
+        return simrank::Status::InvalidArgument(
+            simrank::StrFormat("warm list %s: '%s' is not a vertex id",
+                               path.c_str(), std::string(token).c_str()));
+      }
+      vertices.push_back(static_cast<simrank::VertexId>(value));
+    }
+  }
+  return vertices;
+}
+
+simrank::SimRankServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  // Shutdown is async-signal-safe: an atomic store plus an eventfd write.
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+int RealMain(int argc, char** argv) {
+  ServerCliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  simrank::WalkIndex::LoadOptions load_options;
+  load_options.use_mmap = options.use_mmap;
+  load_options.num_threads = options.load_threads;
+  auto index = simrank::WalkIndex::Load(options.index_path, load_options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "cannot load index: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+
+  auto engine_options = MakeEngineOptions(options);
+  if (!engine_options.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 engine_options.status().ToString().c_str());
+    return 2;
+  }
+  simrank::QueryEngine engine(*index, *engine_options);
+  simrank::SimRankServer server(engine, options.server);
+
+  auto status = server.Bind();
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  if (!options.warm_path.empty()) {
+    auto warm = ReadWarmList(options.warm_path);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "%s\n", warm.status().ToString().c_str());
+      return 1;
+    }
+    auto warmed = server.Warm(*warm);
+    if (!warmed.ok()) {
+      std::fprintf(stderr, "warmup failed: %s\n",
+                   warmed.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "warmed %zu vertices from %s\n", warm->size(),
+                 options.warm_path.c_str());
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::fprintf(stderr,
+               "simrank_server: index %s (n=%u, R=%u, L=%u, %s backend), "
+               "listening on %s:%u\n",
+               options.index_path.c_str(), index->n(),
+               index->options().num_fingerprints,
+               index->options().walk_length,
+               index->store().backend_name(),
+               options.server.bind_address.c_str(), server.port());
+
+  status = server.Serve();
+  g_server = nullptr;
+  if (!status.ok()) {
+    std::fprintf(stderr, "server failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const simrank::ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "simrank_server: shut down cleanly (%llu requests served, "
+               "%llu rejected)\n",
+               static_cast<unsigned long long>(
+                   stats.responses_2xx + stats.responses_4xx +
+                   stats.responses_5xx),
+               static_cast<unsigned long long>(stats.rejected_inflight +
+                                               stats.rejected_endpoint));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return RealMain(argc, argv); }
