@@ -111,6 +111,34 @@ void CorrectnessGate(uint16_t port, QueryEngine& reference,
                    scored.score, "/v1/topk");
     }
   }
+  // POST /v1/batch_pair: one body of kGateQueries pairs, answers in
+  // request order, each bitwise-equal to the engine's batch API.
+  {
+    std::vector<std::pair<VertexId, VertexId>> pairs;
+    std::string body;
+    for (uint32_t i = 0; i < kGateQueries; ++i) {
+      const VertexId a = hot[rng.NextUint64(hot.size())];
+      const VertexId b =
+          static_cast<VertexId>(rng.NextUint64(reference.index().n()));
+      pairs.emplace_back(a, b);
+      body += StrFormat("%u %u\n", a, b);
+    }
+    auto response = client->Post("/v1/batch_pair", body);
+    OIPSIM_CHECK_MSG(response.ok() && response->status == 200,
+                     "batch_pair failed: %s",
+                     response.ok() ? response->body.c_str()
+                                   : response.status().ToString().c_str());
+    const auto expected = reference.BatchPair(pairs);
+    const std::vector<double> served =
+        FindJsonNumberArray(response->body, "scores");
+    OIPSIM_CHECK_MSG(served.size() == expected.size(),
+                     "batch_pair answered %zu of %zu pairs", served.size(),
+                     expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      OIPSIM_CHECK(expected[i].ok());
+      CheckBitwise(served[i], *expected[i], "/v1/batch_pair");
+    }
+  }
 }
 
 struct EndpointLoad {
@@ -205,8 +233,9 @@ int Main() {
   }
 
   CorrectnessGate(server.port(), reference, hot);
-  std::printf("# correctness gate: pair/single_source/topk responses "
-              "bitwise-equal to direct QueryEngine on %u samples each\n",
+  std::printf("# correctness gate: pair/single_source/topk/batch_pair "
+              "responses bitwise-equal to direct QueryEngine on %u "
+              "samples each\n",
               kGateQueries);
 
   EndpointLoad pair_load{"/v1/pair", {}, 2000};

@@ -1,0 +1,83 @@
+// Lock-free fixed-bucket latency histogram for serving metrics.
+//
+// Buckets are log-spaced powers of two in microseconds — bucket i counts
+// samples <= 2^i µs, the last bucket is +Inf — the classic Prometheus
+// histogram shape: cheap to record (one relaxed fetch_add on the hot
+// path), mergeable, and good enough for p50/p99 estimates across six
+// orders of magnitude of latency. Recording and snapshotting are wait-free
+// and thread-safe; a snapshot taken concurrently with recording may be off
+// by in-flight increments, which is the usual (and harmless) monitoring
+// semantics.
+#ifndef OIPSIM_SIMRANK_COMMON_LATENCY_HISTOGRAM_H_
+#define OIPSIM_SIMRANK_COMMON_LATENCY_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace simrank {
+
+class LatencyHistogram {
+ public:
+  /// Finite upper bounds 1 µs .. 2^20 µs (~1.05 s), then +Inf.
+  static constexpr uint32_t kNumFiniteBuckets = 21;
+  static constexpr uint32_t kNumBuckets = kNumFiniteBuckets + 1;
+
+  /// Upper bound of bucket `i` in microseconds; UINT64_MAX for the +Inf
+  /// bucket.
+  static constexpr uint64_t BucketUpperMicros(uint32_t i) {
+    return i < kNumFiniteBuckets ? (1ull << i) : UINT64_MAX;
+  }
+
+  /// Records one sample. Wait-free; callable from any thread.
+  void Record(uint64_t micros) {
+    uint32_t bucket = 0;
+    while (bucket < kNumFiniteBuckets && micros > BucketUpperMicros(bucket)) {
+      ++bucket;
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum_micros = 0;
+    /// Per-bucket counts (not cumulative).
+    uint64_t buckets[kNumBuckets] = {};
+
+    /// Upper bound (µs) of the bucket where the cumulative count crosses
+    /// `quantile` of the total — a conservative estimate within one
+    /// bucket's resolution. 0 when empty.
+    uint64_t QuantileUpperMicros(double quantile) const {
+      if (count == 0) return 0;
+      const double target = quantile * static_cast<double>(count);
+      uint64_t cumulative = 0;
+      for (uint32_t i = 0; i < kNumBuckets; ++i) {
+        cumulative += buckets[i];
+        if (static_cast<double>(cumulative) >= target) {
+          return BucketUpperMicros(i);
+        }
+      }
+      return BucketUpperMicros(kNumBuckets - 1);
+    }
+  };
+
+  Snapshot snapshot() const {
+    Snapshot out;
+    out.count = count_.load(std::memory_order_relaxed);
+    out.sum_micros = sum_micros_.load(std::memory_order_relaxed);
+    for (uint32_t i = 0; i < kNumBuckets; ++i) {
+      out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_COMMON_LATENCY_HISTOGRAM_H_

@@ -173,6 +173,16 @@ Result<DiGraph> ReadBinary(const std::string& path) {
   return std::move(builder).Build();
 }
 
+Result<DiGraph> ReadGraphAuto(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open: " + path);
+  uint32_t magic = 0;
+  const bool has_magic = std::fread(&magic, sizeof(magic), 1, f) == 1;
+  std::fclose(f);
+  if (has_magic && magic == kBinaryMagic) return ReadBinary(path);
+  return ReadEdgeList(path);
+}
+
 std::string FormatFingerprint(uint64_t fingerprint) {
   return StrFormat("%016llx",
                    static_cast<unsigned long long>(fingerprint));

@@ -34,6 +34,13 @@ Status WriteBinary(const DiGraph& graph, const std::string& path);
 /// Reads the compact binary format written by WriteBinary.
 Result<DiGraph> ReadBinary(const std::string& path);
 
+/// Reads either graph format, sniffing the binary magic: WriteBinary
+/// output round-trips exactly (ids and isolated vertices preserved —
+/// what the dynamic-update tooling needs for bitwise-reproducible
+/// rebuilds), anything else parses as an edge list with ReadEdgeList's
+/// defaults.
+Result<DiGraph> ReadGraphAuto(const std::string& path);
+
 /// Deterministic 64-bit structural hash over n and the full (sorted) CSR
 /// adjacency. Equal graphs hash equal across runs and platforms of equal
 /// endianness. Used by derived on-disk artefacts (e.g. the walk index of

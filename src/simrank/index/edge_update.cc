@@ -1,0 +1,145 @@
+#include "simrank/index/edge_update.h"
+
+#include <cctype>
+#include <cstdio>
+#include <unordered_set>
+
+#include "simrank/common/string_util.h"
+
+namespace simrank {
+namespace {
+
+/// One 64-bit key per directed edge; ids are uint32 so the packing is
+/// collision-free.
+uint64_t EdgeKey(VertexId src, VertexId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
+}  // namespace
+
+// NOTE: IndexUpdater::ApplyBatch enforces the same strict semantics (and
+// error wording) over its sorted edge list; keep the two in lockstep.
+Result<DiGraph> ApplyEdgeUpdates(const DiGraph& graph,
+                                 std::span<const EdgeUpdate> updates) {
+  const uint32_t n = graph.n();
+  std::unordered_set<uint64_t> edges;
+  edges.reserve(graph.m() + updates.size());
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : graph.OutNeighbors(v)) {
+      edges.insert(EdgeKey(v, u));
+    }
+  }
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const EdgeUpdate& update = updates[i];
+    if (update.src >= n || update.dst >= n) {
+      return Status::OutOfRange(StrFormat(
+          "update %zu: edge (%u, %u) leaves the vertex set [0, %u) the "
+          "index was built for (adding vertices requires a rebuild)",
+          i, update.src, update.dst, n));
+    }
+    const uint64_t key = EdgeKey(update.src, update.dst);
+    if (update.op == EdgeUpdate::Op::kInsert) {
+      if (!edges.insert(key).second) {
+        return Status::InvalidArgument(StrFormat(
+            "update %zu: edge (%u, %u) already exists; inserts must add a "
+            "new edge",
+            i, update.src, update.dst));
+      }
+    } else {
+      if (edges.erase(key) == 0) {
+        return Status::InvalidArgument(StrFormat(
+            "update %zu: edge (%u, %u) does not exist; deletes must remove "
+            "an existing edge",
+            i, update.src, update.dst));
+      }
+    }
+  }
+  DiGraph::Builder builder(n);
+  for (const uint64_t key : edges) {
+    builder.AddEdge(static_cast<VertexId>(key >> 32),
+                    static_cast<VertexId>(key & 0xffffffffu));
+  }
+  return std::move(builder).Build();
+}
+
+Result<std::vector<EdgeUpdate>> ParseEdgeUpdates(std::string_view text) {
+  std::vector<EdgeUpdate> updates;
+  int line_no = 0;
+  for (std::string_view line : StrSplit(text, '\n')) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = StrTrim(line);
+    if (line.empty()) continue;
+    EdgeUpdate update;
+    if (line[0] == '+') {
+      update.op = EdgeUpdate::Op::kInsert;
+    } else if (line[0] == '-') {
+      update.op = EdgeUpdate::Op::kDelete;
+    } else {
+      return Status::ParseError(StrFormat(
+          "line %d: expected '+ SRC DST' or '- SRC DST'", line_no));
+    }
+    const std::string_view rest = line.substr(1);
+    std::vector<std::string_view> tokens;
+    size_t at = 0;
+    while (at < rest.size()) {
+      while (at < rest.size() &&
+             std::isspace(static_cast<unsigned char>(rest[at]))) {
+        ++at;
+      }
+      size_t end = at;
+      while (end < rest.size() &&
+             !std::isspace(static_cast<unsigned char>(rest[end]))) {
+        ++end;
+      }
+      if (end > at) tokens.push_back(rest.substr(at, end - at));
+      at = end;
+    }
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    if (tokens.size() != 2 || !ParseUint64(tokens[0], &src) ||
+        !ParseUint64(tokens[1], &dst) || src > UINT32_MAX ||
+        dst > UINT32_MAX) {
+      return Status::ParseError(StrFormat(
+          "line %d: expected two vertex ids after '%c'", line_no, line[0]));
+    }
+    update.src = static_cast<VertexId>(src);
+    update.dst = static_cast<VertexId>(dst);
+    updates.push_back(update);
+  }
+  return updates;
+}
+
+Result<std::vector<EdgeUpdate>> ReadEdgeUpdates(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open update batch: " + path);
+  }
+  std::string content;
+  char chunk[4096];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    content.append(chunk, got);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    // A short read that happens to end on a line boundary would parse
+    // cleanly and silently apply a partial batch.
+    return Status::IoError("read error in update batch: " + path);
+  }
+  return ParseEdgeUpdates(content);
+}
+
+std::string FormatEdgeUpdates(std::span<const EdgeUpdate> updates) {
+  std::string out;
+  for (const EdgeUpdate& update : updates) {
+    out += StrFormat("%c %u %u\n",
+                     update.op == EdgeUpdate::Op::kInsert ? '+' : '-',
+                     update.src, update.dst);
+  }
+  return out;
+}
+
+}  // namespace simrank

@@ -1,0 +1,59 @@
+// Edge-update batches: the input language of the dynamic-index subsystem.
+//
+// An update batch is an ordered list of edge insertions and deletions over
+// the vertex set the index was built for (the vertex universe is fixed at
+// build time; growing it requires a rebuild). Batches are strict: inserting
+// an edge that already exists, or deleting one that does not, is an error —
+// a lenient mode would make the patched graph depend on state the caller
+// did not assert, and the whole subsystem's contract is that a patched
+// index is *bitwise identical* to a rebuild on the graph the caller thinks
+// it has.
+//
+// The text format (CLI `--updates=FILE`, `POST /v1/update` bodies) is one
+// update per line — `+ SRC DST` inserts, `- SRC DST` deletes — with '#'
+// comments and blank lines ignored.
+#ifndef OIPSIM_SIMRANK_INDEX_EDGE_UPDATE_H_
+#define OIPSIM_SIMRANK_INDEX_EDGE_UPDATE_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simrank/common/status.h"
+#include "simrank/graph/digraph.h"
+
+namespace simrank {
+
+/// One edge insertion or deletion.
+struct EdgeUpdate {
+  enum class Op : uint8_t { kInsert = 0, kDelete = 1 };
+
+  Op op = Op::kInsert;
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+/// Applies `updates` in order to `graph` and returns the resulting graph.
+/// Strict: every endpoint must be < graph.n(), an insert must add a new
+/// edge, a delete must remove an existing one (each judged against the
+/// state after the preceding updates in the batch). Self-loops are legal,
+/// as in DiGraph::Builder.
+Result<DiGraph> ApplyEdgeUpdates(const DiGraph& graph,
+                                 std::span<const EdgeUpdate> updates);
+
+/// Parses the `+ SRC DST` / `- SRC DST` text format. Errors name the
+/// offending line.
+Result<std::vector<EdgeUpdate>> ParseEdgeUpdates(std::string_view text);
+
+/// ParseEdgeUpdates over a file's contents.
+Result<std::vector<EdgeUpdate>> ReadEdgeUpdates(const std::string& path);
+
+/// Renders `updates` in the text format ParseEdgeUpdates reads.
+std::string FormatEdgeUpdates(std::span<const EdgeUpdate> updates);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_INDEX_EDGE_UPDATE_H_

@@ -1,0 +1,620 @@
+#include "simrank/index/index_updater.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <unordered_map>
+#include <utility>
+
+#include "simrank/common/coupled_hash.h"
+#include "simrank/common/stream_hash.h"
+#include "simrank/common/string_util.h"
+#include "simrank/graph/graph_io.h"
+
+namespace simrank {
+namespace {
+
+constexpr uint32_t kDead = WalkStore::kDeadWalk;
+
+bool EdgeLess(const Edge& a, const Edge& b) {
+  return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+}
+
+/// GraphFingerprint() over the canonical sorted edge list — identical to
+/// hashing the DiGraph it builds (same n, m and (src, dst) sequence),
+/// without materializing one.
+uint64_t FingerprintEdges(uint32_t n, const std::vector<Edge>& edges) {
+  StreamHasher hasher;
+  hasher.Absorb(n);
+  hasher.Absorb(edges.size());
+  for (const Edge& edge : edges) {
+    hasher.Absorb((static_cast<uint64_t>(edge.src) << 32) | edge.dst);
+  }
+  return hasher.digest();
+}
+
+/// One pending change of vertex `vertex`'s inverted-index entry in slot
+/// `slot`: its position in the base store vs. the re-simulated one. kDead
+/// on either side means "no entry" (the walk is dead at that step).
+/// Collected flat and grouped by one sort — per-slot containers would
+/// cost an allocation per touched slot per batch.
+struct SlotEdit {
+  uint64_t slot = 0;
+  VertexId vertex = 0;
+  uint32_t base_position = 0;
+  uint32_t new_position = 0;
+
+  friend bool operator<(const SlotEdit& a, const SlotEdit& b) {
+    return a.slot < b.slot;
+  }
+};
+
+/// Base-store position reads for the patch path: O(1) against a resident
+/// flat table, otherwise one cached segment decode per touched vertex.
+class BaseRowReader {
+ public:
+  explicit BaseRowReader(const WalkStore& store)
+      : store_(store),
+        flat_(store.FlatWalks()),
+        row_(static_cast<size_t>(store.meta().walk_length) + 1) {}
+
+  uint32_t Pos(VertexId v, uint32_t r, uint32_t t) {
+    if (flat_ != nullptr) return flat_[store_.FlatSlot(r, t) + v];
+    std::vector<uint32_t>& row = cache_[v];
+    if (row.empty()) {
+      row.resize(store_.WalkWords());
+      const Status status = store_.DecodeVertex(v, row.data());
+      OIPSIM_CHECK_MSG(status.ok(),
+                       "corrupt walk segment while patching: %s",
+                       status.ToString().c_str());
+    }
+    return row[r * row_ + t];
+  }
+
+ private:
+  const WalkStore& store_;
+  const uint32_t* flat_;
+  size_t row_;
+  std::unordered_map<VertexId, std::vector<uint32_t>> cache_;
+};
+
+}  // namespace
+
+IndexUpdater::IndexUpdater(WalkIndex& index, const DiGraph& base_graph,
+                           UpdateWal wal)
+    : index_(index), wal_(std::move(wal)) {
+  n_ = base_graph.n();
+  edges_ = base_graph.Edges();  // (src, dst)-sorted, deduped
+  graph_fingerprint_ = GraphFingerprint(base_graph);
+  in_offsets_.assign(static_cast<size_t>(n_) + 1, 0);
+  for (const Edge& edge : edges_) ++in_offsets_[edge.dst + 1];
+  for (uint32_t v = 0; v < n_; ++v) in_offsets_[v + 1] += in_offsets_[v];
+  in_sources_.resize(edges_.size());
+  std::vector<uint64_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (const Edge& edge : edges_) {
+    in_sources_[cursor[edge.dst]++] = edge.src;  // src-ascending per dst
+  }
+}
+
+Result<std::unique_ptr<IndexUpdater>> IndexUpdater::Open(
+    WalkIndex& index, DiGraph base_graph,
+    const IndexUpdaterOptions& options) {
+  if (options.wal_path.empty()) {
+    return Status::InvalidArgument(
+        "IndexUpdaterOptions::wal_path is required: updates are only "
+        "accepted write-ahead");
+  }
+  OIPSIM_RETURN_IF_ERROR(index.ValidateGraph(base_graph));
+  if (index.overlay_sequence() != 0) {
+    return Status::InvalidArgument(
+        "index already carries an overlay; one IndexUpdater per index");
+  }
+
+  WalBaseIdentity identity;
+  identity.n = index.n();
+  identity.num_fingerprints = index.options().num_fingerprints;
+  identity.walk_length = index.options().walk_length;
+  identity.seed = index.options().seed;
+  identity.damping = index.options().damping;
+  identity.graph_fingerprint = index.graph_fingerprint();
+  UpdateWal::Options wal_options;
+  wal_options.sync_every_append = options.sync_wal;
+  auto opened = UpdateWal::Open(options.wal_path, identity, wal_options);
+  if (!opened.ok()) return opened.status();
+
+  std::unique_ptr<IndexUpdater> updater(
+      new IndexUpdater(index, base_graph, std::move(opened->wal)));
+  {
+    std::lock_guard<std::mutex> stats_lock(updater->stats_mutex_);
+    updater->stats_.wal_truncated_bytes = opened->truncated_bytes;
+    updater->stats_.graph_edges = updater->edges_.size();
+    updater->stats_.current_graph_fingerprint =
+        updater->graph_fingerprint_;
+    updater->stats_.wal_records = updater->wal_.record_count();
+    updater->stats_.wal_bytes = updater->wal_.size_bytes();
+  }
+  {
+    std::lock_guard<std::mutex> lock(updater->mutex_);
+    for (const WalRecord& record : opened->records) {
+      OIPSIM_RETURN_IF_ERROR(updater->ApplyBatch(
+          record.updates, /*append_to_wal=*/false,
+          record.post_graph_fingerprint));
+      std::lock_guard<std::mutex> stats_lock(updater->stats_mutex_);
+      ++updater->stats_.batches_replayed;
+    }
+  }
+  return updater;
+}
+
+Status IndexUpdater::ApplyUpdates(std::span<const EdgeUpdate> updates) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ApplyBatch(updates, /*append_to_wal=*/true,
+                    /*expected_post_fingerprint=*/0);
+}
+
+Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
+                                bool append_to_wal,
+                                uint64_t expected_post_fingerprint) {
+  if (updates.empty()) {
+    return Status::InvalidArgument("empty update batch");
+  }
+
+  // --- graph: validate strictly and apply to the sorted edge list -------
+  // (Same semantics and wording as ApplyEdgeUpdates in edge_update.cc,
+  // re-implemented over the sorted representation; keep them in
+  // lockstep.)
+  std::vector<Edge> new_edges = edges_;
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const EdgeUpdate& update = updates[i];
+    if (update.src >= n_ || update.dst >= n_) {
+      return Status::OutOfRange(StrFormat(
+          "update %zu: edge (%u, %u) leaves the vertex set [0, %u) the "
+          "index was built for (adding vertices requires a rebuild)",
+          i, update.src, update.dst, n_));
+    }
+    const Edge edge{update.src, update.dst};
+    auto it = std::lower_bound(new_edges.begin(), new_edges.end(), edge,
+                               EdgeLess);
+    const bool exists = it != new_edges.end() && *it == edge;
+    if (update.op == EdgeUpdate::Op::kInsert) {
+      if (exists) {
+        return Status::InvalidArgument(StrFormat(
+            "update %zu: edge (%u, %u) already exists; inserts must add a "
+            "new edge",
+            i, update.src, update.dst));
+      }
+      new_edges.insert(it, edge);
+    } else {
+      if (!exists) {
+        return Status::InvalidArgument(StrFormat(
+            "update %zu: edge (%u, %u) does not exist; deletes must "
+            "remove an existing edge",
+            i, update.src, update.dst));
+      }
+      new_edges.erase(it);
+    }
+  }
+  const uint64_t post_fingerprint = FingerprintEdges(n_, new_edges);
+  if (expected_post_fingerprint != 0 &&
+      post_fingerprint != expected_post_fingerprint) {
+    return Status::ParseError(StrFormat(
+        "WAL replay diverged: batch yields graph fingerprint %s, the "
+        "record expects %s — the WAL does not belong to this base graph",
+        FormatFingerprint(post_fingerprint).c_str(),
+        FormatFingerprint(expected_post_fingerprint).c_str()));
+  }
+
+  // Write-ahead: the batch must be durable before any serving state
+  // changes, so a crash at any later point replays it.
+  if (append_to_wal) {
+    WalRecord record;
+    record.updates.assign(updates.begin(), updates.end());
+    record.post_graph_fingerprint = post_fingerprint;
+    OIPSIM_RETURN_IF_ERROR(wal_.Append(record));
+  }
+
+  // In-neighbour CSR of the updated graph — what the re-simulation reads.
+  std::vector<uint64_t> new_in_offsets(static_cast<size_t>(n_) + 1, 0);
+  for (const Edge& edge : new_edges) ++new_in_offsets[edge.dst + 1];
+  for (uint32_t v = 0; v < n_; ++v) {
+    new_in_offsets[v + 1] += new_in_offsets[v];
+  }
+  std::vector<VertexId> new_in_sources(new_edges.size());
+  {
+    std::vector<uint64_t> cursor(new_in_offsets.begin(),
+                                 new_in_offsets.end() - 1);
+    for (const Edge& edge : new_edges) {
+      new_in_sources[cursor[edge.dst]++] = edge.src;
+    }
+  }
+  auto in_of = [&](VertexId v) {
+    return std::span<const VertexId>(
+        new_in_sources.data() + new_in_offsets[v],
+        new_in_sources.data() + new_in_offsets[v + 1]);
+  };
+
+  const WalkStore& base = index_.store();
+  const WalkStoreMeta& meta = base.meta();
+  const uint32_t R = meta.num_fingerprints;
+  const uint32_t L = meta.walk_length;
+  const std::shared_ptr<const DeltaOverlay> old = index_.overlay_snapshot();
+
+  // The vertices whose in-neighbour list changed. Only transitions *out
+  // of* these vertices can differ on the updated graph.
+  std::vector<VertexId> touched;
+  touched.reserve(updates.size());
+  for (const EdgeUpdate& update : updates) touched.push_back(update.dst);
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()),
+                touched.end());
+
+  // Discovery: every (vertex, fingerprint, step) whose transition is
+  // affected. A walk sitting at x after t steps takes its step-(t+1)
+  // transition from x's in-list, so Bucket(r, t, x) (merged with the
+  // current overlay) lists exactly the walks affected at step t+1; the
+  // walk *starting* at a touched vertex is affected at step 1. Keyed
+  // (v << 32 | r) so one sort groups by vertex, then fingerprint, with
+  // each walk's affected steps ascending — the exact order the
+  // re-simulation wants. Slot-major loops keep the 8-or-so binary
+  // searches per slot on warm cache lines.
+  std::vector<std::pair<uint64_t, uint32_t>> candidates;
+  candidates.reserve(1024);
+  for (const VertexId x : touched) {
+    for (uint32_t r = 0; r < R; ++r) {
+      candidates.emplace_back(DeltaOverlay::WalkKey(x, r), 1);
+    }
+  }
+  for (uint32_t r = 0; r < R; ++r) {
+    for (uint32_t t = 1; t + 1 <= L; ++t) {
+      for (const VertexId x : touched) {
+        ForEachBucketVertex(base, old.get(), r, t, x,
+                            [&](const VertexId v) {
+                              candidates.emplace_back(
+                                  DeltaOverlay::WalkKey(v, r), t + 1);
+                            });
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  auto overlay = std::make_shared<DeltaOverlay>();
+  overlay->sequence_ = (old == nullptr ? 0 : old->sequence_) + 1;
+  overlay->graph_fingerprint_ = post_fingerprint;
+  overlay->walk_length_ = L;
+  if (old != nullptr) {
+    overlay->patches_ = old->patches_;  // shared_ptr values: cheap copy
+    overlay->patch_counts_ = old->patch_counts_;
+    overlay->deltas_ = old->deltas_;
+  }
+
+  // --- re-simulation, one affected walk at a time -----------------------
+  BaseRowReader base_reader(base);
+  std::vector<SlotEdit> slot_edits;
+  slot_edits.reserve(candidates.size() * 2);
+  uint64_t resimulated = 0;
+  uint64_t changed_walks = 0;
+  uint64_t steps_written = 0;
+  std::vector<uint32_t> steps;  // affected steps of the current walk
+  for (size_t at_candidate = 0; at_candidate < candidates.size();) {
+    const uint64_t key = candidates[at_candidate].first;
+    steps.clear();
+    for (; at_candidate < candidates.size() &&
+           candidates[at_candidate].first == key;
+         ++at_candidate) {
+      const uint32_t t = candidates[at_candidate].second;
+      if (steps.empty() || steps.back() != t) steps.push_back(t);
+    }
+    const auto v = static_cast<VertexId>(key >> 32);
+    const auto r = static_cast<uint32_t>(key & 0xffffffffu);
+    ++resimulated;
+
+    // Re-simulate from each affected step; once the new position
+    // coincides with the current one at some step, the walks are coupled
+    // — identical until the *next* affected step, so skip ahead. That
+    // convergence is what keeps a patch O(changed steps) instead of
+    // O(L) even when a walk brushes a touched vertex late.
+    const DeltaOverlay::WalkPatch* prev =
+        old == nullptr ? nullptr : old->FindPatch(v, r);
+    DeltaOverlay::WalkPatch merged;
+    bool any_change = false;
+    if (prev == nullptr) {
+      // Fresh walk: "current" is the base store itself, so convergence is
+      // re-joining the base path — the patch grows only while the new
+      // path diverges, and the slot edit doubles as the comparison read.
+      merged.t0 = steps[0];
+      size_t step_index = 0;
+      uint32_t t = steps[0];
+      while (true) {
+        // Segments are contiguous in the suffix; a converged span between
+        // two affected steps back-fills with (equal) base positions.
+        while (merged.t0 + merged.suffix.size() < t) {
+          merged.suffix.push_back(base_reader.Pos(
+              v, r, merged.t0 + static_cast<uint32_t>(merged.suffix.size())));
+        }
+        uint32_t position =
+            t - 1 >= merged.t0 ? merged.suffix[t - 1 - merged.t0]
+                               : base_reader.Pos(v, r, t - 1);
+        OIPSIM_DCHECK(position != kDead);
+        bool converged = false;
+        for (; t <= L; ++t) {
+          if (position != kDead) {
+            const auto in = in_of(position);
+            position =
+                in.empty()
+                    ? kDead
+                    : in[CoupledWalkHash(meta.seed, r, t, position) %
+                         in.size()];
+          }
+          ++steps_written;
+          const uint32_t base_position = base_reader.Pos(v, r, t);
+          if (position == base_position) {
+            converged = true;  // re-coupled: identical until next touch
+            ++t;
+            break;
+          }
+          slot_edits.push_back(SlotEdit{
+              static_cast<uint64_t>(r) * L + (t - 1), v, base_position,
+              position});
+          merged.suffix.push_back(position);
+          any_change = true;
+        }
+        while (step_index < steps.size() && steps[step_index] < t) {
+          ++step_index;
+        }
+        if (!converged || step_index >= steps.size()) break;
+        t = steps[step_index];
+      }
+      if (any_change) {
+        overlay->patches_[key] =
+            std::make_shared<DeltaOverlay::WalkPatch>(std::move(merged));
+        ++overlay->patch_counts_[v];
+      }
+    } else {
+      // Previously patched walk: "current" is base + previous patch. The
+      // merged patch spans from the earliest step either covers, and
+      // every simulated step emits an edit (no-ops included — they clear
+      // the previous batch's entries for this walk).
+      merged.t0 = std::min(prev->t0, steps[0]);
+      merged.suffix.resize(L - merged.t0 + 1);
+      for (uint32_t t = merged.t0; t <= L; ++t) {
+        merged.suffix[t - merged.t0] = prev->Covers(t)
+                                           ? prev->Position(t)
+                                           : base_reader.Pos(v, r, t);
+      }
+      size_t step_index = 0;
+      uint32_t t = steps[0];
+      while (true) {
+        uint32_t position = t - 1 >= merged.t0
+                                ? merged.suffix[t - 1 - merged.t0]
+                                : base_reader.Pos(v, r, t - 1);
+        OIPSIM_DCHECK(position != kDead);
+        bool converged = false;
+        for (; t <= L; ++t) {
+          if (position != kDead) {
+            const auto in = in_of(position);
+            position =
+                in.empty()
+                    ? kDead
+                    : in[CoupledWalkHash(meta.seed, r, t, position) %
+                         in.size()];
+          }
+          ++steps_written;
+          uint32_t& current = merged.suffix[t - merged.t0];
+          slot_edits.push_back(SlotEdit{
+              static_cast<uint64_t>(r) * L + (t - 1), v,
+              base_reader.Pos(v, r, t), position});
+          if (position == current) {
+            converged = true;
+            ++t;
+            break;
+          }
+          current = position;
+          any_change = true;
+        }
+        while (step_index < steps.size() && steps[step_index] < t) {
+          ++step_index;
+        }
+        if (!converged || step_index >= steps.size()) break;
+        t = steps[step_index];
+      }
+      // A walk whose merged suffix equals the base store's again vanishes
+      // from the overlay entirely (the edits above cleared its entries).
+      bool equals_base = true;
+      for (uint32_t check = merged.t0; check <= L && equals_base;
+           ++check) {
+        equals_base = merged.suffix[check - merged.t0] ==
+                      base_reader.Pos(v, r, check);
+      }
+      if (equals_base) {
+        overlay->patches_.erase(key);
+        auto count = overlay->patch_counts_.find(v);
+        if (--count->second == 0) overlay->patch_counts_.erase(count);
+      } else {
+        overlay->patches_[key] = std::make_shared<DeltaOverlay::WalkPatch>(
+            std::move(merged));
+      }
+    }
+    changed_walks += any_change ? 1 : 0;
+  }
+
+  // --- fold the edits into per-slot diffs vs. the base store ------------
+  // Previous entries of an edited vertex in a slot are replaced by its
+  // (base, new) pair; steps before a walk's earliest affected step carry
+  // no edit and keep their previous entries. One stable sort groups the
+  // flat edit list by slot (stable: a walk edited twice in a slot across
+  // merged segments keeps its last state... it cannot be — each walk
+  // visits a step once per batch — but stability costs nothing).
+  std::stable_sort(slot_edits.begin(), slot_edits.end());
+  for (size_t at_edit = 0; at_edit < slot_edits.size();) {
+    const uint64_t slot = slot_edits[at_edit].slot;
+    const size_t begin = at_edit;
+    while (at_edit < slot_edits.size() && slot_edits[at_edit].slot == slot) {
+      ++at_edit;
+    }
+    const std::span<const SlotEdit> edits(slot_edits.data() + begin,
+                                          at_edit - begin);
+    auto next = std::make_shared<DeltaOverlay::SlotDelta>();
+    if (auto it = overlay->deltas_.find(slot);
+        it != overlay->deltas_.end()) {
+      auto edited = [&edits](VertexId v) {
+        for (const SlotEdit& edit : edits) {
+          if (edit.vertex == v) return true;
+        }
+        return false;
+      };
+      for (const OverlayEntry& entry : it->second->removed) {
+        if (!edited(entry.vertex)) next->removed.push_back(entry);
+      }
+      for (const OverlayEntry& entry : it->second->added) {
+        if (!edited(entry.vertex)) next->added.push_back(entry);
+      }
+    }
+    for (const SlotEdit& edit : edits) {
+      if (edit.base_position == edit.new_position) continue;
+      if (edit.base_position != kDead) {
+        next->removed.push_back(
+            OverlayEntry{edit.base_position, edit.vertex});
+      }
+      if (edit.new_position != kDead) {
+        next->added.push_back(OverlayEntry{edit.new_position, edit.vertex});
+      }
+    }
+    std::sort(next->removed.begin(), next->removed.end());
+    std::sort(next->added.begin(), next->added.end());
+    if (next->removed.empty() && next->added.empty()) {
+      overlay->deltas_.erase(slot);
+    } else {
+      overlay->deltas_[slot] = std::move(next);
+    }
+  }
+  overlay->delta_entries_ = 0;
+  for (const auto& [slot, delta] : overlay->deltas_) {
+    overlay->delta_entries_ += delta->removed.size() + delta->added.size();
+  }
+
+  // Publish: one pointer swap; concurrent queries either see the previous
+  // overlay or this one, never a mixture. A batch that cancels every
+  // patch out still publishes the (empty) overlay: the sequence must stay
+  // monotone, or a QueryEngine row cached under an earlier overlay could
+  // read as fresh once the counter wrapped back around.
+  const uint64_t sequence = overlay->sequence_;
+  const uint64_t patched_vertices = overlay->patch_counts_.size();
+  const uint64_t patched_walks = overlay->patches_.size();
+  const uint64_t changed_slots = overlay->deltas_.size();
+  const uint64_t delta_entries = overlay->delta_entries_;
+  index_.PublishOverlay(std::move(overlay));
+  edges_ = std::move(new_edges);
+  in_offsets_ = std::move(new_in_offsets);
+  in_sources_ = std::move(new_in_sources);
+  graph_fingerprint_ = post_fingerprint;
+
+  // Counters live under their own mutex so the server's inline stats
+  // endpoints never block behind a long patch or compaction.
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  ++stats_.batches_applied;
+  for (const EdgeUpdate& update : updates) {
+    if (update.op == EdgeUpdate::Op::kInsert) {
+      ++stats_.edges_inserted;
+    } else {
+      ++stats_.edges_deleted;
+    }
+  }
+  stats_.walks_resimulated += resimulated;
+  stats_.walks_changed += changed_walks;
+  stats_.steps_resimulated += steps_written;
+  stats_.overlay_sequence = sequence;
+  stats_.patched_vertices = patched_vertices;
+  stats_.patched_walks = patched_walks;
+  stats_.changed_slots = changed_slots;
+  stats_.delta_entries = delta_entries;
+  stats_.graph_edges = edges_.size();
+  stats_.current_graph_fingerprint = post_fingerprint;
+  stats_.wal_records = wal_.record_count();
+  stats_.wal_bytes = wal_.size_bytes();
+  return Status::OK();
+}
+
+Status IndexUpdater::Compact(const std::string& path,
+                             const WalkIndex::SaveOptions& save,
+                             bool reset_wal,
+                             const std::string& graph_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_ptr<const DeltaOverlay> overlay =
+      index_.overlay_snapshot();
+  const WalkStore& base = index_.store();
+  WalkStoreMeta meta = base.meta();
+  meta.graph_fingerprint = graph_fingerprint_;
+
+  // Materialize base + overlay as a flat walk table, exactly what Build()
+  // would have produced on the updated graph, and save it through the
+  // same writer — byte identity follows.
+  const uint32_t n = meta.n;
+  const size_t words = base.WalkWords();
+  std::vector<uint32_t> walks(words * n);
+  std::vector<uint32_t> scratch(words);
+  for (VertexId v = 0; v < n; ++v) {
+    OIPSIM_RETURN_IF_ERROR(
+        MaterializeRow(base, overlay.get(), v, scratch.data()));
+    for (size_t word = 0; word < words; ++word) {
+      walks[word * n + v] = scratch[word];
+    }
+  }
+  InMemoryWalkStore merged(meta, std::move(walks), /*num_threads=*/1);
+
+  WalkStoreSaveOptions store_save;
+  store_save.compress = save.compress;
+  const std::string tmp = path + ".tmp";
+  OIPSIM_RETURN_IF_ERROR(SaveWalkStore(merged, tmp, store_save));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError(
+        StrFormat("cannot move compacted index into place: %s -> %s",
+                  tmp.c_str(), path.c_str()));
+  }
+
+  if (!graph_path.empty()) {
+    // The updated graph must be durable before the WAL forgets how to
+    // re-derive it.
+    DiGraph::Builder builder(n_);
+    for (const Edge& edge : edges_) builder.AddEdge(edge.src, edge.dst);
+    const DiGraph graph = std::move(builder).Build();
+    const std::string graph_tmp = graph_path + ".tmp";
+    OIPSIM_RETURN_IF_ERROR(WriteBinary(graph, graph_tmp));
+    if (std::rename(graph_tmp.c_str(), graph_path.c_str()) != 0) {
+      std::remove(graph_tmp.c_str());
+      return Status::IoError(
+          StrFormat("cannot move compacted graph into place: %s -> %s",
+                    graph_tmp.c_str(), graph_path.c_str()));
+    }
+  }
+
+  if (reset_wal) {
+    WalBaseIdentity identity;
+    identity.n = meta.n;
+    identity.num_fingerprints = meta.num_fingerprints;
+    identity.walk_length = meta.walk_length;
+    identity.seed = meta.seed;
+    identity.damping = meta.damping;
+    identity.graph_fingerprint = meta.graph_fingerprint;
+    OIPSIM_RETURN_IF_ERROR(wal_.Reset(identity));
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.wal_records = wal_.record_count();
+    stats_.wal_bytes = wal_.size_bytes();
+  }
+  return Status::OK();
+}
+
+DiGraph IndexUpdater::CurrentGraph() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DiGraph::Builder builder(n_);
+  for (const Edge& edge : edges_) builder.AddEdge(edge.src, edge.dst);
+  return std::move(builder).Build();
+}
+
+IndexUpdateStats IndexUpdater::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace simrank

@@ -1,0 +1,174 @@
+// Incremental maintenance of a walk index under edge updates.
+//
+// A full rebuild after one edge change costs O(n·R·L) walk simulation; the
+// updater patches locally instead, exploiting two properties of the index:
+// walks are *coupled* (every step is a pure function of (seed, fingerprint,
+// step, vertex) — common/coupled_hash.h), and the v2 store carries a
+// per-(fingerprint, step) inverted position index. An edge update (u → w)
+// changes only w's in-neighbour list, so exactly the walks that visit w at
+// some step can change. The updater:
+//   1. finds every such walk through the inverted index — for each touched
+//      vertex x and step t, Bucket(r, t, x) lists the walks parked at x —
+//      and records the earliest affected step per (vertex, fingerprint);
+//   2. deterministically re-simulates each affected walk's suffix from the
+//      same coupled-hash seed against the updated graph;
+//   3. publishes the result as a new DeltaOverlay (patched per-vertex
+//      segments + inverted-slot diffs), swapped into the WalkIndex
+//      RCU-style so concurrent queries never block and never see a
+//      half-applied batch.
+// Because the re-simulated suffixes are exactly what a from-scratch build
+// on the updated graph would produce (the unaffected prefixes already
+// are), the patched index is *bitwise identical* to a rebuild: every query
+// answer matches, and Compact() writes a v2 file byte-identical to
+// `build-index` on the updated graph.
+//
+// Durability: every accepted batch is appended to a checksummed WAL
+// (update_wal.h) *before* the overlay is built. Reopening the updater
+// replays the WAL over the base index and reconstructs the overlay; a torn
+// tail (crash mid-append) is dropped, losing only the unacknowledged
+// batch.
+//
+// Concurrency: ApplyUpdates/Compact serialize on an internal mutex and may
+// be called from any thread (the server calls them from worker threads);
+// queries against the index proceed concurrently through overlay
+// snapshots.
+#ifndef OIPSIM_SIMRANK_INDEX_INDEX_UPDATER_H_
+#define OIPSIM_SIMRANK_INDEX_INDEX_UPDATER_H_
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simrank/common/status.h"
+#include "simrank/graph/digraph.h"
+#include "simrank/index/edge_update.h"
+#include "simrank/index/update_wal.h"
+#include "simrank/index/walk_index.h"
+
+namespace simrank {
+
+/// Updater construction knobs.
+struct IndexUpdaterOptions {
+  /// Path of the write-ahead log; created when absent, replayed when
+  /// present. Required.
+  std::string wal_path;
+  /// fsync the WAL after every append. Off only for benchmarking the pure
+  /// patch path.
+  bool sync_wal = true;
+};
+
+/// Cumulative counters (replayed batches included), readable concurrently
+/// with updates.
+struct IndexUpdateStats {
+  uint64_t batches_applied = 0;
+  /// Of batches_applied, how many were replayed from the WAL at Open.
+  uint64_t batches_replayed = 0;
+  uint64_t edges_inserted = 0;
+  uint64_t edges_deleted = 0;
+  /// (vertex, fingerprint) walk suffixes re-simulated.
+  uint64_t walks_resimulated = 0;
+  /// Of those, how many actually changed some position.
+  uint64_t walks_changed = 0;
+  /// Walk positions written while re-simulating (the patch's true size).
+  uint64_t steps_resimulated = 0;
+  /// Torn-tail bytes the WAL dropped at Open (0 for a clean log).
+  uint64_t wal_truncated_bytes = 0;
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  /// Current overlay footprint.
+  uint64_t overlay_sequence = 0;
+  uint64_t patched_vertices = 0;
+  uint64_t patched_walks = 0;
+  uint64_t changed_slots = 0;
+  uint64_t delta_entries = 0;
+  /// Current (updated) graph.
+  uint64_t graph_edges = 0;
+  uint64_t current_graph_fingerprint = 0;
+};
+
+/// Owns the dynamic state of one served index: the current graph, the WAL,
+/// and the published overlay. The WalkIndex and the base graph's storage
+/// must outlive the updater.
+class IndexUpdater {
+ public:
+  /// Binds an updater to `index`, which must have been built from
+  /// `base_graph` (validated via the structural fingerprint) and must not
+  /// already carry an overlay. Opens (or creates) the WAL and replays any
+  /// recorded batches — on return the index already serves the replayed
+  /// state.
+  static Result<std::unique_ptr<IndexUpdater>> Open(
+      WalkIndex& index, DiGraph base_graph,
+      const IndexUpdaterOptions& options);
+
+  OIPSIM_DISALLOW_COPY_AND_ASSIGN(IndexUpdater);
+
+  /// Applies one batch: validates it against the current graph, appends it
+  /// to the WAL (write-ahead), patches the affected walks and publishes
+  /// the new overlay. On error nothing is published and the graph is
+  /// unchanged. Empty batches are rejected. Thread-safe.
+  Status ApplyUpdates(std::span<const EdgeUpdate> updates);
+
+  /// Writes base + overlay as a fresh v2 index file at `path` (via a
+  /// temporary file and an atomic rename), byte-identical to what
+  /// `build-index` on the current graph would write with the same save
+  /// options. With `reset_wal`, the WAL is then re-bound to the compacted
+  /// index's fingerprint and emptied — the compacted file embodies every
+  /// logged batch. A non-empty `graph_path` additionally writes the
+  /// updated graph in the id-exact binary format (also via atomic
+  /// rename, and *before* the WAL reset): resetting the WAL makes the
+  /// base graph file stale, so a restart needs this file — without it,
+  /// acknowledged updates would survive only in an index whose matching
+  /// graph exists nowhere on disk. Thread-safe; queries keep serving
+  /// throughout, and no update can slip between the index write, the
+  /// graph write and the reset.
+  Status Compact(const std::string& path,
+                 const WalkIndex::SaveOptions& save, bool reset_wal = false,
+                 const std::string& graph_path = "");
+
+  /// Counter snapshot. Thread-safe.
+  IndexUpdateStats stats() const;
+
+  /// Materializes the current (updated) graph as a DiGraph — for the CLI's
+  /// --write-graph, tests and the bench; the patch path itself never
+  /// rebuilds one. Thread-safe but O(n + m): not for hot paths.
+  DiGraph CurrentGraph() const;
+
+  const WalkIndex& index() const { return index_; }
+
+ private:
+  IndexUpdater(WalkIndex& index, const DiGraph& base_graph, UpdateWal wal);
+
+  /// The patch pipeline shared by ApplyUpdates and WAL replay. Caller
+  /// holds mutex_. `expected_post_fingerprint` (nonzero during replay)
+  /// must match the patched graph's fingerprint.
+  Status ApplyBatch(std::span<const EdgeUpdate> updates, bool append_to_wal,
+                    uint64_t expected_post_fingerprint);
+
+  WalkIndex& index_;
+  UpdateWal wal_;
+
+  // The current graph, kept in the two shapes the patch path needs and
+  // maintained incrementally (a DiGraph rebuild per batch would dwarf the
+  // patch itself): the canonical (src, dst)-sorted edge list — the order
+  // GraphFingerprint hashes — and the in-neighbour CSR the re-simulation
+  // reads.
+  uint32_t n_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<VertexId> in_sources_;
+  uint64_t graph_fingerprint_ = 0;
+
+  /// Serializes ApplyBatch and Compact.
+  mutable std::mutex mutex_;
+  /// Guards stats_ alone, so stats() (the server's inline /v1/stats and
+  /// /metrics handlers run it on the event loop) never waits behind a
+  /// long patch or compaction holding mutex_.
+  mutable std::mutex stats_mutex_;
+  IndexUpdateStats stats_;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_INDEX_INDEX_UPDATER_H_

@@ -20,15 +20,20 @@
 
 namespace simrank {
 
+/// Aggregated cache counters, shared across all ShardedLruCache
+/// instantiations (so code holding stats does not depend on the cached
+/// value type).
+struct LruCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
 /// Fixed-capacity LRU map sharded by key hash. Thread-safe.
 template <typename Key, typename Value>
 class ShardedLruCache {
  public:
-  struct Stats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
-  };
+  using Stats = LruCacheStats;
 
   /// `num_shards` independent LRU lists of `capacity_per_shard` entries
   /// each. Both must be positive.
@@ -74,6 +79,28 @@ class ShardedLruCache {
     }
     shard.lru.emplace_front(key, std::move(value));
     shard.map.emplace(key, shard.lru.begin());
+  }
+
+  /// Removes `key`; returns true when it was resident. Counted neither as
+  /// a hit nor a miss (invalidation is not a lookup).
+  bool Erase(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    return true;
+  }
+
+  /// Drops every entry in every shard (an index update made all cached
+  /// rows stale). Counters keep accumulating across the clear.
+  void Clear() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->lru.clear();
+      shard->map.clear();
+    }
   }
 
   /// Number of resident entries across all shards.

@@ -24,47 +24,93 @@ Status QueryEngine::CheckVertex(VertexId v) const {
   return Status::OK();
 }
 
-Result<double> QueryEngine::Pair(VertexId a, VertexId b) {
-  OIPSIM_RETURN_IF_ERROR(CheckVertex(a));
-  OIPSIM_RETURN_IF_ERROR(CheckVertex(b));
-  // A resident row of either endpoint already holds the answer.
-  if (auto row = cache_.Get(a)) return (**row)[b];
-  if (auto row = cache_.Get(b)) return (**row)[a];
-  return index_.EstimatePair(a, b);
+QueryEngine::Row QueryEngine::GetFresh(VertexId v, uint64_t sequence) {
+  if (auto hit = cache_.Get(v)) {
+    if (hit->sequence == sequence) return hit->row;
+    // Computed under an older overlay: unservable. Dropping it here keeps
+    // the stale row from shadowing the recomputed one until eviction. A
+    // *newer* stamp means this reader pinned its snapshot before an
+    // update landed — the resident row is the fresh one; leave it for
+    // current readers.
+    if (hit->sequence < sequence) cache_.Erase(v);
+  }
+  return nullptr;
 }
 
-Result<QueryEngine::Row> QueryEngine::SingleSource(VertexId v) {
+Result<double> QueryEngine::PairAtSnapshot(
+    VertexId a, VertexId b,
+    const std::shared_ptr<const DeltaOverlay>& overlay) {
+  OIPSIM_RETURN_IF_ERROR(CheckVertex(a));
+  OIPSIM_RETURN_IF_ERROR(CheckVertex(b));
+  const uint64_t sequence = overlay == nullptr ? 0 : overlay->sequence();
+  // A resident (and fresh) row of either endpoint already holds the
+  // answer.
+  if (Row row = GetFresh(a, sequence)) return (*row)[b];
+  if (Row row = GetFresh(b, sequence)) return (*row)[a];
+  return index_.EstimatePair(a, b, overlay.get());
+}
+
+Result<QueryEngine::Row> QueryEngine::SingleSourceAtSnapshot(
+    VertexId v, const std::shared_ptr<const DeltaOverlay>& overlay) {
   OIPSIM_RETURN_IF_ERROR(CheckVertex(v));
-  if (auto row = cache_.Get(v)) return *row;
+  const uint64_t sequence = overlay == nullptr ? 0 : overlay->sequence();
+  if (Row row = GetFresh(v, sequence)) return row;
   Row row = std::make_shared<const std::vector<double>>(
-      index_.EstimateSingleSource(v));
-  cache_.Put(v, row);
+      index_.EstimateSingleSource(v, overlay.get()));
+  // Stamped with the sequence the row was actually computed under; if an
+  // update raced us, the stamp is stale and the row reads as a miss —
+  // and in that case skip the insert rather than overwrite a row another
+  // reader may have cached under the newer overlay.
+  if (index_.overlay_sequence() == sequence) {
+    cache_.Put(v, VersionedRow{sequence, row});
+  }
   return row;
 }
 
-Result<std::vector<ScoredVertex>> QueryEngine::TopK(VertexId v, uint32_t k) {
-  Result<Row> row = SingleSource(v);
+Result<std::vector<ScoredVertex>> QueryEngine::TopKAtSnapshot(
+    VertexId v, uint32_t k,
+    const std::shared_ptr<const DeltaOverlay>& overlay) {
+  Result<Row> row = SingleSourceAtSnapshot(v, overlay);
   if (!row.ok()) return row.status();
   return TopKFromRow(**row, v, k, /*exclude_query=*/true);
 }
 
+Result<double> QueryEngine::Pair(VertexId a, VertexId b) {
+  // One overlay snapshot serves the whole query: the cached-row check and
+  // the fallback estimate must agree on the index version.
+  return PairAtSnapshot(a, b, index_.overlay_snapshot());
+}
+
+Result<QueryEngine::Row> QueryEngine::SingleSource(VertexId v) {
+  return SingleSourceAtSnapshot(v, index_.overlay_snapshot());
+}
+
+Result<std::vector<ScoredVertex>> QueryEngine::TopK(VertexId v, uint32_t k) {
+  return TopKAtSnapshot(v, k, index_.overlay_snapshot());
+}
+
 std::vector<Result<double>> QueryEngine::BatchPair(
     const std::vector<std::pair<VertexId, VertexId>>& queries) {
+  // One snapshot for the whole batch: every answer reflects the same
+  // index version even if an update lands mid-fanout.
+  const auto overlay = index_.overlay_snapshot();
   std::vector<Result<double>> answers(queries.size(),
                                       Result<double>(0.0));
   pool_.ParallelFor(0, queries.size(), [&](uint64_t i) {
-    answers[i] = Pair(queries[i].first, queries[i].second);
+    answers[i] =
+        PairAtSnapshot(queries[i].first, queries[i].second, overlay);
   });
   return answers;
 }
 
 std::vector<Result<std::vector<ScoredVertex>>> QueryEngine::BatchTopK(
     const std::vector<VertexId>& queries, uint32_t k) {
+  const auto overlay = index_.overlay_snapshot();
   std::vector<Result<std::vector<ScoredVertex>>> answers(
       queries.size(),
       Result<std::vector<ScoredVertex>>(std::vector<ScoredVertex>{}));
   pool_.ParallelFor(0, queries.size(), [&](uint64_t i) {
-    answers[i] = TopK(queries[i], k);
+    answers[i] = TopKAtSnapshot(queries[i], k, overlay);
   });
   return answers;
 }

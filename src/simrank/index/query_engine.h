@@ -42,6 +42,13 @@ struct QueryEngineOptions {
 };
 
 /// Thread-safe query frontend. The WalkIndex must outlive the engine.
+///
+/// Dynamic updates: every cached row is stamped with the index's overlay
+/// sequence at computation time, and a stale stamp reads as a miss — so a
+/// concurrent IndexUpdater::ApplyUpdates can never make the engine serve a
+/// pre-update row, even in the window between the overlay swap and an
+/// explicit InvalidateCache(). InvalidateCache() additionally frees the
+/// stale rows eagerly.
 class QueryEngine {
  public:
   /// A cached, immutable single-source score row s(v, ·).
@@ -67,11 +74,20 @@ class QueryEngine {
 
   /// Batch variants: answer[i] corresponds to queries[i]. Work is spread
   /// across the engine's thread pool; results are deterministic (identical
-  /// to issuing the queries sequentially).
+  /// to issuing the queries sequentially). The whole batch is pinned to
+  /// one overlay snapshot, so a concurrent update can never make one
+  /// response mix index versions.
   std::vector<Result<double>> BatchPair(
       const std::vector<std::pair<VertexId, VertexId>>& queries);
   std::vector<Result<std::vector<ScoredVertex>>> BatchTopK(
       const std::vector<VertexId>& queries, uint32_t k);
+
+  /// Drops every cached row. Rows computed against an older overlay are
+  /// already unservable through the sequence stamp; this frees them.
+  /// (There is deliberately no per-row invalidation: an update stales
+  /// *every* cached row — a row s(v, ·) depends on all vertices' walks,
+  /// not just v's.)
+  void InvalidateCache() { cache_.Clear(); }
 
   /// Aggregated cache counters (hits/misses/evictions) since construction.
   using CacheStats = ShardedLruCache<VertexId, Row>::Stats;
@@ -80,11 +96,33 @@ class QueryEngine {
   const WalkIndex& index() const { return index_; }
 
  private:
+  /// Cache value: the row plus the overlay sequence it was computed under.
+  struct VersionedRow {
+    uint64_t sequence = 0;
+    Row row;
+  };
+
   Status CheckVertex(VertexId v) const;
+
+  /// The cached row of `v` if it is resident and was computed under
+  /// overlay sequence `sequence`; stale entries read as absent.
+  Row GetFresh(VertexId v, uint64_t sequence);
+
+  /// Pair/SingleSource/TopK against one pinned overlay snapshot — the
+  /// shared core of the public entry points and the version-consistent
+  /// batch APIs.
+  Result<double> PairAtSnapshot(
+      VertexId a, VertexId b,
+      const std::shared_ptr<const DeltaOverlay>& overlay);
+  Result<Row> SingleSourceAtSnapshot(
+      VertexId v, const std::shared_ptr<const DeltaOverlay>& overlay);
+  Result<std::vector<ScoredVertex>> TopKAtSnapshot(
+      VertexId v, uint32_t k,
+      const std::shared_ptr<const DeltaOverlay>& overlay);
 
   const WalkIndex& index_;
   QueryEngineOptions options_;
-  ShardedLruCache<VertexId, Row> cache_;
+  ShardedLruCache<VertexId, VersionedRow> cache_;
   ThreadPool pool_;
 };
 

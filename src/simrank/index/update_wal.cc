@@ -1,0 +1,339 @@
+#include "simrank/index/update_wal.h"
+
+#include <cstring>
+#include <utility>
+
+#include "simrank/common/stream_hash.h"
+#include "simrank/common/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define OIPSIM_HAVE_FSYNC 1
+#include <unistd.h>
+#endif
+
+namespace simrank {
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4C415753;        // "SWAL"
+constexpr uint32_t kWalVersion = 1;
+constexpr uint32_t kWalRecordMagic = 0x44525753;  // "SWRD"
+constexpr size_t kWalHeaderBytes = 64;
+constexpr size_t kRecordPrologueBytes = 16;  // magic, count, post fingerprint
+// Domain salts, part of the on-disk format.
+constexpr uint64_t kWalHeaderSalt = 0x53574c48445231ULL;  // "SWLHDR1"
+constexpr uint64_t kWalRecordSalt = 0x53574c52454331ULL;  // "SWLREC1"
+/// A record beyond this many updates is treated as corruption, not a
+/// request for a giant allocation.
+constexpr uint32_t kMaxUpdatesPerRecord = 1u << 26;
+
+template <typename T>
+T ReadScalar(const uint8_t* bytes) {
+  T value;
+  std::memcpy(&value, bytes, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void AppendScalar(std::vector<uint8_t>* out, T value) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(value));
+  std::memcpy(out->data() + at, &value, sizeof(value));
+}
+
+uint64_t DampingBits(double damping) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &damping, sizeof(bits));
+  return bits;
+}
+
+std::vector<uint8_t> BuildHeader(const WalBaseIdentity& identity) {
+  std::vector<uint8_t> header;
+  header.reserve(kWalHeaderBytes);
+  AppendScalar<uint32_t>(&header, kWalMagic);
+  AppendScalar<uint32_t>(&header, kWalVersion);
+  AppendScalar<uint32_t>(&header, identity.n);
+  AppendScalar<uint32_t>(&header, identity.num_fingerprints);
+  AppendScalar<uint32_t>(&header, identity.walk_length);
+  AppendScalar<uint32_t>(&header, 0);  // reserved flags
+  AppendScalar<uint64_t>(&header, identity.seed);
+  AppendScalar<uint64_t>(&header, DampingBits(identity.damping));
+  AppendScalar<uint64_t>(&header, identity.graph_fingerprint);
+  AppendScalar<uint64_t>(&header, 0);  // reserved
+  StreamHasher hasher(kWalHeaderSalt);
+  hasher.AbsorbBytes(header.data(), header.size());
+  AppendScalar<uint64_t>(&header, hasher.digest());
+  return header;
+}
+
+std::vector<uint8_t> BuildRecord(const WalRecord& record) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(kRecordPrologueBytes + record.updates.size() * 12 + 8);
+  AppendScalar<uint32_t>(&bytes, kWalRecordMagic);
+  AppendScalar<uint32_t>(&bytes,
+                         static_cast<uint32_t>(record.updates.size()));
+  AppendScalar<uint64_t>(&bytes, record.post_graph_fingerprint);
+  for (const EdgeUpdate& update : record.updates) {
+    AppendScalar<uint32_t>(&bytes, static_cast<uint32_t>(update.op));
+    AppendScalar<uint32_t>(&bytes, update.src);
+    AppendScalar<uint32_t>(&bytes, update.dst);
+  }
+  StreamHasher hasher(kWalRecordSalt);
+  hasher.AbsorbBytes(bytes.data(), bytes.size());
+  AppendScalar<uint64_t>(&bytes, hasher.digest());
+  return bytes;
+}
+
+Status FlushAndMaybeSync(std::FILE* file, bool sync,
+                         const std::string& path) {
+  if (std::fflush(file) != 0) {
+    return Status::IoError("cannot flush WAL: " + path);
+  }
+#if OIPSIM_HAVE_FSYNC
+  if (sync && ::fsync(::fileno(file)) != 0) {
+    return Status::IoError("cannot fsync WAL: " + path);
+  }
+#else
+  (void)sync;
+#endif
+  return Status::OK();
+}
+
+/// Reads the whole file. A missing file yields `*existed = false` (fine:
+/// Open creates it); a *read error* is a hard failure — it must never be
+/// mistaken for a torn tail, or Open would truncate away durable records
+/// it merely failed to read.
+Status ReadAllBytes(const std::string& path, std::vector<uint8_t>* out,
+                    bool* existed) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *existed = false;
+    return Status::OK();
+  }
+  *existed = true;
+  char chunk[4096];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    out->insert(out->end(), chunk, chunk + got);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::IoError("read error while opening WAL: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+UpdateWal::UpdateWal(UpdateWal&& other) noexcept
+    : path_(std::move(other.path_)),
+      options_(other.options_),
+      file_(std::exchange(other.file_, nullptr)),
+      record_count_(other.record_count_),
+      size_bytes_(other.size_bytes_) {}
+
+UpdateWal& UpdateWal::operator=(UpdateWal&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    file_ = std::exchange(other.file_, nullptr);
+    record_count_ = other.record_count_;
+    size_bytes_ = other.size_bytes_;
+  }
+  return *this;
+}
+
+UpdateWal::~UpdateWal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<UpdateWal::Opened> UpdateWal::Open(const std::string& path,
+                                          const WalBaseIdentity& expected,
+                                          const Options& options) {
+  Opened opened;
+  opened.wal.path_ = path;
+  opened.wal.options_ = options;
+
+  std::vector<uint8_t> bytes;
+  bool existed = false;
+  OIPSIM_RETURN_IF_ERROR(ReadAllBytes(path, &bytes, &existed));
+
+  uint64_t valid_bytes = 0;
+  if (existed && !bytes.empty()) {
+    if (bytes.size() < kWalHeaderBytes) {
+      return Status::ParseError(StrFormat(
+          "%s is not a walk-index WAL: %zu bytes, the header is %zu",
+          path.c_str(), bytes.size(), kWalHeaderBytes));
+    }
+    if (ReadScalar<uint32_t>(bytes.data()) != kWalMagic) {
+      return Status::ParseError("not a walk-index WAL (bad magic): " + path);
+    }
+    const uint32_t version = ReadScalar<uint32_t>(bytes.data() + 4);
+    if (version != kWalVersion) {
+      return Status::ParseError(StrFormat(
+          "WAL version %u found in %s but this build supports only %u",
+          version, path.c_str(), kWalVersion));
+    }
+    StreamHasher hasher(kWalHeaderSalt);
+    hasher.AbsorbBytes(bytes.data(), kWalHeaderBytes - sizeof(uint64_t));
+    if (hasher.digest() !=
+        ReadScalar<uint64_t>(bytes.data() + kWalHeaderBytes - 8)) {
+      return Status::ParseError("WAL header checksum mismatch in " + path);
+    }
+    WalBaseIdentity found;
+    found.n = ReadScalar<uint32_t>(bytes.data() + 8);
+    found.num_fingerprints = ReadScalar<uint32_t>(bytes.data() + 12);
+    found.walk_length = ReadScalar<uint32_t>(bytes.data() + 16);
+    found.seed = ReadScalar<uint64_t>(bytes.data() + 24);
+    const uint64_t damping_bits = ReadScalar<uint64_t>(bytes.data() + 32);
+    std::memcpy(&found.damping, &damping_bits, sizeof(found.damping));
+    found.graph_fingerprint = ReadScalar<uint64_t>(bytes.data() + 40);
+    if (!(found == expected)) {
+      return Status::InvalidArgument(StrFormat(
+          "WAL %s belongs to a different index: it is bound to graph "
+          "fingerprint %016llx (n=%u, R=%u, L=%u), the loaded index has "
+          "%016llx (n=%u, R=%u, L=%u) — a compacted index needs a fresh "
+          "(or Reset) WAL",
+          path.c_str(),
+          static_cast<unsigned long long>(found.graph_fingerprint), found.n,
+          found.num_fingerprints, found.walk_length,
+          static_cast<unsigned long long>(expected.graph_fingerprint),
+          expected.n, expected.num_fingerprints, expected.walk_length));
+    }
+    valid_bytes = kWalHeaderBytes;
+
+    // Records: any structural violation from here on is a torn tail, not
+    // an error — the write-ahead contract is prefix-durability.
+    uint64_t cursor = kWalHeaderBytes;
+    while (cursor < bytes.size()) {
+      if (bytes.size() - cursor < kRecordPrologueBytes) break;
+      const uint8_t* record = bytes.data() + cursor;
+      if (ReadScalar<uint32_t>(record) != kWalRecordMagic) break;
+      const uint32_t count = ReadScalar<uint32_t>(record + 4);
+      if (count > kMaxUpdatesPerRecord) break;
+      const uint64_t record_bytes =
+          kRecordPrologueBytes + static_cast<uint64_t>(count) * 12 + 8;
+      if (bytes.size() - cursor < record_bytes) break;
+      StreamHasher record_hasher(kWalRecordSalt);
+      record_hasher.AbsorbBytes(record, record_bytes - 8);
+      if (record_hasher.digest() !=
+          ReadScalar<uint64_t>(record + record_bytes - 8)) {
+        break;
+      }
+      WalRecord parsed;
+      parsed.post_graph_fingerprint = ReadScalar<uint64_t>(record + 8);
+      parsed.updates.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        const uint8_t* update = record + kRecordPrologueBytes +
+                                static_cast<uint64_t>(i) * 12;
+        const uint32_t op = ReadScalar<uint32_t>(update);
+        if (op > static_cast<uint32_t>(EdgeUpdate::Op::kDelete)) break;
+        parsed.updates.push_back(
+            EdgeUpdate{static_cast<EdgeUpdate::Op>(op),
+                       ReadScalar<uint32_t>(update + 4),
+                       ReadScalar<uint32_t>(update + 8)});
+      }
+      if (parsed.updates.size() != count) break;  // bad op code in tail
+      opened.records.push_back(std::move(parsed));
+      cursor += record_bytes;
+      valid_bytes = cursor;
+    }
+    opened.truncated_bytes = bytes.size() - valid_bytes;
+  }
+
+  if (!existed || bytes.empty() || valid_bytes == 0) {
+    // Fresh (or never-initialized) file: write the header. Nothing
+    // durable exists yet, so a crash mid-write at worst leaves an empty
+    // file the next Open re-initializes.
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::IoError("cannot open WAL for writing: " + path);
+    }
+    const std::vector<uint8_t> header = BuildHeader(expected);
+    const bool ok =
+        std::fwrite(header.data(), 1, header.size(), f) == header.size();
+    if (!ok) {
+      std::fclose(f);
+      return Status::IoError("short write initializing WAL: " + path);
+    }
+    Status flushed = FlushAndMaybeSync(f, options.sync_every_append, path);
+    std::fclose(f);
+    OIPSIM_RETURN_IF_ERROR(flushed);
+    valid_bytes = header.size();
+  } else if (opened.truncated_bytes > 0) {
+    // Torn tail: drop it *in place*. Rewriting the whole file would open
+    // a window where a second crash destroys every durable record.
+#if OIPSIM_HAVE_FSYNC
+    if (::truncate(path.c_str(),
+                   static_cast<off_t>(valid_bytes)) != 0) {
+      return Status::IoError("cannot truncate torn WAL tail: " + path);
+    }
+#else
+    // Best-effort fallback without POSIX truncate: rewrite the prefix.
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::IoError("cannot open WAL for writing: " + path);
+    }
+    const bool ok = std::fwrite(bytes.data(), 1, valid_bytes, f) ==
+                    valid_bytes;
+    std::fclose(f);
+    if (!ok) {
+      return Status::IoError("short write truncating WAL: " + path);
+    }
+#endif
+  }
+
+  opened.wal.file_ = std::fopen(path.c_str(), "ab");
+  if (opened.wal.file_ == nullptr) {
+    return Status::IoError("cannot open WAL for appending: " + path);
+  }
+  opened.wal.record_count_ = opened.records.size();
+  opened.wal.size_bytes_ = valid_bytes;
+  return opened;
+}
+
+Status UpdateWal::Append(const WalRecord& record) {
+  if (file_ == nullptr) {
+    return Status::Internal("WAL is not open: " + path_);
+  }
+  const std::vector<uint8_t> bytes = BuildRecord(record);
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::IoError("short write appending to WAL: " + path_);
+  }
+  OIPSIM_RETURN_IF_ERROR(
+      FlushAndMaybeSync(file_, options_.sync_every_append, path_));
+  ++record_count_;
+  size_bytes_ += bytes.size();
+  return Status::OK();
+}
+
+Status UpdateWal::Reset(const WalBaseIdentity& identity) {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open WAL for reset: " + path_);
+  }
+  const std::vector<uint8_t> header = BuildHeader(identity);
+  const bool ok =
+      std::fwrite(header.data(), 1, header.size(), f) == header.size();
+  if (!ok) {
+    std::fclose(f);
+    return Status::IoError("short write resetting WAL: " + path_);
+  }
+  Status flushed = FlushAndMaybeSync(f, options_.sync_every_append, path_);
+  std::fclose(f);
+  OIPSIM_RETURN_IF_ERROR(flushed);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot reopen WAL after reset: " + path_);
+  }
+  record_count_ = 0;
+  size_bytes_ = header.size();
+  return Status::OK();
+}
+
+}  // namespace simrank

@@ -1,0 +1,121 @@
+// Append-only, checksummed write-ahead log of edge-update batches.
+//
+// The WAL is the durability story of the dynamic-index subsystem: an
+// IndexUpdater appends every accepted batch *before* patching the in-memory
+// overlay, so a crash at any point loses nothing — reopening the WAL
+// replays the recorded batches over the base index and reconstructs the
+// exact overlay (and therefore, by the subsystem's bitwise guarantee, the
+// exact query answers).
+//
+// On-disk layout (native-endian, like the index format):
+//   header, 64 bytes: magic, version, the base index's model parameters
+//     (n, R, L, seed, damping) and its graph fingerprint — so a WAL can
+//     never be replayed against an index it does not belong to — then a
+//     salted header checksum.
+//   records, each: {magic u32, update_count u32, post_graph_fingerprint
+//     u64, update_count × {op u32, src u32, dst u32}, record checksum u64}.
+//     The post-batch fingerprint lets replay verify each batch lands on
+//     the graph it was originally applied to.
+//
+// Torn writes: a record whose magic, declared length, or checksum does not
+// hold is treated as an unfinished tail — Open() drops it (rewriting the
+// file to the longest valid prefix) and reports how many bytes were
+// discarded. Everything before the tear replays normally, which is exactly
+// the write-ahead contract: a batch is durable once its record is fully on
+// disk, and invisible otherwise.
+#ifndef OIPSIM_SIMRANK_INDEX_UPDATE_WAL_H_
+#define OIPSIM_SIMRANK_INDEX_UPDATE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simrank/common/status.h"
+#include "simrank/index/edge_update.h"
+
+namespace simrank {
+
+/// The identity a WAL is bound to: the base index's model parameters and
+/// the structural fingerprint of the graph it was built from.
+struct WalBaseIdentity {
+  uint32_t n = 0;
+  uint32_t num_fingerprints = 0;
+  uint32_t walk_length = 0;
+  uint64_t seed = 0;
+  double damping = 0.0;
+  uint64_t graph_fingerprint = 0;
+
+  friend bool operator==(const WalBaseIdentity&,
+                         const WalBaseIdentity&) = default;
+};
+
+/// One durable batch.
+struct WalRecord {
+  std::vector<EdgeUpdate> updates;
+  /// GraphFingerprint of the graph *after* this batch.
+  uint64_t post_graph_fingerprint = 0;
+};
+
+/// An open WAL file positioned for appends. Move-only; not internally
+/// synchronized (the IndexUpdater serializes access under its own mutex).
+class UpdateWal {
+ public:
+  struct Options {
+    /// fsync after every append (POSIX; elsewhere a best-effort flush).
+    /// The bench turns this off to time the patch path alone.
+    bool sync_every_append = true;
+  };
+
+  /// What Open() found on disk; defined after the class (it holds an
+  /// UpdateWal by value).
+  struct Opened;
+
+  /// Opens `path`, creating it with a fresh header when absent. An existing
+  /// file must carry exactly `expected` as its base identity — a WAL for a
+  /// different index (or a pre-compaction WAL against a compacted index)
+  /// is a ParseError, never a silent misapply.
+  static Result<Opened> Open(const std::string& path,
+                             const WalBaseIdentity& expected,
+                             const Options& options);
+
+  UpdateWal(UpdateWal&& other) noexcept;
+  UpdateWal& operator=(UpdateWal&& other) noexcept;
+  ~UpdateWal();
+
+  /// Appends one record durably (record bytes + checksum, then flush and,
+  /// per Options, fsync). On return the batch survives a crash.
+  Status Append(const WalRecord& record);
+
+  /// Truncates to a fresh header bound to `identity` — the post-compaction
+  /// reset: the compacted index file now embodies every logged batch, so
+  /// the log restarts against the compacted fingerprint.
+  Status Reset(const WalBaseIdentity& identity);
+
+  uint64_t record_count() const { return record_count_; }
+  uint64_t size_bytes() const { return size_bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  UpdateWal() = default;
+
+  std::string path_;
+  Options options_;
+  /// Kept open in append position between Append calls.
+  std::FILE* file_ = nullptr;
+  uint64_t record_count_ = 0;
+  uint64_t size_bytes_ = 0;
+};
+
+struct UpdateWal::Opened {
+  UpdateWal wal;
+  /// Complete records, in append order, to be replayed by the caller.
+  std::vector<WalRecord> records;
+  /// Bytes of torn tail discarded (0 for a clean file).
+  uint64_t truncated_bytes = 0;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_INDEX_UPDATE_WAL_H_

@@ -57,8 +57,21 @@ WalkIndex WalkIndex::FromStore(std::unique_ptr<const WalkStore> store) {
   index.options_.damping = meta.damping;
   index.options_.seed = meta.seed;
   index.store_ = std::move(store);
+  index.overlay_slot_ = std::make_shared<OverlaySlot>();
   index.PrecomputeDampingPowers();
   return index;
+}
+
+void WalkIndex::PublishOverlay(std::shared_ptr<const DeltaOverlay> overlay) {
+  OIPSIM_CHECK(overlay_slot_ != nullptr);
+  std::lock_guard<std::mutex> lock(overlay_slot_->mutex);
+  overlay_slot_->current = std::move(overlay);
+}
+
+std::shared_ptr<const DeltaOverlay> WalkIndex::overlay_snapshot() const {
+  if (overlay_slot_ == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(overlay_slot_->mutex);
+  return overlay_slot_->current;
 }
 
 Result<WalkIndex> WalkIndex::Build(const DiGraph& graph,
@@ -137,14 +150,33 @@ void WalkIndex::PrecomputeDampingPowers() {
   }
 }
 
-double WalkIndex::EstimatePair(VertexId a, VertexId b) const {
+namespace {
+
+/// Decodes vertex `v`'s base-store row into `scratch`, returning the
+/// pointer; corruption while serving is fatal (checked).
+const uint32_t* DecodeBaseRow(const WalkStore& store, VertexId v,
+                              std::vector<uint32_t>* scratch) {
+  scratch->resize(store.WalkWords());
+  const Status status = store.DecodeVertex(v, scratch->data());
+  OIPSIM_CHECK_MSG(status.ok(), "corrupt walk segment while serving: %s",
+                   status.ToString().c_str());
+  return scratch->data();
+}
+
+}  // namespace
+
+double WalkIndex::EstimatePair(VertexId a, VertexId b,
+                               const DeltaOverlay* overlay) const {
   const uint32_t n = store_->meta().n;
   OIPSIM_CHECK(a < n && b < n);
   if (a == b) return 1.0;
   const uint32_t R = options_.num_fingerprints;
   const uint32_t L = options_.walk_length;
+  const bool pa_patched = overlay != nullptr && overlay->IsPatched(a);
+  const bool pb_patched = overlay != nullptr && overlay->IsPatched(b);
   double sum = 0.0;
-  if (const uint32_t* walks = store_->FlatWalks()) {
+  const uint32_t* walks = store_->FlatWalks();
+  if (walks != nullptr && !pa_patched && !pb_patched) {
     // Resident flat table: direct (r,t)-major indexing, v1's hot path.
     for (uint32_t r = 0; r < R; ++r) {
       for (uint32_t t = 1; t <= L; ++t) {
@@ -159,19 +191,34 @@ double WalkIndex::EstimatePair(VertexId a, VertexId b) const {
       }
     }
   } else {
-    // Paged backend: two contiguous segment decodes, then the identical
-    // comparison over identical positions — bitwise-equal results.
+    // Paged backend or a patched endpoint: base positions from the flat
+    // table (or one contiguous segment decode per endpoint), patched
+    // suffixes overriding per (fingerprint, step) — then the identical
+    // comparison over identical positions, so results stay bitwise equal
+    // to a rebuilt index's.
     const size_t row = static_cast<size_t>(L) + 1;
-    std::vector<uint32_t> wa(store_->WalkWords());
-    std::vector<uint32_t> wb(store_->WalkWords());
-    Status status = store_->DecodeVertex(a, wa.data());
-    if (status.ok()) status = store_->DecodeVertex(b, wb.data());
-    OIPSIM_CHECK_MSG(status.ok(), "corrupt walk segment while serving: %s",
-                     status.ToString().c_str());
+    std::vector<uint32_t> scratch_a;
+    std::vector<uint32_t> scratch_b;
+    const uint32_t* wa =
+        walks != nullptr ? nullptr : DecodeBaseRow(*store_, a, &scratch_a);
+    const uint32_t* wb =
+        walks != nullptr ? nullptr : DecodeBaseRow(*store_, b, &scratch_b);
     for (uint32_t r = 0; r < R; ++r) {
+      const DeltaOverlay::WalkPatch* qa =
+          pa_patched ? overlay->FindPatch(a, r) : nullptr;
+      const DeltaOverlay::WalkPatch* qb =
+          pb_patched ? overlay->FindPatch(b, r) : nullptr;
       for (uint32_t t = 1; t <= L; ++t) {
-        const uint32_t pa = wa[r * row + t];
-        const uint32_t pb = wb[r * row + t];
+        const uint32_t pa =
+            qa != nullptr && qa->Covers(t)
+                ? qa->Position(t)
+                : (walks != nullptr ? walks[store_->FlatSlot(r, t) + a]
+                                    : wa[r * row + t]);
+        const uint32_t pb =
+            qb != nullptr && qb->Covers(t)
+                ? qb->Position(t)
+                : (walks != nullptr ? walks[store_->FlatSlot(r, t) + b]
+                                    : wb[r * row + t]);
         if (pa == kDeadWalk || pb == kDeadWalk) break;
         if (pa == pb) {
           sum += damping_powers_[t];
@@ -183,23 +230,22 @@ double WalkIndex::EstimatePair(VertexId a, VertexId b) const {
   return sum / static_cast<double>(options_.num_fingerprints);
 }
 
-std::vector<double> WalkIndex::EstimateSingleSource(VertexId v) const {
+std::vector<double> WalkIndex::EstimateSingleSource(
+    VertexId v, const DeltaOverlay* overlay) const {
   const uint32_t n = store_->meta().n;
   OIPSIM_CHECK(v < n);
   const uint32_t R = options_.num_fingerprints;
   const uint32_t L = options_.walk_length;
   const size_t row = static_cast<size_t>(L) + 1;
 
-  // The query vertex's own walks: direct reads from a resident table,
-  // otherwise one contiguous segment decode.
+  // The query vertex's own walks: direct reads from a resident table (or
+  // one contiguous segment decode), with its patched suffixes overriding
+  // per (fingerprint, step).
+  const bool v_patched = overlay != nullptr && overlay->IsPatched(v);
   const uint32_t* flat = store_->FlatWalks();
   std::vector<uint32_t> decoded;
-  if (flat == nullptr) {
-    decoded.resize(store_->WalkWords());
-    const Status status = store_->DecodeVertex(v, decoded.data());
-    OIPSIM_CHECK_MSG(status.ok(), "corrupt walk segment while serving: %s",
-                     status.ToString().c_str());
-  }
+  const uint32_t* base_row =
+      flat != nullptr ? nullptr : DecodeBaseRow(*store_, v, &decoded);
 
   std::vector<double> result(n, 0.0);
   // met_round[b] == r+1 marks that b's walk already met v's walk within
@@ -209,30 +255,35 @@ std::vector<double> WalkIndex::EstimateSingleSource(VertexId v) const {
   for (uint32_t r = 0; r < R; ++r) {
     const uint32_t round = r + 1;
     met_round[v] = round;
+    const DeltaOverlay::WalkPatch* patch =
+        v_patched ? overlay->FindPatch(v, r) : nullptr;
     for (uint32_t t = 1; t <= L; ++t) {
-      const uint32_t pv = flat != nullptr
-                              ? flat[store_->FlatSlot(r, t) + v]
-                              : decoded[r * row + t];
+      const uint32_t pv =
+          patch != nullptr && patch->Covers(t)
+              ? patch->Position(t)
+              : (flat != nullptr ? flat[store_->FlatSlot(r, t) + v]
+                                 : base_row[r * row + t]);
       if (pv == kDeadWalk) break;  // v's walk died: no further meetings
       const double weight = damping_powers_[t];
       // Only the vertices actually parked at pv in this slot — the
-      // output-sensitive core. Buckets are ascending by vertex id, the
-      // same per-b accumulation order as the scan, so each result entry
-      // is the identical left-to-right sum. Every id is bounds-checked
-      // before use (corruption can break the ascending invariant too, so
+      // output-sensitive core. Buckets (merged with the overlay's slot
+      // diff when one is active) are ascending by vertex id, the same
+      // per-b accumulation order as the scan, so each result entry is the
+      // identical left-to-right sum. Every id is bounds-checked before
+      // use (corruption can break the ascending invariant too, so
       // checking only the last element would not do): an out-of-range id
       // is payload corruption the (deliberately payload-blind) mmap open
       // could not have seen, and it must not become an out-of-bounds
       // write below.
-      for (const uint32_t b : store_->Bucket(r, t, pv)) {
+      ForEachBucketVertex(*store_, overlay, r, t, pv, [&](const uint32_t b) {
         OIPSIM_CHECK_MSG(b < n,
                          "corrupt inverted index while serving: vertex id "
                          "%u >= n=%u (run VerifyPayload on this file)",
                          b, n);
-        if (met_round[b] == round) continue;
+        if (met_round[b] == round) return;
         result[b] += weight;
         met_round[b] = round;
-      }
+      });
     }
   }
   // Divide (not multiply by a reciprocal) so every entry is bit-identical
@@ -244,7 +295,8 @@ std::vector<double> WalkIndex::EstimateSingleSource(VertexId v) const {
   return result;
 }
 
-std::vector<double> WalkIndex::EstimateSingleSourceScan(VertexId v) const {
+std::vector<double> WalkIndex::EstimateSingleSourceScan(
+    VertexId v, const DeltaOverlay* overlay) const {
   const uint32_t n = store_->meta().n;
   OIPSIM_CHECK(v < n);
   const uint32_t* walks = store_->FlatWalks();
@@ -253,6 +305,31 @@ std::vector<double> WalkIndex::EstimateSingleSourceScan(VertexId v) const {
                    "backend serves single-source via the inverted index",
                    store_->backend_name());
   const uint32_t L = options_.walk_length;
+  const size_t row = static_cast<size_t>(L) + 1;
+  // Materialize full rows for the patched vertices up front (null =
+  // unpatched) so the O(R·L·n) scan pays an array read per position, not a
+  // hash lookup.
+  std::vector<const uint32_t*> patched;
+  std::vector<std::vector<uint32_t>> patched_rows;
+  if (overlay != nullptr && overlay->patched_vertex_count() > 0) {
+    patched.assign(n, nullptr);
+    patched_rows.reserve(overlay->patched_vertices().size());
+    for (const auto& [pv, count] : overlay->patched_vertices()) {
+      (void)count;
+      patched_rows.emplace_back(store_->WalkWords());
+      const Status status =
+          MaterializeRow(*store_, overlay, pv, patched_rows.back().data());
+      OIPSIM_CHECK_MSG(status.ok(), "corrupt walk segment while serving: %s",
+                       status.ToString().c_str());
+      patched[pv] = patched_rows.back().data();
+    }
+  }
+  auto position = [&](uint32_t r, uint32_t t, size_t slot, VertexId b) {
+    if (!patched.empty() && patched[b] != nullptr) {
+      return patched[b][r * row + t];
+    }
+    return walks[slot + b];
+  };
   std::vector<double> result(n, 0.0);
   std::vector<uint32_t> met_round(n, 0);
   for (uint32_t r = 0; r < options_.num_fingerprints; ++r) {
@@ -260,11 +337,13 @@ std::vector<double> WalkIndex::EstimateSingleSourceScan(VertexId v) const {
     met_round[v] = round;
     for (uint32_t t = 1; t <= L; ++t) {
       const size_t slot = store_->FlatSlot(r, t);
-      const uint32_t pv = walks[slot + v];
+      const uint32_t pv = position(r, t, slot, v);
       if (pv == kDeadWalk) break;
       const double weight = damping_powers_[t];
       for (uint32_t b = 0; b < n; ++b) {
-        if (met_round[b] == round || walks[slot + b] != pv) continue;
+        if (met_round[b] == round || position(r, t, slot, b) != pv) {
+          continue;
+        }
         result[b] += weight;
         met_round[b] = round;
       }

@@ -28,12 +28,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "simrank/common/status.h"
 #include "simrank/core/options.h"
 #include "simrank/graph/digraph.h"
+#include "simrank/index/delta_overlay.h"
 #include "simrank/index/walk_store.h"
 
 namespace simrank {
@@ -90,8 +92,11 @@ struct WalkIndexOptions {
                                        const SimRankOptions& simrank = {});
 };
 
-/// Immutable fingerprint index over one graph. Thread-safe for concurrent
-/// reads after construction. Move-only (it owns its storage backend).
+/// Fingerprint index over one graph. The storage backend is immutable;
+/// dynamic edge updates are served through a DeltaOverlay published by an
+/// IndexUpdater (PublishOverlay), swapped RCU-style so the index stays
+/// thread-safe for concurrent reads — including reads concurrent with a
+/// publish. Move-only (it owns its storage backend).
 class WalkIndex {
  public:
   /// Sentinel position of a walk that left a vertex with no in-neighbours.
@@ -150,19 +155,57 @@ class WalkIndex {
   Status ValidateGraph(const DiGraph& graph) const;
 
   /// Estimate of s(a, b); exactly 1 for a == b. Both ids must be < n().
-  double EstimatePair(VertexId a, VertexId b) const;
+  /// The no-overlay overload snapshots the published overlay itself; the
+  /// explicit overload serves against exactly `overlay` (nullptr = base),
+  /// which is how a QueryEngine pins a whole row to one overlay version.
+  double EstimatePair(VertexId a, VertexId b) const {
+    return EstimatePair(a, b, overlay_snapshot().get());
+  }
+  double EstimatePair(VertexId a, VertexId b,
+                      const DeltaOverlay* overlay) const;
 
   /// Estimates the full row s(v, ·) through the inverted position index:
   /// per (fingerprint, step) slot, only the vertices whose walk sits at
   /// the query walk's position are touched — O(R·L·log n + output) versus
   /// the scan's O(R·L·n) — and the result is bitwise identical to
-  /// EstimateSingleSourceScan and to n EstimatePair calls.
-  std::vector<double> EstimateSingleSource(VertexId v) const;
+  /// EstimateSingleSourceScan and to n EstimatePair calls. With an overlay
+  /// (published or passed explicitly) the patched walks and slot diffs are
+  /// merged in, and the row is bitwise identical to what an index rebuilt
+  /// on the updated graph would serve.
+  std::vector<double> EstimateSingleSource(VertexId v) const {
+    return EstimateSingleSource(v, overlay_snapshot().get());
+  }
+  std::vector<double> EstimateSingleSource(
+      VertexId v, const DeltaOverlay* overlay) const;
 
   /// The pre-v2 full-row scan over the flat walk table, kept as the
-  /// reference implementation the inverted path is validated against.
-  /// Requires a backend with resident walks (has_resident_walks()).
-  std::vector<double> EstimateSingleSourceScan(VertexId v) const;
+  /// reference implementation the inverted path is validated against
+  /// (overlay-aware like the inverted path, so the two stay comparable
+  /// under updates). Requires a backend with resident walks
+  /// (has_resident_walks()).
+  std::vector<double> EstimateSingleSourceScan(VertexId v) const {
+    return EstimateSingleSourceScan(v, overlay_snapshot().get());
+  }
+  std::vector<double> EstimateSingleSourceScan(
+      VertexId v, const DeltaOverlay* overlay) const;
+
+  /// Publishes `overlay` as the served patch set (nullptr reverts to the
+  /// base store). RCU-style: in-flight queries keep the snapshot they
+  /// started with; new queries see the new overlay. Called by an
+  /// IndexUpdater after it has fully built the overlay — readers never
+  /// observe a half-applied batch.
+  void PublishOverlay(std::shared_ptr<const DeltaOverlay> overlay);
+
+  /// The currently published overlay (nullptr when serving the base).
+  std::shared_ptr<const DeltaOverlay> overlay_snapshot() const;
+
+  /// Sequence number of the published overlay; 0 when serving the base.
+  /// Monotone across PublishOverlay calls — the staleness stamp for
+  /// cached rows.
+  uint64_t overlay_sequence() const {
+    auto overlay = overlay_snapshot();
+    return overlay == nullptr ? 0 : overlay->sequence();
+  }
 
   /// True when the backend keeps the flat walk table in RAM (in-memory
   /// backend; false for mmap), enabling EstimateSingleSourceScan.
@@ -193,7 +236,20 @@ class WalkIndex {
   /// Fills damping_powers_ from options_. Called after Build and Load.
   void PrecomputeDampingPowers();
 
+  /// The mutable overlay slot, boxed on the heap so the index itself stays
+  /// movable. The mutex guards only the shared_ptr swap/copy — held for
+  /// nanoseconds per query; overlay contents are immutable.
+  /// (std::atomic<std::shared_ptr> would make the snapshot wait-free, but
+  /// libstdc++'s lock-bit implementation is not ThreadSanitizer-clean on
+  /// the toolchains the TSan CI job runs, so the mutex stays until that
+  /// is.)
+  struct OverlaySlot {
+    mutable std::mutex mutex;
+    std::shared_ptr<const DeltaOverlay> current;
+  };
+
   std::unique_ptr<const WalkStore> store_;
+  std::shared_ptr<OverlaySlot> overlay_slot_;
   /// damping_powers_[t] = pow(damping, t); derived, not serialized. All
   /// estimators read this one table so their results agree bit-for-bit.
   std::vector<double> damping_powers_;

@@ -164,6 +164,8 @@ HttpParseStatus ParseHttpRequest(std::string_view input,
   // --- header fields ------------------------------------------------------
   bool connection_close = false;
   bool connection_keep_alive = false;
+  bool content_length_seen = false;
+  uint64_t content_length = 0;
   size_t header_count = 0;
   size_t cursor = line_end == std::string_view::npos ? head.size()
                                                      : line_end + 2;
@@ -193,11 +195,20 @@ HttpParseStatus ParseHttpRequest(std::string_view input,
       if (!ParseUint64(value, &length)) {
         return Error(400, "malformed Content-Length");
       }
-      if (length != 0) {
-        return Error(501, "request bodies are not supported");
+      if (length > limits.max_body_bytes) {
+        // Rejected from the header alone: the oversized body is never
+        // buffered.
+        return Error(413, StrFormat("request body exceeds %zu bytes",
+                                    limits.max_body_bytes));
       }
+      if (content_length_seen && length != content_length) {
+        return Error(400, "conflicting Content-Length headers");
+      }
+      content_length = length;
+      content_length_seen = true;
     } else if (AsciiEqualsIgnoreCase(name, "transfer-encoding")) {
-      return Error(501, "request bodies are not supported");
+      return Error(
+          501, "only Content-Length-delimited request bodies are supported");
     } else if (AsciiEqualsIgnoreCase(name, "connection")) {
       connection_close = connection_close || HasToken(value, "close");
       connection_keep_alive =
@@ -220,9 +231,17 @@ HttpParseStatus ParseHttpRequest(std::string_view input,
   }
   out->method = std::string(method);
 
+  // --- body ---------------------------------------------------------------
+  // Content-Length-delimited; consumed covers head + body so a pipelined
+  // successor parses from the right offset.
+  if (content_length > input.size() - head_bytes) {
+    return HttpParseStatus{HttpParseStatus::kNeedMore, 0, 0, ""};
+  }
+  out->body = std::string(input.substr(head_bytes, content_length));
+
   HttpParseStatus result;
   result.outcome = HttpParseStatus::kComplete;
-  result.consumed = head_bytes;
+  result.consumed = head_bytes + static_cast<size_t>(content_length);
   return result;
 }
 
@@ -236,6 +255,8 @@ const char* HttpStatusReason(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 413:
+      return "Content Too Large";
     case 414:
       return "URI Too Long";
     case 429:

@@ -1,22 +1,28 @@
 // Dependency-free HTTP/1.1 subset for the SimRank serving frontend.
 //
-// The server speaks exactly the slice of HTTP/1.1 a point-query API needs:
-// GET requests without bodies, percent-encoded query strings, keep-alive
-// and pipelining. Everything else is rejected *early* with the right
-// status code — the parser is the admission boundary for malformed and
-// oversized input, so hardened limits live here, not in the event loop:
+// The server speaks exactly the slice of HTTP/1.1 a point-query-and-update
+// API needs: GET requests with percent-encoded query strings,
+// Content-Length-delimited bodies (the POST update/batch endpoints),
+// keep-alive and pipelining. Everything else is rejected *early* with the
+// right status code — the parser is the admission boundary for malformed
+// and oversized input, so hardened limits live here, not in the event
+// loop:
 //   - request line + headers over HttpLimits::max_request_bytes -> 431
 //     (reported as soon as the prefix exceeds the limit, before a
 //     terminator ever arrives, so a slow-drip oversized request cannot
 //     buffer unboundedly);
 //   - request target over max_target_bytes -> 414;
 //   - more than max_headers header fields -> 431;
-//   - a request body (Content-Length > 0 or any Transfer-Encoding) -> 501,
-//     because no endpoint consumes bodies and skipping unparsed body bytes
-//     would desynchronise pipelined connections;
+//   - a body over max_body_bytes -> 413 (reported from the header alone,
+//     before any body byte is buffered);
+//   - any Transfer-Encoding -> 501: bodies are Content-Length-delimited
+//     only, because skipping an unparsed chunked body would desynchronise
+//     pipelined connections;
 //   - anything structurally malformed (bad request line, stray control
 //     bytes in header names, broken percent-escapes) -> 400;
 //   - HTTP versions other than 1.0/1.1 -> 505.
+// Whether a *particular* endpoint/method accepts a body is routing policy,
+// enforced by the server, not here.
 // Parsing is incremental: feed the buffered bytes, get kComplete with the
 // consumed prefix length (pipelining = parse again on the remainder),
 // kNeedMore, or kError with the status to send before closing.
@@ -41,6 +47,8 @@ struct HttpLimits {
   size_t max_target_bytes = 2048;
   /// Upper bound on the number of header fields.
   size_t max_headers = 64;
+  /// Upper bound on a Content-Length body (update batches, pair lists).
+  size_t max_body_bytes = 1u << 20;
 };
 
 /// One parsed request. Strings own their bytes (the input buffer may be
@@ -52,6 +60,8 @@ struct HttpRequest {
   /// Query parameters in request order, keys and values percent-decoded
   /// ('+' decodes to space). A key without '=' yields an empty value.
   std::vector<std::pair<std::string, std::string>> params;
+  /// Content-Length body bytes (empty for the common GET case).
+  std::string body;
   /// 0 for HTTP/1.0, 1 for HTTP/1.1.
   int minor_version = 1;
   /// Persistent-connection semantics after this request: HTTP/1.1 unless
@@ -73,7 +83,8 @@ struct HttpParseStatus {
   Outcome outcome = kNeedMore;
   /// Bytes of input consumed by the request (kComplete only).
   size_t consumed = 0;
-  /// HTTP status to send before closing (kError only): 400/414/431/501/505.
+  /// HTTP status to send before closing (kError only):
+  /// 400/413/414/431/501/505.
   int error_status = 0;
   /// Human-readable reason for the error response body (kError only).
   std::string error_message;

@@ -188,11 +188,31 @@ Result<HttpClientResponse> LoopbackHttpClient::Get(
   return ReadResponse();
 }
 
+Result<HttpClientResponse> LoopbackHttpClient::Post(
+    const std::string& target, std::string_view body,
+    std::string_view content_type) {
+  std::string request = "POST " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  request += "Content-Type: ";
+  request += content_type;
+  request += StrFormat("\r\nContent-Length: %zu\r\n\r\n", body.size());
+  request += body;
+  OIPSIM_RETURN_IF_ERROR(SendRaw(request));
+  return ReadResponse();
+}
+
 Result<HttpClientResponse> HttpGet(uint16_t port,
                                    const std::string& target) {
   auto client = LoopbackHttpClient::Connect(port);
   if (!client.ok()) return client.status();
   return client->Get(target);
+}
+
+Result<HttpClientResponse> HttpPost(uint16_t port, const std::string& target,
+                                    std::string_view body,
+                                    std::string_view content_type) {
+  auto client = LoopbackHttpClient::Connect(port);
+  if (!client.ok()) return client.status();
+  return client->Post(target, body, content_type);
 }
 
 #else  // !OIPSIM_HAVE_SOCKETS
@@ -217,7 +237,16 @@ Result<HttpClientResponse> LoopbackHttpClient::ReadResponse() {
 Result<HttpClientResponse> LoopbackHttpClient::Get(const std::string&) {
   return Status::Unimplemented("LoopbackHttpClient requires POSIX sockets");
 }
+Result<HttpClientResponse> LoopbackHttpClient::Post(const std::string&,
+                                                    std::string_view,
+                                                    std::string_view) {
+  return Status::Unimplemented("LoopbackHttpClient requires POSIX sockets");
+}
 Result<HttpClientResponse> HttpGet(uint16_t, const std::string&) {
+  return Status::Unimplemented("LoopbackHttpClient requires POSIX sockets");
+}
+Result<HttpClientResponse> HttpPost(uint16_t, const std::string&,
+                                    std::string_view, std::string_view) {
   return Status::Unimplemented("LoopbackHttpClient requires POSIX sockets");
 }
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -49,6 +50,13 @@ class LoopbackHttpClient {
   /// the next call).
   Result<HttpClientResponse> Get(const std::string& target);
 
+  /// Issues `POST target` with a Content-Length body and reads the full
+  /// response.
+  Result<HttpClientResponse> Post(const std::string& target,
+                                  std::string_view body,
+                                  std::string_view content_type =
+                                      "text/plain");
+
   /// Sends raw bytes without awaiting a response (pipelining tests).
   Status SendRaw(std::string_view bytes);
 
@@ -69,6 +77,12 @@ class LoopbackHttpClient {
 
 /// One-shot convenience: connect, GET, close.
 Result<HttpClientResponse> HttpGet(uint16_t port, const std::string& target);
+
+/// One-shot convenience: connect, POST, close.
+Result<HttpClientResponse> HttpPost(uint16_t port, const std::string& target,
+                                    std::string_view body,
+                                    std::string_view content_type =
+                                        "text/plain");
 
 /// The number following `"key":` in `body`, searched from `*cursor` (or
 /// the start when null); `*cursor` advances past the key so repeated

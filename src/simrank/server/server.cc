@@ -33,12 +33,14 @@ constexpr size_t kMaxPendingOutputBytes = 4u << 20;
 constexpr size_t kInputBufferSlackBytes = 64u << 10;
 
 /// Parsed arguments of one dispatchable query; only the fields of the
-/// request's endpoint are meaningful.
+/// request's endpoint are meaningful. POST bodies travel raw and are
+/// parsed in the worker, so a large batch never stalls the event loop.
 struct QueryArgs {
   VertexId a = 0;
   VertexId b = 0;
   VertexId v = 0;
   uint32_t k = 10;
+  std::string body;
 };
 
 std::string ErrorBody(std::string_view code, std::string_view message) {
@@ -55,11 +57,14 @@ std::string ErrorBody(std::string_view code, std::string_view message) {
   return json.str();
 }
 
-/// HTTP status + body for a query that failed inside the engine.
+/// HTTP status + body for a query or update that failed inside the engine
+/// or updater. Parse errors are client errors here: the only parsed input
+/// is the request body.
 std::pair<int, std::string> EngineErrorResponse(const Status& status) {
   const int http_status =
       (status.code() == StatusCode::kOutOfRange ||
-       status.code() == StatusCode::kInvalidArgument)
+       status.code() == StatusCode::kInvalidArgument ||
+       status.code() == StatusCode::kParseError)
           ? 400
           : (status.code() == StatusCode::kNotFound ? 404 : 500);
   return {http_status,
@@ -117,6 +122,121 @@ std::pair<int, std::string> ExecuteTopK(QueryEngine& engine,
   return {200, json.str()};
 }
 
+/// Parses a /v1/batch_pair body: one "A B" pair per line, '#' comments and
+/// blank lines ignored.
+Result<std::vector<std::pair<VertexId, VertexId>>> ParsePairBatch(
+    std::string_view body, uint32_t max_pairs) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  int line_no = 0;
+  for (std::string_view line : StrSplit(body, '\n')) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = StrTrim(line);
+    if (line.empty()) continue;
+    const size_t space = line.find_first_of(" \t");
+    uint64_t a = 0;
+    uint64_t b = 0;
+    if (space == std::string_view::npos ||
+        !ParseUint64(StrTrim(line.substr(0, space)), &a) ||
+        !ParseUint64(StrTrim(line.substr(space + 1)), &b) ||
+        a > UINT32_MAX || b > UINT32_MAX) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: expected two vertex ids per line", line_no));
+    }
+    if (pairs.size() >= max_pairs) {
+      return Status::InvalidArgument(StrFormat(
+          "batch exceeds the %u-pair limit; split it", max_pairs));
+    }
+    pairs.emplace_back(static_cast<VertexId>(a), static_cast<VertexId>(b));
+  }
+  if (pairs.empty()) {
+    return Status::InvalidArgument("empty pair batch");
+  }
+  return pairs;
+}
+
+std::pair<int, std::string> ExecuteBatchPair(QueryEngine& engine,
+                                             const QueryArgs& args,
+                                             uint32_t max_pairs) {
+  auto pairs = ParsePairBatch(args.body, max_pairs);
+  if (!pairs.ok()) return EngineErrorResponse(pairs.status());
+  const auto answers = engine.BatchPair(*pairs);
+  for (const auto& answer : answers) {
+    if (!answer.ok()) return EngineErrorResponse(answer.status());
+  }
+  JsonWriter json;
+  json.BeginObject()
+      .Key("count")
+      .Uint(answers.size())
+      .Key("scores")
+      .BeginArray();
+  for (const auto& answer : answers) json.Double(*answer);
+  json.EndArray().EndObject();
+  return {200, json.str()};
+}
+
+std::pair<int, std::string> ExecuteUpdate(QueryEngine& engine,
+                                          IndexUpdater& updater,
+                                          const QueryArgs& args) {
+  auto updates = ParseEdgeUpdates(args.body);
+  if (!updates.ok()) return EngineErrorResponse(updates.status());
+  const Status applied = updater.ApplyUpdates(*updates);
+  if (!applied.ok()) return EngineErrorResponse(applied);
+  // Stale rows are already unservable through their sequence stamp; this
+  // frees them eagerly.
+  engine.InvalidateCache();
+  const IndexUpdateStats stats = updater.stats();
+  JsonWriter json;
+  json.BeginObject()
+      .Key("applied")
+      .Uint(updates->size())
+      .Key("sequence")
+      .Uint(stats.overlay_sequence)
+      .Key("patched_vertices")
+      .Uint(stats.patched_vertices)
+      .Key("changed_slots")
+      .Uint(stats.changed_slots)
+      .Key("graph_fingerprint")
+      .String(FormatFingerprint(stats.current_graph_fingerprint))
+      .Key("wal_records")
+      .Uint(stats.wal_records)
+      .EndObject();
+  return {200, json.str()};
+}
+
+std::pair<int, std::string> ExecuteCompact(IndexUpdater& updater,
+                                           const ServerOptions& options) {
+  if (options.compact_path.empty() || options.compact_graph_path.empty()) {
+    return {503, ErrorBody("Unavailable",
+                           "no compaction target configured "
+                           "(--compact-to / --compact-graph-to)")};
+  }
+  WalkIndex::SaveOptions save;
+  save.compress = options.compact_compress;
+  // The updated graph is persisted alongside the index before the WAL
+  // reset — afterwards the WAL can no longer re-derive it from the
+  // original --graph file, so a restart points --graph at the emitted
+  // file.
+  const Status status =
+      updater.Compact(options.compact_path, save, /*reset_wal=*/true,
+                      options.compact_graph_path);
+  if (!status.ok()) return EngineErrorResponse(status);
+  const IndexUpdateStats stats = updater.stats();
+  JsonWriter json;
+  json.BeginObject()
+      .Key("path")
+      .String(options.compact_path)
+      .Key("graph_path")
+      .String(options.compact_graph_path)
+      .Key("sequence")
+      .Uint(stats.overlay_sequence)
+      .Key("graph_fingerprint")
+      .String(FormatFingerprint(stats.current_graph_fingerprint))
+      .EndObject();
+  return {200, json.str()};
+}
+
 }  // namespace
 
 const char* ServerEndpointPath(ServerEndpoint endpoint) {
@@ -127,6 +247,30 @@ const char* ServerEndpointPath(ServerEndpoint endpoint) {
       return "/v1/single_source";
     case ServerEndpoint::kTopK:
       return "/v1/topk";
+    case ServerEndpoint::kBatchPair:
+      return "/v1/batch_pair";
+    case ServerEndpoint::kUpdate:
+      return "/v1/update";
+    case ServerEndpoint::kCompact:
+      return "/v1/compact";
+  }
+  return "?";
+}
+
+const char* ServerEndpointName(ServerEndpoint endpoint) {
+  switch (endpoint) {
+    case ServerEndpoint::kPair:
+      return "pair";
+    case ServerEndpoint::kSingleSource:
+      return "single_source";
+    case ServerEndpoint::kTopK:
+      return "topk";
+    case ServerEndpoint::kBatchPair:
+      return "batch_pair";
+    case ServerEndpoint::kUpdate:
+      return "update";
+    case ServerEndpoint::kCompact:
+      return "compact";
   }
   return "?";
 }
@@ -150,6 +294,10 @@ Status ServerOptions::Validate() const {
   }
   if (max_connections == 0) {
     return Status::InvalidArgument("max_connections must be positive");
+  }
+  if (max_batch_pairs == 0) {
+    return Status::InvalidArgument(
+        "max_batch_pairs must be positive: a zero cap rejects every batch");
   }
   return Status::OK();
 }
@@ -187,8 +335,12 @@ struct SimRankServer::Completion {
 };
 
 SimRankServer::SimRankServer(QueryEngine& engine,
-                             const ServerOptions& options)
-    : engine_(engine), options_(options), pool_(options.threads) {}
+                             const ServerOptions& options,
+                             IndexUpdater* updater)
+    : engine_(engine),
+      options_(options),
+      updater_(updater),
+      pool_(options.threads) {}
 
 SimRankServer::~SimRankServer() {
   // Workers may still be executing queries if Serve was never run to
@@ -378,8 +530,12 @@ void SimRankServer::HandleAccept() {
 
 void SimRankServer::HandleReadable(Connection* conn) {
   char buffer[4096];
-  const size_t input_cap =
-      options_.http.max_request_bytes + kInputBufferSlackBytes;
+  // The budget covers a full head plus the largest admissible body — a
+  // request the parser would accept must be able to buffer completely, or
+  // the read-side backpressure below would deadlock it.
+  const size_t input_cap = options_.http.max_request_bytes +
+                           options_.http.max_body_bytes +
+                           kInputBufferSlackBytes;
   while (conn->in.size() < input_cap) {
     const ssize_t got = ::recv(conn->fd, buffer, sizeof(buffer), 0);
     if (got > 0) {
@@ -435,13 +591,44 @@ bool SimRankServer::MaybeCloseAfterEof(Connection* conn) {
 
 void SimRankServer::RouteRequest(Connection* conn,
                                  const HttpRequest& request) {
-  if (request.method != "GET") {
-    QueueResponse(conn, 405,
-                  ErrorBody("MethodNotAllowed",
-                            "only GET is supported on this API"),
-                  {{"Allow", "GET"}});
+  // Inline endpoints: answered on the loop thread, GET only.
+  const bool is_inline = request.path == "/healthz" ||
+                         request.path == "/v1/stats" ||
+                         request.path == "/metrics";
+  // Dispatchable endpoints and the method each accepts.
+  ServerEndpoint endpoint = ServerEndpoint::kPair;
+  bool known = false;
+  for (uint32_t i = 0; i < kNumServerEndpoints; ++i) {
+    const auto candidate = static_cast<ServerEndpoint>(i);
+    if (request.path == ServerEndpointPath(candidate)) {
+      endpoint = candidate;
+      known = true;
+      break;
+    }
+  }
+  if (!is_inline && !known) {
+    QueueResponse(conn, 404,
+                  ErrorBody("NotFound", "no such endpoint: " + request.path));
     return;
   }
+  const bool wants_post =
+      known && (endpoint == ServerEndpoint::kBatchPair ||
+                endpoint == ServerEndpoint::kUpdate ||
+                endpoint == ServerEndpoint::kCompact);
+  const char* allowed = wants_post ? "POST" : "GET";
+  if (request.method != allowed) {
+    QueueResponse(conn, 405,
+                  ErrorBody("MethodNotAllowed",
+                            StrFormat("%s only accepts %s",
+                                      request.path.c_str(), allowed)),
+                  {{"Allow", allowed}});
+    return;
+  }
+  if (!wants_post && !request.body.empty()) {
+    QueueErrorResponse(conn, 400, "GET endpoints take no request body");
+    return;
+  }
+
   if (request.path == "/healthz") {
     stat_requests_healthz_.fetch_add(1, std::memory_order_relaxed);
     const bool keep = conn->request_keep_alive && !draining_;
@@ -458,18 +645,27 @@ void SimRankServer::RouteRequest(Connection* conn,
     QueueResponse(conn, 200, BuildStatsBody());
     return;
   }
+  if (request.path == "/metrics") {
+    stat_requests_metrics_.fetch_add(1, std::memory_order_relaxed);
+    const bool keep = conn->request_keep_alive && !draining_;
+    HttpResponseOptions response_options;
+    response_options.keep_alive = keep;
+    response_options.content_type = "text/plain; version=0.0.4";
+    conn->out += BuildHttpResponse(200, BuildMetricsBody(),
+                                   response_options);
+    if (!keep) conn->close_after_flush = true;
+    CountResponse(200);
+    return;
+  }
 
-  ServerEndpoint endpoint;
-  if (request.path == ServerEndpointPath(ServerEndpoint::kPair)) {
-    endpoint = ServerEndpoint::kPair;
-  } else if (request.path ==
-             ServerEndpointPath(ServerEndpoint::kSingleSource)) {
-    endpoint = ServerEndpoint::kSingleSource;
-  } else if (request.path == ServerEndpointPath(ServerEndpoint::kTopK)) {
-    endpoint = ServerEndpoint::kTopK;
-  } else {
-    QueueResponse(conn, 404,
-                  ErrorBody("NotFound", "no such endpoint: " + request.path));
+  if ((endpoint == ServerEndpoint::kUpdate ||
+       endpoint == ServerEndpoint::kCompact) &&
+      updater_ == nullptr) {
+    QueueResponse(
+        conn, 503,
+        ErrorBody("Unavailable",
+                  "dynamic updates are disabled: the server was started "
+                  "without an update log (--graph/--wal)"));
     return;
   }
   DispatchQuery(conn, endpoint, request);
@@ -547,6 +743,14 @@ void SimRankServer::DispatchQuery(Connection* conn, ServerEndpoint endpoint,
         params_ok = ParseVertexParam(request, "k", &args.k, &error);
       }
       break;
+    case ServerEndpoint::kBatchPair:
+    case ServerEndpoint::kUpdate:
+    case ServerEndpoint::kCompact:
+      // Body endpoints take no query parameters; the body itself is
+      // parsed in the worker.
+      params_ok = CheckAllowedParams(request, {}, &error);
+      args.body = request.body;
+      break;
   }
   if (!params_ok) {
     QueueErrorResponse(conn, 400, error);
@@ -587,7 +791,9 @@ void SimRankServer::DispatchQuery(Connection* conn, ServerEndpoint endpoint,
   conn->awaiting = true;
   const int fd = conn->fd;
   const uint64_t connection_id = conn->id;
-  pool_.Submit([this, fd, connection_id, endpoint, args] {
+  const auto dispatched_at = std::chrono::steady_clock::now();
+  pool_.Submit([this, fd, connection_id, endpoint, dispatched_at,
+                args = std::move(args)] {
     if (options_.handler_delay_ms > 0) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(options_.handler_delay_ms));
@@ -607,9 +813,22 @@ void SimRankServer::DispatchQuery(Connection* conn, ServerEndpoint endpoint,
       case ServerEndpoint::kTopK:
         result = ExecuteTopK(engine_, args);
         break;
+      case ServerEndpoint::kBatchPair:
+        result = ExecuteBatchPair(engine_, args, options_.max_batch_pairs);
+        break;
+      case ServerEndpoint::kUpdate:
+        result = ExecuteUpdate(engine_, *updater_, args);
+        break;
+      case ServerEndpoint::kCompact:
+        result = ExecuteCompact(*updater_, options_);
+        break;
     }
     completion.status = result.first;
     completion.body = std::move(result.second);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - dispatched_at);
+    latency_[static_cast<size_t>(endpoint)].Record(
+        static_cast<uint64_t>(elapsed.count()));
     {
       std::lock_guard<std::mutex> lock(completions_mutex_);
       completions_.push_back(std::move(completion));
@@ -693,8 +912,9 @@ void SimRankServer::UpdateEpoll(Connection* conn) {
   // not read until the backlog drains (ProcessBufferedRequests and
   // HandleWritable re-run this as they consume).
   const bool over_budget =
-      conn->in.size() >=
-          options_.http.max_request_bytes + kInputBufferSlackBytes ||
+      conn->in.size() >= options_.http.max_request_bytes +
+                             options_.http.max_body_bytes +
+                             kInputBufferSlackBytes ||
       conn->out.size() - conn->out_sent >= kMaxPendingOutputBytes;
   uint32_t desired = 0;
   if (!conn->close_after_flush && !conn->peer_eof && !over_budget) {
@@ -772,6 +992,8 @@ ServerStats SimRankServer::stats() const {
       stat_requests_stats_.load(std::memory_order_relaxed);
   stats.requests_healthz =
       stat_requests_healthz_.load(std::memory_order_relaxed);
+  stats.requests_metrics =
+      stat_requests_metrics_.load(std::memory_order_relaxed);
   stats.responses_2xx = stat_responses_2xx_.load(std::memory_order_relaxed);
   stats.responses_4xx = stat_responses_4xx_.load(std::memory_order_relaxed);
   stats.responses_5xx = stat_responses_5xx_.load(std::memory_order_relaxed);
@@ -811,15 +1033,13 @@ std::string SimRankServer::BuildStatsBody() const {
   json.Key("draining").Bool(draining_);
   json.EndObject();
   json.Key("requests").BeginObject();
-  json.Key("pair").Uint(
-      stats.requests[static_cast<size_t>(ServerEndpoint::kPair)]);
-  json.Key("single_source")
-      .Uint(stats.requests[static_cast<size_t>(
-          ServerEndpoint::kSingleSource)]);
-  json.Key("topk").Uint(
-      stats.requests[static_cast<size_t>(ServerEndpoint::kTopK)]);
+  for (uint32_t i = 0; i < kNumServerEndpoints; ++i) {
+    json.Key(ServerEndpointName(static_cast<ServerEndpoint>(i)))
+        .Uint(stats.requests[i]);
+  }
   json.Key("stats").Uint(stats.requests_stats);
   json.Key("healthz").Uint(stats.requests_healthz);
+  json.Key("metrics").Uint(stats.requests_metrics);
   json.EndObject();
   json.Key("responses").BeginObject();
   json.Key("2xx").Uint(stats.responses_2xx);
@@ -839,6 +1059,47 @@ std::string SimRankServer::BuildStatsBody() const {
   json.Key("misses").Uint(cache.misses);
   json.Key("evictions").Uint(cache.evictions);
   json.EndObject();
+  // Per-endpoint dispatch-to-completion latency: count/sum plus the fixed
+  // log-spaced buckets (upper bounds in µs; last bucket +Inf) and
+  // bucket-resolution quantile estimates.
+  json.Key("latency_us").BeginObject();
+  for (uint32_t i = 0; i < kNumServerEndpoints; ++i) {
+    const LatencyHistogram::Snapshot snapshot = latency_[i].snapshot();
+    json.Key(ServerEndpointName(static_cast<ServerEndpoint>(i)))
+        .BeginObject();
+    json.Key("count").Uint(snapshot.count);
+    json.Key("sum_us").Uint(snapshot.sum_micros);
+    json.Key("p50_us").Uint(snapshot.QuantileUpperMicros(0.5));
+    json.Key("p99_us").Uint(snapshot.QuantileUpperMicros(0.99));
+    json.Key("buckets").BeginArray();
+    for (uint32_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+      json.Uint(snapshot.buckets[b]);
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  if (updater_ != nullptr) {
+    const IndexUpdateStats updates = updater_->stats();
+    json.Key("updates").BeginObject();
+    json.Key("batches_applied").Uint(updates.batches_applied);
+    json.Key("batches_replayed").Uint(updates.batches_replayed);
+    json.Key("edges_inserted").Uint(updates.edges_inserted);
+    json.Key("edges_deleted").Uint(updates.edges_deleted);
+    json.Key("walks_resimulated").Uint(updates.walks_resimulated);
+    json.Key("walks_changed").Uint(updates.walks_changed);
+    json.Key("overlay_sequence").Uint(updates.overlay_sequence);
+    json.Key("patched_vertices").Uint(updates.patched_vertices);
+    json.Key("changed_slots").Uint(updates.changed_slots);
+    json.Key("delta_entries").Uint(updates.delta_entries);
+    json.Key("graph_edges").Uint(updates.graph_edges);
+    json.Key("graph_fingerprint")
+        .String(FormatFingerprint(updates.current_graph_fingerprint));
+    json.Key("wal_records").Uint(updates.wal_records);
+    json.Key("wal_bytes").Uint(updates.wal_bytes);
+    json.Key("wal_truncated_bytes").Uint(updates.wal_truncated_bytes);
+    json.EndObject();
+  }
   json.Key("index").BeginObject();
   json.Key("vertices").Uint(index.n());
   json.Key("fingerprints").Uint(index.options().num_fingerprints);
@@ -852,6 +1113,128 @@ std::string SimRankServer::BuildStatsBody() const {
   json.EndObject();
   json.EndObject();
   return json.str();
+}
+
+std::string SimRankServer::BuildMetricsBody() const {
+  // Prometheus text exposition (v0.0.4) twinning /v1/stats: counters and
+  // gauges line for line, histograms in the native bucket form.
+  const ServerStats stats = this->stats();
+  const QueryEngine::CacheStats cache = engine_.cache_stats();
+  const WalkIndex& index = engine_.index();
+  std::string out;
+  auto counter = [&out](const char* name, const char* labels,
+                        uint64_t value) {
+    out += StrFormat("%s%s %llu\n", name, labels,
+                     static_cast<unsigned long long>(value));
+  };
+  auto type = [&out](const char* name, const char* kind) {
+    out += StrFormat("# TYPE %s %s\n", name, kind);
+  };
+
+  type("simrank_requests_total", "counter");
+  for (uint32_t i = 0; i < kNumServerEndpoints; ++i) {
+    counter("simrank_requests_total",
+            StrFormat("{endpoint=\"%s\"}",
+                      ServerEndpointName(static_cast<ServerEndpoint>(i)))
+                .c_str(),
+            stats.requests[i]);
+  }
+  counter("simrank_requests_total", "{endpoint=\"stats\"}",
+          stats.requests_stats);
+  counter("simrank_requests_total", "{endpoint=\"healthz\"}",
+          stats.requests_healthz);
+  counter("simrank_requests_total", "{endpoint=\"metrics\"}",
+          stats.requests_metrics);
+
+  type("simrank_responses_total", "counter");
+  counter("simrank_responses_total", "{class=\"2xx\"}",
+          stats.responses_2xx);
+  counter("simrank_responses_total", "{class=\"4xx\"}",
+          stats.responses_4xx);
+  counter("simrank_responses_total", "{class=\"5xx\"}",
+          stats.responses_5xx);
+
+  type("simrank_rejected_total", "counter");
+  counter("simrank_rejected_total", "{reason=\"inflight\"}",
+          stats.rejected_inflight);
+  counter("simrank_rejected_total", "{reason=\"endpoint\"}",
+          stats.rejected_endpoint);
+
+  type("simrank_connections_accepted_total", "counter");
+  counter("simrank_connections_accepted_total", "",
+          stats.connections_accepted);
+  type("simrank_connections_open", "gauge");
+  counter("simrank_connections_open", "", stats.connections_open);
+  type("simrank_inflight", "gauge");
+  counter("simrank_inflight", "", stats.inflight);
+
+  type("simrank_cache_hits_total", "counter");
+  counter("simrank_cache_hits_total", "", cache.hits);
+  type("simrank_cache_misses_total", "counter");
+  counter("simrank_cache_misses_total", "", cache.misses);
+  type("simrank_cache_evictions_total", "counter");
+  counter("simrank_cache_evictions_total", "", cache.evictions);
+
+  type("simrank_index_vertices", "gauge");
+  counter("simrank_index_vertices", "", index.n());
+  type("simrank_index_resident_bytes", "gauge");
+  counter("simrank_index_resident_bytes", "", index.SizeBytes());
+
+  type("simrank_request_duration_seconds", "histogram");
+  for (uint32_t i = 0; i < kNumServerEndpoints; ++i) {
+    const char* name = ServerEndpointName(static_cast<ServerEndpoint>(i));
+    const LatencyHistogram::Snapshot snapshot = latency_[i].snapshot();
+    uint64_t cumulative = 0;
+    for (uint32_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+      cumulative += snapshot.buckets[b];
+      if (b + 1 < LatencyHistogram::kNumBuckets) {
+        out += StrFormat(
+            "simrank_request_duration_seconds_bucket{endpoint=\"%s\","
+            "le=\"%g\"} %llu\n",
+            name,
+            static_cast<double>(LatencyHistogram::BucketUpperMicros(b)) /
+                1e6,
+            static_cast<unsigned long long>(cumulative));
+      } else {
+        out += StrFormat(
+            "simrank_request_duration_seconds_bucket{endpoint=\"%s\","
+            "le=\"+Inf\"} %llu\n",
+            name, static_cast<unsigned long long>(cumulative));
+      }
+    }
+    out += StrFormat(
+        "simrank_request_duration_seconds_sum{endpoint=\"%s\"} %g\n", name,
+        static_cast<double>(snapshot.sum_micros) / 1e6);
+    out += StrFormat(
+        "simrank_request_duration_seconds_count{endpoint=\"%s\"} %llu\n",
+        name, static_cast<unsigned long long>(snapshot.count));
+  }
+
+  if (updater_ != nullptr) {
+    const IndexUpdateStats updates = updater_->stats();
+    type("simrank_update_batches_total", "counter");
+    counter("simrank_update_batches_total", "", updates.batches_applied);
+    type("simrank_update_edges_total", "counter");
+    counter("simrank_update_edges_total", "{op=\"insert\"}",
+            updates.edges_inserted);
+    counter("simrank_update_edges_total", "{op=\"delete\"}",
+            updates.edges_deleted);
+    type("simrank_update_walks_resimulated_total", "counter");
+    counter("simrank_update_walks_resimulated_total", "",
+            updates.walks_resimulated);
+    type("simrank_overlay_sequence", "gauge");
+    counter("simrank_overlay_sequence", "", updates.overlay_sequence);
+    type("simrank_overlay_patched_vertices", "gauge");
+    counter("simrank_overlay_patched_vertices", "",
+            updates.patched_vertices);
+    type("simrank_overlay_delta_entries", "gauge");
+    counter("simrank_overlay_delta_entries", "", updates.delta_entries);
+    type("simrank_wal_records", "gauge");
+    counter("simrank_wal_records", "", updates.wal_records);
+    type("simrank_wal_bytes", "gauge");
+    counter("simrank_wal_bytes", "", updates.wal_bytes);
+  }
+  return out;
 }
 
 }  // namespace simrank

@@ -17,12 +17,27 @@
 // serve. Rejections are serialized on the loop thread, so they stay fast
 // and allocation-light under fanout.
 //
-// Endpoints (all GET, JSON):
-//   /v1/pair?a=&b=            s(a, b)
-//   /v1/single_source?v=      the full row s(v, .)
-//   /v1/topk?v=&k=            k most similar vertices (default k=10)
-//   /v1/stats                 request/admission/cache/index counters
-//   /healthz                  liveness probe (text/plain)
+// Endpoints (JSON unless noted):
+//   GET  /v1/pair?a=&b=        s(a, b)
+//   GET  /v1/single_source?v=  the full row s(v, .)
+//   GET  /v1/topk?v=&k=        k most similar vertices (default k=10)
+//   POST /v1/batch_pair        body: "A B" per line -> {"scores":[...]}
+//   POST /v1/update            body: "+ SRC DST"/"- SRC DST" per line;
+//                              patches the live index (requires an
+//                              IndexUpdater, 503 otherwise)
+//   POST /v1/compact           merges base+overlay into the configured
+//                              index file and resets the WAL
+//   GET  /v1/stats             request/admission/cache/index/update
+//                              counters + per-endpoint latency histograms
+//   GET  /metrics              the same counters in Prometheus text
+//                              exposition (text/plain)
+//   GET  /healthz              liveness probe (text/plain)
+// /healthz, /v1/stats and /metrics are answered inline on the loop;
+// everything else dispatches to the worker pool under admission control.
+// Update/compact serialize inside the IndexUpdater while reads keep
+// flowing against RCU overlay snapshots — queries are never blocked by an
+// in-flight update, and a query admitted mid-update serves either the
+// pre- or post-batch index, never a mixture.
 //
 // Lifecycle: Bind() (port 0 picks a free port, see port()), then Serve()
 // blocks until Shutdown() — which is async-signal-safe, so a SIGINT/
@@ -41,20 +56,33 @@
 #include <unordered_map>
 #include <vector>
 
+#include "simrank/common/latency_histogram.h"
 #include "simrank/common/status.h"
 #include "simrank/common/thread_pool.h"
+#include "simrank/index/index_updater.h"
 #include "simrank/index/query_engine.h"
 #include "simrank/server/http.h"
 
 namespace simrank {
 
-/// The dispatchable query endpoints (inline endpoints are not admission-
+/// The dispatchable endpoints (inline endpoints are not admission-
 /// controlled and not enumerated here).
-enum class ServerEndpoint : uint8_t { kPair = 0, kSingleSource, kTopK };
-inline constexpr uint32_t kNumServerEndpoints = 3;
+enum class ServerEndpoint : uint8_t {
+  kPair = 0,
+  kSingleSource,
+  kTopK,
+  kBatchPair,
+  kUpdate,
+  kCompact,
+};
+inline constexpr uint32_t kNumServerEndpoints = 6;
 
 /// Returns the path of `endpoint` ("/v1/pair", ...).
 const char* ServerEndpointPath(ServerEndpoint endpoint);
+
+/// Short label of `endpoint` ("pair", "batch_pair", ...) — stats JSON keys
+/// and Prometheus label values.
+const char* ServerEndpointName(ServerEndpoint endpoint);
 
 /// Serving knobs. Defaults suit a loopback deployment; Validate() gates
 /// every field the flags can reach.
@@ -79,6 +107,19 @@ struct ServerOptions {
   /// production; the admission-control tests and the throughput bench use
   /// it to hold queries in flight deterministically.
   uint32_t handler_delay_ms = 0;
+  /// Upper bound on pairs in one /v1/batch_pair body.
+  uint32_t max_batch_pairs = 4096;
+  /// Where POST /v1/compact writes the merged index (typically the served
+  /// index path itself: the rename is atomic and an mmap backend keeps
+  /// serving the old inode). Required for compaction over HTTP.
+  std::string compact_path;
+  /// Compress the segments of compacted indexes (match the base file's
+  /// encoding to keep byte-identity with a fresh build using that flag).
+  bool compact_compress = false;
+  /// Where compaction persists the updated graph (binary format). The WAL
+  /// reset makes the original --graph file stale, so a restart points
+  /// --graph here; compaction refuses to run when this is unset.
+  std::string compact_graph_path;
   /// Request-parser hardening limits.
   HttpLimits http;
 
@@ -91,6 +132,7 @@ struct ServerStats {
   uint64_t requests[kNumServerEndpoints] = {};
   uint64_t requests_stats = 0;
   uint64_t requests_healthz = 0;
+  uint64_t requests_metrics = 0;
   /// Responses by status class.
   uint64_t responses_2xx = 0;
   uint64_t responses_4xx = 0;
@@ -109,7 +151,10 @@ struct ServerStats {
 /// elsewhere.
 class SimRankServer {
  public:
-  SimRankServer(QueryEngine& engine, const ServerOptions& options);
+  /// `updater` (optional) enables the live-update endpoints; it must
+  /// outlive the server and be bound to the same index the engine serves.
+  SimRankServer(QueryEngine& engine, const ServerOptions& options,
+                IndexUpdater* updater = nullptr);
   ~SimRankServer();
 
   OIPSIM_DISALLOW_COPY_AND_ASSIGN(SimRankServer);
@@ -137,6 +182,12 @@ class SimRankServer {
   /// Counter snapshot; safe concurrently with Serve.
   ServerStats stats() const;
 
+  /// Latency snapshot of one dispatchable endpoint (dispatch to
+  /// completion, including queue wait); safe concurrently with Serve.
+  LatencyHistogram::Snapshot latency(ServerEndpoint endpoint) const {
+    return latency_[static_cast<size_t>(endpoint)].snapshot();
+  }
+
  private:
   struct Connection;
   struct Completion;
@@ -159,10 +210,13 @@ class SimRankServer {
   void UpdateEpoll(Connection* conn);
   void CloseConnection(Connection* conn);
   std::string BuildStatsBody() const;
+  std::string BuildMetricsBody() const;
   void CountResponse(int status);
 
   QueryEngine& engine_;
   ServerOptions options_;
+  /// Optional live-update hook; null disables /v1/update and /v1/compact.
+  IndexUpdater* updater_ = nullptr;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
@@ -190,6 +244,7 @@ class SimRankServer {
   mutable std::atomic<uint64_t> stat_requests_[kNumServerEndpoints] = {};
   mutable std::atomic<uint64_t> stat_requests_stats_{0};
   mutable std::atomic<uint64_t> stat_requests_healthz_{0};
+  mutable std::atomic<uint64_t> stat_requests_metrics_{0};
   mutable std::atomic<uint64_t> stat_responses_2xx_{0};
   mutable std::atomic<uint64_t> stat_responses_4xx_{0};
   mutable std::atomic<uint64_t> stat_responses_5xx_{0};
@@ -198,6 +253,10 @@ class SimRankServer {
   mutable std::atomic<uint64_t> stat_connections_accepted_{0};
   mutable std::atomic<uint64_t> stat_connections_open_{0};
   mutable std::atomic<uint64_t> stat_inflight_{0};
+
+  /// Dispatch-to-completion latency per dispatchable endpoint (lock-free;
+  /// workers record, stats/metrics snapshot).
+  LatencyHistogram latency_[kNumServerEndpoints];
 
   /// Declared last so its destructor joins workers before fds close.
   ThreadPool pool_;

@@ -1,0 +1,108 @@
+#include "simrank/index/edge_update.h"
+
+#include <gtest/gtest.h>
+
+#include "simrank/graph/graph_io.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+TEST(EdgeUpdateTest, ApplyInsertAndDelete) {
+  DiGraph graph = testing::PaperExampleGraph();
+  const std::vector<EdgeUpdate> updates = {
+      {EdgeUpdate::Op::kInsert, testing::kA, testing::kB},
+      {EdgeUpdate::Op::kDelete, testing::kB, testing::kA},
+  };
+  auto updated = ApplyEdgeUpdates(graph, updates);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated->m(), graph.m());
+  EXPECT_TRUE(updated->HasEdge(testing::kA, testing::kB));
+  EXPECT_FALSE(updated->HasEdge(testing::kB, testing::kA));
+  // Untouched adjacency survives.
+  EXPECT_TRUE(updated->HasEdge(testing::kG, testing::kA));
+}
+
+TEST(EdgeUpdateTest, MatchesFreshlyBuiltGraphExactly) {
+  DiGraph graph = testing::RandomGraph(40, 160, 11);
+  // Pick an edge that verifiably does not exist yet.
+  Edge fresh{0, 0};
+  for (VertexId dst = 1; dst < graph.n(); ++dst) {
+    if (!graph.HasEdge(0, dst)) {
+      fresh = Edge{0, dst};
+      break;
+    }
+  }
+  ASSERT_NE(fresh.dst, 0u);
+  const std::vector<EdgeUpdate> updates = {
+      {EdgeUpdate::Op::kInsert, fresh.src, fresh.dst},
+      {EdgeUpdate::Op::kDelete, graph.Edges()[0].src,
+       graph.Edges()[0].dst},
+  };
+  auto updated = ApplyEdgeUpdates(graph, updates);
+  ASSERT_TRUE(updated.ok());
+  // Rebuild the same graph from scratch; structural equality (and thus
+  // fingerprint equality — what the updater's bitwise story rests on).
+  DiGraph::Builder builder(graph.n());
+  builder.AddEdges(updated->Edges());
+  const DiGraph rebuilt = std::move(builder).Build();
+  EXPECT_TRUE(*updated == rebuilt);
+  EXPECT_EQ(GraphFingerprint(*updated), GraphFingerprint(rebuilt));
+}
+
+TEST(EdgeUpdateTest, StrictValidation) {
+  DiGraph graph = testing::PaperExampleGraph();
+  // Inserting an existing edge fails.
+  auto duplicate = ApplyEdgeUpdates(
+      graph, {{{EdgeUpdate::Op::kInsert, testing::kB, testing::kA}}});
+  EXPECT_FALSE(duplicate.ok());
+  // Deleting a missing edge fails.
+  auto missing = ApplyEdgeUpdates(
+      graph, {{{EdgeUpdate::Op::kDelete, testing::kA, testing::kB}}});
+  EXPECT_FALSE(missing.ok());
+  // Out-of-universe endpoints fail.
+  auto out_of_range =
+      ApplyEdgeUpdates(graph, {{{EdgeUpdate::Op::kInsert, 0, 99}}});
+  EXPECT_FALSE(out_of_range.ok());
+  // Within one batch, state evolves: insert-then-delete of the same edge
+  // is legal, insert-then-insert is not.
+  auto insert_delete = ApplyEdgeUpdates(
+      graph, {{{EdgeUpdate::Op::kInsert, testing::kA, testing::kB},
+               {EdgeUpdate::Op::kDelete, testing::kA, testing::kB}}});
+  EXPECT_TRUE(insert_delete.ok());
+  EXPECT_TRUE(*insert_delete == graph);
+  auto double_insert = ApplyEdgeUpdates(
+      graph, {{{EdgeUpdate::Op::kInsert, testing::kA, testing::kB},
+               {EdgeUpdate::Op::kInsert, testing::kA, testing::kB}}});
+  EXPECT_FALSE(double_insert.ok());
+}
+
+TEST(EdgeUpdateTest, TextFormatRoundTrips) {
+  const std::vector<EdgeUpdate> updates = {
+      {EdgeUpdate::Op::kInsert, 3, 7},
+      {EdgeUpdate::Op::kDelete, 0, 12345},
+  };
+  auto parsed = ParseEdgeUpdates(FormatEdgeUpdates(updates));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, updates);
+}
+
+TEST(EdgeUpdateTest, TextFormatCommentsAndErrors) {
+  auto parsed = ParseEdgeUpdates(
+      "# a comment\n"
+      "+ 1 2   # trailing comment\n"
+      "\n"
+      "  - 3\t4\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], (EdgeUpdate{EdgeUpdate::Op::kInsert, 1, 2}));
+  EXPECT_EQ((*parsed)[1], (EdgeUpdate{EdgeUpdate::Op::kDelete, 3, 4}));
+
+  EXPECT_FALSE(ParseEdgeUpdates("x 1 2\n").ok());
+  EXPECT_FALSE(ParseEdgeUpdates("+ 1\n").ok());
+  EXPECT_FALSE(ParseEdgeUpdates("+ 1 2 3\n").ok());
+  EXPECT_FALSE(ParseEdgeUpdates("+ 1 notanumber\n").ok());
+}
+
+}  // namespace
+}  // namespace simrank

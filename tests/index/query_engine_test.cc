@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "simrank/core/naive.h"
 #include "simrank/extra/topk.h"
+#include "simrank/index/edge_update.h"
+#include "simrank/index/index_updater.h"
 #include "simrank/index/lru_cache.h"
 #include "testing/fixtures.h"
 
@@ -220,6 +224,143 @@ TEST(QueryEngineTest, CacheEvictsUnderPressure) {
   }
   EXPECT_GT(engine.cache_stats().evictions, 0u);
 }
+
+TEST(ShardedLruCacheTest, EraseRemovesOnlyTheKey) {
+  ShardedLruCache<int, int> cache(2, 4);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));  // already gone
+  EXPECT_FALSE(cache.Erase(99));
+  EXPECT_FALSE(cache.Get(1).has_value());
+  ASSERT_TRUE(cache.Get(2).has_value());
+  EXPECT_EQ(cache.size(), 1u);
+  // Erase is invalidation, not a lookup: hit/miss counters reflect only
+  // the two Gets above.
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 2u);
+}
+
+TEST(ShardedLruCacheTest, ClearDropsEverythingKeepsCounters) {
+  ShardedLruCache<int, int> cache(4, 2);
+  for (int i = 0; i < 8; ++i) cache.Put(i, i);
+  ASSERT_TRUE(cache.Get(7).has_value());
+  const auto before = cache.stats();
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(7).has_value());
+  EXPECT_EQ(cache.stats().hits, before.hits);
+  EXPECT_EQ(cache.stats().misses, before.misses + 1);
+  // Reusable after the clear.
+  cache.Put(1, 11);
+  ASSERT_TRUE(cache.Get(1).has_value());
+}
+
+TEST(QueryEngineTest, StaleRowsReadAsMissesAfterOverlayPublish) {
+  // The engine stamps cached rows with the overlay sequence; an update
+  // makes every older row unservable even before any explicit
+  // invalidation — the window between overlay swap and cache flush can
+  // never serve a pre-update row.
+  DiGraph graph = testing::RandomGraph(30, 120, 5);
+  WalkIndex index = BuildIndex(graph, 32);
+  QueryEngine engine(index);
+  // Pick an absent edge whose insertion we will serve through.
+  Edge fresh{0, 0};
+  for (VertexId dst = 1; dst < graph.n(); ++dst) {
+    if (!graph.HasEdge(0, dst)) {
+      fresh = Edge{0, dst};
+      break;
+    }
+  }
+  ASSERT_NE(fresh.dst, 0u);
+  // Cache the touched vertex's row pre-update.
+  ASSERT_TRUE(engine.SingleSource(fresh.dst).ok());
+
+  const std::string wal_path =
+      ::testing::TempDir() + "query-engine-stale.wal";
+  std::remove(wal_path.c_str());
+  IndexUpdaterOptions updater_options;
+  updater_options.wal_path = wal_path;
+  auto updater = IndexUpdater::Open(index, graph, updater_options);
+  ASSERT_TRUE(updater.ok());
+  ASSERT_TRUE((*updater)
+                  ->ApplyUpdates({{{EdgeUpdate::Op::kInsert, fresh.src,
+                                    fresh.dst}}})
+                  .ok());
+
+  // Deliberately NO InvalidateCache(): the stale stamp alone must force a
+  // recompute that matches a rebuilt index bitwise.
+  auto rebuilt = WalkIndex::Build((*updater)->CurrentGraph(),
+                                  index.options());
+  ASSERT_TRUE(rebuilt.ok());
+  auto served = engine.SingleSource(fresh.dst);
+  ASSERT_TRUE(served.ok());
+  const std::vector<double> expected =
+      rebuilt->EstimateSingleSource(fresh.dst);
+  ASSERT_EQ((*served)->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ((**served)[i], expected[i]) << "entry " << i;
+  }
+  // Pair served off cached rows obeys the same staleness rule.
+  auto pair = engine.Pair(fresh.dst, fresh.src);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(*pair, rebuilt->EstimatePair(fresh.dst, fresh.src));
+}
+
+TEST(QueryEngineTest, SequenceStaysMonotoneAcrossCancellingBatches) {
+  // A batch that cancels every patch out must not reset the overlay
+  // sequence: a row cached at sequence 1 would otherwise read as fresh
+  // once a later batch re-used sequence 1.
+  DiGraph graph = testing::RandomGraph(30, 120, 6);
+  WalkIndex index = BuildIndex(graph, 32);
+  QueryEngine engine(index);
+  std::vector<Edge> fresh;
+  for (VertexId src = 0; src < graph.n() && fresh.size() < 2; ++src) {
+    for (VertexId dst = 0; dst < graph.n() && fresh.size() < 2; ++dst) {
+      if (src != dst && !graph.HasEdge(src, dst)) {
+        fresh.push_back(Edge{src, dst});
+      }
+    }
+  }
+  ASSERT_EQ(fresh.size(), 2u);
+
+  const std::string wal_path =
+      ::testing::TempDir() + "query-engine-monotone.wal";
+  std::remove(wal_path.c_str());
+  IndexUpdaterOptions updater_options;
+  updater_options.wal_path = wal_path;
+  auto updater = IndexUpdater::Open(index, graph, updater_options);
+  ASSERT_TRUE(updater.ok());
+
+  // Sequence 1: insert e; cache a row under it.
+  ASSERT_TRUE((*updater)
+                  ->ApplyUpdates({{{EdgeUpdate::Op::kInsert, fresh[0].src,
+                                    fresh[0].dst}}})
+                  .ok());
+  ASSERT_TRUE(engine.SingleSource(fresh[1].dst).ok());
+  // Sequence 2: delete e — patches cancel, overlay is empty but live.
+  ASSERT_TRUE((*updater)
+                  ->ApplyUpdates({{{EdgeUpdate::Op::kDelete, fresh[0].src,
+                                    fresh[0].dst}}})
+                  .ok());
+  EXPECT_EQ(index.overlay_sequence(), 2u);
+  // Sequence 3: insert f; the sequence-1 row must not be served.
+  ASSERT_TRUE((*updater)
+                  ->ApplyUpdates({{{EdgeUpdate::Op::kInsert, fresh[1].src,
+                                    fresh[1].dst}}})
+                  .ok());
+  EXPECT_EQ(index.overlay_sequence(), 3u);
+  auto rebuilt = WalkIndex::Build((*updater)->CurrentGraph(),
+                                  index.options());
+  ASSERT_TRUE(rebuilt.ok());
+  auto served = engine.SingleSource(fresh[1].dst);
+  ASSERT_TRUE(served.ok());
+  const std::vector<double> expected =
+      rebuilt->EstimateSingleSource(fresh[1].dst);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ((**served)[i], expected[i]) << "entry " << i;
+  }
+}
+
 
 }  // namespace
 }  // namespace simrank

@@ -1,0 +1,174 @@
+#include "simrank/index/update_wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace simrank {
+namespace {
+
+WalBaseIdentity TestIdentity() {
+  WalBaseIdentity identity;
+  identity.n = 9;
+  identity.num_fingerprints = 32;
+  identity.walk_length = 6;
+  identity.seed = 7;
+  identity.damping = 0.6;
+  identity.graph_fingerprint = 0x1234abcd5678ef00ull;
+  return identity;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+WalRecord MakeRecord(uint32_t salt) {
+  WalRecord record;
+  record.updates.push_back(EdgeUpdate{EdgeUpdate::Op::kInsert, salt, salt + 1});
+  record.updates.push_back(
+      EdgeUpdate{EdgeUpdate::Op::kDelete, salt + 2, salt});
+  record.post_graph_fingerprint = 0x9999000011112222ull + salt;
+  return record;
+}
+
+TEST(UpdateWalTest, AppendAndReplay) {
+  const std::string path = TempPath("wal-roundtrip.wal");
+  std::remove(path.c_str());
+  {
+    auto opened = UpdateWal::Open(path, TestIdentity(), {});
+    ASSERT_TRUE(opened.ok());
+    EXPECT_TRUE(opened->records.empty());
+    EXPECT_EQ(opened->truncated_bytes, 0u);
+    ASSERT_TRUE(opened->wal.Append(MakeRecord(1)).ok());
+    ASSERT_TRUE(opened->wal.Append(MakeRecord(10)).ok());
+    EXPECT_EQ(opened->wal.record_count(), 2u);
+  }
+  auto reopened = UpdateWal::Open(path, TestIdentity(), {});
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->truncated_bytes, 0u);
+  ASSERT_EQ(reopened->records.size(), 2u);
+  EXPECT_EQ(reopened->records[0].updates, MakeRecord(1).updates);
+  EXPECT_EQ(reopened->records[0].post_graph_fingerprint,
+            MakeRecord(1).post_graph_fingerprint);
+  EXPECT_EQ(reopened->records[1].updates, MakeRecord(10).updates);
+}
+
+TEST(UpdateWalTest, RejectsForeignIdentity) {
+  const std::string path = TempPath("wal-identity.wal");
+  std::remove(path.c_str());
+  {
+    auto opened = UpdateWal::Open(path, TestIdentity(), {});
+    ASSERT_TRUE(opened.ok());
+  }
+  WalBaseIdentity other = TestIdentity();
+  other.graph_fingerprint ^= 1;
+  auto mismatch = UpdateWal::Open(path, other, {});
+  EXPECT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.status().message().find("different index"),
+            std::string::npos);
+}
+
+TEST(UpdateWalTest, TornTailIsDroppedAndPrefixSurvives) {
+  const std::string path = TempPath("wal-torn.wal");
+  std::remove(path.c_str());
+  uint64_t full_size = 0;
+  {
+    auto opened = UpdateWal::Open(path, TestIdentity(), {});
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(opened->wal.Append(MakeRecord(1)).ok());
+    full_size = opened->wal.size_bytes();
+    ASSERT_TRUE(opened->wal.Append(MakeRecord(2)).ok());
+  }
+  // Simulate a crash mid-append: truncate the second record in half.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string bytes;
+    char chunk[4096];
+    size_t got = 0;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      bytes.append(chunk, got);
+    }
+    std::fclose(f);
+    ASSERT_GT(bytes.size(), full_size);
+    const size_t torn = full_size + (bytes.size() - full_size) / 2;
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, torn, f), torn);
+    std::fclose(f);
+  }
+  auto reopened = UpdateWal::Open(path, TestIdentity(), {});
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_GT(reopened->truncated_bytes, 0u);
+  ASSERT_EQ(reopened->records.size(), 1u);
+  EXPECT_EQ(reopened->records[0].updates, MakeRecord(1).updates);
+  // The torn bytes are gone from disk too: appending after the replayed
+  // prefix yields a clean two-record log.
+  ASSERT_TRUE(reopened->wal.Append(MakeRecord(3)).ok());
+  auto final_open = UpdateWal::Open(path, TestIdentity(), {});
+  ASSERT_TRUE(final_open.ok());
+  EXPECT_EQ(final_open->truncated_bytes, 0u);
+  ASSERT_EQ(final_open->records.size(), 2u);
+  EXPECT_EQ(final_open->records[1].updates, MakeRecord(3).updates);
+}
+
+TEST(UpdateWalTest, CorruptedRecordByteIsATornTail) {
+  const std::string path = TempPath("wal-flip.wal");
+  std::remove(path.c_str());
+  {
+    auto opened = UpdateWal::Open(path, TestIdentity(), {});
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(opened->wal.Append(MakeRecord(5)).ok());
+  }
+  // Flip one payload byte of the record; the checksum must catch it.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 64 + 20, SEEK_SET), 0);  // inside the record
+    const char flip = 0x5a;
+    ASSERT_EQ(std::fwrite(&flip, 1, 1, f), 1u);
+    std::fclose(f);
+  }
+  auto reopened = UpdateWal::Open(path, TestIdentity(), {});
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened->records.empty());
+  EXPECT_GT(reopened->truncated_bytes, 0u);
+}
+
+TEST(UpdateWalTest, ResetRebindsIdentity) {
+  const std::string path = TempPath("wal-reset.wal");
+  std::remove(path.c_str());
+  WalBaseIdentity compacted = TestIdentity();
+  compacted.graph_fingerprint = 0xfeedfacecafebeefull;
+  {
+    auto opened = UpdateWal::Open(path, TestIdentity(), {});
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(opened->wal.Append(MakeRecord(1)).ok());
+    ASSERT_TRUE(opened->wal.Reset(compacted).ok());
+    EXPECT_EQ(opened->wal.record_count(), 0u);
+    // Post-reset appends land against the new identity.
+    ASSERT_TRUE(opened->wal.Append(MakeRecord(9)).ok());
+  }
+  // The old identity no longer opens it; the compacted one does.
+  EXPECT_FALSE(UpdateWal::Open(path, TestIdentity(), {}).ok());
+  auto reopened = UpdateWal::Open(path, compacted, {});
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(reopened->records.size(), 1u);
+  EXPECT_EQ(reopened->records[0].updates, MakeRecord(9).updates);
+}
+
+TEST(UpdateWalTest, GarbageFileIsRejected) {
+  const std::string path = TempPath("wal-garbage.wal");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char garbage[] = "this is not a WAL at all, but long enough......"
+                         "................................";
+  ASSERT_EQ(std::fwrite(garbage, 1, sizeof(garbage), f), sizeof(garbage));
+  std::fclose(f);
+  EXPECT_FALSE(UpdateWal::Open(path, TestIdentity(), {}).ok());
+}
+
+}  // namespace
+}  // namespace simrank

@@ -149,22 +149,61 @@ TEST(HttpParserTest, TooManyHeadersIs431) {
   EXPECT_EQ(parsed.error_status, 431);
 }
 
-TEST(HttpParserTest, RequestBodiesAre501) {
+TEST(HttpParserTest, ContentLengthBodiesParse) {
   HttpRequest request;
   HttpParseStatus parsed = Parse(
-      "POST /v1/pair HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
+      "POST /v1/update HTTP/1.1\r\nContent-Length: 8\r\n\r\n+ 0 1\n- ",
       &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kComplete);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "+ 0 1\n- ");
+  EXPECT_EQ(parsed.consumed,
+            std::string("POST /v1/update HTTP/1.1\r\nContent-Length: "
+                        "8\r\n\r\n+ 0 1\n- ")
+                .size());
+
+  // An explicit zero-length body is accepted and leaves body empty.
+  parsed = Parse("GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n", &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kComplete);
+  EXPECT_TRUE(request.body.empty());
+}
+
+TEST(HttpParserTest, IncompleteBodyNeedsMore) {
+  HttpRequest request;
+  // Head complete, body short by one byte: not parseable yet.
+  const std::string input =
+      "POST /v1/update HTTP/1.1\r\nContent-Length: 6\r\n\r\n+ 0 1";
+  EXPECT_EQ(Parse(input, &request).outcome, HttpParseStatus::kNeedMore);
+  // The final byte completes it; a pipelined successor stays untouched.
+  const HttpParseStatus parsed = Parse(
+      input + "\nGET /healthz HTTP/1.1\r\n\r\n", &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kComplete);
+  EXPECT_EQ(request.body, "+ 0 1\n");
+  EXPECT_EQ(parsed.consumed, input.size() + 1);
+}
+
+TEST(HttpParserTest, BodyLimitsAndTransferEncoding) {
+  HttpLimits limits;
+  limits.max_body_bytes = 16;
+  HttpRequest request;
+  // Over-limit bodies are rejected from the header alone — no body byte
+  // is ever buffered.
+  HttpParseStatus parsed = Parse(
+      "POST /v1/update HTTP/1.1\r\nContent-Length: 17\r\n\r\n", &request,
+      limits);
   ASSERT_EQ(parsed.outcome, HttpParseStatus::kError);
-  EXPECT_EQ(parsed.error_status, 501);
+  EXPECT_EQ(parsed.error_status, 413);
 
   parsed = Parse(
       "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", &request);
   ASSERT_EQ(parsed.outcome, HttpParseStatus::kError);
   EXPECT_EQ(parsed.error_status, 501);
 
-  // An explicit zero-length body is harmless and accepted.
-  parsed = Parse("GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n", &request);
-  EXPECT_EQ(parsed.outcome, HttpParseStatus::kComplete);
+  parsed = Parse(
+      "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\n",
+      &request);
+  ASSERT_EQ(parsed.outcome, HttpParseStatus::kError);
+  EXPECT_EQ(parsed.error_status, 400);
 }
 
 TEST(HttpParserTest, EmbeddedNulBytesAreRejected) {

@@ -13,6 +13,9 @@
 #include <gtest/gtest.h>
 
 #include "simrank/common/string_util.h"
+#include "simrank/graph/graph_io.h"
+#include "simrank/index/edge_update.h"
+#include "simrank/index/index_updater.h"
 #include "simrank/index/query_engine.h"
 #include "simrank/index/walk_index.h"
 #include "simrank/server/http_client.h"
@@ -22,16 +25,37 @@ namespace simrank {
 namespace {
 
 /// A server over a small deterministic graph, running on its own thread.
+/// With `with_updater`, a WAL-backed IndexUpdater is bound to the index
+/// and the live-update endpoints are enabled.
 class ServerFixture {
  public:
   explicit ServerFixture(ServerOptions options = {},
-                         uint32_t fingerprints = 64)
+                         uint32_t fingerprints = 64,
+                         bool with_updater = false)
       : graph_(testing::RandomGraph(60, 240, 11)),
         index_(BuildIndex(graph_, fingerprints)),
         engine_(index_),
         reference_engine_(index_) {
     options.port = 0;  // every fixture gets its own free port
-    server_ = std::make_unique<SimRankServer>(engine_, options);
+    if (with_updater) {
+      wal_path_ = ::testing::TempDir() +
+                  StrFormat("server-fixture-%u.wal", options.max_inflight);
+      std::remove(wal_path_.c_str());
+      if (options.compact_path.empty()) {
+        options.compact_path = wal_path_ + ".compacted.widx";
+      }
+      if (options.compact_graph_path.empty()) {
+        options.compact_graph_path = options.compact_path + ".graph.bin";
+      }
+      IndexUpdaterOptions updater_options;
+      updater_options.wal_path = wal_path_;
+      auto updater = IndexUpdater::Open(index_, graph_, updater_options);
+      OIPSIM_CHECK(updater.ok());
+      updater_ = std::move(*updater);
+    }
+    compact_path_ = options.compact_path;
+    server_ =
+        std::make_unique<SimRankServer>(engine_, options, updater_.get());
     OIPSIM_CHECK(server_->Bind().ok());
     serve_thread_ = std::thread([this] { serve_status_ = server_->Serve(); });
   }
@@ -48,10 +72,28 @@ class ServerFixture {
   uint16_t port() const { return server_->port(); }
   SimRankServer& server() { return *server_; }
   const DiGraph& graph() const { return graph_; }
+  const WalkIndex& index() const { return index_; }
+  IndexUpdater* updater() { return updater_.get(); }
+  const std::string& compact_path() const { return compact_path_; }
   /// A second engine over the same index: direct answers unperturbed by
   /// the served engine's cache state (they must agree bitwise anyway).
   QueryEngine& reference() { return reference_engine_; }
   const Status& serve_status() const { return serve_status_; }
+
+  /// An edge not present in the current graph.
+  Edge FreshEdge() {
+    const DiGraph current =
+        updater_ != nullptr ? updater_->CurrentGraph() : graph_;
+    for (VertexId src = 0; src < current.n(); ++src) {
+      for (VertexId dst = 0; dst < current.n(); ++dst) {
+        if (src != dst && !current.HasEdge(src, dst)) {
+          return Edge{src, dst};
+        }
+      }
+    }
+    OIPSIM_CHECK_MSG(false, "no fresh edge in fixture graph");
+    return Edge{};
+  }
 
  private:
   static WalkIndex BuildIndex(const DiGraph& graph, uint32_t fingerprints) {
@@ -66,6 +108,9 @@ class ServerFixture {
   WalkIndex index_;
   QueryEngine engine_;
   QueryEngine reference_engine_;
+  std::string wal_path_;
+  std::string compact_path_;
+  std::unique_ptr<IndexUpdater> updater_;
   std::unique_ptr<SimRankServer> server_;
   std::thread serve_thread_;
   Status serve_status_;
@@ -379,6 +424,287 @@ TEST(ServerTest, StatsEndpointReportsCountersAndIndexInfo) {
   EXPECT_NE(body.find("\"backend\":\"in-memory\""), std::string::npos);
   EXPECT_NE(body.find("\"graph_fingerprint\":\""), std::string::npos);
   EXPECT_NE(body.find("\"cache\":{"), std::string::npos);
+}
+
+TEST(ServerTest, BatchPairMatchesDirectEngineBitwise) {
+  ServerOptions options;
+  options.max_batch_pairs = 16;
+  ServerFixture fixture(options);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  std::string body = "# batch\n";
+  for (VertexId a = 0; a < 12; ++a) {
+    pairs.emplace_back(a, (a * 5 + 2) % fixture.graph().n());
+    body += StrFormat("%u %u\n", pairs.back().first, pairs.back().second);
+  }
+  auto response = HttpPost(fixture.port(), "/v1/batch_pair", body);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  const std::vector<double> served =
+      FindJsonNumberArray(response->body, "scores");
+  const auto expected = fixture.reference().BatchPair(pairs);
+  ASSERT_EQ(served.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_TRUE(expected[i].ok());
+    const double want = *expected[i];
+    EXPECT_EQ(std::memcmp(&served[i], &want, sizeof(double)), 0)
+        << "pair " << i;
+  }
+
+  // Error paths: empty body, malformed line, out-of-range id, over the
+  // pair cap, GET instead of POST.
+  EXPECT_EQ(HttpPost(fixture.port(), "/v1/batch_pair", "")->status, 400);
+  EXPECT_EQ(HttpPost(fixture.port(), "/v1/batch_pair", "0\n")->status,
+            400);
+  EXPECT_EQ(
+      HttpPost(fixture.port(), "/v1/batch_pair", "0 99999\n")->status,
+      400);
+  std::string oversized;
+  for (int i = 0; i < 17; ++i) oversized += "0 1\n";
+  EXPECT_EQ(HttpPost(fixture.port(), "/v1/batch_pair", oversized)->status,
+            400);
+  auto get_response = HttpGet(fixture.port(), "/v1/batch_pair");
+  ASSERT_TRUE(get_response.ok());
+  EXPECT_EQ(get_response->status, 405);
+  EXPECT_EQ(*get_response->FindHeader("allow"), "POST");
+}
+
+TEST(ServerTest, UpdateEndpointPatchesTheLiveIndex) {
+  ServerFixture fixture(ServerOptions{}, /*fingerprints=*/48,
+                        /*with_updater=*/true);
+  const Edge fresh = fixture.FreshEdge();
+
+  // The row of the touched vertex, served before the update.
+  auto before = HttpGet(fixture.port(),
+                        StrFormat("/v1/single_source?v=%u", fresh.dst));
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->status, 200);
+
+  auto response = HttpPost(fixture.port(), "/v1/update",
+                           StrFormat("+ %u %u\n", fresh.src, fresh.dst));
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  EXPECT_EQ(FindJsonNumber(response->body, "applied"), 1.0);
+  EXPECT_EQ(FindJsonNumber(response->body, "sequence"), 1.0);
+  EXPECT_NE(response->body.find("\"graph_fingerprint\":\""),
+            std::string::npos);
+
+  // Post-update queries serve the patched index, bitwise equal to a
+  // rebuild on the updated graph.
+  auto rebuilt = WalkIndex::Build(fixture.updater()->CurrentGraph(),
+                                  fixture.index().options());
+  ASSERT_TRUE(rebuilt.ok());
+  auto after = HttpGet(fixture.port(),
+                       StrFormat("/v1/single_source?v=%u", fresh.dst));
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->status, 200);
+  const std::vector<double> served =
+      FindJsonNumberArray(after->body, "scores");
+  const std::vector<double> expected =
+      rebuilt->EstimateSingleSource(fresh.dst);
+  ASSERT_EQ(served.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&served[i], &expected[i], sizeof(double)), 0)
+        << "entry " << i;
+  }
+
+  // Stats gained the updates section.
+  auto stats = HttpGet(fixture.port(), "/v1/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(FindJsonNumber(stats->body, "batches_applied"), 1.0);
+  EXPECT_EQ(FindJsonNumber(stats->body, "overlay_sequence"), 1.0);
+
+  // Invalid bodies and invalid batches are 400s; the graph is unchanged.
+  EXPECT_EQ(HttpPost(fixture.port(), "/v1/update", "nonsense")->status,
+            400);
+  EXPECT_EQ(HttpPost(fixture.port(), "/v1/update",
+                     StrFormat("+ %u %u\n", fresh.src, fresh.dst))
+                ->status,
+            400);  // duplicate edge
+  EXPECT_EQ(HttpPost(fixture.port(), "/v1/update", "+ 0 99999\n")->status,
+            400);
+  auto stats_after = HttpGet(fixture.port(), "/v1/stats");
+  EXPECT_EQ(FindJsonNumber(stats_after->body, "batches_applied"), 1.0);
+}
+
+TEST(ServerTest, UpdateEndpointsDisabledWithoutUpdater) {
+  ServerFixture fixture;
+  auto update = HttpPost(fixture.port(), "/v1/update", "+ 0 1\n");
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(update->status, 503);
+  EXPECT_NE(update->body.find("disabled"), std::string::npos);
+  auto compact = HttpPost(fixture.port(), "/v1/compact", "");
+  ASSERT_TRUE(compact.ok());
+  EXPECT_EQ(compact->status, 503);
+  // GET endpoints reject request bodies outright.
+  auto client = LoopbackHttpClient::Connect(fixture.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client
+                  ->SendRaw("GET /v1/pair?a=0&b=1 HTTP/1.1\r\n"
+                            "Content-Length: 3\r\n\r\nabc")
+                  .ok());
+  auto response = client->ReadResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 400);
+}
+
+TEST(ServerTest, CompactEndpointWritesByteIdenticalIndex) {
+  ServerFixture fixture(ServerOptions{}, /*fingerprints=*/48,
+                        /*with_updater=*/true);
+  const Edge fresh = fixture.FreshEdge();
+  ASSERT_EQ(HttpPost(fixture.port(), "/v1/update",
+                     StrFormat("+ %u %u\n", fresh.src, fresh.dst))
+                ->status,
+            200);
+  auto response = HttpPost(fixture.port(), "/v1/compact", "");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  EXPECT_NE(response->body.find(fixture.compact_path()),
+            std::string::npos);
+
+  // The written file is byte-identical to a fresh build on the updated
+  // graph, and the WAL was reset (sequence stays, records are gone).
+  auto rebuilt = WalkIndex::Build(fixture.updater()->CurrentGraph(),
+                                  fixture.index().options());
+  ASSERT_TRUE(rebuilt.ok());
+  const std::string fresh_path = fixture.compact_path() + ".fresh";
+  ASSERT_TRUE(rebuilt->Save(fresh_path).ok());
+  auto read_bytes = [](const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    OIPSIM_CHECK(f != nullptr);
+    std::string bytes;
+    char chunk[4096];
+    size_t got = 0;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      bytes.append(chunk, got);
+    }
+    std::fclose(f);
+    return bytes;
+  };
+  EXPECT_EQ(read_bytes(fixture.compact_path()), read_bytes(fresh_path));
+  EXPECT_EQ(fixture.updater()->stats().wal_records, 0u);
+  // The updated graph was persisted alongside (binary format) and matches
+  // the compacted index's fingerprint — the restart pair is complete.
+  EXPECT_NE(response->body.find("\"graph_path\""), std::string::npos);
+  auto emitted = ReadGraphAuto(fixture.compact_path() + ".graph.bin");
+  ASSERT_TRUE(emitted.ok());
+  auto compacted_index = WalkIndex::Load(fixture.compact_path());
+  ASSERT_TRUE(compacted_index.ok());
+  EXPECT_TRUE(compacted_index->ValidateGraph(*emitted).ok());
+}
+
+TEST(ServerTest, MetricsEndpointTwinsStats) {
+  ServerFixture fixture;
+  ASSERT_EQ(HttpGet(fixture.port(), "/v1/pair?a=0&b=1")->status, 200);
+  ASSERT_EQ(HttpGet(fixture.port(), "/v1/topk?v=0&k=3")->status, 200);
+  auto response = HttpGet(fixture.port(), "/metrics");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  const std::string& body = response->body;
+  EXPECT_NE(body.find("# TYPE simrank_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("simrank_requests_total{endpoint=\"pair\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("simrank_requests_total{endpoint=\"topk\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("simrank_responses_total{class=\"2xx\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE simrank_request_duration_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      body.find(
+          "simrank_request_duration_seconds_bucket{endpoint=\"pair\","
+          "le=\"+Inf\"} 1"),
+      std::string::npos);
+  EXPECT_NE(body.find("simrank_request_duration_seconds_count{endpoint="
+                      "\"pair\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("simrank_cache_hits_total"), std::string::npos);
+  EXPECT_NE(body.find("simrank_index_vertices 60"), std::string::npos);
+  // text/plain exposition, answered inline.
+  ASSERT_NE(response->FindHeader("content-type"), nullptr);
+  EXPECT_NE(response->FindHeader("content-type")->find("text/plain"),
+            std::string::npos);
+}
+
+TEST(ServerTest, LatencyHistogramsSurfaceInStats) {
+  ServerFixture fixture;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(HttpGet(fixture.port(),
+                      StrFormat("/v1/pair?a=%d&b=9", i))
+                  ->status,
+              200);
+  }
+  auto response = HttpGet(fixture.port(), "/v1/stats");
+  ASSERT_TRUE(response.ok());
+  const std::string& body = response->body;
+  ASSERT_NE(body.find("\"latency_us\":{"), std::string::npos);
+  // The pair endpoint recorded every dispatch.
+  const size_t pair_at = body.find("\"latency_us\"");
+  size_t cursor = body.find("\"pair\"", pair_at);
+  ASSERT_NE(cursor, std::string::npos);
+  EXPECT_EQ(FindJsonNumber(body, "count", &cursor), 5.0);
+  const LatencyHistogram::Snapshot snapshot =
+      fixture.server().latency(ServerEndpoint::kPair);
+  EXPECT_EQ(snapshot.count, 5u);
+  uint64_t bucket_total = 0;
+  for (uint32_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    bucket_total += snapshot.buckets[b];
+  }
+  EXPECT_EQ(bucket_total, 5u);
+  EXPECT_GT(snapshot.QuantileUpperMicros(0.5), 0u);
+}
+
+TEST(ServerTest, ConcurrentUpdatesAndQueriesOverHttp) {
+  ServerOptions options;
+  options.threads = 3;
+  ServerFixture fixture(options, /*fingerprints=*/32,
+                        /*with_updater=*/true);
+
+  std::vector<std::thread> readers;
+  std::atomic<bool> stop{false};
+  for (int reader = 0; reader < 2; ++reader) {
+    readers.emplace_back([&fixture, &stop, reader] {
+      auto client = LoopbackHttpClient::Connect(fixture.port());
+      ASSERT_TRUE(client.ok());
+      uint32_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const VertexId v = (reader * 13 + i) % 60;
+        auto response =
+            client->Get(StrFormat("/v1/single_source?v=%u", v));
+        ASSERT_TRUE(response.ok());
+        ASSERT_EQ(response->status, 200);
+        ++i;
+      }
+    });
+  }
+
+  auto update_client = LoopbackHttpClient::Connect(fixture.port());
+  ASSERT_TRUE(update_client.ok());
+  std::vector<Edge> inserted;
+  for (int batch = 0; batch < 4; ++batch) {
+    const Edge fresh = fixture.FreshEdge();
+    inserted.push_back(fresh);
+    auto response = update_client->Post(
+        "/v1/update", StrFormat("+ %u %u\n", fresh.src, fresh.dst));
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status, 200) << response->body;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+
+  // Final state equals a rebuild on the updated graph.
+  auto rebuilt = WalkIndex::Build(fixture.updater()->CurrentGraph(),
+                                  fixture.index().options());
+  ASSERT_TRUE(rebuilt.ok());
+  for (const Edge& edge : inserted) {
+    auto response = HttpGet(
+        fixture.port(), StrFormat("/v1/pair?a=%u&b=%u", edge.src, edge.dst));
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status, 200);
+    const double served = FindJsonNumber(response->body, "score");
+    const double expected = rebuilt->EstimatePair(edge.src, edge.dst);
+    EXPECT_EQ(std::memcmp(&served, &expected, sizeof(double)), 0);
+  }
 }
 
 TEST(ServerTest, CleanShutdownDrainsAndServeReturnsOk) {

@@ -17,13 +17,31 @@
 //               (--query=V [--topk=K] | --pair=A,B)
 //   simrank_cli index-info INDEX
 //
+// Dynamic updates (see src/simrank/index/index_updater.h):
+//   simrank_cli update GRAPH --index=PATH --wal=WAL --updates=FILE
+//               [--mmap] [--write-graph=OUT.bin] [--no-sync-wal]
+//   simrank_cli compact GRAPH --index=PATH --wal=WAL --out=NEW.widx
+//               [--mmap] [--compress] [--reset-wal]
+//
+// `update` appends an edge batch ("+ SRC DST" / "- SRC DST" per line) to
+// the WAL and reports the local patch it induces; GRAPH is the *base*
+// graph the index was built from (any earlier WAL batches are replayed
+// first). --write-graph emits the updated graph in the binary format,
+// which round-trips ids exactly — `build-index` on it reproduces the
+// compacted index byte for byte. `compact` replays the WAL and writes
+// base+overlay as a fresh v2 file, byte-identical to `build-index` on the
+// updated graph; --reset-wal then re-binds the WAL to the compacted
+// index.
+//
 // GRAPH.txt is a whitespace edge list ("src dst" per line, '#'/'%'
-// comments allowed, SNAP-style). Without --query, the all-pairs mode
-// prints run statistics only; with --query, the top-k most similar
-// vertices. With --csv, it writes the query row (or, if no query, the full
-// score matrix for graphs up to 2000 vertices) as CSV.
+// comments allowed, SNAP-style) or a binary graph written by
+// --write-graph. Without --query, the all-pairs mode prints run
+// statistics only; with --query, the top-k most similar vertices. With
+// --csv, it writes the query row (or, if no query, the full score matrix
+// for graphs up to 2000 vertices) as CSV.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +53,8 @@
 #include "simrank/core/engine.h"
 #include "simrank/extra/topk.h"
 #include "simrank/graph/graph_io.h"
+#include "simrank/index/edge_update.h"
+#include "simrank/index/index_updater.h"
 #include "simrank/index/query_engine.h"
 #include "simrank/index/walk_index.h"
 #include "simrank/index/walk_store.h"
@@ -42,7 +62,8 @@
 namespace {
 
 struct CliOptions {
-  /// "" (all-pairs), "build-index", "query" or "index-info".
+  /// "" (all-pairs), "build-index", "query", "index-info", "update" or
+  /// "compact".
   std::string subcommand;
   std::string graph_path;
   simrank::EngineOptions engine;
@@ -64,6 +85,13 @@ struct CliOptions {
   uint32_t cache_capacity = 0;  // 0 = QueryEngine default
   bool cache_shards_set = false;
   bool cache_capacity_set = false;
+  // Dynamic-update flags.
+  std::string wal_path;
+  std::string updates_path;
+  std::string out_path;
+  std::string write_graph_path;
+  bool sync_wal = true;
+  bool reset_wal = false;
   // First flag seen from each mode-specific group, for validation: flags
   // the selected mode would silently ignore are errors, not no-ops.
   std::string index_only_flag;   // --index/--fingerprints/... (index modes)
@@ -99,7 +127,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   if (argc < 2) return false;
   if (std::strcmp(argv[1], "build-index") == 0 ||
       std::strcmp(argv[1], "query") == 0 ||
-      std::strcmp(argv[1], "index-info") == 0) {
+      std::strcmp(argv[1], "index-info") == 0 ||
+      std::strcmp(argv[1], "update") == 0 ||
+      std::strcmp(argv[1], "compact") == 0) {
     options->subcommand = argv[1];
     ++i;
   }
@@ -217,6 +247,24 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->threads = static_cast<uint32_t>(u);
       options->engine.simrank.threads = static_cast<uint32_t>(u);
       options->threads_set = true;
+    } else if (simrank::StartsWith(arg, "--wal=")) {
+      options->wal_path = value_of("--wal=");
+      RecordFlag(&options->index_only_flag, "--wal");
+    } else if (simrank::StartsWith(arg, "--updates=")) {
+      options->updates_path = value_of("--updates=");
+      RecordFlag(&options->index_only_flag, "--updates");
+    } else if (simrank::StartsWith(arg, "--out=")) {
+      options->out_path = value_of("--out=");
+      RecordFlag(&options->index_only_flag, "--out");
+    } else if (simrank::StartsWith(arg, "--write-graph=")) {
+      options->write_graph_path = value_of("--write-graph=");
+      RecordFlag(&options->index_only_flag, "--write-graph");
+    } else if (arg == "--no-sync-wal") {
+      options->sync_wal = false;
+      RecordFlag(&options->index_only_flag, "--no-sync-wal");
+    } else if (arg == "--reset-wal") {
+      options->reset_wal = true;
+      RecordFlag(&options->index_only_flag, "--reset-wal");
     } else if (simrank::StartsWith(arg, "--pair=")) {
       const std::string value = value_of("--pair=");
       const size_t comma = value.find(',');
@@ -251,8 +299,13 @@ void PrintUsage(const char* argv0) {
       "       [--cache-shards=S] [--cache-capacity=C]\n"
       "       (--query=V [--topk=K] | --pair=A,B)\n"
       "   or: %s index-info INDEX\n"
+      "   or: %s update GRAPH --index=PATH --wal=WAL --updates=FILE\n"
+      "       [--mmap] [--write-graph=OUT.bin] [--no-sync-wal]\n"
+      "   or: %s compact GRAPH --index=PATH --wal=WAL --out=NEW.widx\n"
+      "       [--mmap] [--compress] [--reset-wal]\n"
       "\nalgorithms:\n",
-      argv0, simrank::AlgorithmFlagList().c_str(), argv0, argv0, argv0);
+      argv0, simrank::AlgorithmFlagList().c_str(), argv0, argv0, argv0,
+      argv0, argv0);
   for (const simrank::AlgorithmInfo& info : simrank::AlgorithmRegistry()) {
     std::fprintf(stderr, "  %-8s %-10s %s%s\n", info.flag, info.name,
                  info.summary,
@@ -302,6 +355,66 @@ simrank::Status ValidateOptions(const CliOptions& options) {
     return Status::InvalidArgument(
         options.engine_only_flag + " configures the all-pairs engines and "
         "is ignored by the " + options.subcommand + " subcommand");
+  }
+  const bool is_update_mode =
+      options.subcommand == "update" || options.subcommand == "compact";
+  if (!is_update_mode) {
+    if (!options.wal_path.empty() || !options.updates_path.empty() ||
+        !options.out_path.empty() || !options.write_graph_path.empty() ||
+        !options.sync_wal || options.reset_wal) {
+      return Status::InvalidArgument(
+          "--wal/--updates/--out/--write-graph/--no-sync-wal/--reset-wal "
+          "belong to the update/compact subcommands");
+    }
+  }
+  if (is_update_mode) {
+    if (options.wal_path.empty()) {
+      return Status::InvalidArgument(
+          "the " + options.subcommand +
+          " subcommand requires --wal=PATH: updates are only accepted "
+          "write-ahead");
+    }
+    if (options.query >= 0 || options.topk_set || options.pair_a >= 0) {
+      return Status::InvalidArgument(
+          "--query/--topk/--pair belong to the query subcommand");
+    }
+    if (options.cache_shards_set || options.cache_capacity_set) {
+      return Status::InvalidArgument(
+          "--cache-shards/--cache-capacity configure query serving, not " +
+          options.subcommand);
+    }
+    if (options.damping_set || options.seed_set || options.eps_set ||
+        options.fingerprints_set || options.walk_length_set ||
+        options.threads_set) {
+      return Status::InvalidArgument(
+          "model and build knobs are baked into the index; " +
+          options.subcommand + " patches the existing one");
+    }
+    if (options.subcommand == "update") {
+      if (options.updates_path.empty()) {
+        return Status::InvalidArgument(
+            "update requires --updates=FILE ('+ SRC DST' / '- SRC DST' "
+            "per line)");
+      }
+      if (!options.out_path.empty() || options.reset_wal ||
+          options.compress) {
+        return Status::InvalidArgument(
+            "--out/--reset-wal/--compress belong to the compact "
+            "subcommand");
+      }
+    } else {
+      if (options.out_path.empty()) {
+        return Status::InvalidArgument(
+            "compact requires --out=PATH for the merged index");
+      }
+      if (!options.updates_path.empty() ||
+          !options.write_graph_path.empty() || !options.sync_wal) {
+        return Status::InvalidArgument(
+            "--updates/--write-graph/--no-sync-wal belong to the update "
+            "subcommand");
+      }
+    }
+    return Status::OK();
   }
   if (options.subcommand == "build-index") {
     if (options.query >= 0 || options.topk_set || options.pair_a >= 0) {
@@ -363,7 +476,9 @@ simrank::Status ValidateOptions(const CliOptions& options) {
 }
 
 simrank::Result<simrank::DiGraph> LoadGraph(const std::string& path) {
-  auto graph = simrank::ReadEdgeList(path);
+  // Sniffs the binary magic, so `update --write-graph` output feeds
+  // straight back into any subcommand.
+  auto graph = simrank::ReadGraphAuto(path);
   if (graph.ok()) {
     std::fprintf(stderr,
                  "graph: %u vertices, %llu edges, avg in-degree %.2f\n",
@@ -535,6 +650,126 @@ int RunQuery(const CliOptions& options) {
   return 0;
 }
 
+/// The index (heap-allocated: the updater keeps a reference to it) and
+/// its bound updater.
+struct OpenedUpdater {
+  std::unique_ptr<simrank::WalkIndex> index;
+  std::unique_ptr<simrank::IndexUpdater> updater;
+};
+
+/// Shared by update/compact: loads the base graph and index, binds the
+/// updater (replaying the WAL).
+simrank::Result<OpenedUpdater> OpenUpdater(const CliOptions& options) {
+  auto graph = LoadGraph(options.graph_path);
+  if (!graph.ok()) return graph.status();
+  simrank::WalkIndex::LoadOptions load_options;
+  load_options.use_mmap = options.use_mmap;
+  auto loaded = simrank::WalkIndex::Load(options.index_path, load_options);
+  if (!loaded.ok()) return loaded.status();
+  OpenedUpdater opened;
+  opened.index =
+      std::make_unique<simrank::WalkIndex>(std::move(*loaded));
+  simrank::IndexUpdaterOptions updater_options;
+  updater_options.wal_path = options.wal_path;
+  updater_options.sync_wal = options.sync_wal;
+  auto updater = simrank::IndexUpdater::Open(
+      *opened.index, std::move(*graph), updater_options);
+  if (!updater.ok()) return updater.status();
+  opened.updater = std::move(*updater);
+  return opened;
+}
+
+int RunUpdate(const CliOptions& options) {
+  auto updates = simrank::ReadEdgeUpdates(options.updates_path);
+  if (!updates.ok()) {
+    std::fprintf(stderr, "cannot read update batch: %s\n",
+                 updates.status().ToString().c_str());
+    return 1;
+  }
+  auto updater = OpenUpdater(options);
+  if (!updater.ok()) {
+    std::fprintf(stderr, "cannot open updater: %s\n",
+                 updater.status().ToString().c_str());
+    return 1;
+  }
+  const simrank::IndexUpdateStats before = updater->updater->stats();
+  simrank::WallTimer timer;
+  timer.Start();
+  auto status = updater->updater->ApplyUpdates(*updates);
+  timer.Stop();
+  if (!status.ok()) {
+    std::fprintf(stderr, "update failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const simrank::IndexUpdateStats after = updater->updater->stats();
+  std::fprintf(
+      stderr,
+      "applied %zu update(s) in %s (%llu batch(es) replayed first): "
+      "%llu walk(s) re-simulated, %llu changed; overlay sequence %llu, "
+      "%llu patched vertex segment(s), %llu inverted-slot diff(s); "
+      "graph now %llu edges, fingerprint %s; WAL %s (%llu record(s))\n",
+      updates->size(),
+      simrank::FormatDuration(timer.ElapsedSeconds()).c_str(),
+      static_cast<unsigned long long>(before.batches_replayed),
+      static_cast<unsigned long long>(after.walks_resimulated -
+                                      before.walks_resimulated),
+      static_cast<unsigned long long>(after.walks_changed -
+                                      before.walks_changed),
+      static_cast<unsigned long long>(after.overlay_sequence),
+      static_cast<unsigned long long>(after.patched_vertices),
+      static_cast<unsigned long long>(after.changed_slots),
+      static_cast<unsigned long long>(after.graph_edges),
+      simrank::FormatFingerprint(after.current_graph_fingerprint).c_str(),
+      options.wal_path.c_str(),
+      static_cast<unsigned long long>(after.wal_records));
+  if (!options.write_graph_path.empty()) {
+    auto written = simrank::WriteBinary(updater->updater->CurrentGraph(),
+                                        options.write_graph_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write updated graph: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote updated graph (binary format) to %s\n",
+                 options.write_graph_path.c_str());
+  }
+  return 0;
+}
+
+int RunCompact(const CliOptions& options) {
+  auto updater = OpenUpdater(options);
+  if (!updater.ok()) {
+    std::fprintf(stderr, "cannot open updater: %s\n",
+                 updater.status().ToString().c_str());
+    return 1;
+  }
+  const simrank::IndexUpdateStats stats = updater->updater->stats();
+  simrank::WalkIndex::SaveOptions save;
+  save.compress = options.compress;
+  simrank::WallTimer timer;
+  timer.Start();
+  auto status = updater->updater->Compact(options.out_path, save,
+                                          options.reset_wal);
+  timer.Stop();
+  if (!status.ok()) {
+    std::fprintf(stderr, "compact failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(
+      stderr,
+      "compacted %llu batch(es) (%llu patched vertex segment(s)) into %s "
+      "in %s (v2%s, graph fingerprint %s)%s\n",
+      static_cast<unsigned long long>(stats.batches_applied),
+      static_cast<unsigned long long>(stats.patched_vertices),
+      options.out_path.c_str(),
+      simrank::FormatDuration(timer.ElapsedSeconds()).c_str(),
+      options.compress ? ", compressed segments" : "",
+      simrank::FormatFingerprint(stats.current_graph_fingerprint).c_str(),
+      options.reset_wal ? "; WAL reset" : "");
+  return 0;
+}
+
 int RunAllPairs(const CliOptions& options) {
   auto graph = LoadGraph(options.graph_path);
   if (!graph.ok()) return 1;
@@ -621,6 +856,8 @@ int RealMain(int argc, char** argv) {
   if (options.subcommand == "build-index") return RunBuildIndex(options);
   if (options.subcommand == "query") return RunQuery(options);
   if (options.subcommand == "index-info") return RunIndexInfo(options);
+  if (options.subcommand == "update") return RunUpdate(options);
+  if (options.subcommand == "compact") return RunCompact(options);
   return RunAllPairs(options);
 }
 

@@ -5,26 +5,44 @@
 //                        [--max-inflight=N] [--endpoint-inflight=N]
 //                        [--cache-shards=S] [--cache-capacity=C]
 //                        [--warm=FILE] [--load-threads=T]
+//                        [--graph=PATH --wal=PATH]
+//                        [--compact-to=PATH] [--compact-graph-to=PATH]
+//                        [--no-sync-wal]
 //
-// Serves GET /v1/pair, /v1/single_source, /v1/topk, /v1/stats and
-// /healthz (see src/simrank/server/server.h for the endpoint and
-// admission-control semantics). --port=0 lets the kernel pick a free port;
-// the bound address is printed on stderr once the listener is up. --warm
-// names a file of vertex ids (whitespace separated, '#' comments) whose
-// storage pages are prefetched and whose rows are cached before the first
-// request. SIGINT/SIGTERM shut down gracefully: in-flight queries finish
-// and flush before the process exits 0.
+// Serves GET /v1/pair, /v1/single_source, /v1/topk, POST /v1/batch_pair,
+// /v1/stats, /metrics and /healthz (see src/simrank/server/server.h for
+// the endpoint and admission-control semantics). --port=0 lets the kernel
+// pick a free port; the bound address is printed on stderr once the
+// listener is up. --warm names a file of vertex ids (whitespace separated,
+// '#' comments) whose storage pages are prefetched and whose rows are
+// cached before the first request.
+//
+// --graph + --wal enable the live-update endpoints POST /v1/update and
+// POST /v1/compact: the graph file must be the one the index was built
+// from (fingerprint-checked), the WAL is created or replayed at startup —
+// after a crash the server comes back serving every acknowledged batch.
+// /v1/compact rewrites --compact-to (default: the served index path, via
+// an atomic rename — an mmap backend keeps serving the old inode) with
+// the base file's segment encoding, persists the updated graph to
+// --compact-graph-to (default: <compact-to>.graph.bin; restart with
+// --graph pointing there), and resets the WAL. SIGINT/SIGTERM
+// shut down gracefully: in-flight queries finish and flush before the
+// process exits 0.
 #include <cctype>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "simrank/common/status.h"
 #include "simrank/common/string_util.h"
+#include "simrank/graph/graph_io.h"
+#include "simrank/index/index_updater.h"
 #include "simrank/index/query_engine.h"
 #include "simrank/index/walk_index.h"
+#include "simrank/index/walk_store.h"
 #include "simrank/server/server.h"
 
 namespace {
@@ -36,6 +54,9 @@ struct ServerCliOptions {
   uint32_t cache_shards = 0;    // 0 = engine default
   uint32_t cache_capacity = 0;  // 0 = engine default
   std::string warm_path;
+  std::string graph_path;
+  std::string wal_path;
+  bool sync_wal = true;
   simrank::ServerOptions server;
 };
 
@@ -46,10 +67,14 @@ void PrintUsage(const char* argv0) {
       "       [--bind=127.0.0.1] [--threads=T] [--max-inflight=N]\n"
       "       [--endpoint-inflight=N] [--cache-shards=S]\n"
       "       [--cache-capacity=C] [--warm=FILE] [--load-threads=T]\n"
+      "       [--graph=GRAPH --wal=WAL] [--compact-to=PATH]\n"
+      "       [--compact-graph-to=PATH] [--no-sync-wal]\n"
       "\nServes GET /v1/pair?a=&b=, /v1/single_source?v=, /v1/topk?v=&k=,\n"
-      "/v1/stats and /healthz over the given walk index. --port=0 picks a\n"
-      "free port. Requests beyond --max-inflight get 429, beyond the\n"
-      "per-endpoint cap 503, both with Retry-After.\n",
+      "POST /v1/batch_pair, /v1/stats, /metrics and /healthz over the\n"
+      "given walk index. --port=0 picks a free port. Requests beyond\n"
+      "--max-inflight get 429, beyond the per-endpoint cap 503, both with\n"
+      "Retry-After. --graph + --wal additionally enable POST /v1/update\n"
+      "and /v1/compact (live edge updates with WAL durability).\n",
       argv0);
 }
 
@@ -103,6 +128,16 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
         return false;
       }
       options->load_threads = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--graph=")) {
+      options->graph_path = value_of("--graph=");
+    } else if (simrank::StartsWith(arg, "--wal=")) {
+      options->wal_path = value_of("--wal=");
+    } else if (simrank::StartsWith(arg, "--compact-to=")) {
+      options->server.compact_path = value_of("--compact-to=");
+    } else if (simrank::StartsWith(arg, "--compact-graph-to=")) {
+      options->server.compact_graph_path = value_of("--compact-graph-to=");
+    } else if (arg == "--no-sync-wal") {
+      options->sync_wal = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -110,6 +145,21 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
   }
   if (options->index_path.empty()) {
     std::fprintf(stderr, "serve requires --index=PATH\n");
+    return false;
+  }
+  if (options->wal_path.empty() != options->graph_path.empty()) {
+    std::fprintf(stderr,
+                 "--graph and --wal enable live updates together: the "
+                 "updater needs the base graph to re-simulate walks and "
+                 "the WAL to make batches durable\n");
+    return false;
+  }
+  if (options->wal_path.empty() &&
+      (!options->server.compact_path.empty() ||
+       !options->server.compact_graph_path.empty() || !options->sync_wal)) {
+    std::fprintf(stderr,
+                 "--compact-to/--compact-graph-to/--no-sync-wal require "
+                 "--graph and --wal\n");
     return false;
   }
   return true;
@@ -210,7 +260,55 @@ int RealMain(int argc, char** argv) {
     return 2;
   }
   simrank::QueryEngine engine(*index, *engine_options);
-  simrank::SimRankServer server(engine, options.server);
+
+  std::unique_ptr<simrank::IndexUpdater> updater;
+  if (!options.wal_path.empty()) {
+    auto graph = simrank::ReadGraphAuto(options.graph_path);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "cannot load graph: %s\n",
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    if (options.server.compact_path.empty()) {
+      options.server.compact_path = options.index_path;
+    }
+    if (options.server.compact_graph_path.empty()) {
+      options.server.compact_graph_path =
+          options.server.compact_path + ".graph.bin";
+    }
+    // Compacted files keep the served file's segment encoding, so a
+    // compact-then-restart cycle stays byte-reproducible. A probe failure
+    // here is fatal: silently defaulting to raw would flip a compressed
+    // index's encoding on the next compaction.
+    auto info = simrank::ReadWalkIndexInfo(options.index_path);
+    if (!info.ok()) {
+      std::fprintf(stderr, "cannot probe index encoding: %s\n",
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    options.server.compact_compress = info->compressed;
+    simrank::IndexUpdaterOptions updater_options;
+    updater_options.wal_path = options.wal_path;
+    updater_options.sync_wal = options.sync_wal;
+    auto opened = simrank::IndexUpdater::Open(*index, std::move(*graph),
+                                              updater_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open updater: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    updater = std::move(*opened);
+    const simrank::IndexUpdateStats stats = updater->stats();
+    std::fprintf(stderr,
+                 "update log %s: %llu batch(es) replayed, overlay "
+                 "sequence %llu%s\n",
+                 options.wal_path.c_str(),
+                 static_cast<unsigned long long>(stats.batches_replayed),
+                 static_cast<unsigned long long>(stats.overlay_sequence),
+                 stats.wal_truncated_bytes > 0 ? " (torn tail dropped)"
+                                               : "");
+  }
+  simrank::SimRankServer server(engine, options.server, updater.get());
 
   auto status = server.Bind();
   if (!status.ok()) {
