@@ -12,14 +12,26 @@
 // Each client thread then runs a closed loop — send, block for the
 // response, repeat — over a keep-alive connection; per-request latencies
 // aggregate into p50/p99.
+//
+// With --router the same workload runs against a 2-shard cluster instead:
+// the index is split with WriteShardIndex, two shard servers come up, and
+// the clients talk to a scatter-gather simrank_router. The identical
+// correctness gate runs first — the router must answer bitwise-equal to
+// the direct QueryEngine over the full index — so the reported QPS/p50/
+// p99 quantify the fan-out overhead of answers already proven exact.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <utility>
 #include <vector>
 
+#include "simrank/cluster/router.h"
+#include "simrank/cluster/shard_plan.h"
+#include "simrank/cluster/shard_split.h"
 #include "simrank/common/rng.h"
 #include "simrank/common/string_util.h"
 #include "simrank/common/table_printer.h"
@@ -196,12 +208,45 @@ LoadResult RunClosedLoop(uint16_t port, const EndpointLoad& load) {
   return result;
 }
 
+/// One in-process shard server over a WriteShardIndex file.
+struct BenchShard {
+  BenchShard(const std::string& path, const ShardPlan& plan,
+             uint32_t shard_id) {
+    auto loaded = WalkIndex::Load(path);
+    OIPSIM_CHECK(loaded.ok());
+    index = std::make_unique<WalkIndex>(std::move(loaded).value());
+    engine = std::make_unique<QueryEngine>(*index);
+    ServerOptions options;
+    options.port = 0;
+    options.threads = 0;
+    options.max_inflight = 256;
+    options.max_endpoint_inflight = 128;
+    options.sharded = true;
+    options.shard_plan = plan;
+    options.shard_id = shard_id;
+    server = std::make_unique<SimRankServer>(*engine, options);
+    OIPSIM_CHECK(server->Bind().ok());
+    serve_thread = std::thread([this] { OIPSIM_CHECK(server->Serve().ok()); });
+  }
+
+  ~BenchShard() {
+    server->Shutdown();
+    serve_thread.join();
+  }
+
+  std::unique_ptr<WalkIndex> index;
+  std::unique_ptr<QueryEngine> engine;
+  std::unique_ptr<SimRankServer> server;
+  std::thread serve_thread;
+};
+
 }  // namespace
 
-int Main() {
+int Main(bool router_mode) {
   std::printf("# server_throughput: n=%u web graph, %u closed-loop "
-              "clients, loopback HTTP\n",
-              kVertices, kClients);
+              "clients, loopback HTTP%s\n",
+              kVertices, kClients,
+              router_mode ? ", 2-shard scatter-gather router" : "");
   DiGraph graph = MakeGraph();
 
   WalkIndexOptions options;
@@ -213,17 +258,53 @@ int Main() {
 
   QueryEngine engine(*index);
   QueryEngine reference(*index);
-  ServerOptions server_options;
-  server_options.port = 0;
-  server_options.threads = 0;  // hardware concurrency
-  server_options.max_inflight = 256;
-  server_options.max_endpoint_inflight = 128;
-  SimRankServer server(engine, server_options);
-  OIPSIM_CHECK(server.Bind().ok());
-  std::thread serve_thread([&server] {
-    OIPSIM_CHECK(server.Serve().ok());
-  });
-  std::printf("# serving on 127.0.0.1:%u\n", server.port());
+
+  // The serving frontend under test: either one server over the full
+  // index, or two shard servers behind a router.
+  std::unique_ptr<SimRankServer> server;
+  std::thread serve_thread;
+  std::vector<std::unique_ptr<BenchShard>> shards;
+  std::unique_ptr<SimRankRouter> router;
+  std::vector<std::string> shard_paths;
+  uint16_t serving_port = 0;
+  if (router_mode) {
+    auto plan =
+        ShardPlan::EvenSplit(index->n(), index->graph_fingerprint(), 2);
+    OIPSIM_CHECK(plan.ok());
+    RouterOptions router_options;
+    router_options.plan = *plan;
+    for (const ShardRange& range : plan->shards) {
+      const std::string path = StrFormat(
+          "/tmp/simrank-bench-%d-shard-%u.widx", getpid(), range.shard_id);
+      OIPSIM_CHECK(
+          WriteShardIndex(index->store(), range, path, false).ok());
+      shard_paths.push_back(path);
+      shards.push_back(
+          std::make_unique<BenchShard>(path, *plan, range.shard_id));
+      router_options.shards.push_back(
+          RouterShard{range.shard_id, shards.back()->server->port(), 0});
+    }
+    router = std::make_unique<SimRankRouter>(std::move(router_options));
+    OIPSIM_CHECK(router->Bind().ok());
+    OIPSIM_CHECK(router->Start().ok());
+    serving_port = router->port();
+    std::printf("# router on 127.0.0.1:%u, shards on :%u :%u\n",
+                serving_port, shards[0]->server->port(),
+                shards[1]->server->port());
+  } else {
+    ServerOptions server_options;
+    server_options.port = 0;
+    server_options.threads = 0;  // hardware concurrency
+    server_options.max_inflight = 256;
+    server_options.max_endpoint_inflight = 128;
+    server = std::make_unique<SimRankServer>(engine, server_options);
+    OIPSIM_CHECK(server->Bind().ok());
+    serve_thread = std::thread([&server] {
+      OIPSIM_CHECK(server->Serve().ok());
+    });
+    serving_port = server->port();
+    std::printf("# serving on 127.0.0.1:%u\n", serving_port);
+  }
 
   // Hot-set workload, as in index_throughput.
   Rng rng(99);
@@ -232,11 +313,12 @@ int Main() {
     hot.push_back(static_cast<VertexId>(rng.NextUint64(graph.n())));
   }
 
-  CorrectnessGate(server.port(), reference, hot);
+  CorrectnessGate(serving_port, reference, hot);
   std::printf("# correctness gate: pair/single_source/topk/batch_pair "
               "responses bitwise-equal to direct QueryEngine on %u "
-              "samples each\n",
-              kGateQueries);
+              "samples each%s\n",
+              kGateQueries,
+              router_mode ? " (merged across 2 shards)" : "");
 
   EndpointLoad pair_load{"/v1/pair", {}, 2000};
   EndpointLoad single_source_load{"/v1/single_source", {}, 150};
@@ -255,7 +337,7 @@ int Main() {
       {"endpoint", "requests", "QPS", "p50 latency", "p99 latency"});
   for (const EndpointLoad& load :
        {pair_load, single_source_load, topk_load}) {
-    const LoadResult result = RunClosedLoop(server.port(), load);
+    const LoadResult result = RunClosedLoop(serving_port, load);
     table.AddRow({load.label, FormatCount(result.requests),
                   StrFormat("%.0f", result.requests / result.seconds),
                   FormatDuration(result.p50_us / 1e6),
@@ -263,17 +345,35 @@ int Main() {
   }
   std::printf("%s\n", table.Render().c_str());
 
-  auto stats_response = HttpGet(server.port(), "/v1/stats");
+  auto stats_response = HttpGet(serving_port, "/v1/stats");
   OIPSIM_CHECK(stats_response.ok() && stats_response->status == 200);
   std::printf("# /v1/stats: %s\n", stats_response->body.c_str());
 
-  server.Shutdown();
-  serve_thread.join();
-  std::printf("server drained cleanly; all responses bitwise-equal to "
-              "direct QueryEngine results\n");
+  if (router_mode) {
+    router->Shutdown();
+    shards.clear();
+    for (const std::string& path : shard_paths) std::remove(path.c_str());
+  } else {
+    server->Shutdown();
+    serve_thread.join();
+  }
+  std::printf("%s drained cleanly; all responses bitwise-equal to "
+              "direct QueryEngine results\n",
+              router_mode ? "router and shards" : "server");
   return 0;
 }
 
 }  // namespace simrank::bench
 
-int main() { return simrank::bench::Main(); }
+int main(int argc, char** argv) {
+  bool router_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--router") {
+      router_mode = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--router]\n", argv[0]);
+      return 2;
+    }
+  }
+  return simrank::bench::Main(router_mode);
+}

@@ -1,0 +1,1097 @@
+#include "simrank/cluster/router.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "simrank/common/json_writer.h"
+#include "simrank/common/string_util.h"
+#include "simrank/graph/graph_io.h"
+#include "simrank/server/server.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define OIPSIM_ROUTER_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#endif
+
+namespace simrank {
+namespace {
+
+std::string ErrorBody(std::string_view code, std::string_view message) {
+  JsonWriter json;
+  json.BeginObject()
+      .Key("error")
+      .BeginObject()
+      .Key("code")
+      .String(code)
+      .Key("message")
+      .String(message)
+      .EndObject()
+      .EndObject();
+  return json.str();
+}
+
+bool ParseVertexParam(const HttpRequest& request, std::string_view name,
+                      uint32_t n, VertexId* out, std::string* error) {
+  const std::string* value = request.FindParam(name);
+  uint64_t parsed = 0;
+  if (value == nullptr || !ParseUint64(*value, &parsed)) {
+    *error = StrFormat("missing or malformed ?%.*s= parameter",
+                       static_cast<int>(name.size()), name.data());
+    return false;
+  }
+  if (parsed >= n) {
+    *error = StrFormat("vertex %llu out of range (plan covers %u vertices)",
+                       static_cast<unsigned long long>(parsed), n);
+    return false;
+  }
+  *out = static_cast<VertexId>(parsed);
+  return true;
+}
+
+/// Parses a 16-hex-digit fingerprint header value.
+bool ParseHexFingerprint(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 16);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+#if OIPSIM_ROUTER_HAVE_SOCKETS
+bool SendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+#endif
+
+}  // namespace
+
+Status RouterOptions::Validate() const {
+  if (bind_address.empty()) {
+    return Status::InvalidArgument("router bind address must not be empty");
+  }
+  OIPSIM_RETURN_IF_ERROR(plan.Validate());
+  if (shards.size() != plan.shards.size()) {
+    return Status::InvalidArgument(
+        StrFormat("plan has %zu shards but %zu shard endpoints were given",
+                  plan.shards.size(), shards.size()));
+  }
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].shard_id != i) {
+      return Status::InvalidArgument(
+          StrFormat("shard endpoints must be declared in id order; "
+                    "position %zu declares shard %u",
+                    i, shards[i].shard_id));
+    }
+    if (shards[i].primary_port == 0) {
+      return Status::InvalidArgument(
+          StrFormat("shard %zu has no primary port", i));
+    }
+  }
+  if (timeout_ms == 0) {
+    return Status::InvalidArgument("--timeout-ms must be positive");
+  }
+  return Status::OK();
+}
+
+std::vector<ScoredVertex> MergeTopK(
+    const std::vector<std::vector<ScoredVertex>>& parts, uint32_t k) {
+  std::vector<ScoredVertex> merged;
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  merged.reserve(total);
+  for (const auto& part : parts) {
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  std::sort(merged.begin(), merged.end(), ScoredVertexBefore);
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+/// A mutex-guarded stack of keep-alive connections to one port. Acquire
+/// pops an idle connection or dials a new one; Release returns it after a
+/// clean exchange. Connections that saw a transport error are simply not
+/// returned — the next Acquire dials fresh.
+class SimRankRouter::ClientPool {
+ public:
+  ClientPool(uint16_t port, uint32_t timeout_ms)
+      : port_(port), timeout_ms_(timeout_ms) {}
+
+  uint16_t port() const { return port_; }
+
+  Result<LoopbackHttpClient> Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        LoopbackHttpClient client = std::move(idle_.back());
+        idle_.pop_back();
+        return client;
+      }
+    }
+    return LoopbackHttpClient::Connect(port_, timeout_ms_);
+  }
+
+  void Release(LoopbackHttpClient client) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(client));
+  }
+
+ private:
+  const uint16_t port_;
+  const uint32_t timeout_ms_;
+  std::mutex mutex_;
+  std::vector<LoopbackHttpClient> idle_;
+};
+
+SimRankRouter::SimRankRouter(RouterOptions options)
+    : options_(std::move(options)) {}
+
+SimRankRouter::~SimRankRouter() { Shutdown(); }
+
+RouterStats SimRankRouter::stats() const {
+  RouterStats stats;
+  stats.requests_total = stat_requests_total_.load(std::memory_order_relaxed);
+  stats.requests_pair = stat_requests_pair_.load(std::memory_order_relaxed);
+  stats.requests_single_source =
+      stat_requests_single_source_.load(std::memory_order_relaxed);
+  stats.requests_topk = stat_requests_topk_.load(std::memory_order_relaxed);
+  stats.requests_batch_pair =
+      stat_requests_batch_pair_.load(std::memory_order_relaxed);
+  stats.requests_update =
+      stat_requests_update_.load(std::memory_order_relaxed);
+  stats.requests_stats = stat_requests_stats_.load(std::memory_order_relaxed);
+  stats.requests_healthz =
+      stat_requests_healthz_.load(std::memory_order_relaxed);
+  stats.requests_metrics =
+      stat_requests_metrics_.load(std::memory_order_relaxed);
+  stats.responses_2xx = stat_responses_2xx_.load(std::memory_order_relaxed);
+  stats.responses_4xx = stat_responses_4xx_.load(std::memory_order_relaxed);
+  stats.responses_5xx = stat_responses_5xx_.load(std::memory_order_relaxed);
+  stats.failovers = stat_failovers_.load(std::memory_order_relaxed);
+  stats.conflicts_retried =
+      stat_conflicts_retried_.load(std::memory_order_relaxed);
+  stats.shard_errors = stat_shard_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void SimRankRouter::CountResponse(int status) {
+  if (status >= 200 && status < 300) {
+    stat_responses_2xx_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status >= 400 && status < 500) {
+    stat_responses_4xx_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status >= 500) {
+    stat_responses_5xx_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+#if OIPSIM_ROUTER_HAVE_SOCKETS
+
+Status SimRankRouter::Bind() {
+  OIPSIM_RETURN_IF_ERROR(options_.Validate());
+  {
+    std::lock_guard<std::mutex> lock(pools_mutex_);
+    pools_.clear();
+    for (const RouterShard& shard : options_.shards) {
+      pools_.push_back(std::make_unique<ClientPool>(shard.primary_port,
+                                                    options_.timeout_ms));
+      if (shard.replica_port != 0) {
+        pools_.push_back(std::make_unique<ClientPool>(shard.replica_port,
+                                                      options_.timeout_ms));
+      }
+    }
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrFormat("cannot parse bind address '%s'",
+                  options_.bind_address.c_str()));
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = StrFormat(
+        "cannot bind %s:%u: %s", options_.bind_address.c_str(),
+        options_.port, std::strerror(errno));
+    ::close(fd);
+    return Status::IoError(message);
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    return Status::IoError("listen() failed");
+  }
+  sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    ::close(fd);
+    return Status::IoError("getsockname() failed");
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+Status SimRankRouter::Start() {
+  if (listen_fd_ < 0) {
+    return Status::InvalidArgument("Start() requires a successful Bind()");
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SimRankRouter::RequestStop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void SimRankRouter::Shutdown() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void SimRankRouter::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Shutdown, or a fatal error
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    // A short receive timeout keeps idle keep-alive handlers polling the
+    // stop flag instead of blocking in recv forever.
+    timeval tv = {};
+    tv.tv_usec = 200 * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void SimRankRouter::HandleConnection(int fd) {
+  std::string buffer;
+  while (true) {
+    HttpRequest request;
+    const HttpParseStatus parsed =
+        ParseHttpRequest(buffer, options_.http, &request);
+    if (parsed.outcome == HttpParseStatus::kComplete) {
+      stat_requests_total_.fetch_add(1, std::memory_order_relaxed);
+      RouterResponse response = Route(request);
+      CountResponse(response.status);
+      HttpResponseOptions response_options;
+      response_options.keep_alive = request.keep_alive;
+      response_options.extra_headers = std::move(response.headers);
+      if (!SendAll(fd, BuildHttpResponse(response.status, response.body,
+                                         response_options))) {
+        break;
+      }
+      buffer.erase(0, parsed.consumed);
+      if (!request.keep_alive) break;
+      continue;
+    }
+    if (parsed.outcome == HttpParseStatus::kError) {
+      HttpResponseOptions response_options;
+      response_options.keep_alive = false;
+      SendAll(fd, BuildHttpResponse(
+                      parsed.error_status,
+                      ErrorBody("BadRequest", parsed.error_message),
+                      response_options));
+      break;
+    }
+    if (stop_.load(std::memory_order_relaxed)) break;
+    char chunk[4096];
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      buffer.append(chunk, static_cast<size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;  // receive timeout: re-check the stop flag
+    }
+    break;  // peer closed or hard error
+  }
+  ::close(fd);
+}
+
+Result<SimRankRouter::ShardReply> SimRankRouter::SendToPort(
+    uint16_t port, bool post, const std::string& target,
+    std::string_view body) {
+  ClientPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(pools_mutex_);
+    for (const auto& candidate : pools_) {
+      if (candidate->port() == port) {
+        pool = candidate.get();
+        break;
+      }
+    }
+  }
+  if (pool == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("port %u is not a configured shard endpoint", port));
+  }
+  auto client = pool->Acquire();
+  if (!client.ok()) {
+    stat_shard_errors_.fetch_add(1, std::memory_order_relaxed);
+    return client.status();
+  }
+  auto response =
+      post ? client->Post(target, body, "application/octet-stream")
+           : client->Get(target);
+  if (!response.ok()) {
+    stat_shard_errors_.fetch_add(1, std::memory_order_relaxed);
+    return response.status();  // the dead connection is dropped here
+  }
+  pool->Release(std::move(*client));
+  ShardReply reply;
+  reply.status = response->status;
+  reply.body = std::move(response->body);
+  const std::string* fingerprint =
+      response->FindHeader("x-graph-fingerprint");
+  const std::string* sequence = response->FindHeader("x-overlay-sequence");
+  const std::string* epoch = response->FindHeader("x-plan-epoch");
+  if (fingerprint != nullptr && sequence != nullptr && epoch != nullptr &&
+      ParseHexFingerprint(*fingerprint, &reply.fingerprint) &&
+      ParseUint64(*sequence, &reply.sequence) &&
+      ParseUint64(*epoch, &reply.epoch)) {
+    reply.have_versions = true;
+  }
+  return reply;
+}
+
+Result<SimRankRouter::ShardReply> SimRankRouter::ReadFromShard(
+    uint32_t shard_id, bool post, const std::string& target,
+    std::string_view body) {
+  const RouterShard& shard = options_.shards[shard_id];
+  auto reply = SendToPort(shard.primary_port, post, target, body);
+  if (reply.ok() || shard.replica_port == 0) return reply;
+  stat_failovers_.fetch_add(1, std::memory_order_relaxed);
+  return SendToPort(shard.replica_port, post, target, body);
+}
+
+Result<SimRankRouter::ShardReply> SimRankRouter::FetchRow(VertexId v) {
+  const uint32_t owner = options_.plan.OwnerOf(v);
+  return ReadFromShard(owner, /*post=*/false,
+                       StrFormat("/internal/walks?v=%u", v),
+                       std::string_view());
+}
+
+SimRankRouter::RouterResponse SimRankRouter::Unavailable(
+    const std::string& message) {
+  RouterResponse response;
+  response.status = 503;
+  response.body = ErrorBody("Unavailable", message);
+  response.headers.emplace_back(
+      "Retry-After", StrFormat("%u", options_.retry_after_seconds));
+  return response;
+}
+
+bool SimRankRouter::ScorePair(VertexId a, VertexId b, double* score,
+                              RouterResponse* error) {
+  const uint32_t owner_a = options_.plan.OwnerOf(a);
+  const uint32_t owner_b = options_.plan.OwnerOf(b);
+  if (owner_a == owner_b) {
+    auto reply = ReadFromShard(owner_a, /*post=*/false,
+                               StrFormat("/v1/pair?a=%u&b=%u", a, b),
+                               std::string_view());
+    if (!reply.ok()) {
+      *error = Unavailable(StrFormat("shard %u unreachable: %s", owner_a,
+                                     reply.status().message().c_str()));
+      return false;
+    }
+    if (reply->status != 200) {
+      error->status = reply->status;
+      error->body = std::move(reply->body);
+      return false;
+    }
+    // The shard emits shortest-round-trip doubles; this parse is
+    // bit-exact, so re-serializing reproduces the shard's text.
+    *score = FindJsonNumber(reply->body, "score");
+    return true;
+  }
+
+  for (uint32_t attempt = 0; attempt <= options_.retries; ++attempt) {
+    auto row = FetchRow(a);
+    if (!row.ok()) {
+      *error = Unavailable(StrFormat("shard %u unreachable: %s", owner_a,
+                                     row.status().message().c_str()));
+      return false;
+    }
+    if (row->status != 200) {
+      error->status = row->status;
+      error->body = std::move(row->body);
+      return false;
+    }
+    if (!row->have_versions || row->epoch != options_.plan.epoch) {
+      error->status = 500;
+      error->body = ErrorBody(
+          "Internal",
+          StrFormat("shard %u is serving plan epoch %llu, router has %llu",
+                    owner_a, static_cast<unsigned long long>(row->epoch),
+                    static_cast<unsigned long long>(options_.plan.epoch)));
+      return false;
+    }
+    auto reply = ReadFromShard(
+        owner_b, /*post=*/true,
+        StrFormat("/internal/pair?b=%u&seq=%llu", b,
+                  static_cast<unsigned long long>(row->sequence)),
+        row->body);
+    if (!reply.ok()) {
+      *error = Unavailable(StrFormat("shard %u unreachable: %s", owner_b,
+                                     reply.status().message().c_str()));
+      return false;
+    }
+    if (reply->status == 409) {
+      stat_conflicts_retried_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // an update landed between row fetch and scoring
+    }
+    if (reply->status != 200) {
+      error->status = reply->status;
+      error->body = std::move(reply->body);
+      return false;
+    }
+    if (reply->body.size() != sizeof(double)) {
+      error->status = 500;
+      error->body = ErrorBody(
+          "Internal", StrFormat("shard %u returned a %zu-byte pair score",
+                                owner_b, reply->body.size()));
+      return false;
+    }
+    std::memcpy(score, reply->body.data(), sizeof(double));
+    return true;
+  }
+  *error = Unavailable(
+      "overlay sequence kept moving during the cross-shard exchange; "
+      "retry after the update burst settles");
+  return false;
+}
+
+SimRankRouter::RouterResponse SimRankRouter::HandlePair(
+    const HttpRequest& request) {
+  RouterResponse response;
+  VertexId a = 0;
+  VertexId b = 0;
+  std::string error;
+  if (!ParseVertexParam(request, "a", options_.plan.n, &a, &error) ||
+      !ParseVertexParam(request, "b", options_.plan.n, &b, &error)) {
+    response.status = 400;
+    response.body = ErrorBody("InvalidArgument", error);
+    return response;
+  }
+  double score = 0.0;
+  if (!ScorePair(a, b, &score, &response)) return response;
+  JsonWriter json;
+  json.BeginObject()
+      .Key("a")
+      .Uint(a)
+      .Key("b")
+      .Uint(b)
+      .Key("score")
+      .Double(score)
+      .EndObject();
+  response.status = 200;
+  response.body = json.str();
+  return response;
+}
+
+SimRankRouter::RouterResponse SimRankRouter::HandleSingleSource(
+    const HttpRequest& request) {
+  RouterResponse response;
+  VertexId v = 0;
+  std::string error;
+  if (!ParseVertexParam(request, "v", options_.plan.n, &v, &error)) {
+    response.status = 400;
+    response.body = ErrorBody("InvalidArgument", error);
+    return response;
+  }
+  const size_t num_shards = options_.shards.size();
+  for (uint32_t attempt = 0; attempt <= options_.retries; ++attempt) {
+    auto row = FetchRow(v);
+    if (!row.ok()) {
+      return Unavailable(StrFormat("row owner unreachable: %s",
+                                   row.status().message().c_str()));
+    }
+    if (row->status != 200) {
+      response.status = row->status;
+      response.body = std::move(row->body);
+      return response;
+    }
+    if (!row->have_versions || row->epoch != options_.plan.epoch) {
+      response.status = 500;
+      response.body =
+          ErrorBody("Internal", "row owner is serving a different plan "
+                                "epoch than this router");
+      return response;
+    }
+    const std::string target =
+        StrFormat("/internal/partial?v=%u&seq=%llu", v,
+                  static_cast<unsigned long long>(row->sequence));
+    std::vector<Result<ShardReply>> replies;
+    replies.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      replies.emplace_back(Status::IoError("not attempted"));
+    }
+    {
+      std::vector<std::thread> fan;
+      fan.reserve(num_shards);
+      for (size_t i = 0; i < num_shards; ++i) {
+        fan.emplace_back([this, i, &target, &row, &replies] {
+          replies[i] = ReadFromShard(static_cast<uint32_t>(i), /*post=*/true,
+                                     target, row->body);
+        });
+      }
+      for (std::thread& thread : fan) thread.join();
+    }
+    bool conflicted = false;
+    uint64_t fingerprint = 0;
+    bool have_fingerprint = false;
+    std::string scores;
+    for (size_t i = 0; i < num_shards; ++i) {
+      if (!replies[i].ok()) {
+        return Unavailable(StrFormat("shard %zu unreachable: %s", i,
+                                     replies[i].status().message().c_str()));
+      }
+      ShardReply& reply = *replies[i];
+      if (reply.status == 409) {
+        conflicted = true;
+        break;
+      }
+      if (reply.status != 200) {
+        response.status = reply.status;
+        response.body = std::move(reply.body);
+        return response;
+      }
+      if (!reply.have_versions || reply.epoch != options_.plan.epoch) {
+        response.status = 500;
+        response.body = ErrorBody(
+            "Internal", StrFormat("shard %zu is serving a different plan "
+                                  "epoch than this router",
+                                  i));
+        return response;
+      }
+      if (have_fingerprint && reply.fingerprint != fingerprint) {
+        response.status = 500;
+        response.body = ErrorBody(
+            "Internal",
+            "shards report different graph fingerprints at the same "
+            "overlay sequence; the cluster has diverged");
+        return response;
+      }
+      fingerprint = reply.fingerprint;
+      have_fingerprint = true;
+      const ShardRange& range = options_.plan.shards[i];
+      const size_t expected =
+          static_cast<size_t>(range.end - range.begin) * sizeof(double);
+      if (reply.body.size() != expected) {
+        response.status = 500;
+        response.body = ErrorBody(
+            "Internal",
+            StrFormat("shard %zu returned %zu score bytes, expected %zu", i,
+                      reply.body.size(), expected));
+        return response;
+      }
+      scores += reply.body;
+    }
+    if (conflicted) {
+      stat_conflicts_retried_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // The shard ranges partition [0, n) in order, so the concatenated
+    // slices are the full single-node score row, bit for bit.
+    JsonWriter json;
+    json.BeginObject().Key("v").Uint(v).Key("scores").BeginArray();
+    const double* values = reinterpret_cast<const double*>(scores.data());
+    const size_t count = scores.size() / sizeof(double);
+    for (size_t i = 0; i < count; ++i) json.Double(values[i]);
+    json.EndArray().EndObject();
+    response.status = 200;
+    response.body = json.str();
+    return response;
+  }
+  return Unavailable(
+      "overlay sequence kept moving during the fan-out; retry after the "
+      "update burst settles");
+}
+
+SimRankRouter::RouterResponse SimRankRouter::HandleTopK(
+    const HttpRequest& request) {
+  RouterResponse response;
+  VertexId v = 0;
+  std::string error;
+  if (!ParseVertexParam(request, "v", options_.plan.n, &v, &error)) {
+    response.status = 400;
+    response.body = ErrorBody("InvalidArgument", error);
+    return response;
+  }
+  uint64_t k = 10;
+  if (const std::string* value = request.FindParam("k");
+      value != nullptr && (!ParseUint64(*value, &k) || k == 0)) {
+    response.status = 400;
+    response.body =
+        ErrorBody("InvalidArgument", "?k= must be a positive integer");
+    return response;
+  }
+  const size_t num_shards = options_.shards.size();
+  for (uint32_t attempt = 0; attempt <= options_.retries; ++attempt) {
+    auto row = FetchRow(v);
+    if (!row.ok()) {
+      return Unavailable(StrFormat("row owner unreachable: %s",
+                                   row.status().message().c_str()));
+    }
+    if (row->status != 200) {
+      response.status = row->status;
+      response.body = std::move(row->body);
+      return response;
+    }
+    if (!row->have_versions || row->epoch != options_.plan.epoch) {
+      response.status = 500;
+      response.body =
+          ErrorBody("Internal", "row owner is serving a different plan "
+                                "epoch than this router");
+      return response;
+    }
+    const std::string target = StrFormat(
+        "/internal/topk?v=%u&k=%llu&seq=%llu", v,
+        static_cast<unsigned long long>(k),
+        static_cast<unsigned long long>(row->sequence));
+    std::vector<Result<ShardReply>> replies;
+    replies.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      replies.emplace_back(Status::IoError("not attempted"));
+    }
+    {
+      std::vector<std::thread> fan;
+      fan.reserve(num_shards);
+      for (size_t i = 0; i < num_shards; ++i) {
+        fan.emplace_back([this, i, &target, &row, &replies] {
+          replies[i] = ReadFromShard(static_cast<uint32_t>(i), /*post=*/true,
+                                     target, row->body);
+        });
+      }
+      for (std::thread& thread : fan) thread.join();
+    }
+    bool conflicted = false;
+    std::vector<std::vector<ScoredVertex>> parts(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      if (!replies[i].ok()) {
+        return Unavailable(StrFormat("shard %zu unreachable: %s", i,
+                                     replies[i].status().message().c_str()));
+      }
+      ShardReply& reply = *replies[i];
+      if (reply.status == 409) {
+        conflicted = true;
+        break;
+      }
+      if (reply.status != 200) {
+        response.status = reply.status;
+        response.body = std::move(reply.body);
+        return response;
+      }
+      if (!reply.have_versions || reply.epoch != options_.plan.epoch) {
+        response.status = 500;
+        response.body = ErrorBody(
+            "Internal", StrFormat("shard %zu is serving a different plan "
+                                  "epoch than this router",
+                                  i));
+        return response;
+      }
+      if (reply.body.size() % 12 != 0) {
+        response.status = 500;
+        response.body = ErrorBody(
+            "Internal",
+            StrFormat("shard %zu returned a %zu-byte top-k body (not a "
+                      "multiple of 12)",
+                      i, reply.body.size()));
+        return response;
+      }
+      const size_t records = reply.body.size() / 12;
+      parts[i].resize(records);
+      for (size_t r = 0; r < records; ++r) {
+        std::memcpy(&parts[i][r].vertex, reply.body.data() + r * 12,
+                    sizeof(uint32_t));
+        std::memcpy(&parts[i][r].score, reply.body.data() + r * 12 + 4,
+                    sizeof(double));
+      }
+    }
+    if (conflicted) {
+      stat_conflicts_retried_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const std::vector<ScoredVertex> top =
+        MergeTopK(parts, static_cast<uint32_t>(k));
+    JsonWriter json;
+    json.BeginObject()
+        .Key("v")
+        .Uint(v)
+        .Key("k")
+        .Uint(k)
+        .Key("results")
+        .BeginArray();
+    for (const ScoredVertex& scored : top) {
+      json.BeginObject()
+          .Key("vertex")
+          .Uint(scored.vertex)
+          .Key("score")
+          .Double(scored.score)
+          .EndObject();
+    }
+    json.EndArray().EndObject();
+    response.status = 200;
+    response.body = json.str();
+    return response;
+  }
+  return Unavailable(
+      "overlay sequence kept moving during the fan-out; retry after the "
+      "update burst settles");
+}
+
+SimRankRouter::RouterResponse SimRankRouter::HandleBatchPair(
+    const HttpRequest& request) {
+  RouterResponse response;
+  auto pairs = ParsePairBatch(request.body, options_.max_batch_pairs);
+  if (!pairs.ok()) {
+    response.status = 400;
+    response.body =
+        ErrorBody("InvalidArgument", pairs.status().message());
+    return response;
+  }
+  for (const auto& [a, b] : *pairs) {
+    if (a >= options_.plan.n || b >= options_.plan.n) {
+      response.status = 400;
+      response.body = ErrorBody(
+          "OutOfRange",
+          StrFormat("pair (%u, %u) exceeds the plan's %u vertices", a, b,
+                    options_.plan.n));
+      return response;
+    }
+  }
+  std::vector<double> scores;
+  scores.reserve(pairs->size());
+  for (const auto& [a, b] : *pairs) {
+    double score = 0.0;
+    if (!ScorePair(a, b, &score, &response)) return response;
+    scores.push_back(score);
+  }
+  JsonWriter json;
+  json.BeginObject()
+      .Key("count")
+      .Uint(scores.size())
+      .Key("scores")
+      .BeginArray();
+  for (const double score : scores) json.Double(score);
+  json.EndArray().EndObject();
+  response.status = 200;
+  response.body = json.str();
+  return response;
+}
+
+SimRankRouter::RouterResponse SimRankRouter::HandleUpdate(
+    const HttpRequest& request) {
+  RouterResponse response;
+  // Broadcast in shard order. Every shard appends the batch to its own WAL
+  // before answering, so a 200 here means the update is durable everywhere.
+  // A shard failing *after* an earlier one applied leaves the cluster
+  // mid-batch — that is a loud 500, not a silent retry, because blind
+  // re-submission would double-apply on the shards that already took it.
+  struct ShardResult {
+    double applied = 0;
+    double sequence = 0;
+    double patched_vertices = 0;
+    double changed_slots = 0;
+    double wal_records = 0;
+    std::string fingerprint;
+  };
+  std::vector<ShardResult> results;
+  for (size_t i = 0; i < options_.shards.size(); ++i) {
+    auto reply = SendToPort(options_.shards[i].primary_port, /*post=*/true,
+                            "/v1/update", request.body);
+    if (!reply.ok()) {
+      if (i == 0) {
+        return Unavailable(
+            StrFormat("shard 0 primary unreachable, nothing applied: %s",
+                      reply.status().message().c_str()));
+      }
+      response.status = 500;
+      response.body = ErrorBody(
+          "Internal",
+          StrFormat("shard %zu primary unreachable after %zu shard(s) "
+                    "already applied the batch; the cluster needs "
+                    "reconciliation before further updates",
+                    i, i));
+      return response;
+    }
+    if (reply->status != 200) {
+      if (i == 0) {
+        // Nothing has been applied anywhere; the first shard's verdict
+        // (bad batch, overloaded, ...) is the client's answer.
+        response.status = reply->status;
+        response.body = std::move(reply->body);
+        return response;
+      }
+      response.status = 500;
+      response.body = ErrorBody(
+          "Internal",
+          StrFormat("shard %zu rejected the batch (HTTP %d) after %zu "
+                    "shard(s) already applied it; the cluster needs "
+                    "reconciliation before further updates",
+                    i, reply->status, i));
+      return response;
+    }
+    ShardResult result;
+    result.applied = FindJsonNumber(reply->body, "applied");
+    result.sequence = FindJsonNumber(reply->body, "sequence");
+    result.patched_vertices =
+        FindJsonNumber(reply->body, "patched_vertices");
+    result.changed_slots = FindJsonNumber(reply->body, "changed_slots");
+    result.wal_records = FindJsonNumber(reply->body, "wal_records");
+    const std::string needle = "\"graph_fingerprint\":\"";
+    const size_t at = reply->body.find(needle);
+    if (at != std::string::npos) {
+      result.fingerprint = reply->body.substr(at + needle.size(), 16);
+    }
+    results.push_back(std::move(result));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    if (results[i].applied != results[0].applied ||
+        results[i].sequence != results[0].sequence ||
+        results[i].wal_records != results[0].wal_records ||
+        results[i].fingerprint != results[0].fingerprint) {
+      response.status = 500;
+      response.body = ErrorBody(
+          "Internal",
+          StrFormat("shard %zu applied the batch but reports a different "
+                    "sequence/fingerprint than shard 0; the cluster has "
+                    "diverged",
+                    i));
+      return response;
+    }
+  }
+  // patched_vertices / changed_slots are per-shard work and sum across the
+  // cluster; applied / sequence / fingerprint / wal_records must agree.
+  double patched_vertices = 0;
+  double changed_slots = 0;
+  for (const ShardResult& result : results) {
+    patched_vertices += result.patched_vertices;
+    changed_slots += result.changed_slots;
+  }
+  JsonWriter json;
+  json.BeginObject()
+      .Key("applied")
+      .Uint(static_cast<uint64_t>(results[0].applied))
+      .Key("sequence")
+      .Uint(static_cast<uint64_t>(results[0].sequence))
+      .Key("patched_vertices")
+      .Uint(static_cast<uint64_t>(patched_vertices))
+      .Key("changed_slots")
+      .Uint(static_cast<uint64_t>(changed_slots))
+      .Key("graph_fingerprint")
+      .String(results[0].fingerprint)
+      .Key("wal_records")
+      .Uint(static_cast<uint64_t>(results[0].wal_records))
+      .EndObject();
+  response.status = 200;
+  response.body = json.str();
+  return response;
+}
+
+SimRankRouter::RouterResponse SimRankRouter::BuildStats() {
+  const RouterStats stats = this->stats();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("role").String("router");
+  json.Key("plan_epoch").Uint(options_.plan.epoch);
+  json.Key("plan_shards").Uint(options_.plan.shards.size());
+  json.Key("n").Uint(options_.plan.n);
+  json.Key("graph_fingerprint")
+      .String(FormatFingerprint(options_.plan.graph_fingerprint));
+  json.Key("requests").BeginObject();
+  json.Key("total").Uint(stats.requests_total);
+  json.Key("pair").Uint(stats.requests_pair);
+  json.Key("single_source").Uint(stats.requests_single_source);
+  json.Key("topk").Uint(stats.requests_topk);
+  json.Key("batch_pair").Uint(stats.requests_batch_pair);
+  json.Key("update").Uint(stats.requests_update);
+  json.Key("stats").Uint(stats.requests_stats);
+  json.Key("healthz").Uint(stats.requests_healthz);
+  json.Key("metrics").Uint(stats.requests_metrics);
+  json.EndObject();
+  json.Key("responses").BeginObject();
+  json.Key("2xx").Uint(stats.responses_2xx);
+  json.Key("4xx").Uint(stats.responses_4xx);
+  json.Key("5xx").Uint(stats.responses_5xx);
+  json.EndObject();
+  json.Key("cluster").BeginObject();
+  json.Key("failovers").Uint(stats.failovers);
+  json.Key("conflicts_retried").Uint(stats.conflicts_retried);
+  json.Key("shard_errors").Uint(stats.shard_errors);
+  json.EndObject();
+  json.EndObject();
+  RouterResponse response;
+  response.status = 200;
+  response.body = json.str();
+  return response;
+}
+
+SimRankRouter::RouterResponse SimRankRouter::BuildMetrics() {
+  const RouterStats stats = this->stats();
+  std::string out;
+  auto type = [&out](const char* name, const char* kind) {
+    out += StrFormat("# TYPE %s %s\n", name, kind);
+  };
+  auto counter = [&out](const char* name, const char* labels,
+                        uint64_t value) {
+    out += StrFormat("%s%s %llu\n", name, labels,
+                     static_cast<unsigned long long>(value));
+  };
+  type("simrank_router_requests_total", "counter");
+  counter("simrank_router_requests_total", "{endpoint=\"pair\"}",
+          stats.requests_pair);
+  counter("simrank_router_requests_total", "{endpoint=\"single_source\"}",
+          stats.requests_single_source);
+  counter("simrank_router_requests_total", "{endpoint=\"topk\"}",
+          stats.requests_topk);
+  counter("simrank_router_requests_total", "{endpoint=\"batch_pair\"}",
+          stats.requests_batch_pair);
+  counter("simrank_router_requests_total", "{endpoint=\"update\"}",
+          stats.requests_update);
+  counter("simrank_router_requests_total", "{endpoint=\"stats\"}",
+          stats.requests_stats);
+  counter("simrank_router_requests_total", "{endpoint=\"healthz\"}",
+          stats.requests_healthz);
+  counter("simrank_router_requests_total", "{endpoint=\"metrics\"}",
+          stats.requests_metrics);
+  type("simrank_router_responses_total", "counter");
+  counter("simrank_router_responses_total", "{class=\"2xx\"}",
+          stats.responses_2xx);
+  counter("simrank_router_responses_total", "{class=\"4xx\"}",
+          stats.responses_4xx);
+  counter("simrank_router_responses_total", "{class=\"5xx\"}",
+          stats.responses_5xx);
+  type("simrank_router_failovers_total", "counter");
+  counter("simrank_router_failovers_total", "", stats.failovers);
+  type("simrank_router_conflicts_total", "counter");
+  counter("simrank_router_conflicts_total", "", stats.conflicts_retried);
+  type("simrank_router_shard_errors_total", "counter");
+  counter("simrank_router_shard_errors_total", "", stats.shard_errors);
+  type("simrank_router_plan_epoch", "gauge");
+  counter("simrank_router_plan_epoch", "", options_.plan.epoch);
+  type("simrank_router_shards", "gauge");
+  counter("simrank_router_shards", "", options_.plan.shards.size());
+  RouterResponse response;
+  response.status = 200;
+  response.body = std::move(out);
+  return response;
+}
+
+SimRankRouter::RouterResponse SimRankRouter::Route(
+    const HttpRequest& request) {
+  RouterResponse response;
+  const bool is_get = request.method == "GET";
+  const bool is_post = request.method == "POST";
+  if (request.path == "/healthz") {
+    stat_requests_healthz_.fetch_add(1, std::memory_order_relaxed);
+    response.status = 200;
+    response.body = "{\"status\":\"ok\"}";
+    return response;
+  }
+  if (request.path == "/v1/stats") {
+    stat_requests_stats_.fetch_add(1, std::memory_order_relaxed);
+    return BuildStats();
+  }
+  if (request.path == "/metrics") {
+    stat_requests_metrics_.fetch_add(1, std::memory_order_relaxed);
+    return BuildMetrics();
+  }
+  if (request.path == "/v1/pair" || request.path == "/v1/single_source" ||
+      request.path == "/v1/topk") {
+    if (!is_get) {
+      response.status = 405;
+      response.body = ErrorBody("MethodNotAllowed", "use GET");
+      return response;
+    }
+    if (request.path == "/v1/pair") {
+      stat_requests_pair_.fetch_add(1, std::memory_order_relaxed);
+      return HandlePair(request);
+    }
+    if (request.path == "/v1/single_source") {
+      stat_requests_single_source_.fetch_add(1, std::memory_order_relaxed);
+      return HandleSingleSource(request);
+    }
+    stat_requests_topk_.fetch_add(1, std::memory_order_relaxed);
+    return HandleTopK(request);
+  }
+  if (request.path == "/v1/batch_pair" || request.path == "/v1/update") {
+    if (!is_post) {
+      response.status = 405;
+      response.body = ErrorBody("MethodNotAllowed", "use POST");
+      return response;
+    }
+    if (request.path == "/v1/batch_pair") {
+      stat_requests_batch_pair_.fetch_add(1, std::memory_order_relaxed);
+      return HandleBatchPair(request);
+    }
+    stat_requests_update_.fetch_add(1, std::memory_order_relaxed);
+    return HandleUpdate(request);
+  }
+  response.status = 404;
+  response.body = ErrorBody(
+      "NotFound", StrFormat("no route for %s", request.path.c_str()));
+  return response;
+}
+
+#else  // !OIPSIM_ROUTER_HAVE_SOCKETS
+
+Status SimRankRouter::Bind() {
+  return Status::Unimplemented("SimRankRouter requires POSIX sockets");
+}
+Status SimRankRouter::Start() {
+  return Status::Unimplemented("SimRankRouter requires POSIX sockets");
+}
+void SimRankRouter::RequestStop() {}
+void SimRankRouter::Shutdown() {}
+void SimRankRouter::AcceptLoop() {}
+void SimRankRouter::HandleConnection(int) {}
+
+#endif  // OIPSIM_ROUTER_HAVE_SOCKETS
+
+}  // namespace simrank

@@ -1,0 +1,238 @@
+// Scatter-gather query router for a sharded SimRank cluster.
+//
+// The router owns the shard plan and is the only process clients talk to.
+// It speaks the same public /v1/* dialect as a single-node simrank_server
+// and answers bitwise-identically to one — the merge is exact, not
+// approximate:
+//
+//   - pair(a, b) with both endpoints on one shard is forwarded verbatim;
+//     a cross-shard pair fetches a's walk row from its owner
+//     (/internal/walks) and has b's owner score it (/internal/pair), the
+//     double crossing the wire in native binary.
+//   - single_source(v) fetches v's row once, fans it to every shard
+//     (/internal/partial), and concatenates the returned per-range score
+//     slices in shard order — the shard slices are disjoint and
+//     reproduce the single-node row exactly.
+//   - topk(v, k) fans the row the same way (/internal/topk), then merges
+//     the per-shard top-k candidate lists under ScoredVertexBefore — the
+//     identical (score desc, vertex asc) total order the single-node
+//     engine sorts with, so cross-shard ties break the same way.
+//   - batch_pair routes each pair as above and re-emits the scores; the
+//     shortest-round-trip double text a shard emitted parses back
+//     bit-exact, so even the forwarded path re-serializes identically.
+//   - update is broadcast to every primary in shard order; each shard
+//     appends the batch to its own WAL before answering, so an acked
+//     update is durable on all shards. Divergent per-shard results
+//     (sequence, fingerprint) fail the request loudly.
+//
+// Consistency across the fan-out is pinned by overlay sequence: the row
+// fetch reports the owner's sequence, every fanned request carries it,
+// and a shard whose sequence has moved answers 409 — the router re-fetches
+// and retries, then degrades to 503 + Retry-After. A plan-epoch mismatch
+// in any shard response is a deployment error and fails loudly with 500.
+//
+// Reads fail over: when a shard's primary is unreachable (connect error or
+// timeout), the router retries the same read against the shard's replica,
+// counting the failover in /v1/stats and /metrics. Writes never fail over
+// (replicas reject them with 403; they catch up by tailing the primary's
+// WAL stream).
+#ifndef OIPSIM_SIMRANK_CLUSTER_ROUTER_H_
+#define OIPSIM_SIMRANK_CLUSTER_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simrank/cluster/shard_plan.h"
+#include "simrank/common/macros.h"
+#include "simrank/common/status.h"
+#include "simrank/extra/topk.h"
+#include "simrank/server/http.h"
+#include "simrank/server/http_client.h"
+
+namespace simrank {
+
+/// Where one shard of the plan is served: a primary and an optional
+/// replica (0 = none), both on loopback.
+struct RouterShard {
+  uint32_t shard_id = 0;
+  uint16_t primary_port = 0;
+  uint16_t replica_port = 0;
+};
+
+struct RouterOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port (see SimRankRouter::port()).
+  uint16_t port = 0;
+  /// The plan this router serves; every response's X-Plan-Epoch is checked
+  /// against plan.epoch.
+  ShardPlan plan;
+  /// One entry per plan shard, in shard-id order.
+  std::vector<RouterShard> shards;
+  /// Per-operation socket timeout on shard connections; bounds the damage
+  /// of a dead shard to one timeout per attempt.
+  uint32_t timeout_ms = 2000;
+  /// Extra attempts after an overlay-sequence conflict (409) before the
+  /// router degrades to 503.
+  uint32_t retries = 1;
+  /// Retry-After value on 503 responses.
+  uint32_t retry_after_seconds = 1;
+  uint32_t max_batch_pairs = 4096;
+  HttpLimits http;
+
+  Status Validate() const;
+};
+
+/// Router-side counters, readable concurrently with serving.
+struct RouterStats {
+  uint64_t requests_total = 0;
+  uint64_t requests_pair = 0;
+  uint64_t requests_single_source = 0;
+  uint64_t requests_topk = 0;
+  uint64_t requests_batch_pair = 0;
+  uint64_t requests_update = 0;
+  uint64_t requests_stats = 0;
+  uint64_t requests_healthz = 0;
+  uint64_t requests_metrics = 0;
+  uint64_t responses_2xx = 0;
+  uint64_t responses_4xx = 0;
+  uint64_t responses_5xx = 0;
+  /// Reads answered by a replica after the primary failed.
+  uint64_t failovers = 0;
+  /// Fan-out rounds re-run after a 409 overlay-sequence conflict.
+  uint64_t conflicts_retried = 0;
+  /// Transport errors talking to shards (before any failover).
+  uint64_t shard_errors = 0;
+};
+
+/// Merges per-shard top-k candidate lists into the global top-k under
+/// ScoredVertexBefore — the exact comparator (score desc, vertex asc)
+/// TopKFromRow sorts with, so the merged ranking equals the single-node
+/// ranking whenever each part contains its range's top-min(k, range) and
+/// the parts' vertex sets are disjoint.
+std::vector<ScoredVertex> MergeTopK(
+    const std::vector<std::vector<ScoredVertex>>& parts, uint32_t k);
+
+/// The router process: a blocking thread-per-connection HTTP frontend over
+/// a keep-alive client pool to the shards. Bind() then Start(); Shutdown()
+/// stops accepting, joins every connection thread and closes the pools.
+class SimRankRouter {
+ public:
+  explicit SimRankRouter(RouterOptions options);
+  ~SimRankRouter();
+
+  OIPSIM_DISALLOW_COPY_AND_ASSIGN(SimRankRouter);
+
+  /// Validates options and binds + listens on bind_address:port.
+  Status Bind();
+
+  /// Spawns the accept loop. Requires a successful Bind().
+  Status Start();
+
+  /// Async-signal-safe stop request: sets the stop flag and shuts the
+  /// listener down so the accept loop wakes. Follow with Shutdown() from
+  /// ordinary thread context to join.
+  void RequestStop();
+
+  /// Stops accepting, wakes and joins all threads. Idempotent.
+  void Shutdown();
+
+  /// The bound port (resolves port 0 after Bind()).
+  uint16_t port() const { return port_; }
+
+  const RouterOptions& options() const { return options_; }
+
+  RouterStats stats() const;
+
+ private:
+  /// One routed response: status, JSON body, plus any extra headers
+  /// (Retry-After on 503).
+  struct RouterResponse {
+    int status = 500;
+    std::string body;
+    std::vector<std::pair<std::string, std::string>> headers;
+  };
+
+  /// One shard reply with its parsed version headers.
+  struct ShardReply {
+    int status = 0;
+    std::string body;
+    uint64_t sequence = 0;
+    uint64_t fingerprint = 0;
+    uint64_t epoch = 0;
+    bool have_versions = false;
+  };
+
+  /// A keep-alive connection pool per target port.
+  class ClientPool;
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  RouterResponse Route(const HttpRequest& request);
+  void CountResponse(int status);
+
+  /// One request against a fixed port through the pool. Transport errors
+  /// return a non-ok status (the connection is dropped, not pooled).
+  Result<ShardReply> SendToPort(uint16_t port, bool post,
+                                const std::string& target,
+                                std::string_view body);
+
+  /// A read against shard `shard_id`: primary first, replica on transport
+  /// failure (counted as a failover).
+  Result<ShardReply> ReadFromShard(uint32_t shard_id, bool post,
+                                   const std::string& target,
+                                   std::string_view body);
+
+  RouterResponse HandlePair(const HttpRequest& request);
+  RouterResponse HandleSingleSource(const HttpRequest& request);
+  RouterResponse HandleTopK(const HttpRequest& request);
+  RouterResponse HandleBatchPair(const HttpRequest& request);
+  RouterResponse HandleUpdate(const HttpRequest& request);
+  RouterResponse BuildStats();
+  RouterResponse BuildMetrics();
+
+  /// Fetches v's walk row from its owner (with failover): 200 body is the
+  /// binary row, and the reply's sequence pins the fan-out.
+  Result<ShardReply> FetchRow(VertexId v);
+
+  /// Scores one pair, cross-shard if needed. Returns the score through
+  /// `*score`; a non-200 RouterResponse otherwise.
+  bool ScorePair(VertexId a, VertexId b, double* score,
+                 RouterResponse* error);
+
+  RouterResponse Unavailable(const std::string& message);
+
+  RouterOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<std::unique_ptr<ClientPool>> pools_;  // indexed by port lookup
+  std::mutex pools_mutex_;
+
+  std::atomic<uint64_t> stat_requests_total_{0};
+  std::atomic<uint64_t> stat_requests_pair_{0};
+  std::atomic<uint64_t> stat_requests_single_source_{0};
+  std::atomic<uint64_t> stat_requests_topk_{0};
+  std::atomic<uint64_t> stat_requests_batch_pair_{0};
+  std::atomic<uint64_t> stat_requests_update_{0};
+  std::atomic<uint64_t> stat_requests_stats_{0};
+  std::atomic<uint64_t> stat_requests_healthz_{0};
+  std::atomic<uint64_t> stat_requests_metrics_{0};
+  std::atomic<uint64_t> stat_responses_2xx_{0};
+  std::atomic<uint64_t> stat_responses_4xx_{0};
+  std::atomic<uint64_t> stat_responses_5xx_{0};
+  std::atomic<uint64_t> stat_failovers_{0};
+  std::atomic<uint64_t> stat_conflicts_retried_{0};
+  std::atomic<uint64_t> stat_shard_errors_{0};
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CLUSTER_ROUTER_H_

@@ -1,0 +1,89 @@
+// Versioned vertex-range partition of one served graph: the shard plan.
+//
+// A plan assigns every vertex of [0, n) to exactly one shard by contiguous
+// id range. It is bound to the graph it partitions through the structural
+// fingerprint — a shard or router started against a plan for a different
+// graph fails loudly instead of silently cross-wiring answers — and
+// carries an epoch so a repartition is distinguishable from the plan it
+// replaces (shards expose their epoch; the router cross-checks it on every
+// internal response).
+//
+// The file format is line-oriented text, one declaration per line,
+// '#' comments allowed:
+//
+//   simrank-shard-plan v1
+//   epoch 1
+//   graph_fingerprint 00c5a2f19e30bd74
+//   n 10000
+//   shards 2
+//   shard 0 0 5000
+//   shard 1 5000 10000
+//
+// `shard ID BEGIN END` covers [BEGIN, END). Shards must be declared in
+// id order (0, 1, ...), non-empty, contiguous and covering [0, n)
+// exactly; Parse and Validate reject anything else.
+#ifndef OIPSIM_SIMRANK_CLUSTER_SHARD_PLAN_H_
+#define OIPSIM_SIMRANK_CLUSTER_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simrank/common/status.h"
+#include "simrank/graph/digraph.h"
+
+namespace simrank {
+
+/// One shard's contiguous vertex range [begin, end).
+struct ShardRange {
+  uint32_t shard_id = 0;
+  VertexId begin = 0;
+  VertexId end = 0;
+
+  bool Contains(VertexId v) const { return v >= begin && v < end; }
+
+  friend bool operator==(const ShardRange&, const ShardRange&) = default;
+};
+
+/// A complete, validated partition of [0, n).
+struct ShardPlan {
+  /// Monotone repartition counter; two plans for the same graph with
+  /// different ranges must differ in epoch.
+  uint64_t epoch = 1;
+  /// GraphFingerprint of the graph this plan partitions.
+  uint64_t graph_fingerprint = 0;
+  uint32_t n = 0;
+  /// In shard-id order (== range order; Validate enforces both).
+  std::vector<ShardRange> shards;
+
+  /// Structural check: ids 0..k-1 in order, ranges non-empty, contiguous,
+  /// covering [0, n) exactly, and n > 0.
+  Status Validate() const;
+
+  /// The shard owning `v`. The plan must be Validate()-clean and v < n;
+  /// binary search over the contiguous ranges.
+  uint32_t OwnerOf(VertexId v) const;
+
+  /// Renders the canonical file text (byte-deterministic).
+  std::string Format() const;
+
+  /// Parses and validates plan text / a plan file.
+  static Result<ShardPlan> Parse(std::string_view text);
+  static Result<ShardPlan> LoadFile(const std::string& path);
+
+  /// Writes Format() to `path` (truncating).
+  Status SaveFile(const std::string& path) const;
+
+  /// An even contiguous split of [0, n) into `num_shards` ranges: the
+  /// first n % num_shards shards get one extra vertex. Requires
+  /// 0 < num_shards <= n.
+  static Result<ShardPlan> EvenSplit(uint32_t n, uint64_t graph_fingerprint,
+                                     uint32_t num_shards, uint64_t epoch = 1);
+
+  friend bool operator==(const ShardPlan&, const ShardPlan&) = default;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CLUSTER_SHARD_PLAN_H_

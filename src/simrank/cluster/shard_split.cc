@@ -1,0 +1,48 @@
+#include "simrank/cluster/shard_split.h"
+
+#include <utility>
+#include <vector>
+
+#include "simrank/common/string_util.h"
+
+namespace simrank {
+
+Status WriteShardIndex(const WalkStore& store, const ShardRange& range,
+                       const std::string& out_path, bool compress) {
+  const WalkStoreMeta& meta = store.meta();
+  const uint32_t n = meta.n;
+  const uint32_t L = meta.walk_length;
+  const uint32_t R = meta.num_fingerprints;
+  if (range.end > n || range.begin >= range.end) {
+    return Status::InvalidArgument(StrFormat(
+        "shard range [%u, %u) is not a non-empty subrange of [0, %u)",
+        range.begin, range.end, n));
+  }
+
+  // Flat (r, t)-major table of the shard: in-range vertices scatter their
+  // decoded rows, everything else gets the dead-from-step-1 row that a
+  // from-scratch build produces for a vertex with no in-neighbours.
+  const size_t words = store.WalkWords();
+  std::vector<uint32_t> walks(words * n, WalkStore::kDeadWalk);
+  for (uint32_t r = 0; r < R; ++r) {
+    const size_t step0 = static_cast<size_t>(r) * (L + 1) * n;
+    for (VertexId v = 0; v < n; ++v) walks[step0 + v] = v;
+  }
+  std::vector<uint32_t> row(words);
+  for (VertexId v = range.begin; v < range.end; ++v) {
+    OIPSIM_RETURN_IF_ERROR(store.DecodeVertex(v, row.data()));
+    for (size_t word = 0; word < words; ++word) {
+      walks[word * n + v] = row[word];
+    }
+  }
+
+  // Same meta (global n, global graph fingerprint): the shard stays
+  // recognizably part of the one served graph, and the full index's WAL
+  // identity binds to it unchanged.
+  InMemoryWalkStore shard(meta, std::move(walks), /*num_threads=*/1);
+  WalkStoreSaveOptions save;
+  save.compress = compress;
+  return SaveWalkStore(shard, out_path, save);
+}
+
+}  // namespace simrank

@@ -1,0 +1,39 @@
+// Byte-deterministic extraction of per-shard index files from a full v2
+// walk index.
+//
+// A shard index is a standard v2 file with the *global* vertex count and
+// graph fingerprint; what makes it a shard is its walk rows: vertices
+// inside the shard's range keep their full walk rows, vertices outside it
+// are represented exactly like vertices whose walks die immediately (step
+// 0 = the vertex itself, every later step dead). Three things follow:
+//   - the shard's inverted index lists only in-range vertices, so a
+//     single-source accumulation on the shard produces exactly the
+//     in-range slice of the single-node row (bitwise — same buckets, same
+//     ascending-vertex order, same arithmetic);
+//   - the per-shard slices are disjoint, so a scatter-gather router can
+//     concatenate/merge them without double counting;
+//   - the shard index opens with every existing tool (same format, same
+//     meta), and a WAL bound to the full index binds to every shard too.
+// Splitting is pure decoding and re-encoding of integer tables, so the
+// output bytes depend only on (input file, range, compression flag).
+#ifndef OIPSIM_SIMRANK_CLUSTER_SHARD_SPLIT_H_
+#define OIPSIM_SIMRANK_CLUSTER_SHARD_SPLIT_H_
+
+#include <string>
+
+#include "simrank/cluster/shard_plan.h"
+#include "simrank/common/status.h"
+#include "simrank/index/walk_store.h"
+
+namespace simrank {
+
+/// Writes the shard index for `range` of `store` to `out_path` (v2 format;
+/// `compress` selects segment compression — match the source file's to
+/// keep encodings uniform across the cluster). The store must cover
+/// [0, n) with range a subrange of it.
+Status WriteShardIndex(const WalkStore& store, const ShardRange& range,
+                       const std::string& out_path, bool compress);
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_CLUSTER_SHARD_SPLIT_H_

@@ -18,10 +18,25 @@ std::vector<ScoredVertex> TopKFromRow(std::span<const double> row,
   }
   const size_t keep = std::min<size_t>(k, all.size());
   std::partial_sort(all.begin(), all.begin() + static_cast<int64_t>(keep),
-                    all.end(), [](const ScoredVertex& a, const ScoredVertex& b) {
-                      return a.score != b.score ? a.score > b.score
-                                                : a.vertex < b.vertex;
-                    });
+                    all.end(), ScoredVertexBefore);
+  all.resize(keep);
+  return all;
+}
+
+std::vector<ScoredVertex> TopKFromRowSlice(std::span<const double> slice,
+                                           VertexId base, VertexId query,
+                                           uint32_t k, bool exclude_query) {
+  const auto count = static_cast<uint32_t>(slice.size());
+  std::vector<ScoredVertex> all;
+  all.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const VertexId v = base + i;
+    if (exclude_query && v == query) continue;
+    all.push_back(ScoredVertex{v, slice[i]});
+  }
+  const size_t keep = std::min<size_t>(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<int64_t>(keep),
+                    all.end(), ScoredVertexBefore);
   all.resize(keep);
   return all;
 }

@@ -28,6 +28,24 @@ std::vector<ScoredVertex> TopKFromRow(std::span<const double> row,
                                       VertexId query, uint32_t k,
                                       bool exclude_query = true);
 
+/// Top-k over a slice of a score row: `slice[i]` is s(query, base + i).
+/// Same ordering contract as TopKFromRow, with returned vertex ids offset
+/// by `base`. Merging per-shard results — each shard contributing its top
+/// min(k, slice length) over its vertex range — under the same
+/// (score desc, vertex asc) comparator reproduces TopKFromRow over the
+/// full row exactly: the comparator is a strict total order over distinct
+/// ids, and every global top-k member is in its own shard's top-k.
+std::vector<ScoredVertex> TopKFromRowSlice(std::span<const double> slice,
+                                           VertexId base, VertexId query,
+                                           uint32_t k,
+                                           bool exclude_query = true);
+
+/// The TopKFromRow / TopKFromRowSlice comparator, exposed so a router can
+/// merge per-shard candidates with the identical tie-breaking.
+inline bool ScoredVertexBefore(const ScoredVertex& a, const ScoredVertex& b) {
+  return a.score != b.score ? a.score > b.score : a.vertex < b.vertex;
+}
+
 /// Returns the k vertices most similar to `query` (descending score, ties
 /// broken by ascending id for determinism). The query vertex itself is
 /// excluded when `exclude_query` is true (the common "find my neighbours"

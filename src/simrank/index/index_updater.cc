@@ -1,6 +1,7 @@
 #include "simrank/index/index_updater.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <span>
@@ -81,9 +82,18 @@ class BaseRowReader {
 
 }  // namespace
 
+/// One batch waiting in the group-commit queue, owned by its submitting
+/// thread's stack frame.
+struct IndexUpdater::PendingBatch {
+  std::span<const EdgeUpdate> updates;
+  uint64_t expected_post_fingerprint = 0;
+  Status status;
+  bool done = false;
+};
+
 IndexUpdater::IndexUpdater(WalkIndex& index, const DiGraph& base_graph,
-                           UpdateWal wal)
-    : index_(index), wal_(std::move(wal)) {
+                           UpdateWal wal, const IndexUpdaterOptions& options)
+    : index_(index), wal_(std::move(wal)), options_(options) {
   n_ = base_graph.n();
   edges_ = base_graph.Edges();  // (src, dst)-sorted, deduped
   graph_fingerprint_ = GraphFingerprint(base_graph);
@@ -110,6 +120,15 @@ Result<std::unique_ptr<IndexUpdater>> IndexUpdater::Open(
     return Status::InvalidArgument(
         "index already carries an overlay; one IndexUpdater per index");
   }
+  if (options.vertex_begin != 0 || options.vertex_end != 0) {
+    if (options.vertex_begin >= options.vertex_end ||
+        options.vertex_end > index.n()) {
+      return Status::InvalidArgument(StrFormat(
+          "shard vertex range [%u, %u) is not a non-empty subrange of "
+          "[0, %u)",
+          options.vertex_begin, options.vertex_end, index.n()));
+    }
+  }
 
   WalBaseIdentity identity;
   identity.n = index.n();
@@ -124,7 +143,7 @@ Result<std::unique_ptr<IndexUpdater>> IndexUpdater::Open(
   if (!opened.ok()) return opened.status();
 
   std::unique_ptr<IndexUpdater> updater(
-      new IndexUpdater(index, base_graph, std::move(opened->wal)));
+      new IndexUpdater(index, base_graph, std::move(opened->wal), options));
   {
     std::lock_guard<std::mutex> stats_lock(updater->stats_mutex_);
     updater->stats_.wal_truncated_bytes = opened->truncated_bytes;
@@ -144,18 +163,141 @@ Result<std::unique_ptr<IndexUpdater>> IndexUpdater::Open(
       ++updater->stats_.batches_replayed;
     }
   }
+  {
+    std::lock_guard<std::mutex> records_lock(updater->records_mutex_);
+    updater->records_ = std::move(opened->records);
+  }
   return updater;
 }
 
 Status IndexUpdater::ApplyUpdates(std::span<const EdgeUpdate> updates) {
+  if (options_.group_commit && options_.sync_wal) {
+    return ApplyGrouped(updates, /*expected_post_fingerprint=*/0);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   return ApplyBatch(updates, /*append_to_wal=*/true,
                     /*expected_post_fingerprint=*/0);
 }
 
+Status IndexUpdater::ApplyReplicated(std::span<const EdgeUpdate> updates,
+                                     uint64_t expected_post_fingerprint) {
+  if (expected_post_fingerprint == 0) {
+    return Status::InvalidArgument(
+        "replicated batches must carry the primary's post-batch graph "
+        "fingerprint");
+  }
+  if (options_.group_commit && options_.sync_wal) {
+    return ApplyGrouped(updates, expected_post_fingerprint);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ApplyBatch(updates, /*append_to_wal=*/true,
+                    expected_post_fingerprint);
+}
+
+std::vector<WalRecord> IndexUpdater::WalRecordsFrom(uint64_t from,
+                                                    uint64_t limit) const {
+  std::lock_guard<std::mutex> lock(records_mutex_);
+  std::vector<WalRecord> out;
+  for (uint64_t i = from; i < records_.size() && out.size() < limit; ++i) {
+    out.push_back(records_[i]);
+  }
+  return out;
+}
+
+Status IndexUpdater::ApplyGrouped(std::span<const EdgeUpdate> updates,
+                                  uint64_t expected_post_fingerprint) {
+  PendingBatch pending;
+  pending.updates = updates;
+  pending.expected_post_fingerprint = expected_post_fingerprint;
+  {
+    std::unique_lock<std::mutex> queue_lock(queue_mutex_);
+    queue_.push_back(&pending);
+    if (leader_active_) {
+      // Follow: a leader is draining; it (or a successor leader) will
+      // process this batch and wake us with its status.
+      queue_cv_.wait(queue_lock, [&pending] { return pending.done; });
+      return pending.status;
+    }
+    leader_active_ = true;
+  }
+  // Lead. The bounded window lets concurrently arriving batches join this
+  // group's single fsync; batches arriving later still coalesce naturally,
+  // because they queue while this group is being patched and synced.
+  if (options_.group_commit_window_us > 0) {
+    std::unique_lock<std::mutex> queue_lock(queue_mutex_);
+    queue_cv_.wait_for(
+        queue_lock,
+        std::chrono::microseconds(options_.group_commit_window_us));
+  }
+  while (true) {
+    std::deque<PendingBatch*> group;
+    {
+      std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+      if (queue_.empty()) {
+        leader_active_ = false;
+        break;
+      }
+      group.swap(queue_);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_overlay_ = nullptr;
+      // A WAL write error poisons the rest of the group: appending after
+      // a possibly torn record would leave records that replay drops.
+      Status wal_broken = Status::OK();
+      bool any_appended = false;
+      for (PendingBatch* batch : group) {
+        if (!wal_broken.ok()) {
+          batch->status = wal_broken;
+          continue;
+        }
+        batch->status =
+            ApplyBatch(batch->updates, /*append_to_wal=*/true,
+                       batch->expected_post_fingerprint,
+                       /*defer_sync_and_publish=*/true);
+        if (batch->status.ok()) {
+          any_appended = true;
+        } else if (batch->status.code() == StatusCode::kIoError) {
+          wal_broken = batch->status;
+        }
+      }
+      if (any_appended) {
+        // The group's durability point: everything appended above hits
+        // disk in one fsync, before any batch is acknowledged or its
+        // overlay made visible to queries.
+        const Status synced = wal_.Sync();
+        if (!synced.ok()) {
+          for (PendingBatch* batch : group) {
+            if (batch->status.ok()) batch->status = synced;
+          }
+        }
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          stats_.wal_syncs = wal_.sync_count();
+        }
+        // Publish even when the fsync failed: the records are flushed to
+        // the OS and the in-memory graph already reflects the group, so
+        // withholding the overlay would fork serving state from update
+        // state. The callers still get the sync error.
+        if (pending_overlay_ != nullptr) {
+          index_.PublishOverlay(pending_overlay_);
+        }
+      }
+      pending_overlay_ = nullptr;
+    }
+    {
+      std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+      for (PendingBatch* batch : group) batch->done = true;
+    }
+    queue_cv_.notify_all();
+  }
+  return pending.status;
+}
+
 Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
                                 bool append_to_wal,
-                                uint64_t expected_post_fingerprint) {
+                                uint64_t expected_post_fingerprint,
+                                bool defer_sync_and_publish) {
   if (updates.empty()) {
     return Status::InvalidArgument("empty update batch");
   }
@@ -206,12 +348,17 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
   }
 
   // Write-ahead: the batch must be durable before any serving state
-  // changes, so a crash at any later point replays it.
+  // changes, so a crash at any later point replays it. Under group commit
+  // the append defers its fsync; the group leader syncs once before
+  // anything becomes visible.
   if (append_to_wal) {
     WalRecord record;
     record.updates.assign(updates.begin(), updates.end());
     record.post_graph_fingerprint = post_fingerprint;
-    OIPSIM_RETURN_IF_ERROR(wal_.Append(record));
+    OIPSIM_RETURN_IF_ERROR(
+        wal_.Append(record, /*sync=*/!defer_sync_and_publish));
+    std::lock_guard<std::mutex> records_lock(records_mutex_);
+    records_.push_back(std::move(record));
   }
 
   // In-neighbour CSR of the updated graph — what the re-simulation reads.
@@ -238,7 +385,12 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
   const WalkStoreMeta& meta = base.meta();
   const uint32_t R = meta.num_fingerprints;
   const uint32_t L = meta.walk_length;
-  const std::shared_ptr<const DeltaOverlay> old = index_.overlay_snapshot();
+  // During a group, later batches build on the group's still-unpublished
+  // overlay chain, not on what queries currently see.
+  const std::shared_ptr<const DeltaOverlay> old =
+      defer_sync_and_publish && pending_overlay_ != nullptr
+          ? pending_overlay_
+          : index_.overlay_snapshot();
 
   // The vertices whose in-neighbour list changed. Only transitions *out
   // of* these vertices can differ on the updated graph.
@@ -260,7 +412,18 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
   // searches per slot on warm cache lines.
   std::vector<std::pair<uint64_t, uint32_t>> candidates;
   candidates.reserve(1024);
+  // A shard index represents out-of-range walks as dead from step 1 and
+  // must keep them that way: re-simulating a dead row would revive the
+  // vertex into this shard's inverted index and double-count it across
+  // the cluster. Bucket-discovered candidates below are in-range by
+  // construction (the shard's inverted index only lists its own range).
+  const bool range_limited =
+      options_.vertex_begin != 0 || options_.vertex_end != 0;
   for (const VertexId x : touched) {
+    if (range_limited &&
+        (x < options_.vertex_begin || x >= options_.vertex_end)) {
+      continue;
+    }
     for (uint32_t r = 0; r < R; ++r) {
       candidates.emplace_back(DeltaOverlay::WalkKey(x, r), 1);
     }
@@ -503,7 +666,11 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
   const uint64_t patched_walks = overlay->patches_.size();
   const uint64_t changed_slots = overlay->deltas_.size();
   const uint64_t delta_entries = overlay->delta_entries_;
-  index_.PublishOverlay(std::move(overlay));
+  if (defer_sync_and_publish) {
+    pending_overlay_ = std::move(overlay);  // published after the group sync
+  } else {
+    index_.PublishOverlay(std::move(overlay));
+  }
   edges_ = std::move(new_edges);
   in_offsets_ = std::move(new_in_offsets);
   in_sources_ = std::move(new_in_sources);
@@ -532,6 +699,7 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
   stats_.current_graph_fingerprint = post_fingerprint;
   stats_.wal_records = wal_.record_count();
   stats_.wal_bytes = wal_.size_bytes();
+  stats_.wal_syncs = wal_.sync_count();
   return Status::OK();
 }
 
@@ -598,6 +766,10 @@ Status IndexUpdater::Compact(const std::string& path,
     identity.damping = meta.damping;
     identity.graph_fingerprint = meta.graph_fingerprint;
     OIPSIM_RETURN_IF_ERROR(wal_.Reset(identity));
+    {
+      std::lock_guard<std::mutex> records_lock(records_mutex_);
+      records_.clear();
+    }
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     stats_.wal_records = wal_.record_count();
     stats_.wal_bytes = wal_.size_bytes();

@@ -35,6 +35,8 @@
 #ifndef OIPSIM_SIMRANK_INDEX_INDEX_UPDATER_H_
 #define OIPSIM_SIMRANK_INDEX_INDEX_UPDATER_H_
 
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -57,6 +59,21 @@ struct IndexUpdaterOptions {
   /// fsync the WAL after every append. Off only for benchmarking the pure
   /// patch path.
   bool sync_wal = true;
+  /// Coalesce WAL fsyncs across concurrently submitted batches (group
+  /// commit): batches queue, one leader appends every queued record, then
+  /// issues a single fsync before any of them is acknowledged or made
+  /// visible. On by default; irrelevant when sync_wal is off.
+  bool group_commit = true;
+  /// Upper bound on how long a group-commit leader waits for more batches
+  /// to queue before syncing, in microseconds. Small against an fsync
+  /// (~ms), so the uncontended latency cost is negligible.
+  uint32_t group_commit_window_us = 200;
+  /// Serve only the vertex range [vertex_begin, vertex_end) — the shard
+  /// role. Walks of out-of-range vertices are represented as dead in a
+  /// shard index and must stay dead under updates, so discovery skips
+  /// them. Both zero means the full range.
+  uint32_t vertex_begin = 0;
+  uint32_t vertex_end = 0;
 };
 
 /// Cumulative counters (replayed batches included), readable concurrently
@@ -77,6 +94,8 @@ struct IndexUpdateStats {
   uint64_t wal_truncated_bytes = 0;
   uint64_t wal_records = 0;
   uint64_t wal_bytes = 0;
+  /// fsyncs issued; under group commit, less than batches_applied.
+  uint64_t wal_syncs = 0;
   /// Current overlay footprint.
   uint64_t overlay_sequence = 0;
   uint64_t patched_vertices = 0;
@@ -107,8 +126,24 @@ class IndexUpdater {
   /// Applies one batch: validates it against the current graph, appends it
   /// to the WAL (write-ahead), patches the affected walks and publishes
   /// the new overlay. On error nothing is published and the graph is
-  /// unchanged. Empty batches are rejected. Thread-safe.
+  /// unchanged. Empty batches are rejected. Thread-safe. With group
+  /// commit, concurrent callers share one fsync; each still returns only
+  /// once its own batch is durable and visible.
   Status ApplyUpdates(std::span<const EdgeUpdate> updates);
+
+  /// Applies a batch replicated from a primary's WAL stream: identical to
+  /// ApplyUpdates (the batch is appended to this replica's own WAL) except
+  /// that the post-batch graph fingerprint must equal
+  /// `expected_post_fingerprint` — the replica's graph diverging from the
+  /// primary's fails loudly instead of silently forking. Thread-safe.
+  Status ApplyReplicated(std::span<const EdgeUpdate> updates,
+                         uint64_t expected_post_fingerprint);
+
+  /// Copies WAL records [from, from + limit) in append order — the
+  /// primary side of WAL shipping (a replica polls from its own record
+  /// count). `from` past the end yields an empty vector. Thread-safe.
+  std::vector<WalRecord> WalRecordsFrom(uint64_t from,
+                                        uint64_t limit = 256) const;
 
   /// Writes base + overlay as a fresh v2 index file at `path` (via a
   /// temporary file and an atomic rename), byte-identical to what
@@ -138,16 +173,30 @@ class IndexUpdater {
   const WalkIndex& index() const { return index_; }
 
  private:
-  IndexUpdater(WalkIndex& index, const DiGraph& base_graph, UpdateWal wal);
+  struct PendingBatch;
+
+  IndexUpdater(WalkIndex& index, const DiGraph& base_graph, UpdateWal wal,
+               const IndexUpdaterOptions& options);
 
   /// The patch pipeline shared by ApplyUpdates and WAL replay. Caller
-  /// holds mutex_. `expected_post_fingerprint` (nonzero during replay)
-  /// must match the patched graph's fingerprint.
+  /// holds mutex_. `expected_post_fingerprint` (nonzero during replay and
+  /// replication) must match the patched graph's fingerprint. With
+  /// `defer_sync_and_publish` (the group-commit path) the WAL append skips
+  /// its fsync and the overlay lands in pending_overlay_ instead of the
+  /// index; the caller syncs and publishes for the whole group.
   Status ApplyBatch(std::span<const EdgeUpdate> updates, bool append_to_wal,
-                    uint64_t expected_post_fingerprint);
+                    uint64_t expected_post_fingerprint,
+                    bool defer_sync_and_publish = false);
+
+  /// The group-commit slow path of ApplyUpdates/ApplyReplicated: enqueue,
+  /// then either follow (wait for a leader to process the batch) or lead
+  /// (drain the queue, one fsync, one publish).
+  Status ApplyGrouped(std::span<const EdgeUpdate> updates,
+                      uint64_t expected_post_fingerprint);
 
   WalkIndex& index_;
   UpdateWal wal_;
+  IndexUpdaterOptions options_;
 
   // The current graph, kept in the two shapes the patch path needs and
   // maintained incrementally (a DiGraph rebuild per batch would dwarf the
@@ -162,6 +211,24 @@ class IndexUpdater {
 
   /// Serializes ApplyBatch and Compact.
   mutable std::mutex mutex_;
+
+  /// Group-commit state. Batches enqueue under queue_mutex_; the first
+  /// arrival while no leader is active becomes the leader, takes mutex_,
+  /// processes every queued batch with deferred sync/publish, then issues
+  /// one fsync and one overlay publish before waking the followers.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingBatch*> queue_;
+  bool leader_active_ = false;
+  /// The group's unpublished overlay chain (mutex_ holder only): batch
+  /// i + 1 of a group builds on batch i's overlay before it is published.
+  std::shared_ptr<const DeltaOverlay> pending_overlay_;
+
+  /// In-memory copy of every durable WAL record, in append order — the
+  /// primary side of WAL shipping. Guarded by records_mutex_ so a
+  /// replica's poll never waits behind a patch holding mutex_.
+  mutable std::mutex records_mutex_;
+  std::vector<WalRecord> records_;
   /// Guards stats_ alone, so stats() (the server's inline /v1/stats and
   /// /metrics handlers run it on the event loop) never waits behind a
   /// long patch or compaction holding mutex_.

@@ -130,7 +130,8 @@ UpdateWal::UpdateWal(UpdateWal&& other) noexcept
       options_(other.options_),
       file_(std::exchange(other.file_, nullptr)),
       record_count_(other.record_count_),
-      size_bytes_(other.size_bytes_) {}
+      size_bytes_(other.size_bytes_),
+      sync_count_(other.sync_count_) {}
 
 UpdateWal& UpdateWal::operator=(UpdateWal&& other) noexcept {
   if (this != &other) {
@@ -140,6 +141,7 @@ UpdateWal& UpdateWal::operator=(UpdateWal&& other) noexcept {
     file_ = std::exchange(other.file_, nullptr);
     record_count_ = other.record_count_;
     size_bytes_ = other.size_bytes_;
+    sync_count_ = other.sync_count_;
   }
   return *this;
 }
@@ -293,7 +295,7 @@ Result<UpdateWal::Opened> UpdateWal::Open(const std::string& path,
   return opened;
 }
 
-Status UpdateWal::Append(const WalRecord& record) {
+Status UpdateWal::Append(const WalRecord& record, bool sync) {
   if (file_ == nullptr) {
     return Status::Internal("WAL is not open: " + path_);
   }
@@ -301,10 +303,21 @@ Status UpdateWal::Append(const WalRecord& record) {
   if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
     return Status::IoError("short write appending to WAL: " + path_);
   }
-  OIPSIM_RETURN_IF_ERROR(
-      FlushAndMaybeSync(file_, options_.sync_every_append, path_));
+  const bool do_sync = sync && options_.sync_every_append;
+  OIPSIM_RETURN_IF_ERROR(FlushAndMaybeSync(file_, do_sync, path_));
+  if (do_sync) ++sync_count_;
   ++record_count_;
   size_bytes_ += bytes.size();
+  return Status::OK();
+}
+
+Status UpdateWal::Sync() {
+  if (file_ == nullptr) {
+    return Status::Internal("WAL is not open: " + path_);
+  }
+  if (!options_.sync_every_append) return Status::OK();
+  OIPSIM_RETURN_IF_ERROR(FlushAndMaybeSync(file_, true, path_));
+  ++sync_count_;
   return Status::OK();
 }
 

@@ -86,7 +86,18 @@ class UpdateWal {
 
   /// Appends one record durably (record bytes + checksum, then flush and,
   /// per Options, fsync). On return the batch survives a crash.
-  Status Append(const WalRecord& record);
+  Status Append(const WalRecord& record) { return Append(record, true); }
+
+  /// Appends one record; with `sync` false the fsync is deferred (the
+  /// bytes are flushed to the OS but not forced to disk) — the
+  /// group-commit path appends every queued record this way and then
+  /// issues one Sync() for the whole group.
+  Status Append(const WalRecord& record, bool sync);
+
+  /// Forces everything appended so far to disk (fsync, when
+  /// Options::sync_every_append holds — otherwise a no-op, matching the
+  /// per-append behaviour). The durability point of a group commit.
+  Status Sync();
 
   /// Truncates to a fresh header bound to `identity` — the post-compaction
   /// reset: the compacted index file now embodies every logged batch, so
@@ -95,6 +106,9 @@ class UpdateWal {
 
   uint64_t record_count() const { return record_count_; }
   uint64_t size_bytes() const { return size_bytes_; }
+  /// fsyncs issued so far (appends with sync plus explicit Sync calls);
+  /// the group-commit test asserts coalescing through this counter.
+  uint64_t sync_count() const { return sync_count_; }
   const std::string& path() const { return path_; }
 
  private:
@@ -106,6 +120,7 @@ class UpdateWal {
   std::FILE* file_ = nullptr;
   uint64_t record_count_ = 0;
   uint64_t size_bytes_ = 0;
+  uint64_t sync_count_ = 0;
 };
 
 struct UpdateWal::Opened {

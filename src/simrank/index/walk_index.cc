@@ -295,6 +295,113 @@ std::vector<double> WalkIndex::EstimateSingleSource(
   return result;
 }
 
+double WalkIndex::EstimatePairWithRow(std::span<const uint32_t> row_a,
+                                      VertexId b,
+                                      const DeltaOverlay* overlay) const {
+  const uint32_t n = store_->meta().n;
+  OIPSIM_CHECK(b < n);
+  const uint32_t R = options_.num_fingerprints;
+  const uint32_t L = options_.walk_length;
+  const size_t row = static_cast<size_t>(L) + 1;
+  OIPSIM_CHECK(row_a.size() == static_cast<size_t>(R) * row);
+  const bool pb_patched = overlay != nullptr && overlay->IsPatched(b);
+  const uint32_t* flat = store_->FlatWalks();
+  std::vector<uint32_t> scratch_b;
+  const uint32_t* wb =
+      flat != nullptr ? nullptr : DecodeBaseRow(*store_, b, &scratch_b);
+  // Same (r, t) loop, same first-meeting comparison and same damping-power
+  // accumulation order as EstimatePair — the sum is bit-identical when the
+  // supplied row equals a's materialized row.
+  double sum = 0.0;
+  for (uint32_t r = 0; r < R; ++r) {
+    const DeltaOverlay::WalkPatch* qb =
+        pb_patched ? overlay->FindPatch(b, r) : nullptr;
+    for (uint32_t t = 1; t <= L; ++t) {
+      const uint32_t pa = row_a[r * row + t];
+      const uint32_t pb =
+          qb != nullptr && qb->Covers(t)
+              ? qb->Position(t)
+              : (flat != nullptr ? flat[store_->FlatSlot(r, t) + b]
+                                 : wb[r * row + t]);
+      if (pa == kDeadWalk || pb == kDeadWalk) break;
+      if (pa == pb) {
+        sum += damping_powers_[t];
+        break;
+      }
+    }
+  }
+  return sum / static_cast<double>(options_.num_fingerprints);
+}
+
+std::vector<double> WalkIndex::EstimateSingleSourceWithRow(
+    VertexId v, std::span<const uint32_t> row_v,
+    const DeltaOverlay* overlay) const {
+  const uint32_t n = store_->meta().n;
+  OIPSIM_CHECK(v < n);
+  const uint32_t R = options_.num_fingerprints;
+  const uint32_t L = options_.walk_length;
+  const size_t row = static_cast<size_t>(L) + 1;
+  OIPSIM_CHECK(row_v.size() == static_cast<size_t>(R) * row);
+
+  std::vector<double> result(n, 0.0);
+  std::vector<uint32_t> met_round(n, 0);
+  // Mirrors EstimateSingleSource exactly, with pv read from the supplied
+  // row: the bucket walk order and the per-b accumulation order are
+  // unchanged, so each entry this index's rows cover is the identical
+  // left-to-right sum.
+  for (uint32_t r = 0; r < R; ++r) {
+    const uint32_t round = r + 1;
+    met_round[v] = round;
+    for (uint32_t t = 1; t <= L; ++t) {
+      const uint32_t pv = row_v[r * row + t];
+      if (pv == kDeadWalk) break;
+      const double weight = damping_powers_[t];
+      ForEachBucketVertex(*store_, overlay, r, t, pv, [&](const uint32_t b) {
+        OIPSIM_CHECK_MSG(b < n,
+                         "corrupt inverted index while serving: vertex id "
+                         "%u >= n=%u (run VerifyPayload on this file)",
+                         b, n);
+        if (met_round[b] == round) return;
+        result[b] += weight;
+        met_round[b] = round;
+      });
+    }
+  }
+  const double fingerprints =
+      static_cast<double>(options_.num_fingerprints);
+  for (double& score : result) score /= fingerprints;
+  result[v] = 1.0;
+  return result;
+}
+
+std::vector<uint32_t> WalkIndex::MaterializeRow(
+    VertexId v, const DeltaOverlay* overlay) const {
+  const uint32_t n = store_->meta().n;
+  OIPSIM_CHECK(v < n);
+  const uint32_t R = options_.num_fingerprints;
+  const uint32_t L = options_.walk_length;
+  const size_t row = static_cast<size_t>(L) + 1;
+  std::vector<uint32_t> out(static_cast<size_t>(R) * row);
+  const uint32_t* flat = store_->FlatWalks();
+  std::vector<uint32_t> decoded;
+  const uint32_t* base =
+      flat != nullptr ? nullptr : DecodeBaseRow(*store_, v, &decoded);
+  const bool patched = overlay != nullptr && overlay->IsPatched(v);
+  for (uint32_t r = 0; r < R; ++r) {
+    const DeltaOverlay::WalkPatch* patch =
+        patched ? overlay->FindPatch(v, r) : nullptr;
+    out[r * row] = v;
+    for (uint32_t t = 1; t <= L; ++t) {
+      out[r * row + t] =
+          patch != nullptr && patch->Covers(t)
+              ? patch->Position(t)
+              : (flat != nullptr ? flat[store_->FlatSlot(r, t) + v]
+                                 : base[r * row + t]);
+    }
+  }
+  return out;
+}
+
 std::vector<double> WalkIndex::EstimateSingleSourceScan(
     VertexId v, const DeltaOverlay* overlay) const {
   const uint32_t n = store_->meta().n;
@@ -317,8 +424,8 @@ std::vector<double> WalkIndex::EstimateSingleSourceScan(
     for (const auto& [pv, count] : overlay->patched_vertices()) {
       (void)count;
       patched_rows.emplace_back(store_->WalkWords());
-      const Status status =
-          MaterializeRow(*store_, overlay, pv, patched_rows.back().data());
+      const Status status = simrank::MaterializeRow(
+          *store_, overlay, pv, patched_rows.back().data());
       OIPSIM_CHECK_MSG(status.ok(), "corrupt walk segment while serving: %s",
                        status.ToString().c_str());
       patched[pv] = patched_rows.back().data();

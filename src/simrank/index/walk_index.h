@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -177,6 +178,29 @@ class WalkIndex {
   }
   std::vector<double> EstimateSingleSource(
       VertexId v, const DeltaOverlay* overlay) const;
+
+  /// Cross-shard variants: the query vertex's walk row arrives fully
+  /// materialized (base + overlay merged by its owning shard,
+  /// MaterializeRow layout: row[r * (L + 1) + t]) instead of being read
+  /// from this index's store. Accumulation order and arithmetic match the
+  /// corresponding local estimators exactly, so on a shard index whose
+  /// local rows cover a vertex range the results are bitwise equal to the
+  /// single-node answer restricted to that range. `v` is only used for
+  /// the diagonal (result[v] = 1, never accumulated); `a` must differ
+  /// from `b` in the pair variant (equal ids never cross shards — the
+  /// owner serves them locally).
+  double EstimatePairWithRow(std::span<const uint32_t> row_a, VertexId b,
+                             const DeltaOverlay* overlay) const;
+  std::vector<double> EstimateSingleSourceWithRow(
+      VertexId v, std::span<const uint32_t> row,
+      const DeltaOverlay* overlay) const;
+
+  /// Materializes v's full walk row — base positions with `overlay`'s
+  /// patches merged — in the layout the WithRow estimators consume:
+  /// row[r * (L + 1) + t], with row[r * (L + 1)] == v. This is what a
+  /// shard ships to its peers for a cross-shard query.
+  std::vector<uint32_t> MaterializeRow(VertexId v,
+                                       const DeltaOverlay* overlay) const;
 
   /// The pre-v2 full-row scan over the flat walk table, kept as the
   /// reference implementation the inverted path is validated against

@@ -253,12 +253,18 @@ const char* HttpStatusReason(int status) {
       return "Bad Request";
     case 404:
       return "Not Found";
+    case 403:
+      return "Forbidden";
     case 405:
       return "Method Not Allowed";
+    case 409:
+      return "Conflict";
     case 413:
       return "Content Too Large";
     case 414:
       return "URI Too Long";
+    case 421:
+      return "Misdirected Request";
     case 429:
       return "Too Many Requests";
     case 431:

@@ -58,8 +58,20 @@ std::vector<double> FindJsonNumberArray(const std::string& body,
 #if OIPSIM_HAVE_SOCKETS
 
 Result<LoopbackHttpClient> LoopbackHttpClient::Connect(uint16_t port) {
+  return Connect(port, /*timeout_ms=*/0);
+}
+
+Result<LoopbackHttpClient> LoopbackHttpClient::Connect(uint16_t port,
+                                                       uint32_t timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::IoError("socket() failed");
+  if (timeout_ms > 0) {
+    timeval tv = {};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   sockaddr_in addr = {};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);

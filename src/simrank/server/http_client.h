@@ -39,6 +39,13 @@ class LoopbackHttpClient {
   /// Connects; fails with IoError when nothing is listening.
   static Result<LoopbackHttpClient> Connect(uint16_t port);
 
+  /// Connects with a per-operation socket timeout: every send/recv on the
+  /// connection fails with IoError after `timeout_ms` of no progress
+  /// instead of blocking forever — what the router's scatter-gather fan-out
+  /// needs to bound a dead shard's damage. 0 keeps fully blocking sockets.
+  static Result<LoopbackHttpClient> Connect(uint16_t port,
+                                            uint32_t timeout_ms);
+
   LoopbackHttpClient(LoopbackHttpClient&& other) noexcept;
   LoopbackHttpClient& operator=(LoopbackHttpClient&& other) noexcept;
   LoopbackHttpClient(const LoopbackHttpClient&) = delete;

@@ -40,6 +40,16 @@ struct QueryArgs {
   VertexId b = 0;
   VertexId v = 0;
   uint32_t k = 10;
+  /// Which /internal/* exchange op this dispatch carries (kNone for the
+  /// public endpoints). Internal ops share the public endpoints'
+  /// admission classes: walks/partial count against single_source, topk
+  /// against topk, pair against pair.
+  enum class Internal : uint8_t { kNone, kWalks, kPartial, kTopK, kPair };
+  Internal internal = Internal::kNone;
+  /// Overlay sequence the router pinned this exchange to (internal ops
+  /// except walks): the shard answers 409 when its published sequence
+  /// differs, so a scatter-gather never merges mixed-version slices.
+  uint64_t seq = 0;
   std::string body;
 };
 
@@ -122,8 +132,8 @@ std::pair<int, std::string> ExecuteTopK(QueryEngine& engine,
   return {200, json.str()};
 }
 
-/// Parses a /v1/batch_pair body: one "A B" pair per line, '#' comments and
-/// blank lines ignored.
+}  // namespace
+
 Result<std::vector<std::pair<VertexId, VertexId>>> ParsePairBatch(
     std::string_view body, uint32_t max_pairs) {
   std::vector<std::pair<VertexId, VertexId>> pairs;
@@ -156,11 +166,29 @@ Result<std::vector<std::pair<VertexId, VertexId>>> ParsePairBatch(
   return pairs;
 }
 
+namespace {
+
 std::pair<int, std::string> ExecuteBatchPair(QueryEngine& engine,
                                              const QueryArgs& args,
-                                             uint32_t max_pairs) {
-  auto pairs = ParsePairBatch(args.body, max_pairs);
+                                             const ServerOptions& options) {
+  auto pairs = ParsePairBatch(args.body, options.max_batch_pairs);
   if (!pairs.ok()) return EngineErrorResponse(pairs.status());
+  if (options.sharded) {
+    // A shard answers only pairs it can answer exactly: both endpoints in
+    // range (their walk rows are complete here). Anything else belongs to
+    // the router.
+    const ShardRange& range = options.shard_plan.shards[options.shard_id];
+    for (const auto& [a, b] : *pairs) {
+      if (!range.Contains(a) || !range.Contains(b)) {
+        return {421,
+                ErrorBody("Misdirected",
+                          StrFormat("pair (%u, %u) is not fully inside this "
+                                    "shard's vertex range [%u, %u); ask the "
+                                    "router",
+                                    a, b, range.begin, range.end))};
+      }
+    }
+  }
   const auto answers = engine.BatchPair(*pairs);
   for (const auto& answer : answers) {
     if (!answer.ok()) return EngineErrorResponse(answer.status());
@@ -237,6 +265,212 @@ std::pair<int, std::string> ExecuteCompact(IndexUpdater& updater,
   return {200, json.str()};
 }
 
+/// A consistent view for one internal exchange: the overlay snapshot the
+/// computation will use plus the sequence and graph fingerprint it
+/// corresponds to. Fingerprint and snapshot are read from different
+/// structures (updater stats vs. index slot), so the fingerprint is read
+/// on both sides of the snapshot and re-taken on a mismatch — an update
+/// landing mid-read yields a coherent (overlay, fingerprint) pair instead
+/// of a torn one.
+struct OverlayView {
+  std::shared_ptr<const DeltaOverlay> overlay;
+  uint64_t fingerprint = 0;
+  uint64_t sequence = 0;
+};
+
+OverlayView SnapshotOverlay(const WalkIndex& index,
+                            const IndexUpdater* updater) {
+  OverlayView view;
+  while (true) {
+    const uint64_t before = updater != nullptr
+                                ? updater->stats().current_graph_fingerprint
+                                : index.graph_fingerprint();
+    view.overlay = index.overlay_snapshot();
+    const uint64_t after = updater != nullptr
+                               ? updater->stats().current_graph_fingerprint
+                               : index.graph_fingerprint();
+    if (before == after) {
+      view.fingerprint = after;
+      break;
+    }
+  }
+  view.sequence =
+      view.overlay == nullptr ? 0 : view.overlay->sequence();
+  return view;
+}
+
+/// What a worker hands back for an /internal/* exchange: status and body
+/// like the public executors, plus a content type and the version headers
+/// the router cross-checks.
+struct ExchangeResponse {
+  int status = 500;
+  std::string body;
+  std::string content_type = "application/json";
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+std::vector<std::pair<std::string, std::string>> ExchangeHeaders(
+    const OverlayView& view, const ServerOptions& options) {
+  return {{"X-Graph-Fingerprint", FormatFingerprint(view.fingerprint)},
+          {"X-Overlay-Sequence",
+           StrFormat("%llu", static_cast<unsigned long long>(view.sequence))},
+          {"X-Plan-Epoch",
+           StrFormat("%llu", static_cast<unsigned long long>(
+                                 options.shard_plan.epoch))}};
+}
+
+/// The /internal/* exchange ops (shard role only). Bodies are binary —
+/// native-endian walk rows in, native-endian score slices out — so the
+/// doubles that cross the wire are the exact bits the estimators
+/// produced; the router's merge is then bitwise by construction.
+ExchangeResponse ExecuteInternal(QueryEngine& engine,
+                                 const IndexUpdater* updater,
+                                 const ServerOptions& options,
+                                 const QueryArgs& args) {
+  const WalkIndex& index = engine.index();
+  const ShardRange& range = options.shard_plan.shards[options.shard_id];
+  const OverlayView view = SnapshotOverlay(index, updater);
+  ExchangeResponse out;
+  out.headers = ExchangeHeaders(view, options);
+  const uint32_t n = index.n();
+  const size_t words =
+      static_cast<size_t>(index.options().num_fingerprints) *
+      (index.options().walk_length + 1);
+
+  if (args.internal == QueryArgs::Internal::kWalks) {
+    if (!range.Contains(args.v)) {
+      out.status = 421;
+      out.body = ErrorBody(
+          "Misdirected",
+          StrFormat("vertex %u is outside this shard's range [%u, %u)",
+                    args.v, range.begin, range.end));
+      return out;
+    }
+    const std::vector<uint32_t> row =
+        index.MaterializeRow(args.v, view.overlay.get());
+    out.status = 200;
+    out.content_type = "application/octet-stream";
+    out.body.assign(reinterpret_cast<const char*>(row.data()),
+                    row.size() * sizeof(uint32_t));
+    return out;
+  }
+
+  // The remaining ops compute against the sequence the router pinned; a
+  // publish that raced the fan-out turns into a 409 the router retries.
+  if (args.seq != view.sequence) {
+    out.status = 409;
+    out.body = ErrorBody(
+        "Conflict",
+        StrFormat("overlay sequence moved: request pinned %llu, serving "
+                  "%llu; re-fetch the row and retry",
+                  static_cast<unsigned long long>(args.seq),
+                  static_cast<unsigned long long>(view.sequence)));
+    return out;
+  }
+  if (args.body.size() != words * sizeof(uint32_t)) {
+    out.status = 400;
+    out.body = ErrorBody(
+        "InvalidArgument",
+        StrFormat("walk row body must be %zu bytes (R*(L+1) u32 words), "
+                  "got %zu",
+                  words * sizeof(uint32_t), args.body.size()));
+    return out;
+  }
+  std::vector<uint32_t> row(words);
+  std::memcpy(row.data(), args.body.data(), args.body.size());
+
+  if (args.internal == QueryArgs::Internal::kPair) {
+    if (!range.Contains(args.b)) {
+      out.status = 421;
+      out.body = ErrorBody(
+          "Misdirected",
+          StrFormat("vertex %u is outside this shard's range [%u, %u)",
+                    args.b, range.begin, range.end));
+      return out;
+    }
+    // row[0] is step 0 of fingerprint 0 — always the row's own vertex.
+    const double score =
+        row[0] == args.b
+            ? 1.0
+            : index.EstimatePairWithRow(row, args.b, view.overlay.get());
+    out.status = 200;
+    out.content_type = "application/octet-stream";
+    out.body.assign(reinterpret_cast<const char*>(&score), sizeof(score));
+    return out;
+  }
+
+  if (args.v >= n) {
+    out.status = 400;
+    out.body = ErrorBody(
+        "OutOfRange",
+        StrFormat("vertex %u out of range (index has %u vertices)", args.v,
+                  n));
+    return out;
+  }
+  if (row[0] != args.v) {
+    out.status = 400;
+    out.body = ErrorBody(
+        "InvalidArgument",
+        StrFormat("walk row belongs to vertex %u, not the queried %u",
+                  row[0], args.v));
+    return out;
+  }
+  const std::vector<double> full =
+      index.EstimateSingleSourceWithRow(args.v, row, view.overlay.get());
+  if (args.internal == QueryArgs::Internal::kPartial) {
+    out.status = 200;
+    out.content_type = "application/octet-stream";
+    out.body.assign(
+        reinterpret_cast<const char*>(full.data() + range.begin),
+        static_cast<size_t>(range.end - range.begin) * sizeof(double));
+    return out;
+  }
+
+  // kTopK: this shard's top-k of its slice, as packed {u32 vertex,
+  // f64 score} records in rank order.
+  const std::vector<ScoredVertex> top = TopKFromRowSlice(
+      std::span<const double>(full).subspan(range.begin,
+                                            range.end - range.begin),
+      range.begin, args.v, args.k);
+  out.status = 200;
+  out.content_type = "application/octet-stream";
+  out.body.reserve(top.size() * 12);
+  for (const ScoredVertex& scored : top) {
+    char record[12];
+    std::memcpy(record, &scored.vertex, sizeof(uint32_t));
+    std::memcpy(record + 4, &scored.score, sizeof(double));
+    out.body.append(record, sizeof(record));
+  }
+  return out;
+}
+
+/// Renders one /v1/wal poll: the primary side of WAL shipping. Text
+/// framing over the same `+/- SRC DST` line format the update endpoint
+/// accepts:
+///   wal COUNT CURRENT_FINGERPRINT
+///   record INDEX POST_FINGERPRINT NUM_UPDATES
+///   + SRC DST            (NUM_UPDATES lines)
+///   ...
+///   end
+std::string BuildWalStreamBody(const IndexUpdater& updater, uint64_t from) {
+  const std::vector<WalRecord> records = updater.WalRecordsFrom(from);
+  const IndexUpdateStats stats = updater.stats();
+  std::string out = StrFormat(
+      "wal %zu %s\n", records.size(),
+      FormatFingerprint(stats.current_graph_fingerprint).c_str());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const WalRecord& record = records[i];
+    out += StrFormat(
+        "record %llu %s %zu\n",
+        static_cast<unsigned long long>(from + i),
+        FormatFingerprint(record.post_graph_fingerprint).c_str(),
+        record.updates.size());
+    out += FormatEdgeUpdates(record.updates);
+  }
+  out += "end\n";
+  return out;
+}
+
 }  // namespace
 
 const char* ServerEndpointPath(ServerEndpoint endpoint) {
@@ -299,6 +533,15 @@ Status ServerOptions::Validate() const {
     return Status::InvalidArgument(
         "max_batch_pairs must be positive: a zero cap rejects every batch");
   }
+  if (sharded) {
+    OIPSIM_RETURN_IF_ERROR(shard_plan.Validate());
+    if (shard_id >= shard_plan.shards.size()) {
+      return Status::InvalidArgument(
+          StrFormat("shard id %u is not in the plan (it declares %zu "
+                    "shards)",
+                    shard_id, shard_plan.shards.size()));
+    }
+  }
   return Status::OK();
 }
 
@@ -332,6 +575,10 @@ struct SimRankServer::Completion {
   ServerEndpoint endpoint = ServerEndpoint::kPair;
   int status = 500;
   std::string body;
+  /// Internal exchange responses are binary and carry version headers;
+  /// public responses keep the JSON defaults.
+  std::string content_type = "application/json";
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 SimRankServer::SimRankServer(QueryEngine& engine,
@@ -359,6 +606,26 @@ SimRankServer::~SimRankServer() {
 
 Status SimRankServer::Bind() {
   OIPSIM_RETURN_IF_ERROR(options_.Validate());
+  if (options_.sharded) {
+    // The plan must be the one the served shard file was split under: same
+    // vertex universe, same base graph. Serving a shard against the wrong
+    // plan would silently cross-wire the cluster's answers.
+    const WalkIndex& index = engine_.index();
+    if (options_.shard_plan.n != index.n()) {
+      return Status::InvalidArgument(
+          StrFormat("shard plan partitions n=%u but the served index has "
+                    "n=%u vertices",
+                    options_.shard_plan.n, index.n()));
+    }
+    if (options_.shard_plan.graph_fingerprint !=
+        index.graph_fingerprint()) {
+      return Status::InvalidArgument(StrFormat(
+          "shard plan is bound to graph %s but the served index was built "
+          "from %s",
+          FormatFingerprint(options_.shard_plan.graph_fingerprint).c_str(),
+          FormatFingerprint(index.graph_fingerprint()).c_str()));
+    }
+  }
   if (listen_fd_ >= 0) {
     return Status::InvalidArgument("Bind() called twice");
   }
@@ -594,7 +861,15 @@ void SimRankServer::RouteRequest(Connection* conn,
   // Inline endpoints: answered on the loop thread, GET only.
   const bool is_inline = request.path == "/healthz" ||
                          request.path == "/v1/stats" ||
-                         request.path == "/metrics";
+                         request.path == "/metrics" ||
+                         request.path == "/v1/wal";
+  // The /internal/* exchange endpoints exist only in the shard role; a
+  // standalone server 404s them like any unknown path.
+  const bool is_internal =
+      options_.sharded && (request.path == "/internal/walks" ||
+                           request.path == "/internal/partial" ||
+                           request.path == "/internal/topk" ||
+                           request.path == "/internal/pair");
   // Dispatchable endpoints and the method each accepts.
   ServerEndpoint endpoint = ServerEndpoint::kPair;
   bool known = false;
@@ -606,15 +881,16 @@ void SimRankServer::RouteRequest(Connection* conn,
       break;
     }
   }
-  if (!is_inline && !known) {
+  if (!is_inline && !known && !is_internal) {
     QueueResponse(conn, 404,
                   ErrorBody("NotFound", "no such endpoint: " + request.path));
     return;
   }
   const bool wants_post =
-      known && (endpoint == ServerEndpoint::kBatchPair ||
-                endpoint == ServerEndpoint::kUpdate ||
-                endpoint == ServerEndpoint::kCompact);
+      (known && (endpoint == ServerEndpoint::kBatchPair ||
+                 endpoint == ServerEndpoint::kUpdate ||
+                 endpoint == ServerEndpoint::kCompact)) ||
+      (is_internal && request.path != "/internal/walks");
   const char* allowed = wants_post ? "POST" : "GET";
   if (request.method != allowed) {
     QueueResponse(conn, 405,
@@ -657,6 +933,56 @@ void SimRankServer::RouteRequest(Connection* conn,
     CountResponse(200);
     return;
   }
+  if (request.path == "/v1/wal") {
+    stat_requests_wal_.fetch_add(1, std::memory_order_relaxed);
+    if (updater_ == nullptr) {
+      QueueResponse(conn, 503,
+                    ErrorBody("Unavailable",
+                              "this server keeps no WAL (started without "
+                              "--graph/--wal); nothing to ship"));
+      return;
+    }
+    uint64_t from = 0;
+    const std::string* raw = request.FindParam("from");
+    if (raw != nullptr && !ParseUint64(*raw, &from)) {
+      QueueErrorResponse(conn, 400,
+                         "parameter 'from' must be a record index");
+      return;
+    }
+    // Served inline: WalRecordsFrom copies under its own mutex and never
+    // waits behind a patch, so a replica's poll cadence cannot be starved
+    // by busy workers.
+    QueueResponse(conn, 200, BuildWalStreamBody(*updater_, from), {},
+                  "text/plain");
+    return;
+  }
+
+  if (options_.replica && (endpoint == ServerEndpoint::kUpdate ||
+                           endpoint == ServerEndpoint::kCompact)) {
+    QueueResponse(
+        conn, 403,
+        ErrorBody("Forbidden",
+                  "this server is a replica; it applies batches by tailing "
+                  "its primary's WAL, never by direct writes"));
+    return;
+  }
+  if (options_.sharded && !is_internal) {
+    const ShardRange& range =
+        options_.shard_plan.shards[options_.shard_id];
+    const bool partial_shard =
+        range.begin != 0 || range.end != engine_.index().n();
+    if (partial_shard && (endpoint == ServerEndpoint::kSingleSource ||
+                          endpoint == ServerEndpoint::kTopK)) {
+      QueueResponse(
+          conn, 421,
+          ErrorBody("Misdirected",
+                    StrFormat("%s spans every shard; this shard serves "
+                              "only [%u, %u) — ask the router",
+                              request.path.c_str(), range.begin,
+                              range.end)));
+      return;
+    }
+  }
 
   if ((endpoint == ServerEndpoint::kUpdate ||
        endpoint == ServerEndpoint::kCompact) &&
@@ -667,6 +993,15 @@ void SimRankServer::RouteRequest(Connection* conn,
                   "dynamic updates are disabled: the server was started "
                   "without an update log (--graph/--wal)"));
     return;
+  }
+  if (is_internal) {
+    // Internal exchanges ride the public admission classes of the work
+    // they stand in for: row fetch / partial row under single_source,
+    // slice top-k under topk, one-sided pair under pair.
+    endpoint = request.path == "/internal/topk" ? ServerEndpoint::kTopK
+               : request.path == "/internal/pair"
+                   ? ServerEndpoint::kPair
+                   : ServerEndpoint::kSingleSource;
   }
   DispatchQuery(conn, endpoint, request);
 }
@@ -689,6 +1024,23 @@ bool ParseVertexParam(const HttpRequest& request, const char* name,
     return false;
   }
   *out = static_cast<uint32_t>(value);
+  return true;
+}
+
+/// Parses the required uint64 parameter `name` (overlay sequences).
+bool ParseSeqParam(const HttpRequest& request, const char* name,
+                   uint64_t* out, std::string* error) {
+  const std::string* raw = request.FindParam(name);
+  if (raw == nullptr) {
+    *error = StrFormat("missing required parameter '%s'", name);
+    return false;
+  }
+  if (!ParseUint64(*raw, out)) {
+    *error = StrFormat("parameter '%s' must be an unsigned integer, got "
+                       "'%s'",
+                       name, raw->c_str());
+    return false;
+  }
   return true;
 }
 
@@ -726,35 +1078,78 @@ void SimRankServer::DispatchQuery(Connection* conn, ServerEndpoint endpoint,
   QueryArgs args;
   std::string error;
   bool params_ok = false;
-  switch (endpoint) {
-    case ServerEndpoint::kPair:
-      params_ok = CheckAllowedParams(request, {"a", "b"}, &error) &&
-                  ParseVertexParam(request, "a", &args.a, &error) &&
-                  ParseVertexParam(request, "b", &args.b, &error);
-      break;
-    case ServerEndpoint::kSingleSource:
+  if (StartsWith(request.path, "/internal/")) {
+    if (request.path == "/internal/walks") {
+      args.internal = QueryArgs::Internal::kWalks;
       params_ok = CheckAllowedParams(request, {"v"}, &error) &&
                   ParseVertexParam(request, "v", &args.v, &error);
-      break;
-    case ServerEndpoint::kTopK:
-      params_ok = CheckAllowedParams(request, {"v", "k"}, &error) &&
-                  ParseVertexParam(request, "v", &args.v, &error);
+    } else if (request.path == "/internal/partial") {
+      args.internal = QueryArgs::Internal::kPartial;
+      params_ok = CheckAllowedParams(request, {"v", "seq"}, &error) &&
+                  ParseVertexParam(request, "v", &args.v, &error) &&
+                  ParseSeqParam(request, "seq", &args.seq, &error);
+    } else if (request.path == "/internal/topk") {
+      args.internal = QueryArgs::Internal::kTopK;
+      params_ok = CheckAllowedParams(request, {"v", "k", "seq"}, &error) &&
+                  ParseVertexParam(request, "v", &args.v, &error) &&
+                  ParseSeqParam(request, "seq", &args.seq, &error);
       if (params_ok && request.FindParam("k") != nullptr) {
         params_ok = ParseVertexParam(request, "k", &args.k, &error);
       }
-      break;
-    case ServerEndpoint::kBatchPair:
-    case ServerEndpoint::kUpdate:
-    case ServerEndpoint::kCompact:
-      // Body endpoints take no query parameters; the body itself is
-      // parsed in the worker.
-      params_ok = CheckAllowedParams(request, {}, &error);
-      args.body = request.body;
-      break;
+    } else {
+      args.internal = QueryArgs::Internal::kPair;
+      params_ok = CheckAllowedParams(request, {"b", "seq"}, &error) &&
+                  ParseVertexParam(request, "b", &args.b, &error) &&
+                  ParseSeqParam(request, "seq", &args.seq, &error);
+    }
+    args.body = request.body;
+  } else {
+    switch (endpoint) {
+      case ServerEndpoint::kPair:
+        params_ok = CheckAllowedParams(request, {"a", "b"}, &error) &&
+                    ParseVertexParam(request, "a", &args.a, &error) &&
+                    ParseVertexParam(request, "b", &args.b, &error);
+        break;
+      case ServerEndpoint::kSingleSource:
+        params_ok = CheckAllowedParams(request, {"v"}, &error) &&
+                    ParseVertexParam(request, "v", &args.v, &error);
+        break;
+      case ServerEndpoint::kTopK:
+        params_ok = CheckAllowedParams(request, {"v", "k"}, &error) &&
+                    ParseVertexParam(request, "v", &args.v, &error);
+        if (params_ok && request.FindParam("k") != nullptr) {
+          params_ok = ParseVertexParam(request, "k", &args.k, &error);
+        }
+        break;
+      case ServerEndpoint::kBatchPair:
+      case ServerEndpoint::kUpdate:
+      case ServerEndpoint::kCompact:
+        // Body endpoints take no query parameters; the body itself is
+        // parsed in the worker.
+        params_ok = CheckAllowedParams(request, {}, &error);
+        args.body = request.body;
+        break;
+    }
   }
   if (!params_ok) {
     QueueErrorResponse(conn, 400, error);
     return;
+  }
+  if (options_.sharded && args.internal == QueryArgs::Internal::kNone &&
+      endpoint == ServerEndpoint::kPair) {
+    // A shard's pair answer is exact only when both rows are local.
+    const ShardRange& range =
+        options_.shard_plan.shards[options_.shard_id];
+    if (!range.Contains(args.a) || !range.Contains(args.b)) {
+      QueueResponse(
+          conn, 421,
+          ErrorBody("Misdirected",
+                    StrFormat("pair (%u, %u) is not fully inside this "
+                              "shard's vertex range [%u, %u); ask the "
+                              "router",
+                              args.a, args.b, range.begin, range.end)));
+      return;
+    }
   }
 
   // Admission control: bounded queues, never buffered overload. The global
@@ -802,29 +1197,38 @@ void SimRankServer::DispatchQuery(Connection* conn, ServerEndpoint endpoint,
     completion.fd = fd;
     completion.connection_id = connection_id;
     completion.endpoint = endpoint;
-    std::pair<int, std::string> result;
-    switch (endpoint) {
-      case ServerEndpoint::kPair:
-        result = ExecutePair(engine_, args);
-        break;
-      case ServerEndpoint::kSingleSource:
-        result = ExecuteSingleSource(engine_, args);
-        break;
-      case ServerEndpoint::kTopK:
-        result = ExecuteTopK(engine_, args);
-        break;
-      case ServerEndpoint::kBatchPair:
-        result = ExecuteBatchPair(engine_, args, options_.max_batch_pairs);
-        break;
-      case ServerEndpoint::kUpdate:
-        result = ExecuteUpdate(engine_, *updater_, args);
-        break;
-      case ServerEndpoint::kCompact:
-        result = ExecuteCompact(*updater_, options_);
-        break;
+    if (args.internal != QueryArgs::Internal::kNone) {
+      ExchangeResponse exchange =
+          ExecuteInternal(engine_, updater_, options_, args);
+      completion.status = exchange.status;
+      completion.body = std::move(exchange.body);
+      completion.content_type = std::move(exchange.content_type);
+      completion.headers = std::move(exchange.headers);
+    } else {
+      std::pair<int, std::string> result;
+      switch (endpoint) {
+        case ServerEndpoint::kPair:
+          result = ExecutePair(engine_, args);
+          break;
+        case ServerEndpoint::kSingleSource:
+          result = ExecuteSingleSource(engine_, args);
+          break;
+        case ServerEndpoint::kTopK:
+          result = ExecuteTopK(engine_, args);
+          break;
+        case ServerEndpoint::kBatchPair:
+          result = ExecuteBatchPair(engine_, args, options_);
+          break;
+        case ServerEndpoint::kUpdate:
+          result = ExecuteUpdate(engine_, *updater_, args);
+          break;
+        case ServerEndpoint::kCompact:
+          result = ExecuteCompact(*updater_, options_);
+          break;
+      }
+      completion.status = result.first;
+      completion.body = std::move(result.second);
     }
-    completion.status = result.first;
-    completion.body = std::move(result.second);
     const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - dispatched_at);
     latency_[static_cast<size_t>(endpoint)].Record(
@@ -856,7 +1260,8 @@ void SimRankServer::DrainCompletions() {
     }
     Connection* conn = it->second.get();
     conn->awaiting = false;
-    QueueResponse(conn, completion.status, completion.body);
+    QueueResponse(conn, completion.status, completion.body,
+                  completion.headers, completion.content_type);
     // The response is queued; pipelined follow-ups may now proceed (this
     // also closes half-closed connections once they flush).
     ProcessBufferedRequests(conn);
@@ -865,11 +1270,13 @@ void SimRankServer::DrainCompletions() {
 
 void SimRankServer::QueueResponse(
     Connection* conn, int status, std::string_view body,
-    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+    const std::vector<std::pair<std::string, std::string>>& extra_headers,
+    std::string_view content_type) {
   const bool keep =
       conn->request_keep_alive && !draining_ && !conn->close_after_flush;
   HttpResponseOptions response_options;
   response_options.keep_alive = keep;
+  response_options.content_type = content_type;
   response_options.extra_headers = extra_headers;
   conn->out += BuildHttpResponse(status, body, response_options);
   if (!keep) conn->close_after_flush = true;
@@ -994,6 +1401,7 @@ ServerStats SimRankServer::stats() const {
       stat_requests_healthz_.load(std::memory_order_relaxed);
   stats.requests_metrics =
       stat_requests_metrics_.load(std::memory_order_relaxed);
+  stats.requests_wal = stat_requests_wal_.load(std::memory_order_relaxed);
   stats.responses_2xx = stat_responses_2xx_.load(std::memory_order_relaxed);
   stats.responses_4xx = stat_responses_4xx_.load(std::memory_order_relaxed);
   stats.responses_5xx = stat_responses_5xx_.load(std::memory_order_relaxed);
@@ -1001,6 +1409,8 @@ ServerStats SimRankServer::stats() const {
       stat_rejected_inflight_.load(std::memory_order_relaxed);
   stats.rejected_endpoint =
       stat_rejected_endpoint_.load(std::memory_order_relaxed);
+  stats.rejected_misdirected =
+      stat_rejected_misdirected_.load(std::memory_order_relaxed);
   stats.connections_accepted =
       stat_connections_accepted_.load(std::memory_order_relaxed);
   stats.connections_open =
@@ -1016,6 +1426,9 @@ void SimRankServer::CountResponse(int status) {
     stat_responses_4xx_.fetch_add(1, std::memory_order_relaxed);
   } else {
     stat_responses_5xx_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (status == 421) {
+    stat_rejected_misdirected_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -1040,6 +1453,7 @@ std::string SimRankServer::BuildStatsBody() const {
   json.Key("stats").Uint(stats.requests_stats);
   json.Key("healthz").Uint(stats.requests_healthz);
   json.Key("metrics").Uint(stats.requests_metrics);
+  json.Key("wal").Uint(stats.requests_wal);
   json.EndObject();
   json.Key("responses").BeginObject();
   json.Key("2xx").Uint(stats.responses_2xx);
@@ -1049,6 +1463,7 @@ std::string SimRankServer::BuildStatsBody() const {
   json.Key("admission").BeginObject();
   json.Key("rejected_inflight").Uint(stats.rejected_inflight);
   json.Key("rejected_endpoint").Uint(stats.rejected_endpoint);
+  json.Key("rejected_misdirected").Uint(stats.rejected_misdirected);
   json.EndObject();
   json.Key("connections").BeginObject();
   json.Key("accepted").Uint(stats.connections_accepted);
@@ -1097,7 +1512,23 @@ std::string SimRankServer::BuildStatsBody() const {
         .String(FormatFingerprint(updates.current_graph_fingerprint));
     json.Key("wal_records").Uint(updates.wal_records);
     json.Key("wal_bytes").Uint(updates.wal_bytes);
+    json.Key("wal_syncs").Uint(updates.wal_syncs);
     json.Key("wal_truncated_bytes").Uint(updates.wal_truncated_bytes);
+    json.EndObject();
+  }
+  if (options_.sharded || options_.replica) {
+    json.Key("cluster").BeginObject();
+    json.Key("role").String(options_.replica ? "replica" : "primary");
+    if (options_.sharded) {
+      const ShardRange& range =
+          options_.shard_plan.shards[options_.shard_id];
+      json.Key("shard_id").Uint(options_.shard_id);
+      json.Key("vertex_begin").Uint(range.begin);
+      json.Key("vertex_end").Uint(range.end);
+      json.Key("plan_epoch").Uint(options_.shard_plan.epoch);
+      json.Key("plan_shards").Uint(options_.shard_plan.shards.size());
+    }
+    json.Key("overlay_sequence").Uint(index.overlay_sequence());
     json.EndObject();
   }
   json.Key("index").BeginObject();
@@ -1145,6 +1576,8 @@ std::string SimRankServer::BuildMetricsBody() const {
           stats.requests_healthz);
   counter("simrank_requests_total", "{endpoint=\"metrics\"}",
           stats.requests_metrics);
+  counter("simrank_requests_total", "{endpoint=\"wal\"}",
+          stats.requests_wal);
 
   type("simrank_responses_total", "counter");
   counter("simrank_responses_total", "{class=\"2xx\"}",
@@ -1159,6 +1592,8 @@ std::string SimRankServer::BuildMetricsBody() const {
           stats.rejected_inflight);
   counter("simrank_rejected_total", "{reason=\"endpoint\"}",
           stats.rejected_endpoint);
+  counter("simrank_rejected_total", "{reason=\"misdirected\"}",
+          stats.rejected_misdirected);
 
   type("simrank_connections_accepted_total", "counter");
   counter("simrank_connections_accepted_total", "",
@@ -1179,6 +1614,29 @@ std::string SimRankServer::BuildMetricsBody() const {
   counter("simrank_index_vertices", "", index.n());
   type("simrank_index_resident_bytes", "gauge");
   counter("simrank_index_resident_bytes", "", index.SizeBytes());
+  type("simrank_index_info", "gauge");
+  out += StrFormat("simrank_index_info{backend=\"%s\"} 1\n",
+                   index.store().backend_name());
+  type("simrank_overlay_sequence_current", "gauge");
+  counter("simrank_overlay_sequence_current", "",
+          index.overlay_sequence());
+
+  if (options_.sharded || options_.replica) {
+    type("simrank_shard_replica", "gauge");
+    counter("simrank_shard_replica", "", options_.replica ? 1 : 0);
+    if (options_.sharded) {
+      const ShardRange& range =
+          options_.shard_plan.shards[options_.shard_id];
+      type("simrank_shard_id", "gauge");
+      counter("simrank_shard_id", "", options_.shard_id);
+      type("simrank_shard_plan_epoch", "gauge");
+      counter("simrank_shard_plan_epoch", "", options_.shard_plan.epoch);
+      type("simrank_shard_vertex_begin", "gauge");
+      counter("simrank_shard_vertex_begin", "", range.begin);
+      type("simrank_shard_vertex_end", "gauge");
+      counter("simrank_shard_vertex_end", "", range.end);
+    }
+  }
 
   type("simrank_request_duration_seconds", "histogram");
   for (uint32_t i = 0; i < kNumServerEndpoints; ++i) {
@@ -1233,6 +1691,8 @@ std::string SimRankServer::BuildMetricsBody() const {
     counter("simrank_wal_records", "", updates.wal_records);
     type("simrank_wal_bytes", "gauge");
     counter("simrank_wal_bytes", "", updates.wal_bytes);
+    type("simrank_wal_syncs_total", "counter");
+    counter("simrank_wal_syncs_total", "", updates.wal_syncs);
   }
   return out;
 }

@@ -56,9 +56,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "simrank/cluster/shard_plan.h"
 #include "simrank/common/latency_histogram.h"
 #include "simrank/common/status.h"
 #include "simrank/common/thread_pool.h"
+#include "simrank/extra/topk.h"
 #include "simrank/index/index_updater.h"
 #include "simrank/index/query_engine.h"
 #include "simrank/server/http.h"
@@ -83,6 +85,12 @@ const char* ServerEndpointPath(ServerEndpoint endpoint);
 /// Short label of `endpoint` ("pair", "batch_pair", ...) — stats JSON keys
 /// and Prometheus label values.
 const char* ServerEndpointName(ServerEndpoint endpoint);
+
+/// Parses a /v1/batch_pair body: one "A B" pair per line, '#' comments and
+/// blank lines ignored. Shared by the server's worker and the router
+/// (which must split a batch across shards pair by pair).
+Result<std::vector<std::pair<VertexId, VertexId>>> ParsePairBatch(
+    std::string_view body, uint32_t max_pairs);
 
 /// Serving knobs. Defaults suit a loopback deployment; Validate() gates
 /// every field the flags can reach.
@@ -123,6 +131,24 @@ struct ServerOptions {
   /// Request-parser hardening limits.
   HttpLimits http;
 
+  /// Shard role. With `sharded`, the server owns exactly
+  /// shard_plan.shards[shard_id]'s vertex range: /v1/pair and
+  /// /v1/batch_pair answer only when every queried vertex is in range
+  /// (421 Misdirected Request otherwise), /v1/single_source and /v1/topk
+  /// are 421 outright on a partial shard (their answers span every
+  /// shard; the router composes them), and the /internal/* exchange
+  /// endpoints the router fans out to come alive. Bind() cross-checks the
+  /// plan's n and graph fingerprint against the served index, so a shard
+  /// started with the wrong plan (or the wrong shard file) fails loudly.
+  bool sharded = false;
+  ShardPlan shard_plan;
+  uint32_t shard_id = 0;
+  /// Replica role: this server mirrors a primary by tailing its WAL, so
+  /// direct writes are refused — /v1/update and /v1/compact answer 403
+  /// (the WAL tailer applies batches through the IndexUpdater directly,
+  /// not over HTTP).
+  bool replica = false;
+
   Status Validate() const;
 };
 
@@ -133,6 +159,8 @@ struct ServerStats {
   uint64_t requests_stats = 0;
   uint64_t requests_healthz = 0;
   uint64_t requests_metrics = 0;
+  /// GET /v1/wal polls served (WAL shipping to replicas).
+  uint64_t requests_wal = 0;
   /// Responses by status class.
   uint64_t responses_2xx = 0;
   uint64_t responses_4xx = 0;
@@ -140,6 +168,9 @@ struct ServerStats {
   /// Admission rejections: global cap (429) and endpoint cap (503).
   uint64_t rejected_inflight = 0;
   uint64_t rejected_endpoint = 0;
+  /// 421 Misdirected Request responses (shard role: the queried vertex
+  /// range is not this shard's).
+  uint64_t rejected_misdirected = 0;
   uint64_t connections_accepted = 0;
   uint64_t connections_open = 0;
   /// Dispatched queries not yet completed.
@@ -204,7 +235,8 @@ class SimRankServer {
   void DrainCompletions();
   void QueueResponse(Connection* conn, int status, std::string_view body,
                      const std::vector<std::pair<std::string, std::string>>&
-                         extra_headers = {});
+                         extra_headers = {},
+                     std::string_view content_type = "application/json");
   void QueueErrorResponse(Connection* conn, int status,
                           std::string_view message);
   void UpdateEpoll(Connection* conn);
@@ -245,11 +277,13 @@ class SimRankServer {
   mutable std::atomic<uint64_t> stat_requests_stats_{0};
   mutable std::atomic<uint64_t> stat_requests_healthz_{0};
   mutable std::atomic<uint64_t> stat_requests_metrics_{0};
+  mutable std::atomic<uint64_t> stat_requests_wal_{0};
   mutable std::atomic<uint64_t> stat_responses_2xx_{0};
   mutable std::atomic<uint64_t> stat_responses_4xx_{0};
   mutable std::atomic<uint64_t> stat_responses_5xx_{0};
   mutable std::atomic<uint64_t> stat_rejected_inflight_{0};
   mutable std::atomic<uint64_t> stat_rejected_endpoint_{0};
+  mutable std::atomic<uint64_t> stat_rejected_misdirected_{0};
   mutable std::atomic<uint64_t> stat_connections_accepted_{0};
   mutable std::atomic<uint64_t> stat_connections_open_{0};
   mutable std::atomic<uint64_t> stat_inflight_{0};

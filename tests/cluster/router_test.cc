@@ -1,0 +1,552 @@
+// End-to-end tests of the sharded cluster: real shard servers (each over
+// a WriteShardIndex file), a real scatter-gather router, a single-node
+// comparison server over the full index — responses must match bitwise —
+// plus WAL-shipping replication and read failover.
+#include "simrank/cluster/router.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simrank/cluster/shard_plan.h"
+#include "simrank/cluster/shard_split.h"
+#include "simrank/cluster/wal_tailer.h"
+#include "simrank/common/string_util.h"
+#include "simrank/graph/graph_io.h"
+#include "simrank/index/index_updater.h"
+#include "simrank/index/query_engine.h"
+#include "simrank/index/walk_index.h"
+#include "simrank/server/http_client.h"
+#include "simrank/server/server.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+std::atomic<uint32_t> g_fixture_counter{0};
+
+WalkIndex BuildIndex(const DiGraph& graph, uint32_t fingerprints) {
+  WalkIndexOptions options;
+  options.num_fingerprints = fingerprints;
+  options.walk_length = 8;
+  auto index = WalkIndex::Build(graph, options);
+  OIPSIM_CHECK(index.ok());
+  return std::move(index).value();
+}
+
+/// One running server process-equivalent: an index loaded from a shard (or
+/// full) file, an engine, a WAL-backed updater and a SimRankServer on its
+/// own thread.
+struct ServerNode {
+  ServerNode(const std::string& index_path, const DiGraph& graph,
+             ServerOptions options, const std::string& wal_path)
+      : index(LoadIndex(index_path)), engine(index) {
+    std::remove(wal_path.c_str());
+    IndexUpdaterOptions updater_options;
+    updater_options.wal_path = wal_path;
+    if (options.sharded) {
+      const ShardRange& range = options.shard_plan.shards[options.shard_id];
+      updater_options.vertex_begin = range.begin;
+      updater_options.vertex_end = range.end;
+    }
+    auto opened = IndexUpdater::Open(index, graph, updater_options);
+    OIPSIM_CHECK(opened.ok());
+    updater = std::move(*opened);
+    options.port = 0;
+    server = std::make_unique<SimRankServer>(engine, options, updater.get());
+    OIPSIM_CHECK(server->Bind().ok());
+    serve_thread = std::thread([this] { server->Serve(); });
+  }
+
+  ~ServerNode() { Stop(); }
+
+  void Stop() {
+    if (serve_thread.joinable()) {
+      server->Shutdown();
+      serve_thread.join();
+    }
+  }
+
+  uint16_t port() const { return server->port(); }
+
+  static WalkIndex LoadIndex(const std::string& path) {
+    auto index = WalkIndex::Load(path);
+    OIPSIM_CHECK(index.ok());
+    return std::move(index).value();
+  }
+
+  WalkIndex index;
+  QueryEngine engine;
+  std::unique_ptr<IndexUpdater> updater;
+  std::unique_ptr<SimRankServer> server;
+  std::thread serve_thread;
+};
+
+/// A full 2..k-shard cluster with a router, next to a single-node server
+/// over the same (full) index — the bitwise reference for every response.
+class ClusterFixture {
+ public:
+  explicit ClusterFixture(DiGraph graph, uint32_t num_shards = 2,
+                          bool with_replica0 = false,
+                          uint32_t fingerprints = 48)
+      : tag_(StrFormat("cluster-%u", g_fixture_counter.fetch_add(1))),
+        graph_(std::move(graph)) {
+    const WalkIndex full = BuildIndex(graph_, fingerprints);
+    full_path_ = TempPath("full.widx");
+    OIPSIM_CHECK(full.Save(full_path_).ok());
+    auto plan = ShardPlan::EvenSplit(full.n(), full.graph_fingerprint(),
+                                     num_shards);
+    OIPSIM_CHECK(plan.ok());
+    plan_ = std::move(*plan);
+
+    // The single-node reference server (and a direct reference engine).
+    single_ = std::make_unique<ServerNode>(full_path_, graph_,
+                                           ServerOptions{},
+                                           TempPath("single.wal"));
+
+    // The shards.
+    RouterOptions router_options;
+    router_options.plan = plan_;
+    for (const ShardRange& range : plan_.shards) {
+      const std::string shard_path =
+          TempPath(StrFormat("shard-%u.widx", range.shard_id));
+      OIPSIM_CHECK(WriteShardIndex(full.store(), range, shard_path, false)
+                       .ok());
+      ServerOptions options;
+      options.sharded = true;
+      options.shard_plan = plan_;
+      options.shard_id = range.shard_id;
+      shards_.push_back(std::make_unique<ServerNode>(
+          shard_path, graph_, options,
+          TempPath(StrFormat("shard-%u.wal", range.shard_id))));
+      router_options.shards.push_back(
+          RouterShard{range.shard_id, shards_.back()->port(), 0});
+    }
+
+    // Optionally a replica of shard 0, tailing its primary's WAL.
+    if (with_replica0) {
+      ServerOptions options;
+      options.sharded = true;
+      options.shard_plan = plan_;
+      options.shard_id = 0;
+      options.replica = true;
+      replica_ = std::make_unique<ServerNode>(TempPath("shard-0.widx"),
+                                              graph_, options,
+                                              TempPath("replica-0.wal"));
+      WalTailerOptions tailer_options;
+      tailer_options.source_port = shards_[0]->port();
+      tailer_options.poll_interval_ms = 10;
+      tailer_ = std::make_unique<WalTailer>(replica_->engine,
+                                            *replica_->updater,
+                                            tailer_options);
+      OIPSIM_CHECK(tailer_->Start().ok());
+      router_options.shards[0].replica_port = replica_->port();
+    }
+
+    router_ = std::make_unique<SimRankRouter>(std::move(router_options));
+    OIPSIM_CHECK(router_->Bind().ok());
+    OIPSIM_CHECK(router_->Start().ok());
+  }
+
+  ~ClusterFixture() {
+    router_->Shutdown();
+    if (tailer_ != nullptr) tailer_->Stop();
+  }
+
+  std::string TempPath(const std::string& name) const {
+    return ::testing::TempDir() + tag_ + "-" + name;
+  }
+
+  uint16_t router_port() const { return router_->port(); }
+  uint16_t single_port() const { return single_->port(); }
+  SimRankRouter& router() { return *router_; }
+  const ShardPlan& plan() const { return plan_; }
+  const DiGraph& graph() const { return graph_; }
+  ServerNode& shard(size_t i) { return *shards_[i]; }
+  ServerNode* replica() { return replica_.get(); }
+  WalTailer* tailer() { return tailer_.get(); }
+  QueryEngine& reference() { return single_->engine; }
+
+  /// Asserts the router's response to `target` is bitwise identical (status
+  /// and body) to the single-node server's.
+  void ExpectSameAsSingleNode(const std::string& target) {
+    auto routed = HttpGet(router_port(), target);
+    auto direct = HttpGet(single_port(), target);
+    ASSERT_TRUE(routed.ok()) << target << ": " << routed.status().ToString();
+    ASSERT_TRUE(direct.ok()) << target;
+    EXPECT_EQ(routed->status, direct->status) << target;
+    EXPECT_EQ(routed->body, direct->body) << target;
+  }
+
+  /// An edge absent from the base graph.
+  Edge FreshEdge() const {
+    for (VertexId src = 0; src < graph_.n(); ++src) {
+      for (VertexId dst = 0; dst < graph_.n(); ++dst) {
+        if (src != dst && !graph_.HasEdge(src, dst)) return Edge{src, dst};
+      }
+    }
+    OIPSIM_CHECK_MSG(false, "no fresh edge");
+    return Edge{};
+  }
+
+ private:
+  std::string tag_;
+  DiGraph graph_;
+  std::string full_path_;
+  ShardPlan plan_;
+  std::unique_ptr<ServerNode> single_;
+  std::vector<std::unique_ptr<ServerNode>> shards_;
+  std::unique_ptr<ServerNode> replica_;
+  std::unique_ptr<WalTailer> tailer_;
+  std::unique_ptr<SimRankRouter> router_;
+};
+
+/// Hub 0 points at leaves 1..9; 10 and 11 are isolated (dead walks). Every
+/// leaf pair meets at the hub on step 1, so all leaf-leaf scores tie
+/// exactly — cross-shard tie-breaking has to reproduce the single-node
+/// (score desc, vertex asc) order or the mismatch is visible.
+DiGraph TieGraph() {
+  DiGraph::Builder builder(12);
+  for (VertexId leaf = 1; leaf <= 9; ++leaf) builder.AddEdge(0, leaf);
+  return std::move(builder).Build();
+}
+
+TEST(MergeTopKTest, MergesUnderTheSingleNodeTotalOrder) {
+  const std::vector<std::vector<ScoredVertex>> parts = {
+      {{5, 0.5}, {1, 0.25}},
+      {{2, 0.5}, {7, 0.25}, {8, 0.125}},
+  };
+  const std::vector<ScoredVertex> merged = MergeTopK(parts, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  // Ties break by ascending vertex, across parts.
+  EXPECT_EQ(merged[0].vertex, 2u);
+  EXPECT_EQ(merged[1].vertex, 5u);
+  EXPECT_EQ(merged[2].vertex, 1u);
+  EXPECT_EQ(merged[3].vertex, 7u);
+
+  // k beyond the union returns everything, still ordered.
+  const std::vector<ScoredVertex> all = MergeTopK(parts, 100);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[4].vertex, 8u);
+
+  // Empty parts are fine.
+  EXPECT_TRUE(MergeTopK({}, 3).empty());
+  EXPECT_TRUE(MergeTopK({{}, {}}, 3).empty());
+}
+
+TEST(RouterTest, PairMatchesSingleNodeBitwise) {
+  ClusterFixture cluster(testing::RandomGraph(60, 240, 11));
+  const uint32_t boundary = cluster.plan().shards[0].end;
+  // Same-shard, cross-shard, boundary-straddling and diagonal pairs.
+  const std::pair<VertexId, VertexId> pairs[] = {
+      {0, 1},
+      {boundary, boundary + 1},
+      {boundary - 1, boundary},
+      {3, boundary + 7},
+      {boundary + 5, 2},
+      {boundary, boundary},
+      {4, 4},
+  };
+  for (const auto& [a, b] : pairs) {
+    cluster.ExpectSameAsSingleNode(StrFormat("/v1/pair?a=%u&b=%u", a, b));
+  }
+}
+
+TEST(RouterTest, SingleSourceAndTopKMatchSingleNodeBitwise) {
+  ClusterFixture cluster(testing::OverlappyGraph(60, 4, 9));
+  const uint32_t boundary = cluster.plan().shards[0].end;
+  for (const VertexId v : {0u, 17u, boundary - 1, boundary, 59u}) {
+    cluster.ExpectSameAsSingleNode(StrFormat("/v1/single_source?v=%u", v));
+    cluster.ExpectSameAsSingleNode(StrFormat("/v1/topk?v=%u&k=7", v));
+    cluster.ExpectSameAsSingleNode(
+        StrFormat("/v1/topk?v=%u&k=%u", v, cluster.graph().n()));
+  }
+}
+
+TEST(RouterTest, TopKTieOrderSpansShardsLikeSingleNode) {
+  // 12 vertices, 2 shards of 6: leaves 2..5 live on shard 0 and 6..9 on
+  // shard 1, all with bit-equal scores from leaf 1's viewpoint.
+  ClusterFixture cluster(TieGraph(), /*num_shards=*/2);
+  ASSERT_EQ(cluster.plan().shards[0].end, 6u);
+
+  // k = 5 cuts the tie group mid-boundary: 2, 3, 4, 5 from shard 0 and 6
+  // from shard 1 — ascending vertex order among the tied, like TopKFromRow.
+  auto response = HttpGet(cluster.router_port(), "/v1/topk?v=1&k=5");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto expected = cluster.reference().TopK(1, 5);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected->size(), 5u);
+  size_t cursor = 0;
+  for (size_t i = 0; i < expected->size(); ++i) {
+    EXPECT_EQ((*expected)[i].vertex, i + 2) << "reference order";
+    const double vertex = FindJsonNumber(response->body, "vertex", &cursor);
+    const double score = FindJsonNumber(response->body, "score", &cursor);
+    EXPECT_EQ(static_cast<VertexId>(vertex), (*expected)[i].vertex);
+    EXPECT_EQ(std::memcmp(&score, &(*expected)[i].score, sizeof(double)), 0);
+  }
+
+  // Whole-body comparisons, including dead-walk queries (isolated 10, 11)
+  // and k covering every vertex.
+  for (const char* target :
+       {"/v1/topk?v=1&k=5", "/v1/topk?v=1&k=12", "/v1/topk?v=10&k=4",
+        "/v1/topk?v=11&k=12", "/v1/topk?v=0&k=6",
+        "/v1/single_source?v=10"}) {
+    cluster.ExpectSameAsSingleNode(target);
+  }
+}
+
+TEST(RouterTest, BatchPairMatchesSingleNodeBitwise) {
+  ClusterFixture cluster(testing::RandomGraph(60, 240, 11));
+  const uint32_t boundary = cluster.plan().shards[0].end;
+  std::string body;
+  for (VertexId a = 0; a < 20; a += 3) {
+    body += StrFormat("%u %u\n", a, (a * 7 + boundary) % cluster.graph().n());
+  }
+  auto routed = HttpPost(cluster.router_port(), "/v1/batch_pair", body);
+  auto direct = HttpPost(cluster.single_port(), "/v1/batch_pair", body);
+  ASSERT_TRUE(routed.ok());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(routed->status, 200) << routed->body;
+  EXPECT_EQ(routed->body, direct->body);
+}
+
+TEST(RouterTest, ErrorPathsMirrorTheSingleNodeSurface) {
+  ClusterFixture cluster(testing::RandomGraph(40, 160, 3));
+  // Out-of-range and malformed parameters are 400 at the router — they
+  // never reach a shard.
+  EXPECT_EQ(HttpGet(cluster.router_port(), "/v1/pair?a=0&b=999")->status,
+            400);
+  EXPECT_EQ(HttpGet(cluster.router_port(), "/v1/pair?a=0")->status, 400);
+  EXPECT_EQ(HttpGet(cluster.router_port(), "/v1/single_source?v=x")->status,
+            400);
+  EXPECT_EQ(HttpGet(cluster.router_port(), "/v1/nope")->status, 404);
+  EXPECT_EQ(HttpPost(cluster.router_port(), "/v1/batch_pair", "")->status,
+            400);
+  // Method mismatches.
+  EXPECT_EQ(HttpPost(cluster.router_port(), "/v1/pair?a=0&b=1", "x")->status,
+            405);
+  EXPECT_EQ(HttpGet(cluster.router_port(), "/v1/batch_pair")->status, 405);
+}
+
+TEST(RouterTest, ShardRejectsOutOfRangeQueriesWith421) {
+  ClusterFixture cluster(testing::RandomGraph(40, 160, 3));
+  const uint16_t shard0 = cluster.shard(0).port();
+  const uint32_t boundary = cluster.plan().shards[0].end;
+  // In-range pair answers; anything touching the other shard's range is
+  // 421 Misdirected Request.
+  EXPECT_EQ(HttpGet(shard0, "/v1/pair?a=0&b=1")->status, 200);
+  EXPECT_EQ(
+      HttpGet(shard0, StrFormat("/v1/pair?a=0&b=%u", boundary))->status,
+      421);
+  // Global-answer endpoints are misdirected outright on a partial shard.
+  EXPECT_EQ(HttpGet(shard0, "/v1/single_source?v=0")->status, 421);
+  EXPECT_EQ(HttpGet(shard0, "/v1/topk?v=0&k=3")->status, 421);
+
+  // The shard's stats expose its role, range, epoch and the rejections.
+  auto stats = HttpGet(shard0, "/v1/stats");
+  ASSERT_TRUE(stats.ok());
+  const std::string& body = stats->body;
+  EXPECT_NE(body.find("\"cluster\":{"), std::string::npos);
+  EXPECT_NE(body.find("\"role\":\"primary\""), std::string::npos);
+  EXPECT_EQ(FindJsonNumber(body, "shard_id"), 0.0);
+  EXPECT_EQ(FindJsonNumber(body, "vertex_begin"), 0.0);
+  EXPECT_EQ(FindJsonNumber(body, "vertex_end"),
+            static_cast<double>(boundary));
+  EXPECT_EQ(FindJsonNumber(body, "plan_epoch"), 1.0);
+  EXPECT_EQ(FindJsonNumber(body, "rejected_misdirected"), 3.0);
+
+  auto metrics = HttpGet(shard0, "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find(
+                "simrank_rejected_total{reason=\"misdirected\"} 3"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("simrank_shard_id 0"), std::string::npos);
+  EXPECT_NE(metrics->body.find("simrank_shard_plan_epoch 1"),
+            std::string::npos);
+}
+
+TEST(RouterTest, UpdateBroadcastKeepsEveryAnswerBitwise) {
+  ClusterFixture cluster(testing::RandomGraph(50, 200, 7));
+  const Edge fresh = cluster.FreshEdge();
+  const std::string body = StrFormat("+ %u %u\n", fresh.src, fresh.dst);
+
+  // The same batch through the router (broadcast to every shard primary)
+  // and directly into the single-node server.
+  auto routed = HttpPost(cluster.router_port(), "/v1/update", body);
+  auto direct = HttpPost(cluster.single_port(), "/v1/update", body);
+  ASSERT_TRUE(routed.ok());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(routed->status, 200) << routed->body;
+  ASSERT_EQ(direct->status, 200) << direct->body;
+  EXPECT_EQ(FindJsonNumber(routed->body, "applied"), 1.0);
+  EXPECT_EQ(FindJsonNumber(routed->body, "sequence"), 1.0);
+  EXPECT_EQ(FindJsonNumber(routed->body, "wal_records"), 1.0);
+  // Same post-update fingerprint as the single node.
+  EXPECT_EQ(FindJsonNumber(routed->body, "sequence"),
+            FindJsonNumber(direct->body, "sequence"));
+  const size_t fp_at = routed->body.find("\"graph_fingerprint\"");
+  ASSERT_NE(fp_at, std::string::npos);
+  EXPECT_NE(direct->body.find(routed->body.substr(fp_at, 40)),
+            std::string::npos);
+
+  // Every shard applied and logged the batch.
+  for (size_t s = 0; s < cluster.plan().shards.size(); ++s) {
+    const IndexUpdateStats stats = cluster.shard(s).updater->stats();
+    EXPECT_EQ(stats.batches_applied, 1u) << "shard " << s;
+    EXPECT_EQ(stats.wal_records, 1u) << "shard " << s;
+  }
+
+  // Post-update reads stay bitwise equal to the single node.
+  const uint32_t boundary = cluster.plan().shards[0].end;
+  cluster.ExpectSameAsSingleNode(
+      StrFormat("/v1/pair?a=%u&b=%u", fresh.src, fresh.dst));
+  cluster.ExpectSameAsSingleNode(
+      StrFormat("/v1/single_source?v=%u", fresh.dst));
+  cluster.ExpectSameAsSingleNode(StrFormat("/v1/topk?v=%u&k=9", fresh.dst));
+  cluster.ExpectSameAsSingleNode(
+      StrFormat("/v1/single_source?v=%u", boundary));
+
+  // A bad batch (duplicate edge) is rejected everywhere; nothing advances.
+  auto rejected = HttpPost(cluster.router_port(), "/v1/update", body);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->status, 400) << rejected->body;
+  for (size_t s = 0; s < cluster.plan().shards.size(); ++s) {
+    EXPECT_EQ(cluster.shard(s).updater->stats().batches_applied, 1u);
+  }
+}
+
+TEST(RouterTest, ReplicaTailsWalAndServesFailoverReads) {
+  ClusterFixture cluster(testing::RandomGraph(50, 200, 7),
+                         /*num_shards=*/2, /*with_replica0=*/true);
+  // Replicas refuse direct writes.
+  EXPECT_EQ(
+      HttpPost(cluster.replica()->port(), "/v1/update", "+ 0 1\n")->status,
+      403);
+  auto replica_stats = HttpGet(cluster.replica()->port(), "/v1/stats");
+  ASSERT_TRUE(replica_stats.ok());
+  EXPECT_NE(replica_stats->body.find("\"role\":\"replica\""),
+            std::string::npos);
+
+  // An update through the router lands on the shard-0 primary and ships
+  // to the replica through its WAL tail. The single-node reference gets
+  // the same batch so post-update comparisons stay meaningful.
+  const Edge fresh = cluster.FreshEdge();
+  const std::string batch = StrFormat("+ %u %u\n", fresh.src, fresh.dst);
+  auto update = HttpPost(cluster.router_port(), "/v1/update", batch);
+  ASSERT_TRUE(update.ok());
+  ASSERT_EQ(update->status, 200) << update->body;
+  ASSERT_EQ(HttpPost(cluster.single_port(), "/v1/update", batch)->status,
+            200);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (cluster.replica()->updater->stats().batches_applied < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "replica never caught up: "
+        << cluster.tailer()->stats().last_error;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(cluster.tailer()->stats().halted);
+  EXPECT_EQ(cluster.replica()->updater->stats().current_graph_fingerprint,
+            cluster.shard(0).updater->stats().current_graph_fingerprint);
+
+  // Kill the shard-0 primary: reads touching its range fail over to the
+  // replica and still answer bitwise-identically (updated state included).
+  cluster.shard(0).Stop();
+  cluster.ExpectSameAsSingleNode("/v1/pair?a=0&b=1");
+  cluster.ExpectSameAsSingleNode(
+      StrFormat("/v1/single_source?v=%u", fresh.dst));
+  cluster.ExpectSameAsSingleNode("/v1/topk?v=2&k=8");
+  const RouterStats stats = cluster.router().stats();
+  EXPECT_GE(stats.failovers, 3u);
+  EXPECT_GE(stats.shard_errors, 3u);
+
+  // The router's stats and metrics reflect the failovers.
+  auto router_stats = HttpGet(cluster.router_port(), "/v1/stats");
+  ASSERT_TRUE(router_stats.ok());
+  EXPECT_GE(FindJsonNumber(router_stats->body, "failovers"), 3.0);
+  auto metrics = HttpGet(cluster.router_port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find("simrank_router_failovers_total"),
+            std::string::npos);
+
+  // Writes never fail over: with a primary down the update degrades.
+  auto blocked = HttpPost(cluster.router_port(), "/v1/update", "+ 1 0\n");
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_EQ(blocked->status, 503) << blocked->body;
+  ASSERT_NE(blocked->FindHeader("retry-after"), nullptr);
+}
+
+TEST(RouterTest, StatsAndMetricsDescribeTheCluster) {
+  ClusterFixture cluster(testing::RandomGraph(40, 160, 3));
+  ASSERT_EQ(HttpGet(cluster.router_port(), "/healthz")->status, 200);
+  ASSERT_EQ(HttpGet(cluster.router_port(), "/v1/pair?a=0&b=39")->status,
+            200);
+  auto stats = HttpGet(cluster.router_port(), "/v1/stats");
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->status, 200);
+  const std::string& body = stats->body;
+  EXPECT_NE(body.find("\"role\":\"router\""), std::string::npos);
+  EXPECT_EQ(FindJsonNumber(body, "plan_epoch"), 1.0);
+  EXPECT_EQ(FindJsonNumber(body, "plan_shards"), 2.0);
+  EXPECT_EQ(FindJsonNumber(body, "n"), 40.0);
+  EXPECT_EQ(FindJsonNumber(body, "pair"), 1.0);
+  EXPECT_EQ(FindJsonNumber(body, "healthz"), 1.0);
+
+  auto metrics = HttpGet(cluster.router_port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find(
+                "simrank_router_requests_total{endpoint=\"pair\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("simrank_router_shards 2"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("simrank_router_plan_epoch 1"),
+            std::string::npos);
+}
+
+TEST(RouterTest, ThreeShardClusterStaysBitwise) {
+  ClusterFixture cluster(testing::OverlappyGraph(45, 3, 13),
+                         /*num_shards=*/3);
+  for (const VertexId v : {0u, 14u, 15u, 29u, 30u, 44u}) {
+    cluster.ExpectSameAsSingleNode(StrFormat("/v1/single_source?v=%u", v));
+    cluster.ExpectSameAsSingleNode(StrFormat("/v1/topk?v=%u&k=11", v));
+  }
+  cluster.ExpectSameAsSingleNode("/v1/pair?a=1&b=44");
+  cluster.ExpectSameAsSingleNode("/v1/pair?a=16&b=31");
+}
+
+TEST(RouterOptionsTest, ValidateRejectsInconsistentTopologies) {
+  auto plan = ShardPlan::EvenSplit(10, 0x1, 2);
+  ASSERT_TRUE(plan.ok());
+  RouterOptions options;
+  options.plan = *plan;
+  options.shards = {RouterShard{0, 9001, 0}, RouterShard{1, 9002, 0}};
+  EXPECT_TRUE(options.Validate().ok());
+
+  // Shard count mismatch.
+  options.shards.pop_back();
+  EXPECT_FALSE(options.Validate().ok());
+
+  // Out-of-order / wrong ids.
+  options.shards = {RouterShard{1, 9001, 0}, RouterShard{0, 9002, 0}};
+  EXPECT_FALSE(options.Validate().ok());
+
+  // A shard without a primary.
+  options.shards = {RouterShard{0, 9001, 0}, RouterShard{1, 0, 0}};
+  EXPECT_FALSE(options.Validate().ok());
+
+  // Zero timeout.
+  options.shards = {RouterShard{0, 9001, 0}, RouterShard{1, 9002, 0}};
+  options.timeout_ms = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+}  // namespace
+}  // namespace simrank

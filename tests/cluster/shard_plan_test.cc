@@ -1,0 +1,179 @@
+// ShardPlan: text format round-trip, structural validation, EvenSplit and
+// owner lookup.
+#include "simrank/cluster/shard_plan.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace simrank {
+namespace {
+
+ShardPlan TwoShardPlan() {
+  ShardPlan plan;
+  plan.epoch = 3;
+  plan.graph_fingerprint = 0x00c5a2f19e30bd74ull;
+  plan.n = 10;
+  plan.shards = {ShardRange{0, 0, 6}, ShardRange{1, 6, 10}};
+  return plan;
+}
+
+TEST(ShardPlanTest, FormatParseRoundTripIsExact) {
+  const ShardPlan plan = TwoShardPlan();
+  const std::string text = plan.Format();
+  auto parsed = ShardPlan::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, plan);
+  // Byte-deterministic: formatting the parse reproduces the text.
+  EXPECT_EQ(parsed->Format(), text);
+}
+
+TEST(ShardPlanTest, FormatIsTheDocumentedShape) {
+  const std::string text = TwoShardPlan().Format();
+  EXPECT_NE(text.find("simrank-shard-plan v1\n"), std::string::npos);
+  EXPECT_NE(text.find("epoch 3\n"), std::string::npos);
+  EXPECT_NE(text.find("graph_fingerprint 00c5a2f19e30bd74\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("n 10\n"), std::string::npos);
+  EXPECT_NE(text.find("shards 2\n"), std::string::npos);
+  EXPECT_NE(text.find("shard 0 0 6\n"), std::string::npos);
+  EXPECT_NE(text.find("shard 1 6 10\n"), std::string::npos);
+}
+
+TEST(ShardPlanTest, ParseToleratesCommentsAndBlankLines) {
+  auto parsed = ShardPlan::Parse(
+      "# a plan\n"
+      "simrank-shard-plan v1\n"
+      "\n"
+      "epoch 1\n"
+      "graph_fingerprint 0000000000000001\n"
+      "n 4\n"
+      "shards 2\n"
+      "# the split\n"
+      "shard 0 0 2\n"
+      "shard 1 2 4\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->shards.size(), 2u);
+}
+
+TEST(ShardPlanTest, ValidateRejectsStructuralErrors) {
+  // A gap between ranges.
+  ShardPlan plan = TwoShardPlan();
+  plan.shards[1].begin = 7;
+  EXPECT_FALSE(plan.Validate().ok());
+
+  // Overlapping ranges.
+  plan = TwoShardPlan();
+  plan.shards[1].begin = 5;
+  EXPECT_FALSE(plan.Validate().ok());
+
+  // Not covering [0, n).
+  plan = TwoShardPlan();
+  plan.shards[1].end = 9;
+  EXPECT_FALSE(plan.Validate().ok());
+
+  // Not starting at 0.
+  plan = TwoShardPlan();
+  plan.shards[0].begin = 1;
+  EXPECT_FALSE(plan.Validate().ok());
+
+  // Shard ids out of order.
+  plan = TwoShardPlan();
+  plan.shards[0].shard_id = 1;
+  plan.shards[1].shard_id = 0;
+  EXPECT_FALSE(plan.Validate().ok());
+
+  // An empty range.
+  plan = TwoShardPlan();
+  plan.shards[0].end = 0;
+  EXPECT_FALSE(plan.Validate().ok());
+
+  // No shards / n == 0.
+  plan = TwoShardPlan();
+  plan.shards.clear();
+  EXPECT_FALSE(plan.Validate().ok());
+  plan = TwoShardPlan();
+  plan.n = 0;
+  plan.shards.clear();
+  EXPECT_FALSE(plan.Validate().ok());
+
+  EXPECT_TRUE(TwoShardPlan().Validate().ok());
+}
+
+TEST(ShardPlanTest, ParseRejectsMalformedText) {
+  // Wrong magic.
+  EXPECT_FALSE(ShardPlan::Parse("simrank-shard-plan v2\n").ok());
+  // Truncated (declared 2 shards, one given).
+  EXPECT_FALSE(ShardPlan::Parse(
+                   "simrank-shard-plan v1\n"
+                   "epoch 1\n"
+                   "graph_fingerprint 0000000000000001\n"
+                   "n 4\n"
+                   "shards 2\n"
+                   "shard 0 0 2\n")
+                   .ok());
+  // Invalid plan (gap) fails Parse via Validate.
+  EXPECT_FALSE(ShardPlan::Parse(
+                   "simrank-shard-plan v1\n"
+                   "epoch 1\n"
+                   "graph_fingerprint 0000000000000001\n"
+                   "n 4\n"
+                   "shards 2\n"
+                   "shard 0 0 1\n"
+                   "shard 1 2 4\n")
+                   .ok());
+  EXPECT_FALSE(ShardPlan::Parse("").ok());
+}
+
+TEST(ShardPlanTest, SaveAndLoadFileRoundTrip) {
+  const ShardPlan plan = TwoShardPlan();
+  const std::string path = ::testing::TempDir() + "shard-plan-rt.txt";
+  ASSERT_TRUE(plan.SaveFile(path).ok());
+  auto loaded = ShardPlan::LoadFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, plan);
+  EXPECT_FALSE(ShardPlan::LoadFile(path + ".missing").ok());
+}
+
+TEST(ShardPlanTest, EvenSplitDistributesTheRemainderFirst) {
+  // 10 vertices over 3 shards: 4 + 3 + 3.
+  auto plan = ShardPlan::EvenSplit(10, 0x42, 3, /*epoch=*/7);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(plan->Validate().ok());
+  EXPECT_EQ(plan->epoch, 7u);
+  EXPECT_EQ(plan->graph_fingerprint, 0x42u);
+  ASSERT_EQ(plan->shards.size(), 3u);
+  EXPECT_EQ(plan->shards[0], (ShardRange{0, 0, 4}));
+  EXPECT_EQ(plan->shards[1], (ShardRange{1, 4, 7}));
+  EXPECT_EQ(plan->shards[2], (ShardRange{2, 7, 10}));
+
+  // Exact division.
+  auto even = ShardPlan::EvenSplit(8, 0x42, 4);
+  ASSERT_TRUE(even.ok());
+  for (const ShardRange& range : even->shards) {
+    EXPECT_EQ(range.end - range.begin, 2u);
+  }
+
+  // One shard = the whole range.
+  auto single = ShardPlan::EvenSplit(5, 0x42, 1);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->shards.size(), 1u);
+  EXPECT_EQ(single->shards[0], (ShardRange{0, 0, 5}));
+
+  // More shards than vertices / zero shards are rejected.
+  EXPECT_FALSE(ShardPlan::EvenSplit(3, 0x42, 4).ok());
+  EXPECT_FALSE(ShardPlan::EvenSplit(3, 0x42, 0).ok());
+}
+
+TEST(ShardPlanTest, OwnerOfAgreesWithRangeContainment) {
+  auto plan = ShardPlan::EvenSplit(101, 0x1, 7);
+  ASSERT_TRUE(plan.ok());
+  for (VertexId v = 0; v < plan->n; ++v) {
+    const uint32_t owner = plan->OwnerOf(v);
+    ASSERT_LT(owner, plan->shards.size());
+    EXPECT_TRUE(plan->shards[owner].Contains(v)) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace simrank

@@ -23,6 +23,16 @@
 //   simrank_cli compact GRAPH --index=PATH --wal=WAL --out=NEW.widx
 //               [--mmap] [--compress] [--reset-wal]
 //
+// Cluster serving (see src/simrank/cluster/):
+//   simrank_cli shard-plan GRAPH --index=PATH --shards=N --out-dir=DIR
+//               [--epoch=E] [--compress] [--mmap]
+//
+// `shard-plan` splits a v2 index into per-shard index files (one per
+// contiguous vertex range), a shared binary graph copy and the plan file
+// that binds them — byte-deterministic, so re-splitting reproduces the
+// same shard files. simrank_server serves one shard with
+// --shard-plan/--shard-id; simrank_router fans queries back out.
+//
 // `update` appends an edge batch ("+ SRC DST" / "- SRC DST" per line) to
 // the WAL and reports the local patch it induces; GRAPH is the *base*
 // graph the index was built from (any earlier WAL batches are replayed
@@ -45,6 +55,8 @@
 #include <string>
 #include <vector>
 
+#include "simrank/cluster/shard_plan.h"
+#include "simrank/cluster/shard_split.h"
 #include "simrank/common/csv_writer.h"
 #include "simrank/common/string_util.h"
 #include "simrank/common/table_printer.h"
@@ -303,9 +315,11 @@ void PrintUsage(const char* argv0) {
       "       [--mmap] [--write-graph=OUT.bin] [--no-sync-wal]\n"
       "   or: %s compact GRAPH --index=PATH --wal=WAL --out=NEW.widx\n"
       "       [--mmap] [--compress] [--reset-wal]\n"
+      "   or: %s shard-plan GRAPH --index=PATH --shards=N --out-dir=DIR\n"
+      "       [--epoch=E] [--compress] [--mmap]\n"
       "\nalgorithms:\n",
       argv0, simrank::AlgorithmFlagList().c_str(), argv0, argv0, argv0,
-      argv0, argv0);
+      argv0, argv0, argv0);
   for (const simrank::AlgorithmInfo& info : simrank::AlgorithmRegistry()) {
     std::fprintf(stderr, "  %-8s %-10s %s%s\n", info.flag, info.name,
                  info.summary,
@@ -842,7 +856,142 @@ int RunAllPairs(const CliOptions& options) {
   return 0;
 }
 
+/// `shard-plan`: split one v2 index into per-shard index files plus the
+/// plan that binds them — the offline step of bringing up a cluster.
+/// Self-contained flag parsing: the subcommand shares nothing with the
+/// all-pairs/index modes' flag groups.
+int RunShardPlan(int argc, char** argv) {
+  std::string graph_path;
+  std::string index_path;
+  std::string out_dir;
+  uint64_t num_shards = 0;
+  uint64_t epoch = 1;
+  bool compress = false;
+  bool use_mmap = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value_of = [&arg](std::string_view prefix) {
+      return std::string(arg.substr(prefix.size()));
+    };
+    if (simrank::StartsWith(arg, "--index=")) {
+      index_path = value_of("--index=");
+    } else if (simrank::StartsWith(arg, "--shards=")) {
+      if (!simrank::ParseUint64(value_of("--shards="), &num_shards)) {
+        std::fprintf(stderr, "--shards must be a positive integer\n");
+        return 2;
+      }
+    } else if (simrank::StartsWith(arg, "--out-dir=")) {
+      out_dir = value_of("--out-dir=");
+    } else if (simrank::StartsWith(arg, "--epoch=")) {
+      if (!simrank::ParseUint64(value_of("--epoch="), &epoch)) {
+        std::fprintf(stderr, "--epoch must be a non-negative integer\n");
+        return 2;
+      }
+    } else if (arg == "--compress") {
+      compress = true;
+    } else if (arg == "--mmap") {
+      use_mmap = true;
+    } else if (!simrank::StartsWith(arg, "--") && graph_path.empty()) {
+      graph_path = std::string(arg);
+    } else {
+      std::fprintf(stderr, "shard-plan: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (graph_path.empty() || index_path.empty() || out_dir.empty() ||
+      num_shards == 0 || num_shards > UINT32_MAX) {
+    std::fprintf(stderr,
+                 "shard-plan requires GRAPH, --index=PATH, --shards=N and "
+                 "--out-dir=DIR\n");
+    return 2;
+  }
+
+  simrank::WalkIndex::LoadOptions load_options;
+  load_options.use_mmap = use_mmap;
+  auto index = simrank::WalkIndex::Load(index_path, load_options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "cannot load index: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  auto graph = simrank::ReadGraphAuto(graph_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "cannot load graph: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t fingerprint = simrank::GraphFingerprint(*graph);
+  if (fingerprint != index->graph_fingerprint()) {
+    std::fprintf(stderr,
+                 "graph %s (fingerprint %s) is not the graph index %s was "
+                 "built from (fingerprint %s)\n",
+                 graph_path.c_str(),
+                 simrank::FormatFingerprint(fingerprint).c_str(),
+                 index_path.c_str(),
+                 simrank::FormatFingerprint(index->graph_fingerprint())
+                     .c_str());
+    return 1;
+  }
+
+  auto plan = simrank::ShardPlan::EvenSplit(
+      index->n(), fingerprint, static_cast<uint32_t>(num_shards), epoch);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "cannot build plan: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+
+  simrank::WallTimer timer;
+  timer.Start();
+  for (const simrank::ShardRange& range : plan->shards) {
+    const std::string shard_path =
+        simrank::StrFormat("%s/shard-%u.widx", out_dir.c_str(),
+                           range.shard_id);
+    auto written =
+        simrank::WriteShardIndex(index->store(), range, shard_path,
+                                 compress);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", shard_path.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "shard %u: vertices [%u, %u) -> %s\n",
+                 range.shard_id, range.begin, range.end,
+                 shard_path.c_str());
+  }
+  // One shared graph copy in the id-exact binary format: every shard
+  // server re-simulates walks against the *full* graph, and the binary
+  // round-trip keeps its fingerprint identical.
+  const std::string graph_out = out_dir + "/graph.bin";
+  auto graph_written = simrank::WriteBinary(*graph, graph_out);
+  if (!graph_written.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", graph_out.c_str(),
+                 graph_written.ToString().c_str());
+    return 1;
+  }
+  const std::string plan_out = out_dir + "/plan.txt";
+  auto plan_written = plan->SaveFile(plan_out);
+  if (!plan_written.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", plan_out.c_str(),
+                 plan_written.ToString().c_str());
+    return 1;
+  }
+  timer.Stop();
+  std::fprintf(
+      stderr,
+      "split %s into %zu shard(s) in %s: plan %s (epoch %llu, "
+      "fingerprint %s), graph copy %s\n",
+      index_path.c_str(), plan->shards.size(),
+      simrank::FormatDuration(timer.ElapsedSeconds()).c_str(),
+      plan_out.c_str(), static_cast<unsigned long long>(plan->epoch),
+      simrank::FormatFingerprint(fingerprint).c_str(), graph_out.c_str());
+  return 0;
+}
+
 int RealMain(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "shard-plan") == 0) {
+    return RunShardPlan(argc, argv);
+  }
   CliOptions options;
   if (!ParseArgs(argc, argv, &options)) {
     PrintUsage(argv[0]);

@@ -36,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "simrank/cluster/shard_plan.h"
+#include "simrank/cluster/wal_tailer.h"
 #include "simrank/common/status.h"
 #include "simrank/common/string_util.h"
 #include "simrank/graph/graph_io.h"
@@ -57,6 +59,11 @@ struct ServerCliOptions {
   std::string graph_path;
   std::string wal_path;
   bool sync_wal = true;
+  bool group_commit = true;
+  uint32_t group_commit_window_us = 0;  // 0 = updater default
+  std::string shard_plan_path;
+  /// Primary port to tail (replica mode); 0 = no tailing.
+  uint32_t tail_from = 0;
   simrank::ServerOptions server;
 };
 
@@ -69,12 +76,20 @@ void PrintUsage(const char* argv0) {
       "       [--cache-capacity=C] [--warm=FILE] [--load-threads=T]\n"
       "       [--graph=GRAPH --wal=WAL] [--compact-to=PATH]\n"
       "       [--compact-graph-to=PATH] [--no-sync-wal]\n"
+      "       [--no-group-commit] [--group-commit-window-us=U]\n"
+      "       [--shard-plan=PLAN --shard-id=N] [--replica]\n"
+      "       [--tail-from=PORT]\n"
       "\nServes GET /v1/pair?a=&b=, /v1/single_source?v=, /v1/topk?v=&k=,\n"
       "POST /v1/batch_pair, /v1/stats, /metrics and /healthz over the\n"
       "given walk index. --port=0 picks a free port. Requests beyond\n"
       "--max-inflight get 429, beyond the per-endpoint cap 503, both with\n"
       "Retry-After. --graph + --wal additionally enable POST /v1/update\n"
-      "and /v1/compact (live edge updates with WAL durability).\n",
+      "and /v1/compact (live edge updates with WAL durability).\n"
+      "--shard-plan + --shard-id serve one shard of a cluster: public\n"
+      "queries outside the shard's vertex range answer 421 and the\n"
+      "/internal/* exchange endpoints come up (see simrank_router).\n"
+      "--replica rejects public writes with 403; --tail-from=PORT keeps a\n"
+      "replica current by tailing that primary's /v1/wal stream.\n",
       argv0);
 }
 
@@ -138,6 +153,27 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
       options->server.compact_graph_path = value_of("--compact-graph-to=");
     } else if (arg == "--no-sync-wal") {
       options->sync_wal = false;
+    } else if (arg == "--no-group-commit") {
+      options->group_commit = false;
+    } else if (simrank::StartsWith(arg, "--group-commit-window-us=")) {
+      if (!simrank::ParseUint64(value_of("--group-commit-window-us="), &u)) {
+        return false;
+      }
+      options->group_commit_window_us = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--shard-plan=")) {
+      options->shard_plan_path = value_of("--shard-plan=");
+    } else if (simrank::StartsWith(arg, "--shard-id=")) {
+      if (!simrank::ParseUint64(value_of("--shard-id="), &u)) return false;
+      options->server.shard_id = static_cast<uint32_t>(u);
+    } else if (arg == "--replica") {
+      options->server.replica = true;
+    } else if (simrank::StartsWith(arg, "--tail-from=")) {
+      if (!simrank::ParseUint64(value_of("--tail-from="), &u) || u == 0 ||
+          u > 65535) {
+        std::fprintf(stderr, "--tail-from must be 1..65535\n");
+        return false;
+      }
+      options->tail_from = static_cast<uint32_t>(u);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -160,6 +196,23 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
     std::fprintf(stderr,
                  "--compact-to/--compact-graph-to/--no-sync-wal require "
                  "--graph and --wal\n");
+    return false;
+  }
+  if (options->shard_plan_path.empty() && options->server.shard_id != 0) {
+    std::fprintf(stderr, "--shard-id requires --shard-plan\n");
+    return false;
+  }
+  if (options->tail_from != 0 && options->wal_path.empty()) {
+    std::fprintf(stderr,
+                 "--tail-from requires --graph and --wal: the replica "
+                 "re-simulates shipped batches and logs them to its own "
+                 "WAL\n");
+    return false;
+  }
+  if (options->tail_from != 0 && !options->server.replica) {
+    std::fprintf(stderr,
+                 "--tail-from requires --replica: a server accepting both "
+                 "public updates and a shipped WAL would fork its graph\n");
     return false;
   }
   return true;
@@ -261,6 +314,22 @@ int RealMain(int argc, char** argv) {
   }
   simrank::QueryEngine engine(*index, *engine_options);
 
+  if (!options.shard_plan_path.empty()) {
+    auto plan = simrank::ShardPlan::LoadFile(options.shard_plan_path);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "cannot load shard plan: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    if (options.server.shard_id >= plan->shards.size()) {
+      std::fprintf(stderr, "--shard-id=%u but the plan has %zu shards\n",
+                   options.server.shard_id, plan->shards.size());
+      return 2;
+    }
+    options.server.sharded = true;
+    options.server.shard_plan = std::move(*plan);
+  }
+
   std::unique_ptr<simrank::IndexUpdater> updater;
   if (!options.wal_path.empty()) {
     auto graph = simrank::ReadGraphAuto(options.graph_path);
@@ -290,6 +359,20 @@ int RealMain(int argc, char** argv) {
     simrank::IndexUpdaterOptions updater_options;
     updater_options.wal_path = options.wal_path;
     updater_options.sync_wal = options.sync_wal;
+    updater_options.group_commit = options.group_commit;
+    if (options.group_commit_window_us > 0) {
+      updater_options.group_commit_window_us =
+          options.group_commit_window_us;
+    }
+    if (options.server.sharded) {
+      // A shard's index stores out-of-range vertices as dead rows; the
+      // range filter keeps the updater from re-simulating (and thereby
+      // reviving) walks this shard does not own.
+      const simrank::ShardRange& range =
+          options.server.shard_plan.shards[options.server.shard_id];
+      updater_options.vertex_begin = range.begin;
+      updater_options.vertex_end = range.end;
+    }
     auto opened = simrank::IndexUpdater::Open(*index, std::move(*graph),
                                               updater_options);
     if (!opened.ok()) {
@@ -333,6 +416,21 @@ int RealMain(int argc, char** argv) {
                  options.warm_path.c_str());
   }
 
+  std::unique_ptr<simrank::WalTailer> tailer;
+  if (options.tail_from != 0) {
+    simrank::WalTailerOptions tailer_options;
+    tailer_options.source_port = static_cast<uint16_t>(options.tail_from);
+    tailer = std::make_unique<simrank::WalTailer>(engine, *updater,
+                                                  tailer_options);
+    auto started = tailer->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "cannot start WAL tailer: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "tailing WAL of 127.0.0.1:%u\n", options.tail_from);
+  }
+
   g_server = &server;
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
@@ -348,6 +446,14 @@ int RealMain(int argc, char** argv) {
 
   status = server.Serve();
   g_server = nullptr;
+  if (tailer != nullptr) {
+    tailer->Stop();
+    const simrank::WalTailerStats tail_stats = tailer->stats();
+    if (tail_stats.halted) {
+      std::fprintf(stderr, "WAL tailer halted: %s\n",
+                   tail_stats.last_error.c_str());
+    }
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "server failed: %s\n", status.ToString().c_str());
     return 1;
