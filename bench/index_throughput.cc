@@ -17,6 +17,9 @@
 //   5. single-source / top-k throughput cold vs. cached.
 // The acceptance bar for this harness: cached indexed pair queries at
 // least 10x faster than the exact single-pair path.
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,7 +27,10 @@
 #include <utility>
 #include <vector>
 
+#include "simrank/common/json_writer.h"
 #include "simrank/common/memory_tracker.h"
+#include "simrank/common/simd.h"
+#include "simrank/index/segment_reader.h"
 #include "simrank/common/rng.h"
 #include "simrank/common/string_util.h"
 #include "simrank/common/thread_pool.h"
@@ -337,6 +343,117 @@ int Main() {
   topk_table.AddRow({"top-10 (warm cache)", FormatDuration(ss_warm),
                      StrFormat("%.0f", 1.0 / ss_warm)});
   std::printf("%s\n", topk_table.Render().c_str());
+
+  // --- cold serve: page-cache drop to first answer ------------------------
+  // The serve-path question a restart poses: with the index file evicted
+  // (posix_fadvise DONTNEED), how long from open to the first single-source
+  // answer, and through the whole hot sweep? Measured with the io_uring
+  // batched reader on and off; the answers themselves are checked equal.
+  auto drop_page_cache = [&index_path]() {
+    const int fd = ::open(index_path.c_str(), O_RDONLY);
+    OIPSIM_CHECK(fd >= 0);
+    ::fsync(fd);  // dirty pages cannot be dropped
+    ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+    ::close(fd);
+  };
+  struct ColdServe {
+    double open_seconds = 0.0;
+    double first_answer_seconds = 0.0;
+    double sweep_seconds = 0.0;
+    bool used_uring = false;
+    double first_row_sum = 0.0;
+  };
+  auto cold_serve = [&](bool enable_uring) {
+    SegmentReader::SetIoUringEnabled(enable_uring);
+    drop_page_cache();
+    ColdServe measured;
+    WallTimer open_timer;
+    open_timer.Start();
+    auto cold_index = WalkIndex::Load(index_path, mmap_options);
+    open_timer.Stop();
+    OIPSIM_CHECK(cold_index.ok());
+    measured.open_seconds = open_timer.ElapsedSeconds();
+    measured.used_uring = cold_index->store().UsesIoUring();
+    WallTimer first_timer;
+    first_timer.Start();
+    const auto first_row =
+        cold_index->EstimateSingleSource(workload.sources[0]);
+    first_timer.Stop();
+    measured.first_answer_seconds = first_timer.ElapsedSeconds();
+    for (double s : first_row) measured.first_row_sum += s;
+    WallTimer sweep_timer;
+    sweep_timer.Start();
+    for (VertexId v : workload.sources) {
+      (void)cold_index->EstimateSingleSource(v);
+    }
+    sweep_timer.Stop();
+    measured.sweep_seconds = sweep_timer.ElapsedSeconds();
+    return measured;
+  };
+  const bool uring_was_enabled = SegmentReader::IoUringEnabled();
+  // Throwaway pass: the first drop-and-serve after saving the index pays
+  // for straggling writeback/journal flushes, whichever backend runs it.
+  (void)cold_serve(false);
+  const ColdServe uring_serve = cold_serve(true);
+  const ColdServe fallback_serve = cold_serve(false);
+  SegmentReader::SetIoUringEnabled(uring_was_enabled);
+  OIPSIM_CHECK_MSG(uring_serve.first_row_sum == fallback_serve.first_row_sum,
+                   "cold first answers differ between read backends");
+  TablePrinter cold_table({"cold serve (mmap, dropped cache)", "open",
+                           "first answer", "hot sweep"});
+  cold_table.AddRow(
+      {uring_serve.used_uring ? "io_uring batched reads"
+                              : "io_uring requested (unavailable)",
+       FormatDuration(uring_serve.open_seconds),
+       FormatDuration(uring_serve.first_answer_seconds),
+       FormatDuration(uring_serve.sweep_seconds)});
+  cold_table.AddRow({"pread/fadvise fallback",
+                     FormatDuration(fallback_serve.open_seconds),
+                     FormatDuration(fallback_serve.first_answer_seconds),
+                     FormatDuration(fallback_serve.sweep_seconds)});
+  std::printf("%s\n", cold_table.Render().c_str());
+
+  // Machine-readable serve summary for CI trend lines.
+  {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("bench").String("index_throughput");
+    json.Key("simd_level").String(SimdLevelName(ActiveSimdLevel()));
+    json.Key("io_uring_build_support")
+        .Bool(SegmentReader::BuildSupportsIoUring());
+    json.Key("io_uring_used").Bool(uring_serve.used_uring);
+    json.Key("cold_serve").BeginObject();
+    auto emit_cold = [&json](const char* key, const ColdServe& serve) {
+      json.Key(key).BeginObject();
+      json.Key("open_seconds").Double(serve.open_seconds);
+      json.Key("first_answer_seconds").Double(serve.first_answer_seconds);
+      json.Key("hot_sweep_seconds").Double(serve.sweep_seconds);
+      json.EndObject();
+    };
+    emit_cold("io_uring", uring_serve);
+    emit_cold("fallback", fallback_serve);
+    json.EndObject();
+    json.Key("single_source_seconds_per_query").BeginObject();
+    json.Key("scan_in_memory").Double(scan_seconds / queries);
+    json.Key("inverted_in_memory").Double(inverted_seconds / queries);
+    json.Key("inverted_mmap").Double(mmap_seconds / queries);
+    json.EndObject();
+    json.Key("pair_seconds_per_query").BeginObject();
+    json.Key("exact").Double(exact_per_query);
+    json.Key("index_cold").Double(cold_per_query);
+    json.Key("index_warm").Double(warm_per_query);
+    json.EndObject();
+    json.Key("topk_seconds_per_query").BeginObject();
+    json.Key("cold").Double(ss_cold);
+    json.Key("warm").Double(ss_warm);
+    json.EndObject();
+    json.EndObject();
+    std::FILE* out = std::fopen("BENCH_serve.json", "w");
+    OIPSIM_CHECK(out != nullptr);
+    std::fprintf(out, "%s\n", json.str().c_str());
+    std::fclose(out);
+    std::printf("# wrote BENCH_serve.json\n");
+  }
 
   const auto stats = warm_engine.cache_stats();
   std::printf("# warm cache: %llu hits, %llu misses, %llu evictions\n",

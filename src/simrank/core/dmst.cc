@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "simrank/core/parallel.h"
 #include "simrank/graph/set_ops.h"
 
 namespace simrank {
@@ -87,22 +88,35 @@ Result<TransitionMst> DmstReduce(const DiGraph& graph,
   }
   mst.tree = Tree(0, std::move(parent));
 
-  // Diff lists (Eq. 9) and cost statistics.
+  // Diff lists (Eq. 9). Each set's lists depend only on its own and its
+  // parent's (read-only) contents, so they materialise in parallel; the
+  // cost statistics are reduced serially from the list sizes afterwards,
+  // making both the lists and the stats thread-count independent. Parent
+  // selection above stays serial: it is the op-counted, order-dependent
+  // phase.
+  PropagationExecutor executor(options.num_threads);
   mst.add.assign(p + 1, {});
   mst.sub.assign(p + 1, {});
-  uint64_t symdiff_total = 0;
-  for (uint32_t s = 0; s < p; ++s) {
+  executor.ParallelFor(0, p, [&](uint64_t i) {
+    const auto s = static_cast<uint32_t>(i);
     const uint32_t node = s + 1;
     auto contents = mst.sets.Contents(graph, s);
-    mst.cost_without_sharing += mst.sets.set_size[s] - 1;
     if (parent_set[s] < 0) {
       mst.add[node].assign(contents.begin(), contents.end());
-      mst.total_cost += mst.sets.set_size[s] - 1;
     } else {
       auto parent_contents =
           mst.sets.Contents(graph, static_cast<uint32_t>(parent_set[s]));
       SetDifferences(contents, parent_contents, &mst.add[node],
                      &mst.sub[node]);
+    }
+  });
+  uint64_t symdiff_total = 0;
+  for (uint32_t s = 0; s < p; ++s) {
+    const uint32_t node = s + 1;
+    mst.cost_without_sharing += mst.sets.set_size[s] - 1;
+    if (parent_set[s] < 0) {
+      mst.total_cost += mst.sets.set_size[s] - 1;
+    } else {
       const uint64_t symdiff = mst.add[node].size() + mst.sub[node].size();
       mst.total_cost += symdiff;
       symdiff_total += symdiff;
@@ -124,17 +138,19 @@ Result<TransitionMst> DmstReduce(const DiGraph& graph,
         if (node != 0) preorder.push_back(node - 1);
       },
       [](uint32_t) {});
-  mst.schedule.reserve(p);
-  int64_t prev_set = -1;
-  for (uint32_t s : preorder) {
-    ScheduleStep step;
+  // Step i diffs only against preorder[i-1], so every step is computable
+  // independently from the (already fixed) preorder — same parallel shape
+  // as the diff lists, with the serial cost reduction after.
+  mst.schedule.assign(p, ScheduleStep{});
+  executor.ParallelFor(0, p, [&](uint64_t i) {
+    ScheduleStep& step = mst.schedule[i];
+    const uint32_t s = preorder[i];
     step.set = s;
     auto contents = mst.sets.Contents(graph, s);
     const uint64_t scratch_cost = mst.sets.set_size[s] - 1;
     bool use_diff = false;
-    if (prev_set >= 0) {
-      auto prev_contents =
-          mst.sets.Contents(graph, static_cast<uint32_t>(prev_set));
+    if (i > 0) {
+      auto prev_contents = mst.sets.Contents(graph, preorder[i - 1]);
       if (SymmetricDifferenceSizeCapped(prev_contents, contents,
                                         scratch_cost) < scratch_cost) {
         SetDifferences(contents, prev_contents, &step.add, &step.sub);
@@ -145,10 +161,11 @@ Result<TransitionMst> DmstReduce(const DiGraph& graph,
       step.from_scratch = true;
       step.add.assign(contents.begin(), contents.end());
     }
-    mst.schedule_cost +=
-        use_diff ? step.add.size() + step.sub.size() : scratch_cost;
-    prev_set = static_cast<int64_t>(s);
-    mst.schedule.push_back(std::move(step));
+  });
+  for (const ScheduleStep& step : mst.schedule) {
+    mst.schedule_cost += step.from_scratch
+                             ? mst.sets.set_size[step.set] - 1
+                             : step.add.size() + step.sub.size();
   }
   return mst;
 }

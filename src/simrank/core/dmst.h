@@ -41,6 +41,11 @@ enum class DmstPolicy {
 
 struct DmstOptions {
   DmstPolicy policy = DmstPolicy::kMinCost;
+  /// Worker threads for the embarrassingly-parallel phases (diff-list
+  /// materialisation and schedule construction; parent *selection* stays
+  /// serial — it is the one op-counted, order-dependent part). 0 = hardware
+  /// concurrency. The output is identical for every value.
+  uint32_t num_threads = 1;
 };
 
 /// One step of the partial-sum replay schedule: derive the partial sums of

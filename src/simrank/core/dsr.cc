@@ -98,7 +98,8 @@ Result<DenseMatrix> DifferentialSimRank(const DiGraph& graph,
     WallTimer setup_timer;
     setup_timer.Start();
     OpCounter setup_ops;
-    Result<TransitionMst> mst = DmstReduce(graph, {}, &setup_ops);
+    Result<TransitionMst> mst = DmstReduce(
+        graph, {DmstPolicy::kMinCost, options.threads}, &setup_ops);
     setup_timer.Stop();
     if (!mst.ok()) return mst.status();
     if (stats != nullptr) {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "simrank/common/coupled_hash.h"
+#include "simrank/common/simd.h"
 #include "simrank/common/string_util.h"
 #include "simrank/common/thread_pool.h"
 #include "simrank/graph/graph_io.h"
@@ -163,6 +164,53 @@ const uint32_t* DecodeBaseRow(const WalkStore& store, VertexId v,
   return scratch->data();
 }
 
+/// First-meeting accumulation over one bucket under base+overlay. The
+/// scalar path is the checked ForEachBucketVertex walk — the reference
+/// semantics, including the fatal diagnostic on out-of-range ids. With a
+/// vector tier active, the bucket is first guarded (all ids < n, strictly
+/// ascending — the invariant every valid file satisfies); only then does
+/// the vector kernel take over, performing the identical set of updates in
+/// the identical ascending order. A guard failure falls through to the
+/// scalar walk untouched, so corruption behaves exactly as before.
+void AccumulateBucketVertices(const WalkStore& store,
+                              const DeltaOverlay* overlay, uint32_t r,
+                              uint32_t t, uint32_t pv, uint32_t round,
+                              double weight, uint32_t n,
+                              std::vector<uint32_t>* merged_scratch,
+                              std::vector<uint32_t>* met_round,
+                              std::vector<double>* result) {
+  const SimdLevel simd = ActiveSimdLevel();
+  if (simd != SimdLevel::kScalar) {
+    const uint32_t* vertices = nullptr;
+    size_t count = 0;
+    const DeltaOverlay::SlotDelta* delta =
+        overlay == nullptr ? nullptr : overlay->Delta(r, t);
+    if (delta == nullptr) {
+      const std::span<const VertexId> base = store.Bucket(r, t, pv);
+      vertices = base.data();
+      count = base.size();
+    } else {
+      CollectBucketVertices(store, overlay, r, t, pv, merged_scratch);
+      vertices = merged_scratch->data();
+      count = merged_scratch->size();
+    }
+    if (FindFirstInvalidVertex(simd, vertices, count, n) == count) {
+      AccumulateBucket(simd, vertices, count, round, weight,
+                       met_round->data(), result->data());
+      return;
+    }
+  }
+  ForEachBucketVertex(store, overlay, r, t, pv, [&](const uint32_t b) {
+    OIPSIM_CHECK_MSG(b < n,
+                     "corrupt inverted index while serving: vertex id "
+                     "%u >= n=%u (run VerifyPayload on this file)",
+                     b, n);
+    if ((*met_round)[b] == round) return;
+    (*result)[b] += weight;
+    (*met_round)[b] = round;
+  });
+}
+
 }  // namespace
 
 double WalkIndex::EstimatePair(VertexId a, VertexId b,
@@ -246,12 +294,17 @@ std::vector<double> WalkIndex::EstimateSingleSource(
   std::vector<uint32_t> decoded;
   const uint32_t* base_row =
       flat != nullptr ? nullptr : DecodeBaseRow(*store_, v, &decoded);
+  // Paged backend: the R·L bucket lookups below touch pages scattered
+  // across the whole inverted region — start the readahead (a one-time
+  // batched submission) before the first lookup faults.
+  if (flat == nullptr) store_->PrefetchSlots();
 
   std::vector<double> result(n, 0.0);
   // met_round[b] == r+1 marks that b's walk already met v's walk within
   // fingerprint r (first-meeting semantics) — an epoch stamp, so the array
   // is never re-cleared.
   std::vector<uint32_t> met_round(n, 0);
+  std::vector<uint32_t> merged_scratch;
   for (uint32_t r = 0; r < R; ++r) {
     const uint32_t round = r + 1;
     met_round[v] = round;
@@ -274,16 +327,10 @@ std::vector<double> WalkIndex::EstimateSingleSource(
       // checking only the last element would not do): an out-of-range id
       // is payload corruption the (deliberately payload-blind) mmap open
       // could not have seen, and it must not become an out-of-bounds
-      // write below.
-      ForEachBucketVertex(*store_, overlay, r, t, pv, [&](const uint32_t b) {
-        OIPSIM_CHECK_MSG(b < n,
-                         "corrupt inverted index while serving: vertex id "
-                         "%u >= n=%u (run VerifyPayload on this file)",
-                         b, n);
-        if (met_round[b] == round) return;
-        result[b] += weight;
-        met_round[b] = round;
-      });
+      // write — AccumulateBucketVertices guards before any vector fast
+      // path and falls back to the checked scalar walk.
+      AccumulateBucketVertices(*store_, overlay, r, t, pv, round, weight, n,
+                               &merged_scratch, &met_round, &result);
     }
   }
   // Divide (not multiply by a reciprocal) so every entry is bit-identical
@@ -343,8 +390,10 @@ std::vector<double> WalkIndex::EstimateSingleSourceWithRow(
   const size_t row = static_cast<size_t>(L) + 1;
   OIPSIM_CHECK(row_v.size() == static_cast<size_t>(R) * row);
 
+  if (store_->FlatWalks() == nullptr) store_->PrefetchSlots();
   std::vector<double> result(n, 0.0);
   std::vector<uint32_t> met_round(n, 0);
+  std::vector<uint32_t> merged_scratch;
   // Mirrors EstimateSingleSource exactly, with pv read from the supplied
   // row: the bucket walk order and the per-b accumulation order are
   // unchanged, so each entry this index's rows cover is the identical
@@ -356,15 +405,8 @@ std::vector<double> WalkIndex::EstimateSingleSourceWithRow(
       const uint32_t pv = row_v[r * row + t];
       if (pv == kDeadWalk) break;
       const double weight = damping_powers_[t];
-      ForEachBucketVertex(*store_, overlay, r, t, pv, [&](const uint32_t b) {
-        OIPSIM_CHECK_MSG(b < n,
-                         "corrupt inverted index while serving: vertex id "
-                         "%u >= n=%u (run VerifyPayload on this file)",
-                         b, n);
-        if (met_round[b] == round) return;
-        result[b] += weight;
-        met_round[b] = round;
-      });
+      AccumulateBucketVertices(*store_, overlay, r, t, pv, round, weight, n,
+                               &merged_scratch, &met_round, &result);
     }
   }
   const double fingerprints =

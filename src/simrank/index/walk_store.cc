@@ -5,10 +5,12 @@
 #include <cstring>
 
 #include "simrank/common/macros.h"
+#include "simrank/common/simd.h"
 #include "simrank/common/stream_hash.h"
 #include "simrank/common/string_util.h"
 #include "simrank/common/thread_pool.h"
 #include "simrank/common/varint.h"
+#include "simrank/index/segment_reader.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define OIPSIM_HAVE_MMAP 1
@@ -367,6 +369,7 @@ Status DecodeSegment(const WalkStoreMeta& meta, bool compressed, VertexId v,
         path.c_str(), what,
         static_cast<unsigned long long>(abs_offset + (cursor - begin))));
   };
+  const SimdLevel simd = ActiveSimdLevel();
   for (uint32_t r = 0; r < meta.num_fingerprints; ++r) {
     uint32_t length = 0;
     if (compressed) {
@@ -380,7 +383,26 @@ Status DecodeSegment(const WalkStoreMeta& meta, bool compressed, VertexId v,
     }
     if (length > L) return corrupt("walk length exceeds walk_length");
     uint32_t prev = v;
-    for (uint32_t t = 1; t <= length; ++t) {
+    uint32_t t = 1;
+    // Vector fast path: bulk-decode a validated prefix of this walk. The
+    // kernels commit only whole in-range chunks and leave the cursor at
+    // the first byte they did not consume, so the scalar loop below picks
+    // up the tail — and is the only place malformed bytes are diagnosed,
+    // at the same offsets as a scalar-only decode.
+    if (simd != SimdLevel::kScalar && length > 0) {
+      uint32_t* dst = out + r * row;
+      const size_t bulk =
+          compressed
+              ? DecodeDeltaRun(simd, &cursor, end, prev, meta.n, dst + 1,
+                               length)
+              : CopyCheckedWords(simd, &cursor, end, meta.n, dst + 1,
+                                 length);
+      if (bulk > 0) {
+        t += static_cast<uint32_t>(bulk);
+        prev = dst[bulk];
+      }
+    }
+    for (; t <= length; ++t) {
       uint32_t position = 0;
       if (compressed) {
         uint64_t zigzag = 0;
@@ -439,11 +461,10 @@ Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
 std::span<const VertexId> WalkStore::Bucket(uint32_t r, uint32_t t,
                                             uint32_t position) const {
   const SlotView slot = Slot(r, t);
-  const uint32_t* begin = slot.positions;
-  const uint32_t* end = begin + slot.count;
-  const uint32_t* lo = std::lower_bound(begin, end, position);
-  const uint32_t* hi = std::upper_bound(lo, end, position);
-  return {slot.vertices + (lo - begin), static_cast<size_t>(hi - lo)};
+  // Exactly std::equal_range at every dispatch level.
+  const EqualRange range =
+      EqualRangeU32(ActiveSimdLevel(), slot.positions, slot.count, position);
+  return {slot.vertices + range.begin, range.end - range.begin};
 }
 
 // ---------------------------------------------------------------- writer
@@ -792,6 +813,8 @@ Result<std::unique_ptr<InMemoryWalkStore>> InMemoryWalkStore::Open(
 
 // ----------------------------------------------------------- mmap backend
 
+MmapWalkStore::MmapWalkStore() = default;
+
 MmapWalkStore::~MmapWalkStore() {
 #if OIPSIM_HAVE_MMAP
   if (data_ != nullptr) {
@@ -857,6 +880,11 @@ Result<std::unique_ptr<MmapWalkStore>> MmapWalkStore::Open(
   // kernel keeps them ahead of cold payload pages under memory pressure.
   ::madvise(const_cast<uint8_t*>(store->data_), layout.segments_offset,
             MADV_WILLNEED);
+  // Batched cold-read accelerator on its own descriptor (the mapping's fd
+  // was just closed). Failure to reopen is tolerated: prefetch simply
+  // falls back to per-run madvise.
+  auto reader_or = SegmentReader::Open(path);
+  if (reader_or.ok()) store->reader_ = std::move(reader_or).value();
   return store;
 #else
   (void)path;
@@ -897,18 +925,19 @@ uint64_t MmapWalkStore::ResidentBytes() const {
 void MmapWalkStore::Prefetch(std::span<const VertexId> vertices) const {
 #if OIPSIM_HAVE_MMAP
   // Sorting first makes the page ranges monotone, so overlapping and
-  // adjacent segments coalesce into one madvise per contiguous run — a
-  // clustered warm list costs few syscalls regardless of input order.
+  // adjacent segments coalesce into one run per contiguous stretch — a
+  // clustered warm list costs few submissions regardless of input order.
   // Out-of-range ids are skipped (a hint API must not turn a stale warm
-  // list into a crash).
+  // list into a crash). With a live segment reader the coalesced runs go
+  // out as one batched ring submission; otherwise one madvise per run.
   std::vector<VertexId> sorted(vertices.begin(), vertices.end());
   std::sort(sorted.begin(), sorted.end());
+  std::vector<SegmentReader::Range> runs;
   uint64_t run_begin = 0;
   uint64_t run_end = 0;
   auto flush = [&] {
     if (run_end > run_begin) {
-      ::madvise(const_cast<uint8_t*>(data_) + run_begin,
-                run_end - run_begin, MADV_WILLNEED);
+      runs.push_back(SegmentReader::Range{run_begin, run_end - run_begin});
     }
   };
   const uint64_t segments_abs =
@@ -928,9 +957,51 @@ void MmapWalkStore::Prefetch(std::span<const VertexId> vertices) const {
     }
   }
   flush();
+  if (runs.empty()) return;
+  // Runs can extend past EOF (the last segment's page-aligned end); clamp
+  // for the reader, which reads real bytes rather than advising pages.
+  if (reader_ != nullptr) {
+    for (SegmentReader::Range& run : runs) {
+      if (run.offset >= size_) {
+        run.length = 0;
+      } else {
+        run.length = std::min<uint64_t>(run.length, size_ - run.offset);
+      }
+    }
+    reader_->Prefetch(runs);
+    return;
+  }
+  for (const SegmentReader::Range& run : runs) {
+    ::madvise(const_cast<uint8_t*>(data_) + run.offset, run.length,
+              MADV_WILLNEED);
+  }
 #else
   (void)vertices;
 #endif
+}
+
+void MmapWalkStore::PrefetchSlots() const {
+#if OIPSIM_HAVE_MMAP
+  // Once per store: a cold single-source query walks R·L bucket lookups
+  // scattered across the whole inverted region, the worst case for
+  // one-page-at-a-time faulting.
+  if (slots_prefetched_.exchange(true, std::memory_order_relaxed)) return;
+  const uint64_t inverted_abs =
+      static_cast<uint64_t>(inverted_base_ - data_);
+  if (reader_ != nullptr) {
+    const uint64_t length =
+        std::min<uint64_t>(inverted_bytes_, size_ - inverted_abs);
+    const SegmentReader::Range run{inverted_abs, length};
+    reader_->Prefetch(std::span<const SegmentReader::Range>(&run, 1));
+    return;
+  }
+  ::madvise(const_cast<uint8_t*>(data_) + inverted_abs, inverted_bytes_,
+            MADV_WILLNEED);
+#endif
+}
+
+bool MmapWalkStore::UsesIoUring() const {
+  return reader_ != nullptr && reader_->using_io_uring();
 }
 
 Status MmapWalkStore::VerifyPayload() const {

@@ -37,6 +37,7 @@
 #ifndef OIPSIM_SIMRANK_INDEX_WALK_STORE_H_
 #define OIPSIM_SIMRANK_INDEX_WALK_STORE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -48,6 +49,8 @@
 #include "simrank/graph/digraph.h"
 
 namespace simrank {
+
+class SegmentReader;
 
 /// Format-level cap on walk_length, enforced at build and load. The
 /// truncation weight C^t is dozens of orders of magnitude below the
@@ -137,6 +140,16 @@ class WalkStore {
     (void)vertices;
   }
 
+  /// Advises the OS to fault in the whole inverted-index region, which an
+  /// output-sensitive single-source query walks bucket by bucket. Backends
+  /// that are already resident no-op; the mmap backend issues the
+  /// readahead once per store lifetime. Purely a hint, like Prefetch.
+  virtual void PrefetchSlots() const {}
+
+  /// True when cold reads of this store are currently serviced through an
+  /// io_uring (mmap backend with a live ring); diagnostics only.
+  virtual bool UsesIoUring() const { return false; }
+
   /// Recomputes the payload checksum against the header's. The in-memory
   /// backend verified it at open and returns OK immediately; the mmap
   /// backend performs the full payload read this entails.
@@ -223,10 +236,12 @@ class MmapWalkStore final : public WalkStore {
   uint64_t ResidentBytes() const override;
   Status VerifyPayload() const override;
   void Prefetch(std::span<const VertexId> vertices) const override;
+  void PrefetchSlots() const override;
+  bool UsesIoUring() const override;
   const char* backend_name() const override { return "mmap"; }
 
  private:
-  MmapWalkStore() = default;
+  MmapWalkStore();
 
   std::string path_;
   const uint8_t* data_ = nullptr;  // whole-file read-only mapping
@@ -241,6 +256,11 @@ class MmapWalkStore final : public WalkStore {
   uint64_t segments_bytes_ = 0;
   uint64_t inverted_bytes_ = 0;
   uint64_t directory_bytes_ = 0;
+  /// Batched cold-read accelerator over the same file (own descriptor;
+  /// the mapping's fd is closed right after mmap). Null when the file
+  /// could not be reopened — prefetch then falls back to madvise.
+  std::unique_ptr<SegmentReader> reader_;
+  mutable std::atomic<bool> slots_prefetched_{false};
 };
 
 /// Header/directory summary of an index file, readable without loading

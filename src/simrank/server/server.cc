@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "simrank/common/json_writer.h"
+#include "simrank/common/simd.h"
 #include "simrank/common/string_util.h"
 #include "simrank/graph/graph_io.h"
 
@@ -1540,6 +1541,8 @@ std::string SimRankServer::BuildStatsBody() const {
   json.Key("graph_fingerprint")
       .String(FormatFingerprint(index.graph_fingerprint()));
   json.Key("backend").String(index.store().backend_name());
+  json.Key("simd").String(SimdLevelName(ActiveSimdLevel()));
+  json.Key("io_uring").Bool(index.store().UsesIoUring());
   json.Key("resident_bytes").Uint(index.SizeBytes());
   json.EndObject();
   json.EndObject();

@@ -178,6 +178,50 @@ TEST(DmstReduceTest, EmptyGraph) {
   EXPECT_EQ(mst->total_cost, 0u);
 }
 
+TEST(DmstReduceTest, OutputIsIdenticalForEveryThreadCount) {
+  // The parallel phases (diff-list materialisation and schedule
+  // construction) must be invisible in the output: same tree, same lists,
+  // same schedule, same costs, same op counts for any worker count —
+  // including 0 (hardware concurrency).
+  DiGraph graph = testing::RandomGraph(120, 600, 77);
+  DmstOptions serial_options;
+  serial_options.num_threads = 1;
+  OpCounter serial_ops;
+  auto serial = DmstReduce(graph, serial_options, &serial_ops);
+  ASSERT_TRUE(serial.ok());
+
+  for (const uint32_t threads : {0u, 2u, 4u, 7u}) {
+    DmstOptions options;
+    options.num_threads = threads;
+    OpCounter ops;
+    auto parallel = DmstReduce(graph, options, &ops);
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+
+    EXPECT_EQ(parallel->add, serial->add);
+    EXPECT_EQ(parallel->sub, serial->sub);
+    ASSERT_EQ(parallel->schedule.size(), serial->schedule.size());
+    for (size_t i = 0; i < serial->schedule.size(); ++i) {
+      EXPECT_EQ(parallel->schedule[i].set, serial->schedule[i].set) << i;
+      EXPECT_EQ(parallel->schedule[i].from_scratch,
+                serial->schedule[i].from_scratch)
+          << i;
+      EXPECT_EQ(parallel->schedule[i].add, serial->schedule[i].add) << i;
+      EXPECT_EQ(parallel->schedule[i].sub, serial->schedule[i].sub) << i;
+    }
+    EXPECT_EQ(parallel->schedule_cost, serial->schedule_cost);
+    EXPECT_EQ(parallel->total_cost, serial->total_cost);
+    EXPECT_EQ(parallel->cost_without_sharing, serial->cost_without_sharing);
+    EXPECT_EQ(parallel->shared_edges, serial->shared_edges);
+    EXPECT_EQ(parallel->avg_symmetric_difference,
+              serial->avg_symmetric_difference);
+    // Parent selection (the only op-counted phase) stays serial, so the
+    // counters are exact, not approximate.
+    EXPECT_EQ(ops.counts().set_ops, serial_ops.counts().set_ops);
+    EXPECT_EQ(ops.counts().total(), serial_ops.counts().total());
+  }
+}
+
 TEST(DmstReduceTest, DuplicateInNeighbourSetsCollapse) {
   // Two vertices with identical in-neighbour sets map to one G* node.
   DiGraph::Builder builder(4);

@@ -1,0 +1,194 @@
+#include "simrank/index/segment_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "simrank/common/status.h"
+
+namespace simrank {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string tag = std::string(info->test_suite_name()) + "_" +
+                    info->name() + "_" + name;
+  // Parameterized suite/test names contain '/' — not directory parts here.
+  std::replace(tag.begin(), tag.end(), '/', '_');
+  return ::testing::TempDir() + tag;
+}
+
+// A deterministic pseudo-random file so any misplaced read shows up as a
+// byte mismatch, not a coincidental match.
+std::vector<uint8_t> WritePatternFile(const std::string& path, size_t size) {
+  std::vector<uint8_t> bytes(size);
+  std::mt19937 rng(12345);
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return bytes;
+}
+
+// Reads `ranges` through the reader and checks every destination buffer
+// byte-for-byte against the in-memory copy of the file.
+void CheckRanges(SegmentReader* reader, const std::vector<uint8_t>& file,
+                 const std::vector<SegmentReader::Range>& ranges) {
+  std::vector<std::vector<uint8_t>> buffers(ranges.size());
+  std::vector<uint8_t*> dests(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    buffers[i].assign(ranges[i].length, 0xCC);
+    dests[i] = buffers[i].data();
+  }
+  const Status status = reader->ReadInto(ranges, dests.data());
+  ASSERT_TRUE(status.ok()) << status.message();
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    ASSERT_LE(ranges[i].offset + ranges[i].length, file.size());
+    for (size_t j = 0; j < ranges[i].length; ++j) {
+      ASSERT_EQ(buffers[i][j], file[ranges[i].offset + j])
+          << "range " << i << " byte " << j;
+    }
+  }
+}
+
+class SegmentReaderTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    uring_was_enabled_ = SegmentReader::IoUringEnabled();
+    SegmentReader::SetIoUringEnabled(GetParam());
+  }
+  void TearDown() override {
+    SegmentReader::SetIoUringEnabled(uring_was_enabled_);
+  }
+
+ private:
+  bool uring_was_enabled_ = false;
+};
+
+TEST_P(SegmentReaderTest, MissingFileFailsToOpen) {
+  auto reader = SegmentReader::Open(TempPath("does_not_exist.bin"));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST_P(SegmentReaderTest, InOrderOutOfOrderDuplicateAndOverlappingRanges) {
+  const std::string path = TempPath("pattern.bin");
+  const std::vector<uint8_t> file = WritePatternFile(path, 256 * 1024);
+  auto reader = SegmentReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+  if (GetParam() && !(*reader)->using_io_uring()) {
+    GTEST_LOG_(INFO) << "io_uring unavailable here; exercising fallback";
+  }
+
+  CheckRanges(reader->get(), file, {});
+  CheckRanges(reader->get(), file, {{0, 100}});
+  CheckRanges(reader->get(), file,
+              {{0, 4096}, {4096, 4096}, {8192, 1}});  // in order
+  CheckRanges(reader->get(), file,
+              {{200000, 333}, {17, 90}, {65536, 4096}});  // out of order
+  CheckRanges(reader->get(), file,
+              {{1000, 50}, {1000, 50}, {1000, 50}});  // duplicates
+  CheckRanges(reader->get(), file,
+              {{1000, 5000}, {3000, 5000}, {4000, 100}});  // overlapping
+  CheckRanges(reader->get(), file, {{0, 0}, {5, 0}, {7, 3}});  // empty
+  CheckRanges(reader->get(), file,
+              {{file.size() - 10, 10}});  // ends exactly at EOF
+}
+
+TEST_P(SegmentReaderTest, MoreRangesThanOneSubmissionWave) {
+  const std::string path = TempPath("waves.bin");
+  const std::vector<uint8_t> file = WritePatternFile(path, 512 * 1024);
+  auto reader = SegmentReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+
+  // 200 ranges > the 64-entry ring, so the uring path must run several
+  // waves; a shuffled order additionally stresses completion matching.
+  std::vector<SegmentReader::Range> ranges;
+  for (uint64_t i = 0; i < 200; ++i) {
+    ranges.push_back({(i * 2557) % (file.size() - 512), 1 + (i * 37) % 512});
+  }
+  std::mt19937 rng(99);
+  std::shuffle(ranges.begin(), ranges.end(), rng);
+  CheckRanges(reader->get(), file, ranges);
+}
+
+TEST_P(SegmentReaderTest, ReadPastEofIsAShortReadError) {
+  const std::string path = TempPath("short.bin");
+  WritePatternFile(path, 1000);
+  auto reader = SegmentReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+
+  std::vector<uint8_t> buffer(200, 0);
+  uint8_t* dest = buffer.data();
+  const std::vector<SegmentReader::Range> ranges = {{900, 200}};
+  const Status status = reader->get()->ReadInto(ranges, &dest);
+  ASSERT_FALSE(status.ok());
+  // Same prefix the buffered whole-file reader uses, so a cold-path
+  // failure reads identically to a warm-path one.
+  EXPECT_NE(status.message().find("short read"), std::string::npos)
+      << status.message();
+}
+
+TEST_P(SegmentReaderTest, PrefetchIsAHarmlessHint) {
+  const std::string path = TempPath("prefetch.bin");
+  const std::vector<uint8_t> file = WritePatternFile(path, 128 * 1024);
+  auto reader = SegmentReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+
+  const std::vector<SegmentReader::Range> two = {{0, 64 * 1024},
+                                                 {100 * 1024, 28 * 1024}};
+  (*reader)->Prefetch(two);
+  (*reader)->Prefetch(std::vector<SegmentReader::Range>{});  // empty is fine
+  const std::vector<SegmentReader::Range> whole = {{0, file.size()}};
+  (*reader)->Prefetch(whole);
+  // Reads after prefetch still see exact bytes.
+  CheckRanges(reader->get(), file, {{64 * 1024 - 7, 77}});
+}
+
+TEST_P(SegmentReaderTest, ResultsAreIdenticalWithAndWithoutUring) {
+  const std::string path = TempPath("parity.bin");
+  const std::vector<uint8_t> file = WritePatternFile(path, 96 * 1024);
+
+  std::vector<SegmentReader::Range> ranges;
+  for (uint64_t i = 0; i < 40; ++i) {
+    ranges.push_back({(i * 4099) % (file.size() - 256), 1 + (i * 13) % 256});
+  }
+
+  auto read_all = [&](bool enable) {
+    SegmentReader::SetIoUringEnabled(enable);
+    auto reader = SegmentReader::Open(path);
+    EXPECT_TRUE(reader.ok());
+    std::vector<std::vector<uint8_t>> buffers(ranges.size());
+    std::vector<uint8_t*> dests(ranges.size());
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      buffers[i].assign(ranges[i].length, 0);
+      dests[i] = buffers[i].data();
+    }
+    EXPECT_TRUE((*reader)->ReadInto(ranges, dests.data()).ok());
+    return buffers;
+  };
+  const auto with_uring = read_all(true);
+  const auto without_uring = read_all(false);
+  ASSERT_EQ(with_uring, without_uring);
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    for (size_t j = 0; j < ranges[i].length; ++j) {
+      ASSERT_EQ(with_uring[i][j], file[ranges[i].offset + j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UringOnOff, SegmentReaderTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "UringEnabled"
+                                             : "UringDisabled";
+                         });
+
+}  // namespace
+}  // namespace simrank

@@ -7,7 +7,7 @@
 //                        [--warm=FILE] [--load-threads=T]
 //                        [--graph=PATH --wal=PATH]
 //                        [--compact-to=PATH] [--compact-graph-to=PATH]
-//                        [--no-sync-wal]
+//                        [--no-sync-wal] [--no-uring]
 //
 // Serves GET /v1/pair, /v1/single_source, /v1/topk, POST /v1/batch_pair,
 // /v1/stats, /metrics and /healthz (see src/simrank/server/server.h for
@@ -43,6 +43,7 @@
 #include "simrank/graph/graph_io.h"
 #include "simrank/index/index_updater.h"
 #include "simrank/index/query_engine.h"
+#include "simrank/index/segment_reader.h"
 #include "simrank/index/walk_index.h"
 #include "simrank/index/walk_store.h"
 #include "simrank/server/server.h"
@@ -78,7 +79,7 @@ void PrintUsage(const char* argv0) {
       "       [--compact-graph-to=PATH] [--no-sync-wal]\n"
       "       [--no-group-commit] [--group-commit-window-us=U]\n"
       "       [--shard-plan=PLAN --shard-id=N] [--replica]\n"
-      "       [--tail-from=PORT]\n"
+      "       [--tail-from=PORT] [--no-uring]\n"
       "\nServes GET /v1/pair?a=&b=, /v1/single_source?v=, /v1/topk?v=&k=,\n"
       "POST /v1/batch_pair, /v1/stats, /metrics and /healthz over the\n"
       "given walk index. --port=0 picks a free port. Requests beyond\n"
@@ -89,7 +90,9 @@ void PrintUsage(const char* argv0) {
       "queries outside the shard's vertex range answer 421 and the\n"
       "/internal/* exchange endpoints come up (see simrank_router).\n"
       "--replica rejects public writes with 403; --tail-from=PORT keeps a\n"
-      "replica current by tailing that primary's /v1/wal stream.\n",
+      "replica current by tailing that primary's /v1/wal stream.\n"
+      "--no-uring disables the io_uring batched cold-read path (plain\n"
+      "preadv/fadvise fallback); SIMRANK_NO_URING=1 does the same.\n",
       argv0);
 }
 
@@ -151,6 +154,8 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
       options->server.compact_path = value_of("--compact-to=");
     } else if (simrank::StartsWith(arg, "--compact-graph-to=")) {
       options->server.compact_graph_path = value_of("--compact-graph-to=");
+    } else if (arg == "--no-uring") {
+      simrank::SegmentReader::SetIoUringEnabled(false);
     } else if (arg == "--no-sync-wal") {
       options->sync_wal = false;
     } else if (arg == "--no-group-commit") {
