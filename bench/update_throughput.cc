@@ -18,13 +18,30 @@
 // canonical streaming case) at least 50x faster than the rebuild;
 // larger batches print as ungated context rows showing how the per-batch
 // fixed costs amortize while the patched-walk count grows.
+//
+// Two further phases exercise the streaming machinery:
+//   - thread scaling: the same recorded batch stream patched serially and
+//     at 2/4/8 workers; compacted files must be byte-identical across
+//     thread counts (always), and with >= 8 hardware threads the 8-worker
+//     stream must run >= 4x faster than serial (gated);
+//   - sustained mixed load: a writer streams batches while reader threads
+//     query, with a small --overlay-budget equivalent armed so background
+//     auto-compactions fire mid-stream. Reports update QPS, patch and
+//     under-load query latency quantiles and the compaction pause, then
+//     gates on bitwise equivalence against a rebuild of the final graph.
+// Key figures land in BENCH_update.json.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "simrank/common/json_writer.h"
+#include "simrank/common/latency_histogram.h"
 #include "simrank/common/rng.h"
 #include "simrank/common/string_util.h"
 #include "simrank/common/table_printer.h"
@@ -46,6 +63,20 @@ constexpr uint32_t kContextBatchEdges[] = {8, 32};
 constexpr uint32_t kSampleRows = 16;
 constexpr uint32_t kSamplePairs = 256;
 constexpr double kRequiredSpeedup = 50.0;
+/// Thread-scaling phase: recorded stream of this many single-edge batches,
+/// replayed per worker count.
+constexpr uint32_t kScalingBatches = 32;
+constexpr uint32_t kScalingThreadCounts[] = {1, 2, 4, 8};
+/// Gate for the 8-worker replay, applied only with >= 8 hardware threads
+/// (the byte-identity check across counts always applies).
+constexpr double kRequiredParallelSpeedup = 4.0;
+/// Sustained phase: writer batches and reader threads.
+constexpr uint32_t kSustainedBatches = 120;
+constexpr uint32_t kSustainedBatchEdges = 4;
+constexpr uint32_t kSustainedReaders = 2;
+/// Overlay budget small enough that the sustained stream trips background
+/// auto-compaction several times.
+constexpr uint64_t kSustainedOverlayBudget = 192 * 1024;
 
 DiGraph MakeGraph() {
   gen::WebGraphParams params;
@@ -131,6 +162,225 @@ void CheckCompactEquivalence(IndexUpdater& updater,
                    "compacted %s index is not byte-identical to a fresh "
                    "build on the updated graph",
                    compress ? "compressed" : "raw");
+}
+
+/// Pre-records a deterministic stream of batches: each generated against
+/// the graph as evolved by its predecessors, so every replay (whatever
+/// the worker count) sees the identical valid stream.
+std::vector<std::vector<EdgeUpdate>> RecordBatchStream(const DiGraph& start,
+                                                       uint64_t seed,
+                                                       uint32_t batches,
+                                                       uint32_t edges) {
+  std::vector<std::vector<EdgeUpdate>> stream;
+  stream.reserve(batches);
+  Rng rng(seed);
+  DiGraph current = start;
+  for (uint32_t i = 0; i < batches; ++i) {
+    stream.push_back(MakeBatch(current, rng, edges));
+    auto next = ApplyEdgeUpdates(current, stream.back());
+    OIPSIM_CHECK(next.ok());
+    current = std::move(*next);
+  }
+  return stream;
+}
+
+struct ScalingResult {
+  uint32_t threads = 0;
+  double seconds = 0;
+};
+
+/// Replays the recorded stream at each worker count over a fresh copy of
+/// the base index; compacted output must be byte-identical across counts.
+/// Returns per-count wall time for the whole stream.
+std::vector<ScalingResult> RunThreadScaling(
+    const DiGraph& graph, const WalkIndexOptions& options,
+    const std::vector<std::vector<EdgeUpdate>>& stream,
+    const std::string& dir) {
+  std::vector<ScalingResult> results;
+  std::vector<uint8_t> reference_bytes;
+  for (const uint32_t threads : kScalingThreadCounts) {
+    auto index = WalkIndex::Build(graph, options);
+    OIPSIM_CHECK(index.ok());
+    const std::string wal_path =
+        dir + StrFormat("/update_scaling_%u.wal", threads);
+    std::remove(wal_path.c_str());
+    IndexUpdaterOptions updater_options;
+    updater_options.wal_path = wal_path;
+    updater_options.sync_wal = false;  // the pure patch path, as above
+    updater_options.num_threads = threads;
+    auto updater = IndexUpdater::Open(*index, graph, updater_options);
+    OIPSIM_CHECK_MSG(updater.ok(), "%s",
+                     updater.status().ToString().c_str());
+
+    WallTimer timer;
+    timer.Start();
+    for (const std::vector<EdgeUpdate>& batch : stream) {
+      OIPSIM_CHECK((*updater)->ApplyUpdates(batch).ok());
+    }
+    timer.Stop();
+    results.push_back(ScalingResult{threads, timer.ElapsedSeconds()});
+
+    // The whole point of the determinism contract: the compacted file —
+    // base + every patch the stream produced — is byte-identical for any
+    // worker count.
+    const std::string compacted =
+        dir + StrFormat("/update_scaling_%u.widx", threads);
+    WalkIndex::SaveOptions save;
+    OIPSIM_CHECK((*updater)->Compact(compacted, save).ok());
+    std::vector<uint8_t> bytes = ReadFileOrDie(compacted);
+    std::remove(compacted.c_str());
+    std::remove(wal_path.c_str());
+    if (reference_bytes.empty()) {
+      reference_bytes = std::move(bytes);
+    } else {
+      OIPSIM_CHECK_MSG(
+          bytes.size() == reference_bytes.size() &&
+              std::memcmp(bytes.data(), reference_bytes.data(),
+                          bytes.size()) == 0,
+          "%u-thread patching diverges bytewise from serial", threads);
+    }
+  }
+  return results;
+}
+
+struct SustainedResult {
+  double update_qps = 0;
+  double edge_qps = 0;
+  uint64_t patch_p50_us = 0;
+  uint64_t patch_p99_us = 0;
+  uint64_t query_p99_idle_us = 0;
+  uint64_t query_p99_under_load_us = 0;
+  uint64_t auto_compactions = 0;
+  double compaction_pause_ms = 0;
+  double compaction_total_ms = 0;
+};
+
+/// Mixed read/write phase: readers hammer pair and single-source queries
+/// while a writer streams batches with a small overlay budget armed, so
+/// background auto-compactions fire mid-stream. Queries never block on
+/// updates or compactions; the final state must be bitwise equal to a
+/// rebuild of the final graph.
+SustainedResult RunSustained(const DiGraph& graph,
+                             const WalkIndexOptions& options,
+                             const std::string& dir) {
+  auto index = WalkIndex::Build(graph, options);
+  OIPSIM_CHECK(index.ok());
+  const std::string wal_path = dir + "/update_sustained.wal";
+  const std::string compact_path = dir + "/update_sustained.widx";
+  const std::string compact_graph_path = dir + "/update_sustained.graph";
+  std::remove(wal_path.c_str());
+  std::remove(compact_path.c_str());
+  std::remove(compact_graph_path.c_str());
+  IndexUpdaterOptions updater_options;
+  updater_options.wal_path = wal_path;
+  updater_options.sync_wal = false;
+  updater_options.num_threads = 0;  // hardware concurrency
+  updater_options.overlay_budget_bytes = kSustainedOverlayBudget;
+  updater_options.auto_compact_path = compact_path;
+  updater_options.auto_compact_graph_path = compact_graph_path;
+  auto updater = IndexUpdater::Open(*index, graph, updater_options);
+  OIPSIM_CHECK_MSG(updater.ok(), "%s",
+                   updater.status().ToString().c_str());
+
+  LatencyHistogram query_idle;
+  LatencyHistogram query_loaded;
+  LatencyHistogram patch;
+
+  std::atomic<bool> writing{false};
+  std::atomic<bool> done{false};
+  auto reader = [&](uint64_t seed) {
+    Rng rng(seed);
+    while (!done.load(std::memory_order_relaxed)) {
+      const auto a = static_cast<VertexId>(rng.NextUint64(graph.n()));
+      const auto b = static_cast<VertexId>(rng.NextUint64(graph.n()));
+      WallTimer timer;
+      timer.Start();
+      // The same mix the serve path is dominated by: mostly pairs, an
+      // occasional full row.
+      if (rng.NextUint64(16) == 0) {
+        volatile double sink = index->EstimateSingleSource(a)[b];
+        (void)sink;
+      } else {
+        volatile double sink = index->EstimatePair(a, b);
+        (void)sink;
+      }
+      timer.Stop();
+      const auto micros =
+          static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+      if (writing.load(std::memory_order_relaxed)) {
+        query_loaded.Record(micros);
+      } else {
+        query_idle.Record(micros);
+      }
+    }
+  };
+  std::vector<std::thread> readers;
+  readers.reserve(kSustainedReaders);
+  for (uint32_t i = 0; i < kSustainedReaders; ++i) {
+    readers.emplace_back(reader, 1000 + i);
+  }
+  // A short idle window first: the baseline the under-load p99 is
+  // compared against.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  Rng rng(777);
+  writing.store(true, std::memory_order_relaxed);
+  WallTimer write_timer;
+  write_timer.Start();
+  for (uint32_t i = 0; i < kSustainedBatches; ++i) {
+    const DiGraph current = (*updater)->CurrentGraph();
+    const std::vector<EdgeUpdate> batch =
+        MakeBatch(current, rng, kSustainedBatchEdges);
+    WallTimer timer;
+    timer.Start();
+    OIPSIM_CHECK((*updater)->ApplyUpdates(batch).ok());
+    timer.Stop();
+    patch.Record(static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
+  }
+  write_timer.Stop();
+  writing.store(false, std::memory_order_relaxed);
+  (*updater)->DrainBackgroundCompaction();
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  const IndexUpdateStats stats = (*updater)->stats();
+  OIPSIM_CHECK_MSG(stats.auto_compactions > 0,
+                   "sustained stream never tripped the %llu-byte overlay "
+                   "budget; the phase is not exercising auto-compaction",
+                   static_cast<unsigned long long>(kSustainedOverlayBudget));
+  OIPSIM_CHECK_MSG(stats.auto_compact_failures == 0,
+                   "background auto-compaction failed mid-stream");
+
+  // Equivalence gate: after the stream (and however many background
+  // compactions landed mid-flight), the served state must still be
+  // bitwise a rebuild of the final graph.
+  auto rebuilt = WalkIndex::Build((*updater)->CurrentGraph(), options);
+  OIPSIM_CHECK(rebuilt.ok());
+  Rng sample_rng(99);
+  for (uint32_t i = 0; i < kSampleRows; ++i) {
+    const auto v = static_cast<VertexId>(sample_rng.NextUint64(graph.n()));
+    CheckBitwiseRow(index->EstimateSingleSource(v),
+                    rebuilt->EstimateSingleSource(v), v);
+  }
+
+  SustainedResult result;
+  result.update_qps = kSustainedBatches / write_timer.ElapsedSeconds();
+  result.edge_qps = result.update_qps * kSustainedBatchEdges;
+  const LatencyHistogram::Snapshot patch_snapshot = patch.snapshot();
+  result.patch_p50_us = patch_snapshot.QuantileUpperMicros(0.5);
+  result.patch_p99_us = patch_snapshot.QuantileUpperMicros(0.99);
+  result.query_p99_idle_us =
+      query_idle.snapshot().QuantileUpperMicros(0.99);
+  result.query_p99_under_load_us =
+      query_loaded.snapshot().QuantileUpperMicros(0.99);
+  result.auto_compactions = stats.auto_compactions;
+  result.compaction_pause_ms = stats.last_compaction_pause_micros / 1e3;
+  result.compaction_total_ms = stats.last_compaction_micros / 1e3;
+
+  std::remove(wal_path.c_str());
+  std::remove(compact_path.c_str());
+  std::remove(compact_graph_path.c_str());
+  return result;
 }
 
 }  // namespace
@@ -262,6 +512,98 @@ int Main() {
                    aggregate, kRequiredSpeedup);
   std::printf("acceptance: %.0fx >= %.0fx required speedup\n", aggregate,
               kRequiredSpeedup);
+
+  // --- thread scaling ----------------------------------------------------
+  std::printf("\n# thread scaling: %u single-edge batches per worker "
+              "count (compacted output byte-identical across counts)\n",
+              kScalingBatches);
+  const std::vector<std::vector<EdgeUpdate>> stream =
+      RecordBatchStream(graph, /*seed=*/5150, kScalingBatches, /*edges=*/1);
+  const std::vector<ScalingResult> scaling =
+      RunThreadScaling(graph, options, stream, dir);
+  TablePrinter scaling_table({"threads", "stream time", "vs serial"});
+  for (const ScalingResult& r : scaling) {
+    scaling_table.AddRow({StrFormat("%u", r.threads),
+                          FormatDuration(r.seconds),
+                          StrFormat("%.2fx", scaling[0].seconds / r.seconds)});
+  }
+  std::printf("%s\n", scaling_table.Render().c_str());
+  const double parallel_speedup =
+      scaling.front().seconds / scaling.back().seconds;
+  const uint32_t hardware = std::thread::hardware_concurrency();
+  if (hardware >= 8) {
+    OIPSIM_CHECK_MSG(parallel_speedup >= kRequiredParallelSpeedup,
+                     "8-worker patching is only %.2fx serial on a "
+                     "%u-thread machine; the bar is %.1fx",
+                     parallel_speedup, hardware, kRequiredParallelSpeedup);
+    std::printf("acceptance: %.2fx >= %.1fx at 8 workers\n",
+                parallel_speedup, kRequiredParallelSpeedup);
+  } else {
+    std::printf("# %u hardware thread(s): the %.1fx-at-8-workers gate "
+                "needs >= 8; byte-identity across counts still checked\n",
+                hardware, kRequiredParallelSpeedup);
+  }
+
+  // --- sustained mixed read/write ----------------------------------------
+  std::printf("\n# sustained: %u batches of %u edges vs %u readers, "
+              "overlay budget %llu bytes (background auto-compaction)\n",
+              kSustainedBatches, kSustainedBatchEdges, kSustainedReaders,
+              static_cast<unsigned long long>(kSustainedOverlayBudget));
+  const SustainedResult sustained = RunSustained(graph, options, dir);
+  std::printf(
+      "updates: %.0f batches/s (%.0f edges/s), patch p50 %llu us, "
+      "p99 %llu us\n",
+      sustained.update_qps, sustained.edge_qps,
+      static_cast<unsigned long long>(sustained.patch_p50_us),
+      static_cast<unsigned long long>(sustained.patch_p99_us));
+  std::printf(
+      "queries: p99 %llu us idle -> %llu us under write load\n",
+      static_cast<unsigned long long>(sustained.query_p99_idle_us),
+      static_cast<unsigned long long>(sustained.query_p99_under_load_us));
+  std::printf(
+      "auto-compactions: %llu fired; last took %.1f ms total, paused "
+      "updates %.2f ms; final state bitwise-equal to rebuild\n",
+      static_cast<unsigned long long>(sustained.auto_compactions),
+      sustained.compaction_total_ms, sustained.compaction_pause_ms);
+
+  {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("bench").String("update_throughput");
+    json.Key("hardware_threads").Uint(hardware);
+    json.Key("single_edge").BeginObject();
+    json.Key("patch_ms_per_batch").Double(total_patch * 1e3 /
+                                          kGatedBatches);
+    json.Key("rebuild_ms_per_batch").Double(total_rebuild * 1e3 /
+                                            kGatedBatches);
+    json.Key("speedup_vs_rebuild").Double(aggregate);
+    json.EndObject();
+    json.Key("thread_scaling").BeginObject();
+    for (const ScalingResult& r : scaling) {
+      json.Key(StrFormat("stream_seconds_%ut", r.threads).c_str())
+          .Double(r.seconds);
+    }
+    json.Key("speedup_8t_vs_serial").Double(parallel_speedup);
+    json.EndObject();
+    json.Key("sustained").BeginObject();
+    json.Key("update_batches_per_second").Double(sustained.update_qps);
+    json.Key("update_edges_per_second").Double(sustained.edge_qps);
+    json.Key("patch_p50_us").Uint(sustained.patch_p50_us);
+    json.Key("patch_p99_us").Uint(sustained.patch_p99_us);
+    json.Key("query_p99_idle_us").Uint(sustained.query_p99_idle_us);
+    json.Key("query_p99_under_load_us")
+        .Uint(sustained.query_p99_under_load_us);
+    json.Key("auto_compactions").Uint(sustained.auto_compactions);
+    json.Key("compaction_pause_ms").Double(sustained.compaction_pause_ms);
+    json.Key("compaction_total_ms").Double(sustained.compaction_total_ms);
+    json.EndObject();
+    json.EndObject();
+    std::FILE* out = std::fopen("BENCH_update.json", "w");
+    OIPSIM_CHECK(out != nullptr);
+    std::fprintf(out, "%s\n", json.str().c_str());
+    std::fclose(out);
+    std::printf("# wrote BENCH_update.json\n");
+  }
   return 0;
 }
 

@@ -132,16 +132,38 @@ Status WriteBinary(const DiGraph& graph, const std::string& path) {
   return Status::OK();
 }
 
-uint64_t GraphFingerprint(const DiGraph& graph) {
+uint64_t EdgeFingerprint(VertexId src, VertexId dst) {
+  // splitmix64 finalizer over the packed pair: every output bit depends
+  // on every input bit, which is what makes the commutative (sum, xor)
+  // accumulation collision-resistant in practice.
+  uint64_t z = (static_cast<uint64_t>(src) << 32) | dst;
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t ComposeGraphFingerprint(uint32_t n, uint64_t m, uint64_t edge_sum,
+                                 uint64_t edge_xor) {
   StreamHasher hasher;
-  hasher.Absorb(graph.n());
-  hasher.Absorb(graph.m());
+  hasher.Absorb(n);
+  hasher.Absorb(m);
+  hasher.Absorb(edge_sum);
+  hasher.Absorb(edge_xor);
+  return hasher.digest();
+}
+
+uint64_t GraphFingerprint(const DiGraph& graph) {
+  uint64_t edge_sum = 0;
+  uint64_t edge_xor = 0;
   for (VertexId v = 0; v < graph.n(); ++v) {
     for (VertexId u : graph.OutNeighbors(v)) {
-      hasher.Absorb((static_cast<uint64_t>(v) << 32) | u);
+      const uint64_t h = EdgeFingerprint(v, u);
+      edge_sum += h;
+      edge_xor ^= h;
     }
   }
-  return hasher.digest();
+  return ComposeGraphFingerprint(graph.n(), graph.m(), edge_sum, edge_xor);
 }
 
 Result<DiGraph> ReadBinary(const std::string& path) {

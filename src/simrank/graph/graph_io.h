@@ -41,12 +41,32 @@ Result<DiGraph> ReadBinary(const std::string& path);
 /// defaults.
 Result<DiGraph> ReadGraphAuto(const std::string& path);
 
-/// Deterministic 64-bit structural hash over n and the full (sorted) CSR
-/// adjacency. Equal graphs hash equal across runs and platforms of equal
-/// endianness. Used by derived on-disk artefacts (e.g. the walk index of
+/// Deterministic 64-bit structural hash over n and the edge *set*. Equal
+/// graphs hash equal across runs and platforms of equal endianness. Used
+/// by derived on-disk artefacts (e.g. the walk index of
 /// index/walk_index.h) to verify they were built from the graph they are
 /// being served against.
+///
+/// The hash is commutative in the edges: it combines per-edge mixes
+/// (EdgeFingerprint) through order-independent accumulators, so a dynamic
+/// maintainer can keep it current in O(1) per edge insertion or deletion
+/// (IndexUpdater does) instead of re-hashing the whole edge list per
+/// batch. GraphFingerprint(g) == ComposeGraphFingerprint over g's edges,
+/// always.
 uint64_t GraphFingerprint(const DiGraph& graph);
+
+/// Strong 64-bit mix of one directed edge — the unit the commutative
+/// fingerprint accumulates. Full splitmix64-style finalization: edge sets
+/// that differ in one edge differ in the (sum, xor) accumulator pair
+/// except with negligible probability.
+uint64_t EdgeFingerprint(VertexId src, VertexId dst);
+
+/// Folds the order-independent accumulators into the canonical
+/// fingerprint: `edge_sum` is the wrapping sum and `edge_xor` the xor of
+/// EdgeFingerprint over all m edges. Incremental maintenance is
+/// sum += / -= and xor ^= per edge, then one Compose call.
+uint64_t ComposeGraphFingerprint(uint32_t n, uint64_t m, uint64_t edge_sum,
+                                 uint64_t edge_xor);
 
 /// Canonical rendering of a structural fingerprint — 16 zero-padded hex
 /// digits — shared by mismatch diagnostics and `simrank_cli index-info` so

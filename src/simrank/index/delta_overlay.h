@@ -115,6 +115,23 @@ class DeltaOverlay {
   /// Total entries across all slot diffs (removed + added); a size gauge.
   uint64_t delta_entry_count() const { return delta_entries_; }
 
+  /// Estimated heap bytes this overlay keeps resident (patches, slot
+  /// diffs, hash-map overhead). What the updater's --overlay-budget is
+  /// compared against; computed once at publish time.
+  uint64_t resident_bytes() const { return resident_bytes_; }
+
+  /// The store this overlay's patches and slot diffs are expressed
+  /// against, when it differs from the index's original store: a
+  /// background compaction publishes its merged store *through* the
+  /// overlay it rebases (one RCU pointer swap hands queries a coherent
+  /// (store, overlay) pair — see WalkIndex::ServingStore). Null for
+  /// overlays over the load/build-time base store. The shared_ptr keeps
+  /// superseded merged stores alive exactly as long as a reader still
+  /// holds a snapshot expressed against them.
+  const std::shared_ptr<const WalkStore>& rebased_store() const {
+    return rebased_store_;
+  }
+
   /// The patched vertices and how many of their walks are patched;
   /// iteration support for Compact() and the scan estimator.
   const std::unordered_map<VertexId, uint32_t>& patched_vertices() const {
@@ -136,6 +153,9 @@ class DeltaOverlay {
   uint64_t graph_fingerprint_ = 0;
   uint32_t walk_length_ = 0;
   uint64_t delta_entries_ = 0;
+  uint64_t resident_bytes_ = 0;
+  /// See rebased_store().
+  std::shared_ptr<const WalkStore> rebased_store_;
   /// Walk patches keyed by (v << 32 | r). Values are shared with successor
   /// overlays for walks later batches did not touch again.
   std::unordered_map<uint64_t, std::shared_ptr<const WalkPatch>> patches_;

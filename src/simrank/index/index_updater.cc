@@ -3,13 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <span>
 #include <unordered_map>
 #include <utility>
 
 #include "simrank/common/coupled_hash.h"
-#include "simrank/common/stream_hash.h"
 #include "simrank/common/string_util.h"
 #include "simrank/graph/graph_io.h"
 
@@ -18,41 +16,9 @@ namespace {
 
 constexpr uint32_t kDead = WalkStore::kDeadWalk;
 
-bool EdgeLess(const Edge& a, const Edge& b) {
-  return a.src != b.src ? a.src < b.src : a.dst < b.dst;
-}
-
-/// GraphFingerprint() over the canonical sorted edge list — identical to
-/// hashing the DiGraph it builds (same n, m and (src, dst) sequence),
-/// without materializing one.
-uint64_t FingerprintEdges(uint32_t n, const std::vector<Edge>& edges) {
-  StreamHasher hasher;
-  hasher.Absorb(n);
-  hasher.Absorb(edges.size());
-  for (const Edge& edge : edges) {
-    hasher.Absorb((static_cast<uint64_t>(edge.src) << 32) | edge.dst);
-  }
-  return hasher.digest();
-}
-
-/// One pending change of vertex `vertex`'s inverted-index entry in slot
-/// `slot`: its position in the base store vs. the re-simulated one. kDead
-/// on either side means "no entry" (the walk is dead at that step).
-/// Collected flat and grouped by one sort — per-slot containers would
-/// cost an allocation per touched slot per batch.
-struct SlotEdit {
-  uint64_t slot = 0;
-  VertexId vertex = 0;
-  uint32_t base_position = 0;
-  uint32_t new_position = 0;
-
-  friend bool operator<(const SlotEdit& a, const SlotEdit& b) {
-    return a.slot < b.slot;
-  }
-};
-
 /// Base-store position reads for the patch path: O(1) against a resident
 /// flat table, otherwise one cached segment decode per touched vertex.
+/// Not shared across threads — each re-simulation worker owns one.
 class BaseRowReader {
  public:
   explicit BaseRowReader(const WalkStore& store)
@@ -80,7 +46,51 @@ class BaseRowReader {
   std::unordered_map<VertexId, std::vector<uint32_t>> cache_;
 };
 
+/// Deterministic estimate of an overlay's heap footprint from its size
+/// counters: per-container-node constants (key + value + hash-node
+/// overhead) plus the payload words. What --overlay-budget compares
+/// against; exactness is not required, stability and monotonicity are.
+uint64_t OverlayBytesFromCounts(size_t patches, uint64_t suffix_words,
+                                size_t patched_vertices, size_t slots,
+                                uint64_t delta_entries) {
+  return static_cast<uint64_t>(patches) * 88 + suffix_words * 4 +
+         static_cast<uint64_t>(patched_vertices) * 48 +
+         static_cast<uint64_t>(slots) * 112 + delta_entries * 8;
+}
+
 }  // namespace
+
+/// One pending change of vertex `vertex`'s inverted-index entry in slot
+/// `slot`: its position in the base store vs. the re-simulated one. kDead
+/// on either side means "no entry" (the walk is dead at that step).
+/// Collected flat and grouped by one sort — per-slot containers would
+/// cost an allocation per touched slot per batch.
+struct IndexUpdater::SlotEdit {
+  uint64_t slot = 0;
+  VertexId vertex = 0;
+  uint32_t base_position = 0;
+  uint32_t new_position = 0;
+
+  friend bool operator<(const SlotEdit& a, const SlotEdit& b) {
+    return a.slot < b.slot;
+  }
+};
+
+/// What one re-simulated walk does to the overlay's patch map. Workers
+/// emit these into per-block vectors; the merge applies them in canonical
+/// (vertex, fingerprint) order, so the map contents are independent of
+/// the block partition.
+struct IndexUpdater::WalkOutcome {
+  enum class Kind : uint8_t {
+    kInsert,  // fresh walk diverged: add patch, bump the vertex count
+    kSet,     // previously patched walk: replace its patch
+    kErase,   // previously patched walk re-equals the base: drop it
+  };
+
+  uint64_t key = 0;
+  Kind kind = Kind::kInsert;
+  std::shared_ptr<const DeltaOverlay::WalkPatch> patch;
+};
 
 /// One batch waiting in the group-commit queue, owned by its submitting
 /// thread's stack frame.
@@ -95,15 +105,33 @@ IndexUpdater::IndexUpdater(WalkIndex& index, const DiGraph& base_graph,
                            UpdateWal wal, const IndexUpdaterOptions& options)
     : index_(index), wal_(std::move(wal)), options_(options) {
   n_ = base_graph.n();
-  edges_ = base_graph.Edges();  // (src, dst)-sorted, deduped
-  graph_fingerprint_ = GraphFingerprint(base_graph);
-  in_offsets_.assign(static_cast<size_t>(n_) + 1, 0);
-  for (const Edge& edge : edges_) ++in_offsets_[edge.dst + 1];
-  for (uint32_t v = 0; v < n_; ++v) in_offsets_[v + 1] += in_offsets_[v];
-  in_sources_.resize(edges_.size());
-  std::vector<uint64_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
-  for (const Edge& edge : edges_) {
-    in_sources_[cursor[edge.dst]++] = edge.src;  // src-ascending per dst
+  m_ = base_graph.m();
+  in_lists_.resize(n_);
+  out_lists_.resize(n_);
+  for (VertexId v = 0; v < n_; ++v) {
+    const auto in = base_graph.InNeighbors(v);
+    in_lists_[v].assign(in.begin(), in.end());  // src-ascending per dst
+    const auto out = base_graph.OutNeighbors(v);
+    out_lists_[v].assign(out.begin(), out.end());
+    for (const VertexId u : out) {
+      const uint64_t h = EdgeFingerprint(v, u);
+      edge_sum_ += h;
+      edge_xor_ ^= h;
+    }
+  }
+  graph_fingerprint_ = ComposeGraphFingerprint(n_, m_, edge_sum_, edge_xor_);
+  num_threads_ = ThreadPool::ResolveThreadCount(options.num_threads);
+  if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+}
+
+IndexUpdater::~IndexUpdater() {
+  if (bg_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(bg_mutex_);
+      bg_shutdown_ = true;
+    }
+    bg_cv_.notify_all();
+    bg_thread_.join();
   }
 }
 
@@ -129,6 +157,14 @@ Result<std::unique_ptr<IndexUpdater>> IndexUpdater::Open(
           options.vertex_begin, options.vertex_end, index.n()));
     }
   }
+  if ((options.overlay_budget_bytes > 0 ||
+       options.auto_compact_patched_fraction > 0.0) &&
+      options.auto_compact_path.empty()) {
+    return Status::InvalidArgument(
+        "overlay_budget_bytes / auto_compact_patched_fraction require "
+        "auto_compact_path: an auto-compaction must know where to write "
+        "the merged index");
+  }
 
   WalBaseIdentity identity;
   identity.n = index.n();
@@ -147,7 +183,7 @@ Result<std::unique_ptr<IndexUpdater>> IndexUpdater::Open(
   {
     std::lock_guard<std::mutex> stats_lock(updater->stats_mutex_);
     updater->stats_.wal_truncated_bytes = opened->truncated_bytes;
-    updater->stats_.graph_edges = updater->edges_.size();
+    updater->stats_.graph_edges = updater->m_;
     updater->stats_.current_graph_fingerprint =
         updater->graph_fingerprint_;
     updater->stats_.wal_records = updater->wal_.record_count();
@@ -166,6 +202,12 @@ Result<std::unique_ptr<IndexUpdater>> IndexUpdater::Open(
   {
     std::lock_guard<std::mutex> records_lock(updater->records_mutex_);
     updater->records_ = std::move(opened->records);
+  }
+  if (updater->AutoCompactArmed()) {
+    // Started after replay so a replay that already trips a trigger is
+    // picked up as the thread's first wait wakes.
+    updater->bg_thread_ =
+        std::thread(&IndexUpdater::BackgroundCompactLoop, updater.get());
   }
   return updater;
 }
@@ -281,6 +323,7 @@ Status IndexUpdater::ApplyGrouped(std::span<const EdgeUpdate> updates,
         // state. The callers still get the sync error.
         if (pending_overlay_ != nullptr) {
           index_.PublishOverlay(pending_overlay_);
+          MaybeTriggerAutoCompact(*pending_overlay_);
         }
       }
       pending_overlay_ = nullptr;
@@ -302,11 +345,17 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
     return Status::InvalidArgument("empty update batch");
   }
 
-  // --- graph: validate strictly and apply to the sorted edge list -------
-  // (Same semantics and wording as ApplyEdgeUpdates in edge_update.cc,
-  // re-implemented over the sorted representation; keep them in
-  // lockstep.)
-  std::vector<Edge> new_edges = edges_;
+  // --- graph: validate strictly against the live adjacency --------------
+  // (Same semantics and wording as ApplyEdgeUpdates in edge_update.cc;
+  // keep them in lockstep.) Nothing mutates yet: intra-batch transitions
+  // are tracked in a pending map keyed by the packed edge, so a rejected
+  // batch leaves the adjacency untouched, and the commutative fingerprint
+  // accumulates its delta in O(1) per update as a side effect.
+  std::unordered_map<uint64_t, bool> pending;
+  pending.reserve(updates.size() * 2);
+  uint64_t delta_sum = 0;
+  uint64_t delta_xor = 0;
+  int64_t delta_m = 0;
   for (size_t i = 0; i < updates.size(); ++i) {
     const EdgeUpdate& update = updates[i];
     if (update.src >= n_ || update.dst >= n_) {
@@ -315,10 +364,16 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
           "index was built for (adding vertices requires a rebuild)",
           i, update.src, update.dst, n_));
     }
-    const Edge edge{update.src, update.dst};
-    auto it = std::lower_bound(new_edges.begin(), new_edges.end(), edge,
-                               EdgeLess);
-    const bool exists = it != new_edges.end() && *it == edge;
+    const uint64_t packed =
+        (static_cast<uint64_t>(update.src) << 32) | update.dst;
+    bool exists;
+    if (auto it = pending.find(packed); it != pending.end()) {
+      exists = it->second;
+    } else {
+      const std::vector<VertexId>& in = in_lists_[update.dst];
+      exists = std::binary_search(in.begin(), in.end(), update.src);
+    }
+    const uint64_t h = EdgeFingerprint(update.src, update.dst);
     if (update.op == EdgeUpdate::Op::kInsert) {
       if (exists) {
         return Status::InvalidArgument(StrFormat(
@@ -326,7 +381,10 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
             "new edge",
             i, update.src, update.dst));
       }
-      new_edges.insert(it, edge);
+      pending[packed] = true;
+      delta_sum += h;
+      delta_xor ^= h;
+      ++delta_m;
     } else {
       if (!exists) {
         return Status::InvalidArgument(StrFormat(
@@ -334,10 +392,16 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
             "remove an existing edge",
             i, update.src, update.dst));
       }
-      new_edges.erase(it);
+      pending[packed] = false;
+      delta_sum -= h;
+      delta_xor ^= h;
+      --delta_m;
     }
   }
-  const uint64_t post_fingerprint = FingerprintEdges(n_, new_edges);
+  const uint64_t post_m =
+      static_cast<uint64_t>(static_cast<int64_t>(m_) + delta_m);
+  const uint64_t post_fingerprint = ComposeGraphFingerprint(
+      n_, post_m, edge_sum_ + delta_sum, edge_xor_ ^ delta_xor);
   if (expected_post_fingerprint != 0 &&
       post_fingerprint != expected_post_fingerprint) {
     return Status::ParseError(StrFormat(
@@ -361,36 +425,43 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
     records_.push_back(std::move(record));
   }
 
-  // In-neighbour CSR of the updated graph — what the re-simulation reads.
-  std::vector<uint64_t> new_in_offsets(static_cast<size_t>(n_) + 1, 0);
-  for (const Edge& edge : new_edges) ++new_in_offsets[edge.dst + 1];
-  for (uint32_t v = 0; v < n_; ++v) {
-    new_in_offsets[v + 1] += new_in_offsets[v];
-  }
-  std::vector<VertexId> new_in_sources(new_edges.size());
-  {
-    std::vector<uint64_t> cursor(new_in_offsets.begin(),
-                                 new_in_offsets.end() - 1);
-    for (const Edge& edge : new_edges) {
-      new_in_sources[cursor[edge.dst]++] = edge.src;
+  // --- O(degree) in-place maintenance -----------------------------------
+  // The batch is validated and durable; fold it into the per-vertex
+  // sorted lists. Nothing below this point can fail (corruption while
+  // reading the store is a fatal checked error, as everywhere).
+  for (const EdgeUpdate& update : updates) {
+    std::vector<VertexId>& in = in_lists_[update.dst];
+    std::vector<VertexId>& out = out_lists_[update.src];
+    if (update.op == EdgeUpdate::Op::kInsert) {
+      in.insert(std::lower_bound(in.begin(), in.end(), update.src),
+                update.src);
+      out.insert(std::lower_bound(out.begin(), out.end(), update.dst),
+                 update.dst);
+    } else {
+      in.erase(std::lower_bound(in.begin(), in.end(), update.src));
+      out.erase(std::lower_bound(out.begin(), out.end(), update.dst));
     }
   }
-  auto in_of = [&](VertexId v) {
-    return std::span<const VertexId>(
-        new_in_sources.data() + new_in_offsets[v],
-        new_in_sources.data() + new_in_offsets[v + 1]);
+  m_ = post_m;
+  edge_sum_ += delta_sum;
+  edge_xor_ ^= delta_xor;
+  graph_fingerprint_ = post_fingerprint;
+  auto in_of = [this](VertexId v) {
+    return std::span<const VertexId>(in_lists_[v]);
   };
 
-  const WalkStore& base = index_.store();
-  const WalkStoreMeta& meta = base.meta();
-  const uint32_t R = meta.num_fingerprints;
-  const uint32_t L = meta.walk_length;
   // During a group, later batches build on the group's still-unpublished
   // overlay chain, not on what queries currently see.
   const std::shared_ptr<const DeltaOverlay> old =
       defer_sync_and_publish && pending_overlay_ != nullptr
           ? pending_overlay_
           : index_.overlay_snapshot();
+  // The store the overlay chain is expressed against — the original
+  // backend, or the merged store a background compaction published.
+  const WalkStore& base = index_.ServingStore(old.get());
+  const WalkStoreMeta& meta = base.meta();
+  const uint32_t R = meta.num_fingerprints;
+  const uint32_t L = meta.walk_length;
 
   // The vertices whose in-neighbour list changed. Only transitions *out
   // of* these vertices can differ on the updated graph.
@@ -409,7 +480,10 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
   // (v << 32 | r) so one sort groups by vertex, then fingerprint, with
   // each walk's affected steps ascending — the exact order the
   // re-simulation wants. Slot-major loops keep the 8-or-so binary
-  // searches per slot on warm cache lines.
+  // searches per slot on warm cache lines. Fingerprints are independent,
+  // so the bucket sweep fans out over contiguous fingerprint blocks;
+  // block results are concatenated in block order and the full sort makes
+  // the candidate list identical for any partition.
   std::vector<std::pair<uint64_t, uint32_t>> candidates;
   candidates.reserve(1024);
   // A shard index represents out-of-range walks as dead from step 1 and
@@ -428,16 +502,34 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
       candidates.emplace_back(DeltaOverlay::WalkKey(x, r), 1);
     }
   }
-  for (uint32_t r = 0; r < R; ++r) {
-    for (uint32_t t = 1; t + 1 <= L; ++t) {
-      for (const VertexId x : touched) {
-        ForEachBucketVertex(base, old.get(), r, t, x,
-                            [&](const VertexId v) {
-                              candidates.emplace_back(
-                                  DeltaOverlay::WalkKey(v, r), t + 1);
-                            });
+  auto discover_block = [&](uint32_t r_begin, uint32_t r_end,
+                            std::vector<std::pair<uint64_t, uint32_t>>* out) {
+    for (uint32_t r = r_begin; r < r_end; ++r) {
+      for (uint32_t t = 1; t + 1 <= L; ++t) {
+        for (const VertexId x : touched) {
+          ForEachBucketVertex(base, old.get(), r, t, x,
+                              [&](const VertexId v) {
+                                out->emplace_back(
+                                    DeltaOverlay::WalkKey(v, r), t + 1);
+                              });
+        }
       }
     }
+  };
+  if (pool_ != nullptr && R >= 2) {
+    const uint32_t blocks =
+        std::min(R, num_threads_ * 4u);
+    std::vector<std::vector<std::pair<uint64_t, uint32_t>>> found(blocks);
+    pool_->ParallelFor(0, blocks, [&](uint64_t b) {
+      discover_block(static_cast<uint32_t>(R * b / blocks),
+                     static_cast<uint32_t>(R * (b + 1) / blocks),
+                     &found[b]);
+    });
+    for (const auto& block : found) {
+      candidates.insert(candidates.end(), block.begin(), block.end());
+    }
+  } else {
+    discover_block(0, R, &candidates);
   }
   std::sort(candidates.begin(), candidates.end());
 
@@ -449,28 +541,39 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
     overlay->patches_ = old->patches_;  // shared_ptr values: cheap copy
     overlay->patch_counts_ = old->patch_counts_;
     overlay->deltas_ = old->deltas_;
+    overlay->rebased_store_ = old->rebased_store_;
   }
 
-  // --- re-simulation, one affected walk at a time -----------------------
-  BaseRowReader base_reader(base);
-  std::vector<SlotEdit> slot_edits;
-  slot_edits.reserve(candidates.size() * 2);
-  uint64_t resimulated = 0;
-  uint64_t changed_walks = 0;
-  uint64_t steps_written = 0;
-  std::vector<uint32_t> steps;  // affected steps of the current walk
-  for (size_t at_candidate = 0; at_candidate < candidates.size();) {
-    const uint64_t key = candidates[at_candidate].first;
+  // --- re-simulation of the affected walks ------------------------------
+  // Each walk is an independent pure function of (updated graph, base
+  // store, previous overlay), so the sorted candidate list is cut into
+  // contiguous walk groups and fanned out; per-worker slot edits and
+  // patch outcomes are concatenated in block order — which *is* the
+  // serial canonical (vertex, fingerprint) order, because blocks are
+  // contiguous key ranges — before they touch any shared state.
+  std::vector<std::pair<size_t, size_t>> groups;
+  for (size_t at = 0; at < candidates.size();) {
+    const size_t begin = at;
+    const uint64_t key = candidates[at].first;
+    while (at < candidates.size() && candidates[at].first == key) ++at;
+    groups.emplace_back(begin, at);
+  }
+
+  // Re-simulates one walk group; emits slot edits and the patch outcome
+  // instead of mutating the overlay, so any worker can run it.
+  auto resim_walk = [&](size_t begin, size_t end, BaseRowReader& reader,
+                        std::vector<uint32_t>& steps,
+                        std::vector<SlotEdit>& edits,
+                        std::vector<WalkOutcome>& outcomes,
+                        uint64_t& steps_written, uint64_t& changed_walks) {
+    const uint64_t key = candidates[begin].first;
     steps.clear();
-    for (; at_candidate < candidates.size() &&
-           candidates[at_candidate].first == key;
-         ++at_candidate) {
-      const uint32_t t = candidates[at_candidate].second;
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t t = candidates[i].second;
       if (steps.empty() || steps.back() != t) steps.push_back(t);
     }
     const auto v = static_cast<VertexId>(key >> 32);
     const auto r = static_cast<uint32_t>(key & 0xffffffffu);
-    ++resimulated;
 
     // Re-simulate from each affected step; once the new position
     // coincides with the current one at some step, the walks are coupled
@@ -492,12 +595,12 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
         // Segments are contiguous in the suffix; a converged span between
         // two affected steps back-fills with (equal) base positions.
         while (merged.t0 + merged.suffix.size() < t) {
-          merged.suffix.push_back(base_reader.Pos(
+          merged.suffix.push_back(reader.Pos(
               v, r, merged.t0 + static_cast<uint32_t>(merged.suffix.size())));
         }
         uint32_t position =
             t - 1 >= merged.t0 ? merged.suffix[t - 1 - merged.t0]
-                               : base_reader.Pos(v, r, t - 1);
+                               : reader.Pos(v, r, t - 1);
         OIPSIM_DCHECK(position != kDead);
         bool converged = false;
         for (; t <= L; ++t) {
@@ -510,13 +613,13 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
                          in.size()];
           }
           ++steps_written;
-          const uint32_t base_position = base_reader.Pos(v, r, t);
+          const uint32_t base_position = reader.Pos(v, r, t);
           if (position == base_position) {
             converged = true;  // re-coupled: identical until next touch
             ++t;
             break;
           }
-          slot_edits.push_back(SlotEdit{
+          edits.push_back(SlotEdit{
               static_cast<uint64_t>(r) * L + (t - 1), v, base_position,
               position});
           merged.suffix.push_back(position);
@@ -529,9 +632,10 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
         t = steps[step_index];
       }
       if (any_change) {
-        overlay->patches_[key] =
-            std::make_shared<DeltaOverlay::WalkPatch>(std::move(merged));
-        ++overlay->patch_counts_[v];
+        outcomes.push_back(WalkOutcome{
+            key, WalkOutcome::Kind::kInsert,
+            std::make_shared<DeltaOverlay::WalkPatch>(std::move(merged))});
+        ++changed_walks;
       }
     } else {
       // Previously patched walk: "current" is base + previous patch. The
@@ -543,14 +647,14 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
       for (uint32_t t = merged.t0; t <= L; ++t) {
         merged.suffix[t - merged.t0] = prev->Covers(t)
                                            ? prev->Position(t)
-                                           : base_reader.Pos(v, r, t);
+                                           : reader.Pos(v, r, t);
       }
       size_t step_index = 0;
       uint32_t t = steps[0];
       while (true) {
         uint32_t position = t - 1 >= merged.t0
                                 ? merged.suffix[t - 1 - merged.t0]
-                                : base_reader.Pos(v, r, t - 1);
+                                : reader.Pos(v, r, t - 1);
         OIPSIM_DCHECK(position != kDead);
         bool converged = false;
         for (; t <= L; ++t) {
@@ -564,9 +668,9 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
           }
           ++steps_written;
           uint32_t& current = merged.suffix[t - merged.t0];
-          slot_edits.push_back(SlotEdit{
+          edits.push_back(SlotEdit{
               static_cast<uint64_t>(r) * L + (t - 1), v,
-              base_reader.Pos(v, r, t), position});
+              reader.Pos(v, r, t), position});
           if (position == current) {
             converged = true;
             ++t;
@@ -581,34 +685,164 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
         if (!converged || step_index >= steps.size()) break;
         t = steps[step_index];
       }
+      if (any_change) ++changed_walks;
       // A walk whose merged suffix equals the base store's again vanishes
       // from the overlay entirely (the edits above cleared its entries).
       bool equals_base = true;
       for (uint32_t check = merged.t0; check <= L && equals_base;
            ++check) {
-        equals_base = merged.suffix[check - merged.t0] ==
-                      base_reader.Pos(v, r, check);
+        equals_base =
+            merged.suffix[check - merged.t0] == reader.Pos(v, r, check);
       }
       if (equals_base) {
-        overlay->patches_.erase(key);
-        auto count = overlay->patch_counts_.find(v);
-        if (--count->second == 0) overlay->patch_counts_.erase(count);
+        outcomes.push_back(
+            WalkOutcome{key, WalkOutcome::Kind::kErase, nullptr});
       } else {
-        overlay->patches_[key] = std::make_shared<DeltaOverlay::WalkPatch>(
-            std::move(merged));
+        outcomes.push_back(WalkOutcome{
+            key, WalkOutcome::Kind::kSet,
+            std::make_shared<DeltaOverlay::WalkPatch>(std::move(merged))});
       }
     }
-    changed_walks += any_change ? 1 : 0;
+  };
+
+  const uint64_t resimulated = groups.size();
+  uint64_t changed_walks = 0;
+  uint64_t steps_written = 0;
+  std::vector<SlotEdit> slot_edits;
+  std::vector<WalkOutcome> outcomes;
+  if (pool_ != nullptr && groups.size() >= 2) {
+    const size_t blocks =
+        std::min(groups.size(), static_cast<size_t>(num_threads_) * 4);
+    struct BlockOut {
+      std::vector<SlotEdit> edits;
+      std::vector<WalkOutcome> outcomes;
+      uint64_t steps_written = 0;
+      uint64_t changed_walks = 0;
+    };
+    std::vector<BlockOut> block_out(blocks);
+    pool_->ParallelFor(0, blocks, [&](uint64_t b) {
+      const size_t g0 = groups.size() * b / blocks;
+      const size_t g1 = groups.size() * (b + 1) / blocks;
+      BaseRowReader reader(base);
+      std::vector<uint32_t> steps;
+      BlockOut& out = block_out[b];
+      for (size_t g = g0; g < g1; ++g) {
+        resim_walk(groups[g].first, groups[g].second, reader, steps,
+                   out.edits, out.outcomes, out.steps_written,
+                   out.changed_walks);
+      }
+    });
+    size_t total_edits = 0;
+    size_t total_outcomes = 0;
+    for (const BlockOut& out : block_out) {
+      total_edits += out.edits.size();
+      total_outcomes += out.outcomes.size();
+      steps_written += out.steps_written;
+      changed_walks += out.changed_walks;
+    }
+    slot_edits.reserve(total_edits);
+    outcomes.reserve(total_outcomes);
+    for (BlockOut& out : block_out) {
+      slot_edits.insert(slot_edits.end(), out.edits.begin(),
+                        out.edits.end());
+      outcomes.insert(outcomes.end(),
+                      std::make_move_iterator(out.outcomes.begin()),
+                      std::make_move_iterator(out.outcomes.end()));
+    }
+  } else {
+    BaseRowReader reader(base);
+    std::vector<uint32_t> steps;
+    for (const auto& [begin, end] : groups) {
+      resim_walk(begin, end, reader, steps, slot_edits, outcomes,
+                 steps_written, changed_walks);
+    }
+  }
+
+  // Apply the patch outcomes in canonical order (ascending walk key; see
+  // above on why block concatenation preserves it).
+  for (const WalkOutcome& outcome : outcomes) {
+    const auto v = static_cast<VertexId>(outcome.key >> 32);
+    switch (outcome.kind) {
+      case WalkOutcome::Kind::kInsert:
+        overlay->patches_[outcome.key] = outcome.patch;
+        ++overlay->patch_counts_[v];
+        break;
+      case WalkOutcome::Kind::kSet:
+        overlay->patches_[outcome.key] = outcome.patch;
+        break;
+      case WalkOutcome::Kind::kErase: {
+        overlay->patches_.erase(outcome.key);
+        auto count = overlay->patch_counts_.find(v);
+        if (--count->second == 0) overlay->patch_counts_.erase(count);
+        break;
+      }
+    }
   }
 
   // --- fold the edits into per-slot diffs vs. the base store ------------
+  std::stable_sort(slot_edits.begin(), slot_edits.end());
+  FoldSlotEdits(slot_edits, overlay.get());
+
+  uint64_t suffix_words = 0;
+  for (const auto& [patch_key, patch] : overlay->patches_) {
+    suffix_words += patch->suffix.size();
+  }
+  overlay->resident_bytes_ = OverlayBytesFromCounts(
+      overlay->patches_.size(), suffix_words, overlay->patch_counts_.size(),
+      overlay->deltas_.size(), overlay->delta_entries_);
+
+  // Publish: one pointer swap; concurrent queries either see the previous
+  // overlay or this one, never a mixture. A batch that cancels every
+  // patch out still publishes the (empty) overlay: the sequence must stay
+  // monotone, or a QueryEngine row cached under an earlier overlay could
+  // read as fresh once the counter wrapped back around.
+  const uint64_t sequence = overlay->sequence_;
+  const uint64_t patched_vertices = overlay->patch_counts_.size();
+  const uint64_t patched_walks = overlay->patches_.size();
+  const uint64_t changed_slots = overlay->deltas_.size();
+  const uint64_t delta_entries = overlay->delta_entries_;
+  const uint64_t overlay_bytes = overlay->resident_bytes_;
+  if (defer_sync_and_publish) {
+    pending_overlay_ = std::move(overlay);  // published after the group sync
+  } else {
+    index_.PublishOverlay(overlay);
+    MaybeTriggerAutoCompact(*overlay);
+  }
+
+  // Counters live under their own mutex so the server's inline stats
+  // endpoints never block behind a long patch or compaction.
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  ++stats_.batches_applied;
+  for (const EdgeUpdate& update : updates) {
+    if (update.op == EdgeUpdate::Op::kInsert) {
+      ++stats_.edges_inserted;
+    } else {
+      ++stats_.edges_deleted;
+    }
+  }
+  stats_.walks_resimulated += resimulated;
+  stats_.walks_changed += changed_walks;
+  stats_.steps_resimulated += steps_written;
+  stats_.overlay_sequence = sequence;
+  stats_.patched_vertices = patched_vertices;
+  stats_.patched_walks = patched_walks;
+  stats_.changed_slots = changed_slots;
+  stats_.delta_entries = delta_entries;
+  stats_.overlay_bytes = overlay_bytes;
+  stats_.graph_edges = m_;
+  stats_.current_graph_fingerprint = post_fingerprint;
+  stats_.wal_records = wal_.record_count();
+  stats_.wal_bytes = wal_.size_bytes();
+  stats_.wal_syncs = wal_.sync_count();
+  return Status::OK();
+}
+
+void IndexUpdater::FoldSlotEdits(std::span<const SlotEdit> slot_edits,
+                                 DeltaOverlay* overlay) {
   // Previous entries of an edited vertex in a slot are replaced by its
   // (base, new) pair; steps before a walk's earliest affected step carry
-  // no edit and keep their previous entries. One stable sort groups the
-  // flat edit list by slot (stable: a walk edited twice in a slot across
-  // merged segments keeps its last state... it cannot be — each walk
-  // visits a step once per batch — but stability costs nothing).
-  std::stable_sort(slot_edits.begin(), slot_edits.end());
+  // no edit and keep their previous entries. The input arrives grouped by
+  // slot (one stable sort over the flat edit list).
   for (size_t at_edit = 0; at_edit < slot_edits.size();) {
     const uint64_t slot = slot_edits[at_edit].slot;
     const size_t begin = at_edit;
@@ -655,85 +889,97 @@ Status IndexUpdater::ApplyBatch(std::span<const EdgeUpdate> updates,
   for (const auto& [slot, delta] : overlay->deltas_) {
     overlay->delta_entries_ += delta->removed.size() + delta->added.size();
   }
-
-  // Publish: one pointer swap; concurrent queries either see the previous
-  // overlay or this one, never a mixture. A batch that cancels every
-  // patch out still publishes the (empty) overlay: the sequence must stay
-  // monotone, or a QueryEngine row cached under an earlier overlay could
-  // read as fresh once the counter wrapped back around.
-  const uint64_t sequence = overlay->sequence_;
-  const uint64_t patched_vertices = overlay->patch_counts_.size();
-  const uint64_t patched_walks = overlay->patches_.size();
-  const uint64_t changed_slots = overlay->deltas_.size();
-  const uint64_t delta_entries = overlay->delta_entries_;
-  if (defer_sync_and_publish) {
-    pending_overlay_ = std::move(overlay);  // published after the group sync
-  } else {
-    index_.PublishOverlay(std::move(overlay));
-  }
-  edges_ = std::move(new_edges);
-  in_offsets_ = std::move(new_in_offsets);
-  in_sources_ = std::move(new_in_sources);
-  graph_fingerprint_ = post_fingerprint;
-
-  // Counters live under their own mutex so the server's inline stats
-  // endpoints never block behind a long patch or compaction.
-  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-  ++stats_.batches_applied;
-  for (const EdgeUpdate& update : updates) {
-    if (update.op == EdgeUpdate::Op::kInsert) {
-      ++stats_.edges_inserted;
-    } else {
-      ++stats_.edges_deleted;
-    }
-  }
-  stats_.walks_resimulated += resimulated;
-  stats_.walks_changed += changed_walks;
-  stats_.steps_resimulated += steps_written;
-  stats_.overlay_sequence = sequence;
-  stats_.patched_vertices = patched_vertices;
-  stats_.patched_walks = patched_walks;
-  stats_.changed_slots = changed_slots;
-  stats_.delta_entries = delta_entries;
-  stats_.graph_edges = edges_.size();
-  stats_.current_graph_fingerprint = post_fingerprint;
-  stats_.wal_records = wal_.record_count();
-  stats_.wal_bytes = wal_.size_bytes();
-  stats_.wal_syncs = wal_.sync_count();
-  return Status::OK();
 }
 
 Status IndexUpdater::Compact(const std::string& path,
                              const WalkIndex::SaveOptions& save,
                              bool reset_wal,
                              const std::string& graph_path) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const std::shared_ptr<const DeltaOverlay> overlay =
-      index_.overlay_snapshot();
-  const WalkStore& base = index_.store();
-  WalkStoreMeta meta = base.meta();
-  meta.graph_fingerprint = graph_fingerprint_;
+  return CompactInternal(path, save, reset_wal, graph_path,
+                         /*background=*/false);
+}
 
-  // Materialize base + overlay as a flat walk table, exactly what Build()
-  // would have produced on the updated graph, and save it through the
-  // same writer — byte identity follows.
+Status IndexUpdater::CompactInternal(const std::string& path,
+                                     const WalkIndex::SaveOptions& save,
+                                     bool reset_wal,
+                                     const std::string& graph_path,
+                                     bool background) {
+  (void)background;
+  // One compaction at a time (manual or auto); updates are only excluded
+  // during the two brief mutex_ windows below.
+  std::lock_guard<std::mutex> compact_lock(compact_mutex_);
+  const auto compact_start = std::chrono::steady_clock::now();
+
+  // Phase 1 — pin the snapshot this compaction materializes: the overlay,
+  // the record count it embodies and (when a graph file is wanted) the
+  // adjacency. O(m) worst case, no store reads.
+  std::shared_ptr<const DeltaOverlay> snap;
+  uint64_t snap_fingerprint = 0;
+  size_t records_at_snapshot = 0;
+  std::vector<std::vector<VertexId>> out_copy;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap = index_.overlay_snapshot();
+    snap_fingerprint = graph_fingerprint_;
+    {
+      std::lock_guard<std::mutex> records_lock(records_mutex_);
+      records_at_snapshot = records_.size();
+    }
+    if (!graph_path.empty()) out_copy = out_lists_;
+  }
+  const WalkStore& base = index_.ServingStore(snap.get());
+  WalkStoreMeta meta = base.meta();
+  meta.graph_fingerprint = snap_fingerprint;
+
+  // Phase 2 — no update lock held: updates and queries proceed against
+  // the live overlay while the merged store is built. Materialize base +
+  // overlay as a flat walk table, exactly what Build() would have
+  // produced on the updated graph, and save it through the same writer —
+  // byte identity follows. Vertex ranges are disjoint, so the
+  // materialization fans out; the result is position-for-position
+  // identical for any thread count.
   const uint32_t n = meta.n;
   const size_t words = base.WalkWords();
   std::vector<uint32_t> walks(words * n);
-  std::vector<uint32_t> scratch(words);
-  for (VertexId v = 0; v < n; ++v) {
-    OIPSIM_RETURN_IF_ERROR(
-        MaterializeRow(base, overlay.get(), v, scratch.data()));
-    for (size_t word = 0; word < words; ++word) {
-      walks[word * n + v] = scratch[word];
+  {
+    const size_t blocks =
+        pool_ != nullptr && n >= 2
+            ? std::min<size_t>(n, static_cast<size_t>(num_threads_) * 4)
+            : 1;
+    std::vector<Status> block_status(blocks, Status::OK());
+    auto materialize_block = [&](size_t b) {
+      const VertexId v0 = static_cast<VertexId>(n * b / blocks);
+      const VertexId v1 = static_cast<VertexId>(n * (b + 1) / blocks);
+      std::vector<uint32_t> scratch(words);
+      for (VertexId v = v0; v < v1; ++v) {
+        const Status status =
+            MaterializeRow(base, snap.get(), v, scratch.data());
+        if (!status.ok()) {
+          block_status[b] = status;
+          return;
+        }
+        for (size_t word = 0; word < words; ++word) {
+          walks[word * n + v] = scratch[word];
+        }
+      }
+    };
+    if (blocks > 1) {
+      pool_->ParallelFor(0, blocks,
+                         [&](uint64_t b) { materialize_block(b); });
+    } else {
+      materialize_block(0);
+    }
+    for (const Status& status : block_status) {
+      OIPSIM_RETURN_IF_ERROR(status);
     }
   }
-  InMemoryWalkStore merged(meta, std::move(walks), /*num_threads=*/1);
+  auto merged = std::make_shared<InMemoryWalkStore>(meta, std::move(walks),
+                                                    num_threads_);
 
   WalkStoreSaveOptions store_save;
   store_save.compress = save.compress;
   const std::string tmp = path + ".tmp";
-  OIPSIM_RETURN_IF_ERROR(SaveWalkStore(merged, tmp, store_save));
+  OIPSIM_RETURN_IF_ERROR(SaveWalkStore(*merged, tmp, store_save));
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::IoError(
@@ -745,7 +991,9 @@ Status IndexUpdater::Compact(const std::string& path,
     // The updated graph must be durable before the WAL forgets how to
     // re-derive it.
     DiGraph::Builder builder(n_);
-    for (const Edge& edge : edges_) builder.AddEdge(edge.src, edge.dst);
+    for (VertexId v = 0; v < n_; ++v) {
+      for (const VertexId dst : out_copy[v]) builder.AddEdge(v, dst);
+    }
     const DiGraph graph = std::move(builder).Build();
     const std::string graph_tmp = graph_path + ".tmp";
     OIPSIM_RETURN_IF_ERROR(WriteBinary(graph, graph_tmp));
@@ -757,30 +1005,290 @@ Status IndexUpdater::Compact(const std::string& path,
     }
   }
 
-  if (reset_wal) {
-    WalBaseIdentity identity;
-    identity.n = meta.n;
-    identity.num_fingerprints = meta.num_fingerprints;
-    identity.walk_length = meta.walk_length;
-    identity.seed = meta.seed;
-    identity.damping = meta.damping;
-    identity.graph_fingerprint = meta.graph_fingerprint;
-    OIPSIM_RETURN_IF_ERROR(wal_.Reset(identity));
-    {
-      std::lock_guard<std::mutex> records_lock(records_mutex_);
-      records_.clear();
+  // The store serving swaps onto. A paged deployment re-opens the
+  // compacted file through the paged backend, so a compaction does not
+  // silently convert it into a fully resident one; the rename above left
+  // the old mapping's inode intact for readers still on old snapshots.
+  std::shared_ptr<const WalkStore> serving = merged;
+  if (index_.store().FlatWalks() == nullptr) {
+    auto reopened = MmapWalkStore::Open(path);
+    if (reopened.ok()) {
+      serving = std::shared_ptr<const WalkStore>(std::move(*reopened));
     }
+    // On reopen failure keep the in-memory merged store: correctness is
+    // unaffected, only residency.
+  }
+
+  // Phase 3 — the swap: one brief mutex_ hold. Batches that landed while
+  // the merged store was building are rebased onto it (their net effect
+  // re-expressed as patches against the merged store), so the published
+  // (store, overlay) pair is coherent and the sequence keeps counting —
+  // cached rows stamped with the snapshot sequence stay valid, because
+  // the merged store is bitwise the snapshot state.
+  Status result = Status::OK();
+  uint64_t pause_micros = 0;
+  uint64_t published_sequence = 0;
+  uint64_t published_patched_vertices = 0;
+  uint64_t published_patched_walks = 0;
+  uint64_t published_changed_slots = 0;
+  uint64_t published_delta_entries = 0;
+  uint64_t published_overlay_bytes = 0;
+  bool published = false;
+  {
+    const auto pause_start = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::shared_ptr<const DeltaOverlay> current =
+        index_.overlay_snapshot();
+    if (current != nullptr || snap != nullptr) {
+      auto rebased = std::make_shared<DeltaOverlay>();
+      rebased->walk_length_ = meta.walk_length;
+      rebased->rebased_store_ = serving;
+      if (current == snap) {
+        rebased->sequence_ = current->sequence_;
+        rebased->graph_fingerprint_ = snap_fingerprint;
+      } else {
+        rebased->sequence_ = current->sequence_;
+        rebased->graph_fingerprint_ = current->graph_fingerprint_;
+        // Diff every walk either patch set touches: merged-store value
+        // (snapshot side) vs live value (current side), both expressed
+        // against the *old* base. Cost is proportional to the churn
+        // during the build window, never O(n).
+        std::vector<uint64_t> keys;
+        keys.reserve((snap != nullptr ? snap->patches_.size() : 0) +
+                     current->patches_.size());
+        if (snap != nullptr) {
+          for (const auto& [key, patch] : snap->patches_) {
+            keys.push_back(key);
+          }
+        }
+        for (const auto& [key, patch] : current->patches_) {
+          keys.push_back(key);
+        }
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        BaseRowReader reader(base);
+        std::vector<SlotEdit> edits;
+        const uint32_t L = meta.walk_length;
+        std::vector<uint32_t> cur_row(static_cast<size_t>(L) + 1);
+        for (const uint64_t key : keys) {
+          const auto v = static_cast<VertexId>(key >> 32);
+          const auto r = static_cast<uint32_t>(key & 0xffffffffu);
+          const DeltaOverlay::WalkPatch* sp = nullptr;
+          if (snap != nullptr) {
+            if (auto it = snap->patches_.find(key);
+                it != snap->patches_.end()) {
+              sp = it->second.get();
+            }
+          }
+          const DeltaOverlay::WalkPatch* cp = current->FindPatch(v, r);
+          uint32_t first = 0;
+          uint32_t last = 0;
+          bool any = false;
+          for (uint32_t t = 1; t <= L; ++t) {
+            const uint32_t merged_position =
+                sp != nullptr && sp->Covers(t) ? sp->Position(t)
+                                               : reader.Pos(v, r, t);
+            const uint32_t current_position =
+                cp != nullptr && cp->Covers(t) ? cp->Position(t)
+                                               : reader.Pos(v, r, t);
+            cur_row[t] = current_position;
+            if (merged_position != current_position) {
+              edits.push_back(
+                  SlotEdit{static_cast<uint64_t>(r) * L + (t - 1), v,
+                           merged_position, current_position});
+              if (!any) {
+                first = t;
+                any = true;
+              }
+              last = t;
+            }
+          }
+          if (any) {
+            DeltaOverlay::WalkPatch patch;
+            patch.t0 = first;
+            patch.suffix.assign(cur_row.begin() + first,
+                                cur_row.begin() + last + 1);
+            rebased->patches_[key] =
+                std::make_shared<DeltaOverlay::WalkPatch>(std::move(patch));
+            ++rebased->patch_counts_[v];
+          }
+        }
+        std::stable_sort(edits.begin(), edits.end());
+        FoldSlotEdits(edits, rebased.get());
+      }
+      uint64_t suffix_words = 0;
+      for (const auto& [patch_key, patch] : rebased->patches_) {
+        suffix_words += patch->suffix.size();
+      }
+      rebased->resident_bytes_ = OverlayBytesFromCounts(
+          rebased->patches_.size(), suffix_words,
+          rebased->patch_counts_.size(), rebased->deltas_.size(),
+          rebased->delta_entries_);
+      published_sequence = rebased->sequence_;
+      published_patched_vertices = rebased->patch_counts_.size();
+      published_patched_walks = rebased->patches_.size();
+      published_changed_slots = rebased->deltas_.size();
+      published_delta_entries = rebased->delta_entries_;
+      published_overlay_bytes = rebased->resident_bytes_;
+      published = true;
+      index_.PublishOverlay(std::move(rebased));
+    }
+
+    if (reset_wal) {
+      WalBaseIdentity identity;
+      identity.n = meta.n;
+      identity.num_fingerprints = meta.num_fingerprints;
+      identity.walk_length = meta.walk_length;
+      identity.seed = meta.seed;
+      identity.damping = meta.damping;
+      identity.graph_fingerprint = snap_fingerprint;
+      result = wal_.Reset(identity);
+      if (result.ok()) {
+        // The compacted file embodies records [0, records_at_snapshot);
+        // batches that landed during the build are re-appended so their
+        // durability survives the reset.
+        std::lock_guard<std::mutex> records_lock(records_mutex_);
+        std::vector<WalRecord> tail(
+            records_.begin() +
+                static_cast<std::ptrdiff_t>(records_at_snapshot),
+            records_.end());
+        for (const WalRecord& record : tail) {
+          result = wal_.Append(record, /*sync=*/false);
+          if (!result.ok()) break;
+        }
+        if (result.ok() && options_.sync_wal && !tail.empty()) {
+          result = wal_.Sync();
+        }
+        records_ = std::move(tail);
+      }
+    }
+    pause_micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - pause_start)
+            .count());
+  }
+
+  const uint64_t total_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - compact_start)
+          .count());
+  compaction_hist_.Record(total_micros);
+  {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.compactions;
+    stats_.last_compaction_micros = total_micros;
+    stats_.last_compaction_pause_micros = pause_micros;
     stats_.wal_records = wal_.record_count();
     stats_.wal_bytes = wal_.size_bytes();
+    stats_.wal_syncs = wal_.sync_count();
+    if (published) {
+      stats_.overlay_sequence = published_sequence;
+      stats_.patched_vertices = published_patched_vertices;
+      stats_.patched_walks = published_patched_walks;
+      stats_.changed_slots = published_changed_slots;
+      stats_.delta_entries = published_delta_entries;
+      stats_.overlay_bytes = published_overlay_bytes;
+    }
   }
-  return Status::OK();
+  return result;
+}
+
+bool IndexUpdater::OverlayOverThreshold(const DeltaOverlay& overlay) const {
+  const bool over_budget =
+      options_.overlay_budget_bytes > 0 &&
+      overlay.resident_bytes_ > options_.overlay_budget_bytes;
+  const double fraction = options_.auto_compact_patched_fraction;
+  const bool amplified =
+      fraction > 0.0 &&
+      static_cast<double>(overlay.patches_.size()) >
+          fraction * static_cast<double>(n_) *
+              static_cast<double>(index_.options().num_fingerprints);
+  return over_budget || amplified;
+}
+
+void IndexUpdater::MaybeTriggerAutoCompact(const DeltaOverlay& overlay) {
+  if (!AutoCompactArmed()) return;
+  if (!OverlayOverThreshold(overlay)) return;
+  {
+    std::lock_guard<std::mutex> lock(bg_mutex_);
+    // One compaction in flight at a time; the overlay this publish built
+    // is folded in anyway if it lands before the running one's swap, and
+    // re-trips the trigger at its next publish otherwise.
+    if (bg_shutdown_ || bg_requested_ || bg_running_) return;
+    bg_requested_ = true;
+  }
+  bg_cv_.notify_all();
+}
+
+bool IndexUpdater::AutoCompactArmed() const {
+  return !options_.auto_compact_path.empty() &&
+         (options_.overlay_budget_bytes > 0 ||
+          options_.auto_compact_patched_fraction > 0.0);
+}
+
+void IndexUpdater::BackgroundCompactLoop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(bg_mutex_);
+    bg_cv_.wait(lock, [this] { return bg_requested_ || bg_shutdown_; });
+    if (bg_shutdown_) return;
+    bg_requested_ = false;
+    bg_running_ = true;
+    lock.unlock();
+
+    WalkIndex::SaveOptions save;
+    save.compress = options_.auto_compact_compress;
+    // Reset the WAL only when the matching graph is made durable too; a
+    // reset without it would strand acknowledged updates on restart.
+    const bool reset_wal = !options_.auto_compact_graph_path.empty();
+    const Status status =
+        CompactInternal(options_.auto_compact_path, save, reset_wal,
+                        options_.auto_compact_graph_path,
+                        /*background=*/true);
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      if (status.ok()) {
+        ++stats_.auto_compactions;
+      } else {
+        ++stats_.auto_compact_failures;
+      }
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "simrank: background auto-compaction failed: %s\n",
+                   status.ToString().c_str());
+    }
+
+    // A batch that published during this run saw bg_running_ and dropped
+    // its trigger; if its rebased tail is still over threshold, re-arm
+    // before declaring the compactor idle so the tail cannot strand.
+    // Re-compacting an unchanged over-threshold overlay converges: the
+    // second pass rebases it to empty.  Checked before clearing
+    // bg_running_ so DrainBackgroundCompaction cannot observe a
+    // momentarily-idle compactor with work still pending.
+    bool rearm = false;
+    if (status.ok()) {
+      const auto overlay = index_.overlay_snapshot();
+      rearm = overlay && OverlayOverThreshold(*overlay);
+    }
+
+    lock.lock();
+    bg_running_ = false;
+    if (rearm && !bg_shutdown_) bg_requested_ = true;
+    lock.unlock();
+    bg_cv_.notify_all();
+  }
+}
+
+void IndexUpdater::DrainBackgroundCompaction() {
+  std::unique_lock<std::mutex> lock(bg_mutex_);
+  bg_cv_.wait(lock, [this] { return !bg_requested_ && !bg_running_; });
 }
 
 DiGraph IndexUpdater::CurrentGraph() const {
   std::lock_guard<std::mutex> lock(mutex_);
   DiGraph::Builder builder(n_);
-  for (const Edge& edge : edges_) builder.AddEdge(edge.src, edge.dst);
+  for (VertexId v = 0; v < n_; ++v) {
+    for (const VertexId dst : out_lists_[v]) builder.AddEdge(v, dst);
+  }
   return std::move(builder).Build();
 }
 

@@ -22,6 +22,26 @@
 // answer matches, and Compact() writes a v2 file byte-identical to
 // `build-index` on the updated graph.
 //
+// Cost model: the current graph is kept as per-vertex sorted adjacency
+// lists maintained in place — O(degree) per edge update, never an
+// O(n + m) copy per batch — and the structural fingerprint is the
+// commutative ComposeGraphFingerprint form, updated in O(1) per edge.
+// Discovery and re-simulation fan out over a thread pool
+// (options.num_threads); every affected walk is an independent pure
+// function of the updated graph, and per-worker results are merged in
+// canonical (vertex, fingerprint) order, so the published overlay is
+// bitwise identical for any thread count.
+//
+// Overlay growth is bounded: every publish carries a resident-byte
+// estimate, and when it exceeds options.overlay_budget_bytes (or the
+// patched-walk fraction trips the amplification heuristic) a *background*
+// compaction starts on a dedicated thread. Updates and queries keep
+// running against the live overlay while the merged store is built; the
+// only exclusive window is the final pointer swap, which publishes the
+// merged store *through* the overlay (DeltaOverlay::rebased_store) and
+// rebases any batches that landed mid-compaction onto it. Serves never
+// block behind a compaction.
+//
 // Durability: every accepted batch is appended to a checksummed WAL
 // (update_wal.h) *before* the overlay is built. Reopening the updater
 // replays the WAL over the base index and reconstructs the overlay; a torn
@@ -41,9 +61,12 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "simrank/common/latency_histogram.h"
 #include "simrank/common/status.h"
+#include "simrank/common/thread_pool.h"
 #include "simrank/graph/digraph.h"
 #include "simrank/index/edge_update.h"
 #include "simrank/index/update_wal.h"
@@ -74,6 +97,33 @@ struct IndexUpdaterOptions {
   /// them. Both zero means the full range.
   uint32_t vertex_begin = 0;
   uint32_t vertex_end = 0;
+  /// Worker threads for affected-walk discovery, suffix re-simulation and
+  /// compaction's merged-store build. 1 = serial, 0 = hardware
+  /// concurrency. The published overlay — and therefore every query
+  /// answer and every compacted file — is bitwise identical for any
+  /// value.
+  uint32_t num_threads = 1;
+  /// Resident-byte budget for the published overlay. A publish that
+  /// leaves the overlay above it triggers a background auto-compaction
+  /// (requires auto_compact_path). 0 = unbounded.
+  uint64_t overlay_budget_bytes = 0;
+  /// Patch-amplification heuristic: auto-compact once more than this
+  /// fraction of all n·R walks carries a patch (reads of patched vertices
+  /// pay an extra hash lookup per step, so a heavily patched overlay
+  /// serves slower than the store a compaction would fold it into).
+  /// 0 disables the heuristic.
+  double auto_compact_patched_fraction = 0.0;
+  /// Where background auto-compaction writes the merged index; arming
+  /// either trigger requires this.
+  std::string auto_compact_path;
+  /// Compress the auto-compacted index's walk segments.
+  bool auto_compact_compress = false;
+  /// Where auto-compaction writes the updated graph. When set, the WAL is
+  /// also reset to the compacted state (batches that landed during the
+  /// compaction are re-appended); when empty the WAL is left whole,
+  /// because a reset WAL without a matching durable graph would strand
+  /// acknowledged updates on restart.
+  std::string auto_compact_graph_path;
 };
 
 /// Cumulative counters (replayed batches included), readable concurrently
@@ -102,6 +152,20 @@ struct IndexUpdateStats {
   uint64_t patched_walks = 0;
   uint64_t changed_slots = 0;
   uint64_t delta_entries = 0;
+  /// Estimated resident bytes of the published overlay — what
+  /// overlay_budget_bytes is compared against.
+  uint64_t overlay_bytes = 0;
+  /// Compactions completed since Open (manual + auto), and of those, how
+  /// many the background triggers started; failures are auto ones only
+  /// (manual Compact reports its error to the caller).
+  uint64_t compactions = 0;
+  uint64_t auto_compactions = 0;
+  uint64_t auto_compact_failures = 0;
+  /// Wall time of the most recent completed compaction, and how long it
+  /// held the update mutex (the only window updates wait behind a
+  /// compaction; queries never do).
+  uint64_t last_compaction_micros = 0;
+  uint64_t last_compaction_pause_micros = 0;
   /// Current (updated) graph.
   uint64_t graph_edges = 0;
   uint64_t current_graph_fingerprint = 0;
@@ -120,6 +184,8 @@ class IndexUpdater {
   static Result<std::unique_ptr<IndexUpdater>> Open(
       WalkIndex& index, DiGraph base_graph,
       const IndexUpdaterOptions& options);
+
+  ~IndexUpdater();
 
   OIPSIM_DISALLOW_COPY_AND_ASSIGN(IndexUpdater);
 
@@ -145,22 +211,34 @@ class IndexUpdater {
   std::vector<WalRecord> WalRecordsFrom(uint64_t from,
                                         uint64_t limit = 256) const;
 
-  /// Writes base + overlay as a fresh v2 index file at `path` (via a
+  /// Writes the serving state as a fresh v2 index file at `path` (via a
   /// temporary file and an atomic rename), byte-identical to what
   /// `build-index` on the current graph would write with the same save
-  /// options. With `reset_wal`, the WAL is then re-bound to the compacted
-  /// index's fingerprint and emptied — the compacted file embodies every
-  /// logged batch. A non-empty `graph_path` additionally writes the
-  /// updated graph in the id-exact binary format (also via atomic
+  /// options, then swaps serving onto the merged store (published through
+  /// the overlay, DeltaOverlay::rebased_store) so the accumulated patches
+  /// are released. Updates and queries keep running while the merged
+  /// store is built; batches that land mid-compaction are rebased onto it
+  /// at the final swap, and the swap itself is the only exclusive window.
+  /// With `reset_wal`, the WAL is re-bound to the compacted index's
+  /// fingerprint and re-seeded with exactly the batches the compacted
+  /// file does not embody. A non-empty `graph_path` additionally writes
+  /// the compacted graph in the id-exact binary format (also via atomic
   /// rename, and *before* the WAL reset): resetting the WAL makes the
   /// base graph file stale, so a restart needs this file — without it,
   /// acknowledged updates would survive only in an index whose matching
-  /// graph exists nowhere on disk. Thread-safe; queries keep serving
-  /// throughout, and no update can slip between the index write, the
-  /// graph write and the reset.
+  /// graph exists nowhere on disk. Thread-safe.
   Status Compact(const std::string& path,
                  const WalkIndex::SaveOptions& save, bool reset_wal = false,
                  const std::string& graph_path = "");
+
+  /// Blocks until no background auto-compaction is pending or running.
+  /// Test and benchmark support; serving code never needs it.
+  void DrainBackgroundCompaction();
+
+  /// Durations of completed compactions (manual + auto), for /metrics.
+  const LatencyHistogram& compaction_histogram() const {
+    return compaction_hist_;
+  }
 
   /// Counter snapshot. Thread-safe.
   IndexUpdateStats stats() const;
@@ -174,6 +252,8 @@ class IndexUpdater {
 
  private:
   struct PendingBatch;
+  struct SlotEdit;
+  struct WalkOutcome;
 
   IndexUpdater(WalkIndex& index, const DiGraph& base_graph, UpdateWal wal,
                const IndexUpdaterOptions& options);
@@ -194,22 +274,54 @@ class IndexUpdater {
   Status ApplyGrouped(std::span<const EdgeUpdate> updates,
                       uint64_t expected_post_fingerprint);
 
+  /// Merges a slot-sorted flat edit list into `overlay`'s slot diffs
+  /// (replacing the edited vertices' prior entries) and recomputes
+  /// delta_entries_. Shared by the patch path and the compaction rebase.
+  void FoldSlotEdits(std::span<const SlotEdit> edits, DeltaOverlay* overlay);
+
+  /// The compaction pipeline behind Compact() and the background trigger.
+  /// Takes compact_mutex_ for its whole run and mutex_ only for the
+  /// snapshot pin and the final swap.
+  Status CompactInternal(const std::string& path,
+                         const WalkIndex::SaveOptions& save, bool reset_wal,
+                         const std::string& graph_path, bool background);
+
+  /// Caller holds mutex_. Checks the published overlay against the budget
+  /// and amplification triggers and wakes the background thread.
+  void MaybeTriggerAutoCompact(const DeltaOverlay& overlay);
+
+  /// True when `overlay` exceeds the byte budget or the patched-walk
+  /// amplification fraction. Overlays are immutable once published, so
+  /// this needs no lock.
+  bool OverlayOverThreshold(const DeltaOverlay& overlay) const;
+
+  bool AutoCompactArmed() const;
+
+  void BackgroundCompactLoop();
+
   WalkIndex& index_;
   UpdateWal wal_;
   IndexUpdaterOptions options_;
 
-  // The current graph, kept in the two shapes the patch path needs and
-  // maintained incrementally (a DiGraph rebuild per batch would dwarf the
-  // patch itself): the canonical (src, dst)-sorted edge list — the order
-  // GraphFingerprint hashes — and the in-neighbour CSR the re-simulation
-  // reads.
+  // The current graph as per-vertex sorted adjacency (src-ascending
+  // in-lists feed the re-simulation; dst-ascending out-lists reproduce
+  // the canonical edge enumeration for CurrentGraph and compaction),
+  // maintained *in place* in O(degree) per edge update, plus the
+  // commutative fingerprint accumulators maintained in O(1) per edge
+  // (graph_io's EdgeFingerprint / ComposeGraphFingerprint).
   uint32_t n_ = 0;
-  std::vector<Edge> edges_;
-  std::vector<uint64_t> in_offsets_;
-  std::vector<VertexId> in_sources_;
+  uint64_t m_ = 0;
+  std::vector<std::vector<VertexId>> in_lists_;
+  std::vector<std::vector<VertexId>> out_lists_;
+  uint64_t edge_sum_ = 0;
+  uint64_t edge_xor_ = 0;
   uint64_t graph_fingerprint_ = 0;
 
-  /// Serializes ApplyBatch and Compact.
+  /// Resolved worker count; the pool exists only when it exceeds 1.
+  uint32_t num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Serializes ApplyBatch and the compaction swap.
   mutable std::mutex mutex_;
 
   /// Group-commit state. Batches enqueue under queue_mutex_; the first
@@ -223,6 +335,18 @@ class IndexUpdater {
   /// The group's unpublished overlay chain (mutex_ holder only): batch
   /// i + 1 of a group builds on batch i's overlay before it is published.
   std::shared_ptr<const DeltaOverlay> pending_overlay_;
+
+  /// Serializes whole compactions (manual and background) against each
+  /// other without blocking updates.
+  std::mutex compact_mutex_;
+  /// Background-compaction worker state.
+  std::mutex bg_mutex_;
+  std::condition_variable bg_cv_;
+  bool bg_requested_ = false;
+  bool bg_running_ = false;
+  bool bg_shutdown_ = false;
+  std::thread bg_thread_;
+  LatencyHistogram compaction_hist_;
 
   /// In-memory copy of every durable WAL record, in append order — the
   /// primary side of WAL shipping. Guarded by records_mutex_ so a

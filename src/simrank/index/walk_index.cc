@@ -215,7 +215,8 @@ void AccumulateBucketVertices(const WalkStore& store,
 
 double WalkIndex::EstimatePair(VertexId a, VertexId b,
                                const DeltaOverlay* overlay) const {
-  const uint32_t n = store_->meta().n;
+  const WalkStore& store = ServingStore(overlay);
+  const uint32_t n = store.meta().n;
   OIPSIM_CHECK(a < n && b < n);
   if (a == b) return 1.0;
   const uint32_t R = options_.num_fingerprints;
@@ -223,12 +224,12 @@ double WalkIndex::EstimatePair(VertexId a, VertexId b,
   const bool pa_patched = overlay != nullptr && overlay->IsPatched(a);
   const bool pb_patched = overlay != nullptr && overlay->IsPatched(b);
   double sum = 0.0;
-  const uint32_t* walks = store_->FlatWalks();
+  const uint32_t* walks = store.FlatWalks();
   if (walks != nullptr && !pa_patched && !pb_patched) {
     // Resident flat table: direct (r,t)-major indexing, v1's hot path.
     for (uint32_t r = 0; r < R; ++r) {
       for (uint32_t t = 1; t <= L; ++t) {
-        const size_t slot = store_->FlatSlot(r, t);
+        const size_t slot = store.FlatSlot(r, t);
         const uint32_t pa = walks[slot + a];
         const uint32_t pb = walks[slot + b];
         if (pa == kDeadWalk || pb == kDeadWalk) break;  // a walk died
@@ -248,9 +249,9 @@ double WalkIndex::EstimatePair(VertexId a, VertexId b,
     std::vector<uint32_t> scratch_a;
     std::vector<uint32_t> scratch_b;
     const uint32_t* wa =
-        walks != nullptr ? nullptr : DecodeBaseRow(*store_, a, &scratch_a);
+        walks != nullptr ? nullptr : DecodeBaseRow(store, a, &scratch_a);
     const uint32_t* wb =
-        walks != nullptr ? nullptr : DecodeBaseRow(*store_, b, &scratch_b);
+        walks != nullptr ? nullptr : DecodeBaseRow(store, b, &scratch_b);
     for (uint32_t r = 0; r < R; ++r) {
       const DeltaOverlay::WalkPatch* qa =
           pa_patched ? overlay->FindPatch(a, r) : nullptr;
@@ -260,12 +261,12 @@ double WalkIndex::EstimatePair(VertexId a, VertexId b,
         const uint32_t pa =
             qa != nullptr && qa->Covers(t)
                 ? qa->Position(t)
-                : (walks != nullptr ? walks[store_->FlatSlot(r, t) + a]
+                : (walks != nullptr ? walks[store.FlatSlot(r, t) + a]
                                     : wa[r * row + t]);
         const uint32_t pb =
             qb != nullptr && qb->Covers(t)
                 ? qb->Position(t)
-                : (walks != nullptr ? walks[store_->FlatSlot(r, t) + b]
+                : (walks != nullptr ? walks[store.FlatSlot(r, t) + b]
                                     : wb[r * row + t]);
         if (pa == kDeadWalk || pb == kDeadWalk) break;
         if (pa == pb) {
@@ -280,7 +281,8 @@ double WalkIndex::EstimatePair(VertexId a, VertexId b,
 
 std::vector<double> WalkIndex::EstimateSingleSource(
     VertexId v, const DeltaOverlay* overlay) const {
-  const uint32_t n = store_->meta().n;
+  const WalkStore& store = ServingStore(overlay);
+  const uint32_t n = store.meta().n;
   OIPSIM_CHECK(v < n);
   const uint32_t R = options_.num_fingerprints;
   const uint32_t L = options_.walk_length;
@@ -290,14 +292,14 @@ std::vector<double> WalkIndex::EstimateSingleSource(
   // one contiguous segment decode), with its patched suffixes overriding
   // per (fingerprint, step).
   const bool v_patched = overlay != nullptr && overlay->IsPatched(v);
-  const uint32_t* flat = store_->FlatWalks();
+  const uint32_t* flat = store.FlatWalks();
   std::vector<uint32_t> decoded;
   const uint32_t* base_row =
-      flat != nullptr ? nullptr : DecodeBaseRow(*store_, v, &decoded);
+      flat != nullptr ? nullptr : DecodeBaseRow(store, v, &decoded);
   // Paged backend: the R·L bucket lookups below touch pages scattered
   // across the whole inverted region — start the readahead (a one-time
   // batched submission) before the first lookup faults.
-  if (flat == nullptr) store_->PrefetchSlots();
+  if (flat == nullptr) store.PrefetchSlots();
 
   std::vector<double> result(n, 0.0);
   // met_round[b] == r+1 marks that b's walk already met v's walk within
@@ -314,7 +316,7 @@ std::vector<double> WalkIndex::EstimateSingleSource(
       const uint32_t pv =
           patch != nullptr && patch->Covers(t)
               ? patch->Position(t)
-              : (flat != nullptr ? flat[store_->FlatSlot(r, t) + v]
+              : (flat != nullptr ? flat[store.FlatSlot(r, t) + v]
                                  : base_row[r * row + t]);
       if (pv == kDeadWalk) break;  // v's walk died: no further meetings
       const double weight = damping_powers_[t];
@@ -329,7 +331,7 @@ std::vector<double> WalkIndex::EstimateSingleSource(
       // could not have seen, and it must not become an out-of-bounds
       // write — AccumulateBucketVertices guards before any vector fast
       // path and falls back to the checked scalar walk.
-      AccumulateBucketVertices(*store_, overlay, r, t, pv, round, weight, n,
+      AccumulateBucketVertices(store, overlay, r, t, pv, round, weight, n,
                                &merged_scratch, &met_round, &result);
     }
   }
@@ -345,17 +347,18 @@ std::vector<double> WalkIndex::EstimateSingleSource(
 double WalkIndex::EstimatePairWithRow(std::span<const uint32_t> row_a,
                                       VertexId b,
                                       const DeltaOverlay* overlay) const {
-  const uint32_t n = store_->meta().n;
+  const WalkStore& store = ServingStore(overlay);
+  const uint32_t n = store.meta().n;
   OIPSIM_CHECK(b < n);
   const uint32_t R = options_.num_fingerprints;
   const uint32_t L = options_.walk_length;
   const size_t row = static_cast<size_t>(L) + 1;
   OIPSIM_CHECK(row_a.size() == static_cast<size_t>(R) * row);
   const bool pb_patched = overlay != nullptr && overlay->IsPatched(b);
-  const uint32_t* flat = store_->FlatWalks();
+  const uint32_t* flat = store.FlatWalks();
   std::vector<uint32_t> scratch_b;
   const uint32_t* wb =
-      flat != nullptr ? nullptr : DecodeBaseRow(*store_, b, &scratch_b);
+      flat != nullptr ? nullptr : DecodeBaseRow(store, b, &scratch_b);
   // Same (r, t) loop, same first-meeting comparison and same damping-power
   // accumulation order as EstimatePair — the sum is bit-identical when the
   // supplied row equals a's materialized row.
@@ -368,7 +371,7 @@ double WalkIndex::EstimatePairWithRow(std::span<const uint32_t> row_a,
       const uint32_t pb =
           qb != nullptr && qb->Covers(t)
               ? qb->Position(t)
-              : (flat != nullptr ? flat[store_->FlatSlot(r, t) + b]
+              : (flat != nullptr ? flat[store.FlatSlot(r, t) + b]
                                  : wb[r * row + t]);
       if (pa == kDeadWalk || pb == kDeadWalk) break;
       if (pa == pb) {
@@ -383,14 +386,15 @@ double WalkIndex::EstimatePairWithRow(std::span<const uint32_t> row_a,
 std::vector<double> WalkIndex::EstimateSingleSourceWithRow(
     VertexId v, std::span<const uint32_t> row_v,
     const DeltaOverlay* overlay) const {
-  const uint32_t n = store_->meta().n;
+  const WalkStore& store = ServingStore(overlay);
+  const uint32_t n = store.meta().n;
   OIPSIM_CHECK(v < n);
   const uint32_t R = options_.num_fingerprints;
   const uint32_t L = options_.walk_length;
   const size_t row = static_cast<size_t>(L) + 1;
   OIPSIM_CHECK(row_v.size() == static_cast<size_t>(R) * row);
 
-  if (store_->FlatWalks() == nullptr) store_->PrefetchSlots();
+  if (store.FlatWalks() == nullptr) store.PrefetchSlots();
   std::vector<double> result(n, 0.0);
   std::vector<uint32_t> met_round(n, 0);
   std::vector<uint32_t> merged_scratch;
@@ -405,7 +409,7 @@ std::vector<double> WalkIndex::EstimateSingleSourceWithRow(
       const uint32_t pv = row_v[r * row + t];
       if (pv == kDeadWalk) break;
       const double weight = damping_powers_[t];
-      AccumulateBucketVertices(*store_, overlay, r, t, pv, round, weight, n,
+      AccumulateBucketVertices(store, overlay, r, t, pv, round, weight, n,
                                &merged_scratch, &met_round, &result);
     }
   }
@@ -418,16 +422,17 @@ std::vector<double> WalkIndex::EstimateSingleSourceWithRow(
 
 std::vector<uint32_t> WalkIndex::MaterializeRow(
     VertexId v, const DeltaOverlay* overlay) const {
-  const uint32_t n = store_->meta().n;
+  const WalkStore& store = ServingStore(overlay);
+  const uint32_t n = store.meta().n;
   OIPSIM_CHECK(v < n);
   const uint32_t R = options_.num_fingerprints;
   const uint32_t L = options_.walk_length;
   const size_t row = static_cast<size_t>(L) + 1;
   std::vector<uint32_t> out(static_cast<size_t>(R) * row);
-  const uint32_t* flat = store_->FlatWalks();
+  const uint32_t* flat = store.FlatWalks();
   std::vector<uint32_t> decoded;
   const uint32_t* base =
-      flat != nullptr ? nullptr : DecodeBaseRow(*store_, v, &decoded);
+      flat != nullptr ? nullptr : DecodeBaseRow(store, v, &decoded);
   const bool patched = overlay != nullptr && overlay->IsPatched(v);
   for (uint32_t r = 0; r < R; ++r) {
     const DeltaOverlay::WalkPatch* patch =
@@ -437,7 +442,7 @@ std::vector<uint32_t> WalkIndex::MaterializeRow(
       out[r * row + t] =
           patch != nullptr && patch->Covers(t)
               ? patch->Position(t)
-              : (flat != nullptr ? flat[store_->FlatSlot(r, t) + v]
+              : (flat != nullptr ? flat[store.FlatSlot(r, t) + v]
                                  : base[r * row + t]);
     }
   }
@@ -446,13 +451,14 @@ std::vector<uint32_t> WalkIndex::MaterializeRow(
 
 std::vector<double> WalkIndex::EstimateSingleSourceScan(
     VertexId v, const DeltaOverlay* overlay) const {
-  const uint32_t n = store_->meta().n;
+  const WalkStore& store = ServingStore(overlay);
+  const uint32_t n = store.meta().n;
   OIPSIM_CHECK(v < n);
-  const uint32_t* walks = store_->FlatWalks();
+  const uint32_t* walks = store.FlatWalks();
   OIPSIM_CHECK_MSG(walks != nullptr,
                    "EstimateSingleSourceScan needs resident walks; the %s "
                    "backend serves single-source via the inverted index",
-                   store_->backend_name());
+                   store.backend_name());
   const uint32_t L = options_.walk_length;
   const size_t row = static_cast<size_t>(L) + 1;
   // Materialize full rows for the patched vertices up front (null =
@@ -465,9 +471,9 @@ std::vector<double> WalkIndex::EstimateSingleSourceScan(
     patched_rows.reserve(overlay->patched_vertices().size());
     for (const auto& [pv, count] : overlay->patched_vertices()) {
       (void)count;
-      patched_rows.emplace_back(store_->WalkWords());
+      patched_rows.emplace_back(store.WalkWords());
       const Status status = simrank::MaterializeRow(
-          *store_, overlay, pv, patched_rows.back().data());
+          store, overlay, pv, patched_rows.back().data());
       OIPSIM_CHECK_MSG(status.ok(), "corrupt walk segment while serving: %s",
                        status.ToString().c_str());
       patched[pv] = patched_rows.back().data();
@@ -485,7 +491,7 @@ std::vector<double> WalkIndex::EstimateSingleSourceScan(
     const uint32_t round = r + 1;
     met_round[v] = round;
     for (uint32_t t = 1; t <= L; ++t) {
-      const size_t slot = store_->FlatSlot(r, t);
+      const size_t slot = store.FlatSlot(r, t);
       const uint32_t pv = position(r, t, slot, v);
       if (pv == kDeadWalk) break;
       const double weight = damping_powers_[t];

@@ -247,8 +247,26 @@ class WalkIndex {
   /// mmap).
   uint64_t SizeBytes() const { return store_->ResidentBytes(); }
 
-  /// The storage backend serving this index.
+  /// The storage backend this index was built or loaded with. Estimators
+  /// do not read it directly — they resolve through ServingStore, because
+  /// a background compaction can retarget serving to a merged store
+  /// carried by the published overlay. Still the right store for Save,
+  /// backend diagnostics and prefetch hints (compaction preserves the
+  /// backend's residency characteristics).
   const WalkStore& store() const { return *store_; }
+
+  /// The store `overlay` is expressed against: its rebased (compacted)
+  /// store when a background compaction published one through it
+  /// (DeltaOverlay::rebased_store), the load/build-time base store
+  /// otherwise. Resolving per overlay snapshot is what lets one RCU
+  /// pointer swap hand queries a coherent (store, overlay) pair — readers
+  /// never observe a merged store paired with patches expressed against
+  /// the old base, or vice versa.
+  const WalkStore& ServingStore(const DeltaOverlay* overlay) const {
+    return overlay != nullptr && overlay->rebased_store() != nullptr
+               ? *overlay->rebased_store()
+               : *store_;
+  }
 
  private:
   WalkIndex() = default;

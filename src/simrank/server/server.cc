@@ -1506,8 +1506,10 @@ std::string SimRankServer::BuildStatsBody() const {
     json.Key("walks_changed").Uint(updates.walks_changed);
     json.Key("overlay_sequence").Uint(updates.overlay_sequence);
     json.Key("patched_vertices").Uint(updates.patched_vertices);
+    json.Key("patched_walks").Uint(updates.patched_walks);
     json.Key("changed_slots").Uint(updates.changed_slots);
     json.Key("delta_entries").Uint(updates.delta_entries);
+    json.Key("overlay_bytes").Uint(updates.overlay_bytes);
     json.Key("graph_edges").Uint(updates.graph_edges);
     json.Key("graph_fingerprint")
         .String(FormatFingerprint(updates.current_graph_fingerprint));
@@ -1515,6 +1517,17 @@ std::string SimRankServer::BuildStatsBody() const {
     json.Key("wal_bytes").Uint(updates.wal_bytes);
     json.Key("wal_syncs").Uint(updates.wal_syncs);
     json.Key("wal_truncated_bytes").Uint(updates.wal_truncated_bytes);
+    json.Key("compaction").BeginObject();
+    json.Key("completed").Uint(updates.compactions);
+    json.Key("auto_triggered").Uint(updates.auto_compactions);
+    json.Key("auto_failures").Uint(updates.auto_compact_failures);
+    json.Key("last_total_us").Uint(updates.last_compaction_micros);
+    json.Key("last_pause_us").Uint(updates.last_compaction_pause_micros);
+    const LatencyHistogram::Snapshot compaction =
+        updater_->compaction_histogram().snapshot();
+    json.Key("p50_us").Uint(compaction.QuantileUpperMicros(0.5));
+    json.Key("p99_us").Uint(compaction.QuantileUpperMicros(0.99));
+    json.EndObject();
     json.EndObject();
   }
   if (options_.sharded || options_.replica) {
@@ -1690,6 +1703,49 @@ std::string SimRankServer::BuildMetricsBody() const {
             updates.patched_vertices);
     type("simrank_overlay_delta_entries", "gauge");
     counter("simrank_overlay_delta_entries", "", updates.delta_entries);
+    type("simrank_overlay_patches", "gauge");
+    counter("simrank_overlay_patches", "", updates.patched_walks);
+    type("simrank_overlay_bytes", "gauge");
+    counter("simrank_overlay_bytes", "", updates.overlay_bytes);
+    type("simrank_compactions_total", "counter");
+    counter("simrank_compactions_total", "", updates.compactions);
+    type("simrank_auto_compactions_total", "counter");
+    counter("simrank_auto_compactions_total", "", updates.auto_compactions);
+    type("simrank_auto_compact_failures_total", "counter");
+    counter("simrank_auto_compact_failures_total", "",
+            updates.auto_compact_failures);
+    type("simrank_compaction_pause_seconds", "gauge");
+    out += StrFormat(
+        "simrank_compaction_pause_seconds %g\n",
+        static_cast<double>(updates.last_compaction_pause_micros) / 1e6);
+    // Durations of completed compactions (manual + auto), native buckets.
+    type("simrank_compaction_duration_seconds", "histogram");
+    {
+      const LatencyHistogram::Snapshot snapshot =
+          updater_->compaction_histogram().snapshot();
+      uint64_t cumulative = 0;
+      for (uint32_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+        cumulative += snapshot.buckets[b];
+        if (b + 1 < LatencyHistogram::kNumBuckets) {
+          out += StrFormat(
+              "simrank_compaction_duration_seconds_bucket{le=\"%g\"} "
+              "%llu\n",
+              static_cast<double>(LatencyHistogram::BucketUpperMicros(b)) /
+                  1e6,
+              static_cast<unsigned long long>(cumulative));
+        } else {
+          out += StrFormat(
+              "simrank_compaction_duration_seconds_bucket{le=\"+Inf\"} "
+              "%llu\n",
+              static_cast<unsigned long long>(cumulative));
+        }
+      }
+      out += StrFormat("simrank_compaction_duration_seconds_sum %g\n",
+                       static_cast<double>(snapshot.sum_micros) / 1e6);
+      out += StrFormat(
+          "simrank_compaction_duration_seconds_count %llu\n",
+          static_cast<unsigned long long>(snapshot.count));
+    }
     type("simrank_wal_records", "gauge");
     counter("simrank_wal_records", "", updates.wal_records);
     type("simrank_wal_bytes", "gauge");

@@ -1,0 +1,439 @@
+// Parallel walk patching, O(degree) graph maintenance and bounded
+// overlays with background auto-compaction.
+//
+// The contracts under test:
+//   - thread-count independence: the overlay (and therefore every query
+//     answer and every compacted file) is bitwise identical whether a
+//     batch is patched serially or by 2/4/8 workers, over both store
+//     backends and both segment encodings;
+//   - the in-place adjacency (sorted per-vertex lists + commutative
+//     fingerprint accumulators) stays equal to a DiGraph rebuilt through
+//     ApplyEdgeUpdates after every accepted batch, and untouched by
+//     rejected ones;
+//   - an overlay crossing --overlay-budget (or the patched-fraction
+//     heuristic) triggers exactly the background compaction behavior:
+//     answers stay bitwise a rebuild's, the WAL is re-seeded, the emitted
+//     files restart cleanly, and updates keep applying afterwards;
+//   - updates, queries and compactions may run concurrently (the TSan CI
+//     job runs this suite).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simrank/common/rng.h"
+#include "simrank/graph/graph_io.h"
+#include "simrank/index/edge_update.h"
+#include "simrank/index/index_updater.h"
+#include "simrank/index/walk_index.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+WalkIndexOptions SmallOptions() {
+  WalkIndexOptions options;
+  options.num_fingerprints = 48;
+  options.walk_length = 6;
+  options.damping = 0.6;
+  return options;
+}
+
+/// A deterministic stream of mixed batches, each valid against the graph
+/// as evolved by its predecessors.
+std::vector<std::vector<EdgeUpdate>> MakeStream(const DiGraph& start,
+                                                uint64_t seed,
+                                                uint32_t batches,
+                                                uint32_t edges) {
+  std::vector<std::vector<EdgeUpdate>> stream;
+  Rng rng(seed);
+  DiGraph current = start;
+  for (uint32_t i = 0; i < batches; ++i) {
+    std::vector<EdgeUpdate> batch;
+    while (batch.size() < edges) {
+      const auto src = static_cast<VertexId>(rng.NextUint64(current.n()));
+      const auto dst = static_cast<VertexId>(rng.NextUint64(current.n()));
+      const bool want_delete = batch.size() % 2 == 1;
+      bool duplicate = false;
+      for (const EdgeUpdate& u : batch) {
+        duplicate = duplicate || (u.src == src && u.dst == dst);
+      }
+      if (duplicate) continue;
+      if (want_delete) {
+        const auto out = current.OutNeighbors(src);
+        if (out.empty()) continue;
+        const VertexId victim = out[rng.NextUint64(out.size())];
+        bool victim_duplicate = false;
+        for (const EdgeUpdate& u : batch) {
+          victim_duplicate =
+              victim_duplicate || (u.src == src && u.dst == victim);
+        }
+        if (victim_duplicate) continue;
+        batch.push_back(EdgeUpdate{EdgeUpdate::Op::kDelete, src, victim});
+      } else {
+        if (current.HasEdge(src, dst)) continue;
+        batch.push_back(EdgeUpdate{EdgeUpdate::Op::kInsert, src, dst});
+      }
+    }
+    stream.push_back(batch);
+    auto next = ApplyEdgeUpdates(current, stream.back());
+    OIPSIM_CHECK(next.ok());
+    current = std::move(*next);
+  }
+  return stream;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  OIPSIM_CHECK(f != nullptr);
+  std::vector<uint8_t> bytes;
+  char chunk[4096];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+std::vector<std::vector<double>> AllRows(const WalkIndex& index) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(index.n());
+  for (VertexId v = 0; v < index.n(); ++v) {
+    rows.push_back(index.EstimateSingleSource(v));
+  }
+  return rows;
+}
+
+void ExpectRowsBitwiseEqual(const std::vector<std::vector<double>>& a,
+                            const std::vector<std::vector<double>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t v = 0; v < a.size(); ++v) {
+    ASSERT_EQ(a[v].size(), b[v].size());
+    ASSERT_EQ(std::memcmp(a[v].data(), b[v].data(),
+                          a[v].size() * sizeof(double)),
+              0)
+        << "row " << v << " diverges";
+  }
+}
+
+struct BackendParam {
+  bool compress;
+  bool use_mmap;
+};
+
+class ParallelPatchBackendTest
+    : public ::testing::TestWithParam<BackendParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ParallelPatchBackendTest,
+    ::testing::Values(BackendParam{false, false}, BackendParam{true, false},
+                      BackendParam{false, true}, BackendParam{true, true}),
+    [](const ::testing::TestParamInfo<BackendParam>& info) {
+      return std::string(info.param.compress ? "Compressed" : "Raw") +
+             (info.param.use_mmap ? "Mmap" : "InMemory");
+    });
+
+TEST_P(ParallelPatchBackendTest, AnyThreadCountIsBitwiseSerial) {
+  const DiGraph graph = testing::RandomGraph(40, 160, 3);
+  const WalkIndexOptions options = SmallOptions();
+  const std::string tag =
+      std::string(GetParam().compress ? "c" : "r") +
+      (GetParam().use_mmap ? "m" : "i");
+  const std::vector<std::vector<EdgeUpdate>> stream =
+      MakeStream(graph, /*seed=*/31, /*batches=*/4, /*edges=*/6);
+
+  // Shared base file: every replay loads the identical store.
+  auto built = WalkIndex::Build(graph, options);
+  ASSERT_TRUE(built.ok());
+  const std::string base_path = TempPath("par-base-" + tag + ".widx");
+  WalkIndex::SaveOptions save;
+  save.compress = GetParam().compress;
+  ASSERT_TRUE(built->Save(base_path, save).ok());
+
+  std::vector<std::vector<double>> reference_rows;
+  std::vector<uint8_t> reference_bytes;
+  for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+    WalkIndex::LoadOptions load;
+    load.use_mmap = GetParam().use_mmap;
+    auto index = WalkIndex::Load(base_path, load);
+    ASSERT_TRUE(index.ok());
+
+    const std::string wal_path =
+        TempPath("par-" + tag + std::to_string(threads) + ".wal");
+    std::remove(wal_path.c_str());
+    IndexUpdaterOptions updater_options;
+    updater_options.wal_path = wal_path;
+    updater_options.num_threads = threads;
+    auto updater = IndexUpdater::Open(*index, graph, updater_options);
+    ASSERT_TRUE(updater.ok()) << updater.status().ToString();
+    for (const auto& batch : stream) {
+      ASSERT_TRUE((*updater)->ApplyUpdates(batch).ok());
+    }
+
+    const std::vector<std::vector<double>> rows = AllRows(*index);
+    const std::string compacted =
+        TempPath("par-out-" + tag + std::to_string(threads) + ".widx");
+    ASSERT_TRUE((*updater)->Compact(compacted, save).ok());
+    std::vector<uint8_t> bytes = ReadFileBytes(compacted);
+    std::remove(compacted.c_str());
+
+    if (threads == 1) {
+      // Serial ground truth: also a rebuild of the evolved graph.
+      auto rebuilt = WalkIndex::Build((*updater)->CurrentGraph(), options);
+      ASSERT_TRUE(rebuilt.ok());
+      ExpectRowsBitwiseEqual(rows, AllRows(*rebuilt));
+      reference_rows = rows;
+      reference_bytes = std::move(bytes);
+    } else {
+      ExpectRowsBitwiseEqual(rows, reference_rows);
+      ASSERT_EQ(bytes, reference_bytes)
+          << threads << "-thread compacted file diverges from serial";
+    }
+  }
+}
+
+TEST(IncrementalGraphTest, MatchesRebuiltDiGraphUnderFuzz) {
+  const DiGraph start = testing::RandomGraph(60, 240, 5);
+  const WalkIndexOptions options = SmallOptions();
+  auto built = WalkIndex::Build(start, options);
+  ASSERT_TRUE(built.ok());
+  WalkIndex index = std::move(built).value();
+
+  const std::string wal_path = TempPath("incgraph.wal");
+  std::remove(wal_path.c_str());
+  IndexUpdaterOptions updater_options;
+  updater_options.wal_path = wal_path;
+  updater_options.num_threads = 2;
+  auto updater = IndexUpdater::Open(index, start, updater_options);
+  ASSERT_TRUE(updater.ok());
+
+  const std::vector<std::vector<EdgeUpdate>> stream =
+      MakeStream(start, /*seed=*/91, /*batches=*/24, /*edges=*/5);
+  DiGraph expected = start;
+  for (const auto& batch : stream) {
+    ASSERT_TRUE((*updater)->ApplyUpdates(batch).ok());
+    auto next = ApplyEdgeUpdates(expected, batch);
+    ASSERT_TRUE(next.ok());
+    expected = std::move(*next);
+
+    // The O(degree)-maintained adjacency equals the from-scratch graph:
+    // same edges, same ids, same commutative fingerprint.
+    const DiGraph current = (*updater)->CurrentGraph();
+    ASSERT_EQ(current.n(), expected.n());
+    ASSERT_EQ(current.m(), expected.m());
+    ASSERT_EQ(current.Edges(), expected.Edges());
+    EXPECT_EQ((*updater)->stats().current_graph_fingerprint,
+              GraphFingerprint(expected));
+  }
+
+  // A rejected batch (duplicate insert) must leave graph and fingerprint
+  // untouched — validation happens before any in-place mutation.
+  const Edge existing = expected.Edges().front();
+  const uint64_t fingerprint_before =
+      (*updater)->stats().current_graph_fingerprint;
+  EXPECT_FALSE(
+      (*updater)
+          ->ApplyUpdates(
+              {{EdgeUpdate{EdgeUpdate::Op::kInsert, 0, 1},
+                EdgeUpdate{EdgeUpdate::Op::kInsert, existing.src,
+                           existing.dst}}})
+          .ok());
+  EXPECT_EQ((*updater)->stats().current_graph_fingerprint,
+            fingerprint_before);
+  EXPECT_EQ((*updater)->CurrentGraph().Edges(), expected.Edges());
+}
+
+TEST(AutoCompactionTest, BudgetTriggersBackgroundCompaction) {
+  const DiGraph graph = testing::RandomGraph(40, 160, 7);
+  const WalkIndexOptions options = SmallOptions();
+  auto built = WalkIndex::Build(graph, options);
+  ASSERT_TRUE(built.ok());
+  WalkIndex index = std::move(built).value();
+
+  const std::string wal_path = TempPath("autocompact.wal");
+  const std::string compact_path = TempPath("autocompact.widx");
+  const std::string graph_path = TempPath("autocompact.graph");
+  std::remove(wal_path.c_str());
+  IndexUpdaterOptions updater_options;
+  updater_options.wal_path = wal_path;
+  updater_options.num_threads = 2;
+  // Any non-empty overlay exceeds one byte, so every publish trips the
+  // trigger; the worker coalesces while one compaction runs.
+  updater_options.overlay_budget_bytes = 1;
+  updater_options.auto_compact_path = compact_path;
+  updater_options.auto_compact_graph_path = graph_path;
+  auto updater = IndexUpdater::Open(index, graph, updater_options);
+  ASSERT_TRUE(updater.ok()) << updater.status().ToString();
+
+  const std::vector<std::vector<EdgeUpdate>> stream =
+      MakeStream(graph, /*seed=*/13, /*batches=*/6, /*edges=*/4);
+  for (const auto& batch : stream) {
+    ASSERT_TRUE((*updater)->ApplyUpdates(batch).ok());
+  }
+  (*updater)->DrainBackgroundCompaction();
+
+  const IndexUpdateStats stats = (*updater)->stats();
+  EXPECT_GE(stats.auto_compactions, 1u);
+  EXPECT_EQ(stats.auto_compact_failures, 0u);
+  EXPECT_EQ(stats.compactions, stats.auto_compactions);
+  EXPECT_GT(stats.last_compaction_micros, 0u);
+  EXPECT_GE((*updater)->compaction_histogram().snapshot().count,
+            stats.compactions);
+
+  // Serving state survives the swaps bitwise: still exactly a rebuild of
+  // the final graph, and the sequence kept counting (cached rows stay
+  // coherent).
+  auto rebuilt = WalkIndex::Build((*updater)->CurrentGraph(), options);
+  ASSERT_TRUE(rebuilt.ok());
+  ExpectRowsBitwiseEqual(AllRows(index), AllRows(*rebuilt));
+  EXPECT_EQ(index.overlay_sequence(), stream.size());
+
+  // Updates keep applying after the swap — patches now express against
+  // the merged store.
+  const std::vector<std::vector<EdgeUpdate>> more =
+      MakeStream((*updater)->CurrentGraph(), /*seed=*/14, /*batches=*/2,
+                 /*edges=*/3);
+  for (const auto& batch : more) {
+    ASSERT_TRUE((*updater)->ApplyUpdates(batch).ok());
+  }
+  (*updater)->DrainBackgroundCompaction();
+  auto rebuilt_after = WalkIndex::Build((*updater)->CurrentGraph(), options);
+  ASSERT_TRUE(rebuilt_after.ok());
+  ExpectRowsBitwiseEqual(AllRows(index), AllRows(*rebuilt_after));
+
+  // The emitted (index, graph, WAL) triple restarts cleanly: the WAL was
+  // re-seeded with only the batches the compacted file does not embody.
+  const DiGraph final_graph = (*updater)->CurrentGraph();
+  updater->reset();  // joins the background thread, releases the WAL
+  auto compacted_graph = ReadBinary(graph_path);
+  ASSERT_TRUE(compacted_graph.ok());
+  auto reloaded = WalkIndex::Load(compact_path, {});
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  IndexUpdaterOptions restart_options;
+  restart_options.wal_path = wal_path;
+  auto restarted = IndexUpdater::Open(*reloaded, std::move(*compacted_graph),
+                                      restart_options);
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+  EXPECT_EQ((*restarted)->CurrentGraph().Edges(), final_graph.Edges());
+  auto rebuilt_final = WalkIndex::Build(final_graph, options);
+  ASSERT_TRUE(rebuilt_final.ok());
+  ExpectRowsBitwiseEqual(AllRows(*reloaded), AllRows(*rebuilt_final));
+}
+
+TEST(AutoCompactionTest, PatchedFractionHeuristicTriggers) {
+  const DiGraph graph = testing::RandomGraph(30, 120, 11);
+  const WalkIndexOptions options = SmallOptions();
+  auto built = WalkIndex::Build(graph, options);
+  ASSERT_TRUE(built.ok());
+  WalkIndex index = std::move(built).value();
+
+  const std::string wal_path = TempPath("autofrac.wal");
+  std::remove(wal_path.c_str());
+  IndexUpdaterOptions updater_options;
+  updater_options.wal_path = wal_path;
+  // No byte budget; any patched walk exceeds this fraction of n·R.
+  updater_options.auto_compact_patched_fraction = 1e-9;
+  updater_options.auto_compact_path = TempPath("autofrac.widx");
+  // No graph path: the WAL must be left whole.
+  auto updater = IndexUpdater::Open(index, graph, updater_options);
+  ASSERT_TRUE(updater.ok()) << updater.status().ToString();
+
+  const std::vector<std::vector<EdgeUpdate>> stream =
+      MakeStream(graph, /*seed=*/17, /*batches=*/3, /*edges=*/3);
+  for (const auto& batch : stream) {
+    ASSERT_TRUE((*updater)->ApplyUpdates(batch).ok());
+  }
+  (*updater)->DrainBackgroundCompaction();
+  const IndexUpdateStats stats = (*updater)->stats();
+  EXPECT_GE(stats.auto_compactions, 1u);
+  EXPECT_EQ(stats.auto_compact_failures, 0u);
+  // WAL untouched: every accepted batch still recorded.
+  EXPECT_EQ(stats.wal_records, stream.size());
+
+  auto rebuilt = WalkIndex::Build((*updater)->CurrentGraph(), options);
+  ASSERT_TRUE(rebuilt.ok());
+  ExpectRowsBitwiseEqual(AllRows(index), AllRows(*rebuilt));
+}
+
+TEST(AutoCompactionTest, ArmingRequiresAPath) {
+  const DiGraph graph = testing::PaperExampleGraph();
+  const WalkIndexOptions options = SmallOptions();
+  auto built = WalkIndex::Build(graph, options);
+  ASSERT_TRUE(built.ok());
+  WalkIndex index = std::move(built).value();
+  IndexUpdaterOptions updater_options;
+  updater_options.wal_path = TempPath("autoarm.wal");
+  updater_options.overlay_budget_bytes = 1024;
+  auto updater = IndexUpdater::Open(index, graph, updater_options);
+  EXPECT_FALSE(updater.ok());
+}
+
+// The TSan target of this suite: updates, point + row queries, manual
+// compactions and budget-armed background compactions all concurrently.
+TEST(ConcurrentUpdateTest, UpdatesQueriesAndCompactionsRace) {
+  const DiGraph graph = testing::RandomGraph(30, 120, 19);
+  WalkIndexOptions options = SmallOptions();
+  options.num_fingerprints = 24;
+  auto built = WalkIndex::Build(graph, options);
+  ASSERT_TRUE(built.ok());
+  WalkIndex index = std::move(built).value();
+
+  const std::string wal_path = TempPath("race.wal");
+  const std::string compact_path = TempPath("race.widx");
+  std::remove(wal_path.c_str());
+  IndexUpdaterOptions updater_options;
+  updater_options.wal_path = wal_path;
+  updater_options.sync_wal = false;
+  updater_options.num_threads = 2;
+  updater_options.overlay_budget_bytes = 1;
+  updater_options.auto_compact_path = compact_path;
+  auto updater = IndexUpdater::Open(index, graph, updater_options);
+  ASSERT_TRUE(updater.ok()) << updater.status().ToString();
+
+  const std::vector<std::vector<EdgeUpdate>> stream =
+      MakeStream(graph, /*seed=*/23, /*batches=*/12, /*edges=*/3);
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (uint32_t reader = 0; reader < 2; ++reader) {
+    readers.emplace_back([&index, &done, reader] {
+      Rng rng(100 + reader);
+      while (!done.load(std::memory_order_acquire)) {
+        const auto a = static_cast<VertexId>(rng.NextUint64(index.n()));
+        const auto b = static_cast<VertexId>(rng.NextUint64(index.n()));
+        volatile double pair = index.EstimatePair(a, b);
+        (void)pair;
+        volatile double row = index.EstimateSingleSource(a)[b];
+        (void)row;
+      }
+    });
+  }
+  std::thread compactor([&updater, &compact_path] {
+    WalkIndex::SaveOptions save;
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE((*updater)->Compact(compact_path, save).ok());
+    }
+  });
+  for (const auto& batch : stream) {
+    ASSERT_TRUE((*updater)->ApplyUpdates(batch).ok());
+  }
+  compactor.join();
+  (*updater)->DrainBackgroundCompaction();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  auto rebuilt = WalkIndex::Build((*updater)->CurrentGraph(), options);
+  ASSERT_TRUE(rebuilt.ok());
+  ExpectRowsBitwiseEqual(AllRows(index), AllRows(*rebuilt));
+}
+
+}  // namespace
+}  // namespace simrank

@@ -312,9 +312,9 @@ void PrintUsage(const char* argv0) {
       "       (--query=V [--topk=K] | --pair=A,B)\n"
       "   or: %s index-info INDEX\n"
       "   or: %s update GRAPH --index=PATH --wal=WAL --updates=FILE\n"
-      "       [--mmap] [--write-graph=OUT.bin] [--no-sync-wal]\n"
+      "       [--mmap] [--threads=T] [--write-graph=OUT.bin] [--no-sync-wal]\n"
       "   or: %s compact GRAPH --index=PATH --wal=WAL --out=NEW.widx\n"
-      "       [--mmap] [--compress] [--reset-wal]\n"
+      "       [--mmap] [--threads=T] [--compress] [--reset-wal]\n"
       "   or: %s shard-plan GRAPH --index=PATH --shards=N --out-dir=DIR\n"
       "       [--epoch=E] [--compress] [--mmap]\n"
       "\nalgorithms:\n",
@@ -397,9 +397,10 @@ simrank::Status ValidateOptions(const CliOptions& options) {
           "--cache-shards/--cache-capacity configure query serving, not " +
           options.subcommand);
     }
+    // --threads stays legal here: it parallelizes walk patching and the
+    // compaction merge, with output bitwise identical to serial.
     if (options.damping_set || options.seed_set || options.eps_set ||
-        options.fingerprints_set || options.walk_length_set ||
-        options.threads_set) {
+        options.fingerprints_set || options.walk_length_set) {
       return Status::InvalidArgument(
           "model and build knobs are baked into the index; " +
           options.subcommand + " patches the existing one");
@@ -686,6 +687,10 @@ simrank::Result<OpenedUpdater> OpenUpdater(const CliOptions& options) {
   simrank::IndexUpdaterOptions updater_options;
   updater_options.wal_path = options.wal_path;
   updater_options.sync_wal = options.sync_wal;
+  // --threads parallelizes walk patching and the compaction merge the
+  // same way it does index construction; results are identical for any
+  // value.
+  updater_options.num_threads = options.threads;
   auto updater = simrank::IndexUpdater::Open(
       *opened.index, std::move(*graph), updater_options);
   if (!updater.ok()) return updater.status();

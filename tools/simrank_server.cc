@@ -1,6 +1,8 @@
 // simrank_server — HTTP serving frontend over a prebuilt walk index.
 //
 //   simrank_server serve --index=PATH [--mmap] [--port=8080]
+//                        [--update-threads=T] [--overlay-budget=BYTES]
+//                        [--auto-compact-fraction=F]
 //                        [--bind=127.0.0.1] [--threads=T]
 //                        [--max-inflight=N] [--endpoint-inflight=N]
 //                        [--cache-shards=S] [--cache-capacity=C]
@@ -62,6 +64,9 @@ struct ServerCliOptions {
   bool sync_wal = true;
   bool group_commit = true;
   uint32_t group_commit_window_us = 0;  // 0 = updater default
+  uint32_t update_threads = 1;          // 0 = hardware concurrency
+  uint64_t overlay_budget = 0;          // 0 = unbounded
+  double auto_compact_fraction = 0.0;   // 0 = heuristic off
   std::string shard_plan_path;
   /// Primary port to tail (replica mode); 0 = no tailing.
   uint32_t tail_from = 0;
@@ -78,6 +83,8 @@ void PrintUsage(const char* argv0) {
       "       [--graph=GRAPH --wal=WAL] [--compact-to=PATH]\n"
       "       [--compact-graph-to=PATH] [--no-sync-wal]\n"
       "       [--no-group-commit] [--group-commit-window-us=U]\n"
+      "       [--update-threads=T] [--overlay-budget=BYTES]\n"
+      "       [--auto-compact-fraction=F]\n"
       "       [--shard-plan=PLAN --shard-id=N] [--replica]\n"
       "       [--tail-from=PORT] [--no-uring]\n"
       "\nServes GET /v1/pair?a=&b=, /v1/single_source?v=, /v1/topk?v=&k=,\n"
@@ -86,6 +93,12 @@ void PrintUsage(const char* argv0) {
       "--max-inflight get 429, beyond the per-endpoint cap 503, both with\n"
       "Retry-After. --graph + --wal additionally enable POST /v1/update\n"
       "and /v1/compact (live edge updates with WAL durability).\n"
+      "--update-threads parallelizes walk patching and compaction (0 =\n"
+      "hardware concurrency; answers are identical for any value).\n"
+      "--overlay-budget bounds the overlay's resident bytes and\n"
+      "--auto-compact-fraction its patched-walk share of n*R; crossing\n"
+      "either triggers a background compaction into the /v1/compact\n"
+      "targets without blocking serving.\n"
       "--shard-plan + --shard-id serve one shard of a cluster: public\n"
       "queries outside the shard's vertex range answer 421 and the\n"
       "/internal/* exchange endpoints come up (see simrank_router).\n"
@@ -165,6 +178,27 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
         return false;
       }
       options->group_commit_window_us = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--update-threads=")) {
+      if (!simrank::ParseUint64(value_of("--update-threads="), &u)) {
+        return false;
+      }
+      options->update_threads = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--overlay-budget=")) {
+      if (!simrank::ParseUint64(value_of("--overlay-budget="), &u) ||
+          u == 0) {
+        std::fprintf(stderr, "--overlay-budget must be positive bytes\n");
+        return false;
+      }
+      options->overlay_budget = u;
+    } else if (simrank::StartsWith(arg, "--auto-compact-fraction=")) {
+      double fraction = 0.0;
+      if (!simrank::ParseDouble(value_of("--auto-compact-fraction="),
+                                &fraction) ||
+          fraction <= 0.0 || fraction >= 1.0) {
+        std::fprintf(stderr, "--auto-compact-fraction must be in (0, 1)\n");
+        return false;
+      }
+      options->auto_compact_fraction = fraction;
     } else if (simrank::StartsWith(arg, "--shard-plan=")) {
       options->shard_plan_path = value_of("--shard-plan=");
     } else if (simrank::StartsWith(arg, "--shard-id=")) {
@@ -201,6 +235,15 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
     std::fprintf(stderr,
                  "--compact-to/--compact-graph-to/--no-sync-wal require "
                  "--graph and --wal\n");
+    return false;
+  }
+  if (options->wal_path.empty() &&
+      (options->overlay_budget != 0 ||
+       options->auto_compact_fraction != 0.0 ||
+       options->update_threads != 1)) {
+    std::fprintf(stderr,
+                 "--overlay-budget/--auto-compact-fraction/--update-threads "
+                 "require --graph and --wal\n");
     return false;
   }
   if (options->shard_plan_path.empty() && options->server.shard_id != 0) {
@@ -368,6 +411,22 @@ int RealMain(int argc, char** argv) {
     if (options.group_commit_window_us > 0) {
       updater_options.group_commit_window_us =
           options.group_commit_window_us;
+    }
+    updater_options.num_threads = options.update_threads;
+    if (options.overlay_budget != 0 ||
+        options.auto_compact_fraction != 0.0) {
+      // Auto-compaction reuses the manual /v1/compact targets (the
+      // defaults above already point them at the served index), keeps
+      // its segment encoding, and — because the graph is persisted too —
+      // resets the WAL to the compacted state.
+      updater_options.overlay_budget_bytes = options.overlay_budget;
+      updater_options.auto_compact_patched_fraction =
+          options.auto_compact_fraction;
+      updater_options.auto_compact_path = options.server.compact_path;
+      updater_options.auto_compact_compress =
+          options.server.compact_compress;
+      updater_options.auto_compact_graph_path =
+          options.server.compact_graph_path;
     }
     if (options.server.sharded) {
       // A shard's index stores out-of-range vertices as dead rows; the
