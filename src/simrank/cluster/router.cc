@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "simrank/common/json_writer.h"
@@ -190,6 +191,8 @@ RouterStats SimRankRouter::stats() const {
   stats.conflicts_retried =
       stat_conflicts_retried_.load(std::memory_order_relaxed);
   stats.shard_errors = stat_shard_errors_.load(std::memory_order_relaxed);
+  stats.traced_requests =
+      stat_traced_requests_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -315,7 +318,43 @@ void SimRankRouter::HandleConnection(int fd) {
         ParseHttpRequest(buffer, options_.http, &request);
     if (parsed.outcome == HttpParseStatus::kComplete) {
       stat_requests_total_.fetch_add(1, std::memory_order_relaxed);
-      RouterResponse response = Route(request);
+      // Trace activation mirrors the single-node server: ?trace=1 splices
+      // the merged trace into the JSON envelope, an X-Simrank-Trace header
+      // returns it out-of-band in X-Simrank-Trace-Json (bodies stay
+      // byte-identical). Either way the recorder is bound to this
+      // connection thread for the whole routed request, and every shard
+      // exchange carries the trace id so shard sub-traces come back as
+      // children of the router trace.
+      const std::string* trace_param = request.FindParam("trace");
+      const bool trace_inline =
+          trace_param != nullptr && *trace_param == "1";
+      uint64_t trace_id = 0;
+      bool trace_header = false;
+      if (const std::string* header = request.FindHeader("x-simrank-trace");
+          header != nullptr) {
+        trace_header = ParseTraceId(*header, &trace_id);
+      }
+      const bool traced = trace_inline || trace_header;
+      std::optional<TraceRecorder> recorder;
+      if (traced) recorder.emplace(trace_id);
+      RouterResponse response;
+      {
+        TraceBinding binding(traced ? &*recorder : nullptr);
+        TraceScope root(TraceStage::kRequest, request.path);
+        response = Route(request);
+      }
+      if (traced) {
+        stat_traced_requests_.fetch_add(1, std::memory_order_relaxed);
+        if (trace_inline && response.body.size() > 2 &&
+            response.body.front() == '{' && response.body.back() == '}') {
+          response.body.insert(response.body.size() - 1,
+                               ",\"trace\":" + recorder->ToJson());
+        }
+        if (trace_header) {
+          response.headers.emplace_back("X-Simrank-Trace-Json",
+                                        recorder->ToJson());
+        }
+      }
       CountResponse(response.status);
       HttpResponseOptions response_options;
       response_options.keep_alive = request.keep_alive;
@@ -355,7 +394,19 @@ void SimRankRouter::HandleConnection(int fd) {
 
 Result<SimRankRouter::ShardReply> SimRankRouter::SendToPort(
     uint16_t port, bool post, const std::string& target,
-    std::string_view body) {
+    std::string_view body, uint64_t trace_id) {
+  // The connection thread carries its recorder in TLS; fan-out threads
+  // have none and pass the id explicitly instead.
+  TraceRecorder* const recorder = CurrentTraceRecorder();
+  uint64_t effective_trace = trace_id;
+  if (effective_trace == 0 && recorder != nullptr) {
+    effective_trace = recorder->trace_id();
+  }
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  if (effective_trace != 0) {
+    extra_headers.emplace_back("X-Simrank-Trace",
+                               TraceIdToHex(effective_trace));
+  }
   ClientPool* pool = nullptr;
   {
     std::lock_guard<std::mutex> lock(pools_mutex_);
@@ -376,8 +427,9 @@ Result<SimRankRouter::ShardReply> SimRankRouter::SendToPort(
     return client.status();
   }
   auto response =
-      post ? client->Post(target, body, "application/octet-stream")
-           : client->Get(target);
+      post ? client->Post(target, body, "application/octet-stream",
+                          extra_headers)
+           : client->Get(target, extra_headers);
   if (!response.ok()) {
     stat_shard_errors_.fetch_add(1, std::memory_order_relaxed);
     return response.status();  // the dead connection is dropped here
@@ -396,21 +448,36 @@ Result<SimRankRouter::ShardReply> SimRankRouter::SendToPort(
       ParseUint64(*epoch, &reply.epoch)) {
     reply.have_versions = true;
   }
+  if (effective_trace != 0) {
+    if (const std::string* child =
+            response->FindHeader("x-simrank-trace-json");
+        child != nullptr) {
+      reply.trace_json = *child;
+    }
+    if (recorder != nullptr) {
+      recorder->Add(TraceCounter::kShardsContacted, 1);
+      if (!reply.trace_json.empty()) {
+        recorder->AddChildTrace(std::move(reply.trace_json));
+        reply.trace_json.clear();
+      }
+    }
+  }
   return reply;
 }
 
 Result<SimRankRouter::ShardReply> SimRankRouter::ReadFromShard(
     uint32_t shard_id, bool post, const std::string& target,
-    std::string_view body) {
+    std::string_view body, uint64_t trace_id) {
   const RouterShard& shard = options_.shards[shard_id];
-  auto reply = SendToPort(shard.primary_port, post, target, body);
+  auto reply = SendToPort(shard.primary_port, post, target, body, trace_id);
   if (reply.ok() || shard.replica_port == 0) return reply;
   stat_failovers_.fetch_add(1, std::memory_order_relaxed);
-  return SendToPort(shard.replica_port, post, target, body);
+  return SendToPort(shard.replica_port, post, target, body, trace_id);
 }
 
 Result<SimRankRouter::ShardReply> SimRankRouter::FetchRow(VertexId v) {
   const uint32_t owner = options_.plan.OwnerOf(v);
+  TraceScope scope(TraceStage::kRowFetch, StrFormat("shard=%u", owner));
   return ReadFromShard(owner, /*post=*/false,
                        StrFormat("/internal/walks?v=%u", v),
                        std::string_view());
@@ -431,6 +498,8 @@ bool SimRankRouter::ScorePair(VertexId a, VertexId b, double* score,
   const uint32_t owner_a = options_.plan.OwnerOf(a);
   const uint32_t owner_b = options_.plan.OwnerOf(b);
   if (owner_a == owner_b) {
+    TraceScope exchange(TraceStage::kShardExchange,
+                        StrFormat("shard=%u", owner_a));
     auto reply = ReadFromShard(owner_a, /*post=*/false,
                                StrFormat("/v1/pair?a=%u&b=%u", a, b),
                                std::string_view());
@@ -471,11 +540,16 @@ bool SimRankRouter::ScorePair(VertexId a, VertexId b, double* score,
                     static_cast<unsigned long long>(options_.plan.epoch)));
       return false;
     }
-    auto reply = ReadFromShard(
-        owner_b, /*post=*/true,
-        StrFormat("/internal/pair?b=%u&seq=%llu", b,
-                  static_cast<unsigned long long>(row->sequence)),
-        row->body);
+    Result<ShardReply> reply = Status::IoError("not attempted");
+    {
+      TraceScope exchange(TraceStage::kShardExchange,
+                          StrFormat("shard=%u", owner_b));
+      reply = ReadFromShard(
+          owner_b, /*post=*/true,
+          StrFormat("/internal/pair?b=%u&seq=%llu", b,
+                    static_cast<unsigned long long>(row->sequence)),
+          row->body);
+    }
     if (!reply.ok()) {
       *error = Unavailable(StrFormat("shard %u unreachable: %s", owner_b,
                                      reply.status().message().c_str()));
@@ -483,6 +557,7 @@ bool SimRankRouter::ScorePair(VertexId a, VertexId b, double* score,
     }
     if (reply->status == 409) {
       stat_conflicts_retried_.fetch_add(1, std::memory_order_relaxed);
+      TraceAdd(TraceCounter::kConflictRetries, 1);
       continue;  // an update landed between row fetch and scoring
     }
     if (reply->status != 200) {
@@ -571,16 +646,41 @@ SimRankRouter::RouterResponse SimRankRouter::HandleSingleSource(
     for (size_t i = 0; i < num_shards; ++i) {
       replies.emplace_back(Status::IoError("not attempted"));
     }
+    TraceRecorder* const recorder = CurrentTraceRecorder();
+    const uint64_t fan_trace_id =
+        recorder != nullptr ? recorder->trace_id() : 0;
+    std::vector<uint64_t> fan_start(num_shards, 0);
+    std::vector<uint64_t> fan_duration(num_shards, 0);
     {
       std::vector<std::thread> fan;
       fan.reserve(num_shards);
       for (size_t i = 0; i < num_shards; ++i) {
-        fan.emplace_back([this, i, &target, &row, &replies] {
+        fan.emplace_back([this, i, &target, &row, &replies, fan_trace_id,
+                          &fan_start, &fan_duration] {
+          // Fan-out threads have no thread-local recorder (recorders are
+          // single-owner); they time the exchange locally and the
+          // connection thread folds the spans in after the join.
+          const uint64_t start = fan_trace_id != 0 ? TraceNowNanos() : 0;
           replies[i] = ReadFromShard(static_cast<uint32_t>(i), /*post=*/true,
-                                     target, row->body);
+                                     target, row->body, fan_trace_id);
+          if (fan_trace_id != 0) {
+            fan_start[i] = start;
+            fan_duration[i] = TraceNowNanos() - start;
+          }
         });
       }
       for (std::thread& thread : fan) thread.join();
+    }
+    if (recorder != nullptr) {
+      for (size_t i = 0; i < num_shards; ++i) {
+        recorder->AddCompletedSpan(TraceStage::kShardExchange, fan_start[i],
+                                   fan_duration[i],
+                                   StrFormat("shard=%zu", i));
+        recorder->Add(TraceCounter::kShardsContacted, 1);
+        if (replies[i].ok() && !(*replies[i]).trace_json.empty()) {
+          recorder->AddChildTrace(std::move((*replies[i]).trace_json));
+        }
+      }
     }
     bool conflicted = false;
     uint64_t fingerprint = 0;
@@ -634,10 +734,12 @@ SimRankRouter::RouterResponse SimRankRouter::HandleSingleSource(
     }
     if (conflicted) {
       stat_conflicts_retried_.fetch_add(1, std::memory_order_relaxed);
+      TraceAdd(TraceCounter::kConflictRetries, 1);
       continue;
     }
     // The shard ranges partition [0, n) in order, so the concatenated
     // slices are the full single-node score row, bit for bit.
+    TraceScope merge(TraceStage::kMerge);
     JsonWriter json;
     json.BeginObject().Key("v").Uint(v).Key("scores").BeginArray();
     const double* values = reinterpret_cast<const double*>(scores.data());
@@ -699,16 +801,41 @@ SimRankRouter::RouterResponse SimRankRouter::HandleTopK(
     for (size_t i = 0; i < num_shards; ++i) {
       replies.emplace_back(Status::IoError("not attempted"));
     }
+    TraceRecorder* const recorder = CurrentTraceRecorder();
+    const uint64_t fan_trace_id =
+        recorder != nullptr ? recorder->trace_id() : 0;
+    std::vector<uint64_t> fan_start(num_shards, 0);
+    std::vector<uint64_t> fan_duration(num_shards, 0);
     {
       std::vector<std::thread> fan;
       fan.reserve(num_shards);
       for (size_t i = 0; i < num_shards; ++i) {
-        fan.emplace_back([this, i, &target, &row, &replies] {
+        fan.emplace_back([this, i, &target, &row, &replies, fan_trace_id,
+                          &fan_start, &fan_duration] {
+          // Fan-out threads have no thread-local recorder (recorders are
+          // single-owner); they time the exchange locally and the
+          // connection thread folds the spans in after the join.
+          const uint64_t start = fan_trace_id != 0 ? TraceNowNanos() : 0;
           replies[i] = ReadFromShard(static_cast<uint32_t>(i), /*post=*/true,
-                                     target, row->body);
+                                     target, row->body, fan_trace_id);
+          if (fan_trace_id != 0) {
+            fan_start[i] = start;
+            fan_duration[i] = TraceNowNanos() - start;
+          }
         });
       }
       for (std::thread& thread : fan) thread.join();
+    }
+    if (recorder != nullptr) {
+      for (size_t i = 0; i < num_shards; ++i) {
+        recorder->AddCompletedSpan(TraceStage::kShardExchange, fan_start[i],
+                                   fan_duration[i],
+                                   StrFormat("shard=%zu", i));
+        recorder->Add(TraceCounter::kShardsContacted, 1);
+        if (replies[i].ok() && !(*replies[i]).trace_json.empty()) {
+          recorder->AddChildTrace(std::move((*replies[i]).trace_json));
+        }
+      }
     }
     bool conflicted = false;
     std::vector<std::vector<ScoredVertex>> parts(num_shards);
@@ -755,8 +882,10 @@ SimRankRouter::RouterResponse SimRankRouter::HandleTopK(
     }
     if (conflicted) {
       stat_conflicts_retried_.fetch_add(1, std::memory_order_relaxed);
+      TraceAdd(TraceCounter::kConflictRetries, 1);
       continue;
     }
+    TraceScope merge(TraceStage::kMerge);
     const std::vector<ScoredVertex> top =
         MergeTopK(parts, static_cast<uint32_t>(k));
     JsonWriter json;
@@ -965,6 +1094,9 @@ SimRankRouter::RouterResponse SimRankRouter::BuildStats() {
   json.Key("conflicts_retried").Uint(stats.conflicts_retried);
   json.Key("shard_errors").Uint(stats.shard_errors);
   json.EndObject();
+  json.Key("trace").BeginObject();
+  json.Key("traced_requests").Uint(stats.traced_requests);
+  json.EndObject();
   json.EndObject();
   RouterResponse response;
   response.status = 200;
@@ -1013,6 +1145,9 @@ SimRankRouter::RouterResponse SimRankRouter::BuildMetrics() {
   counter("simrank_router_conflicts_total", "", stats.conflicts_retried);
   type("simrank_router_shard_errors_total", "counter");
   counter("simrank_router_shard_errors_total", "", stats.shard_errors);
+  type("simrank_router_traced_requests_total", "counter");
+  counter("simrank_router_traced_requests_total", "",
+          stats.traced_requests);
   type("simrank_router_plan_epoch", "gauge");
   counter("simrank_router_plan_epoch", "", options_.plan.epoch);
   type("simrank_router_shards", "gauge");

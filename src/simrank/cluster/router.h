@@ -51,6 +51,7 @@
 #include "simrank/common/macros.h"
 #include "simrank/common/status.h"
 #include "simrank/extra/topk.h"
+#include "simrank/obs/trace.h"
 #include "simrank/server/http.h"
 #include "simrank/server/http_client.h"
 
@@ -107,6 +108,9 @@ struct RouterStats {
   uint64_t conflicts_retried = 0;
   /// Transport errors talking to shards (before any failover).
   uint64_t shard_errors = 0;
+  /// Requests served with a live trace recorder (?trace=1 or an
+  /// X-Simrank-Trace header).
+  uint64_t traced_requests = 0;
 };
 
 /// Merges per-shard top-k candidate lists into the global top-k under
@@ -165,6 +169,10 @@ class SimRankRouter {
     uint64_t fingerprint = 0;
     uint64_t epoch = 0;
     bool have_versions = false;
+    /// The shard's X-Simrank-Trace-Json sub-trace, when the exchange was
+    /// issued with a trace id from a fan-out thread (the connection
+    /// thread's own exchanges attach it to the recorder directly).
+    std::string trace_json;
   };
 
   /// A keep-alive connection pool per target port.
@@ -177,15 +185,22 @@ class SimRankRouter {
 
   /// One request against a fixed port through the pool. Transport errors
   /// return a non-ok status (the connection is dropped, not pooled).
+  /// When a trace is active — `trace_id` non-zero (fan-out threads, which
+  /// have no thread-local recorder) or a recorder bound to the calling
+  /// thread — the request carries X-Simrank-Trace and the shard's
+  /// X-Simrank-Trace-Json reply is attached to the recorder (connection
+  /// thread) or returned in ShardReply::trace_json (fan-out thread).
   Result<ShardReply> SendToPort(uint16_t port, bool post,
                                 const std::string& target,
-                                std::string_view body);
+                                std::string_view body,
+                                uint64_t trace_id = 0);
 
   /// A read against shard `shard_id`: primary first, replica on transport
   /// failure (counted as a failover).
   Result<ShardReply> ReadFromShard(uint32_t shard_id, bool post,
                                    const std::string& target,
-                                   std::string_view body);
+                                   std::string_view body,
+                                   uint64_t trace_id = 0);
 
   RouterResponse HandlePair(const HttpRequest& request);
   RouterResponse HandleSingleSource(const HttpRequest& request);
@@ -231,6 +246,7 @@ class SimRankRouter {
   std::atomic<uint64_t> stat_failovers_{0};
   std::atomic<uint64_t> stat_conflicts_retried_{0};
   std::atomic<uint64_t> stat_shard_errors_{0};
+  std::atomic<uint64_t> stat_traced_requests_{0};
 };
 
 }  // namespace simrank

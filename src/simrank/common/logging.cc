@@ -1,13 +1,75 @@
 #include "simrank/common/logging.h"
 
+#include <sys/time.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+
+#ifdef __linux__
+#include <sys/syscall.h>
+#endif
 
 namespace simrank {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Parses a SIMRANK_LOG_LEVEL value; returns false on unknown names.
+bool ParseLogLevel(const char* text, LogLevel* out) {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "debug") == 0 || std::strcmp(text, "DEBUG") == 0) {
+    *out = LogLevel::kDebug;
+  } else if (std::strcmp(text, "info") == 0 ||
+             std::strcmp(text, "INFO") == 0) {
+    *out = LogLevel::kInfo;
+  } else if (std::strcmp(text, "warn") == 0 ||
+             std::strcmp(text, "WARN") == 0 ||
+             std::strcmp(text, "warning") == 0 ||
+             std::strcmp(text, "WARNING") == 0) {
+    *out = LogLevel::kWarning;
+  } else if (std::strcmp(text, "error") == 0 ||
+             std::strcmp(text, "ERROR") == 0) {
+    *out = LogLevel::kError;
+  } else if (std::strcmp(text, "off") == 0 || std::strcmp(text, "OFF") == 0) {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Threshold seeded from SIMRANK_LOG_LEVEL once, so deployments can turn
+/// on debug logs without a rebuild. SetLogLevel still overrides at
+/// runtime.
+int InitialLogLevel() {
+  LogLevel level = LogLevel::kWarning;
+  if (const char* env = std::getenv("SIMRANK_LOG_LEVEL")) {
+    if (!ParseLogLevel(env, &level)) {
+      std::fprintf(stderr,
+                   "[WARN logging.cc] unrecognized SIMRANK_LOG_LEVEL '%s' "
+                   "(want debug|info|warn|error|off)\n",
+                   env);
+      level = LogLevel::kWarning;
+    }
+  }
+  return static_cast<int>(level);
+}
+
+std::atomic<int> g_log_level{InitialLogLevel()};
+
+/// Kernel thread id; cached per thread (gettid is a syscall).
+long CurrentThreadId() {
+#ifdef __linux__
+  static thread_local const long tid =
+      static_cast<long>(::syscall(SYS_gettid));
+#else
+  static thread_local const long tid = static_cast<long>(::getpid());
+#endif
+  return tid;
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() {
@@ -40,10 +102,25 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(level >= GetLogLevel() && level != LogLevel::kOff),
       level_(level) {
   if (enabled_) {
+    // Wall-clock timestamp with microseconds, UTC, plus the thread id —
+    // the minimum needed to correlate server logs across threads and
+    // with access/trace logs.
+    struct timeval tv;
+    gettimeofday(&tv, nullptr);
+    struct tm tm_utc;
+    const time_t seconds = tv.tv_sec;
+    gmtime_r(&seconds, &tm_utc);
+    char stamp[40];
+    std::snprintf(stamp, sizeof(stamp),
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%06ldZ",
+                  tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                  tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                  static_cast<long>(tv.tv_usec));
     // Keep only the basename to avoid long absolute paths in logs.
     const char* base = std::strrchr(file, '/');
-    stream_ << "[" << LogLevelName(level_) << " " << (base ? base + 1 : file)
-            << ":" << line << "] ";
+    stream_ << "[" << stamp << " " << LogLevelName(level_) << " "
+            << CurrentThreadId() << " " << (base ? base + 1 : file) << ":"
+            << line << "] ";
   }
 }
 

@@ -1,7 +1,12 @@
 // Minimal leveled logger for library diagnostics.
 //
 // Logging is stderr-only and globally gated by a severity threshold so that
-// benchmark output on stdout stays machine-parseable.
+// benchmark output on stdout stays machine-parseable. Each line is prefixed
+// with a UTC wall-clock timestamp, severity, thread id and source location:
+//   [2024-05-01T12:34:56.789012Z INFO 4242 walk_index.cc:118] ...
+// The threshold defaults to kWarning and can be set without a rebuild via
+// the SIMRANK_LOG_LEVEL environment variable (debug|info|warn|error|off);
+// SetLogLevel() overrides it at runtime.
 #ifndef OIPSIM_SIMRANK_COMMON_LOGGING_H_
 #define OIPSIM_SIMRANK_COMMON_LOGGING_H_
 

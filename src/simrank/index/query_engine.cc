@@ -1,6 +1,7 @@
 #include "simrank/index/query_engine.h"
 
 #include "simrank/common/string_util.h"
+#include "simrank/obs/trace.h"
 
 namespace simrank {
 
@@ -25,8 +26,12 @@ Status QueryEngine::CheckVertex(VertexId v) const {
 }
 
 QueryEngine::Row QueryEngine::GetFresh(VertexId v, uint64_t sequence) {
+  TraceScope scope(TraceStage::kCacheLookup);
   if (auto hit = cache_.Get(v)) {
-    if (hit->sequence == sequence) return hit->row;
+    if (hit->sequence == sequence) {
+      TraceAdd(TraceCounter::kCacheHits, 1);
+      return hit->row;
+    }
     // Computed under an older overlay: unservable. Dropping it here keeps
     // the stale row from shadowing the recomputed one until eviction. A
     // *newer* stamp means this reader pinned its snapshot before an
@@ -34,6 +39,7 @@ QueryEngine::Row QueryEngine::GetFresh(VertexId v, uint64_t sequence) {
     // current readers.
     if (hit->sequence < sequence) cache_.Erase(v);
   }
+  TraceAdd(TraceCounter::kCacheMisses, 1);
   return nullptr;
 }
 

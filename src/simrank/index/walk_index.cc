@@ -9,6 +9,7 @@
 #include "simrank/common/string_util.h"
 #include "simrank/common/thread_pool.h"
 #include "simrank/graph/graph_io.h"
+#include "simrank/obs/trace.h"
 
 namespace simrank {
 
@@ -157,10 +158,16 @@ namespace {
 /// pointer; corruption while serving is fatal (checked).
 const uint32_t* DecodeBaseRow(const WalkStore& store, VertexId v,
                               std::vector<uint32_t>* scratch) {
+  TraceScope scope(TraceStage::kDecode);
   scratch->resize(store.WalkWords());
   const Status status = store.DecodeVertex(v, scratch->data());
   OIPSIM_CHECK_MSG(status.ok(), "corrupt walk segment while serving: %s",
                    status.ToString().c_str());
+  if (TraceRecorder* recorder = CurrentTraceRecorder()) {
+    recorder->Add(TraceCounter::kRowsDecoded, 1);
+    recorder->Add(TraceCounter::kBytesRead,
+                  scratch->size() * sizeof(uint32_t));
+  }
   return scratch->data();
 }
 
@@ -179,6 +186,13 @@ void AccumulateBucketVertices(const WalkStore& store,
                               std::vector<uint32_t>* merged_scratch,
                               std::vector<uint32_t>* met_round,
                               std::vector<double>* result) {
+  TraceRecorder* const recorder = CurrentTraceRecorder();
+  if (recorder != nullptr) {
+    recorder->Add(TraceCounter::kSlotsProbed, 1);
+    if (overlay != nullptr && overlay->Delta(r, t) != nullptr) {
+      recorder->Add(TraceCounter::kOverlayRowsMerged, 1);
+    }
+  }
   const SimdLevel simd = ActiveSimdLevel();
   if (simd != SimdLevel::kScalar) {
     const uint32_t* vertices = nullptr;
@@ -190,25 +204,34 @@ void AccumulateBucketVertices(const WalkStore& store,
       vertices = base.data();
       count = base.size();
     } else {
+      TraceScope merge_scope(TraceStage::kOverlayMerge);
       CollectBucketVertices(store, overlay, r, t, pv, merged_scratch);
       vertices = merged_scratch->data();
       count = merged_scratch->size();
     }
     if (FindFirstInvalidVertex(simd, vertices, count, n) == count) {
+      if (recorder != nullptr) {
+        recorder->Add(TraceCounter::kBucketEntries, count);
+      }
       AccumulateBucket(simd, vertices, count, round, weight,
                        met_round->data(), result->data());
       return;
     }
   }
+  size_t scanned = 0;
   ForEachBucketVertex(store, overlay, r, t, pv, [&](const uint32_t b) {
     OIPSIM_CHECK_MSG(b < n,
                      "corrupt inverted index while serving: vertex id "
                      "%u >= n=%u (run VerifyPayload on this file)",
                      b, n);
+    ++scanned;
     if ((*met_round)[b] == round) return;
     (*result)[b] += weight;
     (*met_round)[b] = round;
   });
+  if (recorder != nullptr) {
+    recorder->Add(TraceCounter::kBucketEntries, scanned);
+  }
 }
 
 }  // namespace
@@ -299,7 +322,10 @@ std::vector<double> WalkIndex::EstimateSingleSource(
   // Paged backend: the R·L bucket lookups below touch pages scattered
   // across the whole inverted region — start the readahead (a one-time
   // batched submission) before the first lookup faults.
-  if (flat == nullptr) store.PrefetchSlots();
+  if (flat == nullptr) {
+    TraceScope prefetch_scope(TraceStage::kColdRead);
+    store.PrefetchSlots();
+  }
 
   std::vector<double> result(n, 0.0);
   // met_round[b] == r+1 marks that b's walk already met v's walk within
@@ -307,6 +333,7 @@ std::vector<double> WalkIndex::EstimateSingleSource(
   // is never re-cleared.
   std::vector<uint32_t> met_round(n, 0);
   std::vector<uint32_t> merged_scratch;
+  TraceScope probe_scope(TraceStage::kIndexProbe);
   for (uint32_t r = 0; r < R; ++r) {
     const uint32_t round = r + 1;
     met_round[v] = round;
@@ -394,7 +421,10 @@ std::vector<double> WalkIndex::EstimateSingleSourceWithRow(
   const size_t row = static_cast<size_t>(L) + 1;
   OIPSIM_CHECK(row_v.size() == static_cast<size_t>(R) * row);
 
-  if (store.FlatWalks() == nullptr) store.PrefetchSlots();
+  if (store.FlatWalks() == nullptr) {
+    TraceScope prefetch_scope(TraceStage::kColdRead);
+    store.PrefetchSlots();
+  }
   std::vector<double> result(n, 0.0);
   std::vector<uint32_t> met_round(n, 0);
   std::vector<uint32_t> merged_scratch;
@@ -402,6 +432,7 @@ std::vector<double> WalkIndex::EstimateSingleSourceWithRow(
   // row: the bucket walk order and the per-b accumulation order are
   // unchanged, so each entry this index's rows cover is the identical
   // left-to-right sum.
+  TraceScope probe_scope(TraceStage::kIndexProbe);
   for (uint32_t r = 0; r < R; ++r) {
     const uint32_t round = r + 1;
     met_round[v] = round;

@@ -1,0 +1,105 @@
+#include "simrank/obs/log_sink.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <utility>
+#include <vector>
+
+#include "simrank/common/string_util.h"
+
+namespace simrank {
+
+Result<std::unique_ptr<JsonlLogSink>> JsonlLogSink::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("open %s: %s", path.c_str(),
+                                     strerror(errno)));
+  }
+  return std::unique_ptr<JsonlLogSink>(new JsonlLogSink(path, fd));
+}
+
+JsonlLogSink::JsonlLogSink(std::string path, int fd)
+    : path_(std::move(path)), fd_(fd) {
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+JsonlLogSink::~JsonlLogSink() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  writer_.join();
+  ::close(fd_);
+}
+
+void JsonlLogSink::Append(std::string line) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.size() >= kMaxQueuedLines) {
+      ++dropped_;
+      return;
+    }
+    queue_.push_back(std::move(line));
+  }
+  wake_.notify_one();
+}
+
+void JsonlLogSink::Flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return queue_.empty() && !writing_; });
+}
+
+uint64_t JsonlLogSink::lines_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+uint64_t JsonlLogSink::lines_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void JsonlLogSink::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [this] { return !queue_.empty() || shutdown_; });
+    if (queue_.empty() && shutdown_) return;
+    // Batch everything queued into one buffer and write it unlocked.
+    std::vector<std::string> batch(
+        std::make_move_iterator(queue_.begin()),
+        std::make_move_iterator(queue_.end()));
+    queue_.clear();
+    writing_ = true;
+    lock.unlock();
+    std::string buffer;
+    size_t total = 0;
+    for (const std::string& line : batch) total += line.size() + 1;
+    buffer.reserve(total);
+    for (const std::string& line : batch) {
+      buffer += line;
+      buffer += '\n';
+    }
+    size_t offset = 0;
+    while (offset < buffer.size()) {
+      const ssize_t n =
+          ::write(fd_, buffer.data() + offset, buffer.size() - offset);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // unwritable sink: drop the rest of the batch
+      }
+      offset += static_cast<size_t>(n);
+    }
+    lock.lock();
+    writing_ = false;
+    written_ += batch.size();
+    drained_.notify_all();
+  }
+}
+
+}  // namespace simrank

@@ -1,0 +1,72 @@
+// Background JSONL file appender for access and trace logs.
+//
+// The event loop and worker threads must never block on disk, so Append
+// only takes a mutex, pushes the line onto a queue and signals a single
+// writer thread, which batches whatever is queued into one write(2) per
+// wakeup. Lines are written verbatim with a trailing newline — callers
+// hand in complete single-line JSON documents. If the queue backs up past
+// a bound (a stalled disk), lines are dropped and counted rather than
+// stalling request handling.
+#ifndef OIPSIM_SIMRANK_OBS_LOG_SINK_H_
+#define OIPSIM_SIMRANK_OBS_LOG_SINK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "simrank/common/status.h"
+
+namespace simrank {
+
+class JsonlLogSink {
+ public:
+  /// Opens `path` for appending and starts the writer thread.
+  static Result<std::unique_ptr<JsonlLogSink>> Open(const std::string& path);
+
+  /// Drains the queue, joins the writer and closes the file.
+  ~JsonlLogSink();
+
+  JsonlLogSink(const JsonlLogSink&) = delete;
+  JsonlLogSink& operator=(const JsonlLogSink&) = delete;
+
+  /// Enqueues one line (without trailing newline). Never blocks on IO.
+  void Append(std::string line);
+
+  /// Blocks until everything enqueued so far has been written. Test and
+  /// shutdown aid, not for the request path.
+  void Flush();
+
+  const std::string& path() const { return path_; }
+  uint64_t lines_written() const;
+  uint64_t lines_dropped() const;
+
+ private:
+  /// Queue bound before Append starts dropping; generous — a line is a
+  /// few hundred bytes, so this is a few MB of backlog.
+  static constexpr size_t kMaxQueuedLines = 16384;
+
+  JsonlLogSink(std::string path, int fd);
+
+  void WriterLoop();
+
+  const std::string path_;
+  const int fd_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable drained_;
+  std::deque<std::string> queue_;
+  bool shutdown_ = false;
+  bool writing_ = false;
+  uint64_t written_ = 0;
+  uint64_t dropped_ = 0;
+  std::thread writer_;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_OBS_LOG_SINK_H_

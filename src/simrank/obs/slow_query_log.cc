@@ -1,0 +1,34 @@
+#include "simrank/obs/slow_query_log.h"
+
+#include <utility>
+
+namespace simrank {
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+    return;
+  }
+  ring_[next_] = std::move(entry);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SlowQueryEntry> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+}  // namespace simrank

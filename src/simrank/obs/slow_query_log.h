@@ -1,0 +1,53 @@
+// Fixed-size ring of the slowest / sampled recent queries.
+//
+// Dapper-style capture: requests that cross a latency threshold (or win a
+// probabilistic sample) deposit their full trace JSON here, so `GET
+// /v1/debug/slow` can answer "what were the last N slow queries doing,
+// stage by stage" without any external collector. The ring is
+// mutex-guarded — it is touched once per *captured* request, never on the
+// per-request fast path — and overwrites oldest-first.
+#ifndef OIPSIM_SIMRANK_OBS_SLOW_QUERY_LOG_H_
+#define OIPSIM_SIMRANK_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simrank {
+
+struct SlowQueryEntry {
+  uint64_t unix_micros = 0;      // wall clock at completion
+  uint64_t duration_micros = 0;  // end-to-end request latency
+  uint64_t trace_id = 0;
+  std::string target;      // request path + query string
+  std::string trace_json;  // TraceRecorder::ToJson() output
+};
+
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity) : capacity_(capacity) {}
+
+  /// Deposits one entry, evicting the oldest when full. No-op when the
+  /// log was configured with zero capacity.
+  void Record(SlowQueryEntry entry);
+
+  /// Entries oldest-first.
+  std::vector<SlowQueryEntry> Snapshot() const;
+
+  /// Total entries ever recorded (including evicted ones).
+  uint64_t total_recorded() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SlowQueryEntry> ring_;  // ring_[next_] is the oldest
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_OBS_SLOW_QUERY_LOG_H_

@@ -109,6 +109,13 @@ const std::string* HttpRequest::FindParam(std::string_view key) const {
   return nullptr;
 }
 
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
 HttpParseStatus ParseHttpRequest(std::string_view input,
                                  const HttpLimits& limits, HttpRequest* out) {
   *out = HttpRequest();
@@ -190,6 +197,11 @@ HttpParseStatus ParseHttpRequest(std::string_view input,
         return Error(400, "control byte in header field value");
       }
     }
+    std::string lower_name(name);
+    for (char& c : lower_name) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    out->headers.emplace_back(std::move(lower_name), std::string(value));
     if (AsciiEqualsIgnoreCase(name, "content-length")) {
       uint64_t length = 0;
       if (!ParseUint64(value, &length)) {

@@ -60,6 +60,10 @@ struct HttpRequest {
   /// Query parameters in request order, keys and values percent-decoded
   /// ('+' decodes to space). A key without '=' yields an empty value.
   std::vector<std::pair<std::string, std::string>> params;
+  /// Header fields in request order, names lowercased, values trimmed.
+  /// Kept verbatim (beyond the parser's validation) — routing-relevant
+  /// headers like X-Simrank-Trace are read from here.
+  std::vector<std::pair<std::string, std::string>> headers;
   /// Content-Length body bytes (empty for the common GET case).
   std::string body;
   /// 0 for HTTP/1.0, 1 for HTTP/1.1.
@@ -70,6 +74,10 @@ struct HttpRequest {
 
   /// First value of `key`, or nullptr when absent.
   const std::string* FindParam(std::string_view key) const;
+
+  /// First value of header `name` (must be given lowercase), or nullptr
+  /// when absent.
+  const std::string* FindHeader(std::string_view name) const;
 };
 
 /// Outcome of one ParseHttpRequest call.

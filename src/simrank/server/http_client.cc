@@ -194,19 +194,35 @@ Result<HttpClientResponse> LoopbackHttpClient::ReadResponse() {
 }
 
 Result<HttpClientResponse> LoopbackHttpClient::Get(
-    const std::string& target) {
-  OIPSIM_RETURN_IF_ERROR(
-      SendRaw("GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n"));
+    const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string request = "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request += name;
+    request += ": ";
+    request += value;
+    request += "\r\n";
+  }
+  request += "\r\n";
+  OIPSIM_RETURN_IF_ERROR(SendRaw(request));
   return ReadResponse();
 }
 
 Result<HttpClientResponse> LoopbackHttpClient::Post(
     const std::string& target, std::string_view body,
-    std::string_view content_type) {
+    std::string_view content_type,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string request = "POST " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
   request += "Content-Type: ";
   request += content_type;
-  request += StrFormat("\r\nContent-Length: %zu\r\n\r\n", body.size());
+  request += StrFormat("\r\nContent-Length: %zu\r\n", body.size());
+  for (const auto& [name, value] : extra_headers) {
+    request += name;
+    request += ": ";
+    request += value;
+    request += "\r\n";
+  }
+  request += "\r\n";
   request += body;
   OIPSIM_RETURN_IF_ERROR(SendRaw(request));
   return ReadResponse();
@@ -246,12 +262,14 @@ Status LoopbackHttpClient::ShutdownWrite() {
 Result<HttpClientResponse> LoopbackHttpClient::ReadResponse() {
   return Status::Unimplemented("LoopbackHttpClient requires POSIX sockets");
 }
-Result<HttpClientResponse> LoopbackHttpClient::Get(const std::string&) {
+Result<HttpClientResponse> LoopbackHttpClient::Get(
+    const std::string&,
+    const std::vector<std::pair<std::string, std::string>>&) {
   return Status::Unimplemented("LoopbackHttpClient requires POSIX sockets");
 }
-Result<HttpClientResponse> LoopbackHttpClient::Post(const std::string&,
-                                                    std::string_view,
-                                                    std::string_view) {
+Result<HttpClientResponse> LoopbackHttpClient::Post(
+    const std::string&, std::string_view, std::string_view,
+    const std::vector<std::pair<std::string, std::string>>&) {
   return Status::Unimplemented("LoopbackHttpClient requires POSIX sockets");
 }
 Result<HttpClientResponse> HttpGet(uint16_t, const std::string&) {

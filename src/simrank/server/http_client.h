@@ -54,15 +54,20 @@ class LoopbackHttpClient {
 
   /// Issues `GET target HTTP/1.1` and reads the full response. After a
   /// `Connection: close` response the connection is unusable (IoError on
-  /// the next call).
-  Result<HttpClientResponse> Get(const std::string& target);
+  /// the next call). `extra_headers` are appended to the request verbatim
+  /// (e.g. {"X-Simrank-Trace", "<id>"} for trace propagation).
+  Result<HttpClientResponse> Get(
+      const std::string& target,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers =
+          {});
 
   /// Issues `POST target` with a Content-Length body and reads the full
   /// response.
-  Result<HttpClientResponse> Post(const std::string& target,
-                                  std::string_view body,
-                                  std::string_view content_type =
-                                      "text/plain");
+  Result<HttpClientResponse> Post(
+      const std::string& target, std::string_view body,
+      std::string_view content_type = "text/plain",
+      const std::vector<std::pair<std::string, std::string>>& extra_headers =
+          {});
 
   /// Sends raw bytes without awaiting a response (pipelining tests).
   Status SendRaw(std::string_view bytes);

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -52,6 +53,15 @@ struct QueryArgs {
   /// differs, so a scatter-gather never merges mixed-version slices.
   uint64_t seq = 0;
   std::string body;
+  /// Tracing decisions, made on the loop thread so the worker needs no
+  /// access to the request. `trace_inline` is the only one allowed to
+  /// change a response body.
+  bool trace_inline = false;   // ?trace=1: trace JSON into the envelope
+  bool trace_header = false;   // X-Simrank-Trace: trace in response header
+  bool trace_sampled = false;  // coin flip / slow-query threshold
+  uint64_t trace_id = 0;
+  /// Request path, kept only for traced requests (slow-ring target).
+  std::string target;
 };
 
 std::string ErrorBody(std::string_view code, std::string_view message) {
@@ -86,6 +96,7 @@ std::pair<int, std::string> ExecutePair(QueryEngine& engine,
                                         const QueryArgs& args) {
   auto score = engine.Pair(args.a, args.b);
   if (!score.ok()) return EngineErrorResponse(score.status());
+  TraceScope serialize(TraceStage::kSerialize);
   JsonWriter json;
   json.BeginObject()
       .Key("a")
@@ -102,6 +113,7 @@ std::pair<int, std::string> ExecuteSingleSource(QueryEngine& engine,
                                                 const QueryArgs& args) {
   auto row = engine.SingleSource(args.v);
   if (!row.ok()) return EngineErrorResponse(row.status());
+  TraceScope serialize(TraceStage::kSerialize);
   JsonWriter json;
   json.BeginObject().Key("v").Uint(args.v).Key("scores").BeginArray();
   for (const double score : **row) json.Double(score);
@@ -113,6 +125,7 @@ std::pair<int, std::string> ExecuteTopK(QueryEngine& engine,
                                         const QueryArgs& args) {
   auto top = engine.TopK(args.v, args.k);
   if (!top.ok()) return EngineErrorResponse(top.status());
+  TraceScope serialize(TraceStage::kSerialize);
   JsonWriter json;
   json.BeginObject()
       .Key("v")
@@ -194,6 +207,7 @@ std::pair<int, std::string> ExecuteBatchPair(QueryEngine& engine,
   for (const auto& answer : answers) {
     if (!answer.ok()) return EngineErrorResponse(answer.status());
   }
+  TraceScope serialize(TraceStage::kSerialize);
   JsonWriter json;
   json.BeginObject()
       .Key("count")
@@ -534,6 +548,16 @@ Status ServerOptions::Validate() const {
     return Status::InvalidArgument(
         "max_batch_pairs must be positive: a zero cap rejects every batch");
   }
+  if (!(trace_sample >= 0.0 && trace_sample <= 1.0)) {
+    return Status::InvalidArgument(StrFormat(
+        "--trace-sample=%g is not a probability in [0, 1]", trace_sample));
+  }
+  if (slow_ring_capacity > 65536) {
+    return Status::InvalidArgument(
+        StrFormat("--slow-ring=%u would pin an unreasonable amount of "
+                  "trace JSON in memory",
+                  slow_ring_capacity));
+  }
   if (sharded) {
     OIPSIM_RETURN_IF_ERROR(shard_plan.Validate());
     if (shard_id >= shard_plan.shards.size()) {
@@ -567,6 +591,14 @@ struct SimRankServer::Connection {
   bool request_keep_alive = true;
   /// Events currently registered with epoll.
   uint32_t epoll_events = 0;
+  /// Access-log capture of the request currently being answered: set by
+  /// RouteRequest (only when --access-log is active), consumed and
+  /// cleared by QueueResponse. One dispatched query at a time per
+  /// connection keeps this a single slot.
+  uint64_t access_start_ns = 0;
+  uint64_t access_trace_id = 0;
+  std::string access_method;
+  std::string access_path;
 };
 
 /// A worker's finished query, handed back to the loop thread.
@@ -588,6 +620,7 @@ SimRankServer::SimRankServer(QueryEngine& engine,
     : engine_(engine),
       options_(options),
       updater_(updater),
+      slow_log_(options.slow_ring_capacity),
       pool_(options.threads) {}
 
 SimRankServer::~SimRankServer() {
@@ -630,6 +663,17 @@ Status SimRankServer::Bind() {
   if (listen_fd_ >= 0) {
     return Status::InvalidArgument("Bind() called twice");
   }
+  if (!options_.trace_log_path.empty() && trace_sink_ == nullptr) {
+    auto sink = JsonlLogSink::Open(options_.trace_log_path);
+    if (!sink.ok()) return sink.status();
+    trace_sink_ = std::move(*sink);
+  }
+  if (!options_.access_log_path.empty() && access_sink_ == nullptr) {
+    auto sink = JsonlLogSink::Open(options_.access_log_path);
+    if (!sink.ok()) return sink.status();
+    access_sink_ = std::move(*sink);
+  }
+  sample_state_ = GenerateTraceId();
 
   sockaddr_in addr = {};
   addr.sin_family = AF_INET;
@@ -859,11 +903,18 @@ bool SimRankServer::MaybeCloseAfterEof(Connection* conn) {
 
 void SimRankServer::RouteRequest(Connection* conn,
                                  const HttpRequest& request) {
+  if (access_sink_ != nullptr) {
+    conn->access_start_ns = TraceNowNanos();
+    conn->access_trace_id = 0;
+    conn->access_method = request.method;
+    conn->access_path = request.path;
+  }
   // Inline endpoints: answered on the loop thread, GET only.
   const bool is_inline = request.path == "/healthz" ||
                          request.path == "/v1/stats" ||
                          request.path == "/metrics" ||
-                         request.path == "/v1/wal";
+                         request.path == "/v1/wal" ||
+                         request.path == "/v1/debug/slow";
   // The /internal/* exchange endpoints exist only in the shard role; a
   // standalone server 404s them like any unknown path.
   const bool is_internal =
@@ -908,13 +959,7 @@ void SimRankServer::RouteRequest(Connection* conn,
 
   if (request.path == "/healthz") {
     stat_requests_healthz_.fetch_add(1, std::memory_order_relaxed);
-    const bool keep = conn->request_keep_alive && !draining_;
-    HttpResponseOptions response_options;
-    response_options.keep_alive = keep;
-    response_options.content_type = "text/plain";
-    conn->out += BuildHttpResponse(200, "ok\n", response_options);
-    if (!keep) conn->close_after_flush = true;
-    CountResponse(200);
+    QueueResponse(conn, 200, "ok\n", {}, "text/plain");
     return;
   }
   if (request.path == "/v1/stats") {
@@ -924,14 +969,13 @@ void SimRankServer::RouteRequest(Connection* conn,
   }
   if (request.path == "/metrics") {
     stat_requests_metrics_.fetch_add(1, std::memory_order_relaxed);
-    const bool keep = conn->request_keep_alive && !draining_;
-    HttpResponseOptions response_options;
-    response_options.keep_alive = keep;
-    response_options.content_type = "text/plain; version=0.0.4";
-    conn->out += BuildHttpResponse(200, BuildMetricsBody(),
-                                   response_options);
-    if (!keep) conn->close_after_flush = true;
-    CountResponse(200);
+    QueueResponse(conn, 200, BuildMetricsBody(), {},
+                  "text/plain; version=0.0.4");
+    return;
+  }
+  if (request.path == "/v1/debug/slow") {
+    stat_requests_debug_slow_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(conn, 200, BuildSlowBody());
     return;
   }
   if (request.path == "/v1/wal") {
@@ -1107,17 +1151,19 @@ void SimRankServer::DispatchQuery(Connection* conn, ServerEndpoint endpoint,
   } else {
     switch (endpoint) {
       case ServerEndpoint::kPair:
-        params_ok = CheckAllowedParams(request, {"a", "b"}, &error) &&
-                    ParseVertexParam(request, "a", &args.a, &error) &&
-                    ParseVertexParam(request, "b", &args.b, &error);
+        params_ok =
+            CheckAllowedParams(request, {"a", "b", "trace"}, &error) &&
+            ParseVertexParam(request, "a", &args.a, &error) &&
+            ParseVertexParam(request, "b", &args.b, &error);
         break;
       case ServerEndpoint::kSingleSource:
-        params_ok = CheckAllowedParams(request, {"v"}, &error) &&
+        params_ok = CheckAllowedParams(request, {"v", "trace"}, &error) &&
                     ParseVertexParam(request, "v", &args.v, &error);
         break;
       case ServerEndpoint::kTopK:
-        params_ok = CheckAllowedParams(request, {"v", "k"}, &error) &&
-                    ParseVertexParam(request, "v", &args.v, &error);
+        params_ok =
+            CheckAllowedParams(request, {"v", "k", "trace"}, &error) &&
+            ParseVertexParam(request, "v", &args.v, &error);
         if (params_ok && request.FindParam("k") != nullptr) {
           params_ok = ParseVertexParam(request, "k", &args.k, &error);
         }
@@ -1125,16 +1171,68 @@ void SimRankServer::DispatchQuery(Connection* conn, ServerEndpoint endpoint,
       case ServerEndpoint::kBatchPair:
       case ServerEndpoint::kUpdate:
       case ServerEndpoint::kCompact:
-        // Body endpoints take no query parameters; the body itself is
-        // parsed in the worker.
-        params_ok = CheckAllowedParams(request, {}, &error);
+        // Body endpoints take no query parameters beyond the trace
+        // opt-in; the body itself is parsed in the worker.
+        params_ok = CheckAllowedParams(request, {"trace"}, &error);
         args.body = request.body;
         break;
+    }
+    // ?trace=1 inlines the trace JSON into the response envelope — the
+    // only tracing channel allowed to change a body.
+    const std::string* trace_param = request.FindParam("trace");
+    if (params_ok && trace_param != nullptr) {
+      if (*trace_param == "1") {
+        args.trace_inline = true;
+      } else if (*trace_param != "0") {
+        params_ok = false;
+        error = StrFormat("parameter 'trace' must be 0 or 1, got '%s'",
+                          trace_param->c_str());
+      }
     }
   }
   if (!params_ok) {
     QueueErrorResponse(conn, 400, error);
     return;
+  }
+  // X-Simrank-Trace activates tracing without touching the body: the
+  // trace comes back in the X-Simrank-Trace-Json response header. This is
+  // how the router threads one trace id through its shard fan-out (the
+  // /internal/* bodies are binary and must stay byte-exact).
+  if (const std::string* header = request.FindHeader("x-simrank-trace")) {
+    uint64_t id = 0;
+    if (ParseTraceId(*header, &id)) {
+      args.trace_header = true;
+      args.trace_id = id;
+    }
+  }
+  // Ambient tracing: every request when a slow-query threshold is armed
+  // (the slow ones must already have a trace by the time they turn out
+  // slow), else a trace_sample coin flip.
+  if (options_.slow_query_us > 0) {
+    args.trace_sampled = true;
+  } else if (options_.trace_sample > 0.0) {
+    // xorshift64*: cheap, loop-thread-only, statistical only.
+    sample_state_ ^= sample_state_ >> 12;
+    sample_state_ ^= sample_state_ << 25;
+    sample_state_ ^= sample_state_ >> 27;
+    const uint64_t draw = sample_state_ * 0x2545F4914F6CDD1Dull;
+    args.trace_sampled =
+        static_cast<double>(draw >> 11) * 0x1.0p-53 < options_.trace_sample;
+  }
+  const bool traced =
+      args.trace_inline || args.trace_header || args.trace_sampled;
+  if (traced) {
+    if (args.trace_id == 0) args.trace_id = GenerateTraceId();
+    // Reassembled path + query (the parser splits the raw target) so slow
+    // captures name the exact request.
+    args.target = request.path;
+    for (size_t i = 0; i < request.params.size(); ++i) {
+      args.target += i == 0 ? '?' : '&';
+      args.target += request.params[i].first;
+      args.target += '=';
+      args.target += request.params[i].second;
+    }
+    if (access_sink_ != nullptr) conn->access_trace_id = args.trace_id;
   }
   if (options_.sharded && args.internal == QueryArgs::Internal::kNone &&
       endpoint == ServerEndpoint::kPair) {
@@ -1188,52 +1286,91 @@ void SimRankServer::DispatchQuery(Connection* conn, ServerEndpoint endpoint,
   const int fd = conn->fd;
   const uint64_t connection_id = conn->id;
   const auto dispatched_at = std::chrono::steady_clock::now();
+  // One clock read per *traced* dispatch; untraced requests skip it.
+  const uint64_t dispatch_ns = traced ? TraceNowNanos() : 0;
   pool_.Submit([this, fd, connection_id, endpoint, dispatched_at,
-                args = std::move(args)] {
+                dispatch_ns, args = std::move(args)] {
     if (options_.handler_delay_ms > 0) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(options_.handler_delay_ms));
     }
+    const bool traced =
+        args.trace_inline || args.trace_header || args.trace_sampled;
+    std::optional<TraceRecorder> recorder;
+    if (traced) recorder.emplace(args.trace_id);
     Completion completion;
     completion.fd = fd;
     completion.connection_id = connection_id;
     completion.endpoint = endpoint;
-    if (args.internal != QueryArgs::Internal::kNone) {
-      ExchangeResponse exchange =
-          ExecuteInternal(engine_, updater_, options_, args);
-      completion.status = exchange.status;
-      completion.body = std::move(exchange.body);
-      completion.content_type = std::move(exchange.content_type);
-      completion.headers = std::move(exchange.headers);
-    } else {
-      std::pair<int, std::string> result;
-      switch (endpoint) {
-        case ServerEndpoint::kPair:
-          result = ExecutePair(engine_, args);
-          break;
-        case ServerEndpoint::kSingleSource:
-          result = ExecuteSingleSource(engine_, args);
-          break;
-        case ServerEndpoint::kTopK:
-          result = ExecuteTopK(engine_, args);
-          break;
-        case ServerEndpoint::kBatchPair:
-          result = ExecuteBatchPair(engine_, args, options_);
-          break;
-        case ServerEndpoint::kUpdate:
-          result = ExecuteUpdate(engine_, *updater_, args);
-          break;
-        case ServerEndpoint::kCompact:
-          result = ExecuteCompact(*updater_, options_);
-          break;
+    {
+      // Bound for the duration of the query: every TraceScope/TraceAdd
+      // down in the engine lands in this recorder (or no-ops when null).
+      TraceBinding binding(traced ? &*recorder : nullptr);
+      if (traced) {
+        recorder->AddCompletedSpan(TraceStage::kQueueWait, dispatch_ns,
+                                   TraceNowNanos() - dispatch_ns);
       }
-      completion.status = result.first;
-      completion.body = std::move(result.second);
+      TraceScope root(TraceStage::kRequest, ServerEndpointName(endpoint));
+      if (args.internal != QueryArgs::Internal::kNone) {
+        ExchangeResponse exchange =
+            ExecuteInternal(engine_, updater_, options_, args);
+        completion.status = exchange.status;
+        completion.body = std::move(exchange.body);
+        completion.content_type = std::move(exchange.content_type);
+        completion.headers = std::move(exchange.headers);
+      } else {
+        std::pair<int, std::string> result;
+        switch (endpoint) {
+          case ServerEndpoint::kPair:
+            result = ExecutePair(engine_, args);
+            break;
+          case ServerEndpoint::kSingleSource:
+            result = ExecuteSingleSource(engine_, args);
+            break;
+          case ServerEndpoint::kTopK:
+            result = ExecuteTopK(engine_, args);
+            break;
+          case ServerEndpoint::kBatchPair:
+            result = ExecuteBatchPair(engine_, args, options_);
+            break;
+          case ServerEndpoint::kUpdate:
+            result = ExecuteUpdate(engine_, *updater_, args);
+            break;
+          case ServerEndpoint::kCompact:
+            result = ExecuteCompact(*updater_, options_);
+            break;
+        }
+        completion.status = result.first;
+        completion.body = std::move(result.second);
+      }
     }
     const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - dispatched_at);
     latency_[static_cast<size_t>(endpoint)].Record(
         static_cast<uint64_t>(elapsed.count()));
+    if (traced) {
+      stat_traced_requests_.fetch_add(1, std::memory_order_relaxed);
+      FoldTrace(*recorder);
+      const uint64_t elapsed_us = static_cast<uint64_t>(elapsed.count());
+      const bool slow = options_.slow_query_us > 0 &&
+                        elapsed_us >= options_.slow_query_us;
+      const bool sampled_capture =
+          args.trace_sampled && options_.slow_query_us == 0;
+      if (slow || sampled_capture) {
+        CaptureTrace(*recorder, args.target, elapsed_us);
+      }
+      if (args.trace_inline && completion.body.size() > 2 &&
+          completion.body.front() == '{' && completion.body.back() == '}') {
+        // Splice the trace into the JSON envelope. Only the explicit
+        // ?trace=1 opt-in ever changes a response body.
+        completion.body.insert(completion.body.size() - 1,
+                               ",\"trace\":" + recorder->ToJson());
+      }
+      if (args.trace_header) {
+        completion.headers.emplace_back("X-Simrank-Trace-Json",
+                                        recorder->ToJson());
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(completions_mutex_);
       completions_.push_back(std::move(completion));
@@ -1282,6 +1419,10 @@ void SimRankServer::QueueResponse(
   conn->out += BuildHttpResponse(status, body, response_options);
   if (!keep) conn->close_after_flush = true;
   CountResponse(status);
+  if (access_sink_ != nullptr && !conn->access_method.empty()) {
+    LogAccess(*conn, status, body.size());
+    conn->access_method.clear();
+  }
   UpdateEpoll(conn);
 }
 
@@ -1403,6 +1544,11 @@ ServerStats SimRankServer::stats() const {
   stats.requests_metrics =
       stat_requests_metrics_.load(std::memory_order_relaxed);
   stats.requests_wal = stat_requests_wal_.load(std::memory_order_relaxed);
+  stats.requests_debug_slow =
+      stat_requests_debug_slow_.load(std::memory_order_relaxed);
+  stats.traced_requests =
+      stat_traced_requests_.load(std::memory_order_relaxed);
+  stats.slow_captured = slow_log_.total_recorded();
   stats.responses_2xx = stat_responses_2xx_.load(std::memory_order_relaxed);
   stats.responses_4xx = stat_responses_4xx_.load(std::memory_order_relaxed);
   stats.responses_5xx = stat_responses_5xx_.load(std::memory_order_relaxed);
@@ -1455,6 +1601,7 @@ std::string SimRankServer::BuildStatsBody() const {
   json.Key("healthz").Uint(stats.requests_healthz);
   json.Key("metrics").Uint(stats.requests_metrics);
   json.Key("wal").Uint(stats.requests_wal);
+  json.Key("debug_slow").Uint(stats.requests_debug_slow);
   json.EndObject();
   json.Key("responses").BeginObject();
   json.Key("2xx").Uint(stats.responses_2xx);
@@ -1494,6 +1641,34 @@ std::string SimRankServer::BuildStatsBody() const {
     json.EndArray();
     json.EndObject();
   }
+  json.EndObject();
+  // Tracing: per-stage latency and work counters, folded from traced
+  // requests only (untraced requests contribute nothing here).
+  json.Key("trace").BeginObject();
+  json.Key("sample_rate").Double(options_.trace_sample);
+  json.Key("slow_query_us").Uint(options_.slow_query_us);
+  json.Key("traced_requests").Uint(stats.traced_requests);
+  json.Key("slow_captured").Uint(stats.slow_captured);
+  json.Key("slow_ring_capacity").Uint(slow_log_.capacity());
+  json.Key("stages").BeginObject();
+  for (uint32_t i = 0; i < kNumTraceStages; ++i) {
+    const LatencyHistogram::Snapshot snapshot =
+        stage_latency_[i].snapshot();
+    if (snapshot.count == 0) continue;  // only stages that actually ran
+    json.Key(TraceStageName(static_cast<TraceStage>(i))).BeginObject();
+    json.Key("count").Uint(snapshot.count);
+    json.Key("sum_us").Uint(snapshot.sum_micros);
+    json.Key("p50_us").Uint(snapshot.QuantileUpperMicros(0.5));
+    json.Key("p99_us").Uint(snapshot.QuantileUpperMicros(0.99));
+    json.EndObject();
+  }
+  json.EndObject();
+  json.Key("counters").BeginObject();
+  for (uint32_t c = 0; c < kNumTraceCounters; ++c) {
+    json.Key(TraceCounterName(static_cast<TraceCounter>(c)))
+        .Uint(stage_counters_[c].load(std::memory_order_relaxed));
+  }
+  json.EndObject();
   json.EndObject();
   if (updater_ != nullptr) {
     const IndexUpdateStats updates = updater_->stats();
@@ -1594,6 +1769,8 @@ std::string SimRankServer::BuildMetricsBody() const {
           stats.requests_metrics);
   counter("simrank_requests_total", "{endpoint=\"wal\"}",
           stats.requests_wal);
+  counter("simrank_requests_total", "{endpoint=\"debug_slow\"}",
+          stats.requests_debug_slow);
 
   type("simrank_responses_total", "counter");
   counter("simrank_responses_total", "{class=\"2xx\"}",
@@ -1684,6 +1861,53 @@ std::string SimRankServer::BuildMetricsBody() const {
         name, static_cast<unsigned long long>(snapshot.count));
   }
 
+  type("simrank_traced_requests_total", "counter");
+  counter("simrank_traced_requests_total", "", stats.traced_requests);
+  type("simrank_slow_queries_total", "counter");
+  counter("simrank_slow_queries_total", "", stats.slow_captured);
+
+  // Per-stage latency folded from traced requests only; all stages are
+  // emitted (zeroed when never hit) so scrapers see a stable family.
+  type("simrank_stage_duration_seconds", "histogram");
+  for (uint32_t i = 0; i < kNumTraceStages; ++i) {
+    const char* name = TraceStageName(static_cast<TraceStage>(i));
+    const LatencyHistogram::Snapshot snapshot =
+        stage_latency_[i].snapshot();
+    uint64_t cumulative = 0;
+    for (uint32_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+      cumulative += snapshot.buckets[b];
+      if (b + 1 < LatencyHistogram::kNumBuckets) {
+        out += StrFormat(
+            "simrank_stage_duration_seconds_bucket{stage=\"%s\","
+            "le=\"%g\"} %llu\n",
+            name,
+            static_cast<double>(LatencyHistogram::BucketUpperMicros(b)) /
+                1e6,
+            static_cast<unsigned long long>(cumulative));
+      } else {
+        out += StrFormat(
+            "simrank_stage_duration_seconds_bucket{stage=\"%s\","
+            "le=\"+Inf\"} %llu\n",
+            name, static_cast<unsigned long long>(cumulative));
+      }
+    }
+    out += StrFormat(
+        "simrank_stage_duration_seconds_sum{stage=\"%s\"} %g\n", name,
+        static_cast<double>(snapshot.sum_micros) / 1e6);
+    out += StrFormat(
+        "simrank_stage_duration_seconds_count{stage=\"%s\"} %llu\n", name,
+        static_cast<unsigned long long>(snapshot.count));
+  }
+
+  type("simrank_stage_counter_total", "counter");
+  for (uint32_t c = 0; c < kNumTraceCounters; ++c) {
+    counter("simrank_stage_counter_total",
+            StrFormat("{counter=\"%s\"}",
+                      TraceCounterName(static_cast<TraceCounter>(c)))
+                .c_str(),
+            stage_counters_[c].load(std::memory_order_relaxed));
+  }
+
   if (updater_ != nullptr) {
     const IndexUpdateStats updates = updater_->stats();
     type("simrank_update_batches_total", "counter");
@@ -1754,6 +1978,106 @@ std::string SimRankServer::BuildMetricsBody() const {
     counter("simrank_wal_syncs_total", "", updates.wal_syncs);
   }
   return out;
+}
+
+namespace {
+
+uint64_t WallClockMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string SimRankServer::BuildSlowBody() const {
+  // Hand-built (not JsonWriter): the captured traces are already
+  // serialized JSON objects and are embedded verbatim.
+  const std::vector<SlowQueryEntry> entries = slow_log_.Snapshot();
+  std::string out = StrFormat(
+      "{\"capacity\":%zu,\"total_recorded\":%llu,\"threshold_us\":%llu,"
+      "\"entries\":[",
+      slow_log_.capacity(),
+      static_cast<unsigned long long>(slow_log_.total_recorded()),
+      static_cast<unsigned long long>(options_.slow_query_us));
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const SlowQueryEntry& entry = entries[i];
+    if (i > 0) out += ',';
+    out += StrFormat(
+        "{\"unix_micros\":%llu,\"duration_us\":%llu,\"trace_id\":\"%s\","
+        "\"target\":\"",
+        static_cast<unsigned long long>(entry.unix_micros),
+        static_cast<unsigned long long>(entry.duration_micros),
+        TraceIdToHex(entry.trace_id).c_str());
+    JsonEscape(entry.target, &out);
+    out += "\",\"trace\":";
+    out += entry.trace_json;
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void SimRankServer::FoldTrace(const TraceRecorder& recorder) {
+  for (uint32_t i = 0; i < recorder.num_spans(); ++i) {
+    const TraceSpan& span = recorder.span(i);
+    stage_latency_[static_cast<size_t>(span.stage)].Record(
+        span.duration_ns / 1000);
+  }
+  for (uint32_t c = 0; c < kNumTraceCounters; ++c) {
+    const uint64_t value = recorder.counter(static_cast<TraceCounter>(c));
+    if (value > 0) {
+      stage_counters_[c].fetch_add(value, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SimRankServer::CaptureTrace(const TraceRecorder& recorder,
+                                 std::string_view target,
+                                 uint64_t duration_micros) {
+  SlowQueryEntry entry;
+  entry.unix_micros = WallClockMicros();
+  entry.duration_micros = duration_micros;
+  entry.trace_id = recorder.trace_id();
+  entry.target = std::string(target);
+  entry.trace_json = recorder.ToJson();
+  if (trace_sink_ != nullptr) {
+    std::string line =
+        StrFormat("{\"unix_micros\":%llu,\"target\":\"",
+                  static_cast<unsigned long long>(entry.unix_micros));
+    JsonEscape(target, &line);
+    line += StrFormat(
+        "\",\"duration_us\":%llu,\"trace\":",
+        static_cast<unsigned long long>(duration_micros));
+    line += entry.trace_json;
+    line += '}';
+    trace_sink_->Append(std::move(line));
+  }
+  slow_log_.Record(std::move(entry));
+}
+
+void SimRankServer::LogAccess(const Connection& conn, int status,
+                              size_t body_bytes) {
+  const uint64_t micros =
+      conn.access_start_ns == 0
+          ? 0
+          : (TraceNowNanos() - conn.access_start_ns) / 1000;
+  std::string line = StrFormat("{\"unix_micros\":%llu,\"method\":\"",
+                               static_cast<unsigned long long>(
+                                   WallClockMicros()));
+  JsonEscape(conn.access_method, &line);
+  line += "\",\"path\":\"";
+  JsonEscape(conn.access_path, &line);
+  line += StrFormat("\",\"status\":%d,\"bytes\":%zu,\"micros\":%llu",
+                    status, body_bytes,
+                    static_cast<unsigned long long>(micros));
+  if (conn.access_trace_id != 0) {
+    line += StrFormat(",\"trace_id\":\"%s\"",
+                      TraceIdToHex(conn.access_trace_id).c_str());
+  }
+  line += '}';
+  access_sink_->Append(std::move(line));
 }
 
 }  // namespace simrank

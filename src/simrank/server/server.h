@@ -32,7 +32,8 @@
 //   GET  /metrics              the same counters in Prometheus text
 //                              exposition (text/plain)
 //   GET  /healthz              liveness probe (text/plain)
-// /healthz, /v1/stats and /metrics are answered inline on the loop;
+//   GET  /v1/debug/slow        captured slow/sampled query traces (ring)
+// /healthz, /v1/stats, /metrics and /v1/debug/slow are answered inline;
 // everything else dispatches to the worker pool under admission control.
 // Update/compact serialize inside the IndexUpdater while reads keep
 // flowing against RCU overlay snapshots — queries are never blocked by an
@@ -63,6 +64,9 @@
 #include "simrank/extra/topk.h"
 #include "simrank/index/index_updater.h"
 #include "simrank/index/query_engine.h"
+#include "simrank/obs/log_sink.h"
+#include "simrank/obs/slow_query_log.h"
+#include "simrank/obs/trace.h"
 #include "simrank/server/http.h"
 
 namespace simrank {
@@ -149,6 +153,27 @@ struct ServerOptions {
   /// not over HTTP).
   bool replica = false;
 
+  /// Tracing knobs (all default off — the near-free null-recorder path).
+  /// A request is traced when any of these asks for it:
+  ///   - the client sent `?trace=1` (trace JSON inlined in the envelope),
+  ///   - the client sent an `X-Simrank-Trace: <hex id>` header (trace JSON
+  ///     returned in the `X-Simrank-Trace-Json` response header, body
+  ///     untouched — the router's propagation channel),
+  ///   - it won the `trace_sample` coin flip,
+  ///   - `slow_query_us` > 0 (every dispatched request is traced so the
+  ///     slow ones have a trace to capture).
+  /// Sampled traces and traces slower than `slow_query_us` land in the
+  /// slow-query ring (GET /v1/debug/slow) and, when `trace_log_path` is
+  /// set, as JSONL lines. Every trace folds into the per-stage latency
+  /// histograms and stage counters in /v1/stats and /metrics.
+  double trace_sample = 0.0;
+  uint64_t slow_query_us = 0;
+  uint32_t slow_ring_capacity = 64;
+  std::string trace_log_path;
+  /// One JSONL line per routed request (method, path, status, bytes,
+  /// micros, trace id), written off the event loop.
+  std::string access_log_path;
+
   Status Validate() const;
 };
 
@@ -161,6 +186,12 @@ struct ServerStats {
   uint64_t requests_metrics = 0;
   /// GET /v1/wal polls served (WAL shipping to replicas).
   uint64_t requests_wal = 0;
+  /// GET /v1/debug/slow polls served.
+  uint64_t requests_debug_slow = 0;
+  /// Requests that ran with a live trace recorder.
+  uint64_t traced_requests = 0;
+  /// Traces captured into the slow-query ring (threshold or sampled).
+  uint64_t slow_captured = 0;
   /// Responses by status class.
   uint64_t responses_2xx = 0;
   uint64_t responses_4xx = 0;
@@ -219,6 +250,16 @@ class SimRankServer {
     return latency_[static_cast<size_t>(endpoint)].snapshot();
   }
 
+  /// Latency snapshot of one trace stage, folded from traced requests
+  /// only; safe concurrently with Serve.
+  LatencyHistogram::Snapshot stage_latency(TraceStage stage) const {
+    return stage_latency_[static_cast<size_t>(stage)].snapshot();
+  }
+
+  /// The slow-query ring (always constructed; empty when nothing was
+  /// captured).
+  const SlowQueryLog& slow_log() const { return slow_log_; }
+
  private:
   struct Connection;
   struct Completion;
@@ -243,7 +284,17 @@ class SimRankServer {
   void CloseConnection(Connection* conn);
   std::string BuildStatsBody() const;
   std::string BuildMetricsBody() const;
+  std::string BuildSlowBody() const;
   void CountResponse(int status);
+  /// Folds a finished trace into the per-stage histograms and counter
+  /// totals (any thread).
+  void FoldTrace(const TraceRecorder& recorder);
+  /// Captures a finished trace into the slow ring and trace log
+  /// (any thread).
+  void CaptureTrace(const TraceRecorder& recorder, std::string_view target,
+                    uint64_t duration_micros);
+  /// Emits one access-log JSONL line (loop thread; no-op without a sink).
+  void LogAccess(const Connection& conn, int status, size_t body_bytes);
 
   QueryEngine& engine_;
   ServerOptions options_;
@@ -278,6 +329,8 @@ class SimRankServer {
   mutable std::atomic<uint64_t> stat_requests_healthz_{0};
   mutable std::atomic<uint64_t> stat_requests_metrics_{0};
   mutable std::atomic<uint64_t> stat_requests_wal_{0};
+  mutable std::atomic<uint64_t> stat_requests_debug_slow_{0};
+  mutable std::atomic<uint64_t> stat_traced_requests_{0};
   mutable std::atomic<uint64_t> stat_responses_2xx_{0};
   mutable std::atomic<uint64_t> stat_responses_4xx_{0};
   mutable std::atomic<uint64_t> stat_responses_5xx_{0};
@@ -292,7 +345,21 @@ class SimRankServer {
   /// workers record, stats/metrics snapshot).
   LatencyHistogram latency_[kNumServerEndpoints];
 
-  /// Declared last so its destructor joins workers before fds close.
+  /// Per-stage latency and stage-counter totals, folded from traced
+  /// requests only (untraced requests never touch these).
+  LatencyHistogram stage_latency_[kNumTraceStages];
+  mutable std::atomic<uint64_t> stage_counters_[kNumTraceCounters] = {};
+
+  /// Captured slow/sampled traces (GET /v1/debug/slow).
+  SlowQueryLog slow_log_;
+  /// Optional JSONL sinks (--trace-log / --access-log); opened in Bind().
+  std::unique_ptr<JsonlLogSink> trace_sink_;
+  std::unique_ptr<JsonlLogSink> access_sink_;
+  /// xorshift state for --trace-sample coin flips (loop thread only).
+  uint64_t sample_state_ = 0;
+
+  /// Declared last so its destructor joins workers before fds close —
+  /// workers may still be appending to the sinks above.
   ThreadPool pool_;
 };
 

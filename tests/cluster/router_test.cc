@@ -548,5 +548,106 @@ TEST(RouterOptionsTest, ValidateRejectsInconsistentTopologies) {
   EXPECT_FALSE(options.Validate().ok());
 }
 
+TEST(RouterTraceTest, RoutedTraceMergesShardSubTraces) {
+  ClusterFixture cluster(testing::RandomGraph(60, 240, 11));
+  const VertexId v = cluster.plan().shards[0].end;  // owned by shard 1
+  auto plain =
+      HttpGet(cluster.router_port(), StrFormat("/v1/single_source?v=%u", v));
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(plain->status, 200);
+  auto traced = HttpGet(cluster.router_port(),
+                        StrFormat("/v1/single_source?v=%u&trace=1", v));
+  ASSERT_TRUE(traced.ok());
+  ASSERT_EQ(traced->status, 200);
+  const std::string& body = traced->body;
+  // The routed envelope is the plain body plus one spliced trace object.
+  const std::string prefix = plain->body.substr(0, plain->body.size() - 1);
+  ASSERT_EQ(body.substr(0, prefix.size()), prefix);
+  ASSERT_NE(body.find(",\"trace\":{\"trace_id\":\""), std::string::npos);
+
+  // Router-side stages: the row fetch from v's owner, one exchange span
+  // per shard (timed on the fan-out threads), and the merge.
+  EXPECT_NE(body.find("\"stage\":\"row_fetch\""), std::string::npos);
+  EXPECT_NE(body.find("\"stage\":\"merge\""), std::string::npos);
+  size_t cursor = body.find("\"stage\":\"request\"");
+  ASSERT_NE(cursor, std::string::npos);
+  const double root_duration = FindJsonNumber(body, "duration_ns", &cursor);
+  EXPECT_GT(root_duration, 0.0);
+  for (const char* detail : {"\"detail\":\"shard=0\"",
+                             "\"detail\":\"shard=1\""}) {
+    size_t at = body.find("\"stage\":\"shard_exchange\"");
+    ASSERT_NE(at, std::string::npos);
+    ASSERT_NE(body.find(detail), std::string::npos);
+  }
+  // Every shard exchange fits inside the routed request.
+  size_t at = 0;
+  int exchanges = 0;
+  while ((at = body.find("\"stage\":\"shard_exchange\"", at)) !=
+         std::string::npos) {
+    size_t span_cursor = at;
+    const double duration =
+        FindJsonNumber(body, "duration_ns", &span_cursor);
+    EXPECT_GT(duration, 0.0);
+    EXPECT_LE(duration, root_duration);
+    ++exchanges;
+    ++at;
+  }
+  EXPECT_EQ(exchanges, 2);
+
+  // The row fetch plus both fanned exchanges each contacted a shard and
+  // brought back that shard's own trace as a child document.
+  cursor = body.find("\"counters\":{");
+  ASSERT_NE(cursor, std::string::npos);
+  EXPECT_EQ(FindJsonNumber(body, "shards_contacted", &cursor), 3.0);
+  const size_t children_at = body.find("\"children\":[");
+  ASSERT_NE(children_at, std::string::npos);
+  int children = 0;
+  at = children_at;
+  while ((at = body.find("{\"trace_id\":\"", at)) != std::string::npos) {
+    ++children;
+    ++at;
+  }
+  EXPECT_EQ(children, 3);
+  // Shard sub-traces carry shard-side stages the router never records.
+  EXPECT_NE(body.find("\"stage\":\"queue_wait\"", children_at),
+            std::string::npos);
+}
+
+TEST(RouterTraceTest, HeaderChannelKeepsRoutedBodyIdentical) {
+  ClusterFixture cluster(testing::RandomGraph(60, 240, 11));
+  const uint32_t boundary = cluster.plan().shards[0].end;
+  // A cross-shard pair: a on shard 0, b on shard 1.
+  const std::string target =
+      StrFormat("/v1/pair?a=%u&b=%u", boundary - 1, boundary);
+  auto client = LoopbackHttpClient::Connect(cluster.router_port());
+  ASSERT_TRUE(client.ok());
+  auto plain = client->Get(target);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(plain->status, 200);
+  auto traced = client->Get(target, {{"X-Simrank-Trace", "1234abcd"}});
+  ASSERT_TRUE(traced.ok());
+  ASSERT_EQ(traced->status, 200);
+  EXPECT_EQ(traced->body, plain->body)
+      << "the header channel must never perturb a routed body";
+  const std::string* json = traced->FindHeader("x-simrank-trace-json");
+  ASSERT_NE(json, nullptr);
+  EXPECT_NE(json->find("\"trace_id\":\"000000001234abcd\""),
+            std::string::npos);
+  EXPECT_NE(json->find("\"stage\":\"row_fetch\""), std::string::npos);
+  EXPECT_NE(json->find("\"stage\":\"shard_exchange\""), std::string::npos);
+  EXPECT_NE(json->find("\"children\":["), std::string::npos);
+
+  // Traced requests surface in the router's stats and metrics.
+  auto stats = HttpGet(cluster.router_port(), "/v1/stats");
+  ASSERT_TRUE(stats.ok());
+  size_t cursor = stats->body.find("\"trace\":{");
+  ASSERT_NE(cursor, std::string::npos);
+  EXPECT_GE(FindJsonNumber(stats->body, "traced_requests", &cursor), 1.0);
+  auto metrics = HttpGet(cluster.router_port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find("simrank_router_traced_requests_total"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace simrank

@@ -1,0 +1,276 @@
+// Unit tests for the tracing subsystem: the span recorder and its JSON,
+// trace-id parsing, thread-local binding, the slow-query ring and the
+// background JSONL sink.
+#include "simrank/obs/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simrank/common/string_util.h"
+#include "simrank/obs/log_sink.h"
+#include "simrank/obs/slow_query_log.h"
+
+namespace simrank {
+namespace {
+
+TEST(TraceId, GenerateIsNonZeroAndDistinct) {
+  const uint64_t a = GenerateTraceId();
+  const uint64_t b = GenerateTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceId, HexRoundTrip) {
+  const uint64_t id = 0x0123456789abcdefULL;
+  const std::string hex = TraceIdToHex(id);
+  EXPECT_EQ(hex, "0123456789abcdef");
+  uint64_t parsed = 0;
+  ASSERT_TRUE(ParseTraceId(hex, &parsed));
+  EXPECT_EQ(parsed, id);
+}
+
+TEST(TraceId, ParseRejectsMalformed) {
+  uint64_t parsed = 42;
+  EXPECT_FALSE(ParseTraceId("", &parsed));
+  EXPECT_FALSE(ParseTraceId("xyz", &parsed));
+  EXPECT_FALSE(ParseTraceId("0", &parsed));  // zero id is reserved
+  EXPECT_FALSE(ParseTraceId("00000000000000000", &parsed));  // 17 digits
+  EXPECT_FALSE(ParseTraceId("12 34", &parsed));
+  EXPECT_EQ(parsed, 42u) << "failed parse must not clobber the output";
+  EXPECT_TRUE(ParseTraceId("f", &parsed));
+  EXPECT_EQ(parsed, 0xfu);
+}
+
+TEST(TraceRecorder, ZeroIdGetsGenerated) {
+  TraceRecorder recorder(0);
+  EXPECT_NE(recorder.trace_id(), 0u);
+  TraceRecorder pinned(0x1234);
+  EXPECT_EQ(pinned.trace_id(), 0x1234u);
+}
+
+TEST(TraceRecorder, NestingSetsParents) {
+  TraceRecorder recorder(1);
+  const int root = recorder.OpenSpan(TraceStage::kRequest, "pair");
+  const int child = recorder.OpenSpan(TraceStage::kCacheLookup);
+  const int grandchild = recorder.OpenSpan(TraceStage::kDecode);
+  recorder.CloseSpan(grandchild);
+  recorder.CloseSpan(child);
+  const int sibling = recorder.OpenSpan(TraceStage::kSerialize);
+  recorder.CloseSpan(sibling);
+  recorder.CloseSpan(root);
+
+  ASSERT_EQ(recorder.num_spans(), 4u);
+  EXPECT_EQ(recorder.span(0).parent, -1);
+  EXPECT_EQ(recorder.span(1).parent, 0);
+  EXPECT_EQ(recorder.span(2).parent, 1);
+  EXPECT_EQ(recorder.span(3).parent, 0);
+  EXPECT_STREQ(recorder.span(0).detail, "pair");
+  EXPECT_EQ(recorder.span(0).start_ns, 0u)
+      << "first span anchors the relative timeline";
+  // The root closed last, so it covers every child.
+  EXPECT_GE(recorder.span(0).duration_ns, recorder.span(1).duration_ns);
+  EXPECT_GE(recorder.span(1).duration_ns, recorder.span(2).duration_ns);
+}
+
+TEST(TraceRecorder, CloseIgnoresInvalidIndex) {
+  TraceRecorder recorder(1);
+  recorder.CloseSpan(-1);
+  recorder.CloseSpan(7);
+  EXPECT_EQ(recorder.num_spans(), 0u);
+}
+
+TEST(TraceRecorder, AddCompletedSpanUsesAbsoluteStart) {
+  TraceRecorder recorder(1);
+  const int root = recorder.OpenSpan(TraceStage::kRequest);
+  const uint64_t start = TraceNowNanos();
+  recorder.AddCompletedSpan(TraceStage::kShardExchange, start, 1500,
+                            "shard=1");
+  recorder.CloseSpan(root);
+  ASSERT_EQ(recorder.num_spans(), 2u);
+  EXPECT_EQ(recorder.span(1).duration_ns, 1500u);
+  EXPECT_STREQ(recorder.span(1).detail, "shard=1");
+  // A start earlier than the recorder's first span clamps to 0 instead
+  // of underflowing.
+  recorder.AddCompletedSpan(TraceStage::kQueueWait, 1, 10);
+  EXPECT_EQ(recorder.span(2).start_ns, 0u);
+}
+
+TEST(TraceRecorder, DropsBeyondCapacityAndCounts) {
+  TraceRecorder recorder(1);
+  for (uint32_t i = 0; i < TraceRecorder::kMaxSpans + 10; ++i) {
+    const int span = recorder.OpenSpan(TraceStage::kCacheLookup);
+    if (i < TraceRecorder::kMaxSpans) {
+      EXPECT_GE(span, 0);
+    } else {
+      EXPECT_EQ(span, -1);
+    }
+    recorder.CloseSpan(span);
+  }
+  EXPECT_EQ(recorder.num_spans(), TraceRecorder::kMaxSpans);
+  EXPECT_EQ(recorder.dropped_spans(), 10u);
+  EXPECT_NE(recorder.ToJson().find("\"dropped_spans\":10"),
+            std::string::npos);
+}
+
+TEST(TraceRecorder, DetailTruncates) {
+  TraceRecorder recorder(1);
+  const std::string long_detail(100, 'x');
+  recorder.OpenSpan(TraceStage::kRequest, long_detail);
+  EXPECT_EQ(std::strlen(recorder.span(0).detail),
+            TraceSpan::kDetailCapacity - 1);
+}
+
+TEST(TraceRecorder, JsonShape) {
+  TraceRecorder recorder(0xabcd);
+  const int root = recorder.OpenSpan(TraceStage::kRequest, "topk");
+  recorder.Add(TraceCounter::kCacheHits, 2);
+  recorder.Add(TraceCounter::kBytesRead, 4096);
+  recorder.CloseSpan(root);
+  recorder.AddChildTrace("{\"trace_id\":\"beef\",\"spans\":[]}");
+  recorder.AddChildTrace("not json");  // ignored
+
+  const std::string json = recorder.ToJson();
+  EXPECT_EQ(json.find('\n'), std::string::npos)
+      << "trace JSON must be header-safe (single line)";
+  EXPECT_NE(json.find("\"trace_id\":\"000000000000abcd\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"stage\":\"request\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"topk\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hits\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_read\":4096"), std::string::npos);
+  ASSERT_EQ(recorder.children().size(), 1u);
+  EXPECT_NE(json.find("\"children\":[{\"trace_id\":\"beef\""),
+            std::string::npos);
+  EXPECT_EQ(json.find("dropped_spans"), std::string::npos)
+      << "dropped_spans omitted when zero";
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TraceBinding, ScopesAreNoOpsWithoutRecorder) {
+  EXPECT_EQ(CurrentTraceRecorder(), nullptr);
+  {
+    TraceScope scope(TraceStage::kCacheLookup);
+    TraceAdd(TraceCounter::kCacheHits, 1);
+  }
+  EXPECT_EQ(CurrentTraceRecorder(), nullptr);
+}
+
+TEST(TraceBinding, BindsAndRestores) {
+  TraceRecorder outer(1);
+  TraceRecorder inner(2);
+  {
+    TraceBinding bind_outer(&outer);
+    EXPECT_EQ(CurrentTraceRecorder(), &outer);
+    {
+      TraceBinding bind_inner(&inner);
+      EXPECT_EQ(CurrentTraceRecorder(), &inner);
+      TraceScope scope(TraceStage::kDecode);
+      TraceAdd(TraceCounter::kRowsDecoded, 3);
+    }
+    EXPECT_EQ(CurrentTraceRecorder(), &outer);
+  }
+  EXPECT_EQ(CurrentTraceRecorder(), nullptr);
+  EXPECT_EQ(inner.num_spans(), 1u);
+  EXPECT_EQ(inner.counter(TraceCounter::kRowsDecoded), 3u);
+  EXPECT_EQ(outer.num_spans(), 0u);
+}
+
+TEST(TraceBinding, IsPerThread) {
+  TraceRecorder recorder(1);
+  TraceBinding binding(&recorder);
+  std::thread other([] {
+    EXPECT_EQ(CurrentTraceRecorder(), nullptr)
+        << "a binding must not leak into other threads";
+  });
+  other.join();
+}
+
+TEST(TraceStageNames, AllDistinctAndNonEmpty) {
+  std::vector<std::string> seen;
+  for (uint32_t i = 0; i < kNumTraceStages; ++i) {
+    const char* name = TraceStageName(static_cast<TraceStage>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_NE(std::strlen(name), 0u);
+    for (const std::string& previous : seen) EXPECT_NE(previous, name);
+    seen.push_back(name);
+  }
+  for (uint32_t i = 0; i < kNumTraceCounters; ++i) {
+    ASSERT_NE(TraceCounterName(static_cast<TraceCounter>(i)), nullptr);
+  }
+}
+
+TEST(SlowQueryLog, EvictsOldestFirst) {
+  SlowQueryLog log(3);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    SlowQueryEntry entry;
+    entry.trace_id = i;
+    entry.duration_micros = i * 100;
+    entry.target = StrFormat("/v1/pair?a=%llu",
+                             static_cast<unsigned long long>(i));
+    log.Record(std::move(entry));
+  }
+  EXPECT_EQ(log.total_recorded(), 5u);
+  EXPECT_EQ(log.capacity(), 3u);
+  const std::vector<SlowQueryEntry> entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].trace_id, 3u);
+  EXPECT_EQ(entries[1].trace_id, 4u);
+  EXPECT_EQ(entries[2].trace_id, 5u);
+}
+
+TEST(SlowQueryLog, ZeroCapacityDropsEverything) {
+  SlowQueryLog log(0);
+  log.Record(SlowQueryEntry{});
+  EXPECT_TRUE(log.Snapshot().empty());
+}
+
+TEST(JsonlLogSink, AppendsLinesInOrder) {
+  const std::string path =
+      StrFormat("/tmp/simrank-trace-test-%d.jsonl", getpid());
+  std::remove(path.c_str());
+  {
+    auto sink = JsonlLogSink::Open(path);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    for (int i = 0; i < 100; ++i) {
+      (*sink)->Append(StrFormat("{\"i\":%d}", i));
+    }
+    (*sink)->Flush();
+    EXPECT_EQ((*sink)->lines_written(), 100u);
+    EXPECT_EQ((*sink)->lines_dropped(), 0u);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char chunk[4096];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    content.append(chunk, got);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  int lines = 0;
+  size_t at = 0;
+  while ((at = content.find('\n', at)) != std::string::npos) {
+    ++lines;
+    ++at;
+  }
+  EXPECT_EQ(lines, 100);
+  EXPECT_EQ(content.substr(0, 8), "{\"i\":0}\n");
+  EXPECT_NE(content.find("{\"i\":99}\n"), std::string::npos);
+}
+
+TEST(JsonlLogSink, OpenFailsOnBadPath) {
+  auto sink = JsonlLogSink::Open("/nonexistent-dir/x/y.jsonl");
+  EXPECT_FALSE(sink.ok());
+}
+
+}  // namespace
+}  // namespace simrank

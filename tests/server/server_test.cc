@@ -738,6 +738,252 @@ TEST(ServerTest, ShutdownWaitsForInflightQueries) {
   EXPECT_TRUE(fixture->serve_status().ok());
 }
 
+TEST(ServerTraceTest, InlineTraceSplicesIntoEnvelope) {
+  ServerFixture fixture;
+  auto plain = HttpGet(fixture.port(), "/v1/pair?a=0&b=1");
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(plain->status, 200);
+  auto traced = HttpGet(fixture.port(), "/v1/pair?a=0&b=1&trace=1");
+  ASSERT_TRUE(traced.ok());
+  ASSERT_EQ(traced->status, 200);
+  // The traced envelope is the plain body with one ,"trace":{...} object
+  // spliced before the closing brace — everything before it is unchanged.
+  const std::string prefix = plain->body.substr(0, plain->body.size() - 1);
+  EXPECT_EQ(traced->body.substr(0, prefix.size()), prefix);
+  EXPECT_NE(traced->body.find(",\"trace\":{\"trace_id\":\""),
+            std::string::npos);
+  EXPECT_NE(traced->body.find("\"spans\":["), std::string::npos);
+  EXPECT_NE(traced->body.find("\"stage\":\"request\""), std::string::npos);
+  EXPECT_NE(traced->body.find("\"stage\":\"queue_wait\""),
+            std::string::npos);
+  EXPECT_NE(traced->body.find("\"stage\":\"serialize\""),
+            std::string::npos);
+  EXPECT_NE(traced->body.find("\"counters\":{"), std::string::npos);
+  // The engine's cache instrumentation fed the trace: 0/1 was never
+  // queried before, so the lookup missed.
+  EXPECT_NE(traced->body.find("\"cache_misses\":"), std::string::npos);
+  EXPECT_EQ(traced->body.back(), '}');
+
+  // ?trace=0 is an explicit off; anything else is a client error.
+  auto off = HttpGet(fixture.port(), "/v1/pair?a=0&b=1&trace=0");
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off->body, plain->body);
+  auto bad = HttpGet(fixture.port(), "/v1/pair?a=0&b=1&trace=2");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, 400);
+}
+
+TEST(ServerTraceTest, HeaderChannelLeavesBodyUntouched) {
+  ServerFixture fixture;
+  auto client = LoopbackHttpClient::Connect(fixture.port());
+  ASSERT_TRUE(client.ok());
+  auto plain = client->Get("/v1/topk?v=3&k=5");
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(plain->status, 200);
+  auto traced =
+      client->Get("/v1/topk?v=3&k=5", {{"X-Simrank-Trace", "abc123"}});
+  ASSERT_TRUE(traced.ok());
+  ASSERT_EQ(traced->status, 200);
+  EXPECT_EQ(traced->body, plain->body)
+      << "the header channel must never perturb a response body";
+  const std::string* json = traced->FindHeader("x-simrank-trace-json");
+  ASSERT_NE(json, nullptr);
+  // The caller's trace id is echoed back, zero-padded to 16 digits.
+  EXPECT_NE(json->find("\"trace_id\":\"0000000000abc123\""),
+            std::string::npos);
+  EXPECT_NE(json->find("\"stage\":\"request\""), std::string::npos);
+  // A malformed trace id is ignored, not an error.
+  auto ignored =
+      client->Get("/v1/topk?v=3&k=5", {{"X-Simrank-Trace", "zzz"}});
+  ASSERT_TRUE(ignored.ok());
+  EXPECT_EQ(ignored->status, 200);
+  EXPECT_EQ(ignored->FindHeader("x-simrank-trace-json"), nullptr);
+}
+
+TEST(ServerTraceTest, DisabledResponsesBitwiseIdenticalAcrossBackends) {
+  // Four servers over the same saved index — {raw, compressed} x
+  // {in-memory, mmap} — all with the tracing subsystem armed (sampling
+  // on every request) plus the plain fixture as reference. Tracing must
+  // not change one body byte on any backend.
+  ServerFixture reference;
+  const std::string base = ::testing::TempDir() + "trace-backends";
+  struct Combo {
+    std::string path;
+    bool compress;
+    bool mmap;
+  };
+  std::vector<Combo> combos = {{base + "-raw.widx", false, false},
+                               {base + "-raw.widx", false, true},
+                               {base + "-comp.widx", true, false},
+                               {base + "-comp.widx", true, true}};
+  WalkIndex::SaveOptions save;
+  save.compress = false;
+  ASSERT_TRUE(reference.index().Save(combos[0].path, save).ok());
+  save.compress = true;
+  ASSERT_TRUE(reference.index().Save(combos[2].path, save).ok());
+
+  const std::vector<std::string> targets = {
+      "/v1/pair?a=7&b=21", "/v1/single_source?v=9", "/v1/topk?v=4&k=6"};
+  std::vector<std::string> expected;
+  for (const std::string& target : targets) {
+    auto response = HttpGet(reference.port(), target);
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status, 200);
+    expected.push_back(response->body);
+  }
+
+  for (const Combo& combo : combos) {
+    WalkIndex::LoadOptions load;
+    load.use_mmap = combo.mmap;
+    auto index = WalkIndex::Load(combo.path, load);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    QueryEngine engine(*index);
+    ServerOptions options;
+    options.port = 0;
+    options.trace_sample = 1.0;  // every request traced, nothing inline
+    SimRankServer server(engine, options);
+    ASSERT_TRUE(server.Bind().ok());
+    std::thread serve([&server] { ASSERT_TRUE(server.Serve().ok()); });
+    auto client = LoopbackHttpClient::Connect(server.port());
+    ASSERT_TRUE(client.ok());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      auto sampled = client->Get(targets[i]);
+      ASSERT_TRUE(sampled.ok());
+      ASSERT_EQ(sampled->status, 200);
+      EXPECT_EQ(sampled->body, expected[i])
+          << targets[i] << " differs on "
+          << (combo.compress ? "compressed" : "raw") << "/"
+          << (combo.mmap ? "mmap" : "in-memory");
+      auto header_traced =
+          client->Get(targets[i], {{"X-Simrank-Trace", "feed"}});
+      ASSERT_TRUE(header_traced.ok());
+      EXPECT_EQ(header_traced->body, expected[i]);
+    }
+    server.Shutdown();
+    serve.join();
+  }
+  std::remove(combos[0].path.c_str());
+  std::remove(combos[2].path.c_str());
+}
+
+TEST(ServerTraceTest, SlowQueryRingCapturesAndServes) {
+  ServerOptions options;
+  options.slow_query_us = 1;  // every real query is slower than 1us
+  options.slow_ring_capacity = 4;
+  ServerFixture fixture(options);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(
+        HttpGet(fixture.port(), StrFormat("/v1/pair?a=%d&b=9", i))->status,
+        200);
+  }
+  auto slow = HttpGet(fixture.port(), "/v1/debug/slow");
+  ASSERT_TRUE(slow.ok());
+  ASSERT_EQ(slow->status, 200);
+  const std::string& body = slow->body;
+  size_t cursor = 0;
+  EXPECT_EQ(FindJsonNumber(body, "capacity", &cursor), 4.0);
+  cursor = 0;
+  EXPECT_EQ(FindJsonNumber(body, "total_recorded", &cursor), 6.0);
+  cursor = 0;
+  EXPECT_EQ(FindJsonNumber(body, "threshold_us", &cursor), 1.0);
+  // The ring kept the latest 4, each with its target and full trace.
+  EXPECT_NE(body.find("\"target\":\"/v1/pair?a=5&b=9\""),
+            std::string::npos);
+  EXPECT_EQ(body.find("\"target\":\"/v1/pair?a=0&b=9\""), std::string::npos)
+      << "oldest entries must be evicted";
+  EXPECT_NE(body.find("\"trace\":{\"trace_id\":\""), std::string::npos);
+  EXPECT_NE(body.find("\"stage\":\"request\""), std::string::npos);
+
+  // The captures surface in stats, and every traced request fed the
+  // per-stage histograms.
+  auto stats = HttpGet(fixture.port(), "/v1/stats");
+  ASSERT_TRUE(stats.ok());
+  cursor = 0;
+  EXPECT_EQ(FindJsonNumber(stats->body, "slow_captured", &cursor), 6.0);
+  EXPECT_NE(stats->body.find("\"trace\":{"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"stages\":{"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"request\":{"), std::string::npos);
+  auto metrics = HttpGet(fixture.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find(
+                "# TYPE simrank_stage_duration_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find(
+                "simrank_stage_duration_seconds_bucket{stage=\"request\","),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("simrank_slow_queries_total 6"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("simrank_traced_requests_total"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find(
+                "simrank_stage_counter_total{counter=\"cache_misses\"}"),
+            std::string::npos);
+}
+
+TEST(ServerTraceTest, AccessAndTraceLogsWriteJsonl) {
+  const std::string access_path = ::testing::TempDir() + "access.jsonl";
+  const std::string trace_path = ::testing::TempDir() + "trace.jsonl";
+  std::remove(access_path.c_str());
+  std::remove(trace_path.c_str());
+  {
+    ServerOptions options;
+    options.access_log_path = access_path;
+    options.trace_log_path = trace_path;
+    options.slow_query_us = 1;
+    ServerFixture fixture(options);
+    ASSERT_EQ(HttpGet(fixture.port(), "/v1/pair?a=0&b=1")->status, 200);
+    ASSERT_EQ(HttpGet(fixture.port(), "/healthz")->status, 200);
+    ASSERT_EQ(HttpGet(fixture.port(), "/nope")->status, 404);
+  }  // server destruction drains both sinks
+
+  auto read_file = [](const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    OIPSIM_CHECK_MSG(f != nullptr, "missing log %s", path.c_str());
+    std::string content;
+    char chunk[4096];
+    size_t got = 0;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      content.append(chunk, got);
+    }
+    std::fclose(f);
+    return content;
+  };
+  const std::string access = read_file(access_path);
+  // One line per request — query, healthz and the 404 all flow through
+  // the same response path.
+  EXPECT_NE(access.find("\"method\":\"GET\",\"path\":\"/v1/pair\","
+                        "\"status\":200"),
+            std::string::npos);
+  EXPECT_NE(access.find("\"path\":\"/healthz\",\"status\":200"),
+            std::string::npos);
+  EXPECT_NE(access.find("\"path\":\"/nope\",\"status\":404"),
+            std::string::npos);
+  EXPECT_NE(access.find("\"unix_micros\":"), std::string::npos);
+  EXPECT_NE(access.find("\"micros\":"), std::string::npos);
+  // The dispatched query was traced (slow capture), so its access line
+  // carries the trace id for correlation with the trace log.
+  EXPECT_NE(access.find("\"trace_id\":\""), std::string::npos);
+
+  const std::string trace = read_file(trace_path);
+  EXPECT_NE(trace.find("\"target\":\"/v1/pair?a=0&b=1\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"trace\":{\"trace_id\":\""), std::string::npos);
+  std::remove(access_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(ServerTraceTest, ValidateRejectsBadTraceOptions) {
+  ServerOptions options;
+  options.trace_sample = 1.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options = ServerOptions();
+  options.trace_sample = -0.1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = ServerOptions();
+  options.slow_ring_capacity = 1 << 20;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
 TEST(ServerOptionsTest, ValidateRejectsZeroCaps) {
   ServerOptions options;
   options.max_inflight = 0;

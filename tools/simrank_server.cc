@@ -10,6 +10,9 @@
 //                        [--graph=PATH --wal=PATH]
 //                        [--compact-to=PATH] [--compact-graph-to=PATH]
 //                        [--no-sync-wal] [--no-uring]
+//                        [--trace-sample=F] [--slow-query-us=N]
+//                        [--slow-ring=N] [--trace-log=PATH]
+//                        [--access-log=PATH]
 //
 // Serves GET /v1/pair, /v1/single_source, /v1/topk, POST /v1/batch_pair,
 // /v1/stats, /metrics and /healthz (see src/simrank/server/server.h for
@@ -87,6 +90,8 @@ void PrintUsage(const char* argv0) {
       "       [--auto-compact-fraction=F]\n"
       "       [--shard-plan=PLAN --shard-id=N] [--replica]\n"
       "       [--tail-from=PORT] [--no-uring]\n"
+      "       [--trace-sample=F] [--slow-query-us=N] [--slow-ring=N]\n"
+      "       [--trace-log=PATH] [--access-log=PATH]\n"
       "\nServes GET /v1/pair?a=&b=, /v1/single_source?v=, /v1/topk?v=&k=,\n"
       "POST /v1/batch_pair, /v1/stats, /metrics and /healthz over the\n"
       "given walk index. --port=0 picks a free port. Requests beyond\n"
@@ -105,7 +110,15 @@ void PrintUsage(const char* argv0) {
       "--replica rejects public writes with 403; --tail-from=PORT keeps a\n"
       "replica current by tailing that primary's /v1/wal stream.\n"
       "--no-uring disables the io_uring batched cold-read path (plain\n"
-      "preadv/fadvise fallback); SIMRANK_NO_URING=1 does the same.\n",
+      "preadv/fadvise fallback); SIMRANK_NO_URING=1 does the same.\n"
+      "Observability: any query accepts ?trace=1 (per-stage spans inline\n"
+      "in the response) or an X-Simrank-Trace header (trace returned in\n"
+      "the X-Simrank-Trace-Json response header; body unchanged).\n"
+      "--trace-sample=F traces a random fraction of requests;\n"
+      "--slow-query-us=N traces everything and captures queries slower\n"
+      "than N us in a ring served at GET /v1/debug/slow (--slow-ring=N\n"
+      "entries, default 64). --trace-log appends captured traces as\n"
+      "JSONL; --access-log appends one JSONL line per request.\n",
       argv0);
 }
 
@@ -206,6 +219,30 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
       options->server.shard_id = static_cast<uint32_t>(u);
     } else if (arg == "--replica") {
       options->server.replica = true;
+    } else if (simrank::StartsWith(arg, "--trace-sample=")) {
+      double fraction = 0.0;
+      if (!simrank::ParseDouble(value_of("--trace-sample="), &fraction) ||
+          fraction < 0.0 || fraction > 1.0) {
+        std::fprintf(stderr, "--trace-sample must be in [0, 1]\n");
+        return false;
+      }
+      options->server.trace_sample = fraction;
+    } else if (simrank::StartsWith(arg, "--slow-query-us=")) {
+      if (!simrank::ParseUint64(value_of("--slow-query-us="), &u)) {
+        return false;
+      }
+      options->server.slow_query_us = u;
+    } else if (simrank::StartsWith(arg, "--slow-ring=")) {
+      if (!simrank::ParseUint64(value_of("--slow-ring="), &u) || u == 0 ||
+          u > 65536) {
+        std::fprintf(stderr, "--slow-ring must be 1..65536\n");
+        return false;
+      }
+      options->server.slow_ring_capacity = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--trace-log=")) {
+      options->server.trace_log_path = value_of("--trace-log=");
+    } else if (simrank::StartsWith(arg, "--access-log=")) {
+      options->server.access_log_path = value_of("--access-log=");
     } else if (simrank::StartsWith(arg, "--tail-from=")) {
       if (!simrank::ParseUint64(value_of("--tail-from="), &u) || u == 0 ||
           u > 65535) {
