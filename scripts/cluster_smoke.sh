@@ -141,10 +141,31 @@ for port in $SINGLE_PORT $SHARD0_PORT $SHARD1_PORT $REPLICA_PORT; do
   wait_healthz $port
 done
 "$ROUTER" --plan="$WORK/plan.txt" --port=$ROUTER_PORT \
-  --shard 0=$SHARD0_PORT,$REPLICA_PORT --shard 1=$SHARD1_PORT &
+  --shard 0=$SHARD0_PORT,$REPLICA_PORT --shard 1=$SHARD1_PORT \
+  --scrape-interval-ms=200 --scrape-timeout-ms=300 &
 ROUTER_PID=$!
 PIDS+=($ROUTER_PID)
 wait_healthz $ROUTER_PORT
+
+echo "== fleet health: every target scraped healthy"
+for _ in $(seq 1 100); do
+  curl -fs "$BASE:$ROUTER_PORT/v1/cluster/health" >"$WORK/health.body" || true
+  if grep -q '"healthy":true' "$WORK/health.body" &&
+    ! grep -q '"healthy":false' "$WORK/health.body"; then break; fi
+  sleep 0.1
+done
+fetch_expect "$BASE:$ROUTER_PORT/v1/cluster/health" '"scraping":true' \
+  '"role":"replica"' '"uptime_seconds"'
+if grep -q '"healthy":false' "$WORK/health.body"; then
+  echo "FAIL: a scraped target never became healthy" >&2
+  cat "$WORK/health.body" >&2
+  exit 1
+fi
+fetch_expect "$BASE:$ROUTER_PORT/metrics" \
+  'simrank_fleet_target_healthy{shard="0",role="primary"} 1' \
+  'simrank_fleet_target_healthy{shard="1",role="primary"} 1' \
+  'simrank_uptime_seconds{shard="0",role="primary"}' \
+  'simrank_uptime_seconds{shard="1",role="primary"}'
 
 echo "== routed queries are byte-identical to single-node"
 expect_same '/v1/pair?a=0&b=1'           # both in shard 0
@@ -216,6 +237,17 @@ FAILOVERS=$(awk '$1 == "simrank_router_failovers_total" {print $2}' \
   "$WORK/router.metrics")
 test "${FAILOVERS:-0}" -ge 1
 fetch_expect "$BASE:$ROUTER_PORT/v1/stats" '"failovers":'
+
+echo "== fleet health reflects the killed primary within a scrape interval"
+for _ in $(seq 1 100); do
+  curl -fs "$BASE:$ROUTER_PORT/v1/cluster/health" >"$WORK/health.body" || true
+  if grep -q '"healthy":false' "$WORK/health.body"; then break; fi
+  sleep 0.1
+done
+grep -q '"healthy":false' "$WORK/health.body"
+fetch_expect "$BASE:$ROUTER_PORT/metrics" \
+  'simrank_fleet_target_healthy{shard="0",role="primary"} 0' \
+  'simrank_fleet_target_healthy{shard="0",role="replica"} 1'
 
 echo "== updates need every primary: 503 + Retry-After with one dead"
 DEAD_CODE=$(printf '+ 1 0\n' |

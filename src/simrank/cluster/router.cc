@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <optional>
 #include <utility>
 
+#include "simrank/common/build_info.h"
 #include "simrank/common/json_writer.h"
+#include "simrank/common/memory_tracker.h"
+#include "simrank/common/simd.h"
 #include "simrank/common/string_util.h"
 #include "simrank/graph/graph_io.h"
+#include "simrank/index/segment_reader.h"
 #include "simrank/server/server.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -68,6 +74,17 @@ bool ParseHexFingerprint(const std::string& text, uint64_t* out) {
   return true;
 }
 
+/// Prefixes a Prometheus label block with shard/role labels, e.g.
+/// `{endpoint="pair"}` + shard 1 primary ->
+/// `{shard="1",role="primary",endpoint="pair"}`.
+std::string InjectShardLabels(const std::string& labels, uint32_t shard_id,
+                              const char* role) {
+  const std::string injected =
+      StrFormat("shard=\"%u\",role=\"%s\"", shard_id, role);
+  if (labels.empty()) return "{" + injected + "}";
+  return "{" + injected + "," + labels.substr(1);
+}
+
 #if OIPSIM_ROUTER_HAVE_SOCKETS
 bool SendAll(int fd, std::string_view bytes) {
   size_t sent = 0;
@@ -110,6 +127,25 @@ Status RouterOptions::Validate() const {
   }
   if (timeout_ms == 0) {
     return Status::InvalidArgument("--timeout-ms must be positive");
+  }
+  if (scrape_interval_ms > 0 && scrape_timeout_ms == 0) {
+    return Status::InvalidArgument(
+        "--scrape-timeout-ms must be positive when fleet scraping is on");
+  }
+  if (metrics_history_window_s > 0 && metrics_history_interval_ms == 0) {
+    return Status::InvalidArgument(
+        "--metrics-history-interval-ms must be positive");
+  }
+  if (!profile_log_path.empty()) {
+    if (profile_log_hz == 0 || profile_log_hz > CpuProfiler::kMaxHz) {
+      return Status::InvalidArgument(
+          StrFormat("--profile-log-hz=%u is not in [1, %u]", profile_log_hz,
+                    CpuProfiler::kMaxHz));
+    }
+    if (profile_log_period_s == 0) {
+      return Status::InvalidArgument(
+          "--profile-log-period must be positive");
+    }
   }
   return Status::OK();
 }
@@ -193,6 +229,15 @@ RouterStats SimRankRouter::stats() const {
   stats.shard_errors = stat_shard_errors_.load(std::memory_order_relaxed);
   stats.traced_requests =
       stat_traced_requests_.load(std::memory_order_relaxed);
+  stats.requests_cluster_health =
+      stat_requests_cluster_health_.load(std::memory_order_relaxed);
+  stats.requests_debug_profile =
+      stat_requests_debug_profile_.load(std::memory_order_relaxed);
+  stats.requests_debug_timeseries =
+      stat_requests_debug_timeseries_.load(std::memory_order_relaxed);
+  stats.scrape_rounds = stat_scrape_rounds_.load(std::memory_order_relaxed);
+  stats.scrape_failures =
+      stat_scrape_failures_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -221,6 +266,43 @@ Status SimRankRouter::Bind() {
                                                       options_.timeout_ms));
       }
     }
+  }
+  {
+    // One scrape target per fleet process; the vector never resizes after
+    // Bind, so the scrape thread updates entries in place.
+    std::lock_guard<std::mutex> lock(targets_mutex_);
+    targets_.clear();
+    for (const RouterShard& shard : options_.shards) {
+      TargetState primary;
+      primary.shard_id = shard.shard_id;
+      primary.port = shard.primary_port;
+      targets_.push_back(std::move(primary));
+      if (shard.replica_port != 0) {
+        TargetState replica;
+        replica.shard_id = shard.shard_id;
+        replica.replica = true;
+        replica.port = shard.replica_port;
+        targets_.push_back(std::move(replica));
+      }
+    }
+  }
+  if (options_.metrics_history_window_s > 0 && metrics_history_ == nullptr) {
+    MetricsHistory::Options history_options;
+    history_options.window_seconds = options_.metrics_history_window_s;
+    history_options.interval_ms = options_.metrics_history_interval_ms;
+    metrics_history_ = std::make_unique<MetricsHistory>(history_options);
+  }
+  if (!options_.profile_log_path.empty() && profile_logger_ == nullptr) {
+    ProfileLogger::Options logger_options;
+    logger_options.path = options_.profile_log_path;
+    logger_options.frequency_hz = options_.profile_log_hz;
+    logger_options.period_seconds = options_.profile_log_period_s;
+    // A slice of each period, matching the server: full duty would hold
+    // the singleton profiler and starve on-demand sessions.
+    logger_options.duty_cycle = 0.1;
+    auto logger = ProfileLogger::Start(logger_options);
+    if (!logger.ok()) return logger.status();
+    profile_logger_ = std::move(*logger);
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::IoError("socket() failed");
@@ -265,6 +347,7 @@ Status SimRankRouter::Start() {
   }
   stop_.store(false, std::memory_order_relaxed);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  StartDiagnostics();
   return Status::OK();
 }
 
@@ -274,6 +357,7 @@ void SimRankRouter::RequestStop() {
 }
 
 void SimRankRouter::Shutdown() {
+  StopDiagnostics();
   stop_.store(true, std::memory_order_relaxed);
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
@@ -292,6 +376,7 @@ void SimRankRouter::Shutdown() {
 }
 
 void SimRankRouter::AcceptLoop() {
+  ScopedProfiledThread profiled("router-accept");
   while (!stop_.load(std::memory_order_relaxed)) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -311,6 +396,7 @@ void SimRankRouter::AcceptLoop() {
 }
 
 void SimRankRouter::HandleConnection(int fd) {
+  ScopedProfiledThread profiled("router-conn");
   std::string buffer;
   while (true) {
     HttpRequest request;
@@ -358,6 +444,7 @@ void SimRankRouter::HandleConnection(int fd) {
       CountResponse(response.status);
       HttpResponseOptions response_options;
       response_options.keep_alive = request.keep_alive;
+      response_options.content_type = response.content_type;
       response_options.extra_headers = std::move(response.headers);
       if (!SendAll(fd, BuildHttpResponse(response.status, response.body,
                                          response_options))) {
@@ -1073,6 +1160,17 @@ SimRankRouter::RouterResponse SimRankRouter::BuildStats() {
   json.Key("n").Uint(options_.plan.n);
   json.Key("graph_fingerprint")
       .String(FormatFingerprint(options_.plan.graph_fingerprint));
+  json.Key("uptime_seconds").Double(UptimeSeconds());
+  const BuildInfo& build = GetBuildInfo();
+  json.Key("build_info").BeginObject();
+  json.Key("version").String(build.git_describe);
+  json.Key("compiler").String(build.compiler);
+  json.Key("build_type").String(build.build_type);
+  json.Key("cxx_standard").String(build.cxx_standard);
+  json.Key("simd").String(SimdLevelName(ActiveSimdLevel()));
+  json.Key("io_uring_compiled").Bool(SegmentReader::BuildSupportsIoUring());
+  json.Key("io_uring_enabled").Bool(SegmentReader::IoUringEnabled());
+  json.EndObject();
   json.Key("requests").BeginObject();
   json.Key("total").Uint(stats.requests_total);
   json.Key("pair").Uint(stats.requests_pair);
@@ -1083,6 +1181,9 @@ SimRankRouter::RouterResponse SimRankRouter::BuildStats() {
   json.Key("stats").Uint(stats.requests_stats);
   json.Key("healthz").Uint(stats.requests_healthz);
   json.Key("metrics").Uint(stats.requests_metrics);
+  json.Key("cluster_health").Uint(stats.requests_cluster_health);
+  json.Key("debug_profile").Uint(stats.requests_debug_profile);
+  json.Key("debug_timeseries").Uint(stats.requests_debug_timeseries);
   json.EndObject();
   json.Key("responses").BeginObject();
   json.Key("2xx").Uint(stats.responses_2xx);
@@ -1093,6 +1194,8 @@ SimRankRouter::RouterResponse SimRankRouter::BuildStats() {
   json.Key("failovers").Uint(stats.failovers);
   json.Key("conflicts_retried").Uint(stats.conflicts_retried);
   json.Key("shard_errors").Uint(stats.shard_errors);
+  json.Key("scrape_rounds").Uint(stats.scrape_rounds);
+  json.Key("scrape_failures").Uint(stats.scrape_failures);
   json.EndObject();
   json.Key("trace").BeginObject();
   json.Key("traced_requests").Uint(stats.traced_requests);
@@ -1152,9 +1255,381 @@ SimRankRouter::RouterResponse SimRankRouter::BuildMetrics() {
   counter("simrank_router_plan_epoch", "", options_.plan.epoch);
   type("simrank_router_shards", "gauge");
   counter("simrank_router_shards", "", options_.plan.shards.size());
+
+  const BuildInfo& build = GetBuildInfo();
+  type("simrank_build_info", "gauge");
+  out += StrFormat(
+      "simrank_build_info{version=\"%s\",compiler=\"%s\",build_type=\"%s\","
+      "simd=\"%s\",io_uring=\"%s\",role=\"router\"} 1\n",
+      build.git_describe, build.compiler, build.build_type,
+      SimdLevelName(ActiveSimdLevel()),
+      SegmentReader::IoUringEnabled() ? "true" : "false");
+  type("simrank_router_uptime_seconds", "gauge");
+  out += StrFormat("simrank_router_uptime_seconds %g\n", UptimeSeconds());
+  {
+    ProcessMemoryStats memory;
+    if (ReadProcessMemoryStats(&memory)) {
+      type("simrank_router_resident_bytes", "gauge");
+      counter("simrank_router_resident_bytes", "", memory.resident_bytes);
+    }
+  }
+
+  if (options_.scrape_interval_ms > 0) {
+    const RouterStats stats_now = this->stats();
+    type("simrank_fleet_scrape_rounds_total", "counter");
+    counter("simrank_fleet_scrape_rounds_total", "",
+            stats_now.scrape_rounds);
+    type("simrank_fleet_scrape_failures_total", "counter");
+    counter("simrank_fleet_scrape_failures_total", "",
+            stats_now.scrape_failures);
+
+    const std::vector<TargetState> targets = SnapshotTargets();
+    const uint64_t now_s = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    type("simrank_fleet_target_healthy", "gauge");
+    for (const TargetState& target : targets) {
+      out += StrFormat(
+          "simrank_fleet_target_healthy{shard=\"%u\",role=\"%s\"} %d\n",
+          target.shard_id, target.replica ? "replica" : "primary",
+          target.healthy ? 1 : 0);
+    }
+    type("simrank_fleet_scrape_age_seconds", "gauge");
+    for (const TargetState& target : targets) {
+      const uint64_t age = target.last_success_unix_s == 0
+                               ? 0
+                               : (now_s >= target.last_success_unix_s
+                                      ? now_s - target.last_success_unix_s
+                                      : 0);
+      out += StrFormat(
+          "simrank_fleet_scrape_age_seconds{shard=\"%u\",role=\"%s\"} "
+          "%llu\n",
+          target.shard_id, target.replica ? "replica" : "primary",
+          static_cast<unsigned long long>(age));
+    }
+
+    // Fleet aggregation: every family each target exports, re-emitted
+    // verbatim with shard/role labels injected so one scrape of the
+    // router sees the whole cluster. TYPE lines are merged per family
+    // (a family may appear on many targets but is declared once).
+    std::map<std::string, std::pair<std::string, std::string>> merged;
+    for (const TargetState& target : targets) {
+      if (target.metrics_text.empty()) continue;
+      const char* role = target.replica ? "replica" : "primary";
+      for (const PromFamily& family :
+           ParsePrometheusText(target.metrics_text)) {
+        auto& slot = merged[family.name];
+        if (slot.first.empty()) slot.first = family.type;
+        for (const PromSample& sample : family.samples) {
+          slot.second += StrFormat(
+              "%s%s %.17g\n", sample.name.c_str(),
+              InjectShardLabels(sample.labels, target.shard_id, role)
+                  .c_str(),
+              sample.value);
+        }
+      }
+    }
+    for (const auto& [name, family] : merged) {
+      out += StrFormat("# TYPE %s %s\n", name.c_str(),
+                       family.first.c_str());
+      out += family.second;
+    }
+  }
+
   RouterResponse response;
   response.status = 200;
+  response.content_type = "text/plain; version=0.0.4";
   response.body = std::move(out);
+  return response;
+}
+
+std::vector<SimRankRouter::TargetState> SimRankRouter::SnapshotTargets()
+    const {
+  std::lock_guard<std::mutex> lock(targets_mutex_);
+  return targets_;
+}
+
+void SimRankRouter::ScrapeOnce() {
+  const uint64_t now_s = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(targets_mutex_);
+    count = targets_.size();
+  }
+  for (size_t i = 0; i < count; ++i) {
+    uint16_t port = 0;
+    {
+      std::lock_guard<std::mutex> lock(targets_mutex_);
+      port = targets_[i].port;
+    }
+    // Dedicated short-timeout connections, never the query pools: a dead
+    // shard must cost the scraper one scrape_timeout_ms, not poison a
+    // pooled keep-alive connection a query would pick up next.
+    std::string text;
+    std::string error;
+    auto client =
+        LoopbackHttpClient::Connect(port, options_.scrape_timeout_ms);
+    if (!client.ok()) {
+      error = client.status().message();
+    } else {
+      auto response = client->Get("/metrics");
+      if (!response.ok()) {
+        error = response.status().message();
+      } else if (response->status != 200) {
+        error = StrFormat("/metrics answered HTTP %d", response->status);
+      } else {
+        text = std::move(response->body);
+      }
+    }
+    double overlay_sequence = 0;
+    double wal_records = 0;
+    double loop_lag_seconds = 0;
+    double uptime_seconds = 0;
+    double resident_bytes = 0;
+    if (error.empty()) {
+      for (const PromFamily& family : ParsePrometheusText(text)) {
+        for (const PromSample& sample : family.samples) {
+          if (sample.name == "simrank_overlay_sequence_current") {
+            overlay_sequence = sample.value;
+          } else if (sample.name == "simrank_wal_records") {
+            wal_records = sample.value;
+          } else if (sample.name == "simrank_loop_lag_seconds") {
+            loop_lag_seconds = sample.value;
+          } else if (sample.name == "simrank_uptime_seconds") {
+            uptime_seconds = sample.value;
+          } else if (sample.name == "simrank_resident_bytes") {
+            resident_bytes = sample.value;
+          }
+        }
+      }
+    } else {
+      stat_scrape_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(targets_mutex_);
+    TargetState& target = targets_[i];
+    target.last_attempt_unix_s = now_s;
+    if (error.empty()) {
+      target.healthy = true;
+      target.consecutive_failures = 0;
+      target.error.clear();
+      target.last_success_unix_s = now_s;
+      target.overlay_sequence = overlay_sequence;
+      target.wal_records = wal_records;
+      target.loop_lag_seconds = loop_lag_seconds;
+      target.uptime_seconds = uptime_seconds;
+      target.resident_bytes = resident_bytes;
+      target.metrics_text = std::move(text);
+    } else {
+      // Unhealthy from the very first failed scrape: a killed shard is
+      // reflected within one scrape interval.
+      target.healthy = false;
+      ++target.consecutive_failures;
+      target.error = std::move(error);
+      target.metrics_text.clear();
+    }
+  }
+}
+
+void SimRankRouter::ScrapeLoop() {
+  ScopedProfiledThread profiled("fleet-scrape");
+  const auto interval =
+      std::chrono::milliseconds(options_.scrape_interval_ms);
+  while (!scrape_stop_.load(std::memory_order_acquire)) {
+    ScrapeOnce();
+    stat_scrape_rounds_.fetch_add(1, std::memory_order_relaxed);
+    const auto next = std::chrono::steady_clock::now() + interval;
+    // Short slices keep Shutdown prompt at long scrape intervals.
+    while (!scrape_stop_.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < next) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+void SimRankRouter::StartDiagnostics() {
+  if (options_.scrape_interval_ms > 0 &&
+      scrape_stop_.load(std::memory_order_acquire)) {
+    scrape_stop_.store(false, std::memory_order_release);
+    scrape_thread_ = std::thread([this] { ScrapeLoop(); });
+  }
+  if (metrics_history_ != nullptr && metrics_sampler_ == nullptr) {
+    metrics_sampler_ = std::make_unique<MetricsSampler>(
+        metrics_history_.get(), [this] { return BuildMetrics().body; });
+  }
+  if (metrics_sampler_ != nullptr) metrics_sampler_->Start();
+}
+
+void SimRankRouter::StopDiagnostics() {
+  scrape_stop_.store(true, std::memory_order_release);
+  if (scrape_thread_.joinable()) scrape_thread_.join();
+  if (metrics_sampler_ != nullptr) metrics_sampler_->Stop();
+  if (profile_logger_ != nullptr) profile_logger_->Stop();
+}
+
+SimRankRouter::RouterResponse SimRankRouter::BuildClusterHealth() {
+  const std::vector<TargetState> targets = SnapshotTargets();
+  const uint64_t now_s = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("plan_epoch").Uint(options_.plan.epoch);
+  json.Key("plan_shards").Uint(options_.plan.shards.size());
+  json.Key("scraping").Bool(options_.scrape_interval_ms > 0);
+  json.Key("scrape_interval_ms").Uint(options_.scrape_interval_ms);
+  json.Key("scrape_rounds")
+      .Uint(stat_scrape_rounds_.load(std::memory_order_relaxed));
+  bool all_healthy = options_.scrape_interval_ms > 0;
+  auto emit_target = [&](const TargetState& target, const char* key,
+                         bool have_lag, double wal_lag) {
+    json.Key(key).BeginObject();
+    json.Key("port").Uint(target.port);
+    json.Key("role").String(target.replica ? "replica" : "primary");
+    json.Key("healthy").Bool(target.healthy);
+    json.Key("consecutive_failures").Uint(target.consecutive_failures);
+    if (!target.error.empty()) json.Key("error").String(target.error);
+    if (target.last_success_unix_s > 0) {
+      json.Key("last_scrape_age_seconds")
+          .Uint(now_s >= target.last_success_unix_s
+                    ? now_s - target.last_success_unix_s
+                    : 0);
+    }
+    json.Key("overlay_sequence")
+        .Uint(static_cast<uint64_t>(target.overlay_sequence));
+    json.Key("wal_records").Uint(static_cast<uint64_t>(target.wal_records));
+    if (have_lag) json.Key("wal_lag_records").Double(wal_lag);
+    json.Key("loop_lag_seconds").Double(target.loop_lag_seconds);
+    json.Key("uptime_seconds").Double(target.uptime_seconds);
+    json.Key("resident_bytes")
+        .Uint(static_cast<uint64_t>(target.resident_bytes));
+    json.EndObject();
+  };
+  json.Key("shards").BeginArray();
+  for (const RouterShard& shard : options_.shards) {
+    const TargetState* primary = nullptr;
+    const TargetState* replica = nullptr;
+    for (const TargetState& target : targets) {
+      if (target.shard_id != shard.shard_id) continue;
+      (target.replica ? replica : primary) = &target;
+    }
+    json.BeginObject();
+    json.Key("shard_id").Uint(shard.shard_id);
+    const ShardRange& range = options_.plan.shards[shard.shard_id];
+    json.Key("vertex_begin").Uint(range.begin);
+    json.Key("vertex_end").Uint(range.end);
+    if (primary != nullptr) {
+      emit_target(*primary, "primary", /*have_lag=*/false, 0);
+      if (!primary->healthy) all_healthy = false;
+    }
+    if (replica != nullptr) {
+      // WAL shipping lag: records the primary has durably appended that
+      // the replica has not yet applied. Meaningful only when both
+      // scrapes are fresh.
+      const bool have_lag = primary != nullptr && primary->healthy &&
+                            replica->healthy;
+      const double lag =
+          have_lag ? primary->wal_records - replica->wal_records : 0;
+      emit_target(*replica, "replica", have_lag, lag < 0 ? 0 : lag);
+      if (!replica->healthy) all_healthy = false;
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("healthy").Bool(all_healthy);
+  json.EndObject();
+  RouterResponse response;
+  response.status = 200;
+  response.body = json.str();
+  return response;
+}
+
+SimRankRouter::RouterResponse SimRankRouter::HandleProfile(
+    const HttpRequest& request) {
+  RouterResponse response;
+  double seconds = 2.0;
+  if (const std::string* raw = request.FindParam("seconds")) {
+    if (!ParseDouble(*raw, &seconds) || !(seconds > 0.0) ||
+        seconds > CpuProfiler::kMaxSeconds) {
+      response.status = 400;
+      response.body = ErrorBody(
+          "InvalidArgument",
+          StrFormat("parameter 'seconds' must be in (0, %g]",
+                    CpuProfiler::kMaxSeconds));
+      return response;
+    }
+  }
+  uint64_t hz = CpuProfiler::kDefaultHz;
+  if (const std::string* raw = request.FindParam("hz")) {
+    if (!ParseUint64(*raw, &hz) || hz == 0 || hz > CpuProfiler::kMaxHz) {
+      response.status = 400;
+      response.body =
+          ErrorBody("InvalidArgument",
+                    StrFormat("parameter 'hz' must be in [1, %u]",
+                              CpuProfiler::kMaxHz));
+      return response;
+    }
+  }
+  bool expected = false;
+  if (!profile_busy_.compare_exchange_strong(expected, true)) {
+    response.status = 409;
+    response.body = ErrorBody(
+        "Busy", "a profiling session is already running; retry shortly");
+    return response;
+  }
+  // Blocking is fine here: each router connection has its own thread, so
+  // the sleep stalls only this client.
+  auto profiled =
+      CpuProfiler::Instance().ProfileFor(seconds, static_cast<uint32_t>(hz));
+  profile_busy_.store(false, std::memory_order_release);
+  if (!profiled.ok()) {
+    response.status = 409;
+    response.body = ErrorBody("Busy", profiled.status().message());
+    return response;
+  }
+  const ProfileReport& report = *profiled;
+  response.status = 200;
+  response.content_type = "text/plain";
+  response.body = StrFormat(
+      "# profile duration_seconds=%.3f frequency_hz=%u samples=%llu "
+      "dropped=%llu threads=%u\n",
+      report.duration_seconds, report.frequency_hz,
+      static_cast<unsigned long long>(report.total_samples),
+      static_cast<unsigned long long>(report.dropped_samples),
+      report.armed_threads);
+  response.body += report.collapsed;
+  return response;
+}
+
+SimRankRouter::RouterResponse SimRankRouter::HandleTimeseries(
+    const HttpRequest& request) {
+  RouterResponse response;
+  if (metrics_history_ == nullptr) {
+    response.status = 503;
+    response.body = ErrorBody(
+        "Unavailable", "metrics history is disabled (--metrics-history=0)");
+    return response;
+  }
+  const std::string* metric = request.FindParam("metric");
+  if (metric == nullptr) {
+    response.status = 200;
+    response.body = metrics_history_->ListJson();
+    return response;
+  }
+  uint64_t window = 0;  // 0 = the full configured window
+  const std::string* raw_window = request.FindParam("window");
+  if (raw_window != nullptr && !ParseUint64(*raw_window, &window)) {
+    response.status = 400;
+    response.body = ErrorBody("InvalidArgument",
+                              "parameter 'window' must be a span in seconds");
+    return response;
+  }
+  response.status = 200;
+  response.body = metrics_history_->QueryJson(*metric, window);
   return response;
 }
 
@@ -1176,6 +1651,33 @@ SimRankRouter::RouterResponse SimRankRouter::Route(
   if (request.path == "/metrics") {
     stat_requests_metrics_.fetch_add(1, std::memory_order_relaxed);
     return BuildMetrics();
+  }
+  if (request.path == "/v1/cluster/health") {
+    stat_requests_cluster_health_.fetch_add(1, std::memory_order_relaxed);
+    if (!is_get) {
+      response.status = 405;
+      response.body = ErrorBody("MethodNotAllowed", "use GET");
+      return response;
+    }
+    return BuildClusterHealth();
+  }
+  if (request.path == "/v1/debug/profile") {
+    stat_requests_debug_profile_.fetch_add(1, std::memory_order_relaxed);
+    if (!is_get) {
+      response.status = 405;
+      response.body = ErrorBody("MethodNotAllowed", "use GET");
+      return response;
+    }
+    return HandleProfile(request);
+  }
+  if (request.path == "/v1/debug/timeseries") {
+    stat_requests_debug_timeseries_.fetch_add(1, std::memory_order_relaxed);
+    if (!is_get) {
+      response.status = 405;
+      response.body = ErrorBody("MethodNotAllowed", "use GET");
+      return response;
+    }
+    return HandleTimeseries(request);
   }
   if (request.path == "/v1/pair" || request.path == "/v1/single_source" ||
       request.path == "/v1/topk") {

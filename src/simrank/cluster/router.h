@@ -51,6 +51,8 @@
 #include "simrank/common/macros.h"
 #include "simrank/common/status.h"
 #include "simrank/extra/topk.h"
+#include "simrank/obs/metrics_history.h"
+#include "simrank/obs/profiler.h"
 #include "simrank/obs/trace.h"
 #include "simrank/server/http.h"
 #include "simrank/server/http_client.h"
@@ -85,6 +87,24 @@ struct RouterOptions {
   uint32_t max_batch_pairs = 4096;
   HttpLimits http;
 
+  /// Fleet scraping: every interval the router GETs each shard's (and
+  /// replica's) /metrics with its own short timeout, feeding
+  /// /v1/cluster/health and the fleet-aggregated section of the router's
+  /// /metrics. 0 disables the scrape thread.
+  uint32_t scrape_interval_ms = 1000;
+  uint32_t scrape_timeout_ms = 500;
+
+  /// In-process history of the router's own (aggregated) metrics, served
+  /// at /v1/debug/timeseries. 0 disables it.
+  uint32_t metrics_history_window_s = 900;
+  uint32_t metrics_history_interval_ms = 1000;
+
+  /// Continuous background profiling (JSONL flight recorder), same
+  /// semantics as the server's --profile-log.
+  std::string profile_log_path;
+  uint32_t profile_log_hz = 19;
+  uint32_t profile_log_period_s = 60;
+
   Status Validate() const;
 };
 
@@ -111,6 +131,13 @@ struct RouterStats {
   /// Requests served with a live trace recorder (?trace=1 or an
   /// X-Simrank-Trace header).
   uint64_t traced_requests = 0;
+  uint64_t requests_cluster_health = 0;
+  uint64_t requests_debug_profile = 0;
+  uint64_t requests_debug_timeseries = 0;
+  /// Fleet scrape rounds completed / individual target scrapes that
+  /// failed (connect error, timeout, non-200).
+  uint64_t scrape_rounds = 0;
+  uint64_t scrape_failures = 0;
 };
 
 /// Merges per-shard top-k candidate lists into the global top-k under
@@ -153,12 +180,14 @@ class SimRankRouter {
   RouterStats stats() const;
 
  private:
-  /// One routed response: status, JSON body, plus any extra headers
-  /// (Retry-After on 503).
+  /// One routed response: status, body, plus any extra headers
+  /// (Retry-After on 503). Bodies are JSON unless content_type says
+  /// otherwise (/metrics, /v1/debug/profile).
   struct RouterResponse {
     int status = 500;
     std::string body;
     std::vector<std::pair<std::string, std::string>> headers;
+    std::string content_type = "application/json";
   };
 
   /// One shard reply with its parsed version headers.
@@ -209,6 +238,40 @@ class SimRankRouter {
   RouterResponse HandleUpdate(const HttpRequest& request);
   RouterResponse BuildStats();
   RouterResponse BuildMetrics();
+  RouterResponse BuildClusterHealth();
+  RouterResponse HandleProfile(const HttpRequest& request);
+  RouterResponse HandleTimeseries(const HttpRequest& request);
+
+  /// The latest scrape of one fleet target (a shard primary or replica).
+  struct TargetState {
+    uint32_t shard_id = 0;
+    bool replica = false;
+    uint16_t port = 0;
+    /// False until the first successful scrape, and again from the first
+    /// failed one — a killed shard shows unhealthy within one interval.
+    bool healthy = false;
+    uint64_t last_attempt_unix_s = 0;
+    uint64_t last_success_unix_s = 0;
+    uint64_t consecutive_failures = 0;
+    std::string error;  // last failure, "" while healthy
+    /// Gauges lifted from the scraped exposition for the health summary.
+    double overlay_sequence = 0;
+    double wal_records = 0;
+    double loop_lag_seconds = 0;
+    double uptime_seconds = 0;
+    double resident_bytes = 0;
+    /// The raw scraped text, re-emitted (with shard/role labels injected)
+    /// in the fleet-aggregated section of the router's /metrics.
+    std::string metrics_text;
+  };
+
+  void ScrapeLoop();
+  void ScrapeOnce();
+  /// Copies the current per-target states (scrape-thread writes them
+  /// under targets_mutex_).
+  std::vector<TargetState> SnapshotTargets() const;
+  void StartDiagnostics();
+  void StopDiagnostics();
 
   /// Fetches v's walk row from its owner (with failover): 200 body is the
   /// binary row, and the reply's sequence pins the fan-out.
@@ -247,6 +310,20 @@ class SimRankRouter {
   std::atomic<uint64_t> stat_conflicts_retried_{0};
   std::atomic<uint64_t> stat_shard_errors_{0};
   std::atomic<uint64_t> stat_traced_requests_{0};
+  std::atomic<uint64_t> stat_requests_cluster_health_{0};
+  std::atomic<uint64_t> stat_requests_debug_profile_{0};
+  std::atomic<uint64_t> stat_requests_debug_timeseries_{0};
+  std::atomic<uint64_t> stat_scrape_rounds_{0};
+  std::atomic<uint64_t> stat_scrape_failures_{0};
+
+  mutable std::mutex targets_mutex_;
+  std::vector<TargetState> targets_;
+  std::atomic<bool> scrape_stop_{true};
+  std::thread scrape_thread_;
+  std::unique_ptr<MetricsHistory> metrics_history_;
+  std::unique_ptr<MetricsSampler> metrics_sampler_;
+  std::unique_ptr<ProfileLogger> profile_logger_;
+  std::atomic<bool> profile_busy_{false};
 };
 
 }  // namespace simrank

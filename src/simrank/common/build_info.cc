@@ -1,0 +1,77 @@
+#include "simrank/common/build_info.h"
+
+#include <chrono>
+
+#include "simrank/common/string_util.h"
+
+namespace simrank {
+namespace {
+
+#ifndef OIPSIM_GIT_DESCRIBE
+#define OIPSIM_GIT_DESCRIBE "unknown"
+#endif
+
+const char* CompilerString() {
+#if defined(__clang__)
+  static const std::string value =
+      StrFormat("clang %d.%d.%d", __clang_major__, __clang_minor__,
+                __clang_patchlevel__);
+#elif defined(__GNUC__)
+  static const std::string value = StrFormat(
+      "gcc %d.%d.%d", __GNUC__, __GNUC_MINOR__, __GNUC_PATCHLEVEL__);
+#else
+  static const std::string value = "unknown";
+#endif
+  return value.c_str();
+}
+
+const char* CxxStandardString() {
+#if __cplusplus > 202002L
+  return "c++23";
+#elif __cplusplus >= 202002L
+  return "c++20";
+#else
+  return "pre-c++20";
+#endif
+}
+
+// Captured at shared-object/executable load so UptimeSeconds() measures
+// the whole process, not the time since the first stats request.
+struct ProcessClock {
+  ProcessClock()
+      : start_steady(std::chrono::steady_clock::now()),
+        start_unix_micros(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count())) {}
+  std::chrono::steady_clock::time_point start_steady;
+  uint64_t start_unix_micros;
+};
+
+const ProcessClock g_process_clock;
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {
+      OIPSIM_GIT_DESCRIBE,
+      CompilerString(),
+#ifdef NDEBUG
+      "release",
+#else
+      "debug",
+#endif
+      CxxStandardString(),
+  };
+  return info;
+}
+
+uint64_t ProcessStartUnixMicros() { return g_process_clock.start_unix_micros; }
+
+double UptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_process_clock.start_steady)
+      .count();
+}
+
+}  // namespace simrank

@@ -1,0 +1,32 @@
+// Build identity and process uptime for the /v1/stats build_info block.
+//
+// Everything here is decided at compile/configure time except uptime; the
+// runtime-dependent facts (active SIMD tier, io_uring availability) are
+// appended by the server/router stats builders, which own those probes.
+#ifndef OIPSIM_SIMRANK_COMMON_BUILD_INFO_H_
+#define OIPSIM_SIMRANK_COMMON_BUILD_INFO_H_
+
+#include <cstdint>
+
+namespace simrank {
+
+struct BuildInfo {
+  const char* git_describe;  // `git describe --always --dirty` at configure
+  const char* compiler;      // e.g. "gcc 12.2.0"
+  const char* build_type;    // "release" (NDEBUG) or "debug"
+  const char* cxx_standard;  // e.g. "c++20"
+};
+
+/// Static build identity; all fields non-null.
+const BuildInfo& GetBuildInfo();
+
+/// Wall-clock time when this process loaded, in microseconds since the
+/// Unix epoch.
+uint64_t ProcessStartUnixMicros();
+
+/// Seconds since process load, monotonic.
+double UptimeSeconds();
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_COMMON_BUILD_INFO_H_

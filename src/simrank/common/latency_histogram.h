@@ -45,6 +45,17 @@ class LatencyHistogram {
     /// Per-bucket counts (not cumulative).
     uint64_t buckets[kNumBuckets] = {};
 
+    /// Adds `other`'s counts into this snapshot. All histograms share the
+    /// same fixed bucket bounds, so merging is associative and commutative
+    /// — shard or per-thread snapshots fold in any order.
+    void Merge(const Snapshot& other) {
+      count += other.count;
+      sum_micros += other.sum_micros;
+      for (uint32_t i = 0; i < kNumBuckets; ++i) {
+        buckets[i] += other.buckets[i];
+      }
+    }
+
     /// Upper bound (µs) of the bucket where the cumulative count crosses
     /// `quantile` of the total — a conservative estimate within one
     /// bucket's resolution. 0 when empty.

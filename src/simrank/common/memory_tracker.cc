@@ -1,0 +1,65 @@
+#include "simrank/common/memory_tracker.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace simrank {
+
+#if defined(__linux__)
+
+namespace {
+
+// Parses a "VmXXX:   12345 kB" line from /proc/self/status into bytes.
+bool ParseStatusLine(const char* line, const char* key, uint64_t* out) {
+  const size_t key_len = std::strlen(key);
+  if (std::strncmp(line, key, key_len) != 0) return false;
+  unsigned long long kb = 0;
+  if (std::sscanf(line + key_len, " %llu", &kb) != 1) return false;
+  *out = static_cast<uint64_t>(kb) * 1024;
+  return true;
+}
+
+}  // namespace
+
+bool ReadProcessMemoryStats(ProcessMemoryStats* out) {
+  *out = ProcessMemoryStats{};
+  const uint64_t page = static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+
+  // statm gives size and resident in pages with a single cheap read.
+  if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+    unsigned long long size_pages = 0, resident_pages = 0;
+    if (std::fscanf(statm, "%llu %llu", &size_pages, &resident_pages) == 2) {
+      out->virtual_bytes = size_pages * page;
+      out->resident_bytes = resident_pages * page;
+    }
+    std::fclose(statm);
+  } else {
+    return false;
+  }
+
+  // status carries the high-water mark and the data segment size.
+  if (std::FILE* status = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), status) != nullptr) {
+      ParseStatusLine(line, "VmHWM:", &out->peak_resident_bytes) ||
+          ParseStatusLine(line, "VmData:", &out->data_bytes);
+    }
+    std::fclose(status);
+  }
+  return out->resident_bytes != 0;
+}
+
+#else  // !__linux__
+
+bool ReadProcessMemoryStats(ProcessMemoryStats* out) {
+  *out = ProcessMemoryStats{};
+  return false;
+}
+
+#endif  // __linux__
+
+}  // namespace simrank

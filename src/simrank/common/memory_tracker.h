@@ -53,6 +53,21 @@ inline void TrackRelease(MemoryTracker* mem, uint64_t bytes) {
   if (mem != nullptr) mem->Release(bytes);
 }
 
+/// Process-wide memory as the kernel sees it, complementing the explicit
+/// scratch accounting above: resident/virtual set from /proc/self/statm,
+/// peak RSS and data segment from /proc/self/status. All zero on platforms
+/// without procfs.
+struct ProcessMemoryStats {
+  uint64_t resident_bytes = 0;       // VmRSS
+  uint64_t virtual_bytes = 0;        // VmSize
+  uint64_t peak_resident_bytes = 0;  // VmHWM
+  uint64_t data_bytes = 0;           // VmData (heap + writable mappings)
+};
+
+/// Samples /proc/self/{statm,status}. Returns false (zeroed stats) when
+/// procfs is unavailable. Cheap enough to poll at 1 Hz.
+bool ReadProcessMemoryStats(ProcessMemoryStats* out);
+
 /// RAII registration of a scratch buffer's size.
 class ScopedTrackedBytes {
  public:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "simrank/obs/profiler.h"
+
 namespace simrank {
 
 uint32_t ThreadPool::ResolveThreadCount(uint32_t requested) {
@@ -45,6 +47,10 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  // Workers announce themselves to the sampling profiler so query
+  // execution shows up attributed per worker thread; a no-op (one TLS
+  // store) unless a profiling session arms this thread.
+  ScopedProfiledThread profiled("pool-worker");
   for (;;) {
     std::function<void()> task;
     {

@@ -41,6 +41,19 @@ class ThreadPool {
     return static_cast<uint32_t>(workers_.size());
   }
 
+  /// Number of tasks submitted but not yet picked up by a worker. A point
+  /// sample for monitoring; stale by the time the caller looks at it.
+  uint64_t queue_depth() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  /// Queued plus currently executing tasks.
+  uint64_t in_flight() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return in_flight_;
+  }
+
   /// Resolves a user-facing thread-count option: 0 -> hardware concurrency,
   /// clamped to at least 1.
   static uint32_t ResolveThreadCount(uint32_t requested);

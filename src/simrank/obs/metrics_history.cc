@@ -1,0 +1,243 @@
+#include "simrank/obs/metrics_history.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "simrank/common/json_writer.h"
+#include "simrank/common/string_util.h"
+
+namespace simrank {
+namespace {
+
+/// Strips a histogram sample suffix so `foo_bucket`, `foo_sum` and
+/// `foo_count` group under family `foo` (only when `foo` is a declared
+/// histogram — plain counters legitimately end in _count-like names).
+std::string FamilyNameFor(const std::string& sample_name,
+                          const std::map<std::string, std::string>& types) {
+  static constexpr std::string_view kSuffixes[] = {"_bucket", "_sum",
+                                                   "_count"};
+  for (std::string_view suffix : kSuffixes) {
+    if (sample_name.size() > suffix.size() &&
+        sample_name.compare(sample_name.size() - suffix.size(),
+                            suffix.size(), suffix) == 0) {
+      std::string base =
+          sample_name.substr(0, sample_name.size() - suffix.size());
+      auto it = types.find(base);
+      if (it != types.end() && it->second == "histogram") return base;
+    }
+  }
+  return sample_name;
+}
+
+}  // namespace
+
+std::vector<PromFamily> ParsePrometheusText(std::string_view text) {
+  std::vector<PromFamily> families;
+  std::map<std::string, size_t> index;
+  std::map<std::string, std::string> types;
+
+  auto family_for = [&](const std::string& name) -> PromFamily& {
+    auto [it, inserted] = index.emplace(name, families.size());
+    if (inserted) {
+      families.push_back(PromFamily{name, "untyped", {}});
+      auto type_it = types.find(name);
+      if (type_it != types.end()) families.back().type = type_it->second;
+    }
+    return families[it->second];
+  };
+
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = StrTrim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      if (StartsWith(line, "# TYPE ")) {
+        const std::string_view rest = line.substr(7);
+        const size_t space = rest.find(' ');
+        if (space != std::string_view::npos) {
+          const std::string name(StrTrim(rest.substr(0, space)));
+          const std::string type(StrTrim(rest.substr(space + 1)));
+          types[name] = type;
+          family_for(name).type = type;
+        }
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string_view::npos || name_end == 0) continue;
+    PromSample sample;
+    sample.name.assign(line.substr(0, name_end));
+    std::string_view rest = line.substr(name_end);
+    if (rest[0] == '{') {
+      // Our exporters never emit '}' inside label values, so the last '}'
+      // closes the block.
+      const size_t close = rest.rfind('}');
+      if (close == std::string_view::npos) continue;
+      sample.labels.assign(rest.substr(0, close + 1));
+      rest = rest.substr(close + 1);
+    }
+    double value = 0.0;
+    if (!ParseDouble(StrTrim(rest), &value)) continue;
+    sample.value = value;
+    family_for(FamilyNameFor(sample.name, types))
+        .samples.push_back(std::move(sample));
+  }
+  return families;
+}
+
+MetricsHistory::MetricsHistory(Options options) : options_(options) {
+  if (options_.interval_ms == 0) options_.interval_ms = 1000;
+  if (options_.window_seconds == 0) options_.window_seconds = 1;
+  capacity_ = std::max<size_t>(
+      1, static_cast<size_t>(options_.window_seconds) * 1000 /
+             options_.interval_ms);
+}
+
+void MetricsHistory::Record(std::string_view metrics_text,
+                            uint64_t unix_seconds) {
+  const std::vector<PromFamily> families = ParsePrometheusText(metrics_text);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const PromFamily& family : families) {
+    families_[family.name] = family.type;
+    for (const PromSample& sample : family.samples) {
+      const std::string key = sample.name + sample.labels;
+      Series& series = series_[key];
+      if (series.ring.empty()) {
+        series.name = sample.name;
+        series.labels = sample.labels;
+        series.ring.reserve(16);
+      }
+      if (series.ring.size() < capacity_ && !series.full) {
+        series.ring.emplace_back(unix_seconds, sample.value);
+        if (series.ring.size() == capacity_) series.full = true;
+      } else {
+        series.ring[series.next] = {unix_seconds, sample.value};
+        series.full = true;
+      }
+      if (series.full) series.next = (series.next + 1) % capacity_;
+    }
+  }
+}
+
+std::string MetricsHistory::QueryJson(std::string_view metric,
+                                      uint64_t window_seconds) const {
+  const uint64_t window =
+      std::min<uint64_t>(window_seconds == 0 ? options_.window_seconds
+                                             : window_seconds,
+                         options_.window_seconds);
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Matching series: exact name, or the histogram expansion of `metric`.
+  const std::string bucket = std::string(metric) + "_bucket";
+  const std::string sum = std::string(metric) + "_sum";
+  const std::string count = std::string(metric) + "_count";
+  std::vector<const Series*> matched;
+  uint64_t newest = 0;
+  for (const auto& [key, series] : series_) {
+    if (series.name == metric || series.name == bucket ||
+        series.name == sum || series.name == count) {
+      matched.push_back(&series);
+      for (const auto& [stamp, value] : series.ring) {
+        (void)value;
+        newest = std::max(newest, stamp);
+      }
+    }
+  }
+  const uint64_t cutoff = newest >= window ? newest - window + 1 : 0;
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("metric").String(metric);
+  json.Key("window_seconds").Uint(window);
+  json.Key("interval_ms").Uint(options_.interval_ms);
+  json.Key("series").BeginArray();
+  for (const Series* series : matched) {
+    // Chronological order: the ring's oldest entry first.
+    std::vector<std::pair<uint64_t, double>> points;
+    points.reserve(series->ring.size());
+    const size_t n = series->ring.size();
+    const size_t start = series->full ? series->next : 0;
+    for (size_t i = 0; i < n; ++i) {
+      const auto& point = series->ring[(start + i) % n];
+      if (point.first >= cutoff) points.push_back(point);
+    }
+    if (points.empty()) continue;
+    json.BeginObject();
+    json.Key("name").String(series->name);
+    json.Key("labels").String(series->labels);
+    json.Key("points").BeginArray();
+    for (const auto& [stamp, value] : points) {
+      json.BeginArray();
+      json.Uint(stamp);
+      json.Double(value);
+      json.EndArray();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+std::string MetricsHistory::ListJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("window_seconds").Uint(options_.window_seconds);
+  json.Key("interval_ms").Uint(options_.interval_ms);
+  json.Key("metrics").BeginArray();
+  for (const auto& [name, type] : families_) {
+    json.BeginObject();
+    json.Key("name").String(name);
+    json.Key("type").String(type);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+size_t MetricsHistory::series_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+void MetricsSampler::Start() {
+  if (!stop_.load(std::memory_order_acquire)) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsSampler::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsSampler::Loop() {
+  const auto interval =
+      std::chrono::milliseconds(history_->options().interval_ms);
+  auto next = std::chrono::steady_clock::now();
+  while (!stop_.load(std::memory_order_acquire)) {
+    const uint64_t unix_seconds = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    history_->Record(provider_(), unix_seconds);
+    samples_taken_.fetch_add(1, std::memory_order_relaxed);
+    next += interval;
+    // Sleep in short slices so Stop() is prompt even at long intervals.
+    while (!stop_.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < next) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
+}  // namespace simrank

@@ -1,0 +1,100 @@
+#include "simrank/obs/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "simrank/obs/profiler.h"
+#include "simrank/obs/trace.h"
+
+namespace simrank {
+
+void Watchdog::Beat() {
+  last_beat_ns_.store(TraceNowNanos(), std::memory_order_release);
+}
+
+uint64_t Watchdog::CurrentLagMicros() const {
+  const uint64_t last = last_beat_ns_.load(std::memory_order_acquire);
+  if (last == 0) return 0;
+  const uint64_t now = TraceNowNanos();
+  return now > last ? (now - last) / 1000 : 0;
+}
+
+void Watchdog::Start() {
+  if (!stop_.load(std::memory_order_acquire)) return;
+  stop_.store(false, std::memory_order_release);
+  Beat();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Watchdog::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+Watchdog::Snapshot Watchdog::snapshot() const {
+  Snapshot out;
+  out.loop_lag_us = CurrentLagMicros();
+  out.max_loop_lag_us =
+      std::max(max_lag_us_.load(std::memory_order_relaxed), out.loop_lag_us);
+  out.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  out.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  out.stalls = stalls_.load(std::memory_order_relaxed);
+  out.last_stall_us = last_stall_us_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Watchdog::Loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.poll_interval_ms));
+
+    const uint64_t lag_us = CurrentLagMicros();
+    uint64_t max_lag = max_lag_us_.load(std::memory_order_relaxed);
+    while (lag_us > max_lag &&
+           !max_lag_us_.compare_exchange_weak(max_lag, lag_us,
+                                              std::memory_order_relaxed)) {
+    }
+
+    if (queue_depth_provider_) {
+      const uint64_t depth = queue_depth_provider_();
+      queue_depth_.store(depth, std::memory_order_relaxed);
+      uint64_t max_depth = max_queue_depth_.load(std::memory_order_relaxed);
+      while (depth > max_depth &&
+             !max_queue_depth_.compare_exchange_weak(
+                 max_depth, depth, std::memory_order_relaxed)) {
+      }
+    }
+
+    if (lag_us > options_.stall_threshold_us) {
+      stall_peak_us_ = std::max(stall_peak_us_, lag_us);
+      last_stall_us_.store(stall_peak_us_, std::memory_order_relaxed);
+      if (!in_stall_) {
+        // Edge-triggered: one warning per stall episode.
+        in_stall_ = true;
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        std::string stack;
+        const int64_t tid = watched_tid_.load(std::memory_order_acquire);
+        if (tid != 0) {
+          stack = CpuProfiler::Instance().CaptureThreadStack(tid);
+        }
+        std::fprintf(
+            stderr,
+            "[watchdog] %s stalled: lag=%.3fs threshold=%.3fs "
+            "queue_depth=%llu stack=%s\n",
+            options_.name, static_cast<double>(lag_us) / 1e6,
+            static_cast<double>(options_.stall_threshold_us) / 1e6,
+            static_cast<unsigned long long>(
+                queue_depth_.load(std::memory_order_relaxed)),
+            stack.empty() ? "(unavailable)" : stack.c_str());
+        std::fflush(stderr);
+      }
+    } else if (in_stall_) {
+      in_stall_ = false;
+      stall_peak_us_ = 0;
+    }
+  }
+}
+
+}  // namespace simrank

@@ -1,0 +1,96 @@
+// Event-loop & worker-pool watchdog.
+//
+// The watched loop (the server's epoll loop) calls Beat() once per
+// iteration — one relaxed atomic store. A monitor thread wakes every
+// poll_interval_ms, measures heartbeat lag (now - last beat) and polls the
+// worker queue depth. When lag crosses stall_threshold_us it logs one
+// stack-annotated warning per stall episode to stderr, using
+// CpuProfiler::CaptureThreadStack to name where the loop thread is stuck.
+// Lag, high-water marks and stall counts feed simrank_loop_lag_seconds /
+// simrank_queue_depth and the /v1/stats watchdog block.
+#ifndef OIPSIM_SIMRANK_OBS_WATCHDOG_H_
+#define OIPSIM_SIMRANK_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "simrank/common/macros.h"
+
+namespace simrank {
+
+struct WatchdogOptions {
+  /// Monitor wake-up period. The watched loop must beat at least this
+  /// often when idle (cap its poll timeout accordingly).
+  uint32_t poll_interval_ms = 100;
+  /// Heartbeat lag that counts as a stall and triggers a warning.
+  uint64_t stall_threshold_us = 1000000;
+  /// Label used in warnings, e.g. "epoll-loop".
+  const char* name = "loop";
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options = WatchdogOptions{})
+      : options_(options) {}
+  ~Watchdog() { Stop(); }
+
+  /// Replaces the options; only valid while stopped.
+  void set_options(const WatchdogOptions& options) { options_ = options; }
+
+  OIPSIM_DISALLOW_COPY_AND_ASSIGN(Watchdog);
+
+  /// Called by the watched loop every iteration. Wait-free.
+  void Beat();
+
+  /// Kernel tid of the watched loop thread, for stall stack annotation;
+  /// call from that thread with CurrentTid() before Start().
+  void SetWatchedTid(int64_t tid) {
+    watched_tid_.store(tid, std::memory_order_release);
+  }
+
+  /// Optional worker-queue depth, polled once per monitor tick.
+  void SetQueueDepthProvider(std::function<uint64_t()> provider) {
+    queue_depth_provider_ = std::move(provider);
+  }
+
+  void Start();
+  void Stop();
+
+  struct Snapshot {
+    uint64_t loop_lag_us = 0;      // now - last beat
+    uint64_t max_loop_lag_us = 0;  // high-water since Start
+    uint64_t queue_depth = 0;      // last polled
+    uint64_t max_queue_depth = 0;
+    uint64_t stalls = 0;           // threshold crossings (one per episode)
+    uint64_t last_stall_us = 0;    // worst lag of the latest stall
+  };
+  Snapshot snapshot() const;
+
+  const WatchdogOptions& options() const { return options_; }
+
+ private:
+  void Loop();
+  uint64_t CurrentLagMicros() const;
+
+  WatchdogOptions options_;
+  std::atomic<uint64_t> last_beat_ns_{0};
+  std::atomic<int64_t> watched_tid_{0};
+  std::function<uint64_t()> queue_depth_provider_;
+
+  std::atomic<uint64_t> max_lag_us_{0};
+  std::atomic<uint64_t> queue_depth_{0};
+  std::atomic<uint64_t> max_queue_depth_{0};
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> last_stall_us_{0};
+  bool in_stall_ = false;  // monitor thread only
+  uint64_t stall_peak_us_ = 0;
+
+  std::atomic<bool> stop_{true};
+  std::thread thread_;
+};
+
+}  // namespace simrank
+
+#endif  // OIPSIM_SIMRANK_OBS_WATCHDOG_H_

@@ -7,10 +7,13 @@
 #include <thread>
 #include <utility>
 
+#include "simrank/common/build_info.h"
 #include "simrank/common/json_writer.h"
+#include "simrank/common/memory_tracker.h"
 #include "simrank/common/simd.h"
 #include "simrank/common/string_util.h"
 #include "simrank/graph/graph_io.h"
+#include "simrank/index/segment_reader.h"
 
 #if defined(__linux__)
 #define OIPSIM_HAVE_EPOLL 1
@@ -558,6 +561,47 @@ Status ServerOptions::Validate() const {
                   "trace JSON in memory",
                   slow_ring_capacity));
   }
+  if (!profile_log_path.empty()) {
+    if (profile_log_hz == 0 || profile_log_hz > CpuProfiler::kMaxHz) {
+      return Status::InvalidArgument(
+          StrFormat("--profile-log-hz=%u is not in [1, %u]", profile_log_hz,
+                    CpuProfiler::kMaxHz));
+    }
+    if (profile_log_period_s == 0) {
+      return Status::InvalidArgument(
+          "--profile-log-period must be positive");
+    }
+  }
+  if (watchdog_interval_ms > 60000) {
+    return Status::InvalidArgument(
+        StrFormat("--watchdog-interval-ms=%u is longer than any plausible "
+                  "stall",
+                  watchdog_interval_ms));
+  }
+  if (watchdog_interval_ms > 0 && watchdog_stall_us == 0) {
+    return Status::InvalidArgument(
+        "--watchdog-stall-us must be positive when the watchdog is armed");
+  }
+  if (metrics_history_window_s > 0) {
+    if (metrics_history_interval_ms == 0) {
+      return Status::InvalidArgument(
+          "--metrics-history-interval-ms must be positive");
+    }
+    const uint64_t points = static_cast<uint64_t>(metrics_history_window_s) *
+                            1000 / metrics_history_interval_ms;
+    if (points > 1u << 20) {
+      return Status::InvalidArgument(
+          StrFormat("metrics history of %llu points per series would pin an "
+                    "unreasonable amount of memory",
+                    static_cast<unsigned long long>(points)));
+    }
+  }
+  if (debug_stall_limit_ms > 10000) {
+    return Status::InvalidArgument(
+        StrFormat("--debug-stall-limit-ms=%u would let a request freeze the "
+                  "loop for over 10s",
+                  debug_stall_limit_ms));
+  }
   if (sharded) {
     OIPSIM_RETURN_IF_ERROR(shard_plan.Validate());
     if (shard_id >= shard_plan.shards.size()) {
@@ -612,6 +656,11 @@ struct SimRankServer::Completion {
   /// public responses keep the JSON defaults.
   std::string content_type = "application/json";
   std::vector<std::pair<std::string, std::string>> headers;
+  /// True for worker-pool completions that passed admission control and
+  /// hold an inflight slot; false for out-of-band completions (the
+  /// deferred /v1/debug/profile capture), which must not decrement
+  /// counters they never incremented.
+  bool admission = true;
 };
 
 SimRankServer::SimRankServer(QueryEngine& engine,
@@ -624,6 +673,10 @@ SimRankServer::SimRankServer(QueryEngine& engine,
       pool_(options.threads) {}
 
 SimRankServer::~SimRankServer() {
+  // Diagnostics threads poll pool_ and call BuildMetricsBody; stop them
+  // here, before member destructors run (pool_ is declared after them and
+  // would be destroyed first).
+  StopDiagnostics();
   // Workers may still be executing queries if Serve was never run to
   // completion; let them finish (they only touch the engine, the
   // completion queue and wake_fd_) before the fds go away.
@@ -672,6 +725,25 @@ Status SimRankServer::Bind() {
     auto sink = JsonlLogSink::Open(options_.access_log_path);
     if (!sink.ok()) return sink.status();
     access_sink_ = std::move(*sink);
+  }
+  if (options_.metrics_history_window_s > 0 && metrics_history_ == nullptr) {
+    MetricsHistory::Options history_options;
+    history_options.window_seconds = options_.metrics_history_window_s;
+    history_options.interval_ms = options_.metrics_history_interval_ms;
+    metrics_history_ = std::make_unique<MetricsHistory>(history_options);
+  }
+  if (!options_.profile_log_path.empty() && profile_logger_ == nullptr) {
+    ProfileLogger::Options logger_options;
+    logger_options.path = options_.profile_log_path;
+    logger_options.frequency_hz = options_.profile_log_hz;
+    logger_options.period_seconds = options_.profile_log_period_s;
+    // Sample a slice of each period, not all of it: the profiler is a
+    // singleton, and a full-duty logger would starve every on-demand
+    // /v1/debug/profile session with 409s.
+    logger_options.duty_cycle = 0.1;
+    auto logger = ProfileLogger::Start(logger_options);
+    if (!logger.ok()) return logger.status();
+    profile_logger_ = std::move(*logger);
   }
   sample_state_ = GenerateTraceId();
 
@@ -741,8 +813,19 @@ Status SimRankServer::Serve() {
   if (listen_fd_ < 0) {
     return Status::InvalidArgument("Serve() requires a successful Bind()");
   }
+  // The loop thread itself shows up in profiles, and its kernel tid is
+  // what the watchdog annotates stall warnings with.
+  ScopedProfiledThread profiled_loop("epoll-loop");
+  StartDiagnostics();
+  // An armed watchdog needs the idle loop to keep beating: cap the epoll
+  // wait at the watchdog poll interval instead of blocking forever.
+  const int idle_timeout_ms =
+      options_.watchdog_interval_ms > 0
+          ? static_cast<int>(options_.watchdog_interval_ms)
+          : -1;
   epoll_event events[64];
   while (true) {
+    watchdog_.Beat();
     if (stop_.load(std::memory_order_acquire) && !draining_) {
       draining_ = true;
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
@@ -759,11 +842,16 @@ Status SimRankServer::Serve() {
         }
       }
       for (Connection* conn : idle) CloseConnection(conn);
-      if (connections_.empty() && inflight_ == 0) return Status::OK();
+      if (connections_.empty() && inflight_ == 0) {
+        StopDiagnostics();
+        return Status::OK();
+      }
     }
-    const int ready = ::epoll_wait(epoll_fd_, events, 64,
-                                   /*timeout_ms=*/draining_ ? 50 : -1);
+    const int ready =
+        ::epoll_wait(epoll_fd_, events, 64,
+                     /*timeout_ms=*/draining_ ? 50 : idle_timeout_ms);
     if (ready < 0 && errno != EINTR) {
+      StopDiagnostics();
       return Status::IoError(StrFormat("epoll_wait failed: %s",
                                        std::strerror(errno)));
     }
@@ -909,12 +997,22 @@ void SimRankServer::RouteRequest(Connection* conn,
     conn->access_method = request.method;
     conn->access_path = request.path;
   }
+  // /v1/debug/profile parks the connection while a dedicated capture
+  // thread runs the sampling session; everything about it (method checks,
+  // params, the 409 busy answer) is handled out of line.
+  if (request.path == "/v1/debug/profile") {
+    HandleProfileRequest(conn, request);
+    return;
+  }
   // Inline endpoints: answered on the loop thread, GET only.
   const bool is_inline = request.path == "/healthz" ||
                          request.path == "/v1/stats" ||
                          request.path == "/metrics" ||
                          request.path == "/v1/wal" ||
-                         request.path == "/v1/debug/slow";
+                         request.path == "/v1/debug/slow" ||
+                         request.path == "/v1/debug/timeseries" ||
+                         (options_.debug_stall_limit_ms > 0 &&
+                          request.path == "/v1/debug/stall");
   // The /internal/* exchange endpoints exist only in the shard role; a
   // standalone server 404s them like any unknown path.
   const bool is_internal =
@@ -976,6 +1074,48 @@ void SimRankServer::RouteRequest(Connection* conn,
   if (request.path == "/v1/debug/slow") {
     stat_requests_debug_slow_.fetch_add(1, std::memory_order_relaxed);
     QueueResponse(conn, 200, BuildSlowBody());
+    return;
+  }
+  if (request.path == "/v1/debug/timeseries") {
+    stat_requests_debug_timeseries_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_history_ == nullptr) {
+      QueueResponse(conn, 503,
+                    ErrorBody("Unavailable",
+                              "metrics history is disabled "
+                              "(--metrics-history=0)"));
+      return;
+    }
+    const std::string* metric = request.FindParam("metric");
+    if (metric == nullptr) {
+      // No metric selected: list what is recorded.
+      QueueResponse(conn, 200, metrics_history_->ListJson());
+      return;
+    }
+    uint64_t window = 0;  // 0 = the full configured window
+    const std::string* raw_window = request.FindParam("window");
+    if (raw_window != nullptr && !ParseUint64(*raw_window, &window)) {
+      QueueErrorResponse(conn, 400,
+                         "parameter 'window' must be a span in seconds");
+      return;
+    }
+    QueueResponse(conn, 200, metrics_history_->QueryJson(*metric, window));
+    return;
+  }
+  if (request.path == "/v1/debug/stall") {
+    // Test-only (armed by --debug-stall-limit-ms): block the loop thread
+    // itself so watchdog stall detection can be exercised deterministically.
+    uint64_t ms = options_.debug_stall_limit_ms;
+    const std::string* raw_ms = request.FindParam("ms");
+    if (raw_ms != nullptr && !ParseUint64(*raw_ms, &ms)) {
+      QueueErrorResponse(conn, 400,
+                         "parameter 'ms' must be a duration in milliseconds");
+      return;
+    }
+    ms = std::min<uint64_t>(ms, options_.debug_stall_limit_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    QueueResponse(conn, 200,
+                  StrFormat("{\"stalled_ms\":%llu}",
+                            static_cast<unsigned long long>(ms)));
     return;
   }
   if (request.path == "/v1/wal") {
@@ -1290,6 +1430,13 @@ void SimRankServer::DispatchQuery(Connection* conn, ServerEndpoint endpoint,
   const uint64_t dispatch_ns = traced ? TraceNowNanos() : 0;
   pool_.Submit([this, fd, connection_id, endpoint, dispatched_at,
                 dispatch_ns, args = std::move(args)] {
+    // Queue-wait component of latency: dispatch to the moment a worker
+    // actually picks the query up. Recorded before the synthetic
+    // handler delay so tests measure real scheduling, not the injection.
+    dispatch_latency_.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - dispatched_at)
+            .count()));
     if (options_.handler_delay_ms > 0) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(options_.handler_delay_ms));
@@ -1388,9 +1535,11 @@ void SimRankServer::DrainCompletions() {
     batch.swap(completions_);
   }
   for (Completion& completion : batch) {
-    --inflight_;
-    --endpoint_inflight_[static_cast<size_t>(completion.endpoint)];
-    stat_inflight_.store(inflight_, std::memory_order_relaxed);
+    if (completion.admission) {
+      --inflight_;
+      --endpoint_inflight_[static_cast<size_t>(completion.endpoint)];
+      stat_inflight_.store(inflight_, std::memory_order_relaxed);
+    }
     auto it = connections_.find(completion.fd);
     if (it == connections_.end() ||
         it->second->id != completion.connection_id) {
@@ -1404,6 +1553,131 @@ void SimRankServer::DrainCompletions() {
     // also closes half-closed connections once they flush).
     ProcessBufferedRequests(conn);
   }
+}
+
+void SimRankServer::HandleProfileRequest(Connection* conn,
+                                         const HttpRequest& request) {
+  stat_requests_debug_profile_.fetch_add(1, std::memory_order_relaxed);
+  if (request.method != "GET") {
+    QueueResponse(conn, 405,
+                  ErrorBody("MethodNotAllowed",
+                            "/v1/debug/profile only accepts GET"),
+                  {{"Allow", "GET"}});
+    return;
+  }
+  if (!request.body.empty()) {
+    QueueErrorResponse(conn, 400, "GET endpoints take no request body");
+    return;
+  }
+  std::string error;
+  if (!CheckAllowedParams(request, {"seconds", "hz"}, &error)) {
+    QueueErrorResponse(conn, 400, error);
+    return;
+  }
+  double seconds = 2.0;
+  if (const std::string* raw = request.FindParam("seconds")) {
+    if (!ParseDouble(*raw, &seconds) || !(seconds > 0.0) ||
+        seconds > CpuProfiler::kMaxSeconds) {
+      QueueErrorResponse(
+          conn, 400,
+          StrFormat("parameter 'seconds' must be in (0, %g]",
+                    CpuProfiler::kMaxSeconds));
+      return;
+    }
+  }
+  uint64_t hz = CpuProfiler::kDefaultHz;
+  if (const std::string* raw = request.FindParam("hz")) {
+    if (!ParseUint64(*raw, &hz) || hz == 0 || hz > CpuProfiler::kMaxHz) {
+      QueueErrorResponse(conn, 400,
+                         StrFormat("parameter 'hz' must be in [1, %u]",
+                                   CpuProfiler::kMaxHz));
+      return;
+    }
+  }
+  bool expected = false;
+  if (!profile_busy_.compare_exchange_strong(expected, true)) {
+    QueueResponse(conn, 409,
+                  ErrorBody("Busy",
+                            "a profiling session is already running; retry "
+                            "when it finishes"));
+    return;
+  }
+  // Park the connection and capture on a dedicated thread: the session
+  // sleeps for `seconds`, which must not block the loop or hold a worker.
+  conn->awaiting = true;
+  const int fd = conn->fd;
+  const uint64_t connection_id = conn->id;
+  std::lock_guard<std::mutex> lock(profile_threads_mutex_);
+  // The previous session (if any) released profile_busy_ before pushing
+  // its completion, so these joins only wait out its final microseconds.
+  for (std::thread& thread : profile_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  profile_threads_.clear();
+  profile_threads_.emplace_back([this, fd, connection_id, seconds, hz] {
+    auto profiled =
+        CpuProfiler::Instance().ProfileFor(seconds, static_cast<uint32_t>(hz));
+    profile_busy_.store(false, std::memory_order_release);
+    Completion completion;
+    completion.fd = fd;
+    completion.connection_id = connection_id;
+    completion.admission = false;
+    if (!profiled.ok()) {
+      // The profiler itself was busy (e.g. a --profile-log period is
+      // mid-capture) or the platform lacks support.
+      completion.status = 409;
+      completion.body = ErrorBody("Busy", profiled.status().message());
+    } else {
+      const ProfileReport& report = *profiled;
+      completion.status = 200;
+      completion.content_type = "text/plain";
+      completion.body = StrFormat(
+          "# profile duration_seconds=%.3f frequency_hz=%u samples=%llu "
+          "dropped=%llu threads=%u\n",
+          report.duration_seconds, report.frequency_hz,
+          static_cast<unsigned long long>(report.total_samples),
+          static_cast<unsigned long long>(report.dropped_samples),
+          report.armed_threads);
+      completion.body += report.collapsed;
+    }
+    {
+      std::lock_guard<std::mutex> completions_lock(completions_mutex_);
+      completions_.push_back(std::move(completion));
+    }
+    const uint64_t one = 1;
+    [[maybe_unused]] const auto ignored =
+        ::write(wake_fd_, &one, sizeof(one));
+  });
+}
+
+void SimRankServer::StartDiagnostics() {
+  if (options_.watchdog_interval_ms > 0) {
+    WatchdogOptions watchdog_options;
+    watchdog_options.poll_interval_ms = options_.watchdog_interval_ms;
+    watchdog_options.stall_threshold_us = options_.watchdog_stall_us;
+    watchdog_options.name = "epoll-loop";
+    watchdog_.set_options(watchdog_options);
+    // Called from the loop thread itself, so this tid is the loop's.
+    watchdog_.SetWatchedTid(CurrentTid());
+    watchdog_.SetQueueDepthProvider([this] { return pool_.queue_depth(); });
+    watchdog_.Start();
+  }
+  if (metrics_history_ != nullptr && metrics_sampler_ == nullptr) {
+    metrics_sampler_ = std::make_unique<MetricsSampler>(
+        metrics_history_.get(), [this] { return BuildMetricsBody(); });
+  }
+  if (metrics_sampler_ != nullptr) metrics_sampler_->Start();
+}
+
+void SimRankServer::StopDiagnostics() {
+  watchdog_.Stop();
+  if (metrics_sampler_ != nullptr) metrics_sampler_->Stop();
+  if (profile_logger_ != nullptr) profile_logger_->Stop();
+  std::lock_guard<std::mutex> lock(profile_threads_mutex_);
+  for (std::thread& thread : profile_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  profile_threads_.clear();
 }
 
 void SimRankServer::QueueResponse(
@@ -1505,6 +1779,9 @@ void SimRankServer::RouteRequest(Connection*, const HttpRequest&) {}
 void SimRankServer::DispatchQuery(Connection*, ServerEndpoint,
                                   const HttpRequest&) {}
 void SimRankServer::DrainCompletions() {}
+void SimRankServer::HandleProfileRequest(Connection*, const HttpRequest&) {}
+void SimRankServer::StartDiagnostics() {}
+void SimRankServer::StopDiagnostics() {}
 void SimRankServer::QueueResponse(
     Connection*, int, std::string_view,
     const std::vector<std::pair<std::string, std::string>>&) {}
@@ -1546,6 +1823,10 @@ ServerStats SimRankServer::stats() const {
   stats.requests_wal = stat_requests_wal_.load(std::memory_order_relaxed);
   stats.requests_debug_slow =
       stat_requests_debug_slow_.load(std::memory_order_relaxed);
+  stats.requests_debug_profile =
+      stat_requests_debug_profile_.load(std::memory_order_relaxed);
+  stats.requests_debug_timeseries =
+      stat_requests_debug_timeseries_.load(std::memory_order_relaxed);
   stats.traced_requests =
       stat_traced_requests_.load(std::memory_order_relaxed);
   stats.slow_captured = slow_log_.total_recorded();
@@ -1591,7 +1872,50 @@ std::string SimRankServer::BuildStatsBody() const {
   json.Key("max_endpoint_inflight").Uint(options_.max_endpoint_inflight);
   json.Key("threads").Uint(pool_.num_threads());
   json.Key("draining").Bool(draining_);
+  json.Key("uptime_seconds").Double(UptimeSeconds());
   json.EndObject();
+  // What exactly is running: resolved at build (version, compiler) and at
+  // startup (SIMD tier, io_uring), so a fleet dashboard can spot a stale
+  // or differently-capable node at a glance.
+  const BuildInfo& build = GetBuildInfo();
+  json.Key("build_info").BeginObject();
+  json.Key("version").String(build.git_describe);
+  json.Key("compiler").String(build.compiler);
+  json.Key("build_type").String(build.build_type);
+  json.Key("cxx_standard").String(build.cxx_standard);
+  json.Key("simd").String(SimdLevelName(ActiveSimdLevel()));
+  json.Key("io_uring_compiled").Bool(SegmentReader::BuildSupportsIoUring());
+  json.Key("io_uring_enabled").Bool(SegmentReader::IoUringEnabled());
+  json.EndObject();
+  {
+    const Watchdog::Snapshot dog = watchdog_.snapshot();
+    json.Key("watchdog").BeginObject();
+    json.Key("armed").Bool(options_.watchdog_interval_ms > 0);
+    json.Key("loop_lag_us").Uint(dog.loop_lag_us);
+    json.Key("max_loop_lag_us").Uint(dog.max_loop_lag_us);
+    json.Key("queue_depth").Uint(dog.queue_depth);
+    json.Key("max_queue_depth").Uint(dog.max_queue_depth);
+    json.Key("stalls").Uint(dog.stalls);
+    json.Key("last_stall_us").Uint(dog.last_stall_us);
+    const LatencyHistogram::Snapshot dispatch = dispatch_latency_.snapshot();
+    json.Key("dispatch_latency_us").BeginObject();
+    json.Key("count").Uint(dispatch.count);
+    json.Key("p50_us").Uint(dispatch.QuantileUpperMicros(0.5));
+    json.Key("p99_us").Uint(dispatch.QuantileUpperMicros(0.99));
+    json.EndObject();
+    json.EndObject();
+  }
+  {
+    ProcessMemoryStats memory;
+    if (ReadProcessMemoryStats(&memory)) {
+      json.Key("process_memory").BeginObject();
+      json.Key("resident_bytes").Uint(memory.resident_bytes);
+      json.Key("virtual_bytes").Uint(memory.virtual_bytes);
+      json.Key("peak_resident_bytes").Uint(memory.peak_resident_bytes);
+      json.Key("data_bytes").Uint(memory.data_bytes);
+      json.EndObject();
+    }
+  }
   json.Key("requests").BeginObject();
   for (uint32_t i = 0; i < kNumServerEndpoints; ++i) {
     json.Key(ServerEndpointName(static_cast<ServerEndpoint>(i)))
@@ -1602,6 +1926,8 @@ std::string SimRankServer::BuildStatsBody() const {
   json.Key("metrics").Uint(stats.requests_metrics);
   json.Key("wal").Uint(stats.requests_wal);
   json.Key("debug_slow").Uint(stats.requests_debug_slow);
+  json.Key("debug_profile").Uint(stats.requests_debug_profile);
+  json.Key("debug_timeseries").Uint(stats.requests_debug_timeseries);
   json.EndObject();
   json.Key("responses").BeginObject();
   json.Key("2xx").Uint(stats.responses_2xx);
@@ -1771,6 +2097,10 @@ std::string SimRankServer::BuildMetricsBody() const {
           stats.requests_wal);
   counter("simrank_requests_total", "{endpoint=\"debug_slow\"}",
           stats.requests_debug_slow);
+  counter("simrank_requests_total", "{endpoint=\"debug_profile\"}",
+          stats.requests_debug_profile);
+  counter("simrank_requests_total", "{endpoint=\"debug_timeseries\"}",
+          stats.requests_debug_timeseries);
 
   type("simrank_responses_total", "counter");
   counter("simrank_responses_total", "{class=\"2xx\"}",
@@ -1795,6 +2125,66 @@ std::string SimRankServer::BuildMetricsBody() const {
   counter("simrank_connections_open", "", stats.connections_open);
   type("simrank_inflight", "gauge");
   counter("simrank_inflight", "", stats.inflight);
+
+  const BuildInfo& build = GetBuildInfo();
+  type("simrank_build_info", "gauge");
+  out += StrFormat(
+      "simrank_build_info{version=\"%s\",compiler=\"%s\",build_type=\"%s\","
+      "simd=\"%s\",io_uring=\"%s\"} 1\n",
+      build.git_describe, build.compiler, build.build_type,
+      SimdLevelName(ActiveSimdLevel()),
+      SegmentReader::IoUringEnabled() ? "true" : "false");
+  type("simrank_uptime_seconds", "gauge");
+  out += StrFormat("simrank_uptime_seconds %g\n", UptimeSeconds());
+
+  const Watchdog::Snapshot dog = watchdog_.snapshot();
+  type("simrank_loop_lag_seconds", "gauge");
+  out += StrFormat("simrank_loop_lag_seconds %g\n",
+                   static_cast<double>(dog.loop_lag_us) / 1e6);
+  type("simrank_loop_lag_max_seconds", "gauge");
+  out += StrFormat("simrank_loop_lag_max_seconds %g\n",
+                   static_cast<double>(dog.max_loop_lag_us) / 1e6);
+  type("simrank_loop_stalls_total", "counter");
+  counter("simrank_loop_stalls_total", "", dog.stalls);
+  type("simrank_queue_depth", "gauge");
+  counter("simrank_queue_depth", "", dog.queue_depth);
+  type("simrank_queue_depth_max", "gauge");
+  counter("simrank_queue_depth_max", "", dog.max_queue_depth);
+
+  // Dispatch-to-start latency: the queue wait workers actually observed.
+  type("simrank_dispatch_latency_seconds", "histogram");
+  {
+    const LatencyHistogram::Snapshot snapshot = dispatch_latency_.snapshot();
+    uint64_t cumulative = 0;
+    for (uint32_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+      cumulative += snapshot.buckets[b];
+      if (b + 1 < LatencyHistogram::kNumBuckets) {
+        out += StrFormat(
+            "simrank_dispatch_latency_seconds_bucket{le=\"%g\"} %llu\n",
+            static_cast<double>(LatencyHistogram::BucketUpperMicros(b)) /
+                1e6,
+            static_cast<unsigned long long>(cumulative));
+      } else {
+        out += StrFormat(
+            "simrank_dispatch_latency_seconds_bucket{le=\"+Inf\"} %llu\n",
+            static_cast<unsigned long long>(cumulative));
+      }
+    }
+    out += StrFormat("simrank_dispatch_latency_seconds_sum %g\n",
+                     static_cast<double>(snapshot.sum_micros) / 1e6);
+    out += StrFormat("simrank_dispatch_latency_seconds_count %llu\n",
+                     static_cast<unsigned long long>(snapshot.count));
+  }
+
+  ProcessMemoryStats memory;
+  if (ReadProcessMemoryStats(&memory)) {
+    type("simrank_resident_bytes", "gauge");
+    counter("simrank_resident_bytes", "", memory.resident_bytes);
+    type("simrank_virtual_bytes", "gauge");
+    counter("simrank_virtual_bytes", "", memory.virtual_bytes);
+    type("simrank_peak_resident_bytes", "gauge");
+    counter("simrank_peak_resident_bytes", "", memory.peak_resident_bytes);
+  }
 
   type("simrank_cache_hits_total", "counter");
   counter("simrank_cache_hits_total", "", cache.hits);

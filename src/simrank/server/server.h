@@ -33,7 +33,17 @@
 //                              exposition (text/plain)
 //   GET  /healthz              liveness probe (text/plain)
 //   GET  /v1/debug/slow        captured slow/sampled query traces (ring)
-// /healthz, /v1/stats, /metrics and /v1/debug/slow are answered inline;
+//   GET  /v1/debug/profile     sampling CPU profile: arms SIGPROF timers
+//                              for ?seconds=N (default 2), returns
+//                              flamegraph collapsed-stack text; 409 when
+//                              a session is already running
+//   GET  /v1/debug/timeseries  metrics history ring as JSON
+//                              (?metric=NAME&window=SECONDS; no args
+//                              lists the available families)
+// /healthz, /v1/stats, /metrics, /v1/debug/slow and /v1/debug/timeseries
+// are answered inline; /v1/debug/profile parks the connection and answers
+// from a dedicated capture thread (the loop keeps serving while the
+// profile runs, and profiling a loaded server is the whole point);
 // everything else dispatches to the worker pool under admission control.
 // Update/compact serialize inside the IndexUpdater while reads keep
 // flowing against RCU overlay snapshots — queries are never blocked by an
@@ -65,8 +75,11 @@
 #include "simrank/index/index_updater.h"
 #include "simrank/index/query_engine.h"
 #include "simrank/obs/log_sink.h"
+#include "simrank/obs/metrics_history.h"
+#include "simrank/obs/profiler.h"
 #include "simrank/obs/slow_query_log.h"
 #include "simrank/obs/trace.h"
+#include "simrank/obs/watchdog.h"
 #include "simrank/server/http.h"
 
 namespace simrank {
@@ -174,6 +187,29 @@ struct ServerOptions {
   /// micros, trace id), written off the event loop.
   std::string access_log_path;
 
+  /// Self-diagnosis knobs (obs/). The /v1/debug/profile endpoint is
+  /// always live; these tune the background pieces.
+  /// Continuous low-rate profiling: one collapsed profile JSONL line per
+  /// period appended to this path (empty = off). Periods overlapping an
+  /// on-demand /v1/debug/profile session are skipped.
+  std::string profile_log_path;
+  uint32_t profile_log_hz = 19;
+  uint32_t profile_log_period_s = 60;
+  /// Watchdog monitor cadence and the epoll-loop heartbeat lag that
+  /// counts as a stall (warned once per episode, with the loop thread's
+  /// stack). watchdog_interval_ms = 0 disables the monitor thread.
+  uint32_t watchdog_interval_ms = 100;
+  uint64_t watchdog_stall_us = 1000000;
+  /// Metrics history ring behind /v1/debug/timeseries: window and sample
+  /// interval. metrics_history_window_s = 0 disables the ring.
+  uint32_t metrics_history_window_s = 900;
+  uint32_t metrics_history_interval_ms = 1000;
+  /// Test hook: when nonzero, GET /v1/debug/stall?ms=N (N capped by this
+  /// value) sleeps on the loop thread — a deterministic injected stall
+  /// for the watchdog tests. Zero in production; the endpoint is then
+  /// 404.
+  uint32_t debug_stall_limit_ms = 0;
+
   Status Validate() const;
 };
 
@@ -188,6 +224,10 @@ struct ServerStats {
   uint64_t requests_wal = 0;
   /// GET /v1/debug/slow polls served.
   uint64_t requests_debug_slow = 0;
+  /// GET /v1/debug/profile sessions requested / GET /v1/debug/timeseries
+  /// polls served.
+  uint64_t requests_debug_profile = 0;
+  uint64_t requests_debug_timeseries = 0;
   /// Requests that ran with a live trace recorder.
   uint64_t traced_requests = 0;
   /// Traces captured into the slow-query ring (threshold or sampled).
@@ -260,6 +300,23 @@ class SimRankServer {
   /// captured).
   const SlowQueryLog& slow_log() const { return slow_log_; }
 
+  /// Watchdog view: epoll-loop heartbeat lag, worker queue depth, stall
+  /// count; safe concurrently with Serve.
+  Watchdog::Snapshot watchdog_snapshot() const {
+    return watchdog_.snapshot();
+  }
+
+  /// Dispatch-to-start latency (queue wait before a worker picks a query
+  /// up); safe concurrently with Serve.
+  LatencyHistogram::Snapshot dispatch_latency() const {
+    return dispatch_latency_.snapshot();
+  }
+
+  /// The metrics history ring; null when disabled.
+  const MetricsHistory* metrics_history() const {
+    return metrics_history_.get();
+  }
+
  private:
   struct Connection;
   struct Completion;
@@ -273,6 +330,13 @@ class SimRankServer {
   void RouteRequest(Connection* conn, const HttpRequest& request);
   void DispatchQuery(Connection* conn, ServerEndpoint endpoint,
                      const HttpRequest& request);
+  /// Parks the connection and runs the profile session on a dedicated
+  /// thread; the result comes back through the completion queue.
+  void HandleProfileRequest(Connection* conn, const HttpRequest& request);
+  /// Starts/stops the watchdog, metrics sampler, profile logger and any
+  /// in-flight profile capture threads (Serve entry/exit + destructor).
+  void StartDiagnostics();
+  void StopDiagnostics();
   void DrainCompletions();
   void QueueResponse(Connection* conn, int status, std::string_view body,
                      const std::vector<std::pair<std::string, std::string>>&
@@ -330,6 +394,8 @@ class SimRankServer {
   mutable std::atomic<uint64_t> stat_requests_metrics_{0};
   mutable std::atomic<uint64_t> stat_requests_wal_{0};
   mutable std::atomic<uint64_t> stat_requests_debug_slow_{0};
+  mutable std::atomic<uint64_t> stat_requests_debug_profile_{0};
+  mutable std::atomic<uint64_t> stat_requests_debug_timeseries_{0};
   mutable std::atomic<uint64_t> stat_traced_requests_{0};
   mutable std::atomic<uint64_t> stat_responses_2xx_{0};
   mutable std::atomic<uint64_t> stat_responses_4xx_{0};
@@ -357,6 +423,21 @@ class SimRankServer {
   std::unique_ptr<JsonlLogSink> access_sink_;
   /// xorshift state for --trace-sample coin flips (loop thread only).
   uint64_t sample_state_ = 0;
+
+  /// Self-diagnosis (obs/): loop/worker watchdog, metrics history ring +
+  /// its 1 Hz sampler, continuous profile logger, on-demand profile
+  /// capture threads. All stopped by StopDiagnostics() *before* pool_ is
+  /// destroyed — the watchdog and sampler read pool_.queue_depth().
+  Watchdog watchdog_;
+  std::unique_ptr<MetricsHistory> metrics_history_;
+  std::unique_ptr<MetricsSampler> metrics_sampler_;
+  std::unique_ptr<ProfileLogger> profile_logger_;
+  /// Dispatch-to-start queue-wait latency (workers record).
+  LatencyHistogram dispatch_latency_;
+  /// Serializes /v1/debug/profile sessions (second request gets 409).
+  std::atomic<bool> profile_busy_{false};
+  std::mutex profile_threads_mutex_;
+  std::vector<std::thread> profile_threads_;
 
   /// Declared last so its destructor joins workers before fds close —
   /// workers may still be appending to the sinks above.

@@ -1,0 +1,228 @@
+// End-to-end tests of fleet-wide observability: the router scrapes every
+// shard's /metrics, serves /v1/cluster/health, and re-exports the fleet's
+// samples with shard/role labels injected. A killed shard must show up
+// unhealthy within a scrape interval.
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simrank/cluster/router.h"
+#include "simrank/cluster/shard_plan.h"
+#include "simrank/cluster/shard_split.h"
+#include "simrank/common/string_util.h"
+#include "simrank/index/query_engine.h"
+#include "simrank/index/walk_index.h"
+#include "simrank/server/http_client.h"
+#include "simrank/server/server.h"
+#include "testing/fixtures.h"
+
+namespace simrank {
+namespace {
+
+std::atomic<uint32_t> g_fixture_counter{0};
+
+/// One shard server over a WriteShardIndex file, on its own thread. No
+/// updater: fleet scraping only needs /metrics and /v1/stats.
+struct ShardNode {
+  ShardNode(const std::string& index_path, ServerOptions options)
+      : index(LoadIndex(index_path)), engine(index) {
+    options.port = 0;
+    server = std::make_unique<SimRankServer>(engine, options, nullptr);
+    OIPSIM_CHECK(server->Bind().ok());
+    serve_thread = std::thread([this] { server->Serve(); });
+  }
+
+  ~ShardNode() { Stop(); }
+
+  void Stop() {
+    if (serve_thread.joinable()) {
+      server->Shutdown();
+      serve_thread.join();
+    }
+  }
+
+  uint16_t port() const { return server->port(); }
+
+  static WalkIndex LoadIndex(const std::string& path) {
+    auto index = WalkIndex::Load(path);
+    OIPSIM_CHECK(index.ok());
+    return std::move(index).value();
+  }
+
+  WalkIndex index;
+  QueryEngine engine;
+  std::unique_ptr<SimRankServer> server;
+  std::thread serve_thread;
+};
+
+/// A 2-shard cluster with a scraping router (no replicas, no reference
+/// node — this suite only exercises the observability surface).
+class FleetFixture {
+ public:
+  explicit FleetFixture(uint32_t scrape_interval_ms) {
+    const std::string tag =
+        StrFormat("fleet-%u", g_fixture_counter.fetch_add(1));
+    const DiGraph graph = testing::RandomGraph(60, 240, 11);
+    WalkIndexOptions index_options;
+    index_options.num_fingerprints = 48;
+    index_options.walk_length = 8;
+    auto full = WalkIndex::Build(graph, index_options);
+    OIPSIM_CHECK(full.ok());
+    auto plan = ShardPlan::EvenSplit(full->n(), full->graph_fingerprint(),
+                                     /*num_shards=*/2);
+    OIPSIM_CHECK(plan.ok());
+
+    RouterOptions router_options;
+    router_options.plan = *plan;
+    router_options.scrape_interval_ms = scrape_interval_ms;
+    router_options.scrape_timeout_ms = 250;
+    for (const ShardRange& range : plan->shards) {
+      const std::string shard_path =
+          ::testing::TempDir() +
+          StrFormat("%s-shard-%u.widx", tag.c_str(), range.shard_id);
+      OIPSIM_CHECK(
+          WriteShardIndex(full->store(), range, shard_path, false).ok());
+      ServerOptions options;
+      options.sharded = true;
+      options.shard_plan = *plan;
+      options.shard_id = range.shard_id;
+      shards_.push_back(std::make_unique<ShardNode>(shard_path, options));
+      router_options.shards.push_back(
+          RouterShard{range.shard_id, shards_.back()->port(), 0});
+    }
+    router_ = std::make_unique<SimRankRouter>(std::move(router_options));
+    OIPSIM_CHECK(router_->Bind().ok());
+    OIPSIM_CHECK(router_->Start().ok());
+  }
+
+  ~FleetFixture() { router_->Shutdown(); }
+
+  uint16_t router_port() const { return router_->port(); }
+  ShardNode& shard(size_t i) { return *shards_[i]; }
+
+  std::string Health() {
+    auto response = HttpGet(router_port(), "/v1/cluster/health");
+    OIPSIM_CHECK(response.ok() && response->status == 200);
+    return response->body;
+  }
+
+  /// Polls /v1/cluster/health until `predicate(body)` holds (or 10 s).
+  template <typename Predicate>
+  std::string WaitForHealth(Predicate predicate) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    std::string body = Health();
+    while (!predicate(body) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      body = Health();
+    }
+    return body;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ShardNode>> shards_;
+  std::unique_ptr<SimRankRouter> router_;
+};
+
+bool ScrapedAllTargets(const std::string& health) {
+  // Every target scraped at least once: no target stuck unhealthy and
+  // both shards report an uptime from their scraped /v1/stats.
+  return health.find("\"healthy\":false") == std::string::npos &&
+         FindJsonNumber(health, "scrape_rounds") >= 2;
+}
+
+TEST(FleetHealthTest, HealthyFleetReportsEveryTarget) {
+  FleetFixture fixture(/*scrape_interval_ms=*/50);
+  const std::string health = fixture.WaitForHealth(ScrapedAllTargets);
+  EXPECT_EQ(health.find("\"healthy\":false"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"healthy\":true"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"scraping\":true"), std::string::npos);
+  EXPECT_NE(health.find("\"shard_id\":0"), std::string::npos);
+  EXPECT_NE(health.find("\"shard_id\":1"), std::string::npos);
+  EXPECT_NE(health.find("\"role\":\"primary\""), std::string::npos);
+  EXPECT_NE(health.find("\"uptime_seconds\""), std::string::npos);
+  EXPECT_NE(health.find("\"loop_lag_seconds\""), std::string::npos);
+}
+
+TEST(FleetHealthTest, KilledShardTurnsUnhealthyWithinScrapeInterval) {
+  FleetFixture fixture(/*scrape_interval_ms=*/50);
+  fixture.WaitForHealth(ScrapedAllTargets);
+
+  fixture.shard(1).Stop();
+  const std::string degraded = fixture.WaitForHealth([](const std::string& h) {
+    return h.find("\"healthy\":false") != std::string::npos;
+  });
+  EXPECT_NE(degraded.find("\"healthy\":false"), std::string::npos)
+      << degraded;
+  // The dead shard carries the failure, with an error string; shard 0 is
+  // still healthy (the overall flag is the AND over targets).
+  const size_t shard1 = degraded.find("\"shard_id\":1");
+  ASSERT_NE(shard1, std::string::npos);
+  EXPECT_NE(degraded.find("\"healthy\":false", shard1), std::string::npos);
+  EXPECT_NE(degraded.find("\"error\""), std::string::npos) << degraded;
+  const size_t shard0 = degraded.find("\"shard_id\":0");
+  ASSERT_NE(shard0, std::string::npos);
+  EXPECT_NE(degraded.find("\"healthy\":true", shard0), std::string::npos);
+}
+
+TEST(FleetHealthTest, RouterMetricsAggregateShardSamples) {
+  FleetFixture fixture(/*scrape_interval_ms=*/50);
+  fixture.WaitForHealth(ScrapedAllTargets);
+
+  auto response = HttpGet(fixture.router_port(), "/metrics");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  const std::string& metrics = response->body;
+  // Router-native fleet gauges.
+  EXPECT_NE(metrics.find("simrank_fleet_scrape_rounds_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.find(
+                "simrank_fleet_target_healthy{shard=\"0\",role=\"primary\"}"
+                " 1"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find(
+                "simrank_fleet_target_healthy{shard=\"1\",role=\"primary\"}"
+                " 1"),
+            std::string::npos);
+  // Aggregated shard samples re-exported with injected labels: both
+  // shards' uptime gauges appear under one family declaration.
+  EXPECT_NE(
+      metrics.find("simrank_uptime_seconds{shard=\"0\",role=\"primary\"}"),
+      std::string::npos)
+      << metrics;
+  EXPECT_NE(
+      metrics.find("simrank_uptime_seconds{shard=\"1\",role=\"primary\"}"),
+      std::string::npos);
+  // A labelled shard sample keeps its own labels after injection.
+  EXPECT_NE(metrics.find("shard=\"0\",role=\"primary\",endpoint="),
+            std::string::npos)
+      << metrics;
+  // The router's own build info is exported alongside the fleet's.
+  EXPECT_NE(metrics.find("simrank_build_info{"), std::string::npos);
+  EXPECT_NE(metrics.find("role=\"router\""), std::string::npos);
+  EXPECT_NE(metrics.find("simrank_router_uptime_seconds"),
+            std::string::npos);
+}
+
+TEST(FleetHealthTest, DisabledScrapingIsReportedNotAssumedHealthy) {
+  FleetFixture fixture(/*scrape_interval_ms=*/0);
+  const std::string health = fixture.Health();
+  EXPECT_NE(health.find("\"scraping\":false"), std::string::npos) << health;
+  // With no scraper the router cannot vouch for the fleet.
+  EXPECT_NE(health.find("\"healthy\":false"), std::string::npos);
+
+  auto response = HttpGet(fixture.router_port(), "/metrics");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body.find("simrank_fleet_target_healthy"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace simrank

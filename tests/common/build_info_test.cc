@@ -1,0 +1,83 @@
+#include "simrank/common/build_info.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "simrank/common/memory_tracker.h"
+
+namespace simrank {
+namespace {
+
+TEST(BuildInfoTest, AllFieldsNonNullAndNonEmpty) {
+  const BuildInfo& info = GetBuildInfo();
+  ASSERT_NE(info.git_describe, nullptr);
+  ASSERT_NE(info.compiler, nullptr);
+  ASSERT_NE(info.build_type, nullptr);
+  ASSERT_NE(info.cxx_standard, nullptr);
+  EXPECT_GT(std::strlen(info.git_describe), 0u);
+  EXPECT_GT(std::strlen(info.compiler), 0u);
+  EXPECT_GT(std::strlen(info.cxx_standard), 0u);
+  EXPECT_TRUE(std::strcmp(info.build_type, "release") == 0 ||
+              std::strcmp(info.build_type, "debug") == 0)
+      << info.build_type;
+}
+
+TEST(BuildInfoTest, BuildInfoIsStable) {
+  // Same pointers every call: the struct is static identity, not state.
+  const BuildInfo& a = GetBuildInfo();
+  const BuildInfo& b = GetBuildInfo();
+  EXPECT_EQ(&a, &b);
+  EXPECT_STREQ(a.git_describe, b.git_describe);
+}
+
+TEST(BuildInfoTest, UptimeIsPositiveAndMonotonic) {
+  const double first = UptimeSeconds();
+  EXPECT_GT(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double second = UptimeSeconds();
+  EXPECT_GE(second, first);
+  EXPECT_GT(second - first, 0.005);
+}
+
+TEST(BuildInfoTest, ProcessStartPrecedesNow) {
+  const uint64_t start = ProcessStartUnixMicros();
+  EXPECT_GT(start, 0u);
+  const uint64_t now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  EXPECT_LE(start, now);
+}
+
+#if defined(__linux__)
+TEST(ProcessMemoryStatsTest, ReportsPlausibleLinuxValues) {
+  ProcessMemoryStats stats;
+  ASSERT_TRUE(ReadProcessMemoryStats(&stats));
+  // Any live process is at least a page resident and maps more than it
+  // has resident.
+  EXPECT_GT(stats.resident_bytes, 0u);
+  EXPECT_GE(stats.virtual_bytes, stats.resident_bytes);
+  EXPECT_GE(stats.peak_resident_bytes, stats.resident_bytes);
+  EXPECT_GT(stats.data_bytes, 0u);
+}
+
+TEST(ProcessMemoryStatsTest, ObservesLargeAllocation) {
+  ProcessMemoryStats before;
+  ASSERT_TRUE(ReadProcessMemoryStats(&before));
+  constexpr size_t kBytes = 64 << 20;
+  std::vector<char> block(kBytes, 1);  // touched, so it must be resident
+  ProcessMemoryStats after;
+  ASSERT_TRUE(ReadProcessMemoryStats(&after));
+  EXPECT_GE(after.resident_bytes + (8 << 20),
+            before.resident_bytes + kBytes);
+  EXPECT_GE(after.peak_resident_bytes, before.peak_resident_bytes);
+  EXPECT_GT(block[kBytes - 1], 0);
+}
+#endif  // __linux__
+
+}  // namespace
+}  // namespace simrank

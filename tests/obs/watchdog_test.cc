@@ -1,0 +1,119 @@
+#include "simrank/obs/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "simrank/obs/profiler.h"
+
+namespace simrank {
+namespace {
+
+TEST(WatchdogTest, QuietWhileLoopBeats) {
+  WatchdogOptions options;
+  options.poll_interval_ms = 5;
+  options.stall_threshold_us = 200'000;
+  options.name = "beating-loop";
+  Watchdog watchdog(options);
+  std::atomic<bool> stop{false};
+  std::thread loop([&watchdog, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      watchdog.Beat();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  watchdog.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const Watchdog::Snapshot snapshot = watchdog.snapshot();
+  watchdog.Stop();
+  stop.store(true, std::memory_order_release);
+  loop.join();
+  EXPECT_EQ(snapshot.stalls, 0u);
+  EXPECT_LT(snapshot.max_loop_lag_us, options.stall_threshold_us);
+}
+
+TEST(WatchdogTest, DetectsInjectedStallOncePerEpisode) {
+  WatchdogOptions options;
+  options.poll_interval_ms = 5;
+  options.stall_threshold_us = 40'000;
+  options.name = "stalling-loop";
+  Watchdog watchdog(options);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> stall{false};
+  std::thread loop([&] {
+    ScopedProfiledThread profiled("stalling-loop");
+    watchdog.SetWatchedTid(CurrentTid());
+    while (!stop.load(std::memory_order_acquire)) {
+      watchdog.Beat();
+      if (stall.load(std::memory_order_acquire)) {
+        // One long gap between beats: a deterministic stall episode.
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        stall.store(false, std::memory_order_release);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+  watchdog.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(watchdog.snapshot().stalls, 0u);
+
+  stall.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  const Watchdog::Snapshot during = watchdog.snapshot();
+  EXPECT_EQ(during.stalls, 1u) << "one episode, counted once";
+  EXPECT_GE(during.max_loop_lag_us, options.stall_threshold_us);
+  EXPECT_GE(during.last_stall_us, options.stall_threshold_us);
+
+  // A second injected episode increments the count again.
+  stall.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_EQ(watchdog.snapshot().stalls, 2u);
+
+  watchdog.Stop();
+  stop.store(true, std::memory_order_release);
+  loop.join();
+}
+
+TEST(WatchdogTest, TracksQueueDepthHighWater) {
+  WatchdogOptions options;
+  options.poll_interval_ms = 2;
+  options.stall_threshold_us = 1'000'000;
+  Watchdog watchdog(options);
+  std::atomic<uint64_t> depth{0};
+  watchdog.SetQueueDepthProvider(
+      [&depth] { return depth.load(std::memory_order_relaxed); });
+  watchdog.Beat();
+  watchdog.Start();
+  depth.store(3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  depth.store(17);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  depth.store(4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const Watchdog::Snapshot snapshot = watchdog.snapshot();
+  watchdog.Stop();
+  EXPECT_EQ(snapshot.queue_depth, 4u);
+  EXPECT_GE(snapshot.max_queue_depth, 17u);
+}
+
+TEST(WatchdogTest, StopIsIdempotentAndRestartable) {
+  Watchdog watchdog;
+  watchdog.Beat();
+  watchdog.Start();
+  watchdog.Stop();
+  watchdog.Stop();  // no-op
+  WatchdogOptions options;
+  options.poll_interval_ms = 3;
+  watchdog.set_options(options);  // valid while stopped
+  watchdog.Beat();
+  watchdog.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watchdog.Stop();
+  EXPECT_EQ(watchdog.options().poll_interval_ms, 3u);
+}
+
+}  // namespace
+}  // namespace simrank

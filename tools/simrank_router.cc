@@ -3,6 +3,9 @@
 //   simrank_router --plan=PLAN --shard 0=PORT[,REPLICA] --shard 1=...
 //                  [--port=8080] [--bind=127.0.0.1] [--timeout-ms=2000]
 //                  [--retries=1] [--retry-after=1] [--max-batch-pairs=N]
+//                  [--scrape-interval-ms=1000] [--scrape-timeout-ms=500]
+//                  [--metrics-history=S] [--profile-log=PATH]
+//                  [--profile-log-hz=HZ] [--profile-log-period=S]
 //
 // Speaks the same public /v1/* dialect as a single-node simrank_server —
 // /v1/pair, /v1/single_source, /v1/topk, /v1/batch_pair, /v1/update,
@@ -35,11 +38,22 @@ void PrintUsage(const char* argv0) {
       "usage: %s --plan=PLAN --shard 0=PORT[,REPLICA] [--shard 1=...]\n"
       "       [--port=8080] [--bind=127.0.0.1] [--timeout-ms=2000]\n"
       "       [--retries=1] [--retry-after=1] [--max-batch-pairs=N]\n"
+      "       [--scrape-interval-ms=1000] [--scrape-timeout-ms=500]\n"
+      "       [--metrics-history=S] [--profile-log=PATH]\n"
+      "       [--profile-log-hz=HZ] [--profile-log-period=S]\n"
       "\nRoutes /v1/pair, /v1/single_source, /v1/topk, /v1/batch_pair and\n"
       "/v1/update across the shard servers of PLAN, answering bitwise-\n"
       "identically to a single-node simrank_server over the full index.\n"
       "Each --shard names a shard id and its primary port, optionally\n"
-      "followed by a comma and a replica port reads fail over to.\n",
+      "followed by a comma and a replica port reads fail over to.\n"
+      "The router scrapes every target's /metrics each\n"
+      "--scrape-interval-ms (0 disables), serves the fleet roll-up at\n"
+      "GET /v1/cluster/health, and re-exports every shard sample with\n"
+      "shard/role labels from its own /metrics. --metrics-history=S\n"
+      "keeps S seconds of aggregated gauges at GET /v1/debug/timeseries\n"
+      "(default 900; 0 disables); GET /v1/debug/profile?seconds=N\n"
+      "profiles the router itself, and --profile-log records continuous\n"
+      "background profiles as JSONL.\n",
       argv0);
 }
 
@@ -129,6 +143,39 @@ int RealMain(int argc, char** argv) {
         return 2;
       }
       options.max_batch_pairs = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--scrape-interval-ms=")) {
+      if (!simrank::ParseUint64(value_of("--scrape-interval-ms="), &u)) {
+        return 2;
+      }
+      options.scrape_interval_ms = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--scrape-timeout-ms=")) {
+      if (!simrank::ParseUint64(value_of("--scrape-timeout-ms="), &u) ||
+          u == 0) {
+        std::fprintf(stderr, "--scrape-timeout-ms must be positive\n");
+        return 2;
+      }
+      options.scrape_timeout_ms = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--metrics-history=")) {
+      if (!simrank::ParseUint64(value_of("--metrics-history="), &u)) {
+        return 2;
+      }
+      options.metrics_history_window_s = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--profile-log=")) {
+      options.profile_log_path = value_of("--profile-log=");
+    } else if (simrank::StartsWith(arg, "--profile-log-hz=")) {
+      if (!simrank::ParseUint64(value_of("--profile-log-hz="), &u) ||
+          u == 0 || u > 1000) {
+        std::fprintf(stderr, "--profile-log-hz must be 1..1000\n");
+        return 2;
+      }
+      options.profile_log_hz = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--profile-log-period=")) {
+      if (!simrank::ParseUint64(value_of("--profile-log-period="), &u) ||
+          u == 0) {
+        std::fprintf(stderr, "--profile-log-period must be positive\n");
+        return 2;
+      }
+      options.profile_log_period_s = static_cast<uint32_t>(u);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       PrintUsage(argv[0]);

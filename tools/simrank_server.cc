@@ -12,7 +12,13 @@
 //                        [--no-sync-wal] [--no-uring]
 //                        [--trace-sample=F] [--slow-query-us=N]
 //                        [--slow-ring=N] [--trace-log=PATH]
-//                        [--access-log=PATH]
+//                        [--access-log=PATH] [--profile-log=PATH]
+//                        [--profile-log-hz=HZ] [--profile-log-period=S]
+//                        [--watchdog-interval-ms=MS]
+//                        [--watchdog-stall-us=US]
+//                        [--metrics-history=S]
+//                        [--metrics-history-interval-ms=MS]
+//                        [--debug-stall-limit-ms=MS]
 //
 // Serves GET /v1/pair, /v1/single_source, /v1/topk, POST /v1/batch_pair,
 // /v1/stats, /metrics and /healthz (see src/simrank/server/server.h for
@@ -92,6 +98,11 @@ void PrintUsage(const char* argv0) {
       "       [--tail-from=PORT] [--no-uring]\n"
       "       [--trace-sample=F] [--slow-query-us=N] [--slow-ring=N]\n"
       "       [--trace-log=PATH] [--access-log=PATH]\n"
+      "       [--profile-log=PATH] [--profile-log-hz=HZ]\n"
+      "       [--profile-log-period=S] [--watchdog-interval-ms=MS]\n"
+      "       [--watchdog-stall-us=US] [--metrics-history=S]\n"
+      "       [--metrics-history-interval-ms=MS]\n"
+      "       [--debug-stall-limit-ms=MS]\n"
       "\nServes GET /v1/pair?a=&b=, /v1/single_source?v=, /v1/topk?v=&k=,\n"
       "POST /v1/batch_pair, /v1/stats, /metrics and /healthz over the\n"
       "given walk index. --port=0 picks a free port. Requests beyond\n"
@@ -118,7 +129,19 @@ void PrintUsage(const char* argv0) {
       "--slow-query-us=N traces everything and captures queries slower\n"
       "than N us in a ring served at GET /v1/debug/slow (--slow-ring=N\n"
       "entries, default 64). --trace-log appends captured traces as\n"
-      "JSONL; --access-log appends one JSONL line per request.\n",
+      "JSONL; --access-log appends one JSONL line per request.\n"
+      "Self-diagnosis: GET /v1/debug/profile?seconds=N returns a\n"
+      "collapsed-stack CPU profile; --profile-log additionally records\n"
+      "continuous background profiles as JSONL (--profile-log-hz,\n"
+      "default 19, one record every --profile-log-period seconds,\n"
+      "default 60). The event-loop watchdog samples loop lag and queue\n"
+      "depth every --watchdog-interval-ms (default 100; 0 disables) and\n"
+      "logs a stack-annotated warning past --watchdog-stall-us (default\n"
+      "1s). --metrics-history=S keeps S seconds of every /metrics gauge\n"
+      "(default 900, sampled every --metrics-history-interval-ms,\n"
+      "default 1000) served at GET /v1/debug/timeseries.\n"
+      "--debug-stall-limit-ms arms the GET /v1/debug/stall test hook\n"
+      "(deliberately blocks the event loop; leave off in production).\n",
       argv0);
 }
 
@@ -243,6 +266,55 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
       options->server.trace_log_path = value_of("--trace-log=");
     } else if (simrank::StartsWith(arg, "--access-log=")) {
       options->server.access_log_path = value_of("--access-log=");
+    } else if (simrank::StartsWith(arg, "--profile-log=")) {
+      options->server.profile_log_path = value_of("--profile-log=");
+    } else if (simrank::StartsWith(arg, "--profile-log-hz=")) {
+      if (!simrank::ParseUint64(value_of("--profile-log-hz="), &u) ||
+          u == 0 || u > 1000) {
+        std::fprintf(stderr, "--profile-log-hz must be 1..1000\n");
+        return false;
+      }
+      options->server.profile_log_hz = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--profile-log-period=")) {
+      if (!simrank::ParseUint64(value_of("--profile-log-period="), &u) ||
+          u == 0) {
+        std::fprintf(stderr, "--profile-log-period must be positive\n");
+        return false;
+      }
+      options->server.profile_log_period_s = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--watchdog-interval-ms=")) {
+      if (!simrank::ParseUint64(value_of("--watchdog-interval-ms="), &u)) {
+        return false;
+      }
+      options->server.watchdog_interval_ms = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--watchdog-stall-us=")) {
+      if (!simrank::ParseUint64(value_of("--watchdog-stall-us="), &u) ||
+          u == 0) {
+        std::fprintf(stderr, "--watchdog-stall-us must be positive\n");
+        return false;
+      }
+      options->server.watchdog_stall_us = u;
+    } else if (simrank::StartsWith(arg, "--metrics-history=")) {
+      if (!simrank::ParseUint64(value_of("--metrics-history="), &u)) {
+        return false;
+      }
+      options->server.metrics_history_window_s = static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg,
+                                   "--metrics-history-interval-ms=")) {
+      if (!simrank::ParseUint64(value_of("--metrics-history-interval-ms="),
+                                &u) ||
+          u == 0) {
+        std::fprintf(stderr,
+                     "--metrics-history-interval-ms must be positive\n");
+        return false;
+      }
+      options->server.metrics_history_interval_ms =
+          static_cast<uint32_t>(u);
+    } else if (simrank::StartsWith(arg, "--debug-stall-limit-ms=")) {
+      if (!simrank::ParseUint64(value_of("--debug-stall-limit-ms="), &u)) {
+        return false;
+      }
+      options->server.debug_stall_limit_ms = static_cast<uint32_t>(u);
     } else if (simrank::StartsWith(arg, "--tail-from=")) {
       if (!simrank::ParseUint64(value_of("--tail-from="), &u) || u == 0 ||
           u > 65535) {
